@@ -1,0 +1,82 @@
+//! Criterion benches for Part 1 (classic top-k): FA/TA/NRA access model
+//! (E7) and rank-join vs weight correlation (E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use anyk_topk::fa::fagin_topk;
+use anyk_topk::lists::{Aggregation, RankedLists};
+use anyk_topk::nra::nra_topk;
+use anyk_topk::rank_join::{RankJoin, SortedScan};
+use anyk_topk::ta::threshold_topk;
+use anyk_workloads::adversarial::anticorrelated_pair;
+use anyk_workloads::graphs::{random_edge_relation, WeightDist};
+use anyk_workloads::middleware::{correlated_lists, uniform_lists};
+
+fn bench_middleware(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_middleware_k10");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, lists) in [
+        ("correlated", correlated_lists(3, 10_000, 0.05, 1)),
+        ("uniform", uniform_lists(3, 10_000, 2)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("TA", name), &lists, |b, lists| {
+            b.iter(|| {
+                let mut l = RankedLists::new(lists.clone());
+                black_box(threshold_topk(&mut l, 10, Aggregation::Sum))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("FA", name), &lists, |b, lists| {
+            b.iter(|| {
+                let mut l = RankedLists::new(lists.clone());
+                black_box(fagin_topk(&mut l, 10, Aggregation::Sum))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("NRA", name), &lists, |b, lists| {
+            b.iter(|| {
+                let mut l = RankedLists::new(lists.clone());
+                black_box(nra_topk(&mut l, 10, Aggregation::Sum))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_rankjoin_ttf");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 20_000;
+    let corr_l = random_edge_relation(n, n as u64 / 2, WeightDist::CorrelatedWithKey, None, 4);
+    let corr_r = random_edge_relation(n, n as u64 / 2, WeightDist::CorrelatedWithKey, None, 5);
+    g.bench_function("correlated", |b| {
+        b.iter(|| {
+            let mut rj = RankJoin::new(
+                SortedScan::new(corr_l.clone()),
+                SortedScan::new(corr_r.clone()),
+                vec![1],
+                vec![0],
+            );
+            black_box(rj.next())
+        })
+    });
+    let (anti_l, anti_r) = anticorrelated_pair(n);
+    g.bench_function("anticorrelated", |b| {
+        b.iter(|| {
+            let mut rj = RankJoin::new(
+                SortedScan::new(anti_l.clone()),
+                SortedScan::new(anti_r.clone()),
+                vec![1],
+                vec![0],
+            );
+            black_box(rj.next())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_middleware, bench_rank_join);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E8 — Part 1's RAM-model critique, reproduced: rank-join (HRJN) is
+//! excellent when the top answers combine top-of-list tuples, but on
+//! adversarial (anti-correlated) inputs its bound cannot certify
+//! anything until it has pulled nearly everything — and its buffers are
+//! the "large intermediate result" the middleware model never charges
+//! for. Any-k's preprocessing is O(n) regardless of weight structure.
+
+use crate::util::{banner, fmt_secs, time, Table};
+use anyk_core::part::AnyKPart;
+use anyk_core::ranking::SumCost;
+use anyk_core::succorder::SuccessorKind;
+use anyk_core::tdp::TdpInstance;
+use anyk_query::cq::path_query;
+use anyk_query::gyo::{gyo_reduce, GyoResult};
+use anyk_storage::Relation;
+use anyk_topk::rank_join::{RankJoin, SortedScan};
+use anyk_workloads::adversarial::anticorrelated_pair;
+use anyk_workloads::graphs::{random_edge_relation, WeightDist};
+
+fn anyk_ttf(rels: Vec<Relation>) -> f64 {
+    let q = path_query(2);
+    let tree = match gyo_reduce(&q) {
+        GyoResult::Acyclic(t) => t,
+        _ => unreachable!(),
+    };
+    let (ttf, _) = {
+        let (mut anyk, prep) = time(|| {
+            let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+            AnyKPart::new(inst, SuccessorKind::Lazy)
+        });
+        let (_, t1) = time(|| anyk.next());
+        (prep + t1, ())
+    };
+    ttf
+}
+
+pub fn run(scale: f64) {
+    banner(
+        "E8: rank-join (HRJN) vs any-k — friendly vs adversarial weights",
+        "\"We are particularly interested in their worst-case behavior when \
+         some of the input tuples contributing to the top-ranked result are \
+         at the bottom of an individual input relation\" (Part 1)",
+    );
+    let n = (50_000.0 * scale).max(1000.0) as usize;
+    let mut t = Table::new([
+        "workload", "n", "hrjn_TTF", "hrjn_pulled", "hrjn_buffered", "anyk_TTF",
+    ]);
+
+    // Friendly: correlated weights — light tuples join with light.
+    {
+        let l = random_edge_relation(n, n as u64 / 2, WeightDist::CorrelatedWithKey, None, 4);
+        let r = random_edge_relation(n, n as u64 / 2, WeightDist::CorrelatedWithKey, None, 5);
+        let (pulled, buffered, t_rj) = {
+            let mut rj = RankJoin::new(
+                SortedScan::new(l.clone()),
+                SortedScan::new(r.clone()),
+                vec![1],
+                vec![0],
+            );
+            let (_, t1) = time(|| rj.next());
+            (rj.stats().pulled, rj.stats().peak_buffered, t1)
+        };
+        let t_anyk = anyk_ttf(vec![l, r]);
+        t.row([
+            "correlated".to_string(),
+            n.to_string(),
+            fmt_secs(t_rj),
+            pulled.to_string(),
+            buffered.to_string(),
+            fmt_secs(t_anyk),
+        ]);
+    }
+
+    // Adversarial: anti-correlated — certification needs full scans.
+    {
+        let (l, r) = anticorrelated_pair(n);
+        let (pulled, buffered, t_rj) = {
+            let mut rj = RankJoin::new(
+                SortedScan::new(l.clone()),
+                SortedScan::new(r.clone()),
+                vec![1],
+                vec![0],
+            );
+            let (_, t1) = time(|| rj.next());
+            (rj.stats().pulled, rj.stats().peak_buffered, t1)
+        };
+        let t_anyk = anyk_ttf(vec![l, r]);
+        t.row([
+            "anticorrelated".to_string(),
+            n.to_string(),
+            fmt_secs(t_rj),
+            pulled.to_string(),
+            buffered.to_string(),
+            fmt_secs(t_anyk),
+        ]);
+    }
+    t.print();
+    println!(
+        "expected shape: on correlated input HRJN pulls O(1) tuples; on \
+         anticorrelated input it pulls ~2n and buffers ~2n while any-k's \
+         TTF stays O(n) in both"
+    );
+}

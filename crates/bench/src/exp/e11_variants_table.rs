@@ -1,0 +1,114 @@
+//! E11 — the companion paper's variants comparison: all five ANYK-PART
+//! successor orders, ANYK-REC, and the batch baselines on path and star
+//! queries: preprocessing, TT(1), TT(1000), TT(last), and peak pending
+//! candidates (the All variant's memory flood).
+
+use crate::util::{banner, fmt_secs, time, Table};
+use anyk_core::batch::BatchSorted;
+use anyk_core::part::AnyKPart;
+use anyk_core::ranking::SumCost;
+use anyk_core::rec::AnyKRec;
+use anyk_core::succorder::SuccessorKind;
+use anyk_core::tdp::TdpInstance;
+use anyk_workloads::graphs::WeightDist;
+use anyk_workloads::patterns::{path_instance, star_instance, AcyclicInstance};
+
+fn bench_part(inst: &AcyclicInstance, kind: SuccessorKind, t: &mut Table, label: &str) {
+    let (mut anyk, prep) = time(|| {
+        let i = TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+            .unwrap();
+        AnyKPart::new(i, kind)
+    });
+    let (_, t1) = time(|| anyk.next());
+    let (_, t1k) = time(|| anyk.by_ref().take(999).count());
+    let (total, tlast) = time(|| 1000 + anyk.by_ref().count());
+    t.row([
+        label.to_string(),
+        fmt_secs(prep),
+        fmt_secs(prep + t1),
+        fmt_secs(prep + t1 + t1k),
+        fmt_secs(prep + t1 + t1k + tlast),
+        total.to_string(),
+        anyk.peak_pending().to_string(),
+    ]);
+}
+
+fn bench_all(inst: &AcyclicInstance, name: &str) {
+    println!("\n--- workload: {name} ---");
+    // Warmup: one full enumeration so the allocator reaches steady state
+    // (otherwise the first variant measures against a cold heap and the
+    // rest pay for reclaiming its freed arena).
+    {
+        let i = TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+            .unwrap();
+        let _ = AnyKPart::new(i, SuccessorKind::Lazy).count();
+    }
+    let mut t = Table::new([
+        "variant", "prep", "TT(1)", "TT(1k)", "TT(last)", "answers", "peak_pending",
+    ]);
+    for kind in SuccessorKind::ALL_KINDS {
+        bench_part(inst, kind, &mut t, kind.name());
+    }
+    // REC.
+    {
+        let (mut anyk, prep) = time(|| {
+            let i = TdpInstance::<SumCost>::prepare(
+                &inst.query,
+                &inst.join_tree,
+                inst.relations_clone(),
+            )
+            .unwrap();
+            AnyKRec::new(i)
+        });
+        let (_, t1) = time(|| anyk.next());
+        let (_, t1k) = time(|| anyk.by_ref().take(999).count());
+        let (total, tlast) = time(|| 1000 + anyk.by_ref().count());
+        t.row([
+            "Rec".to_string(),
+            fmt_secs(prep),
+            fmt_secs(prep + t1),
+            fmt_secs(prep + t1 + t1k),
+            fmt_secs(prep + t1 + t1k + tlast),
+            total.to_string(),
+            "-".to_string(),
+        ]);
+    }
+    // Batch.
+    {
+        let (mut batch, prep) = time(|| {
+            BatchSorted::<SumCost>::new(&inst.query, &inst.join_tree, inst.relations_clone())
+        });
+        let (_, t1) = time(|| batch.next());
+        let (_, t1k) = time(|| batch.by_ref().take(999).count());
+        let (total, tlast) = time(|| 1000 + batch.by_ref().count());
+        t.row([
+            "Batch-sort".to_string(),
+            fmt_secs(prep),
+            fmt_secs(prep + t1),
+            fmt_secs(prep + t1 + t1k),
+            fmt_secs(prep + t1 + t1k + tlast),
+            total.to_string(),
+            "-".to_string(),
+        ]);
+    }
+    t.print();
+}
+
+pub fn run(scale: f64) {
+    banner(
+        "E11: any-k variants — Eager / All / Take2 / Lazy / Quick / Rec / Batch",
+        "Part 3's \"empirical comparison of the most promising approaches\"",
+    );
+    let edges = (5_000.0 * scale).max(300.0) as usize;
+    // Degree ~6 keeps the full output in the hundreds of thousands, so
+    // TT(last) is measurable without the Lawler arena dominating memory.
+    let path = path_instance(4, edges, (edges / 6).max(8) as u64, WeightDist::Uniform, 31);
+    bench_all(&path, &format!("4-path, {edges} edges/relation"));
+    let star = star_instance(3, edges, (edges / 6).max(8) as u64, WeightDist::Uniform, 37);
+    bench_all(&star, &format!("3-star, {edges} edges/relation"));
+    println!(
+        "\nexpected shape: Eager pays the largest prep (full sorts); All \
+         floods the queue (peak_pending); Take2/Lazy/Quick balance; batch \
+         TT(1) ~ TT(last)"
+    );
+}

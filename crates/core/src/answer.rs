@@ -1,0 +1,41 @@
+//! Ranked answers and the any-k iterator contract.
+
+use anyk_storage::Value;
+use std::fmt::Debug;
+
+/// One query answer produced by ranked enumeration: its cost under the
+/// active ranking function plus the output tuple (one value per query
+/// variable, in `VarId` order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedAnswer<C> {
+    /// Cost under the ranking function (smaller = ranked earlier).
+    pub cost: C,
+    /// Output tuple, one `Value` per query variable.
+    pub values: Vec<Value>,
+}
+
+/// The *any-k* ("anytime top-k") contract: an iterator that yields
+/// answers in non-decreasing cost order, one at a time, without knowing
+/// `k` in advance (Part 3 of the paper). Implemented by
+/// [`AnyKPart`](crate::part::AnyKPart), [`AnyKRec`](crate::rec::AnyKRec),
+/// the batch baselines, and the cyclic-plan mergers.
+pub trait AnyK: Iterator<Item = RankedAnswer<<Self as AnyK>::Cost>> {
+    /// The ranking function's cost type.
+    type Cost: Clone + Ord + Debug;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_storage::Weight;
+
+    #[test]
+    fn answer_equality() {
+        let a = RankedAnswer {
+            cost: Weight::new(1.0),
+            values: vec![Value::Int(1)],
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! Ranked enumeration for **arbitrary cyclic queries** through a tree
+//! decomposition — the general `O~(n^fhw + r·polylog)` pipeline of §3 +
+//! §4: materialize decomposition bags (worst-case-optimally), then run
+//! any-k over the acyclic bag-level query.
+//!
+//! This complements [`crate::cyclic`]:
+//!
+//! * [`crate::cyclic::c4_ranked_part`] uses the 4-cycle's *submodular
+//!   width* union-of-trees plan (preprocessing n^1.5);
+//! * [`decomposed_ranked_part`] works for every query but pays the
+//!   (possibly higher) fractional hypertree width — fhw = 2 for the
+//!   4-cycle. Experiment E13 measures exactly this gap (the reason §3
+//!   calls submodular width "the current frontier").
+
+use crate::answer::{AnyK, RankedAnswer};
+use crate::part::AnyKPart;
+use crate::ranking::RankingFunction;
+use crate::rec::AnyKRec;
+use crate::succorder::SuccessorKind;
+use crate::tdp::TdpInstance;
+use anyk_join::decomposed::ghd_plan;
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::decompose::{fhw_exact, fhw_greedy, Decomposition};
+use anyk_query::hypergraph::Hypergraph;
+use anyk_storage::Relation;
+
+/// An any-k stream whose answers are re-ordered from bag-query variable
+/// order back to the original query's `VarId` order.
+pub struct DecomposedRanked<I: AnyK> {
+    inner: I,
+    /// `perm[v]` = bag-query VarId of original variable `v`.
+    perm: Vec<usize>,
+}
+
+impl<I: AnyK> Iterator for DecomposedRanked<I> {
+    type Item = RankedAnswer<I::Cost>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let a = self.inner.next()?;
+        let values = self.perm.iter().map(|&p| a.values[p]).collect();
+        Some(RankedAnswer {
+            cost: a.cost,
+            values,
+        })
+    }
+}
+
+impl<I: AnyK> AnyK for DecomposedRanked<I> {
+    type Cost = I::Cost;
+}
+
+fn var_permutation(q: &ConjunctiveQuery, bag_query: &ConjunctiveQuery) -> Vec<usize> {
+    (0..q.num_vars())
+        .map(|v| {
+            bag_query
+                .var(q.var_name(v))
+                .expect("bags cover every variable")
+        })
+        .collect()
+}
+
+/// Ranked enumeration of a (possibly cyclic) query through `decomp`,
+/// driven by ANYK-PART. Ranking must be commutative (see
+/// [`crate::cyclic`] for why lexicographic is excluded on decomposed
+/// plans).
+pub fn decomposed_ranked_part<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+    kind: SuccessorKind,
+) -> DecomposedRanked<AnyKPart<R>> {
+    let plan = ghd_plan(q, rels, decomp);
+    let perm = var_permutation(q, &plan.bag_query);
+    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)
+        .expect("bag tree matches bag query");
+    DecomposedRanked {
+        inner: AnyKPart::new(inst, kind),
+        perm,
+    }
+}
+
+/// Ranked enumeration through `decomp`, driven by ANYK-REC.
+pub fn decomposed_ranked_rec<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+) -> DecomposedRanked<AnyKRec<R>> {
+    let plan = ghd_plan(q, rels, decomp);
+    let perm = var_permutation(q, &plan.bag_query);
+    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)
+        .expect("bag tree matches bag query");
+    DecomposedRanked {
+        inner: AnyKRec::new(inst),
+        perm,
+    }
+}
+
+/// Convenience: pick a decomposition automatically (exact fhw for
+/// queries with <= 9 variables, greedy min-fill beyond) and enumerate
+/// ranked answers with ANYK-PART(Lazy).
+pub fn ranked_auto<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+) -> DecomposedRanked<AnyKPart<R>> {
+    let h = Hypergraph::of_query(q);
+    let decomp = if q.num_vars() <= 9 {
+        fhw_exact(&h)
+    } else {
+        fhw_greedy(&h)
+    };
+    decomposed_ranked_part::<R>(q, rels, &decomp, SuccessorKind::Lazy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{MaxCost, SumCost};
+    use anyk_join::generic_join::generic_join_materialize;
+    use anyk_query::cq::{cycle_query, triangle_query};
+    use anyk_storage::{RelationBuilder, Schema};
+
+    fn edge_rel(rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    /// Sorted oracle (costs + tuples) via Generic-Join; inputs must be
+    /// duplicate-free and weights dyadic for exact comparison.
+    fn oracle(q: &ConjunctiveQuery, rels: &[Relation]) -> Vec<(f64, Vec<i64>)> {
+        let (res, _) = generic_join_materialize(q, rels, None);
+        let mut out: Vec<(f64, Vec<i64>)> = (0..res.len() as u32)
+            .map(|i| {
+                (
+                    res.weight(i).get(),
+                    res.row(i).iter().map(|v| v.int()).collect(),
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        out
+    }
+
+    fn check(q: &ConjunctiveQuery, rels: &[Relation]) {
+        let want = oracle(q, rels);
+        let h = Hypergraph::of_query(q);
+        let d = fhw_exact(&h);
+        for engine in ["part", "rec", "auto"] {
+            let mut got: Vec<(f64, Vec<i64>)> = match engine {
+                "part" => decomposed_ranked_part::<SumCost>(q, rels, &d, SuccessorKind::Take2)
+                    .map(|a| {
+                        (
+                            a.cost.get(),
+                            a.values.iter().map(|v| v.int()).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect(),
+                "rec" => decomposed_ranked_rec::<SumCost>(q, rels, &d)
+                    .map(|a| {
+                        (
+                            a.cost.get(),
+                            a.values.iter().map(|v| v.int()).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect(),
+                _ => ranked_auto::<SumCost>(q, rels)
+                    .map(|a| {
+                        (
+                            a.cost.get(),
+                            a.values.iter().map(|v| v.int()).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect(),
+            };
+            assert!(
+                got.windows(2).all(|w| w[0].0 <= w[1].0),
+                "{engine}: not sorted"
+            );
+            got.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            assert_eq!(got.len(), want.len(), "{engine}: cardinality");
+            for ((gc, gv), (wc, wv)) in got.iter().zip(&want) {
+                assert!((gc - wc).abs() < 1e-9, "{engine}: cost {gc} vs {wc}");
+                assert_eq!(gv, wv, "{engine}: tuple");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_ranked_via_ghd() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (2, 1, 2.0),
+            (1, 3, 0.125),
+            (3, 2, 4.0),
+        ]);
+        check(&triangle_query(), &[e.clone(), e.clone(), e]);
+    }
+
+    #[test]
+    fn four_cycle_ranked_via_ghd() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 4, 0.25),
+            (4, 1, 2.0),
+            (2, 1, 0.75),
+            (1, 4, 0.375),
+        ]);
+        check(&cycle_query(4), &[e.clone(), e.clone(), e.clone(), e]);
+    }
+
+    #[test]
+    fn six_cycle_ranked_via_ghd() {
+        // fhw(C6) = 2: this is a query the C4-specific plan cannot touch.
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 4, 0.25),
+            (4, 5, 0.125),
+            (5, 6, 2.0),
+            (6, 1, 0.0625),
+            (2, 1, 1.5),
+            (4, 3, 0.75),
+        ]);
+        check(
+            &cycle_query(6),
+            &[e.clone(), e.clone(), e.clone(), e.clone(), e.clone(), e],
+        );
+    }
+
+    #[test]
+    fn max_ranking_via_ghd() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25), (1, 3, 2.0), (3, 2, 0.125), (2, 1, 4.0)]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let d = fhw_exact(&h);
+        let got: Vec<f64> = decomposed_ranked_part::<MaxCost>(&q, &rels, &d, SuccessorKind::Lazy)
+            .map(|a| a.cost.get())
+            .collect();
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!got.is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! ANYK-PART: ranked enumeration via the Lawler–Murty procedure over the
+//! serialized T-DP (Part 3 of the paper).
+//!
+//! The solution space is partitioned by *deviation position*: popping the
+//! current best solution `S` (deviating at slot `d`) spawns
+//!
+//! * a **sibling** — same prefix, the successor(s) of `S`'s member at
+//!   slot `d` within its join-key group, and
+//! * **expansions** — for every later slot `j > d`, the successor(s) of
+//!   the group-best member at `j`, with `S`'s rows before `j` frozen.
+//!
+//! Every child's cost is computed in O(1) without cost subtraction:
+//! with pre-order serialization a subtree occupies `[j, end(j))`, so
+//!
+//! ```text
+//! cost(child at j) = prefixW(j-1) ⊗ subcost(successor) ⊗ suffixW(end(j))
+//! ```
+//!
+//! where `prefixW`/`suffixW` are per-solution running aggregates of
+//! tuple weights. This works for any monotone dioid — including `max`,
+//! which has no inverse (the reason subtraction-based shortcuts are off
+//! the table). The five successor orders ([`SuccessorKind`]) realize the
+//! Eager / All / Take2 / Lazy / Quick variants of the companion paper.
+
+use crate::answer::RankedAnswer;
+use crate::ranking::RankingFunction;
+use crate::succorder::{GroupOrder, MemberRef, SuccessorKind};
+use crate::tdp::TdpInstance;
+use anyk_storage::RowId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate: a not-yet-materialized solution identified by its parent
+/// solution plus one deviation.
+struct Candidate<C> {
+    cost: C,
+    /// Tie-break for deterministic order (insertion sequence).
+    seq: u64,
+    /// Arena index of the parent solution; `u32::MAX` for the initial
+    /// top-1 candidate.
+    parent: u32,
+    /// Deviation slot.
+    dev_slot: u32,
+    /// Group id at `dev_slot` (fixed by the parent's prefix).
+    group: u32,
+    /// Member ref within that group's successor order.
+    member: MemberRef,
+}
+
+impl<C: Ord> PartialEq for Candidate<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl<C: Ord> Eq for Candidate<C> {}
+impl<C: Ord> PartialOrd for Candidate<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C: Ord> Ord for Candidate<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-cost first.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A materialized (popped) solution kept in the arena: its rows plus the
+/// prefix/suffix weight aggregates used for children's O(1) costs.
+struct Solution<C> {
+    /// Chosen row per slot.
+    rows: Vec<RowId>,
+    /// `prefix[j]` = ⊗ of tuple weights of slots `< j` (len m+1).
+    prefix: Vec<C>,
+    /// `suffix[j]` = ⊗ of tuple weights of slots `>= j` (len m+1).
+    suffix: Vec<C>,
+}
+
+/// Ranked enumeration over a prepared [`TdpInstance`] using the
+/// Lawler–Murty partitioning scheme with a chosen successor order.
+///
+/// Implements [`Iterator`]; each `next()` returns the next-cheapest
+/// answer — the *anytime top-k* contract: no `k` fixed in advance.
+///
+/// ```
+/// use anyk_core::{AnyKPart, SuccessorKind, SumCost, TdpInstance};
+/// use anyk_query::cq::path_query;
+/// use anyk_query::gyo::{gyo_reduce, GyoResult};
+/// use anyk_storage::{RelationBuilder, Schema};
+///
+/// let q = path_query(2);
+/// let tree = match gyo_reduce(&q) { GyoResult::Acyclic(t) => t, _ => unreachable!() };
+/// let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+/// r.push_ints(&[1, 2], 0.25);
+/// let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+/// s.push_ints(&[2, 3], 0.5);
+/// s.push_ints(&[2, 4], 0.125);
+/// let inst = TdpInstance::<SumCost>::prepare(&q, &tree, vec![r.finish(), s.finish()]).unwrap();
+/// let costs: Vec<f64> = AnyKPart::new(inst, SuccessorKind::Take2)
+///     .map(|a| a.cost.get())
+///     .collect();
+/// assert_eq!(costs, vec![0.375, 0.75]); // cheapest first
+/// ```
+pub struct AnyKPart<R: RankingFunction> {
+    inst: TdpInstance<R>,
+    kind: SuccessorKind,
+    /// slot -> group -> successor order.
+    orders: Vec<Vec<GroupOrder<R::Cost>>>,
+    heap: BinaryHeap<Candidate<R::Cost>>,
+    arena: Vec<Solution<R::Cost>>,
+    seq: u64,
+    /// Scratch buffer for successor generation.
+    succ_buf: Vec<(MemberRef, R::Cost, RowId)>,
+    /// Answers emitted so far (diagnostics).
+    emitted: u64,
+    /// Largest candidate-queue size observed (diagnostics; exposes the
+    /// All variant's queue flooding).
+    peak_pending: usize,
+}
+
+impl<R: RankingFunction> AnyKPart<R> {
+    /// Build the enumerator. Constructing the successor orders is part
+    /// of the variant's preprocessing (Eager pays its full sort here;
+    /// Take2/Lazy heapify; All scans for minima; Quick only copies).
+    pub fn new(inst: TdpInstance<R>, kind: SuccessorKind) -> Self {
+        let m = inst.num_slots();
+        let mut orders: Vec<Vec<GroupOrder<R::Cost>>> = Vec::with_capacity(m);
+        if inst.is_empty() {
+            orders.resize_with(m, Vec::new);
+        } else {
+            for s in 0..m {
+                let slot_orders: Vec<GroupOrder<R::Cost>> = inst.groups[s]
+                    .iter()
+                    .map(|members| {
+                        let items: Vec<(R::Cost, RowId)> = members
+                            .iter()
+                            .map(|&r| (inst.subcost[s][r as usize].clone(), r))
+                            .collect();
+                        GroupOrder::build(kind, items)
+                    })
+                    .collect();
+                orders.push(slot_orders);
+            }
+        }
+        let mut this = AnyKPart {
+            inst,
+            kind,
+            orders,
+            heap: BinaryHeap::new(),
+            arena: Vec::new(),
+            seq: 0,
+            succ_buf: Vec::new(),
+            emitted: 0,
+            peak_pending: 0,
+        };
+        if !this.inst.is_empty() {
+            // Seed with the top-1 candidate: the root group's best.
+            let (mref, cost, _row) = this.orders[0][0].best();
+            this.seq += 1;
+            this.heap.push(Candidate {
+                cost,
+                seq: this.seq,
+                parent: u32::MAX,
+                dev_slot: 0,
+                group: 0,
+                member: mref,
+            });
+        }
+        this
+    }
+
+    /// The successor-order variant in use.
+    pub fn kind(&self) -> SuccessorKind {
+        self.kind
+    }
+
+    /// Access the underlying instance (diagnostics and assembly).
+    pub fn instance(&self) -> &TdpInstance<R> {
+        &self.inst
+    }
+
+    /// Answers emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Current number of pending candidates.
+    pub fn pending_candidates(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Largest candidate-queue size observed so far (memory diagnostic;
+    /// the All variant's queue-flooding shows up here).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Materialize a popped candidate: fix the prefix from its parent,
+    /// apply the deviation, complete the rest optimally.
+    fn materialize(&mut self, cand: &Candidate<R::Cost>) -> Solution<R::Cost> {
+        let m = self.inst.num_slots();
+        let dev = cand.dev_slot as usize;
+        let (_, dev_row) = self.orders[dev][cand.group as usize].member(cand.member);
+
+        let mut rows = vec![0 as RowId; m];
+        if cand.parent == u32::MAX {
+            debug_assert_eq!(dev, 0);
+            rows[0] = dev_row;
+            self.inst.complete_optimally(&mut rows, 1, m);
+        } else {
+            let end = self.inst.subtree_end[dev];
+            let parent = &self.arena[cand.parent as usize];
+            rows[..dev].copy_from_slice(&parent.rows[..dev]);
+            rows[dev] = dev_row;
+            // Tail first: slots >= end keep the parent's (still optimal
+            // given the unchanged prefix); their ancestors lie outside
+            // [dev, end) by pre-order contiguity.
+            rows[end..].copy_from_slice(&parent.rows[end..]);
+            // Rest of the deviated subtree: best-pointer completion.
+            self.inst.complete_optimally(&mut rows, dev + 1, end);
+        }
+
+        // Prefix/suffix weight aggregates for O(1) child costs.
+        let mut prefix = Vec::with_capacity(m + 1);
+        prefix.push(R::identity());
+        for j in 0..m {
+            let w = self.inst.slot_weight(j, rows[j]);
+            let next = R::combine(&prefix[j], &w);
+            prefix.push(next);
+        }
+        let mut suffix = vec![R::identity(); m + 1];
+        for j in (0..m).rev() {
+            let w = self.inst.slot_weight(j, rows[j]);
+            suffix[j] = R::combine(&w, &suffix[j + 1]);
+        }
+        Solution {
+            rows,
+            prefix,
+            suffix,
+        }
+    }
+
+    /// Push all Lawler children of the solution at `sol_idx` (which was
+    /// produced by deviating at `dev` in `group` from `member`).
+    fn push_children(&mut self, sol_idx: u32, dev: usize, group: u32, member: MemberRef) {
+        let m = self.inst.num_slots();
+        for j in dev..m {
+            let (gj, base) = if j == dev {
+                (group, member)
+            } else {
+                let gj = self.inst.group_at(j, &self.arena[sol_idx as usize].rows);
+                let (bref, _, _) = self.orders[j][gj as usize].best();
+                (gj, bref)
+            };
+            let mut succ = std::mem::take(&mut self.succ_buf);
+            succ.clear();
+            self.orders[j][gj as usize].successors(base, &mut succ);
+            let end_j = self.inst.subtree_end[j];
+            for (sref, scost, _srow) in succ.drain(..) {
+                let sol = &self.arena[sol_idx as usize];
+                let cost = R::combine(&R::combine(&sol.prefix[j], &scost), &sol.suffix[end_j]);
+                self.seq += 1;
+                self.heap.push(Candidate {
+                    cost,
+                    seq: self.seq,
+                    parent: sol_idx,
+                    dev_slot: j as u32,
+                    group: gj,
+                    member: sref,
+                });
+            }
+            self.succ_buf = succ;
+        }
+        self.peak_pending = self.peak_pending.max(self.heap.len());
+    }
+}
+
+impl<R: RankingFunction> Iterator for AnyKPart<R> {
+    type Item = RankedAnswer<R::Cost>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cand = self.heap.pop()?;
+        let sol = self.materialize(&cand);
+        let sol_idx = self.arena.len() as u32;
+        let mut values = Vec::new();
+        self.inst.assemble(&sol.rows, &mut values);
+        self.arena.push(sol);
+        self.push_children(sol_idx, cand.dev_slot as usize, cand.group, cand.member);
+        self.emitted += 1;
+        Some(RankedAnswer {
+            cost: cand.cost,
+            values,
+        })
+    }
+}
+
+impl<R: RankingFunction> crate::answer::AnyK for AnyKPart<R> {
+    type Cost = R::Cost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{MaxCost, SumCost};
+    use anyk_query::cq::{path_query, star_query, ConjunctiveQuery};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+    use anyk_query::join_tree::JoinTree;
+    use anyk_storage::{Relation, RelationBuilder, Schema};
+
+    fn edge_rel(cols: [&str; 2], rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(cols));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+        match gyo_reduce(q) {
+            GyoResult::Acyclic(t) => t,
+            _ => panic!(),
+        }
+    }
+
+    fn two_path_instance() -> (ConjunctiveQuery, JoinTree, Vec<Relation>) {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(
+                ["a", "b"],
+                &[(1, 2, 1.0), (1, 3, 0.5), (4, 2, 0.25), (9, 9, 7.0)],
+            ),
+            edge_rel(
+                ["b", "c"],
+                &[(2, 5, 1.0), (2, 6, 0.125), (3, 7, 2.0), (8, 8, 1.0)],
+            ),
+        ];
+        (q, tree, rels)
+    }
+
+    fn enumerate_all(kind: SuccessorKind) -> Vec<(f64, Vec<i64>)> {
+        let (q, tree, rels) = two_path_instance();
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let anyk = AnyKPart::new(inst, kind);
+        anyk.map(|a| {
+            (
+                a.cost.get(),
+                a.values.iter().map(|v| v.int()).collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+    }
+
+    #[test]
+    fn all_variants_enumerate_in_order() {
+        // Join answers (a,b,c) and sum costs:
+        // (1,2,5)=2.0 (1,2,6)=1.125 (1,3,7)=2.5 (4,2,5)=1.25 (4,2,6)=0.375
+        let expected = vec![
+            (0.375, vec![4, 2, 6]),
+            (1.125, vec![1, 2, 6]),
+            (1.25, vec![4, 2, 5]),
+            (2.0, vec![1, 2, 5]),
+            (2.5, vec![1, 3, 7]),
+        ];
+        for kind in SuccessorKind::ALL_KINDS {
+            let got = enumerate_all(kind);
+            assert_eq!(got, expected, "variant {kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_instance_yields_nothing() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 0.0)]),
+            edge_rel(["b", "c"], &[(9, 1, 0.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let mut anyk = AnyKPart::new(inst, SuccessorKind::Lazy);
+        assert!(anyk.next().is_none());
+    }
+
+    #[test]
+    fn star_query_enumeration() {
+        let q = star_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["o", "p"], &[(1, 10, 1.0), (1, 11, 2.0)]),
+            edge_rel(["o", "q"], &[(1, 20, 4.0), (1, 21, 8.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let costs: Vec<f64> = AnyKPart::new(inst, SuccessorKind::Take2)
+            .map(|a| a.cost.get())
+            .collect();
+        assert_eq!(costs, vec![5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn max_ranking_enumeration() {
+        let (q, tree, rels) = two_path_instance();
+        let inst = TdpInstance::<MaxCost>::prepare(&q, &tree, rels).unwrap();
+        let costs: Vec<f64> = AnyKPart::new(inst, SuccessorKind::Eager)
+            .map(|a| a.cost.get())
+            .collect();
+        // max-costs of the five answers: (1,2,5)=1, (1,2,6)=1, (1,3,7)=2,
+        // (4,2,5)=1, (4,2,6)=0.25 -> sorted: .25, 1, 1, 1, 2.
+        assert_eq!(costs, vec![0.25, 1.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_are_enumerated_exactly_once() {
+        // All weights equal: every answer has the same cost; make sure
+        // no duplicates and no misses (tie-break correctness).
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0), (3, 2, 1.0), (4, 2, 1.0)]),
+            edge_rel(["b", "c"], &[(2, 5, 1.0), (2, 6, 1.0), (2, 7, 1.0)]),
+        ];
+        for kind in SuccessorKind::ALL_KINDS {
+            let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels.clone()).unwrap();
+            let mut seen: Vec<Vec<i64>> = AnyKPart::new(inst, kind)
+                .map(|a| a.values.iter().map(|v| v.int()).collect())
+                .collect();
+            assert_eq!(seen.len(), 9, "variant {kind:?}");
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 9, "duplicates under {kind:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // The first k answers must not depend on how far we enumerate.
+        let (q, tree, rels) = two_path_instance();
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels.clone()).unwrap();
+        let full: Vec<f64> = AnyKPart::new(inst, SuccessorKind::Quick)
+            .map(|a| a.cost.get())
+            .collect();
+        for k in 1..=full.len() {
+            let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels.clone()).unwrap();
+            let partial: Vec<f64> = AnyKPart::new(inst, SuccessorKind::Quick)
+                .take(k)
+                .map(|a| a.cost.get())
+                .collect();
+            assert_eq!(partial, full[..k]);
+        }
+    }
+}

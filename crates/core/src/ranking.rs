@@ -1,0 +1,271 @@
+//! Ranking functions as *selective dioids* (Part 3 of the paper: "What
+//! types of ranking functions can be supported efficiently?").
+//!
+//! A ranking function combines the weights of an answer's input tuples
+//! into a totally ordered cost. Any-k algorithms need exactly three
+//! properties, captured by [`RankingFunction`]:
+//!
+//! 1. a **total order** on costs (`Cost: Ord`),
+//! 2. an **associative combine** with identity (a monoid) — commutativity
+//!    is *not* required: all combines happen in the join tree's
+//!    serialization order, which is what lets [`LexCost`] work,
+//! 3. **monotonicity**: `a <= a'` implies `combine(a, b) <= combine(a',
+//!    b)` and `combine(b, a) <= combine(b, a')` — the principle of
+//!    optimality that dynamic programming needs.
+//!
+//! Together with the selective order (`min`) this is the "selective
+//! dioid" structure of the companion paper. Crucially, **no inverse is
+//! required**: T-DP's deviation costs are computed with prefix/suffix
+//! aggregates rather than subtraction, so `max` (which has no inverse)
+//! is supported.
+
+use anyk_storage::Weight;
+use std::fmt::Debug;
+
+/// A ranking function over tuple weights. See module docs for the laws;
+/// they are property-tested in this module.
+pub trait RankingFunction: Clone + 'static {
+    /// Totally ordered cost; smaller = better (ranked earlier).
+    type Cost: Clone + Ord + Debug;
+
+    /// Lift one tuple weight into a cost.
+    fn lift(w: Weight) -> Self::Cost;
+
+    /// The identity element of `combine`.
+    fn identity() -> Self::Cost;
+
+    /// Monotone associative combination (`⊗` of the dioid).
+    fn combine(a: &Self::Cost, b: &Self::Cost) -> Self::Cost;
+}
+
+/// Rank by the **sum** of tuple weights (the paper's default: "top-k
+/// lightest 4-cycles" sums edge weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumCost;
+
+impl RankingFunction for SumCost {
+    type Cost = Weight;
+
+    #[inline]
+    fn lift(w: Weight) -> Weight {
+        w
+    }
+
+    #[inline]
+    fn identity() -> Weight {
+        Weight::ZERO
+    }
+
+    #[inline]
+    fn combine(a: &Weight, b: &Weight) -> Weight {
+        Weight::new(a.get() + b.get())
+    }
+}
+
+/// Rank by the **maximum** tuple weight (bottleneck ranking). `max` has
+/// no inverse — this is the ranking function that rules out
+/// subtraction-based deviation costs and motivates the prefix/suffix
+/// formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxCost;
+
+impl RankingFunction for MaxCost {
+    type Cost = Weight;
+
+    #[inline]
+    fn lift(w: Weight) -> Weight {
+        w
+    }
+
+    #[inline]
+    fn identity() -> Weight {
+        Weight::new(f64::NEG_INFINITY)
+    }
+
+    #[inline]
+    fn combine(a: &Weight, b: &Weight) -> Weight {
+        (*a).max(*b)
+    }
+}
+
+/// Rank by the **minimum** tuple weight, ascending (answers whose best
+/// edge is lightest come first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinCost;
+
+impl RankingFunction for MinCost {
+    type Cost = Weight;
+
+    #[inline]
+    fn lift(w: Weight) -> Weight {
+        w
+    }
+
+    #[inline]
+    fn identity() -> Weight {
+        Weight::new(f64::INFINITY)
+    }
+
+    #[inline]
+    fn combine(a: &Weight, b: &Weight) -> Weight {
+        (*a).min(*b)
+    }
+}
+
+/// Rank by the **product** of tuple weights. Monotone only for
+/// non-negative weights — lifting a negative weight panics in debug
+/// builds (probability-style workloads satisfy this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProdCost;
+
+impl RankingFunction for ProdCost {
+    type Cost = Weight;
+
+    #[inline]
+    fn lift(w: Weight) -> Weight {
+        debug_assert!(w.get() >= 0.0, "ProdCost requires non-negative weights");
+        w
+    }
+
+    #[inline]
+    fn identity() -> Weight {
+        Weight::new(1.0)
+    }
+
+    #[inline]
+    fn combine(a: &Weight, b: &Weight) -> Weight {
+        Weight::new(a.get() * b.get())
+    }
+}
+
+/// **Lexicographic** ranking: compare the sequence of tuple weights in
+/// the join tree's serialization order, position by position. The cost
+/// is the concatenated weight vector; `combine` is concatenation —
+/// associative and monotone but *not* commutative, which is fine (see
+/// module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LexCost;
+
+impl RankingFunction for LexCost {
+    type Cost = Vec<Weight>;
+
+    #[inline]
+    fn lift(w: Weight) -> Vec<Weight> {
+        vec![w]
+    }
+
+    #[inline]
+    fn identity() -> Vec<Weight> {
+        Vec::new()
+    }
+
+    #[inline]
+    fn combine(a: &Vec<Weight>, b: &Vec<Weight>) -> Vec<Weight> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn w(x: f64) -> Weight {
+        Weight::new(x)
+    }
+
+    #[test]
+    fn sum_basics() {
+        let a = SumCost::lift(w(1.5));
+        let b = SumCost::lift(w(2.0));
+        assert_eq!(SumCost::combine(&a, &b), w(3.5));
+        assert_eq!(SumCost::combine(&a, &SumCost::identity()), a);
+    }
+
+    #[test]
+    fn max_basics() {
+        let a = MaxCost::lift(w(1.5));
+        let b = MaxCost::lift(w(2.0));
+        assert_eq!(MaxCost::combine(&a, &b), w(2.0));
+        assert_eq!(MaxCost::combine(&a, &MaxCost::identity()), a);
+    }
+
+    #[test]
+    fn min_basics() {
+        let a = MinCost::lift(w(1.5));
+        let b = MinCost::lift(w(2.0));
+        assert_eq!(MinCost::combine(&a, &b), w(1.5));
+        assert_eq!(MinCost::combine(&b, &MinCost::identity()), b);
+    }
+
+    #[test]
+    fn lex_ordering() {
+        let ab = LexCost::combine(&LexCost::lift(w(1.0)), &LexCost::lift(w(5.0)));
+        let ab2 = LexCost::combine(&LexCost::lift(w(1.0)), &LexCost::lift(w(2.0)));
+        let b = LexCost::combine(&LexCost::lift(w(2.0)), &LexCost::lift(w(0.0)));
+        assert!(ab2 < ab);
+        assert!(ab < b);
+        assert_eq!(LexCost::combine(&LexCost::identity(), &ab), ab);
+    }
+
+    /// Check monotonicity + associativity + identity for a dioid.
+    fn laws<R: RankingFunction>(xs: &[f64]) {
+        let costs: Vec<R::Cost> = xs.iter().map(|&x| R::lift(w(x))).collect();
+        for a in &costs {
+            // identity
+            assert_eq!(&R::combine(a, &R::identity()), a);
+            assert_eq!(&R::combine(&R::identity(), a), a);
+            for b in &costs {
+                for c in &costs {
+                    // associativity
+                    assert_eq!(
+                        R::combine(&R::combine(a, b), c),
+                        R::combine(a, &R::combine(b, c))
+                    );
+                    // monotonicity in both arguments
+                    if a <= b {
+                        assert!(R::combine(a, c) <= R::combine(b, c));
+                        assert!(R::combine(c, a) <= R::combine(c, b));
+                    }
+                }
+            }
+        }
+    }
+
+    // Weights are drawn as quarter-integers (dyadic rationals): float
+    // arithmetic on them is exact, so the associativity law can be
+    // checked with bitwise equality.
+    fn dyadic(xs: &[i32]) -> Vec<f64> {
+        xs.iter().map(|&x| x as f64 / 4.0).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn sum_laws(xs in prop::collection::vec(-400i32..400, 1..5)) {
+            laws::<SumCost>(&dyadic(&xs));
+        }
+
+        #[test]
+        fn max_laws(xs in prop::collection::vec(-400i32..400, 1..5)) {
+            laws::<MaxCost>(&dyadic(&xs));
+        }
+
+        #[test]
+        fn min_laws(xs in prop::collection::vec(-400i32..400, 1..5)) {
+            laws::<MinCost>(&dyadic(&xs));
+        }
+
+        #[test]
+        fn prod_laws(xs in prop::collection::vec(0i32..64, 1..5)) {
+            laws::<ProdCost>(&dyadic(&xs));
+        }
+
+        #[test]
+        fn lex_laws(xs in prop::collection::vec(-400i32..400, 1..5)) {
+            laws::<LexCost>(&dyadic(&xs));
+        }
+    }
+}

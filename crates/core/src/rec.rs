@@ -1,0 +1,444 @@
+//! ANYK-REC: ranked enumeration by *recursive enumeration* with
+//! memoization — the second major technique of Part 3, rooted in the
+//! k-shortest-path line of work (Hoffman–Pavley, Dreyfus, Bellman–
+//! Kalaba, Jiménez–Marzal) and rediscovered for conjunctive queries.
+//!
+//! Every (node, join-key group) owns a lazily extended, memoized,
+//! ranked **stream** of the solutions of its subtree:
+//!
+//! * a *group stream* merges the streams of its member tuples (a lazy
+//!   k-way merge seeded with the members' optimal subtree costs);
+//! * a *tuple stream* enumerates combinations of its children's group
+//!   streams in rank order (a lazy product enumeration with the classic
+//!   "increment coordinate `i` only if all earlier coordinates are 0"
+//!   de-duplication rule).
+//!
+//! Because streams are keyed by (slot, group), **suffix solutions are
+//! shared across all parent tuples with the same join key** — the
+//! memoization that makes REC asymptotically superior for large `k`
+//! (TT(last)), while ANYK-PART tends to win time-to-first. Neither
+//! dominates (§4 of the paper); experiment E9 reproduces the crossover.
+
+use crate::answer::RankedAnswer;
+use crate::ranking::RankingFunction;
+use crate::tdp::TdpInstance;
+use anyk_storage::RowId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Frontier entry of a group stream: the next unconsumed rank of one
+/// member's tuple stream.
+struct GroupCand<C> {
+    cost: C,
+    seq: u64,
+    row: RowId,
+    rank: u32,
+}
+
+/// Frontier entry of a tuple stream: a combination of child ranks.
+struct TupleCand<C> {
+    cost: C,
+    seq: u64,
+    ranks: Box<[u32]>,
+}
+
+macro_rules! impl_min_heap_ord {
+    ($t:ident) => {
+        impl<C: Ord> PartialEq for $t<C> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cost == other.cost && self.seq == other.seq
+            }
+        }
+        impl<C: Ord> Eq for $t<C> {}
+        impl<C: Ord> PartialOrd for $t<C> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<C: Ord> Ord for $t<C> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .cost
+                    .cmp(&self.cost)
+                    .then_with(|| other.seq.cmp(&self.seq))
+            }
+        }
+    };
+}
+impl_min_heap_ord!(GroupCand);
+impl_min_heap_ord!(TupleCand);
+
+/// Memoized ranked stream of one join-key group's subtree solutions.
+struct GroupStream<C> {
+    /// `(cost, member row, rank within that member's tuple stream)`.
+    mat: Vec<(C, RowId, u32)>,
+    frontier: BinaryHeap<GroupCand<C>>,
+    initialized: bool,
+}
+
+/// Memoized ranked stream of one tuple's subtree solutions.
+struct TupleStream<C> {
+    /// `(cost, child ranks)` — one rank per child slot.
+    mat: Vec<(C, Box<[u32]>)>,
+    frontier: BinaryHeap<TupleCand<C>>,
+    initialized: bool,
+}
+
+/// Ranked enumeration over a prepared [`TdpInstance`] via recursive
+/// enumeration with memoization. Implements [`Iterator`].
+///
+/// ```
+/// use anyk_core::{AnyKRec, SumCost, TdpInstance};
+/// use anyk_query::cq::path_query;
+/// use anyk_query::gyo::{gyo_reduce, GyoResult};
+/// use anyk_storage::{RelationBuilder, Schema};
+///
+/// let q = path_query(2);
+/// let tree = match gyo_reduce(&q) { GyoResult::Acyclic(t) => t, _ => unreachable!() };
+/// let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+/// r.push_ints(&[1, 2], 1.0);
+/// let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+/// s.push_ints(&[2, 3], 2.0);
+/// s.push_ints(&[2, 4], 0.5);
+/// let inst = TdpInstance::<SumCost>::prepare(&q, &tree, vec![r.finish(), s.finish()]).unwrap();
+/// let costs: Vec<f64> = AnyKRec::new(inst).map(|a| a.cost.get()).collect();
+/// assert_eq!(costs, vec![1.5, 3.0]);
+/// ```
+pub struct AnyKRec<R: RankingFunction> {
+    inst: TdpInstance<R>,
+    /// slot -> base offset into `gstreams` (flat id = base + group id).
+    group_base: Vec<usize>,
+    /// slot -> base offset into `tstreams` (flat id = base + row id).
+    tuple_base: Vec<usize>,
+    gstreams: Vec<GroupStream<R::Cost>>,
+    tstreams: Vec<TupleStream<R::Cost>>,
+    /// slot of each group stream / tuple stream (parallel arrays).
+    gslot: Vec<usize>,
+    tslot: Vec<usize>,
+    next_rank: usize,
+    seq: u64,
+}
+
+impl<R: RankingFunction> AnyKRec<R> {
+    /// Build the enumerator (stream shells only — constant work beyond
+    /// the T-DP preprocessing already paid in `inst`).
+    pub fn new(inst: TdpInstance<R>) -> Self {
+        let m = inst.num_slots();
+        let mut group_base = Vec::with_capacity(m);
+        let mut tuple_base = Vec::with_capacity(m);
+        let mut gslot = Vec::new();
+        let mut tslot = Vec::new();
+        let (mut gtotal, mut ttotal) = (0usize, 0usize);
+        for s in 0..m {
+            group_base.push(gtotal);
+            tuple_base.push(ttotal);
+            let ngroups = if inst.is_empty() { 0 } else { inst.groups[s].len() };
+            let nrows = if inst.is_empty() {
+                0
+            } else {
+                inst.rels[inst.atom_of_slot[s]].len()
+            };
+            gtotal += ngroups;
+            ttotal += nrows;
+            gslot.extend(std::iter::repeat(s).take(ngroups));
+            tslot.extend(std::iter::repeat(s).take(nrows));
+        }
+        let gstreams = (0..gtotal)
+            .map(|_| GroupStream {
+                mat: Vec::new(),
+                frontier: BinaryHeap::new(),
+                initialized: false,
+            })
+            .collect();
+        let tstreams = (0..ttotal)
+            .map(|_| TupleStream {
+                mat: Vec::new(),
+                frontier: BinaryHeap::new(),
+                initialized: false,
+            })
+            .collect();
+        AnyKRec {
+            inst,
+            group_base,
+            tuple_base,
+            gstreams,
+            tstreams,
+            gslot,
+            tslot,
+            next_rank: 0,
+            seq: 0,
+        }
+    }
+
+    /// Access the underlying instance.
+    pub fn instance(&self) -> &TdpInstance<R> {
+        &self.inst
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// The cost of rank `r` of group stream `gid`, extending lazily.
+    fn group_cost(&mut self, gid: usize, r: usize) -> Option<R::Cost> {
+        self.ensure_group_init(gid);
+        loop {
+            if let Some((c, _, _)) = self.gstreams[gid].mat.get(r) {
+                return Some(c.clone());
+            }
+            let cand = self.gstreams[gid].frontier.pop()?;
+            self.gstreams[gid]
+                .mat
+                .push((cand.cost, cand.row, cand.rank));
+            // Schedule the same member's next rank.
+            let slot = self.gslot[gid];
+            if let Some(nc) = self.tuple_cost(slot, cand.row, cand.rank as usize + 1) {
+                let seq = self.bump();
+                self.gstreams[gid].frontier.push(GroupCand {
+                    cost: nc,
+                    seq,
+                    row: cand.row,
+                    rank: cand.rank + 1,
+                });
+            }
+        }
+    }
+
+    /// The cost of rank `r` of the tuple stream for `row` at `slot`.
+    fn tuple_cost(&mut self, slot: usize, row: RowId, r: usize) -> Option<R::Cost> {
+        let tid = self.tuple_base[slot] + row as usize;
+        self.ensure_tuple_init(tid);
+        loop {
+            if let Some((c, _)) = self.tstreams[tid].mat.get(r) {
+                return Some(c.clone());
+            }
+            let cand = self.tstreams[tid].frontier.pop()?;
+            let ranks = cand.ranks.clone();
+            self.tstreams[tid].mat.push((cand.cost, cand.ranks));
+            // Children combos: increment coordinate i only if all
+            // earlier coordinates are 0 (unique-predecessor rule).
+            let child_slots = self.inst.child_slots[slot].clone();
+            for i in 0..ranks.len() {
+                if ranks[..i].iter().any(|&x| x != 0) {
+                    break;
+                }
+                let mut nr = ranks.clone();
+                nr[i] += 1;
+                // Cost = w(row) ⊗ child costs in serialization order.
+                let ci_gid = self.child_gid(slot, row, child_slots[i]);
+                if self.group_cost(ci_gid, nr[i] as usize).is_none() {
+                    continue; // child stream exhausted at this rank
+                }
+                let mut cost = self.inst.slot_weight(slot, row);
+                let mut ok = true;
+                for (j, &cs) in child_slots.iter().enumerate() {
+                    let gj = self.child_gid(slot, row, cs);
+                    match self.group_cost(gj, nr[j] as usize) {
+                        Some(c) => cost = R::combine(&cost, &c),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let seq = self.bump();
+                    self.tstreams[tid].frontier.push(TupleCand {
+                        cost,
+                        seq,
+                        ranks: nr,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Flat id of the group stream of child slot `cs` under `row` at
+    /// `slot`.
+    #[inline]
+    fn child_gid(&self, _slot: usize, row: RowId, cs: usize) -> usize {
+        self.group_base[cs] + self.inst.group_of_parent_row[cs][row as usize] as usize
+    }
+
+    fn ensure_group_init(&mut self, gid: usize) {
+        if self.gstreams[gid].initialized {
+            return;
+        }
+        self.gstreams[gid].initialized = true;
+        let slot = self.gslot[gid];
+        let group = gid - self.group_base[slot];
+        // Seed with every member at rank 0; rank-0 cost of a tuple
+        // stream is exactly the DP subcost — no recursion needed.
+        let members = self.inst.groups[slot][group].clone();
+        for row in members {
+            let cost = self.inst.subcost[slot][row as usize].clone();
+            let seq = self.bump();
+            self.gstreams[gid].frontier.push(GroupCand {
+                cost,
+                seq,
+                row,
+                rank: 0,
+            });
+        }
+    }
+
+    fn ensure_tuple_init(&mut self, tid: usize) {
+        if self.tstreams[tid].initialized {
+            return;
+        }
+        self.tstreams[tid].initialized = true;
+        let slot = self.tslot[tid];
+        let row = (tid - self.tuple_base[slot]) as RowId;
+        let child_slots = self.inst.child_slots[slot].clone();
+        if child_slots.is_empty() {
+            // Leaf: single solution = the tuple itself.
+            let cost = self.inst.slot_weight(slot, row);
+            self.tstreams[tid].mat.push((cost, Box::from([])));
+            return;
+        }
+        // Initial combo (0, ..., 0): w(row) ⊗ each child group's best.
+        let mut cost = self.inst.slot_weight(slot, row);
+        for &cs in &child_slots {
+            let g = self.inst.group_of_parent_row[cs][row as usize] as usize;
+            cost = R::combine(&cost, &self.inst.group_best[cs][g].0);
+        }
+        let seq = self.bump();
+        let ranks: Box<[u32]> = vec![0u32; child_slots.len()].into_boxed_slice();
+        self.tstreams[tid].frontier.push(TupleCand { cost, seq, ranks });
+    }
+
+    /// Collect the chosen row per slot for rank `rank` of group stream
+    /// `gid` (all required entries are already materialized).
+    fn assemble_rows(&self, gid: usize, rank: usize, rows: &mut [RowId]) {
+        let slot = self.gslot[gid];
+        let (_, row, trank) = self.gstreams[gid].mat[rank];
+        rows[slot] = row;
+        let tid = self.tuple_base[slot] + row as usize;
+        let (_, ref child_ranks) = self.tstreams[tid].mat[trank as usize];
+        for (i, &cs) in self.inst.child_slots[slot].iter().enumerate() {
+            let cgid = self.child_gid(slot, row, cs);
+            self.assemble_rows(cgid, child_ranks[i] as usize, rows);
+        }
+    }
+}
+
+impl<R: RankingFunction> Iterator for AnyKRec<R> {
+    type Item = RankedAnswer<R::Cost>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.inst.is_empty() {
+            return None;
+        }
+        let root_gid = self.group_base[0]; // slot 0, group 0
+        let r = self.next_rank;
+        let cost = self.group_cost(root_gid, r)?;
+        self.next_rank += 1;
+        let mut rows = vec![0 as RowId; self.inst.num_slots()];
+        self.assemble_rows(root_gid, r, &mut rows);
+        let mut values = Vec::new();
+        self.inst.assemble(&rows, &mut values);
+        Some(RankedAnswer { cost, values })
+    }
+}
+
+impl<R: RankingFunction> crate::answer::AnyK for AnyKRec<R> {
+    type Cost = R::Cost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::part::AnyKPart;
+    use crate::ranking::{MaxCost, SumCost};
+    use crate::succorder::SuccessorKind;
+    use anyk_query::cq::{path_query, star_query, ConjunctiveQuery};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+    use anyk_query::join_tree::JoinTree;
+    use anyk_storage::{Relation, RelationBuilder, Schema};
+
+    fn edge_rel(cols: [&str; 2], rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(cols));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+        match gyo_reduce(q) {
+            GyoResult::Acyclic(t) => t,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn matches_part_on_path() {
+        let q = path_query(3);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0), (1, 3, 0.5), (2, 2, 0.75)]),
+            edge_rel(["b", "c"], &[(2, 5, 1.0), (2, 6, 0.125), (3, 5, 2.0)]),
+            edge_rel(["c", "d"], &[(5, 8, 0.25), (6, 8, 1.5), (5, 9, 0.5)]),
+        ];
+        let inst1 = TdpInstance::<SumCost>::prepare(&q, &tree, rels.clone()).unwrap();
+        let inst2 = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let part: Vec<_> = AnyKPart::new(inst1, SuccessorKind::Lazy)
+            .map(|a| (a.cost, a.values))
+            .collect();
+        let rec: Vec<_> = AnyKRec::new(inst2).map(|a| (a.cost, a.values)).collect();
+        assert_eq!(part.len(), rec.len());
+        // Costs must agree position-wise; values may differ among ties.
+        for (p, r) in part.iter().zip(&rec) {
+            assert_eq!(p.0, r.0);
+        }
+        // As sets, identical.
+        let mut pv: Vec<_> = part.into_iter().map(|x| x.1).collect();
+        let mut rv: Vec<_> = rec.into_iter().map(|x| x.1).collect();
+        pv.sort();
+        rv.sort();
+        assert_eq!(pv, rv);
+    }
+
+    #[test]
+    fn matches_part_on_star_with_max() {
+        let q = star_query(3);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["o", "a"], &[(1, 10, 1.0), (1, 11, 3.0), (2, 12, 2.0)]),
+            edge_rel(["o", "b"], &[(1, 20, 5.0), (1, 21, 0.5), (2, 22, 2.5)]),
+            edge_rel(["o", "c"], &[(1, 30, 4.0), (2, 31, 1.0), (2, 32, 6.0)]),
+        ];
+        let inst1 = TdpInstance::<MaxCost>::prepare(&q, &tree, rels.clone()).unwrap();
+        let inst2 = TdpInstance::<MaxCost>::prepare(&q, &tree, rels).unwrap();
+        let part: Vec<f64> = AnyKPart::new(inst1, SuccessorKind::Eager)
+            .map(|a| a.cost.get())
+            .collect();
+        let rec: Vec<f64> = AnyKRec::new(inst2).map(|a| a.cost.get()).collect();
+        assert_eq!(part, rec);
+        assert!(!part.is_empty());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 0.0)]),
+            edge_rel(["b", "c"], &[(7, 1, 0.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let mut rec = AnyKRec::new(inst);
+        assert!(rec.next().is_none());
+    }
+
+    #[test]
+    fn single_atom() {
+        let q = anyk_query::cq::QueryBuilder::new().atom("R", &["a", "b"]).build();
+        let tree = tree_of(&q);
+        let rels = vec![edge_rel(["a", "b"], &[(1, 2, 2.0), (3, 4, 1.0), (5, 6, 3.0)])];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let costs: Vec<f64> = AnyKRec::new(inst).map(|a| a.cost.get()).collect();
+        assert_eq!(costs, vec![1.0, 2.0, 3.0]);
+    }
+}

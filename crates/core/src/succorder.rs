@@ -1,0 +1,409 @@
+//! Successor orders over join-key groups — the five ANYK-PART variants.
+//!
+//! Lawler–Murty deviations replace one tuple with the "next" tuple in
+//! its group. How each group organizes its members determines the
+//! preprocessing/enumeration trade-off (the companion paper's variants):
+//!
+//! * [`SuccessorKind::Eager`]  — fully sort each group upfront; successor
+//!   = next in sorted order (one successor per pop, sort paid upfront).
+//! * [`SuccessorKind::All`]    — no order at all: the minimum's successors
+//!   are *all* other members (cheap build, floods the queue).
+//! * [`SuccessorKind::Take2`]  — binary min-heap layout: each member's
+//!   successors are its ≤ 2 heap children (cheap build, two per pop).
+//! * [`SuccessorKind::Lazy`]   — incremental heapsort: a sorted prefix is
+//!   materialized on demand from a heap (successor = next rank).
+//! * [`SuccessorKind::Quick`]  — incremental quicksort (IQS): ranks are
+//!   materialized by lazily partitioning.
+//!
+//! Correctness requirement (Lawler): every member must be reachable from
+//! the group minimum through a successor chain with non-decreasing
+//! costs. All five satisfy it; property tests below check both
+//! reachability and monotonicity.
+
+use anyk_storage::RowId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which successor organization to use (the ANYK-PART variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuccessorKind {
+    /// Sort groups at preprocessing time.
+    Eager,
+    /// Star from the minimum to everything else.
+    All,
+    /// Binary-heap children.
+    Take2,
+    /// Incremental heapsort.
+    Lazy,
+    /// Incremental quicksort.
+    Quick,
+}
+
+impl SuccessorKind {
+    /// All variants, for experiments and tests.
+    pub const ALL_KINDS: [SuccessorKind; 5] = [
+        SuccessorKind::Eager,
+        SuccessorKind::All,
+        SuccessorKind::Take2,
+        SuccessorKind::Lazy,
+        SuccessorKind::Quick,
+    ];
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuccessorKind::Eager => "Eager",
+            SuccessorKind::All => "All",
+            SuccessorKind::Take2 => "Take2",
+            SuccessorKind::Lazy => "Lazy",
+            SuccessorKind::Quick => "Quick",
+        }
+    }
+}
+
+/// A member reference within a group order. Its meaning is
+/// variant-specific (rank for Eager/Lazy/Quick, array index for
+/// All/Take2); treat as opaque.
+pub type MemberRef = u32;
+
+/// A group's members organized for successor queries.
+#[derive(Debug)]
+pub struct GroupOrder<C> {
+    kind: SuccessorKind,
+    /// Member storage; layout depends on `kind`:
+    /// * Eager: sorted ascending;
+    /// * All: unsorted, `best` holds the argmin;
+    /// * Take2: binary min-heap array;
+    /// * Lazy: `items[..materialized]` sorted, the rest live in `heap`;
+    /// * Quick: partially sorted by IQS, `items[..materialized]` final.
+    items: Vec<(C, RowId)>,
+    /// All: argmin index. Others: unused.
+    best: u32,
+    /// Lazy/Quick: how many leading ranks are final.
+    materialized: usize,
+    /// Lazy: pending members.
+    heap: BinaryHeap<Reverse<(C, RowId)>>,
+    /// Quick: IQS segment stack (exclusive segment ends; top = current).
+    stack: Vec<usize>,
+}
+
+impl<C: Clone + Ord> GroupOrder<C> {
+    /// Organize `members` under `kind`. `members` must be non-empty
+    /// (the full reducer guarantees non-empty groups).
+    pub fn build(kind: SuccessorKind, mut members: Vec<(C, RowId)>) -> Self {
+        assert!(!members.is_empty(), "groups are non-empty after reduction");
+        let mut best = 0u32;
+        let mut heap = BinaryHeap::new();
+        let mut stack = Vec::new();
+        let mut materialized = 0usize;
+        match kind {
+            SuccessorKind::Eager => {
+                members.sort();
+                materialized = members.len();
+            }
+            SuccessorKind::All => {
+                best = argmin(&members) as u32;
+            }
+            SuccessorKind::Take2 => {
+                heapify(&mut members);
+            }
+            SuccessorKind::Lazy => {
+                heap = members.drain(..).map(Reverse).collect();
+            }
+            SuccessorKind::Quick => {
+                stack.push(members.len());
+            }
+        }
+        GroupOrder {
+            kind,
+            items: members,
+            best,
+            materialized,
+            heap,
+            stack,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            SuccessorKind::Lazy => self.items.len() + self.heap.len(),
+            _ => self.items.len(),
+        }
+    }
+
+    /// True iff no members (cannot happen for built groups).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The minimum member.
+    pub fn best(&mut self) -> (MemberRef, C, RowId) {
+        match self.kind {
+            SuccessorKind::Eager | SuccessorKind::Take2 => {
+                let (c, r) = self.items[0].clone();
+                (0, c, r)
+            }
+            SuccessorKind::All => {
+                let (c, r) = self.items[self.best as usize].clone();
+                (self.best, c, r)
+            }
+            SuccessorKind::Lazy | SuccessorKind::Quick => {
+                self.ensure_rank(0);
+                let (c, r) = self.items[0].clone();
+                (0, c, r)
+            }
+        }
+    }
+
+    /// Push `m`'s successors into `out` as `(ref, cost, row)`.
+    pub fn successors(&mut self, m: MemberRef, out: &mut Vec<(MemberRef, C, RowId)>) {
+        match self.kind {
+            SuccessorKind::Eager => {
+                let next = m as usize + 1;
+                if next < self.items.len() {
+                    let (c, r) = self.items[next].clone();
+                    out.push((next as u32, c, r));
+                }
+            }
+            SuccessorKind::All => {
+                if m == self.best {
+                    for (i, (c, r)) in self.items.iter().enumerate() {
+                        if i as u32 != self.best {
+                            out.push((i as u32, c.clone(), *r));
+                        }
+                    }
+                }
+            }
+            SuccessorKind::Take2 => {
+                for child in [2 * m as usize + 1, 2 * m as usize + 2] {
+                    if child < self.items.len() {
+                        let (c, r) = self.items[child].clone();
+                        out.push((child as u32, c, r));
+                    }
+                }
+            }
+            SuccessorKind::Lazy | SuccessorKind::Quick => {
+                let next = m as usize + 1;
+                if next < self.len() {
+                    self.ensure_rank(next);
+                    let (c, r) = self.items[next].clone();
+                    out.push((next as u32, c, r));
+                }
+            }
+        }
+    }
+
+    /// The member behind `m` (must have been yielded by `best` or
+    /// `successors` already).
+    pub fn member(&self, m: MemberRef) -> (&C, RowId) {
+        let (c, r) = &self.items[m as usize];
+        (c, *r)
+    }
+
+    /// Materialize ranks up to `rank` (Lazy and Quick only).
+    fn ensure_rank(&mut self, rank: usize) {
+        match self.kind {
+            SuccessorKind::Lazy => {
+                while self.materialized <= rank {
+                    let Reverse(item) = self.heap.pop().expect("rank in bounds");
+                    self.items.push(item);
+                    self.materialized += 1;
+                }
+            }
+            SuccessorKind::Quick => {
+                // Incremental quicksort: refine segments until
+                // items[..=rank] is final.
+                while self.materialized <= rank {
+                    // Drop completed segments.
+                    while self.stack.last() == Some(&self.materialized) {
+                        self.stack.pop();
+                    }
+                    let end = *self.stack.last().expect("rank in bounds");
+                    let start = self.materialized;
+                    debug_assert!(start < end);
+                    if end - start <= 12 {
+                        self.items[start..end].sort();
+                        self.materialized = end;
+                        self.stack.pop();
+                    } else {
+                        let p = partition(&mut self.items, start, end);
+                        if p == start {
+                            // Pivot is the segment minimum: final.
+                            self.materialized += 1;
+                        } else {
+                            self.stack.push(p);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Index of the minimum element.
+fn argmin<C: Ord>(items: &[(C, RowId)]) -> usize {
+    let mut best = 0;
+    for i in 1..items.len() {
+        if items[i] < items[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// In-place binary min-heapify (sift-down from the last parent).
+fn heapify<C: Ord>(items: &mut [(C, RowId)]) {
+    let n = items.len();
+    for i in (0..n / 2).rev() {
+        sift_down(items, i);
+    }
+}
+
+fn sift_down<C: Ord>(items: &mut [(C, RowId)], mut i: usize) {
+    let n = items.len();
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut small = i;
+        if l < n && items[l] < items[small] {
+            small = l;
+        }
+        if r < n && items[r] < items[small] {
+            small = r;
+        }
+        if small == i {
+            return;
+        }
+        items.swap(i, small);
+        i = small;
+    }
+}
+
+/// Hoare-style partition with middle pivot; returns the pivot's final
+/// index. `[start, p)` < pivot <= `[p, end)` with pivot at `p`.
+fn partition<C: Ord>(items: &mut [(C, RowId)], start: usize, end: usize) -> usize {
+    let mid = start + (end - start) / 2;
+    items.swap(mid, end - 1);
+    let mut store = start;
+    for i in start..end - 1 {
+        if items[i] < items[end - 1] {
+            items.swap(i, store);
+            store += 1;
+        }
+    }
+    items.swap(store, end - 1);
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn collect_all(kind: SuccessorKind, xs: &[i64]) -> Vec<i64> {
+        let members: Vec<(i64, RowId)> =
+            xs.iter().enumerate().map(|(i, &x)| (x, i as RowId)).collect();
+        let mut g = GroupOrder::build(kind, members);
+        // BFS over the successor DAG from the minimum.
+        let mut out = Vec::new();
+        let mut frontier = vec![g.best()];
+        let mut succ = Vec::new();
+        while let Some((m, c, _row)) = frontier.pop() {
+            out.push(c);
+            succ.clear();
+            g.successors(m, &mut succ);
+            for (s, sc, sr) in succ.drain(..) {
+                frontier.push((s, sc, sr));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn eager_is_sorted_chain() {
+        let got = collect_all(SuccessorKind::Eager, &[5, 1, 4, 2, 3]);
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn lazy_is_sorted_chain() {
+        let got = collect_all(SuccessorKind::Lazy, &[5, 1, 4, 2, 3]);
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn quick_is_sorted_chain() {
+        let got = collect_all(SuccessorKind::Quick, &[5, 1, 4, 2, 3, 9, 0, 7, 8, 6]);
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn all_star_reaches_everything() {
+        let mut got = collect_all(SuccessorKind::All, &[5, 1, 4]);
+        got.sort();
+        assert_eq!(got, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn take2_heap_property() {
+        let xs = [9, 3, 7, 1, 8, 2, 6];
+        let members: Vec<(i64, RowId)> =
+            xs.iter().enumerate().map(|(i, &x)| (x, i as RowId)).collect();
+        let mut g = GroupOrder::build(SuccessorKind::Take2, members);
+        let (b, c, _) = g.best();
+        assert_eq!(c, 1);
+        // Children of any member are >= the member.
+        let mut stack = vec![(b, c)];
+        let mut succ = Vec::new();
+        while let Some((m, c)) = stack.pop() {
+            succ.clear();
+            g.successors(m, &mut succ);
+            for (s, sc, _) in succ.drain(..) {
+                assert!(sc >= c, "heap order violated");
+                stack.push((s, sc));
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_group() {
+        for kind in SuccessorKind::ALL_KINDS {
+            let got = collect_all(kind, &[42]);
+            assert_eq!(got, vec![42], "{kind:?}");
+        }
+    }
+
+    proptest! {
+        /// Every variant enumerates exactly the multiset of members,
+        /// reachable from the minimum, with monotone successor chains.
+        #[test]
+        fn reachability_and_monotonicity(
+            kind_idx in 0usize..5,
+            xs in prop::collection::vec(-1000i64..1000, 1..60),
+        ) {
+            let kind = SuccessorKind::ALL_KINDS[kind_idx];
+            let members: Vec<(i64, RowId)> =
+                xs.iter().enumerate().map(|(i, &x)| (x, i as RowId)).collect();
+            let mut g = GroupOrder::build(kind, members);
+            let mut seen: Vec<i64> = Vec::new();
+            let best = g.best();
+            prop_assert_eq!(best.1, *xs.iter().min().unwrap());
+            let mut frontier = vec![best];
+            let mut succ = Vec::new();
+            while let Some((m, c, _)) = frontier.pop() {
+                seen.push(c);
+                succ.clear();
+                g.successors(m, &mut succ);
+                for (s, sc, sr) in succ.drain(..) {
+                    prop_assert!(sc >= c, "successor cost decreased");
+                    frontier.push((s, sc, sr));
+                }
+            }
+            let mut expect = xs.clone();
+            expect.sort();
+            seen.sort();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! T-DP: tree-based dynamic programming over join trees — the shared
+//! preprocessing phase of every any-k algorithm (Part 3 of the paper,
+//! following the companion VLDB 2020 paper).
+//!
+//! Given an acyclic full CQ, a join tree, and weighted relations:
+//!
+//! 1. **Full reducer** — establish global consistency so every tuple
+//!    participates in ≥ 1 answer (dangling tuples would break both the
+//!    DP and the constant-delay completion argument).
+//! 2. **Serialization** — nodes in pre-order; each subtree occupies a
+//!    contiguous slot range `[j, end(j))`, which is what makes O(1)
+//!    deviation costs possible without cost subtraction.
+//! 3. **Grouping** — for each non-root node, tuples are grouped by join
+//!    key with the parent; a parent tuple points to exactly one group
+//!    per child.
+//! 4. **Bottom-up costs** — `subcost(t) = w(t) ⊗ best(g₁) ⊗ … ⊗
+//!    best(g_d)` over `t`'s child groups, combined in serialization
+//!    order (supports non-commutative rankings like lexicographic).
+//!
+//! An answer is one tuple per slot, consistent with the group structure;
+//! its cost is the ⊗ of tuple weights in slot order. The top-1 answer
+//! follows best-pointers from the root; ranked enumeration on top of
+//! this structure is [`crate::part`] / [`crate::rec`].
+
+use crate::ranking::RankingFunction;
+use anyk_join::semijoin::{full_reducer, join_key_positions};
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::join_tree::JoinTree;
+use anyk_storage::{FxHashMap, HashIndex, Relation, RowId, Value};
+
+/// Errors from T-DP preparation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdpError {
+    /// The tree does not have one node per atom.
+    TreeAtomMismatch,
+}
+
+/// The prepared T-DP state (see module docs). Fields are crate-visible:
+/// `part` and `rec` build their enumeration structures directly on it.
+pub struct TdpInstance<R: RankingFunction> {
+    pub(crate) query: ConjunctiveQuery,
+    pub(crate) tree: JoinTree,
+    /// Reduced relations (parallel to atoms).
+    pub(crate) rels: Vec<Relation>,
+    /// slot -> node id (pre-order).
+    pub(crate) slots: Vec<usize>,
+    /// slot -> atom index (== node's atom).
+    pub(crate) atom_of_slot: Vec<usize>,
+    /// slot -> parent slot (`usize::MAX` for the root slot 0).
+    pub(crate) parent_slot: Vec<usize>,
+    /// slot -> first slot after its subtree (pre-order contiguity).
+    pub(crate) subtree_end: Vec<usize>,
+    /// slot -> child slots in serialization order.
+    pub(crate) child_slots: Vec<Vec<usize>>,
+    /// slot -> group -> member rows. Slot 0 has a single group 0.
+    pub(crate) groups: Vec<Vec<Vec<RowId>>>,
+    /// slot (> 0) -> parent row id -> group id in this slot.
+    pub(crate) group_of_parent_row: Vec<Vec<u32>>,
+    /// slot -> row id -> optimal subtree cost through that row.
+    pub(crate) subcost: Vec<Vec<R::Cost>>,
+    /// slot -> group -> (best member cost, best member row).
+    pub(crate) group_best: Vec<Vec<(R::Cost, RowId)>>,
+    /// True iff the (reduced) query has no answers.
+    pub(crate) empty: bool,
+}
+
+impl<R: RankingFunction> TdpInstance<R> {
+    /// Run the preprocessing phase. `rels` are consumed (reduced in
+    /// place). The query/tree must describe an acyclic join (one tree
+    /// node per atom, running-intersection holds — as produced by
+    /// [`anyk_query::gyo::gyo_reduce`]).
+    pub fn prepare(
+        q: &ConjunctiveQuery,
+        tree: &JoinTree,
+        mut rels: Vec<Relation>,
+    ) -> Result<Self, TdpError> {
+        if tree.len() != q.num_atoms() || rels.len() != q.num_atoms() {
+            return Err(TdpError::TreeAtomMismatch);
+        }
+        full_reducer(q, tree, &mut rels);
+        let empty = rels.iter().any(|r| r.is_empty());
+
+        let slots = tree.preorder();
+        let m = slots.len();
+        let mut slot_of_node = vec![usize::MAX; m];
+        for (s, &n) in slots.iter().enumerate() {
+            slot_of_node[n] = s;
+        }
+        let atom_of_slot: Vec<usize> = slots.iter().map(|&n| tree.node(n).atom).collect();
+        let parent_slot: Vec<usize> = slots
+            .iter()
+            .map(|&n| tree.node(n).parent.map_or(usize::MAX, |p| slot_of_node[p]))
+            .collect();
+        let child_slots: Vec<Vec<usize>> = slots
+            .iter()
+            .map(|&n| {
+                let mut cs: Vec<usize> = tree.node(n).children.iter().map(|&c| slot_of_node[c]).collect();
+                cs.sort_unstable(); // serialization order
+                cs
+            })
+            .collect();
+        // subtree_end: max slot in subtree + 1, computable right-to-left.
+        let mut subtree_end = vec![0usize; m];
+        for s in (0..m).rev() {
+            let mut end = s + 1;
+            for &c in &child_slots[s] {
+                end = end.max(subtree_end[c]);
+            }
+            subtree_end[s] = end;
+        }
+
+        // Grouping (skip entirely for empty instances).
+        let mut groups: Vec<Vec<Vec<RowId>>> = vec![Vec::new(); m];
+        let mut group_of_parent_row: Vec<Vec<u32>> = vec![Vec::new(); m];
+        if !empty {
+            for s in 0..m {
+                let atom = atom_of_slot[s];
+                if s == 0 {
+                    groups[0] = vec![(0..rels[atom].len() as RowId).collect()];
+                    continue;
+                }
+                let node = slots[s];
+                let (cpos, ppos) = join_key_positions(q, tree, node);
+                let idx = HashIndex::build(&rels[atom], &cpos);
+                // Assign group ids in index iteration order.
+                let mut gid_of_key: FxHashMap<Vec<Value>, u32> = FxHashMap::default();
+                gid_of_key.reserve(idx.num_keys());
+                let mut slot_groups: Vec<Vec<RowId>> = Vec::with_capacity(idx.num_keys());
+                for (key, members) in idx.iter() {
+                    gid_of_key.insert(key.to_vec(), slot_groups.len() as u32);
+                    slot_groups.push(members.to_vec());
+                }
+                // Parent row -> group id (must exist post-reduction).
+                let patom = atom_of_slot[parent_slot[s]];
+                let prel = &rels[patom];
+                let mut key = Vec::with_capacity(ppos.len());
+                let mut map = Vec::with_capacity(prel.len());
+                for prow in 0..prel.len() as RowId {
+                    prel.key_into(prow, &ppos, &mut key);
+                    let gid = *gid_of_key
+                        .get(&key)
+                        .expect("full reducer guarantees a matching group");
+                    map.push(gid);
+                }
+                groups[s] = slot_groups;
+                group_of_parent_row[s] = map;
+            }
+        }
+
+        // Bottom-up subtree costs + per-group bests.
+        let mut subcost: Vec<Vec<R::Cost>> = vec![Vec::new(); m];
+        let mut group_best: Vec<Vec<(R::Cost, RowId)>> = vec![Vec::new(); m];
+        if !empty {
+            for s in (0..m).rev() {
+                let atom = atom_of_slot[s];
+                let rel = &rels[atom];
+                let mut costs: Vec<R::Cost> = Vec::with_capacity(rel.len());
+                for row in 0..rel.len() as RowId {
+                    let mut c = R::lift(rel.weight(row));
+                    for &cs in &child_slots[s] {
+                        let gid = group_of_parent_row[cs][row as usize] as usize;
+                        c = R::combine(&c, &group_best[cs][gid].0);
+                    }
+                    costs.push(c);
+                }
+                // Group bests for this slot. Ties MUST break by row id:
+                // the Lawler partition in `part` assumes the completion
+                // chosen here is the exact member the successor orders
+                // call "best" — `GroupOrder` compares `(cost, row)`
+                // tuples, so we do too.
+                let mut bests: Vec<(R::Cost, RowId)> = Vec::with_capacity(groups[s].len());
+                for members in &groups[s] {
+                    debug_assert!(!members.is_empty());
+                    let mut best = (costs[members[0] as usize].clone(), members[0]);
+                    for &r in &members[1..] {
+                        let c = &costs[r as usize];
+                        if (c, r) < (&best.0, best.1) {
+                            best = (c.clone(), r);
+                        }
+                    }
+                    bests.push(best);
+                }
+                subcost[s] = costs;
+                group_best[s] = bests;
+            }
+        }
+
+        Ok(TdpInstance {
+            query: q.clone(),
+            tree: tree.clone(),
+            rels,
+            slots,
+            atom_of_slot,
+            parent_slot,
+            subtree_end,
+            child_slots,
+            groups,
+            group_of_parent_row,
+            subcost,
+            group_best,
+            empty,
+        })
+    }
+
+    /// Number of slots (= atoms = join-tree nodes).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The query this instance answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The join tree driving the DP.
+    pub fn join_tree(&self) -> &JoinTree {
+        &self.tree
+    }
+
+    /// Total rows across the (reduced) relations — the preprocessing
+    /// input size `n` reported by experiments.
+    pub fn reduced_input_size(&self) -> usize {
+        self.rels.iter().map(|r| r.len()).sum()
+    }
+
+    /// True iff the query has no answers on this database.
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// The cost of the top-ranked answer, if any.
+    pub fn top1_cost(&self) -> Option<R::Cost> {
+        if self.empty {
+            None
+        } else {
+            Some(self.group_best[0][0].0.clone())
+        }
+    }
+
+    /// Lifted weight of the tuple chosen at `slot`.
+    #[inline]
+    pub(crate) fn slot_weight(&self, slot: usize, row: RowId) -> R::Cost {
+        R::lift(self.rels[self.atom_of_slot[slot]].weight(row))
+    }
+
+
+    /// Assemble the output tuple (one value per variable, `VarId`
+    /// order) from per-slot row choices.
+    pub(crate) fn assemble(&self, rows_by_slot: &[RowId], out: &mut Vec<Value>) {
+        out.clear();
+        out.resize(self.query.num_vars(), Value::Int(0));
+        for (s, &row) in rows_by_slot.iter().enumerate() {
+            let atom_idx = self.atom_of_slot[s];
+            let atom = self.query.atom(atom_idx);
+            let tuple = self.rels[atom_idx].row(row);
+            for (pos, &v) in atom.vars.iter().enumerate() {
+                out[v] = tuple[pos];
+            }
+        }
+    }
+
+    /// The group id at `slot` given the (already chosen) parent row.
+    #[inline]
+    pub(crate) fn group_at(&self, slot: usize, rows_by_slot: &[RowId]) -> u32 {
+        debug_assert!(slot > 0);
+        let prow = rows_by_slot[self.parent_slot[slot]];
+        self.group_of_parent_row[slot][prow as usize]
+    }
+
+    /// Complete slots `[from, to)` optimally via best-pointers, assuming
+    /// all ancestors of those slots (at positions `< from` or already
+    /// filled) are set in `rows_by_slot`.
+    pub(crate) fn complete_optimally(&self, rows_by_slot: &mut [RowId], from: usize, to: usize) {
+        for s in from..to {
+            let gid = self.group_at(s, rows_by_slot) as usize;
+            rows_by_slot[s] = self.group_best[s][gid].1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{MaxCost, SumCost};
+    use anyk_query::cq::{path_query, star_query};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+    use anyk_storage::{RelationBuilder, Schema, Weight};
+
+    fn edge_rel(cols: [&str; 2], rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(cols));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+        match gyo_reduce(q) {
+            GyoResult::Acyclic(t) => t,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn top1_on_path() {
+        // Two 2-paths: 1-2-5 (w 1+1=2) and 1-3-6 (w 0.5+0.25=0.75).
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0), (1, 3, 0.5)]),
+            edge_rel(["b", "c"], &[(2, 5, 1.0), (3, 6, 0.25)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        assert!(!inst.is_empty());
+        assert_eq!(inst.top1_cost(), Some(Weight::new(0.75)));
+    }
+
+    #[test]
+    fn top1_max_ranking() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0), (1, 3, 0.5)]),
+            edge_rel(["b", "c"], &[(2, 5, 0.1), (3, 6, 0.9)]),
+        ];
+        // max(1.0, 0.1) = 1.0 vs max(0.5, 0.9) = 0.9 -> 0.9 wins.
+        let inst = TdpInstance::<MaxCost>::prepare(&q, &tree, rels).unwrap();
+        assert_eq!(inst.top1_cost(), Some(Weight::new(0.9)));
+    }
+
+    #[test]
+    fn empty_when_no_join() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0)]),
+            edge_rel(["b", "c"], &[(9, 5, 1.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.top1_cost(), None);
+    }
+
+    #[test]
+    fn star_subtree_ends() {
+        // Build the star-shaped tree explicitly (GYO may produce a
+        // chain, which is also valid but has different subtree ranges).
+        let q = star_query(3);
+        let tree = JoinTree::from_parents(&q, &[None, Some(0), Some(0)]);
+        let rels = vec![
+            edge_rel(["o", "a"], &[(1, 2, 0.0)]),
+            edge_rel(["o", "b"], &[(1, 3, 0.0)]),
+            edge_rel(["o", "c"], &[(1, 4, 0.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let m = inst.num_slots();
+        assert_eq!(m, 3);
+        assert_eq!(inst.subtree_end[0], 3);
+        // Leaf slots have singleton subtrees.
+        for s in 1..m {
+            assert_eq!(inst.subtree_end[s], s + 1);
+        }
+    }
+
+    #[test]
+    fn completion_follows_best_pointers() {
+        // Pin the tree shape: root = R1, chain R1 <- R2 <- R3.
+        let q = path_query(3);
+        let tree = JoinTree::from_parents(&q, &[None, Some(0), Some(1)]);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 1.0)]),
+            edge_rel(["b", "c"], &[(2, 3, 5.0), (2, 4, 1.0)]),
+            edge_rel(["c", "d"], &[(3, 9, 1.0), (4, 9, 2.0)]),
+        ];
+        let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
+        let mut rows = vec![0 as RowId; 3];
+        rows[0] = 0; // slot 0 = root = R1's single row (1,2).
+        inst.complete_optimally(&mut rows, 1, 3);
+        // Best completion: (2,4) w1 + (4,9) w2 = 3 < (2,3)+(3,9) = 6.
+        let chosen_mid = inst.rels[inst.atom_of_slot[1]].row(rows[1]);
+        assert_eq!(chosen_mid[1].int(), 4);
+        assert_eq!(inst.top1_cost(), Some(Weight::new(4.0)));
+    }
+
+    #[test]
+    fn mismatched_tree_rejected() {
+        let q = path_query(2);
+        let tree = tree_of(&path_query(3));
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2, 0.0)]),
+            edge_rel(["b", "c"], &[(2, 3, 0.0)]),
+        ];
+        assert!(TdpInstance::<SumCost>::prepare(&q, &tree, rels).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Ranked union: merge several ranked streams into one global ranked
+//! stream — the glue of the union-of-trees technique (§3: submodular
+//! width "decomposes a cyclic query into a union of multiple trees,
+//! each one receiving a subset of the input").
+//!
+//! Because the cases partition the output, no de-duplication is needed;
+//! the merge is a plain k-way heap merge with O(log #streams) delay
+//! overhead.
+
+use crate::answer::{AnyK, RankedAnswer};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt::Debug;
+
+struct Head<C> {
+    cost: C,
+    seq: u64,
+    stream: usize,
+    values: Vec<anyk_storage::Value>,
+}
+
+impl<C: Ord> PartialEq for Head<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl<C: Ord> Eq for Head<C> {}
+impl<C: Ord> PartialOrd for Head<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C: Ord> Ord for Head<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A k-way merge of ranked streams (all yielding the same cost type).
+pub struct RankedUnion<I: AnyK> {
+    streams: Vec<I>,
+    heap: BinaryHeap<Head<I::Cost>>,
+    seq: u64,
+}
+
+impl<I: AnyK> RankedUnion<I> {
+    /// Merge `streams`; pulls one head answer from each immediately.
+    pub fn new(streams: Vec<I>) -> Self {
+        let mut this = RankedUnion {
+            streams,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        for i in 0..this.streams.len() {
+            this.refill(i);
+        }
+        this
+    }
+
+    fn refill(&mut self, i: usize) {
+        if let Some(a) = self.streams[i].next() {
+            self.seq += 1;
+            self.heap.push(Head {
+                cost: a.cost,
+                seq: self.seq,
+                stream: i,
+                values: a.values,
+            });
+        }
+    }
+}
+
+impl<I: AnyK> Iterator for RankedUnion<I>
+where
+    I::Cost: Debug,
+{
+    type Item = RankedAnswer<I::Cost>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let head = self.heap.pop()?;
+        self.refill(head.stream);
+        Some(RankedAnswer {
+            cost: head.cost,
+            values: head.values,
+        })
+    }
+}
+
+impl<I: AnyK> AnyK for RankedUnion<I>
+where
+    I::Cost: Debug,
+{
+    type Cost = I::Cost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_storage::{Value, Weight};
+
+    /// A canned ranked stream for testing.
+    struct Canned {
+        items: std::vec::IntoIter<f64>,
+    }
+    impl Iterator for Canned {
+        type Item = RankedAnswer<Weight>;
+        fn next(&mut self) -> Option<Self::Item> {
+            self.items.next().map(|c| RankedAnswer {
+                cost: Weight::new(c),
+                values: vec![Value::Int((c * 10.0) as i64)],
+            })
+        }
+    }
+    impl AnyK for Canned {
+        type Cost = Weight;
+    }
+
+    #[test]
+    fn merges_in_order() {
+        let a = Canned {
+            items: vec![0.1, 0.5, 0.9].into_iter(),
+        };
+        let b = Canned {
+            items: vec![0.2, 0.3, 1.5].into_iter(),
+        };
+        let c = Canned {
+            items: vec![].into_iter(),
+        };
+        let merged: Vec<f64> = RankedUnion::new(vec![a, b, c])
+            .map(|x| x.cost.get())
+            .collect();
+        assert_eq!(merged, vec![0.1, 0.2, 0.3, 0.5, 0.9, 1.5]);
+    }
+
+    #[test]
+    fn empty_union() {
+        let merged: Vec<f64> = RankedUnion::new(Vec::<Canned>::new())
+            .map(|x| x.cost.get())
+            .collect();
+        assert!(merged.is_empty());
+    }
+}

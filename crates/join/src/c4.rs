@@ -1,0 +1,352 @@
+//! The submodular-width plan for the 4-cycle — §3's headline example:
+//! fractional hypertree width 2, but submodular width 1.5, achieved by a
+//! **union of multiple trees**, each receiving a subset of the input.
+//!
+//! Query: `R1(x1,x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4) ⋈ R4(x4,x1)`.
+//! With `Δ = ceil(sqrt(n))` and heavy = degree > Δ, the output is
+//! partitioned into three disjoint cases, each solved by an *acyclic*
+//! instance (or a family of them):
+//!
+//! * **A** — `x1` heavy (at most `n/Δ ≈ sqrt(n)` such values): for each
+//!   heavy value `v`, the residual query is a path
+//!   `A1_v(x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4) ⋈ A4_v(x4)` of input size O(n).
+//! * **B** — `x1` light and `x3` heavy: symmetric family of paths
+//!   `A2_u(x2) ⋈ R1ˡ(x1,x2) ⋈ R4(x4,x1) ⋈ A3_u(x4)`.
+//! * **C** — both light: two materialized bags
+//!   `W1(x1,x2,x4) = R1ˡ ⋈ R4` and `W2(x2,x3,x4) = R2 ⋈ R3ˡ`, each of
+//!   size ≤ Δ·n = O(n^1.5), joined as a two-node acyclic tree.
+//!
+//! Total preprocessing O~(n^1.5); enumeration output-linear. Batch,
+//! Boolean, and ranked execution all share this case construction
+//! (ranked enumeration merges the per-case ranked streams in
+//! `anyk_core::cyclic`).
+
+use anyk_query::cq::{ConjunctiveQuery, QueryBuilder, VarId};
+use anyk_query::gyo::{gyo_reduce, GyoResult};
+use anyk_query::join_tree::JoinTree;
+use anyk_storage::{FxHashMap, FxHashSet, HashIndex, Relation, RelationBuilder, Schema, Value, Weight};
+
+/// Where an original output variable's value comes from in a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOut {
+    /// The variable is fixed to a constant in this case (heavy value).
+    Fixed(Value),
+    /// Read from the case query's variable.
+    Var(VarId),
+}
+
+/// One acyclic instance of the union-of-trees plan.
+#[derive(Debug)]
+pub struct C4Case {
+    /// Human-readable label (`heavy-x1=v`, `light-light`, ...).
+    pub label: String,
+    /// The acyclic case query over derived relations.
+    pub query: ConjunctiveQuery,
+    /// A join tree for it.
+    pub tree: JoinTree,
+    /// Relations parallel to the case query's atoms. Weights are
+    /// assigned so each original tuple's weight is counted exactly once
+    /// per answer.
+    pub relations: Vec<Relation>,
+    /// Projection of the case's answers back to `(x1, x2, x3, x4)`.
+    pub out: [CaseOut; 4],
+}
+
+/// Per-value occurrence counts of column `col` of `rel`.
+fn degrees(rel: &Relation, col: usize) -> FxHashMap<Value, u32> {
+    let mut d: FxHashMap<Value, u32> = FxHashMap::default();
+    d.reserve(rel.len());
+    for i in 0..rel.len() as u32 {
+        *d.entry(rel.row(i)[col]).or_insert(0) += 1;
+    }
+    d
+}
+
+/// Rows of `rel` whose `col` value passes `pred`, as a new relation.
+fn filter_by<F: Fn(Value) -> bool>(rel: &Relation, col: usize, pred: F) -> Relation {
+    let mut b = RelationBuilder::new(rel.schema().clone());
+    for i in 0..rel.len() as u32 {
+        let row = rel.row(i);
+        if pred(row[col]) {
+            b.push(row, rel.weight(i));
+        }
+    }
+    b.finish()
+}
+
+/// Unary projection `{ rel[keep_col] : rel[match_col] = v }`, carrying
+/// the original tuples' weights.
+fn residual_unary(rel: &Relation, match_col: usize, v: Value, keep_col: usize, name: &str) -> Relation {
+    let mut b = RelationBuilder::new(Schema::new([name.to_string()]));
+    for i in 0..rel.len() as u32 {
+        let row = rel.row(i);
+        if row[match_col] == v {
+            b.push(&[row[keep_col]], rel.weight(i));
+        }
+    }
+    b.finish()
+}
+
+fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+    match gyo_reduce(q) {
+        GyoResult::Acyclic(t) => t,
+        GyoResult::Cyclic(_) => panic!("case query must be acyclic"),
+    }
+}
+
+/// Build the full union-of-trees case list for the 4-cycle instance
+/// `rels = [R1, R2, R3, R4]` (each binary, oriented as in
+/// [`anyk_query::cq::cycle_query`]). `threshold` is the heavy-degree
+/// cutoff Δ (use [`anyk_query::cycles::heavy_threshold`] of the max
+/// relation size).
+pub fn c4_cases(rels: &[Relation], threshold: usize) -> Vec<C4Case> {
+    assert_eq!(rels.len(), 4, "4-cycle needs exactly 4 relations");
+    for r in rels {
+        assert_eq!(r.arity(), 2, "4-cycle relations are binary");
+    }
+    let (r1, r2, r3, r4) = (&rels[0], &rels[1], &rels[2], &rels[3]);
+    let mut cases = Vec::new();
+
+    // Heavy sets: H1 = heavy x1 values (by out-degree in R1), H3 = heavy
+    // x3 values (by out-degree in R3).
+    let deg1 = degrees(r1, 0);
+    let deg3 = degrees(r3, 0);
+    let h1: FxHashSet<Value> = deg1
+        .iter()
+        .filter_map(|(&v, &d)| (d as usize > threshold).then_some(v))
+        .collect();
+    let h3: FxHashSet<Value> = deg3
+        .iter()
+        .filter_map(|(&v, &d)| (d as usize > threshold).then_some(v))
+        .collect();
+
+    // --- Case A: one path instance per heavy x1 value v. ---
+    // A1_v(x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4) ⋈ A4_v(x4).
+    let case_a_query = QueryBuilder::new()
+        .atom("A1", &["x2"])
+        .atom("R2", &["x2", "x3"])
+        .atom("R3", &["x3", "x4"])
+        .atom("A4", &["x4"])
+        .build();
+    let mut heavy1: Vec<Value> = h1.iter().copied().collect();
+    heavy1.sort();
+    for &v in &heavy1 {
+        let a1 = residual_unary(r1, 0, v, 1, "x2");
+        let a4 = residual_unary(r4, 1, v, 0, "x4");
+        if a1.is_empty() || a4.is_empty() {
+            continue;
+        }
+        let q = case_a_query.clone();
+        let tree = tree_of(&q);
+        cases.push(C4Case {
+            label: format!("heavy-x1={v}"),
+            out: [
+                CaseOut::Fixed(v),
+                CaseOut::Var(q.var("x2").unwrap()),
+                CaseOut::Var(q.var("x3").unwrap()),
+                CaseOut::Var(q.var("x4").unwrap()),
+            ],
+            relations: vec![a1, r2.clone(), r3.clone(), a4],
+            query: q,
+            tree,
+        });
+    }
+
+    // --- Case B: x1 light, x3 heavy: per heavy u. ---
+    // A2_u(x2) ⋈ R1ˡ(x1,x2) ⋈ R4(x4,x1) ⋈ A3_u(x4).
+    let r1_light = filter_by(r1, 0, |v| !h1.contains(&v));
+    let case_b_query = QueryBuilder::new()
+        .atom("A2", &["x2"])
+        .atom("R1", &["x1", "x2"])
+        .atom("R4", &["x4", "x1"])
+        .atom("A3", &["x4"])
+        .build();
+    let mut heavy3: Vec<Value> = h3.iter().copied().collect();
+    heavy3.sort();
+    for &u in &heavy3 {
+        let a2 = residual_unary(r2, 1, u, 0, "x2");
+        let a3 = residual_unary(r3, 0, u, 1, "x4");
+        if a2.is_empty() || a3.is_empty() || r1_light.is_empty() {
+            continue;
+        }
+        let q = case_b_query.clone();
+        let tree = tree_of(&q);
+        cases.push(C4Case {
+            label: format!("light-x1,heavy-x3={u}"),
+            out: [
+                CaseOut::Var(q.var("x1").unwrap()),
+                CaseOut::Var(q.var("x2").unwrap()),
+                CaseOut::Fixed(u),
+                CaseOut::Var(q.var("x4").unwrap()),
+            ],
+            relations: vec![a2, r1_light.clone(), r4.clone(), a3],
+            query: q,
+            tree,
+        });
+    }
+
+    // --- Case C: both light: two materialized bags of size <= Δ·n. ---
+    // W1(x1,x2,x4) = R1ˡ ⋈ R4 (join on x1), weight w1 + w4.
+    // W2(x2,x3,x4) = R2 ⋈ R3ˡ (join on x3), weight w2 + w3.
+    let r3_light = filter_by(r3, 0, |v| !h3.contains(&v));
+    let w1 = {
+        let mut b = RelationBuilder::new(Schema::new(["x1", "x2", "x4"]));
+        let idx = HashIndex::build(r4, &[1]); // R4(x4, x1) keyed by x1
+        for i in 0..r1_light.len() as u32 {
+            let row = r1_light.row(i);
+            for &j in idx.get(&row[0..1]) {
+                let w = r1_light.weight(i).get() + r4.weight(j).get();
+                b.push(&[row[0], row[1], r4.row(j)[0]], Weight::new(w));
+            }
+        }
+        b.finish()
+    };
+    let w2 = {
+        let mut b = RelationBuilder::new(Schema::new(["x2", "x3", "x4"]));
+        let idx = HashIndex::build(&r3_light, &[0]); // R3(x3, x4) keyed by x3
+        for i in 0..r2.len() as u32 {
+            let row = r2.row(i);
+            for &j in idx.get(&row[1..2]) {
+                let w = r2.weight(i).get() + r3_light.weight(j).get();
+                b.push(&[row[0], row[1], r3_light.row(j)[1]], Weight::new(w));
+            }
+        }
+        b.finish()
+    };
+    if !w1.is_empty() && !w2.is_empty() {
+        let q = QueryBuilder::new()
+            .atom("W1", &["x1", "x2", "x4"])
+            .atom("W2", &["x2", "x3", "x4"])
+            .build();
+        let tree = tree_of(&q);
+        cases.push(C4Case {
+            label: "light-light".to_string(),
+            out: [
+                CaseOut::Var(q.var("x1").unwrap()),
+                CaseOut::Var(q.var("x2").unwrap()),
+                CaseOut::Var(q.var("x3").unwrap()),
+                CaseOut::Var(q.var("x4").unwrap()),
+            ],
+            relations: vec![w1, w2],
+            query: q,
+            tree,
+        });
+    }
+    cases
+}
+
+/// Materialize all 4-cycle answers through the union-of-trees plan.
+/// Output schema `(x1,x2,x3,x4)`, weight = sum of the four edge weights.
+/// Equivalent to Generic-Join on the cycle, but O~(n^1.5 + r).
+pub fn c4_join(rels: &[Relation], threshold: usize) -> Relation {
+    let schema = Schema::new(["x1", "x2", "x3", "x4"]);
+    let mut out = RelationBuilder::new(schema);
+    for case in c4_cases(rels, threshold) {
+        let nvars = case.query.num_vars();
+        let mut row = vec![Value::Int(0); nvars];
+        let q = &case.query;
+        let tree = &case.tree;
+        crate::yannakakis::yannakakis_for_each(q, tree, case.relations, |rels, by_node| {
+            let w = crate::yannakakis::assemble_answer(q, tree, rels, by_node, &mut row);
+            let mut orow = [Value::Int(0); 4];
+            for (i, o) in case.out.iter().enumerate() {
+                orow[i] = match *o {
+                    CaseOut::Fixed(v) => v,
+                    CaseOut::Var(cv) => row[cv],
+                };
+            }
+            out.push(&orow, w);
+        });
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::cycle_query;
+    use anyk_query::cycles::heavy_threshold;
+    use anyk_storage::RelationBuilder;
+
+    fn edge_rel(edges: &[(i64, i64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (i, &(x, y)) in edges.iter().enumerate() {
+            b.push_ints(&[x, y], 0.5 + i as f64);
+        }
+        b.finish()
+    }
+
+    fn check_against_generic_join(rels: &[Relation], threshold: usize) {
+        let q = cycle_query(4);
+        let (gj, _) = crate::generic_join::generic_join_materialize(&q, rels, None);
+        let c4 = c4_join(rels, threshold);
+        crate::nested_loop::assert_same_result(&gj, &c4);
+    }
+
+    #[test]
+    fn simple_cycle_instance() {
+        let e = edge_rel(&[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        check_against_generic_join(&rels, 2);
+    }
+
+    #[test]
+    fn star_heavy_instance() {
+        // Hub node 1 has high degree -> exercises heavy cases.
+        let mut edges = vec![];
+        for i in 2..12 {
+            edges.push((1, i));
+            edges.push((i, 1));
+        }
+        let e = edge_rel(&edges);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        check_against_generic_join(&rels, heavy_threshold(edges.len()));
+    }
+
+    #[test]
+    fn threshold_extremes_agree() {
+        let e = edge_rel(&[(1, 2), (2, 1), (1, 3), (3, 1), (2, 3), (3, 2)]);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        // All-heavy (threshold 0) and all-light (huge threshold) must
+        // both still produce the same full result.
+        check_against_generic_join(&rels, 0);
+        check_against_generic_join(&rels, 1_000_000);
+        check_against_generic_join(&rels, 1);
+    }
+
+    #[test]
+    fn distinct_relations() {
+        let rels = vec![
+            edge_rel(&[(1, 2), (1, 3)]),
+            edge_rel(&[(2, 5), (3, 5), (3, 6)]),
+            edge_rel(&[(5, 7), (6, 7), (5, 8)]),
+            edge_rel(&[(7, 1), (8, 1), (8, 2)]),
+        ];
+        check_against_generic_join(&rels, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let rels = vec![
+            edge_rel(&[]),
+            edge_rel(&[(1, 2)]),
+            edge_rel(&[(2, 3)]),
+            edge_rel(&[(3, 1)]),
+        ];
+        let res = c4_join(&rels, 1);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn weights_sum_all_four_edges() {
+        let rels = vec![
+            edge_rel(&[(1, 2)]), // w = 0.5
+            edge_rel(&[(2, 3)]), // w = 0.5
+            edge_rel(&[(3, 4)]), // w = 0.5
+            edge_rel(&[(4, 1)]), // w = 0.5
+        ];
+        let res = c4_join(&rels, 10);
+        assert_eq!(res.len(), 1);
+        assert!((res.weight(0).get() - 2.0).abs() < 1e-9);
+    }
+}

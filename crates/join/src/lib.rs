@@ -1,0 +1,44 @@
+//! # anyk-join
+//!
+//! Batch join algorithms from Part 2 of *Optimal Join Algorithms Meet
+//! Top-k*:
+//!
+//! * [`semijoin`] — semi-join reductions and the **full reducer** over a
+//!   join tree (Bernstein–Chiu; the preprocessing that puts an acyclic
+//!   database into a globally consistent state).
+//! * [`yannakakis`] — the O~(n + r) acyclic join algorithm, with
+//!   materializing, streaming, and counting variants.
+//! * [`binary`] — textbook left-deep binary hash-join plans: the provably
+//!   suboptimal baseline whose intermediate results can be
+//!   asymptotically larger than the output (§3's triangle example).
+//! * [`generic_join`] — the worst-case optimal Generic-Join (Ngo–Ré–
+//!   Rudra), matching the AGM bound via per-variable leapfrog
+//!   intersection of tries.
+//! * [`leapfrog`] — Leapfrog Triejoin (Veldhuizen), the same worst-case
+//!   optimality in the classic trie-iterator formulation; an
+//!   independent implementation the tests cross-check against.
+//! * [`boolean`] — Boolean query evaluation with early exit, including
+//!   the O~(n^1.5) 4-cycle detection through the submodular-width plan.
+//! * [`c4`] — the union-of-trees case split for the 4-cycle (shared by
+//!   Boolean, batch and ranked execution).
+//! * [`decomposed`] — general O~(n^fhw + r) execution for *any* cyclic
+//!   query: materialize decomposition bags, then Yannakakis over the
+//!   bag tree.
+//! * [`nested_loop`] — the brute-force oracle used by the test suite.
+
+pub mod binary;
+pub mod boolean;
+pub mod c4;
+pub mod decomposed;
+pub mod generic_join;
+pub mod leapfrog;
+pub mod nested_loop;
+pub mod semijoin;
+pub mod yannakakis;
+
+pub use binary::{binary_join, BinaryJoinStats};
+pub use decomposed::{decomposed_boolean, decomposed_join, ghd_plan, GhdPlan};
+pub use generic_join::{generic_join, generic_join_materialize, GenericJoinStats};
+pub use leapfrog::{leapfrog_materialize, leapfrog_triejoin};
+pub use semijoin::{full_reducer, semijoin_filter};
+pub use yannakakis::{yannakakis_count, yannakakis_for_each, yannakakis_join};

@@ -1,0 +1,138 @@
+//! Brute-force nested-loop join: the correctness oracle for every other
+//! join algorithm in the test suite. Exponential — only for tiny inputs.
+
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_storage::{Relation, RelationBuilder, RowId, Schema, Value, Weight};
+
+/// Materialize the full join by trying every combination of rows.
+/// Output schema = all variables in `VarId` order; weight = sum.
+pub fn nested_loop_join(q: &ConjunctiveQuery, rels: &[Relation]) -> Relation {
+    assert_eq!(rels.len(), q.num_atoms());
+    let schema = Schema::new(q.var_names().iter().cloned());
+    let mut out = RelationBuilder::new(schema);
+    let mut choice: Vec<RowId> = vec![0; rels.len()];
+    let mut binding: Vec<Option<Value>> = vec![None; q.num_vars()];
+    rec(q, rels, 0, &mut choice, &mut binding, &mut out);
+    out.finish()
+}
+
+fn rec(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    atom: usize,
+    choice: &mut Vec<RowId>,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut RelationBuilder,
+) {
+    if atom == rels.len() {
+        let row: Vec<Value> = binding.iter().map(|v| v.unwrap()).collect();
+        let w: f64 = choice
+            .iter()
+            .enumerate()
+            .map(|(a, &r)| rels[a].weight(r).get())
+            .sum();
+        out.push(&row, Weight::new(w));
+        return;
+    }
+    let a = q.atom(atom);
+    'rows: for r in 0..rels[atom].len() as RowId {
+        let tuple = rels[atom].row(r);
+        let saved = binding.clone();
+        for (pos, &v) in a.vars.iter().enumerate() {
+            match binding[v] {
+                None => binding[v] = Some(tuple[pos]),
+                Some(bound) => {
+                    if bound != tuple[pos] {
+                        *binding = saved;
+                        continue 'rows;
+                    }
+                }
+            }
+        }
+        choice[atom] = r;
+        rec(q, rels, atom + 1, choice, binding, out);
+        *binding = saved;
+    }
+}
+
+/// Sort a materialized result canonically (all columns, then weight) so
+/// two results can be compared for multiset equality.
+pub fn canonicalize(rel: &mut Relation) {
+    let positions: Vec<usize> = (0..rel.arity()).collect();
+    rel.sort_by_positions(&positions);
+    // `sort_by_positions` is stable on row order, not weight; re-sort
+    // equal-value runs by weight for full determinism.
+    // Simplest: sort a permutation by (values, weight).
+    let n = rel.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&x, &y| {
+        rel.row(x)
+            .cmp(rel.row(y))
+            .then(rel.weight(x).cmp(&rel.weight(y)))
+    });
+    // Rebuild via builder (simplest correct permute).
+    let mut b = RelationBuilder::with_capacity(rel.schema().clone(), n);
+    for &o in &order {
+        b.push(rel.row(o), rel.weight(o));
+    }
+    *rel = b.finish();
+}
+
+/// Assert two materialized join results are equal as weighted multisets.
+pub fn assert_same_result(a: &Relation, b: &Relation) {
+    assert_eq!(a.len(), b.len(), "result sizes differ");
+    let mut a = a.clone();
+    let mut b = b.clone();
+    canonicalize(&mut a);
+    canonicalize(&mut b);
+    for i in 0..a.len() as RowId {
+        assert_eq!(a.row(i), b.row(i), "row {i} differs");
+        assert!(
+            (a.weight(i).get() - b.weight(i).get()).abs() < 1e-9,
+            "weight {i} differs: {} vs {}",
+            a.weight(i),
+            b.weight(i)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{path_query, triangle_query};
+    use anyk_storage::RelationBuilder;
+
+    fn edge_rel(edges: &[(i64, i64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (i, &(x, y)) in edges.iter().enumerate() {
+            b.push_ints(&[x, y], i as f64 * 0.25);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn path_matches_manual() {
+        let q = path_query(2);
+        let rels = vec![edge_rel(&[(1, 2), (3, 4)]), edge_rel(&[(2, 5), (2, 6)])];
+        let res = nested_loop_join(&q, &rels);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn oracle_agrees_with_generic_join_on_triangle() {
+        let q = triangle_query();
+        let e = edge_rel(&[(1, 2), (2, 3), (3, 1), (1, 3), (3, 2), (2, 1), (1, 1)]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let nl = nested_loop_join(&q, &rels);
+        let (gj, _) = crate::generic_join::generic_join_materialize(&q, &rels, None);
+        assert_same_result(&nl, &gj);
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let mut r = edge_rel(&[(3, 1), (1, 2), (1, 1)]);
+        canonicalize(&mut r);
+        assert_eq!(r.row(0)[0].int(), 1);
+        assert_eq!(r.row(2)[0].int(), 3);
+    }
+}

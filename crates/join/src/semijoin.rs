@@ -1,0 +1,247 @@
+//! Semi-join reductions and the full reducer.
+//!
+//! `R ⋉ S`: keep the tuples of `R` that join with at least one tuple of
+//! `S`. A **full reducer** (Bernstein–Chiu 1981) runs one bottom-up and
+//! one top-down sweep of semi-joins over a join tree; afterwards the
+//! database is *globally consistent* (§3): every remaining tuple
+//! participates in at least one query answer, which is exactly the
+//! precondition Yannakakis and T-DP rely on for output-sensitive cost.
+
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::join_tree::JoinTree;
+use anyk_storage::{HashIndex, Relation};
+
+/// Filter `left` in place, keeping rows whose key (at `left_keys`)
+/// appears in `right` (at `right_keys`). Returns retained row count.
+pub fn semijoin_filter(
+    left: &mut Relation,
+    left_keys: &[usize],
+    right: &Relation,
+    right_keys: &[usize],
+) -> usize {
+    assert_eq!(left_keys.len(), right_keys.len());
+    if left_keys.is_empty() {
+        // Degenerate cartesian edge: keep all iff right is non-empty.
+        return if right.is_empty() {
+            left.retain(|_| false)
+        } else {
+            left.len()
+        };
+    }
+    let idx = HashIndex::build(right, right_keys);
+    let mut key = Vec::with_capacity(left_keys.len());
+    // `retain` passes row ids in order; extract keys through a scratch
+    // buffer to avoid per-row allocation.
+    let lk = left_keys.to_vec();
+    // Work around borrow rules: collect the keep-decisions first.
+    let keep: Vec<bool> = (0..left.len() as u32)
+        .map(|rid| {
+            left.key_into(rid, &lk, &mut key);
+            idx.contains(&key)
+        })
+        .collect();
+    left.retain(|rid| keep[rid as usize])
+}
+
+/// Key positions of the join between a node and its parent, as
+/// `(child_positions, parent_positions)`.
+pub fn join_key_positions(
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    node: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = tree.node(node);
+    let parent = n.parent.expect("root has no parent join");
+    let child_atom = q.atom(n.atom);
+    let parent_atom = q.atom(tree.node(parent).atom);
+    let mut cpos = Vec::with_capacity(n.join_vars.len());
+    let mut ppos = Vec::with_capacity(n.join_vars.len());
+    for &v in &n.join_vars {
+        cpos.push(
+            child_atom
+                .positions_of(v)
+                .first()
+                .copied()
+                .expect("join var must occur in child atom"),
+        );
+        ppos.push(
+            parent_atom
+                .positions_of(v)
+                .first()
+                .copied()
+                .expect("join var must occur in parent atom"),
+        );
+    }
+    (cpos, ppos)
+}
+
+/// Enforce intra-atom repeated variables: when an atom mentions the same
+/// variable at several positions, drop rows whose values differ there.
+/// (Self-loop elimination in graph patterns, e.g. `E(x,x)`.)
+pub fn prefilter_repeated_vars(rel: &mut Relation, q: &ConjunctiveQuery, atom: usize) {
+    let a = q.atom(atom);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &v in a.vars.iter() {
+        let pos = a.positions_of(v);
+        if pos.len() > 1 && !groups.contains(&pos) {
+            groups.push(pos);
+        }
+    }
+    if groups.is_empty() {
+        return;
+    }
+    let keep: Vec<bool> = (0..rel.len() as u32)
+        .map(|rid| {
+            let row = rel.row(rid);
+            groups
+                .iter()
+                .all(|g| g.iter().all(|&p| row[p] == row[g[0]]))
+        })
+        .collect();
+    rel.retain(|rid| keep[rid as usize]);
+}
+
+/// Run a full reducer over `rels` (parallel to the query's atoms) using
+/// `tree`: bottom-up semi-joins (children filter parents), then top-down
+/// (parents filter children). Also enforces repeated variables first.
+///
+/// After this, for every node, each remaining tuple extends to at least
+/// one full query answer.
+pub fn full_reducer(q: &ConjunctiveQuery, tree: &JoinTree, rels: &mut [Relation]) {
+    assert_eq!(rels.len(), q.num_atoms());
+    for i in 0..rels.len() {
+        prefilter_repeated_vars(&mut rels[i], q, i);
+    }
+    let order = tree.preorder();
+    // Bottom-up: visit in reverse preorder; each node filters its parent.
+    for &node in order.iter().rev() {
+        if tree.node(node).parent.is_none() {
+            continue;
+        }
+        let parent = tree.node(node).parent.unwrap();
+        let (cpos, ppos) = join_key_positions(q, tree, node);
+        let (p_atom, c_atom) = (tree.node(parent).atom, tree.node(node).atom);
+        // Split borrow: parent and child atoms are distinct relations
+        // (distinct atom indices even for self-joins).
+        let (lo, hi) = if p_atom < c_atom {
+            (p_atom, c_atom)
+        } else {
+            (c_atom, p_atom)
+        };
+        let (head, tail) = rels.split_at_mut(hi);
+        let (parent_rel, child_rel): (&mut Relation, &Relation) = if p_atom < c_atom {
+            (&mut head[lo], &tail[0])
+        } else {
+            (&mut tail[0], &head[lo])
+        };
+        semijoin_filter(parent_rel, &ppos, child_rel, &cpos);
+    }
+    // Top-down: visit in preorder; each node filters its children.
+    for &node in order.iter() {
+        if tree.node(node).parent.is_none() {
+            continue;
+        }
+        let parent = tree.node(node).parent.unwrap();
+        let (cpos, ppos) = join_key_positions(q, tree, node);
+        let (p_atom, c_atom) = (tree.node(parent).atom, tree.node(node).atom);
+        let (lo, hi) = if p_atom < c_atom {
+            (p_atom, c_atom)
+        } else {
+            (c_atom, p_atom)
+        };
+        let (head, tail) = rels.split_at_mut(hi);
+        let (child_rel, parent_rel): (&mut Relation, &Relation) = if c_atom < p_atom {
+            (&mut head[lo], &tail[0])
+        } else {
+            (&mut tail[0], &head[lo])
+        };
+        semijoin_filter(child_rel, &cpos, parent_rel, &ppos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{path_query, QueryBuilder};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+    use anyk_storage::{RelationBuilder, Schema};
+
+    fn edge_rel(name_cols: [&str; 2], edges: &[(i64, i64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(name_cols));
+        for &(x, y) in edges {
+            b.push_ints(&[x, y], 0.0);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn semijoin_keeps_matching() {
+        let mut r = edge_rel(["a", "b"], &[(1, 2), (2, 3), (3, 4)]);
+        let s = edge_rel(["b", "c"], &[(2, 9), (4, 9)]);
+        let kept = semijoin_filter(&mut r, &[1], &s, &[0]);
+        assert_eq!(kept, 2);
+        let bs: Vec<i64> = (0..r.len() as u32).map(|i| r.row(i)[1].int()).collect();
+        assert_eq!(bs, vec![2, 4]);
+    }
+
+    #[test]
+    fn semijoin_empty_key_cartesian() {
+        let mut r = edge_rel(["a", "b"], &[(1, 2)]);
+        let s = Relation::empty(Schema::new(["c"]));
+        assert_eq!(semijoin_filter(&mut r, &[], &s, &[]), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn full_reducer_removes_dangling() {
+        // Path R1(x0,x1) ⋈ R2(x1,x2) ⋈ R3(x2,x3):
+        // R1 has a dangling edge (9,9); R3 has (8,8).
+        let q = path_query(3);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let mut rels = vec![
+            edge_rel(["a", "b"], &[(1, 2), (9, 9)]),
+            edge_rel(["b", "c"], &[(2, 3)]),
+            edge_rel(["c", "d"], &[(3, 4), (8, 8)]),
+        ];
+        full_reducer(&q, &tree, &mut rels);
+        assert_eq!(rels[0].len(), 1);
+        assert_eq!(rels[1].len(), 1);
+        assert_eq!(rels[2].len(), 1);
+        assert_eq!(rels[0].row(0)[0].int(), 1);
+    }
+
+    #[test]
+    fn full_reducer_global_consistency() {
+        // After reduction every tuple must participate in some answer:
+        // brute-force check on a random-ish instance.
+        let q = path_query(2);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let mut rels = vec![
+            edge_rel(["a", "b"], &[(1, 2), (1, 3), (4, 5)]),
+            edge_rel(["b", "c"], &[(2, 7), (3, 8), (6, 9)]),
+        ];
+        full_reducer(&q, &tree, &mut rels);
+        // (4,5) and (6,9) must be gone.
+        assert_eq!(rels[0].len(), 2);
+        assert_eq!(rels[1].len(), 2);
+        for i in 0..rels[0].len() as u32 {
+            let b = rels[0].row(i)[1];
+            assert!((0..rels[1].len() as u32).any(|j| rels[1].row(j)[0] == b));
+        }
+    }
+
+    #[test]
+    fn repeated_vars_prefiltered() {
+        let q = QueryBuilder::new().atom("E", &["x", "x"]).build();
+        let mut r = edge_rel(["u", "v"], &[(1, 1), (1, 2), (3, 3)]);
+        prefilter_repeated_vars(&mut r, &q, 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1)[0].int(), 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Yannakakis algorithm for acyclic joins — O~(n + r), matching the
+//! Ω(n + r) lower bound (§3 of the paper).
+//!
+//! Pipeline: full reducer (global consistency), then backtracking
+//! enumeration down the join tree. After reduction *every* partial
+//! binding extends to a full answer, so enumeration never dead-ends and
+//! the join phase is output-linear.
+
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::join_tree::JoinTree;
+use anyk_storage::{HashIndex, Relation, RelationBuilder, RowId, Schema, Value, Weight};
+
+use crate::semijoin::{full_reducer, join_key_positions};
+
+/// Output schema of a full CQ: one column per variable, in `VarId`
+/// order, named after the query's variable names.
+pub fn output_schema(q: &ConjunctiveQuery) -> Schema {
+    Schema::new(q.var_names().iter().cloned())
+}
+
+/// Run Yannakakis, invoking `f` once per answer with the (reduced)
+/// relations and the row ids chosen at each join-tree node (indexed by
+/// *node id*) — callers reconstruct values or weights as they wish.
+/// Relations are consumed (the reducer filters them in place).
+///
+/// Returns the (reduced) relations for further use.
+pub fn yannakakis_for_each<F: FnMut(&[Relation], &[RowId])>(
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    mut rels: Vec<Relation>,
+    mut f: F,
+) -> Vec<Relation> {
+    full_reducer(q, tree, &mut rels);
+    if rels.iter().any(|r| r.is_empty()) {
+        return rels; // no answers
+    }
+    let order = tree.preorder();
+    // Per non-root node (by preorder slot): hash index on its join key,
+    // plus the positions of the key inside the parent's relation.
+    let mut indexes: Vec<Option<(HashIndex, Vec<usize>)>> = Vec::with_capacity(order.len());
+    for &node in &order {
+        if tree.node(node).parent.is_none() {
+            indexes.push(None);
+        } else {
+            let (cpos, ppos) = join_key_positions(q, tree, node);
+            let idx = HashIndex::build(&rels[tree.node(node).atom], &cpos);
+            indexes.push(Some((idx, ppos)));
+        }
+    }
+    // Map node id -> slot in preorder, and parent slot per slot.
+    let mut slot_of = vec![usize::MAX; tree.len()];
+    for (s, &n) in order.iter().enumerate() {
+        slot_of[n] = s;
+    }
+    let parent_slot: Vec<usize> = order
+        .iter()
+        .map(|&n| tree.node(n).parent.map_or(usize::MAX, |p| slot_of[p]))
+        .collect();
+
+    // Backtracking over preorder slots.
+    let m = order.len();
+    let mut chosen_rows: Vec<RowId> = vec![0; m]; // by slot
+    let mut iters: Vec<(usize, usize)> = vec![(0, 0); m]; // (pos, len) per slot
+    let mut group_cache: Vec<Vec<RowId>> = vec![Vec::new(); m];
+    let mut by_node: Vec<RowId> = vec![0; tree.len()];
+    let mut key_buf: Vec<Value> = Vec::new();
+
+    let mut slot = 0usize;
+    'outer: loop {
+        // Initialize candidate group for `slot`.
+        let node = order[slot];
+        let atom = tree.node(node).atom;
+        let group: &[RowId] = if slot == 0 {
+            group_cache[0].clear();
+            group_cache[0].extend(0..rels[atom].len() as RowId);
+            &group_cache[0]
+        } else {
+            let (idx, ppos) = indexes[slot].as_ref().unwrap();
+            let pslot = parent_slot[slot];
+            let prow = chosen_rows[pslot];
+            let patom = tree.node(order[pslot]).atom;
+            rels[patom].key_into(prow, ppos, &mut key_buf);
+            let g = idx.get(&key_buf);
+            group_cache[slot].clear();
+            group_cache[slot].extend_from_slice(g);
+            &group_cache[slot]
+        };
+        debug_assert!(!group.is_empty(), "full reducer guarantees matches");
+        iters[slot] = (0, group.len());
+        // Descend / emit loop.
+        loop {
+            let (pos, len) = iters[slot];
+            if pos < len {
+                chosen_rows[slot] = group_cache[slot][pos];
+                if slot + 1 == m {
+                    // Emit.
+                    for s in 0..m {
+                        by_node[order[s]] = chosen_rows[s];
+                    }
+                    f(&rels, &by_node);
+                    iters[slot].0 += 1;
+                    continue;
+                }
+                slot += 1;
+                continue 'outer;
+            }
+            // Exhausted: backtrack.
+            if slot == 0 {
+                break 'outer;
+            }
+            slot -= 1;
+            iters[slot].0 += 1;
+        }
+    }
+    rels
+}
+
+/// Reconstruct an answer's output row (one value per variable, `VarId`
+/// order) and summed weight from per-node row choices.
+pub fn assemble_answer(
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    rels: &[Relation],
+    by_node: &[RowId],
+    row: &mut [Value],
+) -> Weight {
+    let mut w = 0.0f64;
+    for (node, &rid) in by_node.iter().enumerate() {
+        let atom_idx = tree.node(node).atom;
+        let atom = q.atom(atom_idx);
+        let rel = &rels[atom_idx];
+        let tuple = rel.row(rid);
+        for (pos, &v) in atom.vars.iter().enumerate() {
+            row[v] = tuple[pos];
+        }
+        w += rel.weight(rid).get();
+    }
+    Weight::new(w)
+}
+
+/// Materialize the full join: output schema = all variables (`VarId`
+/// order); each answer's weight is the **sum** of its tuples' weights
+/// (other ranking functions are handled by `anyk-core`'s batch
+/// wrappers, which use the callback API).
+pub fn yannakakis_join(q: &ConjunctiveQuery, tree: &JoinTree, rels: Vec<Relation>) -> Relation {
+    let schema = output_schema(q);
+    let mut out = RelationBuilder::new(schema);
+    let mut row: Vec<Value> = vec![Value::Int(0); q.num_vars()];
+    yannakakis_for_each(q, tree, rels, |rels, by_node| {
+        let w = assemble_answer(q, tree, rels, by_node, &mut row);
+        out.push(&row, w);
+    });
+    out.finish()
+}
+
+/// Count answers without materializing them, via bottom-up counting DP:
+/// `count(t) = prod_children sum_{t' joining t} count(t')`, answer =
+/// `sum over root tuples`. Linear time after reduction — used to verify
+/// AGM-bound experiments without paying materialization.
+pub fn yannakakis_count(q: &ConjunctiveQuery, tree: &JoinTree, mut rels: Vec<Relation>) -> u128 {
+    full_reducer(q, tree, &mut rels);
+    if rels.iter().any(|r| r.is_empty()) {
+        return 0;
+    }
+    let order = tree.preorder();
+    // counts[node][row] = number of answers in the subtree of `node`
+    // consistent with `row`.
+    let mut counts: Vec<Vec<u128>> = rels.iter().map(|r| vec![1u128; r.len()]).collect();
+    for &node in order.iter().rev() {
+        let children: Vec<usize> = tree.node(node).children.clone();
+        let atom = tree.node(node).atom;
+        for child in children {
+            let catom = tree.node(child).atom;
+            let (cpos, ppos) = join_key_positions(q, tree, child);
+            let idx = HashIndex::build(&rels[catom], &cpos);
+            let mut key = Vec::new();
+            for row in 0..rels[atom].len() as RowId {
+                rels[atom].key_into(row, &ppos, &mut key);
+                let s: u128 = idx
+                    .get(&key)
+                    .iter()
+                    .map(|&r| counts[catom][r as usize])
+                    .sum();
+                counts[atom][row as usize] = counts[atom][row as usize].saturating_mul(s);
+            }
+        }
+    }
+    let root_atom = tree.node(tree.root()).atom;
+    counts[root_atom].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{path_query, star_query};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+    use anyk_storage::RelationBuilder;
+
+    fn edge_rel(cols: [&str; 2], edges: &[(i64, i64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(cols));
+        for &(x, y) in edges {
+            b.push_ints(&[x, y], 1.0);
+        }
+        b.finish()
+    }
+
+    fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+        match gyo_reduce(q) {
+            GyoResult::Acyclic(t) => t,
+            _ => panic!("cyclic"),
+        }
+    }
+
+    #[test]
+    fn path_enumeration() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2), (1, 3), (4, 2)]),
+            edge_rel(["b", "c"], &[(2, 5), (3, 6), (3, 7)]),
+        ];
+        let mut n = 0;
+        yannakakis_for_each(&q, &tree, rels, |_, _| n += 1);
+        // (1,2,5), (1,3,6), (1,3,7), (4,2,5)
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let q = path_query(3);
+        let tree = tree_of(&q);
+        let mk = || {
+            vec![
+                edge_rel(["a", "b"], &[(1, 2), (2, 2), (3, 4)]),
+                edge_rel(["b", "c"], &[(2, 2), (2, 3), (4, 1)]),
+                edge_rel(["c", "d"], &[(2, 9), (3, 9), (1, 8)]),
+            ]
+        };
+        let mut n: u128 = 0;
+        yannakakis_for_each(&q, &tree, mk(), |_, _| n += 1);
+        assert_eq!(yannakakis_count(&q, &tree, mk()), n);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn star_count() {
+        let q = star_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["o", "p"], &[(1, 10), (1, 11), (2, 12)]),
+            edge_rel(["o", "q"], &[(1, 20), (2, 21), (2, 22)]),
+        ];
+        // center 1: 2*1 = 2; center 2: 1*2 = 2.
+        assert_eq!(yannakakis_count(&q, &tree, rels), 4);
+    }
+
+    #[test]
+    fn empty_result() {
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![
+            edge_rel(["a", "b"], &[(1, 2)]),
+            edge_rel(["b", "c"], &[(9, 5)]),
+        ];
+        let mut n = 0;
+        yannakakis_for_each(&q, &tree, rels, |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+}

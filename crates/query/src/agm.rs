@@ -1,0 +1,217 @@
+//! Fractional edge covers and the AGM bound (Atserias–Grohe–Marx).
+//!
+//! The AGM bound (§3) ties the worst-case output size of a join query to
+//! the optimal fractional edge cover of its hypergraph:
+//! `|Q(D)| <= prod_e |R_e|^{x_e}` for any feasible fractional cover `x`,
+//! and the bound is tight at the optimum. With all relations of size
+//! `n`, the bound is `n^{rho*}` where `rho*` is the *fractional edge
+//! cover number* — e.g. 1.5 for the triangle, 2 for the 4-cycle.
+
+use crate::hypergraph::{iter_vars, Hypergraph, VarSet};
+use crate::simplex::solve_min;
+
+/// An optimal fractional edge cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalCover {
+    /// One weight per hyperedge.
+    pub weights: Vec<f64>,
+    /// The cover number (sum of weights for the uniform objective, or
+    /// the weighted log-size objective for [`agm_bound`]).
+    pub value: f64,
+}
+
+/// The fractional edge cover number `rho*` of the vertices in `vars`
+/// using the hypergraph's edges. `vars = h.all_vars()` gives the classic
+/// query-level `rho*`.
+///
+/// Returns `None` if some vertex of `vars` is in no edge (uncoverable).
+pub fn fractional_edge_cover(h: &Hypergraph, vars: VarSet) -> Option<FractionalCover> {
+    let edges = h.edges();
+    let covered = edges.iter().fold(0u64, |acc, &e| acc | e);
+    if vars & !covered != 0 {
+        return None;
+    }
+    let active: Vec<usize> = iter_vars(vars).collect();
+    if active.is_empty() {
+        return Some(FractionalCover {
+            weights: vec![0.0; edges.len()],
+            value: 0.0,
+        });
+    }
+    let c = vec![1.0; edges.len()];
+    let a: Vec<Vec<f64>> = active
+        .iter()
+        .map(|&v| {
+            edges
+                .iter()
+                .map(|&e| if e & (1 << v) != 0 { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let b = vec![1.0; active.len()];
+    let sol = solve_min(&c, &a, &b)?;
+    Some(FractionalCover {
+        weights: sol.x,
+        value: sol.objective,
+    })
+}
+
+/// The AGM bound for the query hypergraph `h` with per-edge relation
+/// sizes `sizes`: `min prod |R_e|^{x_e}` over fractional covers `x` of
+/// all variables. Computed by minimizing `sum x_e * ln|R_e|`.
+///
+/// Relations of size 0 make the bound 0; size-1 relations contribute
+/// nothing (ln 1 = 0).
+pub fn agm_bound(h: &Hypergraph, sizes: &[usize]) -> Option<f64> {
+    assert_eq!(sizes.len(), h.num_edges());
+    if sizes.contains(&0) {
+        return Some(0.0);
+    }
+    let edges = h.edges();
+    let vars = h.all_vars();
+    let covered = edges.iter().fold(0u64, |acc, &e| acc | e);
+    if vars & !covered != 0 {
+        return None;
+    }
+    let active: Vec<usize> = iter_vars(vars).collect();
+    let c: Vec<f64> = sizes.iter().map(|&s| (s as f64).ln()).collect();
+    let a: Vec<Vec<f64>> = active
+        .iter()
+        .map(|&v| {
+            edges
+                .iter()
+                .map(|&e| if e & (1 << v) != 0 { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let b = vec![1.0; active.len()];
+    let sol = solve_min(&c, &a, &b)?;
+    Some(sol.objective.exp())
+}
+
+/// The *integral* edge cover number (smallest number of edges covering
+/// all of `vars`) — contrast with `rho*`; brute force over subsets, fine
+/// for query-sized hypergraphs.
+pub fn integral_edge_cover(h: &Hypergraph, vars: VarSet) -> Option<usize> {
+    let edges = h.edges();
+    let m = edges.len();
+    assert!(m <= 20, "brute-force cover limited to 20 edges");
+    let mut best: Option<usize> = None;
+    for mask in 0u32..(1 << m) {
+        let mut cov: VarSet = 0;
+        for e in 0..m {
+            if mask & (1 << e) != 0 {
+                cov |= edges[e];
+            }
+        }
+        if vars & !cov == 0 {
+            let k = mask.count_ones() as usize;
+            if best.is_none_or(|b| k < b) {
+                best = Some(k);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{cycle_query, path_query, star_query, triangle_query};
+
+    fn rho(q: &crate::cq::ConjunctiveQuery) -> f64 {
+        let h = Hypergraph::of_query(q);
+        fractional_edge_cover(&h, h.all_vars()).unwrap().value
+    }
+
+    #[test]
+    fn triangle_rho_is_1_5() {
+        assert!((rho(&triangle_query()) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn four_cycle_rho_is_2() {
+        assert!((rho(&cycle_query(4)) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn odd_cycles() {
+        // rho*(C_l) = l/2 for every cycle (each vertex in exactly 2
+        // edges; half-weights are optimal).
+        assert!((rho(&cycle_query(5)) - 2.5).abs() < 1e-6);
+        assert!((rho(&cycle_query(6)) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_rho_is_ceil_half() {
+        // Path of l edges: endpoints force full weight on alternating
+        // edges: rho* = ceil(l/2) ... for l=2: 2? Each of x0 and x2 is
+        // in one edge only, so both edges need weight 1 -> 2. l=3: edges
+        // 1 and 3 forced (x0, x3), they cover all but x1..x2 wait x1 in
+        // e1, x2 in e3 -> 2.
+        assert!((rho(&path_query(2)) - 2.0).abs() < 1e-6);
+        assert!((rho(&path_query(3)) - 2.0).abs() < 1e-6);
+        assert!((rho(&path_query(4)) - 3.0).abs() < 1e-6); // wrong? checked below
+    }
+
+    #[test]
+    fn star_rho() {
+        // Star with l leaves: every leaf variable in exactly one edge ->
+        // all edges weight 1 -> rho* = l.
+        assert!((rho(&star_query(3)) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agm_uniform_sizes_matches_rho() {
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let n = 1000usize;
+        let bound = agm_bound(&h, &[n, n, n]).unwrap();
+        assert!((bound - (n as f64).powf(1.5)).abs() / bound < 1e-6);
+    }
+
+    #[test]
+    fn agm_skewed_sizes() {
+        // Triangle with one tiny relation: put weight 1 on the two
+        // others? Cover constraints: each vertex covered. Sizes (1, n,
+        // n): optimal cover weights (1,?,?)... bound <= 1 * n = n via
+        // x=(1, 1, 0)? vertex C in edges 2,3: covered by edge 2 weight
+        // 1. A in 1,3: edge1 w=1. B in 1,2 ok. bound = 1^1 * n^1 = n.
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let n = 1000usize;
+        let bound = agm_bound(&h, &[1, n, n]).unwrap();
+        assert!(bound <= n as f64 * 1.0001, "bound {bound}");
+    }
+
+    #[test]
+    fn agm_zero_size() {
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        assert_eq!(agm_bound(&h, &[0, 5, 5]), Some(0.0));
+    }
+
+    #[test]
+    fn integral_vs_fractional() {
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let int = integral_edge_cover(&h, h.all_vars()).unwrap();
+        assert_eq!(int, 2);
+        let frac = fractional_edge_cover(&h, h.all_vars()).unwrap().value;
+        assert!(frac < int as f64);
+    }
+
+    #[test]
+    fn uncoverable_vars() {
+        let h = Hypergraph::new(3, vec![0b011]); // vertex 2 uncovered
+        assert!(fractional_edge_cover(&h, 0b111).is_none());
+        assert!(integral_edge_cover(&h, 0b111).is_none());
+    }
+
+    #[test]
+    fn empty_varset_costs_zero() {
+        let h = Hypergraph::new(2, vec![0b11]);
+        let c = fractional_edge_cover(&h, 0).unwrap();
+        assert_eq!(c.value, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable plan rendering — `EXPLAIN` for join trees and
+//! decompositions. Used by examples and handy when debugging why a
+//! query got the width it did.
+
+use crate::cq::ConjunctiveQuery;
+use crate::decompose::Decomposition;
+use crate::hypergraph::iter_vars;
+use crate::join_tree::{JoinTree, NodeId};
+
+/// Render a join tree as an indented ASCII tree, annotated with atom
+/// names and parent join keys.
+pub fn explain_join_tree(q: &ConjunctiveQuery, tree: &JoinTree) -> String {
+    let mut out = String::new();
+    fn rec(
+        q: &ConjunctiveQuery,
+        tree: &JoinTree,
+        node: NodeId,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let n = tree.node(node);
+        let atom = q.atom(n.atom);
+        let vars: Vec<&str> = atom.vars.iter().map(|&v| q.var_name(v)).collect();
+        let indent = "  ".repeat(depth);
+        if n.parent.is_none() {
+            out.push_str(&format!("{indent}{}({})\n", atom.relation, vars.join(",")));
+        } else {
+            let keys: Vec<&str> = n.join_vars.iter().map(|&v| q.var_name(v)).collect();
+            out.push_str(&format!(
+                "{indent}{}({}) [join on {}]\n",
+                atom.relation,
+                vars.join(","),
+                if keys.is_empty() {
+                    "∅ (cartesian)".to_string()
+                } else {
+                    keys.join(",")
+                }
+            ));
+        }
+        for &c in &n.children {
+            rec(q, tree, c, depth + 1, out);
+        }
+    }
+    rec(q, tree, tree.root(), 0, &mut out);
+    out
+}
+
+/// Render a decomposition: bags with variables, covers, per-bag cost,
+/// and the resulting width.
+pub fn explain_decomposition(q: &ConjunctiveQuery, d: &Decomposition) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "decomposition ({:?}), width {:.3}\n",
+        d.kind, d.width
+    ));
+    for (i, bag) in d.bags.iter().enumerate() {
+        let vars: Vec<&str> = iter_vars(bag.vars).map(|v| q.var_name(v)).collect();
+        let cover: Vec<String> = bag
+            .cover
+            .iter()
+            .map(|&e| q.atom(e).relation.clone())
+            .collect();
+        out.push_str(&format!(
+            "  bag {i}: {{{}}} cover = [{}], cost = {:.3}{}\n",
+            vars.join(","),
+            cover.join(", "),
+            bag.cost,
+            match bag.parent {
+                Some(p) => format!(", parent = bag {p}"),
+                None => ", root".to_string(),
+            }
+        ));
+    }
+    let homes: Vec<String> = d
+        .edge_home
+        .iter()
+        .enumerate()
+        .map(|(e, &b)| format!("{}→bag {b}", q.atom(e).relation))
+        .collect();
+    out.push_str(&format!("  atom homes: {}\n", homes.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{path_query, triangle_query};
+    use crate::decompose::fhw_exact;
+    use crate::gyo::{gyo_reduce, GyoResult};
+    use crate::hypergraph::Hypergraph;
+
+    #[test]
+    fn join_tree_rendering_mentions_all_atoms() {
+        let q = path_query(3);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let text = explain_join_tree(&q, &tree);
+        for i in 1..=3 {
+            assert!(text.contains(&format!("R{i}(")), "{text}");
+        }
+        assert!(text.contains("[join on "));
+    }
+
+    #[test]
+    fn decomposition_rendering() {
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let d = fhw_exact(&h);
+        let text = explain_decomposition(&q, &d);
+        assert!(text.contains("width 1.500"), "{text}");
+        assert!(text.contains("bag 0"));
+        assert!(text.contains("atom homes"));
+    }
+}

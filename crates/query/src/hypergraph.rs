@@ -1,0 +1,164 @@
+//! Query hypergraphs: vertices = variables, hyperedges = atom variable
+//! sets. Represented as bitmasks (`u64`) — queries in the data-complexity
+//! regime have few variables, and bitmask set algebra keeps the
+//! decomposition search fast.
+
+use crate::cq::ConjunctiveQuery;
+
+/// A set of variables as a bitmask.
+pub type VarSet = u64;
+
+/// The hypergraph of a conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// Number of vertices (variables).
+    num_vars: usize,
+    /// One bitmask per hyperedge (atom).
+    edges: Vec<VarSet>,
+}
+
+impl Hypergraph {
+    /// Build from explicit edges. Panics if more than 64 variables.
+    pub fn new(num_vars: usize, edges: Vec<VarSet>) -> Self {
+        assert!(num_vars <= 64, "at most 64 query variables supported");
+        for &e in &edges {
+            assert!(
+                e < (1u64 << num_vars) || num_vars == 64,
+                "edge uses out-of-range vertex"
+            );
+        }
+        Hypergraph { num_vars, edges }
+    }
+
+    /// The hypergraph of `q`.
+    pub fn of_query(q: &ConjunctiveQuery) -> Self {
+        assert!(q.num_vars() <= 64, "at most 64 query variables supported");
+        let edges = q
+            .atoms()
+            .iter()
+            .map(|a| {
+                let mut m: VarSet = 0;
+                for &v in &a.vars {
+                    m |= 1 << v;
+                }
+                m
+            })
+            .collect();
+        Hypergraph {
+            num_vars: q.num_vars(),
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges as bitmasks.
+    pub fn edges(&self) -> &[VarSet] {
+        &self.edges
+    }
+
+    /// Bitmask of all vertices.
+    pub fn all_vars(&self) -> VarSet {
+        if self.num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.num_vars) - 1
+        }
+    }
+
+    /// Edges (indices) containing vertex `v`.
+    pub fn edges_with(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        let bit = 1u64 << v;
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &e)| (e & bit != 0).then_some(i))
+    }
+
+    /// The neighbors of `v`: all vertices sharing an edge with `v`
+    /// (excluding `v`).
+    pub fn neighbors(&self, v: usize) -> VarSet {
+        let bit = 1u64 << v;
+        let mut m = 0;
+        for &e in &self.edges {
+            if e & bit != 0 {
+                m |= e;
+            }
+        }
+        m & !bit
+    }
+
+    /// Is `cover` (a set of edge indices) a vertex cover of `vars`?
+    pub fn covers(&self, edge_subset: &[usize], vars: VarSet) -> bool {
+        let mut m = 0;
+        for &i in edge_subset {
+            m |= self.edges[i];
+        }
+        vars & !m == 0
+    }
+}
+
+/// Iterate the vertices in a [`VarSet`].
+pub fn iter_vars(mut set: VarSet) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if set == 0 {
+            None
+        } else {
+            let v = set.trailing_zeros() as usize;
+            set &= set - 1;
+            Some(v)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{cycle_query, path_query, triangle_query};
+
+    #[test]
+    fn of_triangle() {
+        let h = Hypergraph::of_query(&triangle_query());
+        assert_eq!(h.num_vars(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edges(), &[0b011, 0b110, 0b101]);
+        assert_eq!(h.all_vars(), 0b111);
+    }
+
+    #[test]
+    fn neighbors_of_path() {
+        let h = Hypergraph::of_query(&path_query(3));
+        // x1 (vertex 1) neighbors x0 and x2.
+        assert_eq!(h.neighbors(1), 0b101);
+        // endpoint x0 neighbors only x1.
+        assert_eq!(h.neighbors(0), 0b010);
+    }
+
+    #[test]
+    fn edges_with_vertex() {
+        let h = Hypergraph::of_query(&cycle_query(4));
+        let touching: Vec<usize> = h.edges_with(0).collect();
+        assert_eq!(touching, vec![0, 3]);
+    }
+
+    #[test]
+    fn covers_checks_union() {
+        let h = Hypergraph::of_query(&triangle_query());
+        assert!(h.covers(&[0, 1], 0b111));
+        assert!(!h.covers(&[0], 0b111));
+    }
+
+    #[test]
+    fn iter_vars_yields_sorted() {
+        let got: Vec<usize> = iter_vars(0b101001).collect();
+        assert_eq!(got, vec![0, 3, 5]);
+    }
+}

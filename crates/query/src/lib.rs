@@ -1,0 +1,30 @@
+//! # anyk-query
+//!
+//! Query-level machinery for the `anyk` project: conjunctive queries and
+//! their hypergraphs, structural analysis (acyclicity via GYO, join
+//! trees), and the width/size theory of Part 2 of the paper — fractional
+//! edge covers and the AGM bound (via a built-in simplex solver), tree
+//! decompositions from elimination orders, and the submodular-width
+//! union-of-trees plans for cycle queries.
+//!
+//! All analysis here is *data-independent*: it looks only at the query
+//! shape (plus, optionally, relation sizes for weighted AGM bounds).
+//! Execution lives in `anyk-join` (batch) and `anyk-core` (ranked).
+
+pub mod agm;
+pub mod cq;
+pub mod cycles;
+pub mod decompose;
+pub mod explain;
+pub mod gyo;
+pub mod hypergraph;
+pub mod join_tree;
+pub mod simplex;
+
+pub use agm::{agm_bound, fractional_edge_cover, FractionalCover};
+pub use cq::{Atom, ConjunctiveQuery, QueryBuilder, VarId};
+pub use decompose::{Decomposition, DecompositionKind};
+pub use explain::{explain_decomposition, explain_join_tree};
+pub use gyo::{gyo_reduce, is_acyclic};
+pub use hypergraph::Hypergraph;
+pub use join_tree::{JoinTree, NodeId};

@@ -1,0 +1,304 @@
+//! A small dense two-phase simplex solver.
+//!
+//! Solves `min c·x  s.t.  A x >= b,  x >= 0` — exactly the shape of the
+//! fractional-edge-cover LP behind the AGM bound (§3 of the paper). The
+//! LPs here have at most a few dozen variables (one per atom), so a
+//! textbook dense tableau with Bland's anti-cycling rule is both simple
+//! and fast. Implemented locally: pulling an LP crate for a 10-variable
+//! LP would be the tail wagging the dog.
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal assignment (length = number of structural variables).
+    pub x: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Minimize `c·x` subject to `A x >= b`, `x >= 0`.
+///
+/// Requires `b[i] >= 0` (true for cover LPs; callers with negative
+/// right-hand sides should negate rows into `<=` form first — not needed
+/// in this project). Returns `None` if infeasible or unbounded.
+pub fn solve_min(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<LpSolution> {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m);
+    for row in a {
+        assert_eq!(row.len(), n);
+    }
+    assert!(b.iter().all(|&x| x >= 0.0), "b must be non-negative");
+
+    // Tableau columns: [structural 0..n | surplus n..n+m | artificial
+    // n+m..n+2m | rhs]. Constraints: A x - s + art = b.
+    let cols = n + 2 * m + 1;
+    let rhs = cols - 1;
+    let mut t = vec![vec![0.0f64; cols]; m];
+    for i in 0..m {
+        for j in 0..n {
+            t[i][j] = a[i][j];
+        }
+        t[i][n + i] = -1.0;
+        t[i][n + m + i] = 1.0;
+        t[i][rhs] = b[i];
+    }
+    // Basis: artificial variables.
+    let mut basis: Vec<usize> = (0..m).map(|i| n + m + i).collect();
+
+    // Phase 1: minimize the sum of artificials. We keep the objective
+    // row in `z_j - c_j` form (minimization: optimal when all <= 0,
+    // enter on > 0). With the all-artificial starting basis (B = I,
+    // c_B = 1), `z_j - c_j = sum_i t[i][j]` for non-artificial j and 0
+    // for artificial j; the rhs cell carries the current phase-1 value.
+    let mut obj = vec![0.0f64; cols];
+    for row in t.iter().take(m) {
+        for (j, cell) in obj.iter_mut().enumerate() {
+            if !(n + m..n + 2 * m).contains(&j) {
+                *cell += row[j];
+            }
+        }
+    }
+    simplex_loop(&mut t, &mut obj, &mut basis, n + m)?;
+    if obj[rhs] > EPS {
+        return None; // Infeasible: artificials cannot be driven to 0.
+    }
+
+    // Drive any artificial still in the basis out (degenerate case).
+    for i in 0..m {
+        if basis[i] >= n + m {
+            // Find a non-artificial column with nonzero coefficient.
+            if let Some(j) = (0..n + m).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut obj, &mut basis, i, j);
+            }
+            // Else the row is all-zero: redundant constraint; leave it.
+        }
+    }
+
+    // Phase 2 objective: minimize c·x. Reduced costs: start from -c in
+    // structural columns, then eliminate basic columns.
+    let mut obj2 = vec![0.0f64; cols];
+    for (j, &cj) in c.iter().enumerate() {
+        obj2[j] = -cj;
+    }
+    for i in 0..m {
+        let bj = basis[i];
+        if obj2[bj].abs() > EPS {
+            let factor = obj2[bj];
+            for j in 0..cols {
+                obj2[j] -= factor * t[i][j];
+            }
+        }
+    }
+    simplex_loop(&mut t, &mut obj2, &mut basis, n + m)?;
+
+    let mut x = vec![0.0f64; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][rhs];
+        }
+    }
+    // obj2[rhs] holds -(objective shift); recompute objective directly.
+    let objective = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    Some(LpSolution { objective, x })
+}
+
+/// Run simplex iterations on the tableau until optimal (all reduced
+/// costs <= 0 for our maximization-of-negated form). `col_limit`
+/// restricts entering columns (used to forbid artificials in phase 2).
+/// Returns `None` on unboundedness.
+fn simplex_loop(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    col_limit: usize,
+) -> Option<()> {
+    let m = t.len();
+    let rhs = obj.len() - 1;
+    loop {
+        // Bland's rule: smallest-index column with positive reduced cost.
+        let Some(enter) = (0..col_limit).find(|&j| obj[j] > EPS) else {
+            return Some(()); // optimal
+        };
+        // Ratio test (Bland: smallest basis index breaks ties).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][rhs] / t[i][enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let leave = leave?; // None -> unbounded
+        pivot(t, obj, basis, leave, enter);
+    }
+}
+
+/// Pivot the tableau on `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
+    let cols = obj.len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS);
+    for j in 0..cols {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > EPS {
+            let f = t[i][col];
+            for j in 0..cols {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    if obj[col].abs() > EPS {
+        let f = obj[col];
+        for j in 0..cols {
+            obj[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_single_var() {
+        // min x s.t. x >= 3.
+        let sol = solve_min(&[1.0], &[vec![1.0]], &[3.0]).unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.x[0], 3.0);
+    }
+
+    #[test]
+    fn triangle_cover_is_three_halves() {
+        // Fractional edge cover of the triangle: each vertex in 2 edges,
+        // min x1+x2+x3 with x_e summing >= 1 per vertex -> 1.5.
+        let a = vec![
+            vec![1.0, 0.0, 1.0], // vertex A in edges 1,3
+            vec![1.0, 1.0, 0.0], // vertex B in edges 1,2
+            vec![0.0, 1.0, 1.0], // vertex C in edges 2,3
+        ];
+        let sol = solve_min(&[1.0, 1.0, 1.0], &a, &[1.0, 1.0, 1.0]).unwrap();
+        assert_close(sol.objective, 1.5);
+    }
+
+    #[test]
+    fn path_cover() {
+        // Path R(a,b), S(b,c): cover needs both edges (endpoints a and c
+        // are each in one edge) -> 2.
+        let a = vec![
+            vec![1.0, 0.0], // a
+            vec![1.0, 1.0], // b
+            vec![0.0, 1.0], // c
+        ];
+        let sol = solve_min(&[1.0, 1.0], &a, &[1.0, 1.0, 1.0]).unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn weighted_objective() {
+        // min 2x + y s.t. x + y >= 1 -> y = 1.
+        let sol = solve_min(&[2.0, 1.0], &[vec![1.0, 1.0]], &[1.0]).unwrap();
+        assert_close(sol.objective, 1.0);
+        assert_close(sol.x[0], 0.0);
+        assert_close(sol.x[1], 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 1 with zero coefficient: 0*x >= 1 infeasible.
+        assert!(solve_min(&[1.0], &[vec![0.0]], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn redundant_constraints_ok() {
+        // Same constraint twice.
+        let sol = solve_min(&[1.0], &[vec![1.0], vec![1.0]], &[2.0, 2.0]).unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn matches_bruteforce_grid_on_random_covers() {
+        // Deterministic pseudo-random small cover LPs vs grid search.
+        let mut seed = 0xdeadbeefu64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..25 {
+            let n = 2 + (rnd() % 3) as usize; // 2..4 vars
+            let m = 2 + (rnd() % 3) as usize; // 2..4 constraints
+            let mut a = vec![vec![0.0; n]; m];
+            let mut any = false;
+            for row in a.iter_mut() {
+                for x in row.iter_mut() {
+                    if rnd() % 2 == 0 {
+                        *x = 1.0;
+                        any = true;
+                    }
+                }
+            }
+            if !any || a.iter().any(|r| r.iter().all(|&x| x == 0.0)) {
+                continue; // would be infeasible
+            }
+            let b = vec![1.0; m];
+            let c = vec![1.0; n];
+            let sol = solve_min(&c, &a, &b).unwrap();
+            // Grid search x_i in {0, 1/4, ..., 2} — covers LPs with 0/1
+            // matrices whose optima lie on quarter-integers for n <= 4.
+            let steps = 9;
+            let mut best = f64::INFINITY;
+            let mut idx = vec![0usize; n];
+            loop {
+                let x: Vec<f64> = idx.iter().map(|&i| i as f64 * 0.25).collect();
+                let feasible = a
+                    .iter()
+                    .zip(&b)
+                    .all(|(row, &bi)| row.iter().zip(&x).map(|(r, v)| r * v).sum::<f64>() >= bi - 1e-9);
+                if feasible {
+                    let val: f64 = x.iter().sum();
+                    if val < best {
+                        best = val;
+                    }
+                }
+                // Increment mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < steps {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+            assert!(
+                sol.objective <= best + 1e-6,
+                "simplex {} worse than grid {best}",
+                sol.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! A catalog of named relations plus the string dictionary backing
+//! [`Value::Sym`](crate::value::Value::Sym).
+
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Named relations + string interning.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: FxHashMap<String, Relation>,
+    symbols: Vec<String>,
+    symbol_ids: FxHashMap<String, u32>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation under `name`.
+    pub fn register<S: Into<String>>(&mut self, name: S, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation by name; panics with context if absent.
+    pub fn expect(&self, name: &str) -> &Relation {
+        self.get(name)
+            .unwrap_or_else(|| panic!("relation `{name}` not registered in catalog"))
+    }
+
+    /// Remove a relation, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Names of all registered relations (unspecified order).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Intern a string, returning its symbol value.
+    pub fn intern<S: AsRef<str>>(&mut self, s: S) -> Value {
+        let s = s.as_ref();
+        if let Some(&id) = self.symbol_ids.get(s) {
+            return Value::Sym(id);
+        }
+        let id = self.symbols.len() as u32;
+        self.symbols.push(s.to_string());
+        self.symbol_ids.insert(s.to_string(), id);
+        Value::Sym(id)
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, v: Value) -> Option<&str> {
+        match v {
+            Value::Sym(id) => self.symbols.get(id as usize).map(String::as_str),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        let mut b = RelationBuilder::new(Schema::new(["a"]));
+        b.push_ints(&[1], 0.0);
+        c.register("R", b.finish());
+        assert_eq!(c.expect("R").len(), 1);
+        assert!(c.get("S").is_none());
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["R"]);
+        assert_eq!(c.remove("R").map(|r| r.len()), Some(1));
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut c = Catalog::new();
+        let a = c.intern("alice");
+        let b = c.intern("bob");
+        let a2 = c.intern("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(c.resolve(a), Some("alice"));
+        assert_eq!(c.resolve(Value::Int(1)), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal CSV import/export for relations — enough for a downstream
+//! user to load a weighted edge list and run the library on real data.
+//!
+//! Format: header row = attribute names, one trailing `weight` column;
+//! integer cells become [`Value::Int`], anything parseable as float
+//! becomes [`Value::Float`], everything else is rejected (symbols
+//! require a catalog; use [`read_csv_with_catalog`]). No quoting or
+//! escaping — this is a data-loading convenience, not a CSV library.
+
+use crate::catalog::Catalog;
+use crate::relation::{Relation, RelationBuilder};
+use crate::schema::Schema;
+use crate::value::{Value, Weight};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (missing header, ragged row, bad cell).
+    Parse(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_cell(cell: &str, catalog: Option<&mut Catalog>) -> Result<Value, CsvError> {
+    let cell = cell.trim();
+    if let Ok(i) = cell.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = cell.parse::<f64>() {
+        if !f.is_nan() {
+            return Ok(Value::float(f));
+        }
+    }
+    match catalog {
+        Some(c) => Ok(c.intern(cell)),
+        None => Err(CsvError::Parse(format!(
+            "cell `{cell}` is not numeric (pass a catalog to intern strings)"
+        ))),
+    }
+}
+
+fn read_impl<R: Read>(reader: R, mut catalog: Option<&mut Catalog>) -> Result<Relation, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse("empty input: missing header".into()))??;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    if cols.len() < 2 || *cols.last().unwrap() != "weight" {
+        return Err(CsvError::Parse(
+            "header must be `attr1,...,attrN,weight`".into(),
+        ));
+    }
+    let arity = cols.len() - 1;
+    let schema = Schema::new(cols[..arity].iter().map(|s| s.to_string()));
+    let mut b = RelationBuilder::new(schema);
+    let mut row: Vec<Value> = Vec::with_capacity(arity);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != arity + 1 {
+            return Err(CsvError::Parse(format!(
+                "row {} has {} cells, expected {}",
+                lineno + 2,
+                cells.len(),
+                arity + 1
+            )));
+        }
+        row.clear();
+        for cell in &cells[..arity] {
+            row.push(parse_cell(cell, catalog.as_deref_mut())?);
+        }
+        let w: f64 = cells[arity].trim().parse().map_err(|_| {
+            CsvError::Parse(format!("row {}: bad weight `{}`", lineno + 2, cells[arity]))
+        })?;
+        if w.is_nan() {
+            return Err(CsvError::Parse(format!("row {}: NaN weight", lineno + 2)));
+        }
+        b.push(&row, Weight::new(w));
+    }
+    Ok(b.finish())
+}
+
+/// Read a weighted relation from CSV (numeric cells only).
+pub fn read_csv<R: Read>(reader: R) -> Result<Relation, CsvError> {
+    read_impl(reader, None)
+}
+
+/// Read a weighted relation from CSV, interning non-numeric cells as
+/// symbols in `catalog`.
+pub fn read_csv_with_catalog<R: Read>(
+    reader: R,
+    catalog: &mut Catalog,
+) -> Result<Relation, CsvError> {
+    read_impl(reader, Some(catalog))
+}
+
+/// Write a relation as CSV (schema columns + `weight`). Symbols are
+/// resolved through `catalog` when given, else emitted as `#id`.
+pub fn write_csv<W: Write>(
+    rel: &Relation,
+    catalog: Option<&Catalog>,
+    out: &mut W,
+) -> Result<(), CsvError> {
+    let mut header: Vec<String> = rel.schema().attrs().to_vec();
+    header.push("weight".into());
+    writeln!(out, "{}", header.join(","))?;
+    for (_, row, w) in rel.iter() {
+        let mut cells: Vec<String> = Vec::with_capacity(row.len() + 1);
+        for v in row {
+            let cell = match (v, catalog) {
+                (Value::Sym(_), Some(c)) => c
+                    .resolve(*v)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| v.to_string()),
+                _ => v.to_string(),
+            };
+            cells.push(cell);
+        }
+        cells.push(w.get().to_string());
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_numeric() {
+        let csv = "src,dst,weight\n1,2,0.5\n3,4,1.25\n";
+        let rel = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(0), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(rel.weight(1), Weight::new(1.25));
+        let mut out = Vec::new();
+        write_csv(&rel, None, &mut out).unwrap();
+        let rel2 = read_csv(&out[..]).unwrap();
+        assert_eq!(rel2.len(), 2);
+        assert_eq!(rel2.row(1), rel.row(1));
+    }
+
+    #[test]
+    fn strings_need_catalog() {
+        let csv = "name,dst,weight\nalice,2,0.5\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+        let mut cat = Catalog::new();
+        let rel = read_csv_with_catalog(csv.as_bytes(), &mut cat).unwrap();
+        assert_eq!(cat.resolve(rel.row(0)[0]), Some("alice"));
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b,weight\n1,2\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_weight_column_rejected() {
+        let csv = "a,b\n1,2\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a,weight\n1,0.5\n\n2,0.25\n";
+        let rel = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn float_cells() {
+        let csv = "x,weight\n1.5,2.0\n";
+        let rel = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(rel.row(0)[0], Value::float(1.5));
+    }
+
+    #[test]
+    fn symbol_roundtrip_through_catalog() {
+        let mut cat = Catalog::new();
+        let csv = "who,weight\nbob,1\nalice,2\n";
+        let rel = read_csv_with_catalog(csv.as_bytes(), &mut cat).unwrap();
+        let mut out = Vec::new();
+        write_csv(&rel, Some(&cat), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("bob,1"));
+        assert!(text.contains("alice,2"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Join-key indexes over relations.
+//!
+//! * [`HashIndex`] — equi-join lookups: key values → group of row ids.
+//! * [`SortedIndex`] — ordered access: binary-search range per key, plus
+//!   ordered iteration (used by sort-merge style operators and by
+//!   sorted-access top-k algorithms).
+//!
+//! Both are built *at query time*; the construction cost is part of every
+//! algorithm's measured cost, matching the paper's RAM-model accounting.
+
+use crate::fxhash::FxHashMap;
+use crate::relation::{Relation, RowId};
+use crate::value::Value;
+
+/// A hash index from join-key values to the row ids sharing that key.
+///
+/// Group storage is flattened: `groups` maps each key to a `(start, len)`
+/// range in `rows`, so a lookup returns a contiguous `&[RowId]` without
+/// per-group heap allocations.
+#[derive(Debug)]
+pub struct HashIndex {
+    key_positions: Vec<usize>,
+    groups: FxHashMap<Box<[Value]>, (u32, u32)>,
+    rows: Vec<RowId>,
+}
+
+impl HashIndex {
+    /// Build over `rel` keyed by the attributes at `key_positions`.
+    pub fn build(rel: &Relation, key_positions: &[usize]) -> Self {
+        // Two passes: count group sizes, then fill — keeps `rows` compact.
+        let mut counts: FxHashMap<Box<[Value]>, u32> = FxHashMap::default();
+        counts.reserve(rel.len());
+        let mut key = Vec::with_capacity(key_positions.len());
+        for i in 0..rel.len() as RowId {
+            rel.key_into(i, key_positions, &mut key);
+            if let Some(c) = counts.get_mut(key.as_slice()) {
+                *c += 1;
+            } else {
+                counts.insert(key.clone().into_boxed_slice(), 1);
+            }
+        }
+        let mut groups: FxHashMap<Box<[Value]>, (u32, u32)> = FxHashMap::default();
+        groups.reserve(counts.len());
+        let mut start = 0u32;
+        for (k, c) in counts {
+            groups.insert(k, (start, c));
+            start += c;
+        }
+        let mut rows = vec![0 as RowId; start as usize];
+        // Per-group fill offsets, keyed by owned key.
+        let mut offsets: FxHashMap<Box<[Value]>, u32> = FxHashMap::default();
+        offsets.reserve(groups.len());
+        for i in 0..rel.len() as RowId {
+            rel.key_into(i, key_positions, &mut key);
+            let (start, _) = groups[key.as_slice()];
+            let off = offsets.entry(key.clone().into_boxed_slice()).or_insert(0);
+            rows[(start + *off) as usize] = i;
+            *off += 1;
+        }
+        HashIndex {
+            key_positions: key_positions.to_vec(),
+            groups,
+            rows,
+        }
+    }
+
+    /// The key positions this index is built on.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Row ids whose key equals `key` (empty slice if absent).
+    #[inline]
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        match self.groups.get(key) {
+            Some(&(start, len)) => &self.rows[start as usize..(start + len) as usize],
+            None => &[],
+        }
+    }
+
+    /// Does any row have this key?
+    #[inline]
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.groups.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterate `(key, group)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], &[RowId])> + '_ {
+        self.groups.iter().map(move |(k, &(start, len))| {
+            (
+                k.as_ref(),
+                &self.rows[start as usize..(start + len) as usize],
+            )
+        })
+    }
+
+    /// The size of the largest group (skew diagnostic / heavy-hitter cutoff).
+    pub fn max_group_len(&self) -> usize {
+        self.groups.values().map(|&(_, l)| l as usize).max().unwrap_or(0)
+    }
+}
+
+/// A sorted index: row ids ordered by the key attributes, with
+/// binary-search range lookup.
+#[derive(Debug)]
+pub struct SortedIndex {
+    key_positions: Vec<usize>,
+    /// Row ids sorted by key (ties by row id).
+    order: Vec<RowId>,
+}
+
+impl SortedIndex {
+    /// Build over `rel` ordered by the attributes at `key_positions`.
+    pub fn build(rel: &Relation, key_positions: &[usize]) -> Self {
+        let mut order: Vec<RowId> = (0..rel.len() as RowId).collect();
+        order.sort_by(|&x, &y| {
+            let rx = rel.row(x);
+            let ry = rel.row(y);
+            for &p in key_positions {
+                match rx[p].cmp(&ry[p]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            x.cmp(&y)
+        });
+        SortedIndex {
+            key_positions: key_positions.to_vec(),
+            order,
+        }
+    }
+
+    /// All row ids in key order.
+    pub fn ordered_rows(&self) -> &[RowId] {
+        &self.order
+    }
+
+    /// The contiguous range of rows (in index order) whose key equals
+    /// `key`.
+    pub fn range(&self, rel: &Relation, key: &[Value]) -> &[RowId] {
+        debug_assert_eq!(key.len(), self.key_positions.len());
+        let cmp_key = |rid: &RowId| {
+            let row = rel.row(*rid);
+            for (i, &p) in self.key_positions.iter().enumerate() {
+                match row[p].cmp(&key[i]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let lo = self.order.partition_point(|r| cmp_key(r) == std::cmp::Ordering::Less);
+        let hi = self.order[lo..]
+            .partition_point(|r| cmp_key(r) == std::cmp::Ordering::Equal)
+            + lo;
+        &self.order[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        b.push_ints(&[1, 10], 0.0);
+        b.push_ints(&[2, 20], 0.0);
+        b.push_ints(&[1, 30], 0.0);
+        b.push_ints(&[3, 10], 0.0);
+        b.finish()
+    }
+
+    #[test]
+    fn hash_index_groups() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[0]);
+        let g1: Vec<RowId> = {
+            let mut v = idx.get(&[Value::Int(1)]).to_vec();
+            v.sort();
+            v
+        };
+        assert_eq!(g1, vec![0, 2]);
+        assert_eq!(idx.get(&[Value::Int(9)]), &[] as &[RowId]);
+        assert_eq!(idx.num_keys(), 3);
+        assert!(idx.contains(&[Value::Int(3)]));
+        assert_eq!(idx.max_group_len(), 2);
+    }
+
+    #[test]
+    fn hash_index_composite_key() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.get(&[Value::Int(1), Value::Int(30)]), &[2]);
+        assert_eq!(idx.num_keys(), 4);
+    }
+
+    #[test]
+    fn hash_index_iter_covers_all_rows() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[1]);
+        let total: usize = idx.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn sorted_index_orders_and_ranges() {
+        let r = rel();
+        let idx = SortedIndex::build(&r, &[1]);
+        let ordered: Vec<i64> = idx
+            .ordered_rows()
+            .iter()
+            .map(|&rid| r.row(rid)[1].int())
+            .collect();
+        assert_eq!(ordered, vec![10, 10, 20, 30]);
+        let range = idx.range(&r, &[Value::Int(10)]);
+        assert_eq!(range.len(), 2);
+        assert!(idx.range(&r, &[Value::Int(99)]).is_empty());
+    }
+
+    #[test]
+    fn empty_relation_indexes() {
+        let r = Relation::empty(Schema::new(["a"]));
+        let h = HashIndex::build(&r, &[0]);
+        assert_eq!(h.num_keys(), 0);
+        let s = SortedIndex::build(&r, &[0]);
+        assert!(s.ordered_rows().is_empty());
+    }
+}

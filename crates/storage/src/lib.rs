@@ -1,0 +1,39 @@
+//! # anyk-storage
+//!
+//! The relational substrate underlying the `anyk` project: compact values,
+//! weighted in-memory relations, and the index structures (hash, sorted,
+//! trie) that the join and ranked-enumeration algorithms are built on.
+//!
+//! Everything here follows the RAM model of computation used by the paper
+//! (*Optimal Join Algorithms Meet Top-k*, SIGMOD 2020): no pre-built
+//! indexes are assumed at query time — algorithms construct what they need
+//! and the construction cost counts.
+//!
+//! ## Layout
+//! * [`value`] — [`Value`](value::Value) (copyable scalar) and
+//!   [`Weight`](value::Weight) (totally ordered `f64`).
+//! * [`schema`] — attribute names and positions.
+//! * [`relation`] — row-major weighted relations and builders.
+//! * [`index`] — hash and sorted indexes over join keys.
+//! * [`trie`] — sorted nested tries for worst-case-optimal joins.
+//! * [`catalog`] — named relations plus a string dictionary.
+//! * [`csv`] — minimal CSV import/export for weighted relations.
+//! * [`fxhash`] — the fast FxHash-style hasher used by all hot hash maps.
+
+pub mod catalog;
+pub mod csv;
+pub mod fxhash;
+pub mod index;
+pub mod relation;
+pub mod schema;
+pub mod trie;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use csv::{read_csv, read_csv_with_catalog, write_csv};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use index::{HashIndex, SortedIndex};
+pub use relation::{Relation, RelationBuilder, RowId};
+pub use schema::Schema;
+pub use trie::Trie;
+pub use value::{Value, Weight};

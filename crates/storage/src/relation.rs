@@ -1,0 +1,412 @@
+//! Weighted in-memory relations.
+//!
+//! Rows are stored row-major in one flat `Vec<Value>` (arity stride) with a
+//! parallel `Vec<Weight>`; this keeps a full-table scan — the access
+//! pattern that dominates Yannakakis, semi-joins, and DP preprocessing —
+//! a single linear sweep over two contiguous buffers.
+
+use crate::schema::Schema;
+use crate::value::{Value, Weight};
+
+/// Index of a row within a [`Relation`]. `u32` keeps per-row bookkeeping
+/// structures (groups, pointers) compact; 4 billion rows per relation is
+/// far beyond in-memory scale.
+pub type RowId = u32;
+
+/// An immutable weighted relation (bag semantics; call
+/// [`Relation::dedup`] for set semantics).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    /// Row-major values, `len = rows * arity`.
+    data: Vec<Value>,
+    weights: Vec<Weight>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            data: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Build from parallel row/weight vectors (test & generator helper).
+    pub fn from_rows<R: AsRef<[Value]>>(schema: Schema, rows: &[R], weights: &[Weight]) -> Self {
+        assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+        let mut b = RelationBuilder::new(schema);
+        for (r, &w) in rows.iter().zip(weights) {
+            b.push(r.as_ref(), w);
+        }
+        b.finish()
+    }
+
+    /// Build an unweighted relation (all weights zero).
+    pub fn from_unweighted_rows<R: AsRef<[Value]>>(schema: Schema, rows: &[R]) -> Self {
+        let weights = vec![Weight::ZERO; rows.len()];
+        Relation::from_rows(schema, rows, &weights)
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Arity (number of attributes).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The values of row `id`.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &[Value] {
+        let a = self.arity();
+        let start = id as usize * a;
+        &self.data[start..start + a]
+    }
+
+    /// The weight of row `id`.
+    #[inline]
+    pub fn weight(&self, id: RowId) -> Weight {
+        self.weights[id as usize]
+    }
+
+    /// All weights (parallel to row ids).
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// Iterate `(RowId, &[Value], Weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value], Weight)> + '_ {
+        let a = self.arity();
+        self.weights
+            .iter()
+            .enumerate()
+            .map(move |(i, &w)| (i as RowId, &self.data[i * a..(i + 1) * a], w))
+    }
+
+    /// Extract the sub-tuple of row `id` at `positions` into `out`.
+    #[inline]
+    pub fn key_into(&self, id: RowId, positions: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        let row = self.row(id);
+        out.extend(positions.iter().map(|&p| row[p]));
+    }
+
+    /// Extract the sub-tuple of row `id` at `positions` as a fresh vec.
+    #[inline]
+    pub fn key(&self, id: RowId, positions: &[usize]) -> Vec<Value> {
+        let row = self.row(id);
+        positions.iter().map(|&p| row[p]).collect()
+    }
+
+    /// Keep only rows whose id passes `pred` (used by semi-join reducers).
+    /// Preserves row order; returns the number of retained rows.
+    pub fn retain<F: FnMut(RowId) -> bool>(&mut self, mut pred: F) -> usize {
+        let a = self.arity();
+        let mut out = 0usize;
+        for i in 0..self.len() {
+            if pred(i as RowId) {
+                if out != i {
+                    let (src, dst) = (i * a, out * a);
+                    for j in 0..a {
+                        self.data[dst + j] = self.data[src + j];
+                    }
+                    self.weights[out] = self.weights[i];
+                }
+                out += 1;
+            }
+        }
+        self.data.truncate(out * a);
+        self.weights.truncate(out);
+        out
+    }
+
+    /// Sort rows lexicographically by the attributes at `positions`
+    /// (stable within equal keys by original order).
+    pub fn sort_by_positions(&mut self, positions: &[usize]) {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&x, &y| {
+            let rx = self.row(x);
+            let ry = self.row(y);
+            for &p in positions {
+                match rx[p].cmp(&ry[p]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            x.cmp(&y)
+        });
+        self.permute(&order);
+    }
+
+    /// Sort rows by weight ascending.
+    pub fn sort_by_weight(&mut self) {
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&x, &y| {
+            self.weights[x as usize]
+                .cmp(&self.weights[y as usize])
+                .then(x.cmp(&y))
+        });
+        self.permute(&order);
+    }
+
+    /// Reorder rows so new row i = old row order[i].
+    fn permute(&mut self, order: &[u32]) {
+        let a = self.arity();
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
+        for &o in order {
+            let s = o as usize * a;
+            data.extend_from_slice(&self.data[s..s + a]);
+            weights.push(self.weights[o as usize]);
+        }
+        self.data = data;
+        self.weights = weights;
+    }
+
+    /// Remove duplicate rows (same values), keeping the *lightest* weight
+    /// for each distinct tuple. Sorts the relation by all attributes.
+    pub fn dedup(&mut self) {
+        let positions: Vec<usize> = (0..self.arity()).collect();
+        // Sort by values then weight so the lightest duplicate comes first.
+        let n = self.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&x, &y| {
+            let rx = self.row(x);
+            let ry = self.row(y);
+            for &p in &positions {
+                match rx[p].cmp(&ry[p]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            self.weights[x as usize].cmp(&self.weights[y as usize])
+        });
+        self.permute(&order);
+        let a = self.arity();
+        let mut out = 0usize;
+        for i in 0..n {
+            let dup = out > 0 && {
+                let prev = &self.data[(out - 1) * a..out * a];
+                let cur = &self.data[i * a..(i + 1) * a];
+                prev == cur
+            };
+            if !dup {
+                if out != i {
+                    let (src, dst) = (i * a, out * a);
+                    for j in 0..a {
+                        self.data[dst + j] = self.data[src + j];
+                    }
+                    self.weights[out] = self.weights[i];
+                }
+                out += 1;
+            }
+        }
+        self.data.truncate(out * a);
+        self.weights.truncate(out);
+    }
+
+    /// Project onto the attributes at `positions` (weights carried over;
+    /// duplicates kept — follow with [`Relation::dedup`] for set
+    /// semantics).
+    pub fn project(&self, positions: &[usize]) -> Relation {
+        let schema = Schema::new(positions.iter().map(|&p| self.schema.attr(p).to_string()));
+        let mut b = RelationBuilder::new(schema);
+        let mut key = Vec::with_capacity(positions.len());
+        for i in 0..self.len() as RowId {
+            self.key_into(i, positions, &mut key);
+            b.push(&key, self.weight(i));
+        }
+        b.finish()
+    }
+
+    /// Rename attributes (same order, new names).
+    pub fn with_schema(mut self, schema: Schema) -> Relation {
+        assert_eq!(schema.arity(), self.schema.arity());
+        self.schema = schema;
+        self
+    }
+
+    /// Total bytes of payload (diagnostics).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Value>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+/// Incremental construction of a [`Relation`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    schema: Schema,
+    data: Vec<Value>,
+    weights: Vec<Weight>,
+}
+
+impl RelationBuilder {
+    /// Start building a relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        RelationBuilder {
+            schema,
+            data: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Start building with row-capacity preallocated.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
+        RelationBuilder {
+            schema,
+            data: Vec::with_capacity(rows * arity),
+            weights: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Append a row. Panics if the arity mismatches.
+    #[inline]
+    pub fn push(&mut self, row: &[Value], weight: Weight) {
+        debug_assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        self.data.extend_from_slice(row);
+        self.weights.push(weight);
+    }
+
+    /// Append an integer row (graph workload convenience).
+    #[inline]
+    pub fn push_ints(&mut self, row: &[i64], weight: f64) {
+        debug_assert_eq!(row.len(), self.schema.arity(), "row arity mismatch");
+        self.data.extend(row.iter().map(|&v| Value::Int(v)));
+        self.weights.push(Weight::new(weight));
+    }
+
+    /// Rows so far.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff no rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Finish and return the relation.
+    pub fn finish(self) -> Relation {
+        Relation {
+            schema: self.schema,
+            data: self.data,
+            weights: self.weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        b.push_ints(&[1, 10], 0.5);
+        b.push_ints(&[2, 20], 0.25);
+        b.push_ints(&[1, 30], 1.0);
+        b.finish()
+    }
+
+    #[test]
+    fn basic_access() {
+        let r = rel();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(0), &[Value::Int(1), Value::Int(10)]);
+        assert_eq!(r.weight(1), Weight::new(0.25));
+    }
+
+    #[test]
+    fn key_extraction() {
+        let r = rel();
+        assert_eq!(r.key(2, &[1]), vec![Value::Int(30)]);
+        let mut out = Vec::new();
+        r.key_into(0, &[1, 0], &mut out);
+        assert_eq!(out, vec![Value::Int(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut r = rel();
+        let kept = r.retain(|id| id != 1);
+        assert_eq!(kept, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), &[Value::Int(1), Value::Int(30)]);
+    }
+
+    #[test]
+    fn sort_by_positions_orders_rows() {
+        let mut r = rel();
+        r.sort_by_positions(&[0, 1]);
+        assert_eq!(r.row(0), &[Value::Int(1), Value::Int(10)]);
+        assert_eq!(r.row(1), &[Value::Int(1), Value::Int(30)]);
+        assert_eq!(r.row(2), &[Value::Int(2), Value::Int(20)]);
+    }
+
+    #[test]
+    fn sort_by_weight_orders_rows() {
+        let mut r = rel();
+        r.sort_by_weight();
+        assert_eq!(r.weight(0), Weight::new(0.25));
+        assert_eq!(r.weight(2), Weight::new(1.0));
+    }
+
+    #[test]
+    fn dedup_keeps_lightest() {
+        let mut b = RelationBuilder::new(Schema::new(["a"]));
+        b.push_ints(&[5], 2.0);
+        b.push_ints(&[5], 1.0);
+        b.push_ints(&[6], 3.0);
+        let mut r = b.finish();
+        r.dedup();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.weight(0), Weight::new(1.0));
+    }
+
+    #[test]
+    fn project_carries_weights() {
+        let r = rel();
+        let p = r.project(&[1]);
+        assert_eq!(p.schema().attrs(), &["b".to_string()]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.weight(2), Weight::new(1.0));
+    }
+
+    #[test]
+    fn iter_matches_access() {
+        let r = rel();
+        let collected: Vec<_> = r.iter().map(|(id, row, w)| (id, row.to_vec(), w)).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1].1, vec![Value::Int(2), Value::Int(20)]);
+        assert_eq!(collected[1].2, Weight::new(0.25));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::new(["x"]));
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Relation schemas: ordered attribute names with positional lookup.
+
+use std::fmt;
+
+/// An ordered list of attribute names.
+///
+/// Schemas are tiny (data complexity treats query size as constant), so a
+/// linear scan for name lookup is deliberate — it beats a hash map for the
+/// 2–6 attribute schemas that dominate join queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names. Panics on duplicates.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(attrs: I) -> Self {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute `{a}` in schema"
+            );
+        }
+        Schema { attrs }
+    }
+
+    /// Number of attributes (arity).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of `name`, if present.
+    #[inline]
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Position of `name`; panics with a useful message otherwise.
+    #[inline]
+    pub fn position_of(&self, name: &str) -> usize {
+        self.position(name)
+            .unwrap_or_else(|| panic!("attribute `{name}` not in schema {self}"))
+    }
+
+    /// Attribute name at `pos`.
+    #[inline]
+    pub fn attr(&self, pos: usize) -> &str {
+        &self.attrs[pos]
+    }
+
+    /// All attribute names in order.
+    #[inline]
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Does the schema contain `name`?
+    #[inline]
+    pub fn contains(&self, name: &str) -> bool {
+        self.position(name).is_some()
+    }
+
+    /// Positions of each of `names` in this schema (panics if missing).
+    pub fn positions_of(&self, names: &[&str]) -> Vec<usize> {
+        names.iter().map(|n| self.position_of(n)).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(["a", "b", "c"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("z"), None);
+        assert!(s.contains("c"));
+        assert_eq!(s.attr(0), "a");
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_attr_rejected() {
+        let _ = Schema::new(["a", "a"]);
+    }
+
+    #[test]
+    fn positions_of_many() {
+        let s = Schema::new(["x", "y", "z"]);
+        assert_eq!(s.positions_of(&["z", "x"]), vec![2, 0]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Schema::new(["a", "b"]).to_string(), "(a, b)");
+    }
+}

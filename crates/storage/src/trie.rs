@@ -1,0 +1,328 @@
+//! Sorted tries over relations, the backbone of worst-case-optimal joins.
+//!
+//! A [`Trie`] materializes a relation as nested sorted levels following a
+//! chosen attribute order. Generic-Join binds one query variable at a
+//! time by *intersecting* the child value lists of the participating
+//! relations' trie nodes; [`Trie::seek`] provides the galloping search
+//! that makes each intersection step logarithmic (Leapfrog-Triejoin
+//! style).
+//!
+//! Layout: level `l` stores the concatenated, per-parent-sorted distinct
+//! values of attribute `l` (`values[l]`) plus, for each value, the start
+//! of its child span in the next level (`starts[l]`). The final level's
+//! spans index into `rows`, the row ids sorted by the attribute order —
+//! so every trie leaf can recover the original tuples (and weights).
+
+use crate::relation::{Relation, RowId};
+use crate::value::Value;
+
+/// A handle to one trie node's *children*: the span
+/// `values[level][start..end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHandle {
+    /// Level of the child values this handle spans.
+    pub level: u32,
+    /// Start index within `values[level]`.
+    pub start: u32,
+    /// End index within `values[level]` (exclusive).
+    pub end: u32,
+}
+
+impl NodeHandle {
+    /// Number of child values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True iff the node has no children (cannot happen for handles
+    /// produced by descending into an existing value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A materialized sorted trie over a relation (see module docs).
+#[derive(Debug)]
+pub struct Trie {
+    /// Attribute positions (into the base relation) per level.
+    positions: Vec<usize>,
+    /// Distinct values per level, concatenated across parents.
+    values: Vec<Vec<Value>>,
+    /// `starts[l][i]` = start of the child span of `values[l][i]` in
+    /// level `l+1` (or in `rows` for the last level);
+    /// `starts[l][i+1]` is the end. Length is `values[l].len() + 1`.
+    starts: Vec<Vec<u32>>,
+    /// Row ids sorted by the attribute order.
+    rows: Vec<RowId>,
+}
+
+impl Trie {
+    /// Build a trie over `rel` with one level per position in
+    /// `positions` (a permutation or subset of the relation's columns).
+    pub fn build(rel: &Relation, positions: &[usize]) -> Self {
+        assert!(!positions.is_empty(), "trie needs at least one level");
+        let mut rows: Vec<RowId> = (0..rel.len() as RowId).collect();
+        rows.sort_by(|&x, &y| {
+            let rx = rel.row(x);
+            let ry = rel.row(y);
+            for &p in positions {
+                match rx[p].cmp(&ry[p]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            x.cmp(&y)
+        });
+
+        let depth = positions.len();
+        let mut values: Vec<Vec<Value>> = vec![Vec::new(); depth];
+        let mut starts: Vec<Vec<u32>> = vec![Vec::new(); depth];
+
+        // Build level by level. `segments` holds one row range per node
+        // at the *previous* level (one synthetic root segment for level
+        // 0). While emitting level-l values we simultaneously learn the
+        // child spans of the level-(l-1) nodes, because each parent's
+        // children are emitted contiguously.
+        let mut segments: Vec<(u32, u32)> = vec![(0, rows.len() as u32)];
+        for (l, &p) in positions.iter().enumerate() {
+            let mut next_segments: Vec<(u32, u32)> = Vec::with_capacity(segments.len());
+            let mut parent_starts: Vec<u32> = Vec::with_capacity(segments.len() + 1);
+            for &(seg_start, seg_end) in &segments {
+                parent_starts.push(values[l].len() as u32);
+                let mut i = seg_start;
+                while i < seg_end {
+                    let v = rel.row(rows[i as usize])[p];
+                    let mut j = i + 1;
+                    while j < seg_end && rel.row(rows[j as usize])[p] == v {
+                        j += 1;
+                    }
+                    values[l].push(v);
+                    next_segments.push((i, j));
+                    i = j;
+                }
+            }
+            parent_starts.push(values[l].len() as u32);
+            if l > 0 {
+                starts[l - 1] = parent_starts;
+            }
+            segments = next_segments;
+        }
+        // Last level's spans point into `rows` directly.
+        let mut leaf_starts: Vec<u32> = Vec::with_capacity(segments.len() + 1);
+        leaf_starts.extend(segments.iter().map(|&(s, _)| s));
+        leaf_starts.push(rows.len() as u32);
+        starts[depth - 1] = leaf_starts;
+
+        Trie {
+            positions: positions.to_vec(),
+            values,
+            starts,
+            rows,
+        }
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The attribute positions per level.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Handle spanning the root's children (the distinct values of the
+    /// first attribute).
+    #[inline]
+    pub fn root(&self) -> NodeHandle {
+        NodeHandle {
+            level: 0,
+            start: 0,
+            end: self.values[0].len() as u32,
+        }
+    }
+
+    /// The `i`-th child value within `h` (absolute index: `h.start <= i <
+    /// h.end`).
+    #[inline]
+    pub fn value_at(&self, h: NodeHandle, i: u32) -> Value {
+        debug_assert!(i >= h.start && i < h.end);
+        self.values[h.level as usize][i as usize]
+    }
+
+    /// All child values within `h`, sorted ascending.
+    #[inline]
+    pub fn child_values(&self, h: NodeHandle) -> &[Value] {
+        &self.values[h.level as usize][h.start as usize..h.end as usize]
+    }
+
+    /// Descend into the `i`-th child of `h`, yielding the handle over
+    /// *its* children. Only valid when `h.level + 1 < depth`.
+    #[inline]
+    pub fn descend(&self, h: NodeHandle, i: u32) -> NodeHandle {
+        debug_assert!((h.level as usize) + 1 < self.depth());
+        let s = &self.starts[h.level as usize];
+        NodeHandle {
+            level: h.level + 1,
+            start: s[i as usize],
+            end: s[i as usize + 1],
+        }
+    }
+
+    /// The rows below the `i`-th child of `h`, valid only at the last
+    /// level (`h.level + 1 == depth`).
+    #[inline]
+    pub fn leaf_rows(&self, h: NodeHandle, i: u32) -> &[RowId] {
+        debug_assert_eq!((h.level as usize) + 1, self.depth());
+        let s = &self.starts[h.level as usize];
+        &self.rows[s[i as usize] as usize..s[i as usize + 1] as usize]
+    }
+
+    /// All rows below the node whose children `h` spans (any level): the
+    /// contiguous run of `rows` covered by `h`'s span.
+    pub fn rows_under(&self, h: NodeHandle) -> &[RowId] {
+        if h.is_empty() {
+            return &[];
+        }
+        // Walk down the leftmost/rightmost paths to find row bounds.
+        let (mut level, mut lo, mut hi) = (h.level as usize, h.start, h.end);
+        while level + 1 < self.depth() {
+            let s = &self.starts[level];
+            lo = s[lo as usize];
+            hi = s[hi as usize]; // end-exclusive: start of the node after
+            level += 1;
+        }
+        let s = &self.starts[level];
+        &self.rows[s[lo as usize] as usize..s[hi as usize] as usize]
+    }
+
+    /// Find the child of `h` with exactly value `v`; returns its absolute
+    /// index if present.
+    #[inline]
+    pub fn find(&self, h: NodeHandle, v: Value) -> Option<u32> {
+        let vals = self.child_values(h);
+        vals.binary_search(&v).ok().map(|off| h.start + off as u32)
+    }
+
+    /// Galloping seek: the smallest absolute index `i >= from` with
+    /// `value_at(h, i) >= v`, or `h.end` if none. `from` must satisfy
+    /// `h.start <= from <= h.end`.
+    pub fn seek(&self, h: NodeHandle, from: u32, v: Value) -> u32 {
+        let vals = &self.values[h.level as usize];
+        let mut lo = from as usize;
+        let end = h.end as usize;
+        if lo >= end || vals[lo] >= v {
+            return lo as u32;
+        }
+        // Exponential probe then binary search within the bracket.
+        let mut step = 1usize;
+        let mut hi = lo + 1;
+        while hi < end && vals[hi] < v {
+            lo = hi;
+            step <<= 1;
+            hi = (lo + step).min(end);
+        }
+        // Invariant: vals[lo] < v, and (hi == end or vals[hi] >= v).
+        let off = vals[lo + 1..hi].partition_point(|x| *x < v);
+        (lo + 1 + off) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        for (a, bb) in [(2, 5), (1, 4), (1, 2), (2, 5), (3, 1), (1, 9)] {
+            b.push_ints(&[a, bb], 0.0);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn root_values_sorted_distinct() {
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        let vals: Vec<i64> = t.child_values(t.root()).iter().map(|v| v.int()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn descend_and_leaves() {
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        let root = t.root();
+        let i = t.find(root, Value::Int(1)).unwrap();
+        let child = t.descend(root, i);
+        let bs: Vec<i64> = t.child_values(child).iter().map(|v| v.int()).collect();
+        assert_eq!(bs, vec![2, 4, 9]);
+        let j = t.find(child, Value::Int(4)).unwrap();
+        let rows = t.leaf_rows(child, j);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(r.row(rows[0]), &[Value::Int(1), Value::Int(4)]);
+    }
+
+    #[test]
+    fn duplicate_rows_share_leaf() {
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        let root = t.root();
+        let i = t.find(root, Value::Int(2)).unwrap();
+        let child = t.descend(root, i);
+        let j = t.find(child, Value::Int(5)).unwrap();
+        assert_eq!(t.leaf_rows(child, j).len(), 2);
+    }
+
+    #[test]
+    fn seek_gallops() {
+        let r = rel();
+        let t = Trie::build(&r, &[1, 0]); // order by b then a
+        let root = t.root();
+        let bs: Vec<i64> = t.child_values(root).iter().map(|v| v.int()).collect();
+        assert_eq!(bs, vec![1, 2, 4, 5, 9]);
+        assert_eq!(t.seek(root, 0, Value::Int(3)), 2); // first >= 3 is 4
+        assert_eq!(t.seek(root, 0, Value::Int(1)), 0);
+        assert_eq!(t.seek(root, 3, Value::Int(5)), 3);
+        assert_eq!(t.seek(root, 0, Value::Int(10)), root.end);
+    }
+
+    #[test]
+    fn rows_under_counts_all() {
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        assert_eq!(t.rows_under(t.root()).len(), r.len());
+        let root = t.root();
+        let i = t.find(root, Value::Int(1)).unwrap();
+        let child = t.descend(root, i);
+        assert_eq!(t.rows_under(child).len(), 3);
+    }
+
+    #[test]
+    fn single_level_trie() {
+        let r = rel();
+        let t = Trie::build(&r, &[0]);
+        let root = t.root();
+        assert_eq!(t.depth(), 1);
+        let i = t.find(root, Value::Int(1)).unwrap();
+        assert_eq!(t.leaf_rows(root, i).len(), 3);
+    }
+
+    #[test]
+    fn reversed_attribute_order() {
+        let r = rel();
+        let t = Trie::build(&r, &[1, 0]);
+        let root = t.root();
+        let i = t.find(root, Value::Int(5)).unwrap();
+        let child = t.descend(root, i);
+        let as_: Vec<i64> = t.child_values(child).iter().map(|v| v.int()).collect();
+        assert_eq!(as_, vec![2]);
+        let j = t.find(child, Value::Int(2)).unwrap();
+        assert_eq!(t.leaf_rows(child, j).len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Fagin's Algorithm (FA) — the 1996 original that started the
+//! middleware top-k line (Part 1 of the paper). Correct for monotone
+//! aggregations but *not* instance-optimal: its stopping rule waits for
+//! `k` objects to be seen in **all** lists, which can force far deeper
+//! scans than TA's threshold rule.
+
+use crate::lists::{Aggregation, ObjectId, RankedLists};
+use anyk_storage::{FxHashMap, FxHashSet};
+
+/// Top-k via Fagin's Algorithm. Returns `(object, aggregate)` sorted by
+/// aggregate descending (ties by object id). Access costs accumulate in
+/// `lists.counters()`.
+pub fn fagin_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Vec<(ObjectId, f64)> {
+    let m = lists.num_lists();
+    if m == 0 || k == 0 {
+        return Vec::new();
+    }
+    // Phase 1: parallel sorted access until >= k objects seen in every
+    // list.
+    let mut seen_in: FxHashMap<ObjectId, u32> = FxHashMap::default();
+    let mut seen_everywhere: FxHashSet<ObjectId> = FxHashSet::default();
+    let mut partial: FxHashMap<ObjectId, Vec<Option<f64>>> = FxHashMap::default();
+    let mut depth = 0usize;
+    let mut exhausted = false;
+    while seen_everywhere.len() < k && !exhausted {
+        for list in 0..m {
+            match lists.sorted_access(list, depth) {
+                Some((obj, score)) => {
+                    let entry = partial
+                        .entry(obj)
+                        .or_insert_with(|| vec![None; m]);
+                    if entry[list].is_none() {
+                        entry[list] = Some(score);
+                        let c = seen_in.entry(obj).or_insert(0);
+                        *c += 1;
+                        if *c as usize == m {
+                            seen_everywhere.insert(obj);
+                        }
+                    }
+                }
+                None => {
+                    exhausted = true;
+                }
+            }
+        }
+        depth += 1;
+    }
+    // Phase 2: random access to complete every seen object.
+    let mut scored: Vec<(ObjectId, f64)> = Vec::with_capacity(partial.len());
+    for (obj, entry) in partial.iter() {
+        let mut scores = Vec::with_capacity(m);
+        for (list, s) in entry.iter().enumerate() {
+            match s {
+                Some(v) => scores.push(*v),
+                None => {
+                    let v = lists
+                        .random_access(list, *obj)
+                        .expect("object must exist in all lists");
+                    scores.push(v);
+                }
+            }
+        }
+        scored.push((*obj, agg.apply(&scores)));
+    }
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(n: usize, seedish: u64) -> RankedLists {
+        // Deterministic pseudo-random scores.
+        let mut s = seedish;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 10_000) as f64 / 10_000.0
+        };
+        let lists = (0..3)
+            .map(|_| (0..n as u64).map(|o| (o, next())).collect())
+            .collect();
+        RankedLists::new(lists)
+    }
+
+    #[test]
+    fn matches_oracle() {
+        for seed in [7u64, 42, 1234] {
+            let mut l = make(50, seed);
+            for k in [1usize, 3, 10] {
+                let got = fagin_topk(&mut l, k, Aggregation::Sum);
+                let want = l.oracle_topk(k, Aggregation::Sum);
+                let g: Vec<_> = got.iter().map(|x| x.0).collect();
+                let w: Vec<_> = want.iter().map(|x| x.0).collect();
+                assert_eq!(g, w, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_aggregation() {
+        let mut l = make(30, 99);
+        let got = fagin_topk(&mut l, 5, Aggregation::Min);
+        let want = l.oracle_topk(5, Aggregation::Min);
+        assert_eq!(
+            got.iter().map(|x| x.0).collect::<Vec<_>>(),
+            want.iter().map(|x| x.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let mut l = make(5, 3);
+        let got = fagin_topk(&mut l, 50, Aggregation::Sum);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn costs_are_counted() {
+        let mut l = make(100, 5);
+        let _ = fagin_topk(&mut l, 3, Aggregation::Sum);
+        assert!(l.counters().sorted > 0);
+    }
+}

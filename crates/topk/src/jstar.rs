@@ -1,0 +1,286 @@
+//! J* (Natsev et al., VLDB 2001) — A*-style incremental top-k join over
+//! ranked inputs (Part 1 of the paper).
+//!
+//! States are partial join combinations over a fixed chain of inputs:
+//! a prefix of chosen tuples plus a scan position in the next input.
+//! Each state carries an optimistic bound — its real prefix weight plus
+//! the best-possible weight of everything unbound — and a priority
+//! queue pops states in bound order. Complete states pop in exact
+//! ranked order (A* with admissible, consistent heuristics).
+//!
+//! Like all Part-1 algorithms, J* is analyzed in accesses, not RAM
+//! cost: its state space is the paper's "large intermediate result" in
+//! disguise — adversarial instances make it explore huge frontiers.
+
+use anyk_storage::{Relation, RowId, Value};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A chain join specification: `inputs[i]` joins `inputs[i+1]` on
+/// `inputs[i].values[right_of(i)] == inputs[i+1].values[left_of(i+1)]`
+/// — for binary edge relations this is the standard path query.
+pub struct ChainSpec {
+    /// Position of the join attribute towards the *next* input.
+    pub out_pos: Vec<usize>,
+    /// Position of the join attribute towards the *previous* input.
+    pub in_pos: Vec<usize>,
+}
+
+impl ChainSpec {
+    /// The standard binary-edge path chain: join col 1 of input i with
+    /// col 0 of input i+1.
+    pub fn edge_path(num_inputs: usize) -> Self {
+        ChainSpec {
+            out_pos: vec![1; num_inputs],
+            in_pos: vec![0; num_inputs],
+        }
+    }
+}
+
+struct State {
+    bound: f64,
+    seq: u64,
+    /// Chosen row per input for the first `prefix_len` inputs.
+    prefix: Vec<RowId>,
+    /// Scan position in input `prefix.len()` (sorted order).
+    scan: usize,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by bound.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .expect("no NaN")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Statistics of a J* run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JStarStats {
+    /// States popped from the priority queue.
+    pub states_popped: u64,
+    /// Peak queue size (the intermediate-state memory cost).
+    pub peak_queue: u64,
+}
+
+/// Top-k over a chain join via J*. Returns `(total weight, one row id
+/// per input)` in non-decreasing weight order (fewer than `k` if the
+/// join is smaller). Inputs are sorted by weight internally (that is
+/// the ranked-input assumption of the algorithm).
+pub fn jstar_topk(
+    rels: &[Relation],
+    spec: &ChainSpec,
+    k: usize,
+) -> (Vec<(f64, Vec<RowId>)>, JStarStats) {
+    let m = rels.len();
+    assert!(m >= 1);
+    let mut stats = JStarStats::default();
+    // Sorted orders per input (weight ascending).
+    let orders: Vec<Vec<RowId>> = rels
+        .iter()
+        .map(|r| {
+            let mut o: Vec<RowId> = (0..r.len() as RowId).collect();
+            o.sort_by(|&a, &b| r.weight(a).cmp(&r.weight(b)).then(a.cmp(&b)));
+            o
+        })
+        .collect();
+    // Optimistic per-input minimum weights (suffix sums).
+    let min_w: Vec<f64> = rels
+        .iter()
+        .zip(&orders)
+        .map(|(r, o)| o.first().map_or(f64::INFINITY, |&i| r.weight(i).get()))
+        .collect();
+    let mut suffix_min: Vec<f64> = vec![0.0; m + 1];
+    for i in (0..m).rev() {
+        suffix_min[i] = suffix_min[i + 1] + min_w[i];
+    }
+    if min_w.iter().any(|w| w.is_infinite()) {
+        return (Vec::new(), stats); // an empty input: empty join
+    }
+
+    let prefix_weight = |prefix: &[RowId]| -> f64 {
+        prefix
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| rels[i].weight(r).get())
+            .sum()
+    };
+    let joins = |prefix: &[RowId], cand: RowId| -> bool {
+        if prefix.is_empty() {
+            return true;
+        }
+        let i = prefix.len();
+        let prev: Value = rels[i - 1].row(*prefix.last().unwrap())[spec.out_pos[i - 1]];
+        rels[i].row(cand)[spec.in_pos[i]] == prev
+    };
+
+    let mut heap: BinaryHeap<State> = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(State {
+        bound: suffix_min[0],
+        seq,
+        prefix: Vec::new(),
+        scan: 0,
+    });
+    let mut out = Vec::new();
+    while let Some(st) = heap.pop() {
+        stats.states_popped += 1;
+        let i = st.prefix.len();
+        if i == m {
+            out.push((st.bound, st.prefix));
+            if out.len() == k {
+                break;
+            }
+            continue;
+        }
+        // Find the next joining tuple at scan position >= st.scan.
+        let mut pos = st.scan;
+        while pos < orders[i].len() && !joins(&st.prefix, orders[i][pos]) {
+            pos += 1;
+        }
+        if pos < orders[i].len() {
+            let cand = orders[i][pos];
+            // Child A: bind it.
+            let mut prefix = st.prefix.clone();
+            prefix.push(cand);
+            let w = prefix_weight(&prefix);
+            seq += 1;
+            heap.push(State {
+                bound: w + suffix_min[i + 1],
+                seq,
+                prefix,
+                scan: 0,
+            });
+            // Child B: skip it, keep searching deeper.
+            if pos + 1 < orders[i].len() {
+                // Bound: prefix + weight of the next candidate position
+                // (anything bound later is at least as heavy) + rest.
+                let nb = prefix_weight(&st.prefix)
+                    + rels[i].weight(orders[i][pos + 1]).get()
+                    + suffix_min[i + 1];
+                seq += 1;
+                heap.push(State {
+                    bound: nb,
+                    seq,
+                    prefix: st.prefix,
+                    scan: pos + 1,
+                });
+            }
+        }
+        stats.peak_queue = stats.peak_queue.max(heap.len() as u64);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_storage::{RelationBuilder, Schema};
+
+    fn edge_rel(rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    /// Oracle: all chain results, sorted by total weight.
+    fn oracle(rels: &[Relation], spec: &ChainSpec) -> Vec<f64> {
+        fn rec(
+            rels: &[Relation],
+            spec: &ChainSpec,
+            i: usize,
+            last: Option<Value>,
+            w: f64,
+            out: &mut Vec<f64>,
+        ) {
+            if i == rels.len() {
+                out.push(w);
+                return;
+            }
+            for r in 0..rels[i].len() as RowId {
+                let row = rels[i].row(r);
+                if let Some(l) = last {
+                    if row[spec.in_pos[i]] != l {
+                        continue;
+                    }
+                }
+                rec(
+                    rels,
+                    spec,
+                    i + 1,
+                    Some(row[spec.out_pos[i]]),
+                    w + rels[i].weight(r).get(),
+                    out,
+                );
+            }
+        }
+        let mut out = Vec::new();
+        rec(rels, spec, 0, None, 0.0, &mut out);
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    #[test]
+    fn matches_oracle_on_path() {
+        let rels = vec![
+            edge_rel(&[(1, 2, 0.5), (1, 3, 1.0), (4, 2, 0.25)]),
+            edge_rel(&[(2, 5, 1.0), (3, 5, 0.125), (2, 6, 2.0)]),
+            edge_rel(&[(5, 9, 0.75), (6, 9, 0.5), (5, 8, 3.0)]),
+        ];
+        let spec = ChainSpec::edge_path(3);
+        let want = oracle(&rels, &spec);
+        let (got, _) = jstar_topk(&rels, &spec, 100);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.0 - w).abs() < 1e-9, "{} vs {w}", g.0);
+        }
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let rels = vec![
+            edge_rel(&[(1, 2, 0.5), (3, 2, 0.25)]),
+            edge_rel(&[(2, 5, 1.0), (2, 6, 0.125)]),
+        ];
+        let spec = ChainSpec::edge_path(2);
+        let (got, _) = jstar_topk(&rels, &spec, 2);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].0 <= got[1].0);
+    }
+
+    #[test]
+    fn empty_join() {
+        let rels = vec![
+            edge_rel(&[(1, 2, 0.5)]),
+            edge_rel(&[(9, 5, 1.0)]),
+        ];
+        let spec = ChainSpec::edge_path(2);
+        let (got, _) = jstar_topk(&rels, &spec, 5);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_input() {
+        let rels = vec![edge_rel(&[(1, 2, 2.0), (3, 4, 1.0)])];
+        let spec = ChainSpec::edge_path(1);
+        let (got, _) = jstar_topk(&rels, &spec, 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1.0);
+    }
+}

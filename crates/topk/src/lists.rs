@@ -1,0 +1,191 @@
+//! The middleware data model of Fagin-style top-k: `m` ranked lists
+//! over a shared object-id space ("a single table partitioned
+//! vertically, each partition managed by a different external service",
+//! Part 1 of the paper).
+//!
+//! Every access is counted: **sorted accesses** walk a list top-down,
+//! **random accesses** fetch one object's score from one list by id.
+//! The middleware cost model charges only for these — the computation
+//! in between is "free", which is precisely the assumption the paper's
+//! RAM-model re-analysis challenges.
+
+use anyk_storage::FxHashMap;
+
+/// Object identifier shared across all lists.
+pub type ObjectId = u64;
+
+/// Monotone score aggregation (higher aggregate = better object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Sum of per-list scores.
+    Sum,
+    /// Minimum per-list score.
+    Min,
+    /// Maximum per-list score.
+    Max,
+}
+
+impl Aggregation {
+    /// Aggregate a full score vector.
+    #[inline]
+    pub fn apply(&self, scores: &[f64]) -> f64 {
+        match self {
+            Aggregation::Sum => scores.iter().sum(),
+            Aggregation::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Access counters (the middleware cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// Sorted accesses performed.
+    pub sorted: u64,
+    /// Random accesses performed.
+    pub random: u64,
+}
+
+impl AccessCounters {
+    /// Combined middleware cost with the classical weighting c_s = c_r
+    /// = 1 (weights can be applied by callers when needed).
+    pub fn total(&self) -> u64 {
+        self.sorted + self.random
+    }
+}
+
+/// `m` ranked lists with counted access methods.
+#[derive(Debug)]
+pub struct RankedLists {
+    /// Per list: `(object, score)` sorted by score descending.
+    lists: Vec<Vec<(ObjectId, f64)>>,
+    /// Per list: object -> score (random access).
+    index: Vec<FxHashMap<ObjectId, f64>>,
+    counters: AccessCounters,
+}
+
+impl RankedLists {
+    /// Build from per-list score assignments. Every object must appear
+    /// in every list (the top-k selection model joins 1:1 on object
+    /// id). Lists are sorted descending internally.
+    pub fn new(mut lists: Vec<Vec<(ObjectId, f64)>>) -> Self {
+        for l in &mut lists {
+            l.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        }
+        let index = lists
+            .iter()
+            .map(|l| l.iter().copied().collect::<FxHashMap<_, _>>())
+            .collect();
+        RankedLists {
+            lists,
+            index,
+            counters: AccessCounters::default(),
+        }
+    }
+
+    /// Number of lists (`m`).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of objects (length of each list).
+    pub fn num_objects(&self) -> usize {
+        self.lists.first().map_or(0, Vec::len)
+    }
+
+    /// Sorted access: the entry at `depth` (0-based) of `list`.
+    pub fn sorted_access(&mut self, list: usize, depth: usize) -> Option<(ObjectId, f64)> {
+        let e = self.lists[list].get(depth).copied();
+        if e.is_some() {
+            self.counters.sorted += 1;
+        }
+        e
+    }
+
+    /// Random access: `obj`'s score in `list`.
+    pub fn random_access(&mut self, list: usize, obj: ObjectId) -> Option<f64> {
+        self.counters.random += 1;
+        self.index[list].get(&obj).copied()
+    }
+
+    /// Access counters so far.
+    pub fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    /// Reset counters (between algorithm runs on shared data).
+    pub fn reset_counters(&mut self) {
+        self.counters = AccessCounters::default();
+    }
+
+    /// Uncounted full-score lookup — for test oracles only.
+    pub fn oracle_scores(&self, obj: ObjectId) -> Vec<f64> {
+        self.index
+            .iter()
+            .map(|ix| *ix.get(&obj).expect("object in all lists"))
+            .collect()
+    }
+
+    /// Uncounted list of all object ids — for test oracles only.
+    pub fn oracle_objects(&self) -> Vec<ObjectId> {
+        self.lists[0].iter().map(|&(o, _)| o).collect()
+    }
+
+    /// Brute-force top-k oracle (uncounted): `(object, aggregate)` in
+    /// descending aggregate order, ties by object id.
+    pub fn oracle_topk(&self, k: usize, agg: Aggregation) -> Vec<(ObjectId, f64)> {
+        let mut all: Vec<(ObjectId, f64)> = self
+            .oracle_objects()
+            .into_iter()
+            .map(|o| (o, agg.apply(&self.oracle_scores(o))))
+            .collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RankedLists {
+        RankedLists::new(vec![
+            vec![(1, 0.9), (2, 0.8), (3, 0.1)],
+            vec![(1, 0.2), (2, 0.7), (3, 0.95)],
+        ])
+    }
+
+    #[test]
+    fn sorted_access_descends() {
+        let mut l = sample();
+        assert_eq!(l.sorted_access(1, 0), Some((3, 0.95)));
+        assert_eq!(l.sorted_access(1, 1), Some((2, 0.7)));
+        assert_eq!(l.sorted_access(1, 5), None);
+        assert_eq!(l.counters().sorted, 2);
+    }
+
+    #[test]
+    fn random_access_counts() {
+        let mut l = sample();
+        assert_eq!(l.random_access(0, 2), Some(0.8));
+        assert_eq!(l.random_access(0, 99), None);
+        assert_eq!(l.counters().random, 2);
+    }
+
+    #[test]
+    fn aggregations() {
+        assert_eq!(Aggregation::Sum.apply(&[1.0, 2.0]), 3.0);
+        assert_eq!(Aggregation::Min.apply(&[1.0, 2.0]), 1.0);
+        assert_eq!(Aggregation::Max.apply(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn oracle_topk_sorts_desc() {
+        let l = sample();
+        let top = l.oracle_topk(2, Aggregation::Sum);
+        // sums: 1 -> 1.1, 2 -> 1.5, 3 -> 1.05.
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! The Threshold Algorithm (TA) of Fagin, Lotem and Naor — the
+//! Gödel-Prize-winning centerpiece of Part 1. Instance-optimal in the
+//! middleware cost model among algorithms that do not make "wild
+//! guesses": no correct algorithm can beat TA's access count by more
+//! than a constant factor on any instance.
+//!
+//! The idea: after each round of sorted accesses, the aggregate of the
+//! *last seen* scores is a **threshold** upper-bounding every unseen
+//! object; stop as soon as `k` seen objects beat it.
+
+use crate::lists::{Aggregation, ObjectId, RankedLists};
+use anyk_storage::FxHashSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ordered f64 for heap storage (scores are never NaN here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct F(f64);
+impl Eq for F {}
+impl PartialOrd for F {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN scores")
+    }
+}
+
+/// Top-k via the Threshold Algorithm. Returns `(object, aggregate)` in
+/// descending aggregate order. Access costs accumulate in
+/// `lists.counters()`.
+pub fn threshold_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Vec<(ObjectId, f64)> {
+    let m = lists.num_lists();
+    if m == 0 || k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current top-k (by aggregate; ties by object id so
+    // the final output is deterministic).
+    let mut topk: BinaryHeap<Reverse<(F, ObjectId)>> = BinaryHeap::new();
+    let mut seen: FxHashSet<ObjectId> = FxHashSet::default();
+    let mut last_scores: Vec<f64> = vec![f64::INFINITY; m];
+    let mut depth = 0usize;
+    loop {
+        let mut any = false;
+        for list in 0..m {
+            let Some((obj, score)) = lists.sorted_access(list, depth) else {
+                // This list is exhausted; its contribution to the
+                // threshold stays at its last (bottom) score.
+                continue;
+            };
+            any = true;
+            last_scores[list] = score;
+            if !seen.insert(obj) {
+                continue;
+            }
+            // Random access to every *other* list for this object.
+            let mut scores = Vec::with_capacity(m);
+            for l in 0..m {
+                if l == list {
+                    scores.push(score);
+                } else {
+                    scores.push(
+                        lists
+                            .random_access(l, obj)
+                            .expect("object must exist in all lists"),
+                    );
+                }
+            }
+            let a = agg.apply(&scores);
+            if topk.len() < k {
+                topk.push(Reverse((F(a), obj)));
+            } else if let Some(&Reverse((F(worst), _))) = topk.peek() {
+                if a > worst {
+                    topk.pop();
+                    topk.push(Reverse((F(a), obj)));
+                }
+            }
+        }
+        depth += 1;
+        // Threshold: best possible aggregate of any unseen object.
+        let tau = agg.apply(&last_scores);
+        let kth = topk.peek().map_or(f64::NEG_INFINITY, |&Reverse((F(a), _))| a);
+        if topk.len() >= k && kth >= tau {
+            break;
+        }
+        if !any {
+            break; // all lists exhausted
+        }
+    }
+    let mut out: Vec<(ObjectId, f64)> = topk.into_iter().map(|Reverse((F(a), o))| (o, a)).collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fa::fagin_topk;
+
+    fn make(n: usize, seedish: u64) -> RankedLists {
+        let mut s = seedish;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 10_000) as f64 / 10_000.0
+        };
+        let lists = (0..3)
+            .map(|_| (0..n as u64).map(|o| (o, next())).collect())
+            .collect();
+        RankedLists::new(lists)
+    }
+
+    #[test]
+    fn matches_oracle() {
+        for seed in [7u64, 42, 1234, 777] {
+            let mut l = make(60, seed);
+            for k in [1usize, 2, 5, 20] {
+                let got = threshold_topk(&mut l, k, Aggregation::Sum);
+                let want = l.oracle_topk(k, Aggregation::Sum);
+                assert_eq!(
+                    got.iter().map(|x| x.0).collect::<Vec<_>>(),
+                    want.iter().map(|x| x.0).collect::<Vec<_>>(),
+                    "seed {seed} k {k}"
+                );
+                l.reset_counters();
+            }
+        }
+    }
+
+    #[test]
+    fn ta_accesses_at_most_fa_on_correlated_lists() {
+        // Correlated lists: the same ordering everywhere -> TA stops
+        // after ~k rounds, FA too; on anti-correlated inputs TA's
+        // threshold shines. Here we just sanity-check TA <= FA + slack
+        // on a correlated instance.
+        let n = 200u64;
+        let lists: Vec<Vec<(u64, f64)>> = (0..3)
+            .map(|_| (0..n).map(|o| (o, 1.0 - o as f64 / n as f64)).collect())
+            .collect();
+        let mut l1 = RankedLists::new(lists.clone());
+        let _ = threshold_topk(&mut l1, 5, Aggregation::Sum);
+        let ta_cost = l1.counters().total();
+        let mut l2 = RankedLists::new(lists);
+        let _ = fagin_topk(&mut l2, 5, Aggregation::Sum);
+        let fa_cost = l2.counters().total();
+        assert!(
+            ta_cost <= fa_cost + 10,
+            "TA {ta_cost} should not exceed FA {fa_cost} by much"
+        );
+    }
+
+    #[test]
+    fn early_stop_on_top_heavy_instance() {
+        // Object 0 dominates everywhere: TA must stop after few rounds.
+        let n = 1000u64;
+        let lists: Vec<Vec<(u64, f64)>> = (0..2)
+            .map(|_| {
+                let mut v: Vec<(u64, f64)> = (1..n).map(|o| (o, 0.1)).collect();
+                v.push((0, 100.0));
+                v
+            })
+            .collect();
+        let mut l = RankedLists::new(lists);
+        let got = threshold_topk(&mut l, 1, Aggregation::Sum);
+        assert_eq!(got[0].0, 0);
+        assert!(
+            l.counters().total() < 50,
+            "TA should stop early, cost {}",
+            l.counters().total()
+        );
+    }
+
+    #[test]
+    fn min_agg_matches_oracle() {
+        let mut l = make(40, 2024);
+        let got = threshold_topk(&mut l, 4, Aggregation::Min);
+        let want = l.oracle_topk(4, Aggregation::Min);
+        assert_eq!(
+            got.iter().map(|x| x.0).collect::<Vec<_>>(),
+            want.iter().map(|x| x.0).collect::<Vec<_>>()
+        );
+    }
+}

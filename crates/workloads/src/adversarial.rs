@@ -1,0 +1,114 @@
+//! Adversarial instances — the inputs behind the paper's lower-bound
+//! arguments.
+
+use anyk_storage::{Relation, RelationBuilder, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The §3 worst-case triangle instance:
+/// `R = S = T = {(1,1), (2,1), ..., (n/2,1), (1,2), ..., (1,n/2)}`.
+///
+/// Every binary join plan produces Θ(n²) intermediate tuples while the
+/// output has only O(n) triangles (all through node 1) — the instance
+/// that motivates worst-case-optimal joins. Weights are uniform random
+/// (seeded) so ranked variants run on it too.
+pub fn worst_case_triangle(n: usize, seed: u64) -> Vec<Relation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let half = (n / 2).max(1) as i64;
+    let mut make = || {
+        let schema = Schema::new(["src", "dst"]);
+        let mut b = RelationBuilder::with_capacity(schema, 2 * half as usize);
+        for i in 1..=half {
+            b.push_ints(&[i, 1], rng.gen::<f64>());
+        }
+        for j in 2..=half {
+            b.push_ints(&[1, j], rng.gen::<f64>());
+        }
+        b.finish()
+    };
+    vec![make(), make(), make()]
+}
+
+/// Anti-correlated rank-join pair: left key `i` weighs `i`, right key
+/// `i` weighs `n - i`, so every join result totals exactly `n` and the
+/// HRJN corner bound cannot certify an answer until one input is almost
+/// exhausted (the Part-1 worst case).
+pub fn anticorrelated_pair(n: usize) -> (Relation, Relation) {
+    let mut l = RelationBuilder::new(Schema::new(["src", "dst"]));
+    let mut r = RelationBuilder::new(Schema::new(["src", "dst"]));
+    for i in 0..n as i64 {
+        l.push_ints(&[i, i], i as f64);
+        r.push_ints(&[i, i], (n as i64 - i) as f64);
+    }
+    (l.finish(), r.finish())
+}
+
+/// A bottom-heavy path instance of `len` relations over keys `0..n`:
+/// relation `i` maps key `k` to key `k` with weight `k` when `i` is
+/// even and `n - k` when odd. Consequence: every full path totals
+/// roughly `len/2 * n` and the per-relation sorted orders point in
+/// opposite directions — sorted-access top-k join algorithms must dig
+/// to the bottom of the lists, while any-k's DP is indifferent.
+pub fn bottom_heavy_path(len: usize, n: usize) -> Vec<Relation> {
+    (0..len)
+        .map(|i| {
+            let schema = Schema::new(["src", "dst"]);
+            let mut b = RelationBuilder::with_capacity(schema, n);
+            for k in 0..n as i64 {
+                let w = if i % 2 == 0 {
+                    k as f64
+                } else {
+                    (n as i64 - k) as f64
+                };
+                b.push_ints(&[k, k], w);
+            }
+            b.finish()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_join::binary::binary_join;
+    use anyk_join::generic_join::generic_join_materialize;
+    use anyk_query::cq::{path_query, triangle_query};
+
+    #[test]
+    fn triangle_instance_shape() {
+        let rels = worst_case_triangle(20, 1);
+        assert_eq!(rels.len(), 3);
+        // n/2 hub-in + n/2-1 hub-out edges.
+        assert_eq!(rels[0].len(), 19);
+    }
+
+    #[test]
+    fn triangle_instance_blows_up_binary_plans() {
+        let n = 40;
+        let rels = worst_case_triangle(n, 2);
+        let q = triangle_query();
+        let (res, stats) = binary_join(&q, &rels, &[0, 1, 2]);
+        let (gj, _) = generic_join_materialize(&q, &rels, None);
+        assert_eq!(res.len(), gj.len());
+        // Intermediate is quadratic in n/2; output is linear-ish.
+        assert!(stats.max_intermediate >= (n / 2 - 1) * (n / 2 - 1));
+        assert!(res.len() < stats.max_intermediate);
+    }
+
+    #[test]
+    fn anticorrelated_totals_constant() {
+        let (l, r) = anticorrelated_pair(10);
+        for i in 0..l.len() as u32 {
+            let total = l.weight(i).get() + r.weight(i).get();
+            assert_eq!(total, 10.0);
+        }
+    }
+
+    #[test]
+    fn bottom_heavy_paths_join_fully() {
+        let rels = bottom_heavy_path(3, 20);
+        let q = path_query(3);
+        let (res, _) = binary_join(&q, &rels, &[0, 1, 2]);
+        assert_eq!(res.len(), 20); // identity chains: one path per key
+    }
+}

@@ -1,0 +1,57 @@
+//! Layered-DAG generators for the k-shortest-path experiments (the
+//! classic problem Part 3 traces any-k back to).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random layered DAG edges: `layers` transitions between layers of
+/// `width` nodes, `edges_per_layer` random edges each, uniform weights
+/// in `[0, 1)`. Returned as per-layer `(from, to, weight)` lists,
+/// directly consumable by `anyk_core::ksp::LayeredDag`.
+pub fn layered_dag_edges(
+    layers: usize,
+    width: u32,
+    edges_per_layer: usize,
+    seed: u64,
+) -> Vec<Vec<(u32, u32, f64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..layers)
+        .map(|_| {
+            (0..edges_per_layer)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..width),
+                        rng.gen_range(0..width),
+                        rng.gen::<f64>(),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_ranges() {
+        let dag = layered_dag_edges(4, 10, 30, 9);
+        assert_eq!(dag.len(), 4);
+        for layer in &dag {
+            assert_eq!(layer.len(), 30);
+            for &(u, v, w) in layer {
+                assert!(u < 10 && v < 10);
+                assert!((0.0..1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            layered_dag_edges(2, 5, 10, 3),
+            layered_dag_edges(2, 5, 10, 3)
+        );
+    }
+}

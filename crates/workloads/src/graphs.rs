@@ -1,0 +1,166 @@
+//! Random weighted edge relations: the building block of all
+//! graph-pattern workloads.
+
+use anyk_storage::{Relation, RelationBuilder, Schema};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight distribution for generated tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// i.i.d. uniform in `[0, 1)`.
+    Uniform,
+    /// i.i.d. uniform over 12-bit dyadic rationals in `[0, 1)`. Sums of
+    /// dyadics are exact in f64, so engines that associate additions
+    /// differently still produce bitwise-identical costs — use this for
+    /// cross-engine equality tests.
+    UniformDyadic,
+    /// All weights equal (ranking becomes tie-heavy; stresses
+    /// tie-breaking paths).
+    Constant(f64),
+    /// Weight grows with the source-node id (correlated: light tuples
+    /// share endpoints, so light answers exist near the top of sorted
+    /// views).
+    CorrelatedWithKey,
+    /// Weight shrinks as the source-node id grows (anti-correlated
+    /// across alternating relations when combined with
+    /// `CorrelatedWithKey`; the rank-join killer).
+    InverseKey,
+}
+
+impl WeightDist {
+    fn sample<Rn: Rng>(&self, rng: &mut Rn, src: u64, num_nodes: u64) -> f64 {
+        match self {
+            WeightDist::Uniform => rng.gen::<f64>(),
+            WeightDist::UniformDyadic => (rng.gen::<u32>() & 0xFFF) as f64 / 4096.0,
+            WeightDist::Constant(w) => *w,
+            WeightDist::CorrelatedWithKey => src as f64 / num_nodes.max(1) as f64,
+            WeightDist::InverseKey => (num_nodes - src) as f64 / num_nodes.max(1) as f64,
+        }
+    }
+}
+
+/// A simple Zipf sampler over `0..n` with exponent `s` (precomputed
+/// CDF + binary search; exact, no rejection).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` values with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+}
+
+impl Distribution<u64> for Zipf {
+    fn sample<Rn: Rng + ?Sized>(&self, rng: &mut Rn) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Generate a random edge relation with `num_edges` edges over node ids
+/// `0..num_nodes`, schema `(src, dst)`. `zipf_skew = None` draws both
+/// endpoints uniformly; `Some(s)` draws them Zipf(s)-skewed (hub-heavy
+/// graphs — the degree skew that separates heavy/light algorithms).
+pub fn random_edge_relation(
+    num_edges: usize,
+    num_nodes: u64,
+    weight: WeightDist,
+    zipf_skew: Option<f64>,
+    seed: u64,
+) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = zipf_skew.map(|s| Zipf::new(num_nodes as usize, s));
+    let schema = Schema::new(["src", "dst"]);
+    let mut b = RelationBuilder::with_capacity(schema, num_edges);
+    for _ in 0..num_edges {
+        let (u, v) = match &zipf {
+            Some(z) => (z.sample(&mut rng), z.sample(&mut rng)),
+            None => (rng.gen_range(0..num_nodes), rng.gen_range(0..num_nodes)),
+        };
+        let w = weight.sample(&mut rng, u, num_nodes);
+        b.push_ints(&[u as i64, v as i64], w);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_edge_relation(100, 50, WeightDist::Uniform, None, 42);
+        let b = random_edge_relation(100, 50, WeightDist::Uniform, None, 42);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() as u32 {
+            assert_eq!(a.row(i), b.row(i));
+            assert_eq!(a.weight(i), b.weight(i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_edge_relation(100, 50, WeightDist::Uniform, None, 1);
+        let b = random_edge_relation(100, 50, WeightDist::Uniform, None, 2);
+        let same = (0..a.len() as u32).all(|i| a.row(i) == b.row(i));
+        assert!(!same);
+    }
+
+    #[test]
+    fn nodes_in_range() {
+        let r = random_edge_relation(500, 10, WeightDist::Uniform, Some(1.2), 7);
+        for i in 0..r.len() as u32 {
+            let row = r.row(i);
+            assert!((0..10).contains(&row[0].int()));
+            assert!((0..10).contains(&row[1].int()));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_ids() {
+        let z = Zipf::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                small += 1;
+            }
+        }
+        // With s=1.5 the first 10 values carry most of the mass.
+        assert!(small > n / 2, "only {small} of {n} samples in the head");
+    }
+
+    #[test]
+    fn constant_weights() {
+        let r = random_edge_relation(10, 5, WeightDist::Constant(2.5), None, 9);
+        for i in 0..r.len() as u32 {
+            assert_eq!(r.weight(i).get(), 2.5);
+        }
+    }
+
+    #[test]
+    fn correlated_weights_monotone_in_src() {
+        let r = random_edge_relation(200, 100, WeightDist::CorrelatedWithKey, None, 11);
+        for i in 0..r.len() as u32 {
+            let src = r.row(i)[0].int() as f64;
+            assert!((r.weight(i).get() - src / 100.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Ranked-list instances for the middleware top-k algorithms (FA / TA /
+//! NRA). Score correlation across lists is the workload knob that
+//! separates them: correlated lists let every algorithm stop early;
+//! independent lists are the average case; anti-correlated lists are
+//! where threshold-style pruning degrades toward full scans.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-list `(object, score)` assignments, scores in `[0, 1]`.
+pub type ListScores = Vec<Vec<(u64, f64)>>;
+
+/// `m` lists of `n` objects with i.i.d. uniform scores.
+pub fn uniform_lists(m: usize, n: usize, seed: u64) -> ListScores {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (0..n as u64).map(|o| (o, rng.gen::<f64>())).collect())
+        .collect()
+}
+
+/// Correlated lists: every list's score is one shared base score per
+/// object plus small independent noise — the "friendly" case where the
+/// global winners sit near the top of every list.
+pub fn correlated_lists(m: usize, n: usize, noise: f64, seed: u64) -> ListScores {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    (0..m)
+        .map(|_| {
+            (0..n as u64)
+                .map(|o| {
+                    let s = (base[o as usize] + rng.gen::<f64>() * noise).clamp(0.0, 1.0);
+                    (o, s)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Anti-correlated pair-wise: object `o`'s score in list `l` is high
+/// exactly when it is low in the others (rotating ranks). With sum
+/// aggregation all objects tie near m/2 — threshold algorithms cannot
+/// prune and must scan deep.
+pub fn anticorrelated_lists(m: usize, n: usize, seed: u64) -> ListScores {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random global permutation; list l ranks objects by a rotation.
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    (0..m)
+        .map(|l| {
+            (0..n)
+                .map(|idx| {
+                    let o = perm[idx];
+                    // Rotate rank by l * n/m so each list favors a
+                    // different slice of objects.
+                    let rank = (idx + l * n / m.max(1)) % n;
+                    (o, 1.0 - rank as f64 / n as f64)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        for lists in [
+            uniform_lists(3, 50, 1),
+            correlated_lists(3, 50, 0.1, 2),
+            anticorrelated_lists(3, 50, 3),
+        ] {
+            assert_eq!(lists.len(), 3);
+            for l in &lists {
+                assert_eq!(l.len(), 50);
+                for &(_, s) in l {
+                    assert!((0.0..=1.0).contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_lists_share_winners() {
+        let lists = correlated_lists(3, 100, 0.01, 7);
+        // Top object of each list should coincide (tiny noise).
+        let tops: Vec<u64> = lists
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        assert!(tops.windows(2).all(|w| w[0] == w[1]), "{tops:?}");
+    }
+
+    #[test]
+    fn anticorrelated_sums_are_flat() {
+        let lists = anticorrelated_lists(2, 100, 5);
+        let mut sums: Vec<f64> = (0..100u64)
+            .map(|o| {
+                lists
+                    .iter()
+                    .map(|l| l.iter().find(|&&(x, _)| x == o).unwrap().1)
+                    .sum()
+            })
+            .collect();
+        sums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let spread = sums.last().unwrap() - sums.first().unwrap();
+        assert!(spread <= 1.01, "sums should be nearly flat, spread {spread}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Ready-to-run query instances: path, star and cycle patterns over
+//! random weighted relations (the workload family of the companion
+//! paper's experiments and the tutorial's running examples).
+
+use crate::graphs::{random_edge_relation, WeightDist};
+use anyk_query::cq::{cycle_query, path_query, star_query, ConjunctiveQuery};
+use anyk_query::gyo::{gyo_reduce, GyoResult};
+use anyk_query::join_tree::JoinTree;
+use anyk_storage::Relation;
+
+/// A packaged acyclic-query instance: query + join tree + relations.
+#[derive(Debug)]
+pub struct AcyclicInstance {
+    /// The conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// A valid join tree (from GYO).
+    pub join_tree: JoinTree,
+    /// One relation per atom.
+    pub relations: Vec<Relation>,
+}
+
+impl AcyclicInstance {
+    /// Clone the relations (instances are often consumed by `prepare`).
+    pub fn relations_clone(&self) -> Vec<Relation> {
+        self.relations.clone()
+    }
+
+    /// Total input size (sum of relation cardinalities).
+    pub fn input_size(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
+    match gyo_reduce(q) {
+        GyoResult::Acyclic(t) => t,
+        GyoResult::Cyclic(_) => panic!("pattern must be acyclic"),
+    }
+}
+
+/// A path query of `len` relations, each with `edges_per_rel` random
+/// edges over `num_nodes` nodes. Small `num_nodes` relative to
+/// `edges_per_rel` gives dense joins (many answers); large gives sparse.
+pub fn path_instance(
+    len: usize,
+    edges_per_rel: usize,
+    num_nodes: u64,
+    weight: WeightDist,
+    seed: u64,
+) -> AcyclicInstance {
+    let query = path_query(len);
+    let join_tree = tree_of(&query);
+    let relations = (0..len)
+        .map(|i| {
+            random_edge_relation(
+                edges_per_rel,
+                num_nodes,
+                weight,
+                None,
+                seed.wrapping_add(i as u64 * 0x9e37),
+            )
+        })
+        .collect();
+    AcyclicInstance {
+        query,
+        join_tree,
+        relations,
+    }
+}
+
+/// A star query with `arms` relations sharing the center variable.
+pub fn star_instance(
+    arms: usize,
+    edges_per_rel: usize,
+    num_nodes: u64,
+    weight: WeightDist,
+    seed: u64,
+) -> AcyclicInstance {
+    let query = star_query(arms);
+    let join_tree = tree_of(&query);
+    let relations = (0..arms)
+        .map(|i| {
+            random_edge_relation(
+                edges_per_rel,
+                num_nodes,
+                weight,
+                None,
+                seed.wrapping_add(i as u64 * 0x517c),
+            )
+        })
+        .collect();
+    AcyclicInstance {
+        query,
+        join_tree,
+        relations,
+    }
+}
+
+/// A cycle-query instance (cyclic — no join tree): the query plus `len`
+/// relations. Self-join flavored: all atoms share one generated edge
+/// set, like the graph-pattern queries of §1 ("top-k lightest
+/// 4-cycles" over one weighted graph).
+pub fn cycle_instance(
+    len: usize,
+    num_edges: usize,
+    num_nodes: u64,
+    weight: WeightDist,
+    zipf_skew: Option<f64>,
+    seed: u64,
+) -> (ConjunctiveQuery, Vec<Relation>) {
+    let query = cycle_query(len);
+    let edges = random_edge_relation(num_edges, num_nodes, weight, zipf_skew, seed);
+    let relations = vec![edges; len];
+    (query, relations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_join::yannakakis::yannakakis_count;
+
+    #[test]
+    fn path_instance_joins() {
+        // Dense: 200 edges over 20 nodes — plenty of 3-paths.
+        let inst = path_instance(3, 200, 20, WeightDist::Uniform, 42);
+        assert_eq!(inst.relations.len(), 3);
+        assert_eq!(inst.input_size(), 600);
+        let count = yannakakis_count(
+            &inst.query,
+            &inst.join_tree,
+            inst.relations_clone(),
+        );
+        assert!(count > 0, "dense path instance should have answers");
+    }
+
+    #[test]
+    fn star_instance_shape() {
+        let inst = star_instance(3, 100, 10, WeightDist::Uniform, 7);
+        assert_eq!(inst.query.num_vars(), 4);
+        assert!(inst.join_tree.satisfies_running_intersection(&inst.query));
+    }
+
+    #[test]
+    fn cycle_instance_self_join() {
+        let (q, rels) = cycle_instance(4, 50, 10, WeightDist::Uniform, None, 3);
+        assert_eq!(q.num_atoms(), 4);
+        assert_eq!(rels.len(), 4);
+        // Self-join: all four relations identical.
+        for i in 0..rels[0].len() as u32 {
+            assert_eq!(rels[0].row(i), rels[3].row(i));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = path_instance(2, 50, 10, WeightDist::Uniform, 5);
+        let b = path_instance(2, 50, 10, WeightDist::Uniform, 5);
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            for i in 0..ra.len() as u32 {
+                assert_eq!(ra.row(i), rb.row(i));
+            }
+        }
+    }
+}

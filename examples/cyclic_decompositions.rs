@@ -1,0 +1,106 @@
+//! General cyclic queries through tree decompositions: the full §3
+//! pipeline on a 6-cycle — a query the specialized 4-cycle plan cannot
+//! touch, but the decomposition engine handles automatically.
+//!
+//! Shows: width analysis (ρ*, fhw, subw), GHD materialization, and
+//! ranked enumeration over the bag tree; plus the E13 moral on the
+//! 4-cycle (union of trees vs single tree).
+//!
+//! Run with: `cargo run --release --example cyclic_decompositions`
+
+use anyk::core::cyclic::c4_ranked_part;
+use anyk::core::decomposed::{decomposed_ranked_part, ranked_auto};
+use anyk::core::{SuccessorKind, SumCost};
+use anyk::query::agm::fractional_edge_cover;
+use anyk::query::cq::cycle_query;
+use anyk::query::cycles::{cycle_submodular_width, heavy_threshold};
+use anyk::query::decompose::fhw_exact;
+use anyk::query::hypergraph::{iter_vars, Hypergraph};
+use anyk::workloads::graphs::{random_edge_relation, WeightDist};
+use std::time::Instant;
+
+fn main() {
+    // --- A 6-cycle pattern over a random weighted graph. ---
+    let q = cycle_query(6);
+    let h = Hypergraph::of_query(&q);
+    println!("query: {q}");
+    let rho = fractional_edge_cover(&h, h.all_vars()).unwrap().value;
+    let decomp = fhw_exact(&h);
+    println!(
+        "widths: rho* = {rho} (AGM exponent), fhw = {} (single tree), subw = {:.3} (union of trees)",
+        decomp.width,
+        cycle_submodular_width(6)
+    );
+    println!("chosen decomposition bags:");
+    for (i, bag) in decomp.bags.iter().enumerate() {
+        let vars: Vec<String> = iter_vars(bag.vars)
+            .map(|v| q.var_name(v).to_string())
+            .collect();
+        println!(
+            "  bag {i}: {{{}}} cover={:?} cost={:.2} parent={:?}",
+            vars.join(","),
+            bag.cover,
+            bag.cost,
+            bag.parent
+        );
+    }
+
+    // Dedup: decomposition-based execution uses set semantics, so keep
+    // the inputs duplicate-free (Zipf graphs repeat hub pairs).
+    let mut edges = random_edge_relation(3000, 250, WeightDist::Uniform, Some(1.05), 7);
+    edges.dedup();
+    let rels = vec![edges; 6];
+    let k = 5;
+    let t0 = Instant::now();
+    let top: Vec<_> = decomposed_ranked_part::<SumCost>(&q, &rels, &decomp, SuccessorKind::Lazy)
+        .take(k)
+        .collect();
+    println!(
+        "\ntop-{k} lightest 6-cycles via the fhw-2 decomposition ({:?}):",
+        t0.elapsed()
+    );
+    for (i, a) in top.iter().enumerate() {
+        let cyc: Vec<String> = a.values.iter().map(|v| v.to_string()).collect();
+        println!("  #{} weight {:.4}  {}", i + 1, a.cost.get(), cyc.join(" -> "));
+    }
+
+    // `ranked_auto` picks the decomposition for you.
+    let t0 = Instant::now();
+    let same: Vec<_> = ranked_auto::<SumCost>(&q, &rels).take(k).collect();
+    assert_eq!(top.len(), same.len());
+    for (a, b) in top.iter().zip(&same) {
+        assert!((a.cost.get() - b.cost.get()).abs() < 1e-9);
+    }
+    println!("ranked_auto agrees ({:?})", t0.elapsed());
+
+    // --- The E13 moral on the 4-cycle. ---
+    let q4 = cycle_query(4);
+    let h4 = Hypergraph::of_query(&q4);
+    let d4 = fhw_exact(&h4);
+    let mut e4 = random_edge_relation(4000, 320, WeightDist::Uniform, Some(1.05), 11);
+    e4.dedup();
+    let rels4 = vec![e4; 4];
+    let thr = heavy_threshold(4000);
+
+    let t0 = Instant::now();
+    let a: Vec<f64> = c4_ranked_part::<SumCost>(&rels4, thr, SuccessorKind::Lazy)
+        .take(100)
+        .map(|x| x.cost.get())
+        .collect();
+    let t_subw = t0.elapsed();
+    let t0 = Instant::now();
+    let b: Vec<f64> = decomposed_ranked_part::<SumCost>(&q4, &rels4, &d4, SuccessorKind::Lazy)
+        .take(100)
+        .map(|x| x.cost.get())
+        .collect();
+    let t_fhw = t0.elapsed();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9);
+    }
+    println!(
+        "\n4-cycle top-100: union-of-trees (subw 1.5) {t_subw:?} vs single tree (fhw 2) {t_fhw:?} \
+         — identical answers, {}x faster",
+        (t_fhw.as_secs_f64() / t_subw.as_secs_f64()).round()
+    );
+}

@@ -1,0 +1,45 @@
+//! k-shortest paths as ranked join enumeration — the historical root
+//! Part 3 traces any-k back to (Hoffman–Pavley 1959, Dreyfus, Eppstein,
+//! Jiménez–Marzal).
+//!
+//! A layered DAG *is* a path query: layer-i edges form relation
+//! `R_i(x_{i-1}, x_i)` and the k shortest source-to-sink paths are
+//! exactly the k top-ranked join answers under sum ranking.
+//!
+//! Run with: `cargo run --release --example shortest_paths`
+
+use anyk::core::ksp::{k_shortest_paths, LayeredDag};
+use anyk::workloads::dag::layered_dag_edges;
+use std::time::Instant;
+
+fn main() {
+    // A random layered DAG: 6 transitions, 50 nodes per layer.
+    let layers = 6;
+    let width = 50;
+    let edges_per_layer = 600;
+    let dag = LayeredDag {
+        edges: layered_dag_edges(layers, width, edges_per_layer, 2024),
+    };
+    println!(
+        "layered DAG: {layers} transitions x {edges_per_layer} edges, {width} nodes/layer"
+    );
+
+    let k = 10;
+    let t0 = Instant::now();
+    let paths = k_shortest_paths(&dag, k);
+    let elapsed = t0.elapsed();
+
+    println!("\n{k} shortest paths (found {} in {elapsed:?}):", paths.len());
+    for (i, (w, nodes)) in paths.iter().enumerate() {
+        let hops: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
+        println!("  #{:<2} length {:.4}  path {}", i + 1, w, hops.join(" -> "));
+    }
+
+    // Sanity: lengths are non-decreasing — the any-k guarantee.
+    assert!(paths.windows(2).all(|w| w[0].0 <= w[1].0));
+    println!("\npath lengths non-decreasing ✓ (any-k order guarantee)");
+    println!(
+        "note: this runs the same ANYK-PART machinery as the join examples —\n\
+         k-shortest paths and ranked join enumeration are the same problem."
+    );
+}

@@ -1,0 +1,60 @@
+//! Part 1 of the paper in action: the classic middleware top-k
+//! algorithms (Fagin's Algorithm, the Threshold Algorithm, NRA) over
+//! vertically partitioned ranked lists — and how their access costs
+//! react to score correlation.
+//!
+//! Run with: `cargo run --release --example topk_middleware`
+
+use anyk::topk::{fagin_topk, nra_topk, threshold_topk, Aggregation, RankedLists};
+use anyk::workloads::middleware::{anticorrelated_lists, correlated_lists, uniform_lists};
+
+fn main() {
+    let m = 3; // lists ("vertical partitions" / external sources)
+    let n = 10_000; // objects
+    let k = 5;
+    println!("m = {m} ranked lists, n = {n} objects, top-{k}, sum aggregation\n");
+
+    for (name, lists) in [
+        ("correlated  ", correlated_lists(m, n, 0.05, 1)),
+        ("independent ", uniform_lists(m, n, 2)),
+        ("anticorrel. ", anticorrelated_lists(m, n, 3)),
+    ] {
+        // Threshold Algorithm — instance-optimal in this model.
+        let mut ta = RankedLists::new(lists.clone());
+        let winners = threshold_topk(&mut ta, k, Aggregation::Sum);
+        // Fagin's Algorithm — correct but weaker stopping rule.
+        let mut fa = RankedLists::new(lists.clone());
+        let _ = fagin_topk(&mut fa, k, Aggregation::Sum);
+        // NRA — no random accesses at all.
+        let mut nra = RankedLists::new(lists.clone());
+        let _ = nra_topk(&mut nra, k, Aggregation::Sum);
+
+        println!("{name} lists:");
+        println!(
+            "  TA : {:>6} sorted + {:>6} random accesses",
+            ta.counters().sorted,
+            ta.counters().random
+        );
+        println!(
+            "  FA : {:>6} sorted + {:>6} random accesses",
+            fa.counters().sorted,
+            fa.counters().random
+        );
+        println!(
+            "  NRA: {:>6} sorted + {:>6} random accesses",
+            nra.counters().sorted,
+            nra.counters().random
+        );
+        let ids: Vec<String> = winners.iter().map(|w| format!("{}", w.0)).collect();
+        println!("  top-{k} objects: [{}]  (full scan = {})\n", ids.join(", "), n * m);
+    }
+
+    println!(
+        "Observation (the paper's Part 1 message): these costs count\n\
+         *accesses only*. The computation between accesses — joining\n\
+         partial objects, maintaining bound intervals — is free in this\n\
+         model, which is exactly what breaks down for join queries with\n\
+         large intermediate results. See `cargo run --release -p\n\
+         anyk-bench --bin experiments -- e8` for the RAM-model contrast."
+    );
+}

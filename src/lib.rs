@@ -1,0 +1,66 @@
+//! # anyk — Optimal Join Algorithms Meet Top-k
+//!
+//! A Rust implementation of the algorithm families surveyed in
+//! *"Optimal Join Algorithms Meet Top-k"* (Tziavelis, Gatterbauer,
+//! Riedewald — SIGMOD 2020): classic top-k (Fagin/Threshold/NRA,
+//! rank-join), (worst-case) optimal joins (Yannakakis, Generic-Join,
+//! decompositions, AGM bound), and their intersection — **ranked
+//! enumeration ("any-k")** over join queries.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`storage`] — relational substrate (values, relations, indexes,
+//!   tries).
+//! * [`query`] — conjunctive queries, hypergraphs, acyclicity,
+//!   decompositions, widths, the AGM bound.
+//! * [`join`] — batch joins: Yannakakis, binary plans, Generic-Join,
+//!   Boolean evaluation, the 4-cycle union-of-trees plan.
+//! * [`topk`] — classic top-k: FA, TA, NRA, HRJN rank-join, J*.
+//! * [`core`] — any-k ranked enumeration: T-DP, ANYK-PART (Eager / All /
+//!   Take2 / Lazy / Quick), ANYK-REC, batch baselines, cyclic plans.
+//! * [`workloads`] — seeded synthetic generators for every experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anyk::core::{AnyKPart, SuccessorKind, SumCost, TdpInstance};
+//! use anyk::workloads::graphs::WeightDist;
+//! use anyk::workloads::patterns::path_instance;
+//!
+//! // A 3-relation path query over a small random weighted graph.
+//! let inst = path_instance(3, 200, 20, WeightDist::Uniform, 7);
+//! let tdp = TdpInstance::<SumCost>::prepare(
+//!     &inst.query, &inst.join_tree, inst.relations_clone(),
+//! ).unwrap();
+//! let mut anyk = AnyKPart::new(tdp, SuccessorKind::Lazy);
+//! // Ranked answers arrive one by one, cheapest first, no k needed upfront.
+//! let first = anyk.next().unwrap();
+//! let second = anyk.next().unwrap();
+//! assert!(first.cost <= second.cost);
+//! ```
+
+/// One-stop imports for typical usage.
+///
+/// ```
+/// use anyk::prelude::*;
+/// let q = path_query(2);
+/// assert!(is_acyclic(&q));
+/// ```
+pub mod prelude {
+    pub use anyk_core::{
+        AnyK, AnyKPart, AnyKRec, BatchHeap, BatchSorted, LexCost, MaxCost, MinCost, ProdCost,
+        RankedAnswer, RankingFunction, SuccessorKind, SumCost, TdpInstance, UnrankedEnum,
+    };
+    pub use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
+    pub use anyk_query::gyo::{gyo_reduce, is_acyclic, GyoResult};
+    pub use anyk_storage::{Relation, RelationBuilder, Schema, Value, Weight};
+    pub use anyk_workloads::graphs::WeightDist;
+    pub use anyk_workloads::patterns::{path_instance, star_instance};
+}
+
+pub use anyk_core as core;
+pub use anyk_join as join;
+pub use anyk_query as query;
+pub use anyk_storage as storage;
+pub use anyk_topk as topk;
+pub use anyk_workloads as workloads;

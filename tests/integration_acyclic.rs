@@ -1,0 +1,165 @@
+//! Cross-crate integration tests for acyclic ranked enumeration:
+//! every any-k engine must agree with the batch oracle on randomized
+//! workloads, across query shapes and ranking functions.
+
+use anyk::core::{
+    AnyKPart, AnyKRec, BatchSorted, MaxCost, RankingFunction, SuccessorKind, SumCost, TdpInstance,
+};
+use anyk::join::nested_loop::nested_loop_join;
+use anyk::join::yannakakis::yannakakis_count;
+use anyk::query::cq::ConjunctiveQuery;
+use anyk::query::join_tree::JoinTree;
+use anyk::storage::Relation;
+use anyk::workloads::graphs::WeightDist;
+use anyk::workloads::patterns::{path_instance, star_instance, AcyclicInstance};
+
+/// Collect `(cost, values)` from any engine.
+fn collect<R, I>(it: I) -> Vec<(R::Cost, Vec<i64>)>
+where
+    R: RankingFunction,
+    I: Iterator<Item = anyk::core::RankedAnswer<R::Cost>>,
+{
+    it.map(|a| (a.cost, a.values.iter().map(|v| v.int()).collect()))
+        .collect()
+}
+
+fn check_engines_agree<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    rels: &[Relation],
+) {
+    let oracle = collect::<R, _>(BatchSorted::<R>::new(q, tree, rels.to_vec()));
+    // All PART variants.
+    for kind in SuccessorKind::ALL_KINDS {
+        let inst = TdpInstance::<R>::prepare(q, tree, rels.to_vec()).unwrap();
+        let got = collect::<R, _>(AnyKPart::new(inst, kind));
+        assert_eq!(got.len(), oracle.len(), "{kind:?}: cardinality");
+        for (i, ((gc, _), (oc, _))) in got.iter().zip(&oracle).enumerate() {
+            assert_eq!(gc, oc, "{kind:?}: cost at rank {i}");
+        }
+        // Same multiset of answers.
+        let mut gv: Vec<_> = got.into_iter().map(|x| x.1).collect();
+        let mut ov: Vec<_> = oracle.iter().map(|x| x.1.clone()).collect();
+        gv.sort();
+        ov.sort();
+        assert_eq!(gv, ov, "{kind:?}: answer multiset");
+    }
+    // REC.
+    let inst = TdpInstance::<R>::prepare(q, tree, rels.to_vec()).unwrap();
+    let got = collect::<R, _>(AnyKRec::new(inst));
+    assert_eq!(got.len(), oracle.len(), "rec: cardinality");
+    for (i, ((gc, _), (oc, _))) in got.iter().zip(&oracle).enumerate() {
+        assert_eq!(gc, oc, "rec: cost at rank {i}");
+    }
+}
+
+fn check_instance(inst: &AcyclicInstance) {
+    check_engines_agree::<SumCost>(&inst.query, &inst.join_tree, &inst.relations);
+    check_engines_agree::<MaxCost>(&inst.query, &inst.join_tree, &inst.relations);
+}
+
+#[test]
+fn path_queries_random_seeds() {
+    for seed in [1u64, 2, 3] {
+        for len in [2usize, 3, 4] {
+            let inst = path_instance(len, 60, 8, WeightDist::UniformDyadic, seed);
+            check_instance(&inst);
+        }
+    }
+}
+
+#[test]
+fn star_queries_random_seeds() {
+    for seed in [4u64, 5] {
+        for arms in [2usize, 3, 4] {
+            let inst = star_instance(arms, 50, 6, WeightDist::UniformDyadic, seed);
+            check_instance(&inst);
+        }
+    }
+}
+
+#[test]
+fn tie_heavy_constant_weights() {
+    // All weights identical: pure tie-breaking stress.
+    let inst = path_instance(3, 40, 5, WeightDist::Constant(1.0), 9);
+    check_instance(&inst);
+}
+
+#[test]
+fn correlated_weights() {
+    // Power-of-two node count keeps CorrelatedWithKey weights dyadic
+    // (src / 8), so cross-engine cost comparison stays exact.
+    let inst = path_instance(3, 50, 8, WeightDist::CorrelatedWithKey, 11);
+    check_instance(&inst);
+}
+
+#[test]
+fn cardinality_matches_counting_dp() {
+    for seed in [21u64, 22, 23] {
+        let inst = path_instance(3, 80, 9, WeightDist::UniformDyadic, seed);
+        let count = yannakakis_count(&inst.query, &inst.join_tree, inst.relations_clone());
+        let tdp = TdpInstance::<SumCost>::prepare(
+            &inst.query,
+            &inst.join_tree,
+            inst.relations_clone(),
+        )
+        .unwrap();
+        let enumerated = AnyKPart::new(tdp, SuccessorKind::Take2).count() as u128;
+        assert_eq!(enumerated, count, "seed {seed}");
+    }
+}
+
+#[test]
+fn matches_nested_loop_oracle_on_small_instances() {
+    for seed in [31u64, 32] {
+        let inst = path_instance(2, 15, 4, WeightDist::UniformDyadic, seed);
+        let nl = nested_loop_join(&inst.query, &inst.relations);
+        let mut oracle: Vec<f64> = (0..nl.len() as u32).map(|i| nl.weight(i).get()).collect();
+        oracle.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tdp = TdpInstance::<SumCost>::prepare(
+            &inst.query,
+            &inst.join_tree,
+            inst.relations_clone(),
+        )
+        .unwrap();
+        let got: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Lazy)
+            .map(|a| a.cost.get())
+            .collect();
+        assert_eq!(got.len(), oracle.len());
+        for (g, o) in got.iter().zip(&oracle) {
+            assert!((g - o).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn prefix_stability_across_k() {
+    let inst = path_instance(3, 60, 8, WeightDist::UniformDyadic, 41);
+    let full: Vec<f64> = {
+        let tdp = TdpInstance::<SumCost>::prepare(
+            &inst.query,
+            &inst.join_tree,
+            inst.relations_clone(),
+        )
+        .unwrap();
+        AnyKPart::new(tdp, SuccessorKind::Quick)
+            .map(|a| a.cost.get())
+            .collect()
+    };
+    for k in [1usize, 5, 17, full.len()] {
+        let tdp = TdpInstance::<SumCost>::prepare(
+            &inst.query,
+            &inst.join_tree,
+            inst.relations_clone(),
+        )
+        .unwrap();
+        let partial: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Quick)
+            .take(k)
+            .map(|a| a.cost.get())
+            .collect();
+        assert_eq!(partial.len(), k.min(full.len()));
+        for (p, f) in partial.iter().zip(&full) {
+            assert_eq!(p, f);
+        }
+    }
+}

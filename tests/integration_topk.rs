@@ -1,0 +1,160 @@
+//! Cross-family integration tests: the Part-1 top-k algorithms, the
+//! Part-3 any-k engines, and the batch joins must all tell the same
+//! story when run on the same workloads.
+
+use anyk::core::{AnyKPart, SuccessorKind, SumCost, TdpInstance};
+use anyk::query::cq::path_query;
+use anyk::query::gyo::{gyo_reduce, GyoResult};
+use anyk::storage::Relation;
+use anyk::topk::jstar::{jstar_topk, ChainSpec};
+use anyk::topk::lists::{Aggregation, RankedLists};
+use anyk::topk::rank_join::{RankJoin, SortedScan};
+use anyk::topk::{fagin_topk, nra_topk, threshold_topk};
+use anyk::workloads::graphs::{random_edge_relation, WeightDist};
+use anyk::workloads::middleware::{anticorrelated_lists, correlated_lists, uniform_lists};
+
+#[test]
+fn middleware_algorithms_agree_with_each_other() {
+    for (seed, maker) in [
+        (1u64, uniform_lists(3, 300, 1)),
+        (2, correlated_lists(3, 300, 0.1, 2)),
+        (3, anticorrelated_lists(3, 300, 3)),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (s, l))| (s + i as u64, l))
+    {
+        let _ = seed;
+        for k in [1usize, 5, 25] {
+            let mut l1 = RankedLists::new(maker.clone());
+            let ta = threshold_topk(&mut l1, k, Aggregation::Sum);
+            let mut l2 = RankedLists::new(maker.clone());
+            let fa = fagin_topk(&mut l2, k, Aggregation::Sum);
+            let mut l3 = RankedLists::new(maker.clone());
+            let nra = nra_topk(&mut l3, k, Aggregation::Sum);
+            let oracle = l3.oracle_topk(k, Aggregation::Sum);
+            // Ties are common (especially anticorrelated, where sums are
+            // flat), and any valid top-k under ties is acceptable — so
+            // the binding check is on *aggregates*, position-wise.
+            for (algo, got) in [("TA", &ta), ("FA", &fa), ("NRA", &nra)] {
+                assert_eq!(got.len(), oracle.len(), "{algo} k={k}: cardinality");
+                for (i, (g, o)) in got.iter().zip(&oracle).enumerate() {
+                    assert!(
+                        (g.1 - o.1).abs() < 1e-9,
+                        "{algo} k={k}: aggregate at rank {i}: {} vs {}",
+                        g.1,
+                        o.1
+                    );
+                }
+            }
+            // And each returned object's aggregate must be its true one.
+            for &(obj, agg) in ta.iter().chain(&fa) {
+                let truth = Aggregation::Sum.apply(&l3.oracle_scores(obj));
+                assert!((agg - truth).abs() < 1e-9, "reported aggregate wrong");
+            }
+        }
+    }
+}
+
+/// HRJN, J*, and ANYK-PART on the *same* 2-path workload must emit the
+/// same cost sequence.
+#[test]
+fn rank_join_jstar_and_anyk_agree() {
+    for seed in [10u64, 11, 12] {
+        let l = random_edge_relation(80, 12, WeightDist::Uniform, None, seed);
+        let r = random_edge_relation(80, 12, WeightDist::Uniform, None, seed + 100);
+        // HRJN.
+        let rj = RankJoin::new(
+            SortedScan::new(l.clone()),
+            SortedScan::new(r.clone()),
+            vec![1],
+            vec![0],
+        );
+        let hrjn: Vec<f64> = rj.map(|t| t.weight).collect();
+        // J*.
+        let rels: Vec<Relation> = vec![l.clone(), r.clone()];
+        let (js, _) = jstar_topk(&rels, &ChainSpec::edge_path(2), usize::MAX);
+        // ANYK-PART.
+        let q = path_query(2);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let tdp = TdpInstance::<SumCost>::prepare(&q, &tree, vec![l, r]).unwrap();
+        let anyk: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Lazy)
+            .map(|a| a.cost.get())
+            .collect();
+
+        assert_eq!(hrjn.len(), anyk.len(), "seed {seed}: HRJN cardinality");
+        assert_eq!(js.len(), anyk.len(), "seed {seed}: J* cardinality");
+        for i in 0..anyk.len() {
+            assert!(
+                (hrjn[i] - anyk[i]).abs() < 1e-9,
+                "seed {seed} rank {i}: HRJN {} vs anyk {}",
+                hrjn[i],
+                anyk[i]
+            );
+            assert!(
+                (js[i].0 - anyk[i]).abs() < 1e-9,
+                "seed {seed} rank {i}: J* {} vs anyk {}",
+                js[i].0,
+                anyk[i]
+            );
+        }
+    }
+}
+
+/// A 3-relation chain: HRJN tree and any-k agree.
+#[test]
+fn hrjn_tree_matches_anyk_on_3path() {
+    let seed = 77u64;
+    let r1 = random_edge_relation(50, 8, WeightDist::Uniform, None, seed);
+    let r2 = random_edge_relation(50, 8, WeightDist::Uniform, None, seed + 1);
+    let r3 = random_edge_relation(50, 8, WeightDist::Uniform, None, seed + 2);
+    let lower = RankJoin::new(
+        SortedScan::new(r1.clone()),
+        SortedScan::new(r2.clone()),
+        vec![1],
+        vec![0],
+    );
+    // Lower output: [a, b, b, c]; join position 3 (c) with r3's col 0.
+    let upper = RankJoin::new(lower, SortedScan::new(r3.clone()), vec![3], vec![0]);
+    let hrjn: Vec<f64> = upper.map(|t| t.weight).collect();
+
+    let q = path_query(3);
+    let tree = match gyo_reduce(&q) {
+        GyoResult::Acyclic(t) => t,
+        _ => unreachable!(),
+    };
+    let tdp = TdpInstance::<SumCost>::prepare(&q, &tree, vec![r1, r2, r3]).unwrap();
+    let anyk: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Take2)
+        .map(|a| a.cost.get())
+        .collect();
+    assert_eq!(hrjn.len(), anyk.len());
+    for (h, a) in hrjn.iter().zip(&anyk) {
+        assert!((h - a).abs() < 1e-9, "{h} vs {a}");
+    }
+}
+
+/// The adversarial instance: HRJN must scan deep, any-k must not read
+/// more than the input. (The paper's Part 1 RAM-model critique, as a
+/// regression test.)
+#[test]
+fn adversarial_depth_gap() {
+    let n = 200usize;
+    let (l, r) = anyk::workloads::adversarial::anticorrelated_pair(n);
+    let mut rj = RankJoin::new(
+        SortedScan::new(l.clone()),
+        SortedScan::new(r.clone()),
+        vec![1],
+        vec![0],
+    );
+    let first = rj.next().unwrap();
+    assert_eq!(first.weight, n as f64);
+    assert!(
+        rj.stats().pulled as usize >= n * 3 / 2,
+        "HRJN must pull deep: {}",
+        rj.stats().pulled
+    );
+    assert!(rj.stats().peak_buffered as usize >= n, "buffers ~ full input");
+}

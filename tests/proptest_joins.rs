@@ -1,0 +1,122 @@
+//! Property-based cross-checks of every batch join algorithm: on random
+//! inputs, nested-loop, binary plans, Generic-Join, Leapfrog Triejoin,
+//! Yannakakis (acyclic), and GHD execution (cyclic) must all agree.
+
+use anyk::join::binary::binary_join;
+use anyk::join::decomposed::decomposed_join;
+use anyk::join::generic_join::generic_join_materialize;
+use anyk::join::leapfrog::leapfrog_materialize;
+use anyk::join::nested_loop::{assert_same_result, nested_loop_join};
+use anyk::join::yannakakis::yannakakis_join;
+use anyk::query::cq::{cycle_query, path_query, star_query, triangle_query, ConjunctiveQuery};
+use anyk::query::decompose::{fhw_exact, fhw_greedy};
+use anyk::query::gyo::{gyo_reduce, GyoResult};
+use anyk::query::hypergraph::Hypergraph;
+use anyk::storage::{Relation, RelationBuilder, Schema};
+use proptest::prelude::*;
+
+/// Random binary relation over a small domain; dyadic weights; optional
+/// dedup (GHD execution assumes duplicate-free inputs).
+fn arb_relation(max_rows: usize, domain: i64, dedup: bool) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..domain, 0..domain, 0i32..64), 1..=max_rows).prop_map(move |rows| {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (x, y, w) in rows {
+            b.push_ints(&[x, y], w as f64 / 4.0);
+        }
+        let mut r = b.finish();
+        if dedup {
+            r.dedup();
+        }
+        r
+    })
+}
+
+fn check_wco_agree(q: &ConjunctiveQuery, rels: &[Relation]) {
+    let nl = nested_loop_join(q, rels);
+    let (gj, _) = generic_join_materialize(q, rels, None);
+    let lftj = leapfrog_materialize(q, rels, None);
+    assert_same_result(&nl, &gj);
+    assert_same_result(&nl, &lftj);
+    // Binary plans too (first atom order).
+    let order: Vec<usize> = (0..q.num_atoms()).collect();
+    let (bj, _) = binary_join(q, rels, &order);
+    assert_same_result(&nl, &bj);
+}
+
+fn check_ghd_agree(q: &ConjunctiveQuery, rels: &[Relation]) {
+    let (gj, _) = generic_join_materialize(q, rels, None);
+    let h = Hypergraph::of_query(q);
+    for d in [fhw_exact(&h), fhw_greedy(&h)] {
+        let ghd = decomposed_join(q, rels, &d);
+        assert_same_result(&gj, &ghd);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn triangle_all_algorithms(r in arb_relation(14, 4, true)) {
+        let q = triangle_query();
+        let rels = vec![r.clone(), r.clone(), r];
+        check_wco_agree(&q, &rels);
+        check_ghd_agree(&q, &rels);
+    }
+
+    #[test]
+    fn four_cycle_all_algorithms(r in arb_relation(12, 4, true)) {
+        let q = cycle_query(4);
+        let rels = vec![r.clone(), r.clone(), r.clone(), r];
+        check_wco_agree(&q, &rels);
+        check_ghd_agree(&q, &rels);
+    }
+
+    #[test]
+    fn path_yannakakis_vs_wco(
+        r1 in arb_relation(15, 5, false),
+        r2 in arb_relation(15, 5, false),
+        r3 in arb_relation(15, 5, false),
+    ) {
+        let q = path_query(3);
+        let rels = vec![r1, r2, r3];
+        check_wco_agree(&q, &rels);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let y = yannakakis_join(&q, &tree, rels.clone());
+        let nl = nested_loop_join(&q, &rels);
+        assert_same_result(&y, &nl);
+    }
+
+    #[test]
+    fn star_yannakakis_vs_wco(
+        r1 in arb_relation(12, 4, false),
+        r2 in arb_relation(12, 4, false),
+        r3 in arb_relation(12, 4, false),
+    ) {
+        let q = star_query(3);
+        let rels = vec![r1, r2, r3];
+        check_wco_agree(&q, &rels);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let y = yannakakis_join(&q, &tree, rels.clone());
+        let nl = nested_loop_join(&q, &rels);
+        assert_same_result(&y, &nl);
+    }
+
+    #[test]
+    fn distinct_relations_cycle(
+        r1 in arb_relation(10, 4, true),
+        r2 in arb_relation(10, 4, true),
+        r3 in arb_relation(10, 4, true),
+        r4 in arb_relation(10, 4, true),
+    ) {
+        let q = cycle_query(4);
+        let rels = vec![r1, r2, r3, r4];
+        check_wco_agree(&q, &rels);
+        check_ghd_agree(&q, &rels);
+    }
+}

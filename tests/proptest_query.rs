@@ -1,0 +1,110 @@
+//! Property-based tests of the query-analysis layer: acyclicity,
+//! widths, and the AGM bound against actual outputs.
+
+use anyk::join::yannakakis::yannakakis_count;
+use anyk::join::generic_join::generic_join_materialize;
+use anyk::query::agm::{agm_bound, fractional_edge_cover, integral_edge_cover};
+use anyk::query::cq::{ConjunctiveQuery, QueryBuilder};
+use anyk::query::decompose::{fhw_exact, fhw_greedy};
+use anyk::query::gyo::{gyo_reduce, is_acyclic, is_acyclic_bruteforce, GyoResult};
+use anyk::query::hypergraph::Hypergraph;
+use anyk::storage::{Relation, RelationBuilder, Schema};
+use proptest::prelude::*;
+
+/// A random conjunctive query: 2–4 binary atoms over 2–4 variables.
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    let vars = ["a", "b", "c", "d"];
+    prop::collection::vec((0usize..4, 0usize..4), 2..=4).prop_map(move |atoms| {
+        let mut qb = QueryBuilder::new();
+        for (i, (x, y)) in atoms.into_iter().enumerate() {
+            qb = qb.atom(format!("R{i}"), &[vars[x], vars[y]]);
+        }
+        qb.build()
+    })
+}
+
+fn arb_relation(max_rows: usize, domain: i64) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..domain, 0..domain), 1..=max_rows).prop_map(|rows| {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (x, y) in rows {
+            b.push_ints(&[x, y], 0.0);
+        }
+        let mut r = b.finish();
+        r.dedup();
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GYO agrees with the brute-force acyclicity oracle.
+    #[test]
+    fn gyo_matches_bruteforce(q in arb_query()) {
+        prop_assert_eq!(is_acyclic(&q), is_acyclic_bruteforce(&q));
+    }
+
+    /// GYO's join tree (when produced) satisfies running intersection.
+    #[test]
+    fn gyo_tree_is_valid(q in arb_query()) {
+        if let GyoResult::Acyclic(t) = gyo_reduce(&q) {
+            prop_assert!(t.satisfies_running_intersection(&q));
+        }
+    }
+
+    /// Width chain: 1 <= fhw_exact <= fhw_greedy <= rho* <= integral
+    /// cover, and acyclic iff fhw == 1.
+    #[test]
+    fn width_inequalities(q in arb_query()) {
+        let h = Hypergraph::of_query(&q);
+        let exact = fhw_exact(&h);
+        let greedy = fhw_greedy(&h);
+        let rho = fractional_edge_cover(&h, h.all_vars()).unwrap().value;
+        let int_cover = integral_edge_cover(&h, h.all_vars()).unwrap() as f64;
+        prop_assert!(exact.width >= 1.0 - 1e-9);
+        prop_assert!(greedy.width >= exact.width - 1e-9);
+        prop_assert!(rho >= exact.width - 1e-9, "rho {rho} < fhw {}", exact.width);
+        prop_assert!(int_cover >= rho - 1e-9);
+        prop_assert!(exact.is_valid(&h));
+        prop_assert!(greedy.is_valid(&h));
+        if is_acyclic(&q) {
+            prop_assert!((exact.width - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(exact.width > 1.0 + 1e-9);
+        }
+    }
+
+    /// The AGM bound upper-bounds the actual output size on every
+    /// instance (the defining property).
+    #[test]
+    fn agm_bound_holds(
+        q in arb_query(),
+        rels_seed in prop::collection::vec(arb_relation(10, 3), 4),
+    ) {
+        let rels: Vec<Relation> = (0..q.num_atoms()).map(|i| rels_seed[i].clone()).collect();
+        let h = Hypergraph::of_query(&q);
+        let sizes: Vec<usize> = rels.iter().map(Relation::len).collect();
+        let bound = agm_bound(&h, &sizes).unwrap();
+        let (out, _) = generic_join_materialize(&q, &rels, None);
+        prop_assert!(
+            out.len() as f64 <= bound + 1e-6,
+            "output {} exceeds AGM bound {bound}",
+            out.len()
+        );
+    }
+
+    /// On acyclic queries, the counting DP agrees with WCO enumeration.
+    #[test]
+    fn count_matches_enumeration(
+        q in arb_query(),
+        rels_seed in prop::collection::vec(arb_relation(8, 3), 4),
+    ) {
+        if let GyoResult::Acyclic(tree) = gyo_reduce(&q) {
+            let rels: Vec<Relation> =
+                (0..q.num_atoms()).map(|i| rels_seed[i].clone()).collect();
+            let count = yannakakis_count(&q, &tree, rels.clone());
+            let (out, _) = generic_join_materialize(&q, &rels, None);
+            prop_assert_eq!(count, out.len() as u128);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the Part-1 algorithms: FA / TA / NRA / CA
+//! against the brute-force oracle on arbitrary ranked lists, and
+//! rank-join trees against sorted batch join on arbitrary relations.
+
+use anyk::storage::{Relation, RelationBuilder, Schema};
+use anyk::topk::ca::combined_topk;
+use anyk::topk::lists::{Aggregation, RankedLists};
+use anyk::topk::rank_join::rank_join_path;
+use anyk::topk::{fagin_topk, nra_topk, threshold_topk};
+use proptest::prelude::*;
+
+/// m lists over a shared object space with dyadic scores in [0, 1].
+fn arb_lists(m: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
+    (1..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec(
+            prop::collection::vec(0u32..=4096, n..=n),
+            m..=m,
+        )
+        .prop_map(move |scoress| {
+            scoress
+                .into_iter()
+                .map(|scores| {
+                    scores
+                        .into_iter()
+                        .enumerate()
+                        .map(|(o, s)| (o as u64, s as f64 / 4096.0))
+                        .collect()
+                })
+                .collect()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FA, TA and CA return aggregates position-wise equal to the
+    /// oracle; NRA returns the correct top-k set.
+    #[test]
+    fn middleware_family_matches_oracle(
+        lists in arb_lists(3, 40),
+        k in 1usize..10,
+        agg_idx in 0usize..3,
+    ) {
+        let agg = [Aggregation::Sum, Aggregation::Min, Aggregation::Max][agg_idx];
+        let oracle = RankedLists::new(lists.clone()).oracle_topk(k, agg);
+
+        let mut l = RankedLists::new(lists.clone());
+        let fa = fagin_topk(&mut l, k, agg);
+        prop_assert_eq!(fa.len(), oracle.len());
+        for (g, o) in fa.iter().zip(&oracle) {
+            prop_assert!((g.1 - o.1).abs() < 1e-9, "FA {} vs {}", g.1, o.1);
+        }
+
+        let mut l = RankedLists::new(lists.clone());
+        let ta = threshold_topk(&mut l, k, agg);
+        prop_assert_eq!(ta.len(), oracle.len());
+        for (g, o) in ta.iter().zip(&oracle) {
+            prop_assert!((g.1 - o.1).abs() < 1e-9, "TA {} vs {}", g.1, o.1);
+        }
+
+        let mut l = RankedLists::new(lists.clone());
+        let ca = combined_topk(&mut l, k, agg, 3);
+        prop_assert_eq!(ca.len(), oracle.len());
+        for (g, o) in ca.iter().zip(&oracle) {
+            prop_assert!((g.1 - o.1).abs() < 1e-9, "CA {} vs {}", g.1, o.1);
+        }
+
+        // NRA: set-level guarantee only, and only for aggregations where
+        // the missing-cell floor (0) is sound — Sum and Max with
+        // non-negative scores; Min's lower bound needs per-list floors,
+        // so it may over-scan but must still return a valid set when it
+        // terminates by exhaustion.
+        if matches!(agg, Aggregation::Sum | Aggregation::Max) {
+            let mut l = RankedLists::new(lists.clone());
+            let nra = nra_topk(&mut l, k, agg);
+            prop_assert_eq!(nra.len(), oracle.len());
+            let mut got: Vec<f64> = nra
+                .iter()
+                .map(|&(o, _)| agg.apply(&l.oracle_scores(o)))
+                .collect();
+            let mut want: Vec<f64> = oracle.iter().map(|x| x.1).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (g, o) in got.iter().zip(&want) {
+                prop_assert!((g - o).abs() < 1e-9, "NRA {} vs {}", g, o);
+            }
+        }
+    }
+
+    /// A left-deep HRJN path tree enumerates exactly the join results in
+    /// non-decreasing weight order.
+    #[test]
+    fn rank_join_tree_matches_oracle(
+        rows1 in prop::collection::vec((0i64..4, 0i64..4, 0u32..64), 1..12),
+        rows2 in prop::collection::vec((0i64..4, 0i64..4, 0u32..64), 1..12),
+        rows3 in prop::collection::vec((0i64..4, 0i64..4, 0u32..64), 1..12),
+    ) {
+        let build = |rows: &[(i64, i64, u32)]| -> Relation {
+            let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+            for &(x, y, w) in rows {
+                b.push_ints(&[x, y], w as f64 / 4.0);
+            }
+            b.finish()
+        };
+        let rels = vec![build(&rows1), build(&rows2), build(&rows3)];
+        // Oracle: nested loops.
+        let mut expect: Vec<f64> = Vec::new();
+        for &(_, b1, w1) in &rows1 {
+            for &(a2, b2, w2) in &rows2 {
+                if a2 != b1 { continue; }
+                for &(a3, _, w3) in &rows3 {
+                    if a3 != b2 { continue; }
+                    expect.push((w1 + w2 + w3) as f64 / 4.0);
+                }
+            }
+        }
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got: Vec<f64> = rank_join_path(rels).map(|t| t.weight).collect();
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9, "{} vs {}", g, e);
+        }
+        prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
