@@ -101,28 +101,36 @@ fn bench_cyclic(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     for k in [1usize, 100] {
-        g.bench_with_input(BenchmarkId::new("subw_union_of_trees", k), &rels, |b, rels| {
-            b.iter(|| {
-                black_box(
-                    c4_ranked_part::<SumCost>(rels, thr, SuccessorKind::Lazy)
-                        .take(k)
-                        .count(),
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("subw_union_of_trees", k),
+            &rels,
+            |b, rels| {
+                b.iter(|| {
+                    black_box(
+                        c4_ranked_part::<SumCost>(rels, thr, SuccessorKind::Lazy)
+                            .take(k)
+                            .count(),
+                    )
+                })
+            },
+        );
     }
     // E13 contrast: the single-tree fhw-2 plan on the same input.
     let q = cycle_query(4);
     let ghd = fhw_exact(&Hypergraph::of_query(&q));
-    g.bench_with_input(BenchmarkId::new("fhw_single_tree", 100usize), &rels, |b, rels| {
-        b.iter(|| {
-            black_box(
-                decomposed_ranked_part::<SumCost>(&q, rels, &ghd, SuccessorKind::Lazy)
-                    .take(100)
-                    .count(),
-            )
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("fhw_single_tree", 100usize),
+        &rels,
+        |b, rels| {
+            b.iter(|| {
+                black_box(
+                    decomposed_ranked_part::<SumCost>(&q, rels, &ghd, SuccessorKind::Lazy)
+                        .take(100)
+                        .count(),
+                )
+            })
+        },
+    );
     g.finish();
 }
 

@@ -50,15 +50,9 @@ fn bench_yannakakis(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     for edges in [2000usize, 8000] {
         let inst = path_instance(3, edges, (edges / 10) as u64, WeightDist::Uniform, 7);
-        g.bench_with_input(
-            BenchmarkId::new("yannakakis", edges),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    black_box(yannakakis_join(&q, &tree, inst.relations_clone()))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("yannakakis", edges), &inst, |b, inst| {
+            b.iter(|| black_box(yannakakis_join(&q, &tree, inst.relations_clone())))
+        });
         g.bench_with_input(BenchmarkId::new("binary", edges), &inst, |b, inst| {
             b.iter(|| black_box(binary_join(&q, &inst.relations, &[0, 1, 2])))
         });

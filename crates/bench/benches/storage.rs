@@ -29,7 +29,9 @@ fn bench_index_builds(c: &mut Criterion) {
 }
 
 fn bench_hashers(c: &mut Criterion) {
-    let keys: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+    let keys: Vec<u64> = (0..100_000u64)
+        .map(|i| i.wrapping_mul(0x9e3779b9))
+        .collect();
     let mut g = c.benchmark_group("storage_hashers");
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(3));

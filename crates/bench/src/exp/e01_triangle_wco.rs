@@ -17,9 +17,7 @@ pub fn run(scale: f64) {
     );
     let q = triangle_query();
     let base = [400usize, 800, 1600, 3200];
-    let mut t = Table::new([
-        "n", "binary", "gj", "binary_max_interm", "output",
-    ]);
+    let mut t = Table::new(["n", "binary", "gj", "binary_max_interm", "output"]);
     let mut pts_binary = Vec::new();
     let mut pts_gj = Vec::new();
     for &b in &base {

@@ -28,7 +28,15 @@ pub fn run(scale: f64) {
     );
 
     let ks = [1usize, 10, 100, 1_000, 10_000];
-    let mut t = Table::new(["algorithm", "prep", "TT(1)", "TT(10)", "TT(100)", "TT(1k)", "TT(10k)"]);
+    let mut t = Table::new([
+        "algorithm",
+        "prep",
+        "TT(1)",
+        "TT(10)",
+        "TT(100)",
+        "TT(1k)",
+        "TT(10k)",
+    ]);
 
     // ANYK-PART (Lazy) and ANYK-REC.
     for engine in ["part-lazy", "rec"] {

@@ -23,7 +23,13 @@ pub fn run(scale: f64) {
     let m = 3;
     println!("workload: m = {m} lists, n = {n} objects, sum aggregation");
     let mut t = Table::new([
-        "correlation", "k", "FA_accesses", "TA_accesses", "NRA_accesses", "CA_accesses(h=5)", "full_scan",
+        "correlation",
+        "k",
+        "FA_accesses",
+        "TA_accesses",
+        "NRA_accesses",
+        "CA_accesses(h=5)",
+        "full_scan",
     ]);
     let workloads = [
         ("correlated", correlated_lists(m, n, 0.05, 1)),

@@ -43,7 +43,12 @@ pub fn run(scale: f64) {
     );
     let n = (50_000.0 * scale).max(1000.0) as usize;
     let mut t = Table::new([
-        "workload", "n", "hrjn_TTF", "hrjn_pulled", "hrjn_buffered", "anyk_TTF",
+        "workload",
+        "n",
+        "hrjn_TTF",
+        "hrjn_pulled",
+        "hrjn_buffered",
+        "anyk_TTF",
     ]);
 
     // Friendly: correlated weights — light tuples join with light.

@@ -15,8 +15,9 @@ use anyk_workloads::patterns::{path_instance, star_instance, AcyclicInstance};
 
 fn bench_part(inst: &AcyclicInstance, kind: SuccessorKind, t: &mut Table, label: &str) {
     let (mut anyk, prep) = time(|| {
-        let i = TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
-            .unwrap();
+        let i =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         AnyKPart::new(i, kind)
     });
     let (_, t1) = time(|| anyk.next());
@@ -39,12 +40,19 @@ fn bench_all(inst: &AcyclicInstance, name: &str) {
     // (otherwise the first variant measures against a cold heap and the
     // rest pay for reclaiming its freed arena).
     {
-        let i = TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
-            .unwrap();
+        let i =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         let _ = AnyKPart::new(i, SuccessorKind::Lazy).count();
     }
     let mut t = Table::new([
-        "variant", "prep", "TT(1)", "TT(1k)", "TT(last)", "answers", "peak_pending",
+        "variant",
+        "prep",
+        "TT(1)",
+        "TT(1k)",
+        "TT(last)",
+        "answers",
+        "peak_pending",
     ]);
     for kind in SuccessorKind::ALL_KINDS {
         bench_part(inst, kind, &mut t, kind.name());

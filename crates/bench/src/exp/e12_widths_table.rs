@@ -50,7 +50,13 @@ pub fn run(_scale: f64) {
          l-cycle subw = 2 - 1/ceil(l/2) (§3)",
     );
     let mut t = Table::new([
-        "query", "acyclic", "rho*", "rho_int", "fhw", "subw", "AGM(n=1e3)",
+        "query",
+        "acyclic",
+        "rho*",
+        "rho_int",
+        "fhw",
+        "subw",
+        "AGM(n=1e3)",
     ]);
     describe("2-path", &path_query(2), &mut t);
     describe("4-path", &path_query(4), &mut t);

@@ -1,0 +1,96 @@
+//! E14 — the unified `Engine` as a serving surface: one entry point,
+//! planner-chosen route per query shape, runtime ranking.
+//!
+//! Two claims measured:
+//!
+//! 1. **Routing is free at enumeration time** — on an acyclic path the
+//!    Engine's erased stream pays only a boxed-iterator dispatch over
+//!    the hand-wired `AnyKPart` (same algorithm underneath).
+//! 2. **Every shape gets its specialized plan** — triangle and 4-cycle
+//!    take the width-1.5 plans, the 5-cycle falls back to a GHD, all
+//!    through the same four lines of caller code.
+
+use crate::util::{banner, fmt_secs, time, Table};
+use anyk_core::part::AnyKPart;
+use anyk_core::ranking::SumCost;
+use anyk_core::succorder::SuccessorKind;
+use anyk_core::tdp::TdpInstance;
+use anyk_engine::{Engine, RankSpec};
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_storage::Relation;
+use anyk_workloads::graphs::WeightDist;
+use anyk_workloads::patterns::{cycle_instance, path_instance};
+
+fn engine_row(t: &mut Table, label: &str, q: &ConjunctiveQuery, rels: Vec<Relation>, k: usize) {
+    let engine = Engine::from_query_bindings(q, rels);
+    let plan = engine.query(q.clone()).explain().expect("plannable");
+    let (mut stream, prep) = time(|| {
+        engine
+            .query(q.clone())
+            .rank_by(RankSpec::Sum)
+            .plan()
+            .expect("plannable")
+    });
+    let (n, run) = time(|| stream.by_ref().take(k).count());
+    t.row([
+        label.to_string(),
+        plan.route.label().to_string(),
+        format!("{:.2}", plan.width),
+        fmt_secs(prep),
+        fmt_secs(run),
+        n.to_string(),
+    ]);
+}
+
+pub fn run(scale: f64) {
+    banner(
+        "E14: unified Engine — planner-routed ranked enumeration",
+        "one contract (\"ranked order, any k, optimal TT(k)\") for every query shape (§1)",
+    );
+    let k = 1_000;
+    let edges = (10_000.0 * scale).max(400.0) as usize;
+    let nodes = (edges / 10).max(10) as u64;
+
+    let mut t = Table::new(["workload", "route", "width", "prep", "TT(1k)", "answers"]);
+    let path = path_instance(3, edges, nodes, WeightDist::Uniform, 23);
+    engine_row(&mut t, "path-3", &path.query, path.relations_clone(), k);
+
+    // Cyclic shapes run on a sparser graph: their preprocessing is
+    // O~(n^1.5) / O~(n^fhw).
+    let cyc_edges = (edges / 10).max(200);
+    let cyc_nodes = ((cyc_edges / 5).max(10)) as u64;
+    for (label, len) in [("triangle", 3usize), ("cycle-4", 4), ("cycle-5", 5)] {
+        let (q, rels) = cycle_instance(len, cyc_edges, cyc_nodes, WeightDist::Uniform, None, 29);
+        engine_row(&mut t, label, &q, rels, k);
+    }
+    t.print();
+
+    // Dispatch overhead: Engine vs hand-wired AnyKPart on the same
+    // acyclic instance (identical algorithm, erased vs concrete).
+    let engine = Engine::from_query_bindings(&path.query, path.relations_clone());
+    let (ne, te) = time(|| {
+        let stream = engine
+            .query(path.query.clone())
+            .rank_by(RankSpec::Sum)
+            .plan()
+            .expect("plannable");
+        stream.take(k).count()
+    });
+    let (nh, th) = time(|| {
+        let inst =
+            TdpInstance::<SumCost>::prepare(&path.query, &path.join_tree, path.relations_clone())
+                .expect("tree matches");
+        AnyKPart::new(inst, SuccessorKind::Lazy).take(k).count()
+    });
+    assert_eq!(ne, nh, "engine and hand-wired agree on answer count");
+    println!(
+        "dispatch overhead on path-3 (prep+TT({k})): engine {} vs hand-wired {} ({:.2}x)",
+        fmt_secs(te),
+        fmt_secs(th),
+        te / th.max(1e-12),
+    );
+    println!(
+        "expected shape: same route costs as the hand-wired engines; \
+         boxed dispatch within a small constant of direct calls"
+    );
+}

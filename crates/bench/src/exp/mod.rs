@@ -18,10 +18,11 @@ pub mod e10_ranking_functions;
 pub mod e11_variants_table;
 pub mod e12_widths_table;
 pub mod e13_subw_vs_fhw;
+pub mod e14_engine_routing;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Dispatch one experiment by id.
@@ -40,6 +41,7 @@ pub fn run(id: &str, scale: f64) -> bool {
         "e11" => e11_variants_table::run(scale),
         "e12" => e12_widths_table::run(scale),
         "e13" => e13_subw_vs_fhw::run(scale),
+        "e14" => e14_engine_routing::run(scale),
         _ => return false,
     }
     true

@@ -55,7 +55,9 @@ impl<C: Ord> PartialOrd for HeapItem<C> {
 }
 impl<C: Ord> Ord for HeapItem<C> {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.cost.cmp(&other.cost).then_with(|| self.values.cmp(&other.values))
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| self.values.cmp(&other.values))
     }
 }
 
@@ -153,16 +155,27 @@ pub fn c4_ranked_part<R: RankingFunction>(
     threshold: usize,
     kind: SuccessorKind,
 ) -> RankedUnion<CaseStream<AnyKPart<R>>> {
+    try_c4_ranked_part(rels, threshold, kind)
+        .expect("case query/tree are consistent by construction")
+}
+
+/// Fallible form of [`c4_ranked_part`]: surfaces a case query/tree
+/// mismatch as a [`TdpError`] instead of panicking (the seam the
+/// engine layer routes through).
+pub fn try_c4_ranked_part<R: RankingFunction>(
+    rels: &[Relation],
+    threshold: usize,
+    kind: SuccessorKind,
+) -> Result<RankedUnion<CaseStream<AnyKPart<R>>>, crate::tdp::TdpError> {
     let mut streams = Vec::new();
     for case in c4_cases(rels, threshold) {
-        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)
-            .expect("case query/tree are consistent by construction");
+        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
         streams.push(CaseStream {
             inner: AnyKPart::new(inst, kind),
             out: case.out,
         });
     }
-    RankedUnion::new(streams)
+    Ok(RankedUnion::new(streams))
 }
 
 /// Ranked enumeration of 4-cycles driven by ANYK-REC.
@@ -170,16 +183,23 @@ pub fn c4_ranked_rec<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
 ) -> RankedUnion<CaseStream<AnyKRec<R>>> {
+    try_c4_ranked_rec(rels, threshold).expect("case query/tree are consistent by construction")
+}
+
+/// Fallible form of [`c4_ranked_rec`].
+pub fn try_c4_ranked_rec<R: RankingFunction>(
+    rels: &[Relation],
+    threshold: usize,
+) -> Result<RankedUnion<CaseStream<AnyKRec<R>>>, crate::tdp::TdpError> {
     let mut streams = Vec::new();
     for case in c4_cases(rels, threshold) {
-        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)
-            .expect("case query/tree are consistent by construction");
+        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
         streams.push(CaseStream {
             inner: AnyKRec::new(inst),
             out: case.out,
         });
     }
-    RankedUnion::new(streams)
+    Ok(RankedUnion::new(streams))
 }
 
 #[cfg(test)]
@@ -306,13 +326,22 @@ mod tests {
         let (res, _) = generic_join_materialize(&q, &rels, None);
         let mut expect: Vec<f64> = (0..res.len() as u32).map(|i| res.weight(i).get()).collect();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let got: Vec<f64> = triangle_ranked::<SumCost>(&rels).map(|a| a.cost.get()).collect();
+        let got: Vec<f64> = triangle_ranked::<SumCost>(&rels)
+            .map(|a| a.cost.get())
+            .collect();
         assert_eq!(got, expect);
     }
 
     #[test]
     fn c4_max_ranking() {
-        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 4, 0.25), (4, 1, 2.0), (2, 1, 0.1), (1, 4, 3.0)]);
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 4, 0.25),
+            (4, 1, 2.0),
+            (2, 1, 0.1),
+            (1, 4, 3.0),
+        ]);
         let rels = vec![e.clone(), e.clone(), e.clone(), e];
         let got: Vec<f64> = c4_ranked_part::<MaxCost>(&rels, 1, SuccessorKind::Lazy)
             .map(|a| a.cost.get())

@@ -69,14 +69,25 @@ pub fn decomposed_ranked_part<R: RankingFunction>(
     decomp: &Decomposition,
     kind: SuccessorKind,
 ) -> DecomposedRanked<AnyKPart<R>> {
+    try_decomposed_ranked_part(q, rels, decomp, kind).expect("bag tree matches bag query")
+}
+
+/// Fallible form of [`decomposed_ranked_part`]: surfaces a bag
+/// query/tree mismatch as a [`TdpError`] instead of panicking (the
+/// seam the engine layer routes through).
+pub fn try_decomposed_ranked_part<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+    kind: SuccessorKind,
+) -> Result<DecomposedRanked<AnyKPart<R>>, crate::tdp::TdpError> {
     let plan = ghd_plan(q, rels, decomp);
     let perm = var_permutation(q, &plan.bag_query);
-    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)
-        .expect("bag tree matches bag query");
-    DecomposedRanked {
+    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
+    Ok(DecomposedRanked {
         inner: AnyKPart::new(inst, kind),
         perm,
-    }
+    })
 }
 
 /// Ranked enumeration through `decomp`, driven by ANYK-REC.
@@ -85,29 +96,44 @@ pub fn decomposed_ranked_rec<R: RankingFunction>(
     rels: &[Relation],
     decomp: &Decomposition,
 ) -> DecomposedRanked<AnyKRec<R>> {
+    try_decomposed_ranked_rec(q, rels, decomp).expect("bag tree matches bag query")
+}
+
+/// Fallible form of [`decomposed_ranked_rec`].
+pub fn try_decomposed_ranked_rec<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+) -> Result<DecomposedRanked<AnyKRec<R>>, crate::tdp::TdpError> {
     let plan = ghd_plan(q, rels, decomp);
     let perm = var_permutation(q, &plan.bag_query);
-    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)
-        .expect("bag tree matches bag query");
-    DecomposedRanked {
+    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
+    Ok(DecomposedRanked {
         inner: AnyKRec::new(inst),
         perm,
+    })
+}
+
+/// Pick a decomposition for `q` automatically: exact fhw for queries
+/// with <= 9 variables, greedy min-fill beyond (exact search is
+/// exponential in the variable count).
+pub fn auto_decomposition(q: &ConjunctiveQuery) -> Decomposition {
+    let h = Hypergraph::of_query(q);
+    if q.num_vars() <= 9 {
+        fhw_exact(&h)
+    } else {
+        fhw_greedy(&h)
     }
 }
 
-/// Convenience: pick a decomposition automatically (exact fhw for
-/// queries with <= 9 variables, greedy min-fill beyond) and enumerate
-/// ranked answers with ANYK-PART(Lazy).
+/// Convenience: pick a decomposition automatically via
+/// [`auto_decomposition`] and enumerate ranked answers with
+/// ANYK-PART(Lazy) under the caller's ranking function `R`.
 pub fn ranked_auto<R: RankingFunction>(
     q: &ConjunctiveQuery,
     rels: &[Relation],
 ) -> DecomposedRanked<AnyKPart<R>> {
-    let h = Hypergraph::of_query(q);
-    let decomp = if q.num_vars() <= 9 {
-        fhw_exact(&h)
-    } else {
-        fhw_greedy(&h)
-    };
+    let decomp = auto_decomposition(q);
     decomposed_ranked_part::<R>(q, rels, &decomp, SuccessorKind::Lazy)
 }
 
@@ -234,7 +260,14 @@ mod tests {
 
     #[test]
     fn max_ranking_via_ghd() {
-        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25), (1, 3, 2.0), (3, 2, 0.125), (2, 1, 4.0)]);
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (1, 3, 2.0),
+            (3, 2, 0.125),
+            (2, 1, 4.0),
+        ]);
         let rels = vec![e.clone(), e.clone(), e];
         let q = triangle_query();
         let h = Hypergraph::of_query(&q);

@@ -58,8 +58,8 @@ pub fn k_shortest_paths(dag: &LayeredDag, k: usize) -> Vec<(f64, Vec<u32>)> {
         GyoResult::Acyclic(t) => t,
         GyoResult::Cyclic(_) => unreachable!("paths are acyclic"),
     };
-    let inst = TdpInstance::<SumCost>::prepare(&q, &tree, dag.relations())
-        .expect("tree matches query");
+    let inst =
+        TdpInstance::<SumCost>::prepare(&q, &tree, dag.relations()).expect("tree matches query");
     AnyKPart::new(inst, SuccessorKind::Lazy)
         .take(k)
         .map(|a| {

@@ -69,13 +69,19 @@ pub mod unranked;
 
 pub use answer::{AnyK, RankedAnswer};
 pub use batch::{BatchHeap, BatchSorted};
-pub use cyclic::{c4_ranked_part, c4_ranked_rec, triangle_ranked, RankedMaterialized};
-pub use decomposed::{decomposed_ranked_part, decomposed_ranked_rec, ranked_auto, DecomposedRanked};
+pub use cyclic::{
+    c4_ranked_part, c4_ranked_rec, triangle_ranked, try_c4_ranked_part, try_c4_ranked_rec,
+    RankedMaterialized,
+};
+pub use decomposed::{
+    auto_decomposition, decomposed_ranked_part, decomposed_ranked_rec, ranked_auto,
+    try_decomposed_ranked_part, try_decomposed_ranked_rec, DecomposedRanked,
+};
 pub use ksp::{k_shortest_paths, LayeredDag};
 pub use part::AnyKPart;
 pub use ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
 pub use rec::AnyKRec;
 pub use succorder::SuccessorKind;
-pub use tdp::TdpInstance;
+pub use tdp::{TdpError, TdpInstance};
 pub use union::RankedUnion;
 pub use unranked::UnrankedEnum;

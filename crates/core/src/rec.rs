@@ -132,7 +132,11 @@ impl<R: RankingFunction> AnyKRec<R> {
         for s in 0..m {
             group_base.push(gtotal);
             tuple_base.push(ttotal);
-            let ngroups = if inst.is_empty() { 0 } else { inst.groups[s].len() };
+            let ngroups = if inst.is_empty() {
+                0
+            } else {
+                inst.groups[s].len()
+            };
             let nrows = if inst.is_empty() {
                 0
             } else {
@@ -140,8 +144,8 @@ impl<R: RankingFunction> AnyKRec<R> {
             };
             gtotal += ngroups;
             ttotal += nrows;
-            gslot.extend(std::iter::repeat(s).take(ngroups));
-            tslot.extend(std::iter::repeat(s).take(nrows));
+            gslot.extend(std::iter::repeat_n(s, ngroups));
+            tslot.extend(std::iter::repeat_n(s, nrows));
         }
         let gstreams = (0..gtotal)
             .map(|_| GroupStream {
@@ -305,7 +309,9 @@ impl<R: RankingFunction> AnyKRec<R> {
         }
         let seq = self.bump();
         let ranks: Box<[u32]> = vec![0u32; child_slots.len()].into_boxed_slice();
-        self.tstreams[tid].frontier.push(TupleCand { cost, seq, ranks });
+        self.tstreams[tid]
+            .frontier
+            .push(TupleCand { cost, seq, ranks });
     }
 
     /// Collect the chosen row per slot for rank `rank` of group stream
@@ -434,9 +440,14 @@ mod tests {
 
     #[test]
     fn single_atom() {
-        let q = anyk_query::cq::QueryBuilder::new().atom("R", &["a", "b"]).build();
+        let q = anyk_query::cq::QueryBuilder::new()
+            .atom("R", &["a", "b"])
+            .build();
         let tree = tree_of(&q);
-        let rels = vec![edge_rel(["a", "b"], &[(1, 2, 2.0), (3, 4, 1.0), (5, 6, 3.0)])];
+        let rels = vec![edge_rel(
+            ["a", "b"],
+            &[(1, 2, 2.0), (3, 4, 1.0), (5, 6, 3.0)],
+        )];
         let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
         let costs: Vec<f64> = AnyKRec::new(inst).map(|a| a.cost.get()).collect();
         assert_eq!(costs, vec![1.0, 2.0, 3.0]);

@@ -302,8 +302,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn collect_all(kind: SuccessorKind, xs: &[i64]) -> Vec<i64> {
-        let members: Vec<(i64, RowId)> =
-            xs.iter().enumerate().map(|(i, &x)| (x, i as RowId)).collect();
+        let members: Vec<(i64, RowId)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, i as RowId))
+            .collect();
         let mut g = GroupOrder::build(kind, members);
         // BFS over the successor DAG from the minimum.
         let mut out = Vec::new();
@@ -348,8 +351,11 @@ mod tests {
     #[test]
     fn take2_heap_property() {
         let xs = [9, 3, 7, 1, 8, 2, 6];
-        let members: Vec<(i64, RowId)> =
-            xs.iter().enumerate().map(|(i, &x)| (x, i as RowId)).collect();
+        let members: Vec<(i64, RowId)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, i as RowId))
+            .collect();
         let mut g = GroupOrder::build(SuccessorKind::Take2, members);
         let (b, c, _) = g.best();
         assert_eq!(c, 1);

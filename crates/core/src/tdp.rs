@@ -94,7 +94,12 @@ impl<R: RankingFunction> TdpInstance<R> {
         let child_slots: Vec<Vec<usize>> = slots
             .iter()
             .map(|&n| {
-                let mut cs: Vec<usize> = tree.node(n).children.iter().map(|&c| slot_of_node[c]).collect();
+                let mut cs: Vec<usize> = tree
+                    .node(n)
+                    .children
+                    .iter()
+                    .map(|&c| slot_of_node[c])
+                    .collect();
                 cs.sort_unstable(); // serialization order
                 cs
             })
@@ -242,7 +247,6 @@ impl<R: RankingFunction> TdpInstance<R> {
     pub(crate) fn slot_weight(&self, slot: usize, row: RowId) -> R::Cost {
         R::lift(self.rels[self.atom_of_slot[slot]].weight(row))
     }
-
 
     /// Assemble the output tuple (one value per variable, `VarId`
     /// order) from per-slot row choices.

@@ -150,20 +150,10 @@ mod tests {
         let tree = tree_of(q);
         let inst = TdpInstance::<SumCost>::prepare(q, &tree, rels.clone()).unwrap();
         let mut unranked: Vec<(Vec<i64>, f64)> = UnrankedEnum::new(inst)
-            .map(|a| {
-                (
-                    a.values.iter().map(|v| v.int()).collect(),
-                    a.cost.get(),
-                )
-            })
+            .map(|a| (a.values.iter().map(|v| v.int()).collect(), a.cost.get()))
             .collect();
         let mut ranked: Vec<(Vec<i64>, f64)> = BatchSorted::<SumCost>::new(q, &tree, rels)
-            .map(|a| {
-                (
-                    a.values.iter().map(|v| v.int()).collect(),
-                    a.cost.get(),
-                )
-            })
+            .map(|a| (a.values.iter().map(|v| v.int()).collect(), a.cost.get()))
             .collect();
         unranked.sort_by(|a, b| a.0.cmp(&b.0));
         ranked.sort_by(|a, b| a.0.cmp(&b.0));
@@ -177,7 +167,10 @@ mod tests {
     #[test]
     fn path_multiset_matches_batch() {
         let rels = vec![
-            edge_rel(["a", "b"], &[(1, 2, 0.5), (1, 3, 1.0), (4, 2, 0.25), (9, 9, 8.0)]),
+            edge_rel(
+                ["a", "b"],
+                &[(1, 2, 0.5), (1, 3, 1.0), (4, 2, 0.25), (9, 9, 8.0)],
+            ),
             edge_rel(["b", "c"], &[(2, 5, 2.0), (2, 6, 0.125), (3, 5, 0.0625)]),
         ];
         check_same_multiset(&path_query(2), rels);

@@ -1,0 +1,650 @@
+//! # anyk-engine — the unified entry point for ranked enumeration
+//!
+//! The paper's central promise (*Optimal Join Algorithms Meet Top-k*,
+//! SIGMOD 2020) is a single contract: **answers arrive in ranking
+//! order, any `k`, with optimal time-to-k**. This crate is that
+//! contract as an API. Callers describe *what* they want — a
+//! conjunctive query over a catalog, ranked by a runtime-chosen
+//! function — and the planner decides *how*: GYO + T-DP for acyclic
+//! queries, the specialized union-of-trees plans for triangles and
+//! 4-cycles, GHD decompositions for everything else.
+//!
+//! ```
+//! use anyk_engine::{Engine, RankSpec};
+//! use anyk_query::cq::QueryBuilder;
+//! use anyk_storage::{Catalog, RelationBuilder, Schema};
+//!
+//! let mut catalog = Catalog::new();
+//! let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+//! r.push_ints(&[1, 10], 0.3);
+//! r.push_ints(&[2, 10], 0.1);
+//! catalog.register("R", r.finish());
+//! let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+//! s.push_ints(&[10, 100], 0.5);
+//! catalog.register("S", s.finish());
+//!
+//! let engine = Engine::new(catalog);
+//! let q = QueryBuilder::new()
+//!     .atom("R", &["a", "b"])
+//!     .atom("S", &["b", "c"])
+//!     .build();
+//! let mut stream = engine.query(q).rank_by(RankSpec::Sum).plan().unwrap();
+//! let top2 = stream.top_k(2);
+//! assert_eq!(top2.len(), 2);
+//! assert!(top2[0].cost <= top2[1].cost);
+//! ```
+
+mod error;
+mod plan;
+mod rank;
+mod stream;
+
+pub use error::EngineError;
+pub use plan::{AnyKVariant, EngineOpts, Plan, Route};
+pub use rank::{Cost, IntoCost, RankSpec};
+pub use stream::{RankedAnswer, RankedStream};
+
+use anyk_core::batch::BatchSorted;
+use anyk_core::cyclic::{triangle_ranked, try_c4_ranked_part, try_c4_ranked_rec};
+use anyk_core::decomposed::{
+    auto_decomposition, try_decomposed_ranked_part, try_decomposed_ranked_rec,
+};
+use anyk_core::part::AnyKPart;
+use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
+use anyk_core::rec::AnyKRec;
+use anyk_core::succorder::SuccessorKind;
+use anyk_core::tdp::TdpInstance;
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::cycles::{cycle_length, cycle_submodular_width, heavy_threshold};
+use anyk_query::gyo::{gyo_reduce, GyoResult};
+use anyk_storage::{Catalog, Relation};
+
+/// The unified, planner-routed engine for ranked enumeration.
+///
+/// # Which engine runs when (the routing table)
+///
+/// | query shape | route | algorithm | preprocessing | delay |
+/// |---|---|---|---|---|
+/// | α-acyclic (GYO succeeds) | [`Route::Acyclic`] | T-DP + ANYK-PART / ANYK-REC / batch | `O~(n)` | `O~(1)` |
+/// | triangle `R(a,b)⋈S(b,c)⋈T(c,a)` | [`Route::Triangle`] | Generic-Join materialization + lazy heap | `O~(n^1.5)` | `O(log r)` |
+/// | 4-cycle | [`Route::FourCycle`] | submodular-width union-of-trees, k-way merge | `O~(n^1.5)` | `O~(1)` |
+/// | any other cyclic query | [`Route::Decomposed`] | GHD bags (exact fhw ≤ 9 vars, greedy beyond) + any-k | `O~(n^fhw)` | `O~(1)` |
+///
+/// The ranking function is a runtime value ([`RankSpec`]); the engine
+/// monomorphizes internally. Lexicographic ranking is order-sensitive
+/// and therefore only valid on the acyclic route — requesting it on a
+/// cyclic query is a typed [`EngineError::UnsupportedRanking`], not a
+/// wrong answer.
+///
+/// All failure modes are typed ([`EngineError`]): unknown relations,
+/// arity mismatches, unsupported rankings. The planner never panics
+/// on user input.
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Catalog,
+    opts: EngineOpts,
+}
+
+impl Engine {
+    /// An engine over `catalog` with default options
+    /// (ANYK-PART(Lazy), the paper's overall winner).
+    pub fn new(catalog: Catalog) -> Self {
+        Engine {
+            catalog,
+            opts: EngineOpts::default(),
+        }
+    }
+
+    /// An engine with explicit execution options.
+    pub fn with_opts(catalog: Catalog, opts: EngineOpts) -> Self {
+        Engine { catalog, opts }
+    }
+
+    /// Build an engine by registering `rels[i]` under the relation
+    /// name of `q`'s atom `i` — the ergonomic path from the workload
+    /// generators, whose instances carry positional relation lists.
+    /// Self-joins (several atoms sharing a name) must bind the same
+    /// relation at every occurrence.
+    ///
+    /// # Panics
+    ///
+    /// On the conditions [`try_from_query_bindings`](Self::try_from_query_bindings)
+    /// reports as typed errors — convenience for tests and examples
+    /// with known-good bindings; servers handling untrusted input
+    /// should use the fallible form.
+    pub fn from_query_bindings(q: &ConjunctiveQuery, rels: Vec<Relation>) -> Self {
+        Engine::try_from_query_bindings(q, rels).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`from_query_bindings`](Self::from_query_bindings):
+    /// rejects a relation list whose length differs from the atom
+    /// count, and atoms sharing a name but bound to different
+    /// relations — either would silently run the query on the wrong
+    /// data. The conflict check is a full comparison, but runs only
+    /// when names collide and is strictly cheaper than the join that
+    /// would otherwise produce wrong answers.
+    pub fn try_from_query_bindings(
+        q: &ConjunctiveQuery,
+        rels: Vec<Relation>,
+    ) -> Result<Self, EngineError> {
+        if q.num_atoms() != rels.len() {
+            return Err(EngineError::BindingCountMismatch {
+                atoms: q.num_atoms(),
+                relations: rels.len(),
+            });
+        }
+        let mut catalog = Catalog::new();
+        for (atom, rel) in q.atoms().iter().zip(rels) {
+            if let Some(prev) = catalog.get(&atom.relation) {
+                if *prev != rel {
+                    return Err(EngineError::ConflictingBindings {
+                        relation: atom.relation.clone(),
+                    });
+                }
+            }
+            catalog.register(atom.relation.clone(), rel);
+        }
+        Ok(Engine::new(catalog))
+    }
+
+    /// The catalog (to resolve symbols, inspect relations).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (to register or replace relations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Start planning `cq`. Returns a request builder; nothing
+    /// executes until [`QueryRequest::plan`].
+    pub fn query(&self, cq: ConjunctiveQuery) -> QueryRequest<'_> {
+        QueryRequest {
+            engine: self,
+            cq,
+            rank: RankSpec::default(),
+            opts: self.opts,
+        }
+    }
+
+    /// Resolve each atom's relation from the catalog by reference,
+    /// checking arity. Borrowed so that planning (`explain`) never
+    /// copies relation data; execution clones exactly once.
+    fn resolve<'a>(&'a self, cq: &ConjunctiveQuery) -> Result<Vec<&'a Relation>, EngineError> {
+        if cq.num_atoms() == 0 {
+            return Err(EngineError::EmptyQuery);
+        }
+        let mut rels = Vec::with_capacity(cq.num_atoms());
+        for (i, atom) in cq.atoms().iter().enumerate() {
+            let rel = self.catalog.lookup(&atom.relation)?;
+            if rel.arity() != atom.vars.len() {
+                return Err(EngineError::ArityMismatch {
+                    atom: i,
+                    relation: atom.relation.clone(),
+                    expected: atom.vars.len(),
+                    found: rel.arity(),
+                });
+            }
+            rels.push(rel);
+        }
+        Ok(rels)
+    }
+}
+
+/// A query being configured: `engine.query(cq).rank_by(...).plan()?`.
+pub struct QueryRequest<'e> {
+    engine: &'e Engine,
+    cq: ConjunctiveQuery,
+    rank: RankSpec,
+    opts: EngineOpts,
+}
+
+impl QueryRequest<'_> {
+    /// Choose the ranking function (default: [`RankSpec::Sum`]).
+    pub fn rank_by(mut self, rank: RankSpec) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Override execution options for this query only.
+    pub fn with_opts(mut self, opts: EngineOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Override just the any-k variant for this query.
+    pub fn with_variant(mut self, variant: AnyKVariant) -> Self {
+        self.opts.variant = variant;
+        self
+    }
+
+    /// Plan without executing: resolve relations, route, and return
+    /// the [`Plan`] for inspection (`plan.explain()`). No relation
+    /// data is copied.
+    pub fn explain(&self) -> Result<Plan, EngineError> {
+        let rels = self.engine.resolve(&self.cq)?;
+        self.make_plan(&rels)
+    }
+
+    /// Plan **and** prepare: returns the ranked stream (which still
+    /// carries its [`Plan`]). Preprocessing (full reducer, T-DP,
+    /// case materialization) happens here; enumeration is lazy.
+    pub fn plan(self) -> Result<RankedStream, EngineError> {
+        let refs = self.engine.resolve(&self.cq)?;
+        let plan = self.make_plan(&refs)?;
+        // The one unavoidable copy: the enumerators reduce relations
+        // in place (full reducer) or consume them, so execution works
+        // on an owned snapshot of the catalog's relations.
+        let rels: Vec<Relation> = refs.into_iter().cloned().collect();
+        execute(plan, rels)
+    }
+
+    /// Route the query. Relations are needed only for the 4-cycle's
+    /// heavy threshold (≈ √n).
+    fn make_plan(&self, rels: &[&Relation]) -> Result<Plan, EngineError> {
+        let route = match gyo_reduce(&self.cq) {
+            GyoResult::Acyclic(tree) => Route::Acyclic { tree },
+            GyoResult::Cyclic(_) => match cycle_length(&self.cq) {
+                Some(3) => Route::Triangle,
+                Some(4) => {
+                    let n = rels.iter().map(|r| r.len()).max().unwrap_or(0);
+                    Route::FourCycle {
+                        threshold: heavy_threshold(n),
+                    }
+                }
+                _ => Route::Decomposed {
+                    decomp: auto_decomposition(&self.cq),
+                },
+            },
+        };
+        if !matches!(route, Route::Acyclic { .. }) && !self.rank.is_commutative() {
+            return Err(EngineError::UnsupportedRanking {
+                rank: self.rank,
+                why: "cyclic routes serialize atoms in per-case orders; \
+                      the ranking must be commutative",
+            });
+        }
+        let width = match &route {
+            Route::Acyclic { .. } => 1.0,
+            Route::Triangle => cycle_submodular_width(3),
+            Route::FourCycle { .. } => cycle_submodular_width(4),
+            Route::Decomposed { decomp } => decomp.width,
+        };
+        // Record the *effective* variant so `explain` never reports a
+        // variant that does not run: the triangle plan has a single
+        // implementation (no variant applies), and cyclic routes have
+        // no batch baseline (Batch falls back to PART(Lazy) there).
+        let variant = match &route {
+            Route::Triangle => None,
+            Route::Acyclic { .. } => Some(self.opts.variant),
+            _ => Some(match self.opts.variant {
+                AnyKVariant::Batch => AnyKVariant::default(),
+                v => v,
+            }),
+        };
+        Ok(Plan {
+            query: self.cq.clone(),
+            route,
+            rank: self.rank,
+            variant,
+            width,
+        })
+    }
+}
+
+/// Monomorphize on the runtime [`RankSpec`] and build the stream.
+fn execute(plan: Plan, rels: Vec<Relation>) -> Result<RankedStream, EngineError> {
+    let inner = match plan.rank {
+        RankSpec::Sum => build::<SumCost>(&plan, rels)?,
+        RankSpec::Max => build::<MaxCost>(&plan, rels)?,
+        RankSpec::Min => build::<MinCost>(&plan, rels)?,
+        RankSpec::Prod => build::<ProdCost>(&plan, rels)?,
+        RankSpec::Lex => build::<LexCost>(&plan, rels)?,
+    };
+    Ok(RankedStream { inner, plan })
+}
+
+/// Erase a concrete any-k iterator into the engine's answer type.
+fn erase<C, I>(it: I) -> Box<dyn Iterator<Item = RankedAnswer>>
+where
+    C: IntoCost,
+    I: Iterator<Item = anyk_core::answer::RankedAnswer<C>> + 'static,
+{
+    Box::new(it.map(|a| RankedAnswer {
+        cost: a.cost.into_cost(),
+        values: a.values,
+    }))
+}
+
+/// Build the route's iterator under a concrete ranking function `R`.
+fn build<R>(
+    plan: &Plan,
+    rels: Vec<Relation>,
+) -> Result<Box<dyn Iterator<Item = RankedAnswer>>, EngineError>
+where
+    R: RankingFunction,
+    R::Cost: IntoCost,
+{
+    // Cyclic routes have no batch baseline wired in; Batch falls back
+    // to the default PART(Lazy) (documented on `AnyKVariant::Batch`).
+    let part_kind = |variant: AnyKVariant| match variant {
+        AnyKVariant::Part(kind) => kind,
+        _ => SuccessorKind::Lazy,
+    };
+    let variant = plan.variant.unwrap_or_default();
+    match &plan.route {
+        Route::Acyclic { tree } => match variant {
+            AnyKVariant::Batch => Ok(erase(BatchSorted::<R>::new(&plan.query, tree, rels))),
+            AnyKVariant::Rec => {
+                let inst = TdpInstance::<R>::prepare(&plan.query, tree, rels)?;
+                Ok(erase(AnyKRec::new(inst)))
+            }
+            AnyKVariant::Part(kind) => {
+                let inst = TdpInstance::<R>::prepare(&plan.query, tree, rels)?;
+                Ok(erase(AnyKPart::new(inst, kind)))
+            }
+        },
+        Route::Triangle => Ok(erase(triangle_ranked::<R>(&rels))),
+        Route::FourCycle { threshold } => match variant {
+            AnyKVariant::Rec => Ok(erase(try_c4_ranked_rec::<R>(&rels, *threshold)?)),
+            v => Ok(erase(try_c4_ranked_part::<R>(
+                &rels,
+                *threshold,
+                part_kind(v),
+            )?)),
+        },
+        Route::Decomposed { decomp } => match variant {
+            AnyKVariant::Rec => Ok(erase(try_decomposed_ranked_rec::<R>(
+                &plan.query,
+                &rels,
+                decomp,
+            )?)),
+            v => Ok(erase(try_decomposed_ranked_part::<R>(
+                &plan.query,
+                &rels,
+                decomp,
+                part_kind(v),
+            )?)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{cycle_query, path_query, triangle_query, QueryBuilder};
+    use anyk_storage::{RelationBuilder, Schema, StorageError};
+
+    fn edge_rel(rows: &[(i64, i64, f64)]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for &(x, y, w) in rows {
+            b.push_ints(&[x, y], w);
+        }
+        b.finish()
+    }
+
+    fn path_engine() -> (Engine, ConjunctiveQuery) {
+        let q = path_query(2);
+        let r1 = edge_rel(&[(1, 10, 0.3), (2, 10, 0.1), (3, 30, 0.2)]);
+        let r2 = edge_rel(&[(10, 100, 0.5), (10, 200, 0.05)]);
+        (Engine::from_query_bindings(&q, vec![r1, r2]), q)
+    }
+
+    #[test]
+    fn acyclic_routes_and_orders() {
+        let (engine, q) = path_engine();
+        let plan = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(plan.route.label(), "acyclic");
+        assert!((plan.width - 1.0).abs() < 1e-12);
+
+        let mut stream = engine.query(q).rank_by(RankSpec::Sum).plan().unwrap();
+        let all = stream.next_batch(100);
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
+        // Cheapest: (2,10,200) = 0.1 + 0.05.
+        assert_eq!(all[0].ints(), vec![2, 10, 200]);
+    }
+
+    #[test]
+    fn unknown_relation_is_typed() {
+        let (engine, _) = path_engine();
+        let q = QueryBuilder::new().atom("Nope", &["a", "b"]).build();
+        let err = engine.query(q).plan().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Storage(StorageError::RelationNotFound {
+                name: "Nope".into()
+            })
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_typed() {
+        let (engine, _) = path_engine();
+        let q = QueryBuilder::new().atom("R1", &["a", "b", "c"]).build();
+        let err = engine.query(q).plan().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::ArityMismatch {
+                atom: 0,
+                expected: 3,
+                found: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn triangle_routes_to_wco() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        let mut stream = engine.query(q).rank_by(RankSpec::Sum).plan().unwrap();
+        assert_eq!(stream.plan().route.label(), "triangle");
+        let top = stream.top_k(10);
+        assert_eq!(top.len(), 3, "3 rotations of the single triangle");
+        for a in &top {
+            assert_eq!(a.cost.scalar(), Some(1.75));
+        }
+    }
+
+    #[test]
+    fn four_cycle_routes_to_union_of_trees() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 4, 0.25), (4, 1, 2.0)]);
+        let q = cycle_query(4);
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e.clone(), e]);
+        let plan = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(plan.route.label(), "four-cycle");
+        assert!((plan.width - 1.5).abs() < 1e-12);
+        let answers: Vec<_> = engine.query(q).plan().unwrap().collect();
+        assert_eq!(answers.len(), 4, "4 rotations of the single cycle");
+        assert!(answers.windows(2).all(|w| w[0].cost <= w[1].cost));
+    }
+
+    #[test]
+    fn six_cycle_routes_to_decomposition() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 4, 0.25),
+            (4, 5, 0.125),
+            (5, 6, 2.0),
+            (6, 1, 0.0625),
+        ]);
+        let q = cycle_query(6);
+        let engine = Engine::from_query_bindings(
+            &q,
+            vec![e.clone(), e.clone(), e.clone(), e.clone(), e.clone(), e],
+        );
+        let plan = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(plan.route.label(), "decomposed");
+        assert!(plan.width > 1.0);
+        let answers: Vec<_> = engine.query(q).plan().unwrap().collect();
+        assert_eq!(answers.len(), 6);
+    }
+
+    #[test]
+    fn lex_on_cyclic_is_rejected() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        let err = engine.query(q).rank_by(RankSpec::Lex).plan().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::UnsupportedRanking {
+                rank: RankSpec::Lex,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn lex_on_acyclic_works() {
+        let (engine, q) = path_engine();
+        let mut stream = engine.query(q).rank_by(RankSpec::Lex).plan().unwrap();
+        let all = stream.next_batch(10);
+        assert_eq!(all.len(), 4);
+        assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
+        assert_eq!(
+            all[0].cost.lex().map(<[anyk_storage::Weight]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn variants_agree_on_acyclic() {
+        let (engine, q) = path_engine();
+        let base: Vec<Vec<i64>> = engine
+            .query(q.clone())
+            .plan()
+            .unwrap()
+            .map(|a| a.ints())
+            .collect();
+        for variant in [
+            AnyKVariant::Part(SuccessorKind::Eager),
+            AnyKVariant::Rec,
+            AnyKVariant::Batch,
+        ] {
+            let got: Vec<Vec<i64>> = engine
+                .query(q.clone())
+                .with_variant(variant)
+                .plan()
+                .unwrap()
+                .map(|a| a.ints())
+                .collect();
+            assert_eq!(got, base, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_rank_switch_changes_order() {
+        let q = path_query(2);
+        let r1 = edge_rel(&[(1, 10, 0.9), (2, 10, 0.1)]);
+        let r2 = edge_rel(&[(10, 100, 0.5)]);
+        let engine = Engine::from_query_bindings(&q, vec![r1, r2]);
+        // Sum: (2,10,100) = 0.6 beats (1,10,100) = 1.4.
+        let sum_first = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Sum)
+            .plan()
+            .unwrap()
+            .next()
+            .unwrap();
+        assert_eq!(sum_first.ints(), vec![2, 10, 100]);
+        // Min (ascending by best edge): (2,10,100) has min 0.1.
+        let min_first = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Min)
+            .plan()
+            .unwrap()
+            .next()
+            .unwrap();
+        assert_eq!(min_first.ints(), vec![2, 10, 100]);
+        assert_eq!(min_first.cost.scalar(), Some(0.1));
+        // Max (bottleneck): 0.5 vs 0.9.
+        let max_first = engine
+            .query(q)
+            .rank_by(RankSpec::Max)
+            .plan()
+            .unwrap()
+            .next()
+            .unwrap();
+        assert_eq!(max_first.ints(), vec![2, 10, 100]);
+        assert_eq!(max_first.cost.scalar(), Some(0.5));
+    }
+
+    #[test]
+    fn plan_reports_effective_variant() {
+        // Triangle: no variant applies, even when one was requested.
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e.clone()]);
+        let plan = engine
+            .query(q)
+            .with_variant(AnyKVariant::Rec)
+            .explain()
+            .unwrap();
+        assert_eq!(plan.variant, None);
+        assert!(plan.explain().contains("variant = n/a"), "{plan}");
+
+        // Cyclic + Batch: the fallback that actually runs is recorded.
+        let q4 = cycle_query(4);
+        let engine =
+            Engine::from_query_bindings(&q4, vec![e.clone(), e.clone(), e.clone(), e.clone()]);
+        let plan = engine
+            .query(q4.clone())
+            .with_variant(AnyKVariant::Batch)
+            .explain()
+            .unwrap();
+        assert_eq!(plan.variant, Some(AnyKVariant::Part(SuccessorKind::Lazy)));
+
+        // Cyclic + Rec is honored and reported as such.
+        let plan = engine
+            .query(q4)
+            .with_variant(AnyKVariant::Rec)
+            .explain()
+            .unwrap();
+        assert_eq!(plan.variant, Some(AnyKVariant::Rec));
+    }
+
+    #[test]
+    fn binding_errors_are_typed() {
+        let e = edge_rel(&[(1, 2, 0.5)]);
+        let q = triangle_query();
+        let err = Engine::try_from_query_bindings(&q, vec![e.clone(), e.clone()]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::BindingCountMismatch {
+                atoms: 3,
+                relations: 2
+            }
+        );
+
+        // Two atoms named E bound to different relations.
+        let q2 = QueryBuilder::new()
+            .atom("E", &["a", "b"])
+            .atom("E", &["b", "c"])
+            .build();
+        let other = edge_rel(&[(9, 9, 9.0)]);
+        let err = Engine::try_from_query_bindings(&q2, vec![e.clone(), other]).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ConflictingBindings {
+                relation: "E".into()
+            }
+        );
+
+        // Identical relations under a shared name are a valid self-join.
+        assert!(Engine::try_from_query_bindings(&q2, vec![e.clone(), e]).is_ok());
+    }
+
+    #[test]
+    fn plan_explain_renders() {
+        let (engine, q) = path_engine();
+        let plan = engine.query(q).explain().unwrap();
+        let text = plan.explain();
+        assert!(text.contains("route = acyclic"), "{text}");
+        assert!(text.contains("join on"), "{text}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Plans: what the planner decided and why.
+//!
+//! A [`Plan`] is produced before any enumeration work happens. It
+//! records the chosen [`Route`] (which algorithm family runs), the
+//! relevant width, and renders through `anyk_query::explain` so a
+//! caller can log or inspect the decision.
+
+use crate::rank::RankSpec;
+use anyk_core::succorder::SuccessorKind;
+use anyk_query::cq::ConjunctiveQuery;
+use anyk_query::decompose::Decomposition;
+use anyk_query::explain::{explain_decomposition, explain_join_tree};
+use anyk_query::join_tree::JoinTree;
+use std::fmt;
+
+/// Which any-k machinery drives enumeration on a per-tree basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyKVariant {
+    /// ANYK-PART (Lawler–Murty partitioning) with a successor order.
+    /// `Part(Lazy)` is the paper's overall winner and the default.
+    Part(SuccessorKind),
+    /// ANYK-REC (recursive enumeration, memoized suffix streams).
+    Rec,
+    /// Join-then-sort baseline (acyclic routes only; cyclic routes
+    /// fall back to `Part(Lazy)`). Useful for oracle comparisons.
+    Batch,
+}
+
+impl Default for AnyKVariant {
+    /// ANYK-PART with the Lazy successor order — the paper's overall
+    /// winner (E11).
+    fn default() -> Self {
+        AnyKVariant::Part(SuccessorKind::Lazy)
+    }
+}
+
+/// Engine-level execution options, all runtime-switchable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineOpts {
+    /// Which any-k variant drives each tree of the plan.
+    pub variant: AnyKVariant,
+}
+
+/// The route the planner chose for a query.
+#[derive(Debug, Clone)]
+pub enum Route {
+    /// α-acyclic: GYO join tree + T-DP + the chosen any-k variant.
+    /// Preprocessing `O~(n)`, delay `O~(1)` — width 1.
+    Acyclic {
+        /// The GYO-produced join tree.
+        tree: JoinTree,
+    },
+    /// The triangle query: worst-case-optimal materialization of the
+    /// single width-1.5 bag (Generic-Join), ranked lazily via a heap.
+    Triangle,
+    /// The 4-cycle: submodular-width union-of-trees plan (heavy/light
+    /// case split at `threshold`), one any-k stream per case, merged.
+    /// Preprocessing `O~(n^1.5)` — subw 1.5 beats fhw 2.
+    FourCycle {
+        /// Heavy-degree cutoff (≈ √n).
+        threshold: usize,
+    },
+    /// General cyclic: GHD decomposition, bags materialized
+    /// worst-case-optimally, any-k over the acyclic bag query.
+    /// Preprocessing `O~(n^fhw)`.
+    Decomposed {
+        /// The chosen decomposition.
+        decomp: Decomposition,
+    },
+}
+
+impl Route {
+    /// Short label for logs and tests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Route::Acyclic { .. } => "acyclic",
+            Route::Triangle => "triangle",
+            Route::FourCycle { .. } => "four-cycle",
+            Route::Decomposed { .. } => "decomposed",
+        }
+    }
+}
+
+/// What the planner decided for one query: route, ranking, variant,
+/// and the width governing preprocessing cost.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The planned query.
+    pub query: ConjunctiveQuery,
+    /// The chosen route.
+    pub route: Route,
+    /// The runtime ranking.
+    pub rank: RankSpec,
+    /// The any-k variant that will drive enumeration — `None` on
+    /// [`Route::Triangle`], which has a single implementation
+    /// (worst-case-optimal materialization + lazy heap) that no
+    /// variant choice affects.
+    pub variant: Option<AnyKVariant>,
+    /// The width governing preprocessing: 1 for acyclic, the
+    /// submodular width for the specialized cycle plans, the
+    /// decomposition's fractional hypertree width otherwise.
+    pub width: f64,
+}
+
+impl Plan {
+    /// Render the plan: route header plus the `query::explain`
+    /// rendering of the underlying tree or decomposition.
+    pub fn explain(&self) -> String {
+        let variant = match &self.variant {
+            Some(v) => format!("{v:?}"),
+            None => "n/a (materialized heap)".to_string(),
+        };
+        let mut out = format!(
+            "plan: route = {}, rank = {}, variant = {}, width = {:.3}\n  {}\n",
+            self.route.label(),
+            self.rank,
+            variant,
+            self.width,
+            self.query,
+        );
+        match &self.route {
+            Route::Acyclic { tree } => {
+                for line in explain_join_tree(&self.query, tree).lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            Route::Triangle => {
+                out.push_str(
+                    "  materialize all triangles worst-case-optimally (Generic-Join, \
+                     O~(n^1.5)), then rank via lazy heap\n",
+                );
+            }
+            Route::FourCycle { threshold } => {
+                out.push_str(&format!(
+                    "  union-of-trees case split (submodular width 1.5), heavy \
+                     threshold {threshold}; one any-k stream per case, k-way merged\n"
+                ));
+            }
+            Route::Decomposed { decomp } => {
+                for line in explain_decomposition(&self.query, decomp).lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{path_query, triangle_query};
+    use anyk_query::gyo::{gyo_reduce, GyoResult};
+
+    #[test]
+    fn acyclic_plan_renders_tree() {
+        let q = path_query(3);
+        let tree = match gyo_reduce(&q) {
+            GyoResult::Acyclic(t) => t,
+            _ => unreachable!(),
+        };
+        let plan = Plan {
+            query: q,
+            route: Route::Acyclic { tree },
+            rank: RankSpec::Sum,
+            variant: Some(AnyKVariant::default()),
+            width: 1.0,
+        };
+        let text = plan.explain();
+        assert!(text.contains("route = acyclic"), "{text}");
+        assert!(text.contains("R2("), "{text}");
+        assert!(text.contains("width = 1.000"), "{text}");
+    }
+
+    #[test]
+    fn triangle_plan_mentions_wco() {
+        let plan = Plan {
+            query: triangle_query(),
+            route: Route::Triangle,
+            rank: RankSpec::Max,
+            variant: None,
+            width: 1.5,
+        };
+        assert!(plan.to_string().contains("Generic-Join"));
+        assert!(plan.to_string().contains("variant = n/a"));
+    }
+}

@@ -1,0 +1,118 @@
+//! The erased ranked stream every route funnels into.
+
+use crate::plan::Plan;
+use crate::rank::Cost;
+use anyk_storage::Value;
+
+/// One answer from the unified engine: erased cost + output tuple
+/// (one [`Value`] per query variable, in `VarId` order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedAnswer {
+    /// Cost under the requested [`RankSpec`](crate::RankSpec);
+    /// answers arrive in non-decreasing cost order.
+    pub cost: Cost,
+    /// The output tuple.
+    pub values: Vec<Value>,
+}
+
+impl RankedAnswer {
+    /// The tuple as `i64`s — convenience for integer-keyed workloads.
+    pub fn ints(&self) -> Vec<i64> {
+        self.values.iter().map(|v| v.int()).collect()
+    }
+}
+
+/// A planner-routed ranked enumeration stream: answers arrive in
+/// non-decreasing cost order, one at a time, any `k`, without fixing
+/// `k` in advance (the any-k contract, erased over route and ranking).
+pub struct RankedStream {
+    pub(crate) inner: Box<dyn Iterator<Item = RankedAnswer>>,
+    pub(crate) plan: Plan,
+}
+
+impl std::fmt::Debug for RankedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedStream")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RankedStream {
+    /// The plan that produced this stream.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The first `k` answers (fewer if the query has fewer). The
+    /// stream advances: a second `top_k(k)` returns the *next* k.
+    pub fn top_k(&mut self, k: usize) -> Vec<RankedAnswer> {
+        self.next_batch(k)
+    }
+
+    /// Pull up to `n` more answers.
+    pub fn next_batch(&mut self, n: usize) -> Vec<RankedAnswer> {
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            match self.inner.next() {
+                Some(a) => out.push(a),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl Iterator for RankedStream {
+    type Item = RankedAnswer;
+
+    fn next(&mut self) -> Option<RankedAnswer> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AnyKVariant, Plan, Route};
+    use crate::rank::RankSpec;
+    use anyk_query::cq::triangle_query;
+    use anyk_storage::Weight;
+
+    fn dummy_stream(costs: Vec<f64>) -> RankedStream {
+        RankedStream {
+            inner: Box::new(costs.into_iter().map(|c| RankedAnswer {
+                cost: Cost::Scalar(Weight::new(c)),
+                values: vec![Value::Int(1)],
+            })),
+            plan: Plan {
+                query: triangle_query(),
+                route: Route::Triangle,
+                rank: RankSpec::Sum,
+                variant: Some(AnyKVariant::default()),
+                width: 1.5,
+            },
+        }
+    }
+
+    #[test]
+    fn batching_advances() {
+        let mut s = dummy_stream(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.plan().route.label(), "triangle");
+        let first = s.top_k(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].cost.scalar(), Some(1.0));
+        assert_eq!(first[0].ints(), vec![1]);
+        let rest = s.next_batch(5);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].cost.scalar(), Some(3.0));
+        assert!(s.next_batch(1).is_empty());
+    }
+
+    #[test]
+    fn iterator_contract() {
+        let s = dummy_stream(vec![0.5, 0.25]);
+        let all: Vec<_> = s.collect();
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -61,10 +61,7 @@ pub fn binary_join(
             .iter()
             .map(|v| bound.iter().position(|b| b == v).unwrap())
             .collect();
-        let rel_key: Vec<usize> = shared
-            .iter()
-            .map(|v| atom.positions_of(*v)[0])
-            .collect();
+        let rel_key: Vec<usize> = shared.iter().map(|v| atom.positions_of(*v)[0]).collect();
         // New columns contributed by this atom (first occurrence per new
         // variable).
         let mut new_vars: Vec<(VarId, usize)> = Vec::new();
@@ -194,9 +191,10 @@ mod tests {
         let q = triangle_query();
         let edges = [(1, 2), (2, 3), (3, 1), (2, 1), (1, 1)];
         let rels: Vec<Relation> = (0..3)
-            .map(|i| edge_rel([["p", "q"][0], ["p", "q"][1]], &edges).with_schema(
-                Schema::new([format!("u{i}"), format!("v{i}")]),
-            ))
+            .map(|i| {
+                edge_rel([["p", "q"][0], ["p", "q"][1]], &edges)
+                    .with_schema(Schema::new([format!("u{i}"), format!("v{i}")]))
+            })
             .collect();
         let mut counts = Vec::new();
         for order in [[0, 1, 2], [1, 2, 0], [2, 0, 1], [0, 2, 1]] {

@@ -24,7 +24,9 @@
 use anyk_query::cq::{ConjunctiveQuery, QueryBuilder, VarId};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
 use anyk_query::join_tree::JoinTree;
-use anyk_storage::{FxHashMap, FxHashSet, HashIndex, Relation, RelationBuilder, Schema, Value, Weight};
+use anyk_storage::{
+    FxHashMap, FxHashSet, HashIndex, Relation, RelationBuilder, Schema, Value, Weight,
+};
 
 /// Where an original output variable's value comes from in a case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +78,13 @@ fn filter_by<F: Fn(Value) -> bool>(rel: &Relation, col: usize, pred: F) -> Relat
 
 /// Unary projection `{ rel[keep_col] : rel[match_col] = v }`, carrying
 /// the original tuples' weights.
-fn residual_unary(rel: &Relation, match_col: usize, v: Value, keep_col: usize, name: &str) -> Relation {
+fn residual_unary(
+    rel: &Relation,
+    match_col: usize,
+    v: Value,
+    keep_col: usize,
+    name: &str,
+) -> Relation {
     let mut b = RelationBuilder::new(Schema::new([name.to_string()]));
     for i in 0..rel.len() as u32 {
         let row = rel.row(i);

@@ -56,14 +56,15 @@ pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition)
     // Pre-index each atom's relation by its full variable binding, for
     // weight lookup and enforcement. Key = values of the atom's
     // distinct variables in ascending VarId order.
-    let atom_keyers: Vec<(Vec<usize>, FxHashMap<Vec<Value>, Weight>)> = (0..q.num_atoms())
+    // Per atom: (distinct-var column positions, binding -> weight).
+    type AtomKeyer = (Vec<usize>, FxHashMap<Vec<Value>, Weight>);
+    let atom_keyers: Vec<AtomKeyer> = (0..q.num_atoms())
         .map(|e| {
             let atom = q.atom(e);
             let mut vars: Vec<usize> = atom.vars.clone();
             vars.sort_unstable();
             vars.dedup();
-            let positions: Vec<usize> =
-                vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
+            let positions: Vec<usize> = vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
             let mut map: FxHashMap<Vec<Value>, Weight> = FxHashMap::default();
             map.reserve(rels[e].len());
             for i in 0..rels[e].len() as u32 {
@@ -106,10 +107,7 @@ pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition)
         let mut seen: FxHashMap<Vec<Value>, ()> = FxHashMap::default();
         let mut rows: Vec<Vec<Value>> = Vec::new();
         generic_join(&sub_q, &sub_rels, None, &mut |binding, _rows| {
-            let proj: Vec<Value> = bag_vars
-                .iter()
-                .map(|&v| binding[var_map[&v]])
-                .collect();
+            let proj: Vec<Value> = bag_vars.iter().map(|&v| binding[var_map[&v]]).collect();
             if seen.insert(proj.clone(), ()).is_none() {
                 rows.push(proj);
             }
@@ -125,9 +123,10 @@ pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition)
                 let key: Vec<Value> = evars
                     .iter()
                     .map(|&v| {
-                        let idx = bag_vars.iter().position(|&bv| bv == v).expect(
-                            "assigned atom's vars are inside its home bag",
-                        );
+                        let idx = bag_vars
+                            .iter()
+                            .position(|&bv| bv == v)
+                            .expect("assigned atom's vars are inside its home bag");
                         row[idx]
                     })
                     .collect();
@@ -219,11 +218,7 @@ pub fn decomposed_join(
 }
 
 /// Boolean evaluation through a decomposition.
-pub fn decomposed_boolean(
-    q: &ConjunctiveQuery,
-    rels: &[Relation],
-    decomp: &Decomposition,
-) -> bool {
+pub fn decomposed_boolean(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition) -> bool {
     let plan = ghd_plan(q, rels, decomp);
     crate::boolean::boolean_acyclic(&plan.bag_query, &plan.bag_tree, plan.bag_relations)
 }

@@ -213,7 +213,7 @@ fn recurse(
 
 /// Emit the cross product of matching rows across atoms (bag
 /// semantics).
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn emit_products(
     q: &ConjunctiveQuery,
     atom: usize,

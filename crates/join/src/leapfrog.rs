@@ -9,6 +9,7 @@
 //! optimal; having two independent implementations lets the test suite
 //! cross-check them against each other (and both against nested loops).
 
+use crate::generic_join::SolutionCallback;
 use anyk_query::cq::{ConjunctiveQuery, VarId};
 use anyk_storage::trie::NodeHandle;
 use anyk_storage::{Relation, RelationBuilder, RowId, Schema, Trie, Value, Weight};
@@ -135,7 +136,7 @@ pub fn leapfrog_triejoin(
     q: &ConjunctiveQuery,
     rels: &[Relation],
     var_order: Option<&[VarId]>,
-    f: &mut dyn FnMut(&[Value], &[RowId]) -> ControlFlow<()>,
+    f: &mut SolutionCallback<'_>,
 ) {
     assert_eq!(rels.len(), q.num_atoms());
     let default_order: Vec<VarId> = (0..q.num_vars()).collect();
@@ -191,14 +192,7 @@ pub fn leapfrog_triejoin(
     'outer: loop {
         if depth == m {
             // Emit cross products of leaf rows.
-            let flow = emit(
-                &cursors,
-                &filtered,
-                0,
-                &binding,
-                &mut rows_per_atom,
-                f,
-            );
+            let flow = emit(&cursors, &filtered, 0, &binding, &mut rows_per_atom, f);
             if flow.is_break() {
                 return;
             }
@@ -236,13 +230,14 @@ pub fn leapfrog_triejoin(
 }
 
 /// Emit the cross product of leaf rows over atoms (bag semantics).
+#[allow(clippy::only_used_in_recursion)]
 fn emit(
     cursors: &[TrieCursor<'_>],
     rels: &[Relation],
     atom: usize,
     binding: &[Value],
     rows_per_atom: &mut Vec<RowId>,
-    f: &mut dyn FnMut(&[Value], &[RowId]) -> ControlFlow<()>,
+    f: &mut SolutionCallback<'_>,
 ) -> ControlFlow<()> {
     if atom == cursors.len() {
         return f(binding, rows_per_atom);
@@ -317,7 +312,13 @@ mod tests {
 
     #[test]
     fn four_cycle_matches() {
-        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 4, 0.25), (4, 1, 2.0), (2, 1, 0.75)]);
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 4, 0.25),
+            (4, 1, 2.0),
+            (2, 1, 0.75),
+        ]);
         check(&cycle_query(4), &[e.clone(), e.clone(), e.clone(), e]);
     }
 

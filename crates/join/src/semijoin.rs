@@ -109,8 +109,8 @@ pub fn prefilter_repeated_vars(rel: &mut Relation, q: &ConjunctiveQuery, atom: u
 /// one full query answer.
 pub fn full_reducer(q: &ConjunctiveQuery, tree: &JoinTree, rels: &mut [Relation]) {
     assert_eq!(rels.len(), q.num_atoms());
-    for i in 0..rels.len() {
-        prefilter_repeated_vars(&mut rels[i], q, i);
+    for (i, rel) in rels.iter_mut().enumerate() {
+        prefilter_repeated_vars(rel, q, i);
     }
     let order = tree.preorder();
     // Bottom-up: visit in reverse preorder; each node filters its parent.

@@ -99,9 +99,9 @@ pub fn integral_edge_cover(h: &Hypergraph, vars: VarSet) -> Option<usize> {
     let mut best: Option<usize> = None;
     for mask in 0u32..(1 << m) {
         let mut cov: VarSet = 0;
-        for e in 0..m {
+        for (e, &edge) in edges.iter().enumerate() {
             if mask & (1 << e) != 0 {
-                cov |= edges[e];
+                cov |= edge;
             }
         }
         if vars & !cov == 0 {

@@ -123,8 +123,8 @@ impl<'a> BagCost<'a> {
         if let Some(c) = self.cache.get(&bag) {
             return c.clone();
         }
-        let cover = fractional_edge_cover(self.h, bag)
-            .expect("bag contains a variable used by no atom");
+        let cover =
+            fractional_edge_cover(self.h, bag).expect("bag contains a variable used by no atom");
         let support: Vec<usize> = cover
             .weights
             .iter()
@@ -350,7 +350,12 @@ mod tests {
 
     #[test]
     fn decompositions_are_valid() {
-        for q in [triangle_query(), cycle_query(4), cycle_query(5), path_query(3)] {
+        for q in [
+            triangle_query(),
+            cycle_query(4),
+            cycle_query(5),
+            path_query(3),
+        ] {
             let h = Hypergraph::of_query(&q);
             let d = fhw_exact(&h);
             assert!(d.is_valid(&h), "invalid decomposition for {q}");
@@ -363,7 +368,12 @@ mod tests {
 
     #[test]
     fn greedy_upper_bounds_exact() {
-        for q in [triangle_query(), cycle_query(4), cycle_query(5), star_query(4)] {
+        for q in [
+            triangle_query(),
+            cycle_query(4),
+            cycle_query(5),
+            star_query(4),
+        ] {
             let h = Hypergraph::of_query(&q);
             let e = fhw_exact(&h).width;
             let g = fhw_greedy(&h);

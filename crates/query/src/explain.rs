@@ -11,13 +11,7 @@ use crate::join_tree::{JoinTree, NodeId};
 /// names and parent join keys.
 pub fn explain_join_tree(q: &ConjunctiveQuery, tree: &JoinTree) -> String {
     let mut out = String::new();
-    fn rec(
-        q: &ConjunctiveQuery,
-        tree: &JoinTree,
-        node: NodeId,
-        depth: usize,
-        out: &mut String,
-    ) {
+    fn rec(q: &ConjunctiveQuery, tree: &JoinTree, node: NodeId, depth: usize, out: &mut String) {
         let n = tree.node(node);
         let atom = q.atom(n.atom);
         let vars: Vec<&str> = atom.vars.iter().map(|&v| q.var_name(v)).collect();

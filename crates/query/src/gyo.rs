@@ -90,12 +90,7 @@ pub fn is_acyclic_bruteforce(q: &ConjunctiveQuery) -> bool {
     // Enumerate all rooted labelled trees via Prüfer-like brute force:
     // every function parent: [n] -> [n] with one root, acyclic, then
     // check running intersection.
-    fn rec(
-        q: &ConjunctiveQuery,
-        parents: &mut Vec<Option<usize>>,
-        i: usize,
-        root: usize,
-    ) -> bool {
+    fn rec(q: &ConjunctiveQuery, parents: &mut Vec<Option<usize>>, i: usize, root: usize) -> bool {
         let n = q.num_atoms();
         if i == n {
             // Cycle check.

@@ -129,8 +129,7 @@ fn simplex_loop(
             if t[i][enter] > EPS {
                 let ratio = t[i][rhs] / t[i][enter];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -144,24 +143,27 @@ fn simplex_loop(
 
 /// Pivot the tableau on `(row, col)`.
 fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
-    let cols = obj.len();
     let p = t[row][col];
     debug_assert!(p.abs() > EPS);
-    for j in 0..cols {
-        t[row][j] /= p;
+    for cell in t[row].iter_mut() {
+        *cell /= p;
     }
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > EPS {
-            let f = t[i][col];
-            for j in 0..cols {
-                t[i][j] -= f * t[row][j];
+    // Split the tableau around `row` so the pivot row can be read
+    // while the other rows are mutated — no clone, no allocation.
+    let (before, rest) = t.split_at_mut(row);
+    let (pivot_row, after) = rest.split_first_mut().expect("row in bounds");
+    for r in before.iter_mut().chain(after.iter_mut()) {
+        if r[col].abs() > EPS {
+            let f = r[col];
+            for (cell, &pv) in r.iter_mut().zip(pivot_row.iter()) {
+                *cell -= f * pv;
             }
         }
     }
     if obj[col].abs() > EPS {
         let f = obj[col];
-        for j in 0..cols {
-            obj[j] -= f * t[row][j];
+        for (o, &pv) in obj.iter_mut().zip(pivot_row.iter()) {
+            *o -= f * pv;
         }
     }
     basis[row] = col;
@@ -267,10 +269,9 @@ mod tests {
             let mut idx = vec![0usize; n];
             loop {
                 let x: Vec<f64> = idx.iter().map(|&i| i as f64 * 0.25).collect();
-                let feasible = a
-                    .iter()
-                    .zip(&b)
-                    .all(|(row, &bi)| row.iter().zip(&x).map(|(r, v)| r * v).sum::<f64>() >= bi - 1e-9);
+                let feasible = a.iter().zip(&b).all(|(row, &bi)| {
+                    row.iter().zip(&x).map(|(r, v)| r * v).sum::<f64>() >= bi - 1e-9
+                });
                 if feasible {
                     let val: f64 = x.iter().sum();
                     if val < best {

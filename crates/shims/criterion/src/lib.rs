@@ -1,0 +1,197 @@
+//! Offline in-tree shim for the subset of the `criterion` API the
+//! bench targets use: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Instead of criterion's statistical machinery this shim times a
+//! fixed number of iterations and prints `name ... mean seconds` —
+//! enough to compile and smoke-run `cargo bench` without network
+//! access. The `anyk-bench` experiment runner (not criterion) is the
+//! repo's source of quantitative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the measurement closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean: f64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(f());
+        }
+        self.mean = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            mean: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "bench {:<50} {:>12.6e} s/iter",
+            format!("{}/{}", self.name, id),
+            b.mean
+        );
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hints (accepted, ignored).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: 10,
+            mean: 0.0,
+        };
+        f(&mut b);
+        println!("bench {:<50} {:>12.6e} s/iter", name, b.mean);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(1));
+        let mut ran = 0usize;
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &5usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        // warm-up + samples
+        assert_eq!(ran, 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! Offline in-tree shim for the subset of the `proptest` API this
+//! workspace uses: the `proptest!` macro, `Strategy` with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `prop::collection::vec`, `Just`, `ProptestConfig::with_cases`, and
+//! the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics: each property runs `cases` times against deterministic
+//! seeds derived from the test name, so failures reproduce exactly.
+//! There is **no shrinking** — a failing case panics with the plain
+//! assertion message. That trades debuggability for zero external
+//! dependencies, which the offline build requires.
+
+use rand::{Rng, SeedableRng, StdRng};
+
+/// How many cases each property runs (subset of the real config).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of an associated type.
+///
+/// The real crate's strategies carry shrinking machinery; this shim
+/// only samples.
+pub trait Strategy {
+    type Value;
+
+    /// Sample one value.
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform sampled values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Use a sampled value to build a dependent strategy.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn pick(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.pick(rng)).pick(rng)
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i32, i64, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::{Rng, StdRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(elem, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let SizeRange { lo, hi } = self.size;
+            let len = rng.gen_range(lo..=hi);
+            (0..len).map(|_| self.elem.pick(rng)).collect()
+        }
+    }
+}
+
+std::thread_local! {
+    /// Cases skipped by `prop_assume!` in the current `run_cases`.
+    static ASSUME_SKIPS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Called by the expansion of [`prop_assume!`]; not public API.
+#[doc(hidden)]
+pub fn record_assume_skip() {
+    ASSUME_SKIPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Drive one property: `cases` deterministic executions.
+///
+/// Panics if `prop_assume!` rejected more than 80% of the cases —
+/// a green run that executed (almost) no bodies is vacuous, which
+/// real proptest also treats as an error ("too many global rejects").
+///
+/// Used by the generated code of [`proptest!`]; not part of the real
+/// crate's public API.
+pub fn run_cases<F: FnMut(&mut StdRng)>(config: &ProptestConfig, name: &str, mut body: F) {
+    // FNV-1a over the test name gives each property its own stream;
+    // the case index perturbs it so cases differ.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    ASSUME_SKIPS.with(|c| c.set(0));
+    for case in 0..config.cases {
+        let mut rng =
+            StdRng::seed_from_u64(h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        body(&mut rng);
+    }
+    let skipped = ASSUME_SKIPS.with(std::cell::Cell::get);
+    assert!(
+        config.cases < 5 || skipped * 5 <= config.cases * 4,
+        "property `{name}` is vacuous: prop_assume! rejected {skipped} of {} cases",
+        config.cases
+    );
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert inside a property (no shrinking, so this is plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its inputs are uninteresting. Skips are
+/// counted; a property whose assumption rejects >80% of cases fails
+/// as vacuous (see [`run_cases`]).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            $crate::record_assume_skip();
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            $crate::record_assume_skip();
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::pick(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(xs in prop::collection::vec((0i64..5, 0u32..=3), 1..=8), n in 2usize..6) {
+            prop_assert!(!xs.is_empty() && xs.len() <= 8);
+            for (a, b) in &xs {
+                prop_assert!((0..5).contains(a));
+                prop_assert!(*b <= 3);
+            }
+            prop_assert!((2..6).contains(&n));
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (1usize..=4).prop_flat_map(|n| prop::collection::vec(0i32..10, n..=n)).prop_map(|v| v.len())) {
+            prop_assert!((1..=4).contains(&v));
+        }
+
+        #[test]
+        fn assume_skips(x in 0i64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuous")]
+    fn all_skipped_is_vacuous() {
+        crate::run_cases(&ProptestConfig::with_cases(20), "vac", |_rng| {
+            prop_assume!(false);
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<i64> = Vec::new();
+        let mut second: Vec<i64> = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            first.push(crate::Strategy::pick(&(0i64..1000), rng));
+        });
+        crate::run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            second.push(crate::Strategy::pick(&(0i64..1000), rng));
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

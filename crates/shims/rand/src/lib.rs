@@ -1,0 +1,305 @@
+//! Offline in-tree shim for the subset of the `rand` 0.8 API this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::{gen, gen_range}`,
+//! and `distributions::Distribution`.
+//!
+//! The workspace must build without network access, so instead of the
+//! real crate we vendor a deterministic splitmix64/xoshiro256++-based
+//! generator behind the same names. Streams are seeded and stable
+//! across platforms (which is all the workload generators need) but
+//! are NOT bit-identical to upstream `rand` and NOT cryptographic.
+
+/// Sampling a value of some type from a generator.
+pub mod distributions {
+    use super::{Rng, StandardValue};
+
+    /// A distribution over values of type `T` (the subset of
+    /// `rand::distributions::Distribution` we need).
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: `f64` in `[0, 1)`,
+    /// integers uniform over their full range.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl<T: StandardValue> Distribution<T> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// Named generator types.
+pub mod rngs {
+    /// Deterministic seedable generator (xoshiro256++ core,
+    /// splitmix64 seeding). Drop-in for `rand::rngs::StdRng` in this
+    /// workspace's usage.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Types that `Rng::gen` can produce.
+pub trait StandardValue: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl StandardValue for u64 {
+    #[inline]
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl StandardValue for u32 {
+    #[inline]
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl StandardValue for f64 {
+    /// 53 uniform random bits scaled into `[0, 1)` — the same
+    /// construction upstream `rand` uses for `Standard` floats.
+    #[inline]
+    fn from_u64(raw: u64) -> f64 {
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for bool {
+    #[inline]
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut dyn RawRng) -> Self::Output;
+}
+
+/// Object-safe raw 64-bit source; the only method the range/standard
+/// samplers need.
+pub trait RawRng {
+    fn raw_u64(&mut self) -> u64;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RawRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny
+                // modulo bias of the plain variant is irrelevant for
+                // workload generation.
+                let hi = ((rng.raw_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as u128).wrapping_add(hi as u128)) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RawRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                if start == end {
+                    return start;
+                }
+                let span = (end as u128).wrapping_sub(start as u128) as u64;
+                if span == u64::MAX {
+                    return <$t as StandardValue>::from_u64(rng.raw_u64());
+                }
+                let hi = ((rng.raw_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                ((start as u128).wrapping_add(hi as u128)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u64, usize, u32);
+
+macro_rules! signed_range_impls {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RawRng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let hi = ((rng.raw_u64() as u128 * span as u128) >> 64) as $u;
+                (self.start as $u).wrapping_add(hi) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut dyn RawRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                if start == end {
+                    return start;
+                }
+                let span = (end as $u).wrapping_sub(start as $u);
+                let hi = ((rng.raw_u64() as u128 * (span as u128 + 1)) >> 64) as $u;
+                (start as $u).wrapping_add(hi) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_impls!(i64 => u64, i32 => u32);
+
+impl StandardValue for usize {
+    #[inline]
+    fn from_u64(raw: u64) -> usize {
+        raw as usize
+    }
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng: RawRng {
+    /// A value from the type's standard distribution (`[0, 1)` for
+    /// floats, full range for integers).
+    #[inline]
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::from_u64(self.raw_u64())
+    }
+
+    /// Uniform value in `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RawRng + ?Sized> Rng for T {}
+
+/// Construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RawRng for StdRng {
+    /// xoshiro256++ step.
+    #[inline]
+    fn raw_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Distribution;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.raw_u64(), b.raw_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.raw_u64(), c.raw_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(0u64..5);
+            assert!(v < 5);
+            let w = rng.gen_range(0usize..=3);
+            assert!(w <= 3);
+            seen_lo |= w == 0;
+            seen_hi |= w == 3;
+            let s = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&s));
+        }
+        assert!(seen_lo && seen_hi, "inclusive range endpoints reachable");
+    }
+
+    #[test]
+    fn standard_distribution_samples() {
+        use super::distributions::Standard;
+        let mut rng = StdRng::seed_from_u64(5);
+        let f: f64 = Standard.sample(&mut rng);
+        assert!((0.0..1.0).contains(&f));
+        let _u: u32 = Standard.sample(&mut rng);
+        let _b: bool = Standard.sample(&mut rng);
+    }
+
+    #[test]
+    fn distribution_trait_is_object_usable() {
+        struct Const(u64);
+        impl Distribution<u64> for Const {
+            fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> u64 {
+                self.0
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Const(9).sample(&mut rng), 9);
+    }
+}

@@ -1,6 +1,7 @@
 //! A catalog of named relations plus the string dictionary backing
 //! [`Value::Sym`](crate::value::Value::Sym).
 
+use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
 use crate::relation::Relation;
 use crate::value::Value;
@@ -29,10 +30,13 @@ impl Catalog {
         self.relations.get(name)
     }
 
-    /// Look up a relation by name; panics with context if absent.
-    pub fn expect(&self, name: &str) -> &Relation {
+    /// Look up a relation by name, with a typed error for absence —
+    /// the non-panicking seam the engine layer routes through.
+    pub fn lookup(&self, name: &str) -> Result<&Relation, StorageError> {
         self.get(name)
-            .unwrap_or_else(|| panic!("relation `{name}` not registered in catalog"))
+            .ok_or_else(|| StorageError::RelationNotFound {
+                name: name.to_string(),
+            })
     }
 
     /// Remove a relation, returning it if present.
@@ -78,7 +82,11 @@ mod tests {
         let mut b = RelationBuilder::new(Schema::new(["a"]));
         b.push_ints(&[1], 0.0);
         c.register("R", b.finish());
-        assert_eq!(c.expect("R").len(), 1);
+        assert_eq!(c.lookup("R").map(Relation::len), Ok(1));
+        assert_eq!(
+            c.lookup("S").err(),
+            Some(StorageError::RelationNotFound { name: "S".into() })
+        );
         assert!(c.get("S").is_none());
         assert_eq!(c.names().collect::<Vec<_>>(), vec!["R"]);
         assert_eq!(c.remove("R").map(|r| r.len()), Some(1));

@@ -1,0 +1,54 @@
+//! Typed storage errors — the non-panicking side of catalog and schema
+//! lookups, threaded up to `anyk_engine::EngineError` by the unified
+//! entry point.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failed storage-layer lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No relation registered under this name in the catalog.
+    RelationNotFound {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// The schema has no attribute with this name.
+    AttributeNotFound {
+        /// The attribute that was looked up.
+        attr: String,
+        /// Display form of the schema searched (e.g. `(a, b, c)`).
+        schema: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RelationNotFound { name } => {
+                write!(f, "relation `{name}` not registered in catalog")
+            }
+            StorageError::AttributeNotFound { attr, schema } => {
+                write!(f, "attribute `{attr}` not in schema {schema}")
+            }
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::RelationNotFound { name: "R".into() };
+        assert_eq!(e.to_string(), "relation `R` not registered in catalog");
+        let e = StorageError::AttributeNotFound {
+            attr: "x".into(),
+            schema: "(a, b)".into(),
+        };
+        assert_eq!(e.to_string(), "attribute `x` not in schema (a, b)");
+    }
+}

@@ -101,7 +101,11 @@ impl HashIndex {
 
     /// The size of the largest group (skew diagnostic / heavy-hitter cutoff).
     pub fn max_group_len(&self) -> usize {
-        self.groups.values().map(|&(_, l)| l as usize).max().unwrap_or(0)
+        self.groups
+            .values()
+            .map(|&(_, l)| l as usize)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -154,10 +158,10 @@ impl SortedIndex {
             }
             std::cmp::Ordering::Equal
         };
-        let lo = self.order.partition_point(|r| cmp_key(r) == std::cmp::Ordering::Less);
-        let hi = self.order[lo..]
-            .partition_point(|r| cmp_key(r) == std::cmp::Ordering::Equal)
-            + lo;
+        let lo = self
+            .order
+            .partition_point(|r| cmp_key(r) == std::cmp::Ordering::Less);
+        let hi = self.order[lo..].partition_point(|r| cmp_key(r) == std::cmp::Ordering::Equal) + lo;
         &self.order[lo..hi]
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod catalog;
 pub mod csv;
+pub mod error;
 pub mod fxhash;
 pub mod index;
 pub mod relation;
@@ -31,6 +32,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use csv::{read_csv, read_csv_with_catalog, write_csv};
+pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
 pub use relation::{Relation, RelationBuilder, RowId};

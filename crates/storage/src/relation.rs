@@ -15,7 +15,7 @@ pub type RowId = u32;
 
 /// An immutable weighted relation (bag semantics; call
 /// [`Relation::dedup`] for set semantics).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
     schema: Schema,
     /// Row-major values, `len = rows * arity`.

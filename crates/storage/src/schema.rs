@@ -1,5 +1,6 @@
 //! Relation schemas: ordered attribute names with positional lookup.
 
+use crate::error::StorageError;
 use std::fmt;
 
 /// An ordered list of attribute names.
@@ -37,11 +38,15 @@ impl Schema {
         self.attrs.iter().position(|a| a == name)
     }
 
-    /// Position of `name`; panics with a useful message otherwise.
+    /// Position of `name`, with a typed error for absence — the
+    /// non-panicking seam the engine layer routes through.
     #[inline]
-    pub fn position_of(&self, name: &str) -> usize {
+    pub fn position_of(&self, name: &str) -> Result<usize, StorageError> {
         self.position(name)
-            .unwrap_or_else(|| panic!("attribute `{name}` not in schema {self}"))
+            .ok_or_else(|| StorageError::AttributeNotFound {
+                attr: name.to_string(),
+                schema: self.to_string(),
+            })
     }
 
     /// Attribute name at `pos`.
@@ -62,8 +67,9 @@ impl Schema {
         self.position(name).is_some()
     }
 
-    /// Positions of each of `names` in this schema (panics if missing).
-    pub fn positions_of(&self, names: &[&str]) -> Vec<usize> {
+    /// Positions of each of `names` in this schema; fails on the first
+    /// missing attribute.
+    pub fn positions_of(&self, names: &[&str]) -> Result<Vec<usize>, StorageError> {
         names.iter().map(|n| self.position_of(n)).collect()
     }
 }
@@ -97,7 +103,16 @@ mod tests {
     #[test]
     fn positions_of_many() {
         let s = Schema::new(["x", "y", "z"]);
-        assert_eq!(s.positions_of(&["z", "x"]), vec![2, 0]);
+        assert_eq!(s.positions_of(&["z", "x"]), Ok(vec![2, 0]));
+        assert_eq!(
+            s.positions_of(&["z", "w"]).err(),
+            Some(StorageError::AttributeNotFound {
+                attr: "w".into(),
+                schema: "(x, y, z)".into(),
+            })
+        );
+        assert_eq!(s.position_of("y"), Ok(1));
+        assert!(s.position_of("q").is_err());
     }
 
     #[test]

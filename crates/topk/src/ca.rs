@@ -65,7 +65,7 @@ pub fn combined_topk(
 
         // Every h-th round: resolve the best unresolved candidate via
         // random accesses (the TA-style move, paid sparingly).
-        if depth % h == 0 {
+        if depth.is_multiple_of(h) {
             let best_unresolved = seen
                 .iter()
                 .map(|(&o, e)| (o, upper(e)))
@@ -90,14 +90,10 @@ pub fn combined_topk(
         // Stop test: k resolved objects beat every unresolved upper
         // bound and the unseen threshold.
         if resolved.len() >= k {
-            let mut res: Vec<(ObjectId, f64)> =
-                resolved.iter().map(|(&o, &a)| (o, a)).collect();
+            let mut res: Vec<(ObjectId, f64)> = resolved.iter().map(|(&o, &a)| (o, a)).collect();
             res.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
             let kth = res[k - 1].1;
-            let max_unresolved = seen
-                .values()
-                .map(upper)
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max_unresolved = seen.values().map(upper).fold(f64::NEG_INFINITY, f64::max);
             let unseen = if exhausted.iter().all(|&x| x) {
                 f64::NEG_INFINITY
             } else {
@@ -110,8 +106,7 @@ pub fn combined_topk(
         }
         if !progressed {
             // Lists exhausted: resolve everything left with the floor.
-            let mut res: Vec<(ObjectId, f64)> =
-                resolved.iter().map(|(&o, &a)| (o, a)).collect();
+            let mut res: Vec<(ObjectId, f64)> = resolved.iter().map(|(&o, &a)| (o, a)).collect();
             for (&o, e) in &seen {
                 let v: Vec<f64> = e.iter().map(|s| s.unwrap_or(FLOOR)).collect();
                 res.push((o, agg.apply(&v)));

@@ -26,9 +26,7 @@ pub fn fagin_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Vec<(O
         for list in 0..m {
             match lists.sorted_access(list, depth) {
                 Some((obj, score)) => {
-                    let entry = partial
-                        .entry(obj)
-                        .or_insert_with(|| vec![None; m]);
+                    let entry = partial.entry(obj).or_insert_with(|| vec![None; m]);
                     if entry[list].is_none() {
                         entry[list] = Some(score);
                         let c = seen_in.entry(obj).or_insert(0);

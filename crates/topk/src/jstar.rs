@@ -266,10 +266,7 @@ mod tests {
 
     #[test]
     fn empty_join() {
-        let rels = vec![
-            edge_rel(&[(1, 2, 0.5)]),
-            edge_rel(&[(9, 5, 1.0)]),
-        ];
+        let rels = vec![edge_rel(&[(1, 2, 0.5)]), edge_rel(&[(9, 5, 1.0)])];
         let spec = ChainSpec::edge_path(2);
         let (got, _) = jstar_topk(&rels, &spec, 5);
         assert!(got.is_empty());

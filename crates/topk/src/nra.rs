@@ -101,10 +101,8 @@ pub fn nra_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Vec<(Obj
                 // a simpler sound completion: order by upper==lower
                 // when possible. We report the lower bounds (exact once
                 // every member's missing cells resolved or floored).
-                let mut out: Vec<(ObjectId, f64)> = topk_ids
-                    .iter()
-                    .map(|&o| (o, lower(&seen[&o])))
-                    .collect();
+                let mut out: Vec<(ObjectId, f64)> =
+                    topk_ids.iter().map(|&o| (o, lower(&seen[&o]))).collect();
                 out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
                 return out;
             }

@@ -81,16 +81,8 @@ impl SortedScan {
     /// Sort `rel` by weight ascending and scan it.
     pub fn new(rel: Relation) -> Self {
         let mut order: Vec<RowId> = (0..rel.len() as RowId).collect();
-        order.sort_by(|&a, &b| {
-            rel.weight(a)
-                .cmp(&rel.weight(b))
-                .then(a.cmp(&b))
-        });
-        SortedScan {
-            rel,
-            order,
-            pos: 0,
-        }
+        order.sort_by(|&a, &b| rel.weight(a).cmp(&rel.weight(b)).then(a.cmp(&b)));
+        SortedScan { rel, order, pos: 0 }
     }
 }
 
@@ -217,8 +209,7 @@ impl<L: Iterator<Item = RjTuple>, R: Iterator<Item = RjTuple>> RankJoin<L, R> {
                             self.left_first = Some(t.weight);
                         }
                         self.left_cur = t.weight;
-                        let key: Vec<Value> =
-                            self.left_key.iter().map(|&p| t.values[p]).collect();
+                        let key: Vec<Value> = self.left_key.iter().map(|&p| t.values[p]).collect();
                         // Join against the right buffer.
                         if let Some(matches) = self.right_buf.get(&key) {
                             for r in matches {
@@ -249,8 +240,7 @@ impl<L: Iterator<Item = RjTuple>, R: Iterator<Item = RjTuple>> RankJoin<L, R> {
                             self.right_first = Some(t.weight);
                         }
                         self.right_cur = t.weight;
-                        let key: Vec<Value> =
-                            self.right_key.iter().map(|&p| t.values[p]).collect();
+                        let key: Vec<Value> = self.right_key.iter().map(|&p| t.values[p]).collect();
                         if let Some(matches) = self.left_buf.get(&key) {
                             for l in matches {
                                 let mut values = l.values.clone();
@@ -434,13 +424,9 @@ mod tests {
         let r1 = [(1, 2, 0.5), (1, 3, 1.0)];
         let r2 = [(2, 4, 0.25), (3, 4, 0.125), (2, 5, 3.0)];
         let r3 = [(4, 9, 1.0), (5, 9, 0.5)];
-        let auto: Vec<f64> = rank_join_path(vec![
-            edge_rel(&r1),
-            edge_rel(&r2),
-            edge_rel(&r3),
-        ])
-        .map(|t| t.weight)
-        .collect();
+        let auto: Vec<f64> = rank_join_path(vec![edge_rel(&r1), edge_rel(&r2), edge_rel(&r3)])
+            .map(|t| t.weight)
+            .collect();
         assert_eq!(auto, vec![1.75, 2.125, 4.0]);
     }
 

@@ -44,14 +44,14 @@ pub fn threshold_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Ve
     let mut depth = 0usize;
     loop {
         let mut any = false;
-        for list in 0..m {
+        for (list, last) in last_scores.iter_mut().enumerate() {
             let Some((obj, score)) = lists.sorted_access(list, depth) else {
                 // This list is exhausted; its contribution to the
                 // threshold stays at its last (bottom) score.
                 continue;
             };
             any = true;
-            last_scores[list] = score;
+            *last = score;
             if !seen.insert(obj) {
                 continue;
             }
@@ -81,7 +81,9 @@ pub fn threshold_topk(lists: &mut RankedLists, k: usize, agg: Aggregation) -> Ve
         depth += 1;
         // Threshold: best possible aggregate of any unseen object.
         let tau = agg.apply(&last_scores);
-        let kth = topk.peek().map_or(f64::NEG_INFINITY, |&Reverse((F(a), _))| a);
+        let kth = topk
+            .peek()
+            .map_or(f64::NEG_INFINITY, |&Reverse((F(a), _))| a);
         if topk.len() >= k && kth >= tau {
             break;
         }

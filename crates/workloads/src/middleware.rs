@@ -113,6 +113,9 @@ mod tests {
             .collect();
         sums.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let spread = sums.last().unwrap() - sums.first().unwrap();
-        assert!(spread <= 1.01, "sums should be nearly flat, spread {spread}");
+        assert!(
+            spread <= 1.01,
+            "sums should be nearly flat, spread {spread}"
+        );
     }
 }

@@ -125,11 +125,7 @@ mod tests {
         let inst = path_instance(3, 200, 20, WeightDist::Uniform, 42);
         assert_eq!(inst.relations.len(), 3);
         assert_eq!(inst.input_size(), 600);
-        let count = yannakakis_count(
-            &inst.query,
-            &inst.join_tree,
-            inst.relations_clone(),
-        );
+        let count = yannakakis_count(&inst.query, &inst.join_tree, inst.relations_clone());
         assert!(count > 0, "dense path instance should have answers");
     }
 

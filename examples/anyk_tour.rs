@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example anyk_tour`
 
-use anyk::core::{
-    AnyKPart, AnyKRec, BatchHeap, BatchSorted, SuccessorKind, SumCost, TdpInstance,
-};
+use anyk::core::{AnyKPart, AnyKRec, BatchHeap, BatchSorted, SuccessorKind, SumCost, TdpInstance};
 use anyk::workloads::graphs::WeightDist;
 use anyk::workloads::patterns::path_instance;
 use std::time::Instant;

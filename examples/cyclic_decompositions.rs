@@ -11,6 +11,7 @@
 use anyk::core::cyclic::c4_ranked_part;
 use anyk::core::decomposed::{decomposed_ranked_part, ranked_auto};
 use anyk::core::{SuccessorKind, SumCost};
+use anyk::engine::{Engine, RankSpec};
 use anyk::query::agm::fractional_edge_cover;
 use anyk::query::cq::cycle_query;
 use anyk::query::cycles::{cycle_submodular_width, heavy_threshold};
@@ -61,7 +62,12 @@ fn main() {
     );
     for (i, a) in top.iter().enumerate() {
         let cyc: Vec<String> = a.values.iter().map(|v| v.to_string()).collect();
-        println!("  #{} weight {:.4}  {}", i + 1, a.cost.get(), cyc.join(" -> "));
+        println!(
+            "  #{} weight {:.4}  {}",
+            i + 1,
+            a.cost.get(),
+            cyc.join(" -> ")
+        );
     }
 
     // `ranked_auto` picks the decomposition for you.
@@ -72,6 +78,24 @@ fn main() {
         assert!((a.cost.get() - b.cost.get()).abs() < 1e-9);
     }
     println!("ranked_auto agrees ({:?})", t0.elapsed());
+
+    // And the unified Engine routes here automatically: a 6-cycle is
+    // neither acyclic nor a specialized cycle, so the planner picks
+    // the decomposition route on its own.
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let t0 = Instant::now();
+    let via_engine = engine
+        .query(q.clone())
+        .rank_by(RankSpec::Sum)
+        .plan()
+        .expect("plannable")
+        .take(k)
+        .collect::<Vec<_>>();
+    assert_eq!(top.len(), via_engine.len());
+    for (a, b) in top.iter().zip(&via_engine) {
+        assert!((a.cost.get() - b.cost.scalar().unwrap()).abs() < 1e-9);
+    }
+    println!("Engine (route = decomposed) agrees ({:?})", t0.elapsed());
 
     // --- The E13 moral on the 4-cycle. ---
     let q4 = cycle_query(4);

@@ -8,13 +8,11 @@
 //!
 //! Run with: `cargo run --release --example lightest_cycles`
 
-use anyk::core::cyclic::c4_ranked_part;
-use anyk::core::{SuccessorKind, SumCost};
 use anyk::join::boolean::c4_exists;
 use anyk::join::generic_join::generic_join_materialize;
-use anyk::query::cq::cycle_query;
+use anyk::prelude::*;
 use anyk::query::cycles::heavy_threshold;
-use anyk::workloads::graphs::{random_edge_relation, WeightDist};
+use anyk::workloads::graphs::random_edge_relation;
 use std::time::Instant;
 
 fn main() {
@@ -23,12 +21,11 @@ fn main() {
     let num_edges = 20_000;
     let num_nodes = 2_000;
     let edges = random_edge_relation(num_edges, num_nodes, WeightDist::Uniform, Some(1.1), 42);
-    println!(
-        "graph: {num_edges} weighted edges over {num_nodes} nodes (Zipf-skewed, seed 42)"
-    );
+    println!("graph: {num_edges} weighted edges over {num_nodes} nodes (Zipf-skewed, seed 42)");
 
     // The 4-cycle pattern is a self-join: all four atoms read the same
     // edge relation.
+    let q = cycle_query(4);
     let rels = vec![edges.clone(), edges.clone(), edges.clone(), edges];
     let threshold = heavy_threshold(num_edges);
     println!("heavy-degree threshold Δ = {threshold}");
@@ -39,20 +36,39 @@ fn main() {
     let t_bool = t0.elapsed();
     println!("boolean 4-cycle detection: {any} in {t_bool:?}");
 
-    // Ranked enumeration: k lightest 4-cycles, no k fixed in advance.
+    // Ranked enumeration through the unified Engine: the planner
+    // recognizes the 4-cycle and picks the submodular-width
+    // union-of-trees plan on its own.
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().expect("plannable");
+    println!(
+        "planner route: {} (width {:.2})",
+        plan.route.label(),
+        plan.width
+    );
+
+    // k lightest 4-cycles, no k fixed in advance.
     let k = 10;
     let t0 = Instant::now();
-    let ranked = c4_ranked_part::<SumCost>(&rels, threshold, SuccessorKind::Lazy);
-    let top: Vec<_> = ranked.take(k).collect();
+    let mut stream = engine
+        .query(q.clone())
+        .rank_by(RankSpec::Sum)
+        .plan()
+        .expect("plannable");
+    let top = stream.top_k(k);
     let t_topk = t0.elapsed();
     println!("\ntop-{k} lightest 4-cycles (TT({k}) = {t_topk:?}):");
     for (i, a) in top.iter().enumerate() {
         let cyc: Vec<String> = a.values.iter().map(|v| v.to_string()).collect();
-        println!("  #{:<2} weight {:.4}  cycle {}", i + 1, a.cost.get(), cyc.join(" -> "));
+        println!(
+            "  #{:<2} weight {}  cycle {}",
+            i + 1,
+            a.cost,
+            cyc.join(" -> ")
+        );
     }
 
     // Ceiling: the full worst-case-optimal join (then you'd still sort).
-    let q = cycle_query(4);
     let t0 = Instant::now();
     let (all, _) = generic_join_materialize(&q, &rels, None);
     let t_full = t0.elapsed();

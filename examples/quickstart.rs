@@ -1,53 +1,52 @@
-//! Quickstart: ranked enumeration over a small acyclic join.
+//! Quickstart: ranked enumeration through the unified `Engine`.
 //!
-//! Builds two weighted relations, forms the path query
+//! Registers two weighted relations in a catalog, forms the path query
 //! `R(a,b) ⋈ S(b,c)`, and enumerates the join answers cheapest-first —
-//! without fixing `k` in advance (the "anytime top-k" contract).
+//! without fixing `k` in advance (the "anytime top-k" contract) and
+//! without choosing an algorithm: the planner routes by query shape.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use anyk::core::{AnyKPart, SuccessorKind, SumCost, TdpInstance};
-use anyk::query::cq::QueryBuilder;
-use anyk::query::gyo::{gyo_reduce, GyoResult};
-use anyk::storage::{RelationBuilder, Schema};
+use anyk::prelude::*;
 
-fn main() {
-    // --- 1. Data: two weighted edge relations. ---
+fn main() -> Result<(), EngineError> {
+    // --- 1. Data: two weighted edge relations, named in a catalog. ---
     // Think of weights as costs: lower is better.
+    let mut catalog = Catalog::new();
+
     let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
     r.push_ints(&[1, 10], 0.3); // a=1 -- b=10, weight 0.3
     r.push_ints(&[1, 20], 1.0);
     r.push_ints(&[2, 10], 0.1);
     r.push_ints(&[3, 30], 0.2); // dangling: no S-partner for b=30
-    let r = r.finish();
+    catalog.register("R", r.finish());
 
     let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
     s.push_ints(&[10, 100], 0.5);
     s.push_ints(&[10, 200], 0.05);
     s.push_ints(&[20, 300], 0.4);
-    let s = s.finish();
+    catalog.register("S", s.finish());
 
     // --- 2. Query: the natural join R(a,b) ⋈ S(b,c). ---
+    let engine = Engine::new(catalog);
     let query = QueryBuilder::new()
         .atom("R", &["a", "b"])
         .atom("S", &["b", "c"])
         .build();
     println!("query: {query}");
 
-    // GYO reduction proves acyclicity and hands us a join tree.
-    let tree = match gyo_reduce(&query) {
-        GyoResult::Acyclic(t) => t,
-        GyoResult::Cyclic(_) => unreachable!("a path query is acyclic"),
-    };
-
-    // --- 3. Preprocess: full reducer + dynamic programming (T-DP). ---
-    let tdp = TdpInstance::<SumCost>::prepare(&query, &tree, vec![r, s])
-        .expect("tree matches query");
+    // --- 3. Plan: the engine routes by query shape. ---
+    // This query is acyclic, so the plan is GYO + T-DP + any-k; a
+    // triangle would get the worst-case-optimal plan, and so on.
+    let plan = engine.query(query.clone()).explain()?;
+    print!("{}", plan.explain());
 
     // --- 4. Enumerate: answers arrive cheapest-first. ---
+    // The ranking function is a *runtime* value; swap RankSpec::Sum
+    // for Max/Min/Prod/Lex without recompiling.
+    let stream = engine.query(query).rank_by(RankSpec::Sum).plan()?;
     println!("answers (cost ascending):");
-    let anyk = AnyKPart::new(tdp, SuccessorKind::Lazy);
-    for (rank, answer) in anyk.enumerate() {
+    for (rank, answer) in stream.enumerate() {
         let vals: Vec<String> = answer.values.iter().map(|v| v.to_string()).collect();
         println!(
             "  #{}  (a,b,c) = ({})   cost = {}",
@@ -64,4 +63,5 @@ fn main() {
     //   (1,20,300) = 1.0 + 0.4  = 1.4
     // The dangling tuple (3,30) never shows up: the full reducer
     // removed it before enumeration started.
+    Ok(())
 }

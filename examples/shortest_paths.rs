@@ -20,19 +20,25 @@ fn main() {
     let dag = LayeredDag {
         edges: layered_dag_edges(layers, width, edges_per_layer, 2024),
     };
-    println!(
-        "layered DAG: {layers} transitions x {edges_per_layer} edges, {width} nodes/layer"
-    );
+    println!("layered DAG: {layers} transitions x {edges_per_layer} edges, {width} nodes/layer");
 
     let k = 10;
     let t0 = Instant::now();
     let paths = k_shortest_paths(&dag, k);
     let elapsed = t0.elapsed();
 
-    println!("\n{k} shortest paths (found {} in {elapsed:?}):", paths.len());
+    println!(
+        "\n{k} shortest paths (found {} in {elapsed:?}):",
+        paths.len()
+    );
     for (i, (w, nodes)) in paths.iter().enumerate() {
         let hops: Vec<String> = nodes.iter().map(|n| n.to_string()).collect();
-        println!("  #{:<2} length {:.4}  path {}", i + 1, w, hops.join(" -> "));
+        println!(
+            "  #{:<2} length {:.4}  path {}",
+            i + 1,
+            w,
+            hops.join(" -> ")
+        );
     }
 
     // Sanity: lengths are non-decreasing — the any-k guarantee.

@@ -46,7 +46,11 @@ fn main() {
             nra.counters().random
         );
         let ids: Vec<String> = winners.iter().map(|w| format!("{}", w.0)).collect();
-        println!("  top-{k} objects: [{}]  (full scan = {})\n", ids.join(", "), n * m);
+        println!(
+            "  top-{k} objects: [{}]  (full scan = {})\n",
+            ids.join(", "),
+            n * m
+        );
     }
 
     println!(

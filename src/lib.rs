@@ -9,6 +9,10 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
+//! * [`engine`] — **the unified entry point**: a planner-routed
+//!   [`Engine`](engine::Engine) that turns any conjunctive query plus
+//!   a runtime [`RankSpec`](engine::RankSpec) into a
+//!   [`RankedStream`](engine::RankedStream).
 //! * [`storage`] — relational substrate (values, relations, indexes,
 //!   tries).
 //! * [`query`] — conjunctive queries, hypergraphs, acyclicity,
@@ -22,22 +26,42 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use anyk::core::{AnyKPart, SuccessorKind, SumCost, TdpInstance};
-//! use anyk::workloads::graphs::WeightDist;
-//! use anyk::workloads::patterns::path_instance;
+//! Register relations in a catalog, hand the engine a query and a
+//! ranking, and pull answers cheapest-first. The planner routes by
+//! query shape (GYO + T-DP for acyclic queries, specialized cyclic
+//! plans otherwise) — no algorithm selection required:
 //!
-//! // A 3-relation path query over a small random weighted graph.
-//! let inst = path_instance(3, 200, 20, WeightDist::Uniform, 7);
-//! let tdp = TdpInstance::<SumCost>::prepare(
-//!     &inst.query, &inst.join_tree, inst.relations_clone(),
-//! ).unwrap();
-//! let mut anyk = AnyKPart::new(tdp, SuccessorKind::Lazy);
-//! // Ranked answers arrive one by one, cheapest first, no k needed upfront.
-//! let first = anyk.next().unwrap();
-//! let second = anyk.next().unwrap();
-//! assert!(first.cost <= second.cost);
 //! ```
+//! use anyk::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+//! r.push_ints(&[1, 10], 0.3);
+//! r.push_ints(&[2, 10], 0.1);
+//! catalog.register("R", r.finish());
+//! let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+//! s.push_ints(&[10, 100], 0.5);
+//! s.push_ints(&[10, 200], 0.05);
+//! catalog.register("S", s.finish());
+//!
+//! let engine = Engine::new(catalog);
+//! let q = QueryBuilder::new()
+//!     .atom("R", &["a", "b"])
+//!     .atom("S", &["b", "c"])
+//!     .build();
+//!
+//! // Ranked answers arrive one by one, cheapest first, no k needed
+//! // upfront; the ranking function is a runtime value.
+//! let mut stream = engine.query(q).rank_by(RankSpec::Sum).plan()?;
+//! let first = stream.next().unwrap();
+//! let second = stream.next().unwrap();
+//! assert!(first.cost <= second.cost);
+//! assert_eq!(first.ints(), vec![2, 10, 200]); // 0.1 + 0.05
+//! # Ok::<(), anyk::engine::EngineError>(())
+//! ```
+//!
+//! The hand-wired layers ([`core`], [`join`], …) remain public for
+//! benchmarks and for callers that need one specific algorithm.
 
 /// One-stop imports for typical usage.
 ///
@@ -49,16 +73,23 @@
 pub mod prelude {
     pub use anyk_core::{
         AnyK, AnyKPart, AnyKRec, BatchHeap, BatchSorted, LexCost, MaxCost, MinCost, ProdCost,
-        RankedAnswer, RankingFunction, SuccessorKind, SumCost, TdpInstance, UnrankedEnum,
+        RankingFunction, SuccessorKind, SumCost, TdpInstance, UnrankedEnum,
+    };
+    pub use anyk_engine::{
+        AnyKVariant, Cost, Engine, EngineError, EngineOpts, Plan, RankSpec, RankedAnswer,
+        RankedStream, Route,
     };
     pub use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
     pub use anyk_query::gyo::{gyo_reduce, is_acyclic, GyoResult};
-    pub use anyk_storage::{Relation, RelationBuilder, Schema, Value, Weight};
+    pub use anyk_storage::{
+        Catalog, Relation, RelationBuilder, Schema, StorageError, Value, Weight,
+    };
     pub use anyk_workloads::graphs::WeightDist;
     pub use anyk_workloads::patterns::{path_instance, star_instance};
 }
 
 pub use anyk_core as core;
+pub use anyk_engine as engine;
 pub use anyk_join as join;
 pub use anyk_query as query;
 pub use anyk_storage as storage;

@@ -98,12 +98,9 @@ fn cardinality_matches_counting_dp() {
     for seed in [21u64, 22, 23] {
         let inst = path_instance(3, 80, 9, WeightDist::UniformDyadic, seed);
         let count = yannakakis_count(&inst.query, &inst.join_tree, inst.relations_clone());
-        let tdp = TdpInstance::<SumCost>::prepare(
-            &inst.query,
-            &inst.join_tree,
-            inst.relations_clone(),
-        )
-        .unwrap();
+        let tdp =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         let enumerated = AnyKPart::new(tdp, SuccessorKind::Take2).count() as u128;
         assert_eq!(enumerated, count, "seed {seed}");
     }
@@ -116,12 +113,9 @@ fn matches_nested_loop_oracle_on_small_instances() {
         let nl = nested_loop_join(&inst.query, &inst.relations);
         let mut oracle: Vec<f64> = (0..nl.len() as u32).map(|i| nl.weight(i).get()).collect();
         oracle.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let tdp = TdpInstance::<SumCost>::prepare(
-            &inst.query,
-            &inst.join_tree,
-            inst.relations_clone(),
-        )
-        .unwrap();
+        let tdp =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         let got: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Lazy)
             .map(|a| a.cost.get())
             .collect();
@@ -136,23 +130,17 @@ fn matches_nested_loop_oracle_on_small_instances() {
 fn prefix_stability_across_k() {
     let inst = path_instance(3, 60, 8, WeightDist::UniformDyadic, 41);
     let full: Vec<f64> = {
-        let tdp = TdpInstance::<SumCost>::prepare(
-            &inst.query,
-            &inst.join_tree,
-            inst.relations_clone(),
-        )
-        .unwrap();
+        let tdp =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         AnyKPart::new(tdp, SuccessorKind::Quick)
             .map(|a| a.cost.get())
             .collect()
     };
     for k in [1usize, 5, 17, full.len()] {
-        let tdp = TdpInstance::<SumCost>::prepare(
-            &inst.query,
-            &inst.join_tree,
-            inst.relations_clone(),
-        )
-        .unwrap();
+        let tdp =
+            TdpInstance::<SumCost>::prepare(&inst.query, &inst.join_tree, inst.relations_clone())
+                .unwrap();
         let partial: Vec<f64> = AnyKPart::new(tdp, SuccessorKind::Quick)
             .take(k)
             .map(|a| a.cost.get())

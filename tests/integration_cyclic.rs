@@ -92,9 +92,8 @@ fn c4_empty_output() {
         .map(|i| {
             // Relation i maps range [100i, 100i+10) -> [100(i+1), ...):
             // the last cannot close back to the first.
-            let mut b = anyk::storage::RelationBuilder::new(anyk::storage::Schema::new([
-                "src", "dst",
-            ]));
+            let mut b =
+                anyk::storage::RelationBuilder::new(anyk::storage::Schema::new(["src", "dst"]));
             for k in 0..10i64 {
                 b.push_ints(&[100 * i + k, 100 * (i + 1) + k], 0.5);
             }

@@ -1,0 +1,319 @@
+//! Integration suite for the unified `Engine`: the planner must pick
+//! the documented route for each query shape, and the routed stream
+//! must agree — order and multiset — with the hand-wired engines it
+//! routes to, under rankings chosen at runtime.
+
+use anyk::core::{
+    c4_ranked_part, decomposed_ranked_part, triangle_ranked, AnyKPart, MaxCost, RankingFunction,
+    SuccessorKind, SumCost, TdpInstance,
+};
+use anyk::prelude::*;
+use anyk::query::cycles::heavy_threshold;
+use anyk::query::decompose::fhw_exact;
+use anyk::query::hypergraph::Hypergraph;
+
+fn edge_rel(rows: &[(i64, i64, f64)]) -> Relation {
+    let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+    for &(x, y, w) in rows {
+        b.push_ints(&[x, y], w);
+    }
+    b.finish()
+}
+
+/// A well-mixed weighted edge set with dyadic weights (exact float
+/// arithmetic keeps cost comparisons bitwise across plans).
+fn dense_edges(n: i64) -> Relation {
+    let mut rows = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let w = ((i * 7 + j * 13) % 32) as f64 / 8.0;
+                rows.push((i, j, w));
+            }
+        }
+    }
+    edge_rel(&rows)
+}
+
+/// Engine answers as (scalar cost, tuple) pairs.
+fn run_engine(
+    q: &ConjunctiveQueryAlias,
+    rels: Vec<Relation>,
+    rank: RankSpec,
+) -> Vec<(f64, Vec<i64>)> {
+    let engine = Engine::from_query_bindings(q, rels);
+    engine
+        .query(q.clone())
+        .rank_by(rank)
+        .plan()
+        .expect("plannable")
+        .map(|a| (a.cost.scalar().expect("scalar rank"), a.ints()))
+        .collect()
+}
+
+type ConjunctiveQueryAlias = anyk::query::cq::ConjunctiveQuery;
+
+/// Hand-wired acyclic reference: GYO + T-DP + ANYK-PART(Lazy).
+fn run_handwired_acyclic<R: RankingFunction>(
+    q: &ConjunctiveQueryAlias,
+    rels: Vec<Relation>,
+) -> Vec<(R::Cost, Vec<i64>)> {
+    let tree = match gyo_reduce(q) {
+        GyoResult::Acyclic(t) => t,
+        _ => panic!("acyclic expected"),
+    };
+    let inst = TdpInstance::<R>::prepare(q, &tree, rels).unwrap();
+    AnyKPart::new(inst, SuccessorKind::Lazy)
+        .map(|a| (a.cost, a.values.iter().map(|v| v.int()).collect()))
+        .collect()
+}
+
+fn assert_same_ranked(got: &[(f64, Vec<i64>)], want: &[(f64, Vec<i64>)], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: cardinality");
+    assert!(
+        got.windows(2).all(|w| w[0].0 <= w[1].0),
+        "{label}: engine stream not sorted"
+    );
+    for (i, ((gc, _), (wc, _))) in got.iter().zip(want).enumerate() {
+        assert_eq!(gc, wc, "{label}: cost at rank {i}");
+    }
+    let mut gv: Vec<_> = got.iter().map(|g| g.1.clone()).collect();
+    let mut wv: Vec<_> = want.iter().map(|w| w.1.clone()).collect();
+    gv.sort();
+    wv.sort();
+    assert_eq!(gv, wv, "{label}: answer multiset");
+}
+
+#[test]
+fn acyclic_path_routes_and_agrees() {
+    let q = path_query(3);
+    let rels = vec![
+        edge_rel(&[(1, 2, 0.5), (1, 3, 0.25), (2, 2, 1.0), (3, 2, 0.125)]),
+        edge_rel(&[(2, 5, 0.5), (2, 6, 2.0), (3, 5, 0.0625)]),
+        edge_rel(&[(5, 7, 1.0), (5, 8, 0.25), (6, 7, 0.5)]),
+    ];
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().unwrap();
+    assert!(matches!(plan.route, Route::Acyclic { .. }), "{plan:?}");
+
+    for rank in [RankSpec::Sum, RankSpec::Max] {
+        let got = run_engine(&q, rels.clone(), rank);
+        let want: Vec<(f64, Vec<i64>)> = match rank {
+            RankSpec::Sum => run_handwired_acyclic::<SumCost>(&q, rels.clone())
+                .into_iter()
+                .map(|(c, v)| (c.get(), v))
+                .collect(),
+            _ => run_handwired_acyclic::<MaxCost>(&q, rels.clone())
+                .into_iter()
+                .map(|(c, v)| (c.get(), v))
+                .collect(),
+        };
+        assert_same_ranked(&got, &want, &format!("path3/{rank}"));
+    }
+}
+
+#[test]
+fn acyclic_path_lex_agrees() {
+    let q = path_query(3);
+    let rels = vec![
+        edge_rel(&[(1, 2, 0.5), (1, 3, 0.25), (3, 2, 0.125)]),
+        edge_rel(&[(2, 5, 0.5), (2, 6, 2.0), (3, 5, 0.0625)]),
+        edge_rel(&[(5, 7, 1.0), (5, 8, 0.25), (6, 7, 0.5)]),
+    ];
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let got: Vec<(Vec<Weight>, Vec<i64>)> = engine
+        .query(q.clone())
+        .rank_by(RankSpec::Lex)
+        .plan()
+        .unwrap()
+        .map(|a| (a.cost.lex().unwrap().to_vec(), a.ints()))
+        .collect();
+    let want = run_handwired_acyclic::<LexCost>(&q, rels);
+    assert_eq!(got.len(), want.len(), "lex cardinality");
+    for (i, ((gc, gv), (wc, wv))) in got.iter().zip(&want).enumerate() {
+        assert_eq!(gc, wc, "lex cost at rank {i}");
+        assert_eq!(gv, wv, "lex tuple at rank {i}");
+    }
+}
+
+#[test]
+fn acyclic_star_routes_and_agrees() {
+    let q = star_query(3);
+    let rels = vec![
+        edge_rel(&[(1, 2, 0.5), (1, 3, 0.25), (2, 4, 1.0)]),
+        edge_rel(&[(1, 5, 0.5), (2, 6, 0.125)]),
+        edge_rel(&[(1, 7, 2.0), (1, 8, 0.0625), (2, 9, 0.5)]),
+    ];
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().unwrap();
+    assert!(matches!(plan.route, Route::Acyclic { .. }));
+
+    let got = run_engine(&q, rels.clone(), RankSpec::Sum);
+    let want: Vec<(f64, Vec<i64>)> = run_handwired_acyclic::<SumCost>(&q, rels)
+        .into_iter()
+        .map(|(c, v)| (c.get(), v))
+        .collect();
+    assert_same_ranked(&got, &want, "star3/sum");
+}
+
+#[test]
+fn triangle_routes_and_agrees() {
+    let q = triangle_query();
+    let e = dense_edges(6);
+    let rels = vec![e.clone(), e.clone(), e.clone()];
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().unwrap();
+    assert!(matches!(plan.route, Route::Triangle), "{plan:?}");
+    assert!((plan.width - 1.5).abs() < 1e-12);
+
+    for rank in [RankSpec::Sum, RankSpec::Max] {
+        let got = run_engine(&q, rels.clone(), rank);
+        let mut want: Vec<(f64, Vec<i64>)> = match rank {
+            RankSpec::Sum => triangle_ranked::<SumCost>(&rels)
+                .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                .collect(),
+            _ => triangle_ranked::<MaxCost>(&rels)
+                .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                .collect(),
+        };
+        want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        assert!(
+            got.windows(2).all(|w| w[0].0 <= w[1].0),
+            "triangle/{rank}: not sorted"
+        );
+        assert_eq!(got_sorted, want, "triangle/{rank}");
+        assert!(!got.is_empty(), "triangle/{rank}: instance has answers");
+    }
+}
+
+#[test]
+fn four_cycle_routes_and_agrees() {
+    let q = cycle_query(4);
+    let e = dense_edges(6);
+    let rels = vec![e.clone(), e.clone(), e.clone(), e.clone()];
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().unwrap();
+    let threshold = match plan.route {
+        Route::FourCycle { threshold } => threshold,
+        ref r => panic!("expected four-cycle route, got {}", r.label()),
+    };
+    assert_eq!(threshold, heavy_threshold(e.len()));
+
+    for rank in [RankSpec::Sum, RankSpec::Max] {
+        let got = run_engine(&q, rels.clone(), rank);
+        let want: Vec<(f64, Vec<i64>)> = match rank {
+            RankSpec::Sum => c4_ranked_part::<SumCost>(&rels, threshold, SuccessorKind::Lazy)
+                .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                .collect(),
+            _ => c4_ranked_part::<MaxCost>(&rels, threshold, SuccessorKind::Lazy)
+                .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                .collect(),
+        };
+        assert_same_ranked(&got, &want, &format!("c4/{rank}"));
+    }
+}
+
+#[test]
+fn generic_cyclic_routes_and_agrees() {
+    // A 5-cycle: cyclic, not a triangle, not a 4-cycle — must take the
+    // decomposition route.
+    let q = cycle_query(5);
+    let e = dense_edges(5);
+    let rels: Vec<Relation> = (0..5).map(|_| e.clone()).collect();
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    let plan = engine.query(q.clone()).explain().unwrap();
+    let decomp = match &plan.route {
+        Route::Decomposed { decomp } => decomp.clone(),
+        r => panic!("expected decomposed route, got {}", r.label()),
+    };
+    // The auto decomposition for a 5-variable query is the exact fhw.
+    let exact = fhw_exact(&Hypergraph::of_query(&q));
+    assert!((plan.width - exact.width).abs() < 1e-9);
+
+    for rank in [RankSpec::Sum, RankSpec::Max] {
+        let got = run_engine(&q, rels.clone(), rank);
+        let want: Vec<(f64, Vec<i64>)> = match rank {
+            RankSpec::Sum => {
+                decomposed_ranked_part::<SumCost>(&q, &rels, &decomp, SuccessorKind::Lazy)
+                    .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                    .collect()
+            }
+            _ => decomposed_ranked_part::<MaxCost>(&q, &rels, &decomp, SuccessorKind::Lazy)
+                .map(|a| (a.cost.get(), a.values.iter().map(|v| v.int()).collect()))
+                .collect(),
+        };
+        assert_same_ranked(&got, &want, &format!("c5/{rank}"));
+    }
+}
+
+#[test]
+fn lex_is_typed_error_on_every_cyclic_shape() {
+    for l in [3usize, 4, 5] {
+        let q = cycle_query(l);
+        let e = dense_edges(4);
+        let rels: Vec<Relation> = (0..l).map(|_| e.clone()).collect();
+        let engine = Engine::from_query_bindings(&q, rels);
+        let err = engine
+            .query(q)
+            .rank_by(RankSpec::Lex)
+            .plan()
+            .expect_err("lex must be rejected on cyclic queries");
+        assert!(
+            matches!(
+                err,
+                EngineError::UnsupportedRanking {
+                    rank: RankSpec::Lex,
+                    ..
+                }
+            ),
+            "cycle({l}): {err}"
+        );
+    }
+}
+
+#[test]
+fn prod_ranking_runs_on_all_routes() {
+    // Prod is commutative: valid everywhere, including cyclic routes.
+    for (label, q, m) in [
+        ("path", path_query(2), 2usize),
+        ("triangle", triangle_query(), 3),
+        ("c4", cycle_query(4), 4),
+        ("c5", cycle_query(5), 5),
+    ] {
+        let e = dense_edges(4);
+        let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+        let engine = Engine::from_query_bindings(&q, rels);
+        let answers: Vec<_> = engine
+            .query(q)
+            .rank_by(RankSpec::Prod)
+            .plan()
+            .unwrap_or_else(|e| panic!("{label}: {e}"))
+            .collect();
+        assert!(
+            answers.windows(2).all(|w| w[0].cost <= w[1].cost),
+            "{label}: prod stream sorted"
+        );
+    }
+}
+
+#[test]
+fn engine_variants_agree_on_four_cycle() {
+    let q = cycle_query(4);
+    let e = dense_edges(5);
+    let rels: Vec<Relation> = (0..4).map(|_| e.clone()).collect();
+    let engine = Engine::from_query_bindings(&q, rels);
+    let costs = |variant| -> Vec<f64> {
+        engine
+            .query(q.clone())
+            .with_variant(variant)
+            .plan()
+            .unwrap()
+            .map(|a| a.cost.scalar().unwrap())
+            .collect()
+    };
+    let part = costs(AnyKVariant::Part(SuccessorKind::Lazy));
+    let rec = costs(AnyKVariant::Rec);
+    assert_eq!(part, rec, "PART and REC agree on cost sequence");
+}

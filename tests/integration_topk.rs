@@ -156,5 +156,8 @@ fn adversarial_depth_gap() {
         "HRJN must pull deep: {}",
         rj.stats().pulled
     );
-    assert!(rj.stats().peak_buffered as usize >= n, "buffers ~ full input");
+    assert!(
+        rj.stats().peak_buffered as usize >= n,
+        "buffers ~ full input"
+    );
 }

@@ -13,11 +13,7 @@ use proptest::prelude::*;
 /// Random binary relation over a small domain with dyadic weights
 /// (exact float arithmetic keeps cost comparisons bitwise).
 fn arb_relation(max_rows: usize, domain: i64) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(
-        (0..domain, 0..domain, 0i32..64),
-        1..=max_rows,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0..domain, 0..domain, 0i32..64), 1..=max_rows).prop_map(|rows| {
         let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
         for (x, y, w) in rows {
             b.push_ints(&[x, y], w as f64 / 4.0);

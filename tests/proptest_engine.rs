@@ -1,0 +1,131 @@
+//! Property test: on random acyclic instances, the planner-routed
+//! `Engine` must produce exactly the stream the `BatchSorted` oracle
+//! produces — same cost sequence, same answer multiset — for every
+//! runtime ranking that is defined there.
+
+use anyk::core::{BatchSorted, LexCost, MaxCost, RankingFunction, SumCost};
+use anyk::prelude::*;
+use anyk::query::cq::ConjunctiveQuery;
+use proptest::prelude::*;
+
+/// Random binary relation over a small domain with dyadic weights
+/// (exact float arithmetic keeps cost comparisons bitwise).
+fn arb_relation(max_rows: usize, domain: i64) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..domain, 0..domain, 0i32..64), 1..=max_rows).prop_map(|rows| {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (x, y, w) in rows {
+            b.push_ints(&[x, y], w as f64 / 4.0);
+        }
+        b.finish()
+    })
+}
+
+fn oracle<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: Vec<Relation>,
+) -> Vec<(R::Cost, Vec<i64>)> {
+    let tree = match gyo_reduce(q) {
+        GyoResult::Acyclic(t) => t,
+        _ => panic!("acyclic expected"),
+    };
+    BatchSorted::<R>::new(q, &tree, rels)
+        .map(|a| (a.cost, a.values.iter().map(|v| v.int()).collect()))
+        .collect()
+}
+
+fn check_scalar_rank(q: &ConjunctiveQuery, rels: Vec<Relation>, rank: RankSpec) {
+    let want: Vec<(Weight, Vec<i64>)> = match rank {
+        RankSpec::Sum => oracle::<SumCost>(q, rels.clone()),
+        RankSpec::Max => oracle::<MaxCost>(q, rels.clone()),
+        _ => unreachable!("test covers Sum and Max"),
+    };
+    let engine = Engine::from_query_bindings(q, rels);
+    let got: Vec<(f64, Vec<i64>)> = engine
+        .query(q.clone())
+        .rank_by(rank)
+        .plan()
+        .expect("acyclic plan")
+        .map(|a| (a.cost.scalar().expect("scalar"), a.ints()))
+        .collect();
+    assert_eq!(got.len(), want.len(), "{rank}: cardinality");
+    for (i, ((gc, _), (wc, _))) in got.iter().zip(&want).enumerate() {
+        assert_eq!(*gc, wc.get(), "{rank}: cost at rank {i}");
+    }
+    let mut gv: Vec<_> = got.into_iter().map(|g| g.1).collect();
+    let mut wv: Vec<_> = want.into_iter().map(|w| w.1).collect();
+    gv.sort();
+    wv.sort();
+    assert_eq!(gv, wv, "{rank}: multiset");
+}
+
+fn check_lex(q: &ConjunctiveQuery, rels: Vec<Relation>) {
+    let want = oracle::<LexCost>(q, rels.clone());
+    let engine = Engine::from_query_bindings(q, rels);
+    let got: Vec<(Vec<Weight>, Vec<i64>)> = engine
+        .query(q.clone())
+        .rank_by(RankSpec::Lex)
+        .plan()
+        .expect("acyclic plan")
+        .map(|a| (a.cost.lex().expect("lex").to_vec(), a.ints()))
+        .collect();
+    assert_eq!(got.len(), want.len(), "lex: cardinality");
+    for (i, ((gc, _), (wc, _))) in got.iter().zip(&want).enumerate() {
+        assert_eq!(gc, wc, "lex: cost at rank {i}");
+    }
+    let mut gv: Vec<_> = got.into_iter().map(|g| g.1).collect();
+    let mut wv: Vec<_> = want.into_iter().map(|w| w.1).collect();
+    gv.sort();
+    wv.sort();
+    assert_eq!(gv, wv, "lex: multiset");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine == BatchSorted on random 2-paths, for runtime Sum/Max/Lex.
+    #[test]
+    fn path2_engine_matches_batch(
+        r1 in arb_relation(20, 5),
+        r2 in arb_relation(20, 5),
+    ) {
+        let q = path_query(2);
+        let rels = vec![r1, r2];
+        check_scalar_rank(&q, rels.clone(), RankSpec::Sum);
+        check_scalar_rank(&q, rels.clone(), RankSpec::Max);
+        check_lex(&q, rels);
+    }
+
+    /// Engine == BatchSorted on random 3-paths.
+    #[test]
+    fn path3_engine_matches_batch(
+        r1 in arb_relation(12, 4),
+        r2 in arb_relation(12, 4),
+        r3 in arb_relation(12, 4),
+    ) {
+        let q = path_query(3);
+        let rels = vec![r1, r2, r3];
+        check_scalar_rank(&q, rels.clone(), RankSpec::Sum);
+        check_lex(&q, rels);
+    }
+
+    /// Engine == BatchSorted on random 3-stars.
+    #[test]
+    fn star3_engine_matches_batch(
+        r1 in arb_relation(10, 4),
+        r2 in arb_relation(10, 4),
+        r3 in arb_relation(10, 4),
+    ) {
+        let q = star_query(3);
+        let rels = vec![r1, r2, r3];
+        check_scalar_rank(&q, rels.clone(), RankSpec::Sum);
+        check_scalar_rank(&q, rels, RankSpec::Max);
+    }
+
+    /// Self-join: one relation at every atom of a 3-path.
+    #[test]
+    fn self_join_engine_matches_batch(r in arb_relation(15, 4)) {
+        let q = path_query(3);
+        let rels = vec![r.clone(), r.clone(), r];
+        check_scalar_rank(&q, rels, RankSpec::Sum);
+    }
+}

@@ -1,8 +1,8 @@
 //! Property-based tests of the query-analysis layer: acyclicity,
 //! widths, and the AGM bound against actual outputs.
 
-use anyk::join::yannakakis::yannakakis_count;
 use anyk::join::generic_join::generic_join_materialize;
+use anyk::join::yannakakis::yannakakis_count;
 use anyk::query::agm::{agm_bound, fractional_edge_cover, integral_edge_cover};
 use anyk::query::cq::{ConjunctiveQuery, QueryBuilder};
 use anyk::query::decompose::{fhw_exact, fhw_greedy};

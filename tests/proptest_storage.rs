@@ -6,8 +6,11 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn arb_rows(max_rows: usize, domain: i64) -> impl Strategy<Value = Vec<(i64, i64, f64)>> {
-    prop::collection::vec((0..domain, 0..domain, 0i32..64), 0..=max_rows)
-        .prop_map(|rows| rows.into_iter().map(|(a, b, w)| (a, b, w as f64 / 4.0)).collect())
+    prop::collection::vec((0..domain, 0..domain, 0i32..64), 0..=max_rows).prop_map(|rows| {
+        rows.into_iter()
+            .map(|(a, b, w)| (a, b, w as f64 / 4.0))
+            .collect()
+    })
 }
 
 fn build(rows: &[(i64, i64, f64)]) -> Relation {

@@ -12,22 +12,20 @@ use proptest::prelude::*;
 /// m lists over a shared object space with dyadic scores in [0, 1].
 fn arb_lists(m: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
     (1..=max_n).prop_flat_map(move |n| {
-        prop::collection::vec(
-            prop::collection::vec(0u32..=4096, n..=n),
-            m..=m,
+        prop::collection::vec(prop::collection::vec(0u32..=4096, n..=n), m..=m).prop_map(
+            move |scoress| {
+                scoress
+                    .into_iter()
+                    .map(|scores| {
+                        scores
+                            .into_iter()
+                            .enumerate()
+                            .map(|(o, s)| (o as u64, s as f64 / 4096.0))
+                            .collect()
+                    })
+                    .collect()
+            },
         )
-        .prop_map(move |scoress| {
-            scoress
-                .into_iter()
-                .map(|scores| {
-                    scores
-                        .into_iter()
-                        .enumerate()
-                        .map(|(o, s)| (o as u64, s as f64 / 4096.0))
-                        .collect()
-                })
-                .collect()
-        })
     })
 }
 
