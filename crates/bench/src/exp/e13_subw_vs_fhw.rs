@@ -1,7 +1,7 @@
-//! E13 (ablation) — §3: "submodular width [decomposes] a cyclic query
+//! E13 (ablation) — §3: "submodular width \[decomposes\] a cyclic query
 //! into a union of multiple trees ... This enables lower widths
 //! compared to decompositions to a single tree. For example, on the
-//! 4-cycle ... the fractional hypertree width [is] d = 2. In contrast,
+//! 4-cycle ... the fractional hypertree width \[is\] d = 2. In contrast,
 //! submodular width is 1.5."
 //!
 //! We run ranked 4-cycle enumeration twice — through the single-tree

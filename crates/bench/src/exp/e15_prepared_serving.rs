@@ -1,0 +1,161 @@
+//! E15 — prepared queries over shared storage: the serving-side payoff
+//! of the paper's TTF-vs-TT(k) decomposition.
+//!
+//! Three claims measured:
+//!
+//! 1. **Prepared re-execution skips preprocessing** — a cold
+//!    `plan()` pays the full reducer + T-DP on every call; a
+//!    `PreparedQuery::stream()` pays only the per-answer delay side.
+//!    TTF of a prepared re-execution must be orders of magnitude (≥
+//!    10×) below a cold plan on a ≥100k-row acyclic query.
+//! 2. **The plan cache amortizes ad-hoc callers automatically** — the
+//!    second `plan()` on the same engine hits the cache and behaves
+//!    like a prepared stream.
+//! 3. **Concurrent serving scales** — N threads pulling full top-k
+//!    streams from one shared `Engine`/`PreparedQuery` multiply
+//!    throughput (enumeration is embarrassingly parallel over the
+//!    shared immutable prepared state).
+
+use crate::util::{banner, fmt_secs, time, Table};
+use anyk_engine::{Engine, RankSpec};
+use anyk_workloads::graphs::WeightDist;
+use anyk_workloads::patterns::path_instance;
+use std::thread;
+
+pub fn run(scale: f64) {
+    banner(
+        "E15: prepared queries — cold plan vs prepared re-execution, concurrent serving",
+        "preprocessing once, per-answer delay many times (§1's TTF/TT(k) split as an API)",
+    );
+    let edges = (100_000.0 * scale).max(2_000.0) as usize;
+    let nodes = (edges / 10).max(10) as u64;
+    let k = 1_000usize;
+    let reps = 5;
+    let inst = path_instance(3, edges, nodes, WeightDist::Uniform, 41);
+    let q = inst.query.clone();
+    let n_total: usize = inst.relations.iter().map(|r| r.len()).sum();
+
+    // Cold: a fresh engine per repetition so the plan cache cannot
+    // help; TTF = plan (preprocessing) + first answer.
+    let mut cold_ttf = f64::INFINITY;
+    for _ in 0..reps {
+        let engine = Engine::from_query_bindings(&q, inst.relations_clone());
+        let (first, t) = time(|| {
+            engine
+                .query(q.clone())
+                .rank_by(RankSpec::Sum)
+                .plan()
+                .expect("plannable")
+                .next()
+        });
+        assert!(first.is_some(), "instance must have answers");
+        cold_ttf = cold_ttf.min(t);
+    }
+
+    // Prepared: route + preprocess once, then re-execute.
+    let engine = Engine::from_query_bindings(&q, inst.relations_clone());
+    let (prepared, prep_time) =
+        time(|| engine.prepare(q.clone(), RankSpec::Sum).expect("plannable"));
+    let mut prep_ttf = f64::INFINITY;
+    for _ in 0..reps {
+        let (first, t) = time(|| prepared.stream().next());
+        assert!(first.is_some());
+        prep_ttf = prep_ttf.min(t);
+    }
+
+    // Cached ad-hoc: same engine, `plan()` again — hits the cache.
+    let mut cached_ttf = f64::INFINITY;
+    for _ in 0..reps {
+        let (first, t) = time(|| {
+            engine
+                .query(q.clone())
+                .rank_by(RankSpec::Sum)
+                .plan()
+                .expect("plannable")
+                .next()
+        });
+        assert!(first.is_some());
+        cached_ttf = cached_ttf.min(t);
+    }
+
+    let mut t = Table::new([
+        "n (rows)",
+        "cold plan() TTF",
+        "prepare (once)",
+        "prepared TTF",
+        "cached plan() TTF",
+        "cold/prepared",
+    ]);
+    t.row([
+        n_total.to_string(),
+        fmt_secs(cold_ttf),
+        fmt_secs(prep_time),
+        fmt_secs(prep_ttf),
+        fmt_secs(cached_ttf),
+        format!("{:.0}x", cold_ttf / prep_ttf.max(1e-12)),
+    ]);
+    t.print();
+    let speedup = cold_ttf / prep_ttf.max(1e-12);
+    // The >= 10x bound is the acceptance criterion at full scale
+    // (>= 100k rows). At smoke scales the prepared TTF sits in the
+    // microsecond range where timer noise on shared CI runners
+    // dominates, so there it is reported rather than asserted.
+    if scale >= 1.0 {
+        assert!(
+            speedup >= 10.0,
+            "prepared re-execution TTF must be >= 10x faster than a cold plan \
+             (got {speedup:.1}x: cold {cold_ttf:.6}s vs prepared {prep_ttf:.9}s)"
+        );
+    } else if speedup < 10.0 {
+        println!("NOTE: speedup below the 10x full-scale bound at this smoke scale ({scale})");
+    }
+    println!(
+        "prepared re-execution reaches the first answer {speedup:.0}x faster than a cold \
+         plan() (acceptance: >= 10x at scale >= 1)"
+    );
+
+    // Concurrent serving: T threads, each pulling a full top-k stream
+    // from the one shared prepared query.
+    let mut t = Table::new([
+        "threads",
+        "answers",
+        "wall",
+        "answers/s",
+        "scaling vs 1 thread",
+    ]);
+    let mut base_rate = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let (total, wall) = time(|| {
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let p = prepared.clone();
+                        s.spawn(move || p.stream().top_k(k).len())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .sum::<usize>()
+            })
+        });
+        let rate = total as f64 / wall.max(1e-12);
+        if threads == 1 {
+            base_rate = rate;
+        }
+        t.row([
+            threads.to_string(),
+            total.to_string(),
+            fmt_secs(wall),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / base_rate.max(1e-12)),
+        ]);
+    }
+    t.print();
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "expected shape: prepared TTF pays only stream seeding (root-group heapify), \
+         cold TTF pays full preprocessing; throughput scales with cores ({cores} \
+         available here) since streams share immutable prepared state without locks"
+    );
+}

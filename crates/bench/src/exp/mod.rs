@@ -19,10 +19,11 @@ pub mod e11_variants_table;
 pub mod e12_widths_table;
 pub mod e13_subw_vs_fhw;
 pub mod e14_engine_routing;
+pub mod e15_prepared_serving;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Dispatch one experiment by id.
@@ -42,6 +43,7 @@ pub fn run(id: &str, scale: f64) -> bool {
         "e12" => e12_widths_table::run(scale),
         "e13" => e13_subw_vs_fhw::run(scale),
         "e14" => e14_engine_routing::run(scale),
+        "e15" => e15_prepared_serving::run(scale),
         _ => return false,
     }
     true

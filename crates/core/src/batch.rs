@@ -23,8 +23,10 @@ use std::collections::BinaryHeap;
 /// Compute all answers with their ranking-function costs. Costs combine
 /// tuple weights in the join tree's serialization (pre-order) order, so
 /// results are comparable with T-DP-based enumerators even for
-/// non-commutative rankings (lexicographic).
-fn materialize_ranked<R: RankingFunction>(
+/// non-commutative rankings (lexicographic). Public so the serving
+/// layer can build a shared sorted-answer artifact
+/// ([`crate::cyclic::SortedAnswers`]) for prepared batch plans.
+pub fn materialize_ranked<R: RankingFunction>(
     q: &ConjunctiveQuery,
     tree: &JoinTree,
     rels: Vec<Relation>,

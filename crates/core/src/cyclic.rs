@@ -25,11 +25,12 @@ use crate::tdp::TdpInstance;
 use crate::union::RankedUnion;
 use anyk_join::c4::{c4_cases, CaseOut};
 use anyk_join::generic_join::generic_join;
-use anyk_query::cq::triangle_query;
+use anyk_query::cq::{triangle_query, ConjunctiveQuery};
 use anyk_storage::{Relation, Value};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// A materialized answer set ranked lazily through a binary heap
 /// (heapify O(r), pop O(log r)).
@@ -88,13 +89,17 @@ impl<C: Ord + Clone + std::fmt::Debug> AnyK for RankedMaterialized<C> {
     type Cost = C;
 }
 
-/// Ranked enumeration of triangles: Generic-Join materialization (the
-/// width-1.5 single bag) + lazy heap ranking.
-pub fn triangle_ranked<R: RankingFunction>(rels: &[Relation]) -> RankedMaterialized<R::Cost> {
-    assert_eq!(rels.len(), 3);
-    let q = triangle_query();
+/// Materialize every answer of `q` worst-case-optimally (Generic-Join)
+/// with its cost under `R`, combining tuple weights in **atom order** —
+/// well-defined for the commutative rankings the cyclic routes accept.
+/// This is both the triangle plan's materialization step and the
+/// materialize-then-sort batch baseline for cyclic routes.
+pub fn wco_ranked_materialize<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+) -> Vec<(R::Cost, Vec<Value>)> {
     let mut items: Vec<(R::Cost, Vec<Value>)> = Vec::new();
-    generic_join(&q, rels, None, &mut |binding, rows| {
+    generic_join(q, rels, None, &mut |binding, rows| {
         let mut cost = R::identity();
         for (a, &r) in rows.iter().enumerate() {
             cost = R::combine(&cost, &R::lift(rels[a].weight(r)));
@@ -102,7 +107,84 @@ pub fn triangle_ranked<R: RankingFunction>(rels: &[Relation]) -> RankedMateriali
         items.push((cost, binding.to_vec()));
         ControlFlow::Continue(())
     });
-    RankedMaterialized::new(items)
+    items
+}
+
+/// Ranked enumeration of triangles: Generic-Join materialization (the
+/// width-1.5 single bag) + lazy heap ranking.
+pub fn triangle_ranked<R: RankingFunction>(rels: &[Relation]) -> RankedMaterialized<R::Cost> {
+    assert_eq!(rels.len(), 3);
+    RankedMaterialized::new(wco_ranked_materialize::<R>(&triangle_query(), rels))
+}
+
+/// A ranked answer set **sorted once and shared**: the prepared form of
+/// every materialize-then-sort plan (the triangle route, and the batch
+/// baseline on cyclic routes). Construction pays the `O(r log r)` sort;
+/// each [`SortedAnswers::stream`] is then a zero-copy cursor over the
+/// shared `Arc` — any number of streams, on any thread, in any order.
+#[derive(Debug, Clone)]
+pub struct SortedAnswers<C> {
+    /// Sorted by `(cost, values)` — a deterministic total order, so
+    /// concurrent streams are byte-identical even among cost ties.
+    items: Arc<Vec<(C, Vec<Value>)>>,
+}
+
+impl<C: Ord + Clone + std::fmt::Debug> SortedAnswers<C> {
+    /// Sort `(cost, values)` pairs into the shared prepared form.
+    pub fn new(mut items: Vec<(C, Vec<Value>)>) -> Self {
+        items.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        SortedAnswers {
+            items: Arc::new(items),
+        }
+    }
+
+    /// Total number of answers.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True iff the query has no answers.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// A fresh independent cursor over the shared sorted answers.
+    pub fn stream(&self) -> SortedStream<C> {
+        SortedStream {
+            items: Arc::clone(&self.items),
+            pos: 0,
+        }
+    }
+}
+
+/// An independent cursor over a [`SortedAnswers`] instance.
+pub struct SortedStream<C> {
+    items: Arc<Vec<(C, Vec<Value>)>>,
+    pos: usize,
+}
+
+impl<C: Ord + Clone + std::fmt::Debug> Iterator for SortedStream<C> {
+    type Item = RankedAnswer<C>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (cost, values) = self.items.get(self.pos)?;
+        self.pos += 1;
+        Some(RankedAnswer {
+            cost: cost.clone(),
+            values: values.clone(),
+        })
+    }
+}
+
+impl<C: Ord + Clone + std::fmt::Debug + Send + Sync> AnyK for SortedStream<C> {
+    type Cost = C;
+}
+
+/// The prepared triangle plan: all triangles materialized
+/// worst-case-optimally and sorted, ready for repeated streaming.
+pub fn prepare_triangle<R: RankingFunction>(rels: &[Relation]) -> SortedAnswers<R::Cost> {
+    assert_eq!(rels.len(), 3);
+    SortedAnswers::new(wco_ranked_materialize::<R>(&triangle_query(), rels))
 }
 
 /// One case stream of the C4 plan: an acyclic enumerator whose answers
@@ -145,6 +227,60 @@ pub enum CyclicEngine {
     Rec,
 }
 
+/// The prepared 4-cycle plan: every case of the submodular-width
+/// union-of-trees split with its T-DP instance behind an `Arc`, so any
+/// number of ranked streams (PART or REC, on any thread) enumerate from
+/// one `O~(n^1.5)` preprocessing pass.
+#[derive(Clone)]
+pub struct PreparedC4<R: RankingFunction> {
+    cases: Vec<(Arc<TdpInstance<R>>, [CaseOut; 4])>,
+}
+
+impl<R: RankingFunction> PreparedC4<R> {
+    /// Run the case split and T-DP preprocessing once. `threshold` is
+    /// the heavy cutoff (see [`anyk_query::cycles::heavy_threshold`]).
+    pub fn prepare(rels: &[Relation], threshold: usize) -> Result<Self, crate::tdp::TdpError> {
+        let mut cases = Vec::new();
+        for case in c4_cases(rels, threshold) {
+            let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
+            cases.push((Arc::new(inst), case.out));
+        }
+        Ok(PreparedC4 { cases })
+    }
+
+    /// Number of cases in the union-of-trees split.
+    pub fn num_cases(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// A fresh ranked stream driven by ANYK-PART with successor order
+    /// `kind`, enumerating from the shared prepared cases.
+    pub fn stream_part(&self, kind: SuccessorKind) -> RankedUnion<CaseStream<AnyKPart<R>>> {
+        RankedUnion::new(
+            self.cases
+                .iter()
+                .map(|(inst, out)| CaseStream {
+                    inner: AnyKPart::new(Arc::clone(inst), kind),
+                    out: *out,
+                })
+                .collect(),
+        )
+    }
+
+    /// A fresh ranked stream driven by ANYK-REC.
+    pub fn stream_rec(&self) -> RankedUnion<CaseStream<AnyKRec<R>>> {
+        RankedUnion::new(
+            self.cases
+                .iter()
+                .map(|(inst, out)| CaseStream {
+                    inner: AnyKRec::new(Arc::clone(inst)),
+                    out: *out,
+                })
+                .collect(),
+        )
+    }
+}
+
 /// Ranked enumeration of 4-cycles via the submodular-width
 /// union-of-trees plan, driven by ANYK-PART. `threshold` is the heavy
 /// cutoff (see [`anyk_query::cycles::heavy_threshold`]). Output
@@ -160,22 +296,14 @@ pub fn c4_ranked_part<R: RankingFunction>(
 }
 
 /// Fallible form of [`c4_ranked_part`]: surfaces a case query/tree
-/// mismatch as a [`TdpError`] instead of panicking (the seam the
+/// mismatch as a [`TdpError`](crate::tdp::TdpError) instead of panicking (the seam the
 /// engine layer routes through).
 pub fn try_c4_ranked_part<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
     kind: SuccessorKind,
 ) -> Result<RankedUnion<CaseStream<AnyKPart<R>>>, crate::tdp::TdpError> {
-    let mut streams = Vec::new();
-    for case in c4_cases(rels, threshold) {
-        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
-        streams.push(CaseStream {
-            inner: AnyKPart::new(inst, kind),
-            out: case.out,
-        });
-    }
-    Ok(RankedUnion::new(streams))
+    Ok(PreparedC4::prepare(rels, threshold)?.stream_part(kind))
 }
 
 /// Ranked enumeration of 4-cycles driven by ANYK-REC.
@@ -191,15 +319,7 @@ pub fn try_c4_ranked_rec<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
 ) -> Result<RankedUnion<CaseStream<AnyKRec<R>>>, crate::tdp::TdpError> {
-    let mut streams = Vec::new();
-    for case in c4_cases(rels, threshold) {
-        let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
-        streams.push(CaseStream {
-            inner: AnyKRec::new(inst),
-            out: case.out,
-        });
-    }
-    Ok(RankedUnion::new(streams))
+    Ok(PreparedC4::prepare(rels, threshold)?.stream_rec())
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use anyk_query::cq::ConjunctiveQuery;
 use anyk_query::decompose::{fhw_exact, fhw_greedy, Decomposition};
 use anyk_query::hypergraph::Hypergraph;
 use anyk_storage::Relation;
+use std::sync::Arc;
 
 /// An any-k stream whose answers are re-ordered from bag-query variable
 /// order back to the original query's `VarId` order.
@@ -45,6 +46,14 @@ impl<I: AnyK> Iterator for DecomposedRanked<I> {
     }
 }
 
+impl<I: AnyK> DecomposedRanked<I> {
+    /// Wrap an any-k stream over a bag query with the permutation that
+    /// maps bag-query variable order back to the original query's.
+    pub fn new(inner: I, perm: Vec<usize>) -> Self {
+        DecomposedRanked { inner, perm }
+    }
+}
+
 impl<I: AnyK> AnyK for DecomposedRanked<I> {
     type Cost = I::Cost;
 }
@@ -57,6 +66,50 @@ fn var_permutation(q: &ConjunctiveQuery, bag_query: &ConjunctiveQuery) -> Vec<us
                 .expect("bags cover every variable")
         })
         .collect()
+}
+
+/// The prepared GHD plan: bags materialized worst-case-optimally, the
+/// bag-level T-DP run once, the instance shared behind an `Arc` — any
+/// number of PART/REC streams (on any thread) enumerate from one
+/// `O~(n^fhw)` preprocessing pass.
+#[derive(Clone)]
+pub struct PreparedDecomposed<R: RankingFunction> {
+    inst: Arc<TdpInstance<R>>,
+    perm: Vec<usize>,
+}
+
+impl<R: RankingFunction> PreparedDecomposed<R> {
+    /// Materialize the bags of `decomp` and run T-DP once.
+    pub fn prepare(
+        q: &ConjunctiveQuery,
+        rels: &[Relation],
+        decomp: &Decomposition,
+    ) -> Result<Self, crate::tdp::TdpError> {
+        let plan = ghd_plan(q, rels, decomp);
+        let perm = var_permutation(q, &plan.bag_query);
+        let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
+        Ok(PreparedDecomposed {
+            inst: Arc::new(inst),
+            perm,
+        })
+    }
+
+    /// A fresh ranked stream driven by ANYK-PART with successor order
+    /// `kind`, enumerating from the shared prepared instance.
+    pub fn stream_part(&self, kind: SuccessorKind) -> DecomposedRanked<AnyKPart<R>> {
+        DecomposedRanked {
+            inner: AnyKPart::new(Arc::clone(&self.inst), kind),
+            perm: self.perm.clone(),
+        }
+    }
+
+    /// A fresh ranked stream driven by ANYK-REC.
+    pub fn stream_rec(&self) -> DecomposedRanked<AnyKRec<R>> {
+        DecomposedRanked {
+            inner: AnyKRec::new(Arc::clone(&self.inst)),
+            perm: self.perm.clone(),
+        }
+    }
 }
 
 /// Ranked enumeration of a (possibly cyclic) query through `decomp`,
@@ -73,7 +126,7 @@ pub fn decomposed_ranked_part<R: RankingFunction>(
 }
 
 /// Fallible form of [`decomposed_ranked_part`]: surfaces a bag
-/// query/tree mismatch as a [`TdpError`] instead of panicking (the
+/// query/tree mismatch as a [`TdpError`](crate::tdp::TdpError) instead of panicking (the
 /// seam the engine layer routes through).
 pub fn try_decomposed_ranked_part<R: RankingFunction>(
     q: &ConjunctiveQuery,
@@ -81,13 +134,7 @@ pub fn try_decomposed_ranked_part<R: RankingFunction>(
     decomp: &Decomposition,
     kind: SuccessorKind,
 ) -> Result<DecomposedRanked<AnyKPart<R>>, crate::tdp::TdpError> {
-    let plan = ghd_plan(q, rels, decomp);
-    let perm = var_permutation(q, &plan.bag_query);
-    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
-    Ok(DecomposedRanked {
-        inner: AnyKPart::new(inst, kind),
-        perm,
-    })
+    Ok(PreparedDecomposed::prepare(q, rels, decomp)?.stream_part(kind))
 }
 
 /// Ranked enumeration through `decomp`, driven by ANYK-REC.
@@ -105,13 +152,7 @@ pub fn try_decomposed_ranked_rec<R: RankingFunction>(
     rels: &[Relation],
     decomp: &Decomposition,
 ) -> Result<DecomposedRanked<AnyKRec<R>>, crate::tdp::TdpError> {
-    let plan = ghd_plan(q, rels, decomp);
-    let perm = var_permutation(q, &plan.bag_query);
-    let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
-    Ok(DecomposedRanked {
-        inner: AnyKRec::new(inst),
-        perm,
-    })
+    Ok(PreparedDecomposed::prepare(q, rels, decomp)?.stream_rec())
 }
 
 /// Pick a decomposition for `q` automatically: exact fhw for queries

@@ -68,14 +68,15 @@ pub mod union;
 pub mod unranked;
 
 pub use answer::{AnyK, RankedAnswer};
-pub use batch::{BatchHeap, BatchSorted};
+pub use batch::{materialize_ranked, BatchHeap, BatchSorted};
 pub use cyclic::{
-    c4_ranked_part, c4_ranked_rec, triangle_ranked, try_c4_ranked_part, try_c4_ranked_rec,
-    RankedMaterialized,
+    c4_ranked_part, c4_ranked_rec, prepare_triangle, triangle_ranked, try_c4_ranked_part,
+    try_c4_ranked_rec, wco_ranked_materialize, PreparedC4, RankedMaterialized, SortedAnswers,
+    SortedStream,
 };
 pub use decomposed::{
     auto_decomposition, decomposed_ranked_part, decomposed_ranked_rec, ranked_auto,
-    try_decomposed_ranked_part, try_decomposed_ranked_rec, DecomposedRanked,
+    try_decomposed_ranked_part, try_decomposed_ranked_rec, DecomposedRanked, PreparedDecomposed,
 };
 pub use ksp::{k_shortest_paths, LayeredDag};
 pub use part::AnyKPart;

@@ -26,9 +26,10 @@ use crate::answer::RankedAnswer;
 use crate::ranking::RankingFunction;
 use crate::succorder::{GroupOrder, MemberRef, SuccessorKind};
 use crate::tdp::TdpInstance;
-use anyk_storage::RowId;
+use anyk_storage::{FxHashMap, RowId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A candidate: a not-yet-materialized solution identified by its parent
 /// solution plus one deviation.
@@ -105,10 +106,17 @@ struct Solution<C> {
 /// assert_eq!(costs, vec![0.375, 0.75]); // cheapest first
 /// ```
 pub struct AnyKPart<R: RankingFunction> {
-    inst: TdpInstance<R>,
+    /// The shared prepared instance: many enumerators (on any thread)
+    /// can run over one preprocessing pass.
+    inst: Arc<TdpInstance<R>>,
     kind: SuccessorKind,
-    /// slot -> group -> successor order.
-    orders: Vec<Vec<GroupOrder<R::Cost>>>,
+    /// slot -> group id -> successor order, built **lazily on first
+    /// touch**: a pop touches at most one group per later slot, so a
+    /// top-k enumeration only ever organizes the groups its solutions
+    /// actually deviate through. This keeps stream-spawn cost
+    /// proportional to the answers pulled, not to `n` — the property
+    /// the prepare-once/stream-many serving path relies on.
+    orders: Vec<FxHashMap<u32, GroupOrder<R::Cost>>>,
     heap: BinaryHeap<Candidate<R::Cost>>,
     arena: Vec<Solution<R::Cost>>,
     seq: u64,
@@ -125,30 +133,17 @@ impl<R: RankingFunction> AnyKPart<R> {
     /// Build the enumerator. Constructing the successor orders is part
     /// of the variant's preprocessing (Eager pays its full sort here;
     /// Take2/Lazy heapify; All scans for minima; Quick only copies).
-    pub fn new(inst: TdpInstance<R>, kind: SuccessorKind) -> Self {
+    ///
+    /// Accepts either an owned [`TdpInstance`] (single-stream use) or an
+    /// `Arc<TdpInstance>` — the prepare-once/enumerate-many path, where
+    /// every stream reads the *same* reduced relations and groups.
+    pub fn new(inst: impl Into<Arc<TdpInstance<R>>>, kind: SuccessorKind) -> Self {
+        let inst = inst.into();
         let m = inst.num_slots();
-        let mut orders: Vec<Vec<GroupOrder<R::Cost>>> = Vec::with_capacity(m);
-        if inst.is_empty() {
-            orders.resize_with(m, Vec::new);
-        } else {
-            for s in 0..m {
-                let slot_orders: Vec<GroupOrder<R::Cost>> = inst.groups[s]
-                    .iter()
-                    .map(|members| {
-                        let items: Vec<(R::Cost, RowId)> = members
-                            .iter()
-                            .map(|&r| (inst.subcost[s][r as usize].clone(), r))
-                            .collect();
-                        GroupOrder::build(kind, items)
-                    })
-                    .collect();
-                orders.push(slot_orders);
-            }
-        }
         let mut this = AnyKPart {
             inst,
             kind,
-            orders,
+            orders: std::iter::repeat_with(FxHashMap::default).take(m).collect(),
             heap: BinaryHeap::new(),
             arena: Vec::new(),
             seq: 0,
@@ -158,7 +153,7 @@ impl<R: RankingFunction> AnyKPart<R> {
         };
         if !this.inst.is_empty() {
             // Seed with the top-1 candidate: the root group's best.
-            let (mref, cost, _row) = this.orders[0][0].best();
+            let (mref, cost, _row) = this.order(0, 0).best();
             this.seq += 1;
             this.heap.push(Candidate {
                 cost,
@@ -170,6 +165,22 @@ impl<R: RankingFunction> AnyKPart<R> {
             });
         }
         this
+    }
+
+    /// The successor order of `group` at `slot`, built on first touch
+    /// (the variant pays its per-group organization cost here: Eager
+    /// sorts, Take2/Lazy heapify, All scans for the minimum, Quick only
+    /// copies).
+    fn order(&mut self, slot: usize, group: u32) -> &mut GroupOrder<R::Cost> {
+        let inst = &self.inst;
+        let kind = self.kind;
+        self.orders[slot].entry(group).or_insert_with(|| {
+            let items: Vec<(R::Cost, RowId)> = inst.groups[slot][group as usize]
+                .iter()
+                .map(|&r| (inst.subcost[slot][r as usize].clone(), r))
+                .collect();
+            GroupOrder::build(kind, items)
+        })
     }
 
     /// The successor-order variant in use.
@@ -203,7 +214,9 @@ impl<R: RankingFunction> AnyKPart<R> {
     fn materialize(&mut self, cand: &Candidate<R::Cost>) -> Solution<R::Cost> {
         let m = self.inst.num_slots();
         let dev = cand.dev_slot as usize;
-        let (_, dev_row) = self.orders[dev][cand.group as usize].member(cand.member);
+        // The candidate's member ref was handed out by this group's
+        // order, so the order exists already.
+        let (_, dev_row) = self.order(dev, cand.group).member(cand.member);
 
         let mut rows = vec![0 as RowId; m];
         if cand.parent == u32::MAX {
@@ -252,12 +265,12 @@ impl<R: RankingFunction> AnyKPart<R> {
                 (group, member)
             } else {
                 let gj = self.inst.group_at(j, &self.arena[sol_idx as usize].rows);
-                let (bref, _, _) = self.orders[j][gj as usize].best();
+                let (bref, _, _) = self.order(j, gj).best();
                 (gj, bref)
             };
             let mut succ = std::mem::take(&mut self.succ_buf);
             succ.clear();
-            self.orders[j][gj as usize].successors(base, &mut succ);
+            self.order(j, gj).successors(base, &mut succ);
             let end_j = self.inst.subtree_end[j];
             for (sref, scost, _srow) in succ.drain(..) {
                 let sol = &self.arena[sol_idx as usize];

@@ -24,9 +24,14 @@ use std::fmt::Debug;
 
 /// A ranking function over tuple weights. See module docs for the laws;
 /// they are property-tested in this module.
-pub trait RankingFunction: Clone + 'static {
+///
+/// Both the function and its cost are `Send + Sync`: prepared any-k
+/// state ([`TdpInstance`](crate::tdp::TdpInstance) and the materialized
+/// cyclic plans) is shared across threads by the serving layer, so
+/// everything it stores — costs included — must be shareable.
+pub trait RankingFunction: Clone + Send + Sync + 'static {
     /// Totally ordered cost; smaller = better (ranked earlier).
-    type Cost: Clone + Ord + Debug;
+    type Cost: Clone + Ord + Debug + Send + Sync;
 
     /// Lift one tuple weight into a cost.
     fn lift(w: Weight) -> Self::Cost;

@@ -25,6 +25,7 @@ use crate::tdp::TdpInstance;
 use anyk_storage::RowId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Frontier entry of a group stream: the next unconsumed rank of one
 /// member's tuple stream.
@@ -105,7 +106,8 @@ struct TupleStream<C> {
 /// assert_eq!(costs, vec![1.5, 3.0]);
 /// ```
 pub struct AnyKRec<R: RankingFunction> {
-    inst: TdpInstance<R>,
+    /// The shared prepared instance (see [`AnyKPart`](crate::part::AnyKPart)).
+    inst: Arc<TdpInstance<R>>,
     /// slot -> base offset into `gstreams` (flat id = base + group id).
     group_base: Vec<usize>,
     /// slot -> base offset into `tstreams` (flat id = base + row id).
@@ -121,8 +123,11 @@ pub struct AnyKRec<R: RankingFunction> {
 
 impl<R: RankingFunction> AnyKRec<R> {
     /// Build the enumerator (stream shells only — constant work beyond
-    /// the T-DP preprocessing already paid in `inst`).
-    pub fn new(inst: TdpInstance<R>) -> Self {
+    /// the T-DP preprocessing already paid in `inst`). Accepts an owned
+    /// [`TdpInstance`] or a shared `Arc<TdpInstance>` (the
+    /// prepare-once/enumerate-many path).
+    pub fn new(inst: impl Into<Arc<TdpInstance<R>>>) -> Self {
+        let inst = inst.into();
         let m = inst.num_slots();
         let mut group_base = Vec::with_capacity(m);
         let mut tuple_base = Vec::with_capacity(m);

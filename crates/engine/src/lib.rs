@@ -9,6 +9,21 @@
 //! queries, the specialized union-of-trees plans for triangles and
 //! 4-cycles, GHD decompositions for everything else.
 //!
+//! ## Serving model
+//!
+//! The paper splits ranked enumeration into `O~(n^w)` **preprocessing**
+//! and cheap **per-answer delay**; the engine splits the API the same
+//! way. [`Engine::prepare`] routes and preprocesses exactly once and
+//! returns a [`PreparedQuery`] whose [`stream`](PreparedQuery::stream)
+//! spawns any number of independent ranked streams — preprocessing is
+//! never repeated. The ad-hoc path `query(..).plan()` is backed by an
+//! internal cache keyed on (query signature, ranking, batch-ness), so
+//! repeated ad-hoc queries amortize automatically. `Engine` is
+//! `Clone + Send + Sync`: clones are handles to the same catalog and
+//! cache, and any number of threads may plan and stream concurrently.
+//! Catalog updates go through [`Engine::update_catalog`], which bumps
+//! an epoch — cached plans from older epochs are never served again.
+//!
 //! ```
 //! use anyk_engine::{Engine, RankSpec};
 //! use anyk_query::cq::QueryBuilder;
@@ -36,28 +51,22 @@
 
 mod error;
 mod plan;
+mod prepared;
 mod rank;
 mod stream;
 
 pub use error::EngineError;
 pub use plan::{AnyKVariant, EngineOpts, Plan, Route};
+pub use prepared::PreparedQuery;
 pub use rank::{Cost, IntoCost, RankSpec};
 pub use stream::{RankedAnswer, RankedStream};
 
-use anyk_core::batch::BatchSorted;
-use anyk_core::cyclic::{triangle_ranked, try_c4_ranked_part, try_c4_ranked_rec};
-use anyk_core::decomposed::{
-    auto_decomposition, try_decomposed_ranked_part, try_decomposed_ranked_rec,
-};
-use anyk_core::part::AnyKPart;
-use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
-use anyk_core::rec::AnyKRec;
-use anyk_core::succorder::SuccessorKind;
-use anyk_core::tdp::TdpInstance;
+use anyk_core::decomposed::auto_decomposition;
 use anyk_query::cq::ConjunctiveQuery;
 use anyk_query::cycles::{cycle_length, cycle_submodular_width, heavy_threshold};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
-use anyk_storage::{Catalog, Relation};
+use anyk_storage::{Catalog, FxHashMap, Relation};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The unified, planner-routed engine for ranked enumeration.
 ///
@@ -66,7 +75,7 @@ use anyk_storage::{Catalog, Relation};
 /// | query shape | route | algorithm | preprocessing | delay |
 /// |---|---|---|---|---|
 /// | α-acyclic (GYO succeeds) | [`Route::Acyclic`] | T-DP + ANYK-PART / ANYK-REC / batch | `O~(n)` | `O~(1)` |
-/// | triangle `R(a,b)⋈S(b,c)⋈T(c,a)` | [`Route::Triangle`] | Generic-Join materialization + lazy heap | `O~(n^1.5)` | `O(log r)` |
+/// | triangle `R(a,b)⋈S(b,c)⋈T(c,a)` | [`Route::Triangle`] | Generic-Join materialization + shared sorted answers | `O~(n^1.5)` | `O(1)` |
 /// | 4-cycle | [`Route::FourCycle`] | submodular-width union-of-trees, k-way merge | `O~(n^1.5)` | `O~(1)` |
 /// | any other cyclic query | [`Route::Decomposed`] | GHD bags (exact fhw ≤ 9 vars, greedy beyond) + any-k | `O~(n^fhw)` | `O~(1)` |
 ///
@@ -79,25 +88,99 @@ use anyk_storage::{Catalog, Relation};
 /// All failure modes are typed ([`EngineError`]): unknown relations,
 /// arity mismatches, unsupported rankings. The planner never panics
 /// on user input.
-#[derive(Debug)]
+///
+/// # Sharing and concurrency
+///
+/// `Engine` is `Clone + Send + Sync`. A clone is a *handle* to the same
+/// underlying state — catalog, plan cache, epoch — so cloning an engine
+/// into N worker threads gives all of them the same amortization.
+/// Relations themselves are `Arc`-backed handles
+/// ([`anyk_storage::Relation`]): resolving a query's atoms is a
+/// refcount bump per atom, never an `O(n)` copy.
+#[derive(Clone)]
 pub struct Engine {
-    catalog: Catalog,
+    shared: Arc<EngineShared>,
     opts: EngineOpts,
+}
+
+/// State shared by all clones of one [`Engine`].
+struct EngineShared {
+    /// The catalog plus its epoch, swapped copy-on-write under a write
+    /// lock by [`Engine::update_catalog`]. Reads take a snapshot
+    /// (`Arc` clone) and never block behind preprocessing.
+    catalog: RwLock<CatalogState>,
+    /// Prepared plans keyed by (query signature, ranking, batch-ness).
+    /// Entries record the epoch they were prepared at and are served
+    /// only while the catalog is still at that epoch.
+    cache: Mutex<FxHashMap<CacheKey, PreparedQuery>>,
+}
+
+#[derive(Debug)]
+struct CatalogState {
+    catalog: Arc<Catalog>,
+    epoch: u64,
+}
+
+/// Cache key for prepared plans. The `batch` flag is part of the key
+/// because batch plans prepare a different artifact (materialized
+/// sorted answers) than the any-k variants (T-DP state) — while all
+/// PART successor orders and REC share one entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    sig: String,
+    rank: RankSpec,
+    batch: bool,
+}
+
+impl CacheKey {
+    fn new(cq: &ConjunctiveQuery, rank: RankSpec, opts: EngineOpts) -> Self {
+        CacheKey {
+            sig: cq.to_string(),
+            rank,
+            batch: matches!(opts.variant, AnyKVariant::Batch),
+        }
+    }
+}
+
+// The serving contract: one engine / one prepared query, any number of
+// threads. Enforced at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Catalog>();
+};
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("epoch", &self.catalog_epoch())
+            .field("cached_plans", &self.cached_plans())
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Engine {
     /// An engine over `catalog` with default options
     /// (ANYK-PART(Lazy), the paper's overall winner).
     pub fn new(catalog: Catalog) -> Self {
-        Engine {
-            catalog,
-            opts: EngineOpts::default(),
-        }
+        Engine::with_opts(catalog, EngineOpts::default())
     }
 
     /// An engine with explicit execution options.
     pub fn with_opts(catalog: Catalog, opts: EngineOpts) -> Self {
-        Engine { catalog, opts }
+        Engine {
+            shared: Arc::new(EngineShared {
+                catalog: RwLock::new(CatalogState {
+                    catalog: Arc::new(catalog),
+                    epoch: 0,
+                }),
+                cache: Mutex::new(FxHashMap::default()),
+            }),
+            opts,
+        }
     }
 
     /// Build an engine by registering `rels[i]` under the relation
@@ -120,9 +203,9 @@ impl Engine {
     /// rejects a relation list whose length differs from the atom
     /// count, and atoms sharing a name but bound to different
     /// relations — either would silently run the query on the wrong
-    /// data. The conflict check is a full comparison, but runs only
-    /// when names collide and is strictly cheaper than the join that
-    /// would otherwise produce wrong answers.
+    /// data. The conflict check compares shared handles first
+    /// (pointer equality), so rebinding the same `Arc`-backed relation
+    /// is free.
     pub fn try_from_query_bindings(
         q: &ConjunctiveQuery,
         rels: Vec<Relation>,
@@ -147,18 +230,69 @@ impl Engine {
         Ok(Engine::new(catalog))
     }
 
-    /// The catalog (to resolve symbols, inspect relations).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// A snapshot of the catalog (to resolve symbols, inspect
+    /// relations). Cheap: an `Arc` clone, no relation data is copied.
+    /// The snapshot is immutable; concurrent [`Engine::update_catalog`]
+    /// calls produce *new* catalog versions without disturbing it.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.read_state().0
     }
 
-    /// Mutable catalog access (to register or replace relations).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// The current catalog epoch: bumped by every
+    /// [`Engine::update_catalog`]. Prepared plans record the epoch they
+    /// were built at; the internal cache serves an entry only while its
+    /// epoch is current, so a stale plan can never be served.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.read_state().1
+    }
+
+    /// Mutate the catalog (register, replace, or remove relations) and
+    /// bump the epoch, invalidating every cached plan. This replaces
+    /// the old `catalog_mut` accessor: mutation through a closure is
+    /// the only write path, so the cache-epoch bump can never be
+    /// forgotten. Copy-on-write: relation payloads shared with live
+    /// snapshots or prepared queries are not copied — only the catalog
+    /// map is.
+    ///
+    /// The closure runs while the catalog **write lock** is held, which
+    /// serializes updates (no lost-update races between concurrent
+    /// writers). Consequently the closure must not call back into this
+    /// engine (`catalog()`, `plan()`, `register`, a nested
+    /// `update_catalog`, …) — the lock is not reentrant and such a call
+    /// would deadlock. Read what you need *before* updating; the
+    /// closure receives the up-to-date catalog as its argument.
+    pub fn update_catalog<F: FnOnce(&mut Catalog)>(&self, f: F) {
+        {
+            let mut st = self.shared.catalog.write().expect("catalog lock poisoned");
+            f(Arc::make_mut(&mut st.catalog));
+            st.epoch += 1;
+        }
+        // Outside the write lock: eagerly drop stale entries. Purely an
+        // eviction — correctness comes from the epoch check on every
+        // cache hit, so an entry inserted by a racing prepare between
+        // the bump and this clear is merely unused memory, never served.
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .clear();
+    }
+
+    /// Register (or replace) one relation — convenience wrapper over
+    /// [`Engine::update_catalog`].
+    pub fn register<S: Into<String>>(&self, name: S, rel: Relation) {
+        let name = name.into();
+        self.update_catalog(|c| c.register(name, rel));
+    }
+
+    /// Number of prepared plans currently cached (diagnostics).
+    pub fn cached_plans(&self) -> usize {
+        self.shared.cache.lock().expect("cache lock poisoned").len()
     }
 
     /// Start planning `cq`. Returns a request builder; nothing
-    /// executes until [`QueryRequest::plan`].
+    /// executes until [`QueryRequest::plan`] /
+    /// [`QueryRequest::prepare`].
     pub fn query(&self, cq: ConjunctiveQuery) -> QueryRequest<'_> {
         QueryRequest {
             engine: self,
@@ -168,28 +302,151 @@ impl Engine {
         }
     }
 
-    /// Resolve each atom's relation from the catalog by reference,
-    /// checking arity. Borrowed so that planning (`explain`) never
-    /// copies relation data; execution clones exactly once.
-    fn resolve<'a>(&'a self, cq: &ConjunctiveQuery) -> Result<Vec<&'a Relation>, EngineError> {
-        if cq.num_atoms() == 0 {
-            return Err(EngineError::EmptyQuery);
-        }
-        let mut rels = Vec::with_capacity(cq.num_atoms());
-        for (i, atom) in cq.atoms().iter().enumerate() {
-            let rel = self.catalog.lookup(&atom.relation)?;
-            if rel.arity() != atom.vars.len() {
-                return Err(EngineError::ArityMismatch {
-                    atom: i,
-                    relation: atom.relation.clone(),
-                    expected: atom.vars.len(),
-                    found: rel.arity(),
-                });
-            }
-            rels.push(rel);
-        }
-        Ok(rels)
+    /// Route and preprocess `cq` under `rank` exactly once, returning a
+    /// shareable [`PreparedQuery`]. This is the prepare-once/
+    /// execute-many serving path: `prepare` pays the full `O~(n^w)`
+    /// preprocessing; every [`PreparedQuery::stream`] afterwards costs
+    /// only the per-answer delay side. Results also land in the
+    /// engine's plan cache, so subsequent ad-hoc
+    /// [`plan`](QueryRequest::plan) calls for the same query hit it.
+    pub fn prepare(
+        &self,
+        cq: ConjunctiveQuery,
+        rank: RankSpec,
+    ) -> Result<PreparedQuery, EngineError> {
+        self.query(cq).rank_by(rank).prepare()
     }
+
+    fn read_state(&self) -> (Arc<Catalog>, u64) {
+        let st = self.shared.catalog.read().expect("catalog lock poisoned");
+        (Arc::clone(&st.catalog), st.epoch)
+    }
+
+    /// Get-or-build the prepared query for `(cq, rank, opts)` through
+    /// the cache. Concurrent misses may prepare twice (last insert
+    /// wins) — wasted work, never wrong results.
+    fn prepare_cached(
+        &self,
+        cq: &ConjunctiveQuery,
+        rank: RankSpec,
+        opts: EngineOpts,
+    ) -> Result<PreparedQuery, EngineError> {
+        let mut key = CacheKey::new(cq, rank, opts);
+        let (catalog, epoch) = self.read_state();
+        {
+            let cache = self.shared.cache.lock().expect("cache lock poisoned");
+            if let Some(hit) = cache.get(&key) {
+                if hit.epoch() == epoch {
+                    return Ok(hit.adopt_variant(opts.variant));
+                }
+            }
+            // Triangle plans build the same sorted artifact whether or
+            // not Batch was requested, and are stored under
+            // `batch: false` — accept that entry for a Batch request
+            // rather than materializing a duplicate.
+            if key.batch {
+                let alt = CacheKey {
+                    batch: false,
+                    ..key.clone()
+                };
+                if let Some(hit) = cache.get(&alt) {
+                    if hit.epoch() == epoch && matches!(hit.plan().route, Route::Triangle) {
+                        return Ok(hit.adopt_variant(opts.variant));
+                    }
+                }
+            }
+        }
+        let rels = resolve(&catalog, cq)?;
+        let plan = make_plan(cq, rank, opts, &rels)?;
+        if matches!(plan.route, Route::Triangle) {
+            // Normalize: one cache entry serves Batch and any-k alike.
+            key.batch = false;
+        }
+        let prepared = PreparedQuery::build(plan, rels, key.batch, epoch)?;
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, prepared.clone());
+        Ok(prepared)
+    }
+}
+
+/// Resolve each atom's relation from the catalog, checking arity.
+/// Returns shared handles — each entry is a refcount bump on the
+/// catalog's `Arc`-backed payload, never a tuple copy.
+fn resolve(catalog: &Catalog, cq: &ConjunctiveQuery) -> Result<Vec<Relation>, EngineError> {
+    if cq.num_atoms() == 0 {
+        return Err(EngineError::EmptyQuery);
+    }
+    let mut rels = Vec::with_capacity(cq.num_atoms());
+    for (i, atom) in cq.atoms().iter().enumerate() {
+        let rel = catalog.lookup(&atom.relation)?;
+        if rel.arity() != atom.vars.len() {
+            return Err(EngineError::ArityMismatch {
+                atom: i,
+                relation: atom.relation.clone(),
+                expected: atom.vars.len(),
+                found: rel.arity(),
+            });
+        }
+        rels.push(rel.clone());
+    }
+    Ok(rels)
+}
+
+/// Route the query. Relations are needed only for the 4-cycle's
+/// heavy threshold (≈ √n).
+fn make_plan(
+    cq: &ConjunctiveQuery,
+    rank: RankSpec,
+    opts: EngineOpts,
+    rels: &[Relation],
+) -> Result<Plan, EngineError> {
+    let route = match gyo_reduce(cq) {
+        GyoResult::Acyclic(tree) => Route::Acyclic { tree },
+        GyoResult::Cyclic(_) => match cycle_length(cq) {
+            Some(3) => Route::Triangle,
+            Some(4) => {
+                let n = rels.iter().map(Relation::len).max().unwrap_or(0);
+                Route::FourCycle {
+                    threshold: heavy_threshold(n),
+                }
+            }
+            _ => Route::Decomposed {
+                decomp: auto_decomposition(cq),
+            },
+        },
+    };
+    if !matches!(route, Route::Acyclic { .. }) && !rank.is_commutative() {
+        return Err(EngineError::UnsupportedRanking {
+            rank,
+            why: "cyclic routes serialize atoms in per-case orders; \
+                  the ranking must be commutative",
+        });
+    }
+    let width = match &route {
+        Route::Acyclic { .. } => 1.0,
+        Route::Triangle => cycle_submodular_width(3),
+        Route::FourCycle { .. } => cycle_submodular_width(4),
+        Route::Decomposed { decomp } => decomp.width,
+    };
+    // Record the *effective* variant so `explain` never reports a
+    // variant that does not run: the triangle plan has a single
+    // implementation (materialize + shared sorted answers) that no
+    // variant choice affects. Batch is honored on every other route —
+    // cyclic routes materialize worst-case-optimally and sort.
+    let variant = match &route {
+        Route::Triangle => None,
+        _ => Some(opts.variant),
+    };
+    Ok(Plan {
+        query: cq.clone(),
+        route,
+        rank,
+        variant,
+        width,
+    })
 }
 
 /// A query being configured: `engine.query(cq).rank_by(...).plan()?`.
@@ -223,156 +480,31 @@ impl QueryRequest<'_> {
     /// the [`Plan`] for inspection (`plan.explain()`). No relation
     /// data is copied.
     pub fn explain(&self) -> Result<Plan, EngineError> {
-        let rels = self.engine.resolve(&self.cq)?;
-        self.make_plan(&rels)
+        let catalog = self.engine.catalog();
+        let rels = resolve(&catalog, &self.cq)?;
+        make_plan(&self.cq, self.rank, self.opts, &rels)
     }
 
-    /// Plan **and** prepare: returns the ranked stream (which still
-    /// carries its [`Plan`]). Preprocessing (full reducer, T-DP,
-    /// case materialization) happens here; enumeration is lazy.
+    /// Route and preprocess once, returning the shareable
+    /// [`PreparedQuery`] (see [`Engine::prepare`]).
+    pub fn prepare(self) -> Result<PreparedQuery, EngineError> {
+        self.engine.prepare_cached(&self.cq, self.rank, self.opts)
+    }
+
+    /// Plan **and** prepare: returns a ranked stream. Backed by the
+    /// engine's plan cache — the first call for a (query, ranking)
+    /// pays preprocessing (full reducer, T-DP, case materialization);
+    /// repeated calls reuse the shared prepared state and pay only the
+    /// per-answer delay side. Enumeration is lazy either way.
     pub fn plan(self) -> Result<RankedStream, EngineError> {
-        let refs = self.engine.resolve(&self.cq)?;
-        let plan = self.make_plan(&refs)?;
-        // The one unavoidable copy: the enumerators reduce relations
-        // in place (full reducer) or consume them, so execution works
-        // on an owned snapshot of the catalog's relations.
-        let rels: Vec<Relation> = refs.into_iter().cloned().collect();
-        execute(plan, rels)
-    }
-
-    /// Route the query. Relations are needed only for the 4-cycle's
-    /// heavy threshold (≈ √n).
-    fn make_plan(&self, rels: &[&Relation]) -> Result<Plan, EngineError> {
-        let route = match gyo_reduce(&self.cq) {
-            GyoResult::Acyclic(tree) => Route::Acyclic { tree },
-            GyoResult::Cyclic(_) => match cycle_length(&self.cq) {
-                Some(3) => Route::Triangle,
-                Some(4) => {
-                    let n = rels.iter().map(|r| r.len()).max().unwrap_or(0);
-                    Route::FourCycle {
-                        threshold: heavy_threshold(n),
-                    }
-                }
-                _ => Route::Decomposed {
-                    decomp: auto_decomposition(&self.cq),
-                },
-            },
-        };
-        if !matches!(route, Route::Acyclic { .. }) && !self.rank.is_commutative() {
-            return Err(EngineError::UnsupportedRanking {
-                rank: self.rank,
-                why: "cyclic routes serialize atoms in per-case orders; \
-                      the ranking must be commutative",
-            });
-        }
-        let width = match &route {
-            Route::Acyclic { .. } => 1.0,
-            Route::Triangle => cycle_submodular_width(3),
-            Route::FourCycle { .. } => cycle_submodular_width(4),
-            Route::Decomposed { decomp } => decomp.width,
-        };
-        // Record the *effective* variant so `explain` never reports a
-        // variant that does not run: the triangle plan has a single
-        // implementation (no variant applies), and cyclic routes have
-        // no batch baseline (Batch falls back to PART(Lazy) there).
-        let variant = match &route {
-            Route::Triangle => None,
-            Route::Acyclic { .. } => Some(self.opts.variant),
-            _ => Some(match self.opts.variant {
-                AnyKVariant::Batch => AnyKVariant::default(),
-                v => v,
-            }),
-        };
-        Ok(Plan {
-            query: self.cq.clone(),
-            route,
-            rank: self.rank,
-            variant,
-            width,
-        })
-    }
-}
-
-/// Monomorphize on the runtime [`RankSpec`] and build the stream.
-fn execute(plan: Plan, rels: Vec<Relation>) -> Result<RankedStream, EngineError> {
-    let inner = match plan.rank {
-        RankSpec::Sum => build::<SumCost>(&plan, rels)?,
-        RankSpec::Max => build::<MaxCost>(&plan, rels)?,
-        RankSpec::Min => build::<MinCost>(&plan, rels)?,
-        RankSpec::Prod => build::<ProdCost>(&plan, rels)?,
-        RankSpec::Lex => build::<LexCost>(&plan, rels)?,
-    };
-    Ok(RankedStream { inner, plan })
-}
-
-/// Erase a concrete any-k iterator into the engine's answer type.
-fn erase<C, I>(it: I) -> Box<dyn Iterator<Item = RankedAnswer>>
-where
-    C: IntoCost,
-    I: Iterator<Item = anyk_core::answer::RankedAnswer<C>> + 'static,
-{
-    Box::new(it.map(|a| RankedAnswer {
-        cost: a.cost.into_cost(),
-        values: a.values,
-    }))
-}
-
-/// Build the route's iterator under a concrete ranking function `R`.
-fn build<R>(
-    plan: &Plan,
-    rels: Vec<Relation>,
-) -> Result<Box<dyn Iterator<Item = RankedAnswer>>, EngineError>
-where
-    R: RankingFunction,
-    R::Cost: IntoCost,
-{
-    // Cyclic routes have no batch baseline wired in; Batch falls back
-    // to the default PART(Lazy) (documented on `AnyKVariant::Batch`).
-    let part_kind = |variant: AnyKVariant| match variant {
-        AnyKVariant::Part(kind) => kind,
-        _ => SuccessorKind::Lazy,
-    };
-    let variant = plan.variant.unwrap_or_default();
-    match &plan.route {
-        Route::Acyclic { tree } => match variant {
-            AnyKVariant::Batch => Ok(erase(BatchSorted::<R>::new(&plan.query, tree, rels))),
-            AnyKVariant::Rec => {
-                let inst = TdpInstance::<R>::prepare(&plan.query, tree, rels)?;
-                Ok(erase(AnyKRec::new(inst)))
-            }
-            AnyKVariant::Part(kind) => {
-                let inst = TdpInstance::<R>::prepare(&plan.query, tree, rels)?;
-                Ok(erase(AnyKPart::new(inst, kind)))
-            }
-        },
-        Route::Triangle => Ok(erase(triangle_ranked::<R>(&rels))),
-        Route::FourCycle { threshold } => match variant {
-            AnyKVariant::Rec => Ok(erase(try_c4_ranked_rec::<R>(&rels, *threshold)?)),
-            v => Ok(erase(try_c4_ranked_part::<R>(
-                &rels,
-                *threshold,
-                part_kind(v),
-            )?)),
-        },
-        Route::Decomposed { decomp } => match variant {
-            AnyKVariant::Rec => Ok(erase(try_decomposed_ranked_rec::<R>(
-                &plan.query,
-                &rels,
-                decomp,
-            )?)),
-            v => Ok(erase(try_decomposed_ranked_part::<R>(
-                &plan.query,
-                &rels,
-                decomp,
-                part_kind(v),
-            )?)),
-        },
+        Ok(self.prepare()?.stream())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anyk_core::succorder::SuccessorKind;
     use anyk_query::cq::{cycle_query, path_query, triangle_query, QueryBuilder};
     use anyk_storage::{RelationBuilder, Schema, StorageError};
 
@@ -588,7 +720,8 @@ mod tests {
         assert_eq!(plan.variant, None);
         assert!(plan.explain().contains("variant = n/a"), "{plan}");
 
-        // Cyclic + Batch: the fallback that actually runs is recorded.
+        // Cyclic + Batch: the materialize-then-sort baseline is wired
+        // on cyclic routes, so the requested variant is honored.
         let q4 = cycle_query(4);
         let engine =
             Engine::from_query_bindings(&q4, vec![e.clone(), e.clone(), e.clone(), e.clone()]);
@@ -597,7 +730,7 @@ mod tests {
             .with_variant(AnyKVariant::Batch)
             .explain()
             .unwrap();
-        assert_eq!(plan.variant, Some(AnyKVariant::Part(SuccessorKind::Lazy)));
+        assert_eq!(plan.variant, Some(AnyKVariant::Batch));
 
         // Cyclic + Rec is honored and reported as such.
         let plan = engine
@@ -606,6 +739,41 @@ mod tests {
             .explain()
             .unwrap();
         assert_eq!(plan.variant, Some(AnyKVariant::Rec));
+    }
+
+    #[test]
+    fn batch_variant_agrees_on_cyclic_routes() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (3, 4, 0.125),
+            (4, 1, 2.0),
+            (2, 1, 4.0),
+            (1, 3, 8.0),
+        ]);
+        for (label, q, m) in [
+            ("triangle", triangle_query(), 3usize),
+            ("c4", cycle_query(4), 4),
+            ("c5", cycle_query(5), 5),
+        ] {
+            let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+            let engine = Engine::from_query_bindings(&q, rels);
+            let anyk: Vec<f64> = engine
+                .query(q.clone())
+                .plan()
+                .unwrap()
+                .map(|a| a.cost.scalar().unwrap())
+                .collect();
+            let batch: Vec<f64> = engine
+                .query(q.clone())
+                .with_variant(AnyKVariant::Batch)
+                .plan()
+                .unwrap()
+                .map(|a| a.cost.scalar().unwrap())
+                .collect();
+            assert_eq!(anyk, batch, "{label}: batch vs any-k cost sequence");
+        }
     }
 
     #[test]
@@ -646,5 +814,132 @@ mod tests {
         let text = plan.explain();
         assert!(text.contains("route = acyclic"), "{text}");
         assert!(text.contains("join on"), "{text}");
+    }
+
+    #[test]
+    fn prepare_then_stream_matches_plan() {
+        let (engine, q) = path_engine();
+        let ad_hoc: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        let prepared = engine.prepare(q, RankSpec::Sum).unwrap();
+        for _ in 0..3 {
+            let again: Vec<_> = prepared.stream().collect();
+            assert_eq!(again, ad_hoc, "each prepared stream replays the answers");
+        }
+    }
+
+    #[test]
+    fn plan_cache_hits_and_epoch_invalidation() {
+        let (engine, q) = path_engine();
+        assert_eq!(engine.cached_plans(), 0);
+        let first: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 1);
+        // Same query + rank: served from cache (still one entry).
+        let second: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 1);
+        assert_eq!(first, second);
+        // Different rank: new entry.
+        let _ = engine.query(q.clone()).rank_by(RankSpec::Max).plan();
+        assert_eq!(engine.cached_plans(), 2);
+
+        // Catalog update: epoch bumps, cache is invalidated, and the
+        // next plan sees the new data.
+        let epoch0 = engine.catalog_epoch();
+        engine.register("R2", edge_rel(&[(10, 999, 0.0)]));
+        assert_eq!(engine.catalog_epoch(), epoch0 + 1);
+        assert_eq!(engine.cached_plans(), 0);
+        let fresh: Vec<_> = engine.query(q).plan().unwrap().collect();
+        assert_eq!(fresh.len(), 2, "one R2 row joins both R1 rows on b=10");
+        assert!(fresh.iter().all(|a| a.ints()[2] == 999));
+    }
+
+    #[test]
+    fn prepared_query_is_a_snapshot() {
+        let (engine, q) = path_engine();
+        let prepared = engine.prepare(q.clone(), RankSpec::Sum).unwrap();
+        let before: Vec<_> = prepared.stream().collect();
+        // Replace a relation after preparing: the prepared query keeps
+        // serving its snapshot, while new plans see the update.
+        engine.register("R2", edge_rel(&[(10, 999, 0.0)]));
+        let after: Vec<_> = prepared.stream().collect();
+        assert_eq!(before, after, "prepared state is immutable");
+        let fresh: Vec<_> = engine.query(q).plan().unwrap().collect();
+        assert_ne!(before, fresh);
+    }
+
+    #[test]
+    fn cache_shares_artifact_across_part_and_rec() {
+        let (engine, q) = path_engine();
+        let part: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 1);
+        // Rec reuses the cached T-DP artifact (no new entry), only the
+        // stream-time enumerator differs.
+        let rec: Vec<Vec<i64>> = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Rec)
+            .plan()
+            .unwrap()
+            .map(|a| a.ints())
+            .collect();
+        assert_eq!(engine.cached_plans(), 1);
+        assert_eq!(part.iter().map(|a| a.ints()).collect::<Vec<_>>(), rec);
+        // Batch prepares a different artifact: second entry.
+        let _ = engine
+            .query(q)
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+    }
+
+    #[test]
+    fn triangle_cache_entry_serves_batch_and_anyk_alike() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let q = triangle_query();
+        // Any-k first, Batch second: the normalized entry is reused.
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e.clone()]);
+        let anyk: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 1);
+        let batch: Vec<_> = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap()
+            .collect();
+        assert_eq!(engine.cached_plans(), 1, "no duplicate triangle artifact");
+        assert_eq!(anyk, batch);
+        // Batch first, any-k second: same normalization.
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        let _ = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        assert_eq!(engine.cached_plans(), 1);
+        let _ = engine.query(q).plan().unwrap();
+        assert_eq!(engine.cached_plans(), 1, "no duplicate triangle artifact");
+    }
+
+    #[test]
+    fn engine_clones_share_cache_and_catalog() {
+        let (engine, q) = path_engine();
+        let clone = engine.clone();
+        let _ = engine.query(q.clone()).plan().unwrap();
+        assert_eq!(clone.cached_plans(), 1, "clones see the same cache");
+        clone.register("X", edge_rel(&[(1, 2, 0.0)]));
+        assert_eq!(engine.catalog_epoch(), 1, "clones see the same catalog");
+        assert!(engine.catalog().get("X").is_some());
+    }
+
+    #[test]
+    fn resolution_hands_out_shared_handles() {
+        let (engine, q) = path_engine();
+        let catalog = engine.catalog();
+        let rels = resolve(&catalog, &q).unwrap();
+        for (atom, rel) in q.atoms().iter().zip(&rels) {
+            assert!(
+                rel.shares_payload(catalog.get(&atom.relation).unwrap()),
+                "resolution must be a refcount bump, not a copy"
+            );
+        }
     }
 }

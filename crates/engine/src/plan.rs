@@ -21,8 +21,10 @@ pub enum AnyKVariant {
     Part(SuccessorKind),
     /// ANYK-REC (recursive enumeration, memoized suffix streams).
     Rec,
-    /// Join-then-sort baseline (acyclic routes only; cyclic routes
-    /// fall back to `Part(Lazy)`). Useful for oracle comparisons.
+    /// Materialize-then-sort baseline: Yannakakis + sort on acyclic
+    /// routes, worst-case-optimal (Generic-Join) materialization + sort
+    /// on cyclic routes. Useful for oracle comparisons and as the
+    /// TTF-vs-TT(last) counterpoint in experiments.
     Batch,
 }
 

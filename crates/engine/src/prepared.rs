@@ -1,0 +1,279 @@
+//! Prepared queries: route + preprocess **once**, stream **many** times.
+//!
+//! The paper's complexity split is `O~(n)`–`O~(n^w)` preprocessing +
+//! cheap per-answer delay. A [`PreparedQuery`] is that split reified:
+//! it owns the prepared phase (reduced relations, T-DP state, or the
+//! materialized sorted answers) behind `Arc`s, and every call to
+//! [`PreparedQuery::stream`] spawns an independent ranked stream whose
+//! cost is the *delay side only*. `PreparedQuery` is `Clone + Send +
+//! Sync`: hand clones to as many threads as you like; all of them
+//! enumerate from the same shared preprocessing pass.
+
+use crate::error::EngineError;
+use crate::plan::{AnyKVariant, Plan, Route};
+use crate::rank::{IntoCost, RankSpec};
+use crate::stream::{RankedAnswer, RankedStream};
+
+use anyk_core::batch::materialize_ranked;
+use anyk_core::cyclic::{prepare_triangle, wco_ranked_materialize, PreparedC4, SortedAnswers};
+use anyk_core::decomposed::PreparedDecomposed;
+use anyk_core::part::AnyKPart;
+use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
+use anyk_core::rec::AnyKRec;
+use anyk_core::succorder::SuccessorKind;
+use anyk_core::tdp::TdpInstance;
+use anyk_storage::Relation;
+use std::sync::Arc;
+
+/// A query that has been routed and preprocessed exactly once, ready to
+/// serve any number of independent ranked streams.
+///
+/// Obtained from [`Engine::prepare`](crate::Engine::prepare) (or
+/// [`QueryRequest::prepare`](crate::QueryRequest::prepare)). The
+/// prepared state is a snapshot: later catalog updates on the engine do
+/// not affect it — streams keep serving the data the query was prepared
+/// against. Cloning is cheap (shared `Arc` internals) and the type is
+/// `Send + Sync`, so one prepared query can serve concurrent request
+/// threads:
+///
+/// ```
+/// use anyk_engine::{Engine, RankSpec};
+/// use anyk_query::cq::path_query;
+/// use anyk_storage::{Catalog, RelationBuilder, Schema};
+///
+/// let mut catalog = Catalog::new();
+/// let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+/// r.push_ints(&[1, 10], 0.3);
+/// r.push_ints(&[2, 10], 0.1);
+/// catalog.register("R1", r.finish());
+/// let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+/// s.push_ints(&[10, 100], 0.5);
+/// catalog.register("R2", s.finish());
+/// let engine = Engine::new(catalog);
+///
+/// // Preprocess once...
+/// let prepared = engine.prepare(path_query(2), RankSpec::Sum).unwrap();
+/// // ...then stream as many times as you like, even from many threads.
+/// let first: Vec<_> = prepared.stream().top_k(1);
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let p = prepared.clone();
+///         std::thread::spawn(move || p.stream().top_k(1))
+///     })
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), first);
+/// }
+/// ```
+#[derive(Clone)]
+pub struct PreparedQuery {
+    plan: Plan,
+    /// Catalog epoch this query was prepared against (cache validity).
+    epoch: u64,
+    inner: PreparedInner,
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("plan", &self.plan)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The monomorphized prepared state, one arm per [`RankSpec`].
+#[derive(Clone)]
+enum PreparedInner {
+    Sum(PreparedRoute<SumCost>),
+    Max(PreparedRoute<MaxCost>),
+    Min(PreparedRoute<MinCost>),
+    Prod(PreparedRoute<ProdCost>),
+    Lex(PreparedRoute<LexCost>),
+}
+
+/// What preprocessing produced, by route family. Everything is behind
+/// an `Arc`: a stream borrows nothing and copies nothing at spawn time.
+#[derive(Clone)]
+enum PreparedRoute<R: RankingFunction> {
+    /// Acyclic: the shared T-DP instance (reduced relations, groups,
+    /// bottom-up costs). PART and REC both enumerate from it.
+    Tdp(Arc<TdpInstance<R>>),
+    /// General cyclic: the GHD plan's bag-level T-DP instance plus the
+    /// output permutation.
+    Ghd(PreparedDecomposed<R>),
+    /// 4-cycle: the union-of-trees case split, one shared T-DP
+    /// instance per case.
+    Cases(PreparedC4<R>),
+    /// Materialize-then-sort plans: the triangle route, and the batch
+    /// baseline on every route. Streams are zero-copy cursors.
+    Sorted(SortedAnswers<R::Cost>),
+}
+
+impl PreparedQuery {
+    /// Run the preprocessing phase for `plan` over `rels` (shared
+    /// handles resolved from the catalog). `batch` selects the
+    /// materialize-then-sort artifact instead of the any-k structures.
+    pub(crate) fn build(
+        plan: Plan,
+        rels: Vec<Relation>,
+        batch: bool,
+        epoch: u64,
+    ) -> Result<Self, EngineError> {
+        let inner = match plan.rank {
+            RankSpec::Sum => PreparedInner::Sum(build_route::<SumCost>(&plan, rels, batch)?),
+            RankSpec::Max => PreparedInner::Max(build_route::<MaxCost>(&plan, rels, batch)?),
+            RankSpec::Min => PreparedInner::Min(build_route::<MinCost>(&plan, rels, batch)?),
+            RankSpec::Prod => PreparedInner::Prod(build_route::<ProdCost>(&plan, rels, batch)?),
+            RankSpec::Lex => PreparedInner::Lex(build_route::<LexCost>(&plan, rels, batch)?),
+        };
+        Ok(PreparedQuery { plan, epoch, inner })
+    }
+
+    /// The plan this query was prepared under (route, ranking, width).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The engine catalog epoch this query was prepared against. The
+    /// engine's plan cache serves this prepared query only while the
+    /// catalog is still at this epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Spawn a fresh independent ranked stream over the shared prepared
+    /// state. Costs only the stream shell (heaps seeded from the
+    /// prepared structures) — never the preprocessing.
+    pub fn stream(&self) -> RankedStream {
+        self.stream_as(self.plan.variant.unwrap_or_default())
+    }
+
+    /// A copy of this prepared query whose plan records `requested` as
+    /// the effective variant (the prepared artifact is shared — only
+    /// the stream-time enumerator choice differs).
+    pub(crate) fn adopt_variant(&self, requested: AnyKVariant) -> PreparedQuery {
+        let mut p = self.clone();
+        p.plan.variant = match p.plan.route {
+            Route::Triangle => None,
+            _ => Some(requested),
+        };
+        p
+    }
+
+    /// Spawn a stream driving the given any-k variant over the shared
+    /// artifact. `Batch` requests are prepared as
+    /// [`PreparedRoute::Sorted`], so the variant only selects among
+    /// PART successor orders and REC here.
+    fn stream_as(&self, variant: AnyKVariant) -> RankedStream {
+        let inner = match &self.inner {
+            PreparedInner::Sum(r) => stream_route(r, variant),
+            PreparedInner::Max(r) => stream_route(r, variant),
+            PreparedInner::Min(r) => stream_route(r, variant),
+            PreparedInner::Prod(r) => stream_route(r, variant),
+            PreparedInner::Lex(r) => stream_route(r, variant),
+        };
+        let mut plan = self.plan.clone();
+        plan.variant = match plan.route {
+            Route::Triangle => None,
+            _ => Some(variant),
+        };
+        RankedStream { inner, plan }
+    }
+}
+
+/// Erase a concrete any-k iterator into the engine's answer type.
+fn erase<C, I>(it: I) -> Box<dyn Iterator<Item = RankedAnswer> + Send>
+where
+    C: IntoCost,
+    I: Iterator<Item = anyk_core::answer::RankedAnswer<C>> + Send + 'static,
+{
+    Box::new(it.map(|a| RankedAnswer {
+        cost: a.cost.into_cost(),
+        values: a.values,
+    }))
+}
+
+/// Build the prepared artifact for one route under a concrete ranking.
+fn build_route<R>(
+    plan: &Plan,
+    rels: Vec<Relation>,
+    batch: bool,
+) -> Result<PreparedRoute<R>, EngineError>
+where
+    R: RankingFunction,
+    R::Cost: IntoCost,
+{
+    Ok(match &plan.route {
+        Route::Acyclic { tree } => {
+            if batch {
+                // Materialize via Yannakakis (weights combined in
+                // serialization order: valid for Lex too), sort, share.
+                PreparedRoute::Sorted(SortedAnswers::new(materialize_ranked::<R>(
+                    &plan.query,
+                    tree,
+                    rels,
+                )))
+            } else {
+                PreparedRoute::Tdp(Arc::new(TdpInstance::<R>::prepare(
+                    &plan.query,
+                    tree,
+                    rels,
+                )?))
+            }
+        }
+        // The triangle plan *is* materialize-then-sort; Batch and any-k
+        // requests share the same artifact.
+        Route::Triangle => PreparedRoute::Sorted(prepare_triangle::<R>(&rels)),
+        Route::FourCycle { threshold } => {
+            if batch {
+                PreparedRoute::Sorted(SortedAnswers::new(wco_ranked_materialize::<R>(
+                    &plan.query,
+                    &rels,
+                )))
+            } else {
+                PreparedRoute::Cases(PreparedC4::prepare(&rels, *threshold)?)
+            }
+        }
+        Route::Decomposed { decomp } => {
+            if batch {
+                PreparedRoute::Sorted(SortedAnswers::new(wco_ranked_materialize::<R>(
+                    &plan.query,
+                    &rels,
+                )))
+            } else {
+                PreparedRoute::Ghd(PreparedDecomposed::prepare(&plan.query, &rels, decomp)?)
+            }
+        }
+    })
+}
+
+/// Spawn one erased stream from a prepared route artifact.
+fn stream_route<R>(
+    route: &PreparedRoute<R>,
+    variant: AnyKVariant,
+) -> Box<dyn Iterator<Item = RankedAnswer> + Send>
+where
+    R: RankingFunction,
+    R::Cost: IntoCost,
+{
+    let part_kind = |v: AnyKVariant| match v {
+        AnyKVariant::Part(kind) => kind,
+        _ => SuccessorKind::Lazy,
+    };
+    match route {
+        PreparedRoute::Tdp(inst) => match variant {
+            AnyKVariant::Rec => erase(AnyKRec::new(Arc::clone(inst))),
+            v => erase(AnyKPart::new(Arc::clone(inst), part_kind(v))),
+        },
+        PreparedRoute::Ghd(prep) => match variant {
+            AnyKVariant::Rec => erase(prep.stream_rec()),
+            v => erase(prep.stream_part(part_kind(v))),
+        },
+        PreparedRoute::Cases(prep) => match variant {
+            AnyKVariant::Rec => erase(prep.stream_rec()),
+            v => erase(prep.stream_part(part_kind(v))),
+        },
+        PreparedRoute::Sorted(sorted) => erase(sorted.stream()),
+    }
+}

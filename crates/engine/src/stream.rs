@@ -16,17 +16,36 @@ pub struct RankedAnswer {
 }
 
 impl RankedAnswer {
-    /// The tuple as `i64`s — convenience for integer-keyed workloads.
+    /// The tuple as `i64`s — convenience for integer-keyed workloads
+    /// (graph patterns), where every output value is a node id.
+    ///
+    /// # Panics
+    ///
+    /// If any value is not a [`Value::Int`] (e.g. a float attribute or
+    /// an interned string). Servers handling mixed-type catalogs should
+    /// use [`RankedAnswer::try_ints`] instead.
     pub fn ints(&self) -> Vec<i64> {
-        self.values.iter().map(|v| v.int()).collect()
+        self.try_ints()
+            .expect("RankedAnswer::ints on non-Int values; use try_ints")
+    }
+
+    /// The tuple as `i64`s, or `None` if any value is not an
+    /// integer — the non-panicking form of [`RankedAnswer::ints`].
+    pub fn try_ints(&self) -> Option<Vec<i64>> {
+        self.values.iter().map(|v| v.as_int()).collect()
     }
 }
 
 /// A planner-routed ranked enumeration stream: answers arrive in
 /// non-decreasing cost order, one at a time, any `k`, without fixing
 /// `k` in advance (the any-k contract, erased over route and ranking).
+///
+/// The stream is `Send` (its state is heaps/cursors over `Arc`-shared
+/// prepared data), so it can be handed to a worker thread; it is *not*
+/// `Sync` — for concurrent serving, spawn one stream per thread from a
+/// shared [`PreparedQuery`](crate::PreparedQuery).
 pub struct RankedStream {
-    pub(crate) inner: Box<dyn Iterator<Item = RankedAnswer>>,
+    pub(crate) inner: Box<dyn Iterator<Item = RankedAnswer> + Send>,
     pub(crate) plan: Plan,
 }
 

@@ -1,7 +1,7 @@
 //! Leapfrog Triejoin (Veldhuizen, ICDT 2014) — the other famous
 //! worst-case optimal join (§3 cites it alongside NPRR/Generic-Join).
 //!
-//! Where our [`crate::generic_join`] is a recursion that intersects
+//! Where our [`crate::generic_join`](mod@crate::generic_join) is a recursion that intersects
 //! child value *spans*, LFTJ is the classic *iterator* formulation: each
 //! atom exposes a trie iterator with `open / up / next / seek`, and each
 //! variable level runs a **leapfrog join** — the round-robin galloping

@@ -11,7 +11,7 @@
 //! * [`binary`] — textbook left-deep binary hash-join plans: the provably
 //!   suboptimal baseline whose intermediate results can be
 //!   asymptotically larger than the output (§3's triangle example).
-//! * [`generic_join`] — the worst-case optimal Generic-Join (Ngo–Ré–
+//! * [`generic_join`](mod@generic_join) — the worst-case optimal Generic-Join (Ngo–Ré–
 //!   Rudra), matching the AGM bound via per-variable leapfrog
 //!   intersection of tries.
 //! * [`leapfrog`] — Leapfrog Triejoin (Veldhuizen), the same worst-case

@@ -1,5 +1,5 @@
 //! A catalog of named relations plus the string dictionary backing
-//! [`Value::Sym`](crate::value::Value::Sym).
+//! [`Value::Sym`].
 
 use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
@@ -7,7 +7,13 @@ use crate::relation::Relation;
 use crate::value::Value;
 
 /// Named relations + string interning.
-#[derive(Debug, Default)]
+///
+/// Relations are [`Relation`] *handles*: [`Catalog::get`] /
+/// [`Catalog::lookup`] return references whose `clone()` is a refcount
+/// bump, never an `O(n)` tuple copy — resolution hands out shared
+/// payloads. Cloning the whole catalog likewise shares every relation
+/// payload (the engine's copy-on-write epoch seam relies on this).
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     relations: FxHashMap<String, Relation>,
     symbols: Vec<String>,

@@ -10,8 +10,8 @@
 //! and the construction cost counts.
 //!
 //! ## Layout
-//! * [`value`] — [`Value`](value::Value) (copyable scalar) and
-//!   [`Weight`](value::Weight) (totally ordered `f64`).
+//! * [`value`] — [`Value`] (copyable scalar) and
+//!   [`Weight`] (totally ordered `f64`).
 //! * [`schema`] — attribute names and positions.
 //! * [`relation`] — row-major weighted relations and builders.
 //! * [`index`] — hash and sorted indexes over join keys.

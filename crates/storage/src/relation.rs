@@ -4,33 +4,83 @@
 //! parallel `Vec<Weight>`; this keeps a full-table scan — the access
 //! pattern that dominates Yannakakis, semi-joins, and DP preprocessing —
 //! a single linear sweep over two contiguous buffers.
+//!
+//! A [`Relation`] is a cheap **handle** over an `Arc`-shared immutable
+//! payload: `clone()` is a refcount bump, so catalogs, engines, and
+//! prepared queries can all hold "the same" relation without copying
+//! `O(n)` tuple data. The in-place editing API (`retain`, sorts,
+//! `dedup`) is copy-on-write: the first mutation of a *shared* handle
+//! clones the payload once ([`Arc::make_mut`]); an unshared handle
+//! mutates directly, exactly as the pre-`Arc` representation did.
 
 use crate::schema::Schema;
 use crate::value::{Value, Weight};
+use std::sync::Arc;
 
 /// Index of a row within a [`Relation`]. `u32` keeps per-row bookkeeping
 /// structures (groups, pointers) compact; 4 billion rows per relation is
 /// far beyond in-memory scale.
 pub type RowId = u32;
 
-/// An immutable weighted relation (bag semantics; call
-/// [`Relation::dedup`] for set semantics).
+/// The owned tuple data behind a [`Relation`] handle.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Relation {
+struct Payload {
     schema: Schema,
     /// Row-major values, `len = rows * arity`.
     data: Vec<Value>,
     weights: Vec<Weight>,
 }
 
+/// An immutable weighted relation (bag semantics; call
+/// [`Relation::dedup`] for set semantics).
+///
+/// Cloning is `O(1)` (shared `Arc` payload); mutating methods are
+/// copy-on-write. Two handles produced by `clone()` satisfy
+/// [`Relation::shares_payload`] until one of them is mutated.
+#[derive(Debug, Clone, Eq)]
+pub struct Relation {
+    payload: Arc<Payload>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        // Handles over the same payload are equal without scanning.
+        Arc::ptr_eq(&self.payload, &other.payload) || *self.payload == *other.payload
+    }
+}
+
 impl Relation {
     /// An empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
         Relation {
-            schema,
-            data: Vec::new(),
-            weights: Vec::new(),
+            payload: Arc::new(Payload {
+                schema,
+                data: Vec::new(),
+                weights: Vec::new(),
+            }),
         }
+    }
+
+    /// True iff `self` and `other` are handles over the *same* shared
+    /// payload (refcount siblings) — the zero-copy sharing check used
+    /// by tests and diagnostics.
+    #[inline]
+    pub fn shares_payload(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.payload, &other.payload)
+    }
+
+    /// Number of handles (strong references) currently sharing this
+    /// relation's payload — diagnostics for the serving layer.
+    #[inline]
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.payload)
+    }
+
+    /// Mutable access to the payload, cloning it first iff shared
+    /// (copy-on-write seam of every in-place editing method).
+    #[inline]
+    fn make_mut(&mut self) -> &mut Payload {
+        Arc::make_mut(&mut self.payload)
     }
 
     /// Build from parallel row/weight vectors (test & generator helper).
@@ -52,25 +102,25 @@ impl Relation {
     /// The schema.
     #[inline]
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.payload.schema
     }
 
     /// Arity (number of attributes).
     #[inline]
     pub fn arity(&self) -> usize {
-        self.schema.arity()
+        self.payload.schema.arity()
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.weights.len()
+        self.payload.weights.len()
     }
 
     /// True iff the relation has no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.weights.is_empty()
+        self.payload.weights.is_empty()
     }
 
     /// The values of row `id`.
@@ -78,28 +128,29 @@ impl Relation {
     pub fn row(&self, id: RowId) -> &[Value] {
         let a = self.arity();
         let start = id as usize * a;
-        &self.data[start..start + a]
+        &self.payload.data[start..start + a]
     }
 
     /// The weight of row `id`.
     #[inline]
     pub fn weight(&self, id: RowId) -> Weight {
-        self.weights[id as usize]
+        self.payload.weights[id as usize]
     }
 
     /// All weights (parallel to row ids).
     #[inline]
     pub fn weights(&self) -> &[Weight] {
-        &self.weights
+        &self.payload.weights
     }
 
     /// Iterate `(RowId, &[Value], Weight)`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value], Weight)> + '_ {
         let a = self.arity();
-        self.weights
+        self.payload
+            .weights
             .iter()
             .enumerate()
-            .map(move |(i, &w)| (i as RowId, &self.data[i * a..(i + 1) * a], w))
+            .map(move |(i, &w)| (i as RowId, &self.payload.data[i * a..(i + 1) * a], w))
     }
 
     /// Extract the sub-tuple of row `id` at `positions` into `out`.
@@ -119,23 +170,38 @@ impl Relation {
 
     /// Keep only rows whose id passes `pred` (used by semi-join reducers).
     /// Preserves row order; returns the number of retained rows.
+    ///
+    /// Copy-on-write: the payload is cloned only when at least one row
+    /// is actually dropped, so an all-pass reduction of a shared handle
+    /// (the common case on globally consistent inputs) copies nothing.
     pub fn retain<F: FnMut(RowId) -> bool>(&mut self, mut pred: F) -> usize {
+        let n = self.len();
+        // First pass: find the first dropped row without touching data.
+        let mut first_drop = n;
+        for i in 0..n {
+            if !pred(i as RowId) {
+                first_drop = i;
+                break;
+            }
+        }
+        if first_drop == n {
+            return n;
+        }
         let a = self.arity();
-        let mut out = 0usize;
-        for i in 0..self.len() {
+        let p = self.make_mut();
+        let mut out = first_drop;
+        for i in (first_drop + 1)..n {
             if pred(i as RowId) {
-                if out != i {
-                    let (src, dst) = (i * a, out * a);
-                    for j in 0..a {
-                        self.data[dst + j] = self.data[src + j];
-                    }
-                    self.weights[out] = self.weights[i];
+                let (src, dst) = (i * a, out * a);
+                for j in 0..a {
+                    p.data[dst + j] = p.data[src + j];
                 }
+                p.weights[out] = p.weights[i];
                 out += 1;
             }
         }
-        self.data.truncate(out * a);
-        self.weights.truncate(out);
+        p.data.truncate(out * a);
+        p.weights.truncate(out);
         out
     }
 
@@ -162,26 +228,27 @@ impl Relation {
     pub fn sort_by_weight(&mut self) {
         let n = self.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&x, &y| {
-            self.weights[x as usize]
-                .cmp(&self.weights[y as usize])
-                .then(x.cmp(&y))
-        });
+        order.sort_by(|&x, &y| self.weight(x).cmp(&self.weight(y)).then(x.cmp(&y)));
         self.permute(&order);
     }
 
     /// Reorder rows so new row i = old row order[i].
     fn permute(&mut self, order: &[u32]) {
         let a = self.arity();
-        let mut data = Vec::with_capacity(self.data.len());
-        let mut weights = Vec::with_capacity(self.weights.len());
+        let mut data = Vec::with_capacity(self.payload.data.len());
+        let mut weights = Vec::with_capacity(self.payload.weights.len());
         for &o in order {
             let s = o as usize * a;
-            data.extend_from_slice(&self.data[s..s + a]);
-            weights.push(self.weights[o as usize]);
+            data.extend_from_slice(&self.payload.data[s..s + a]);
+            weights.push(self.payload.weights[o as usize]);
         }
-        self.data = data;
-        self.weights = weights;
+        // Fresh buffers replace the payload wholesale: no point in a
+        // copy-on-write clone that would be overwritten immediately.
+        self.payload = Arc::new(Payload {
+            schema: self.payload.schema.clone(),
+            data,
+            weights,
+        });
     }
 
     /// Remove duplicate rows (same values), keeping the *lightest* weight
@@ -200,37 +267,40 @@ impl Relation {
                     other => return other,
                 }
             }
-            self.weights[x as usize].cmp(&self.weights[y as usize])
+            self.weight(x).cmp(&self.weight(y))
         });
         self.permute(&order);
         let a = self.arity();
+        // permute() just installed a fresh unshared payload, so this
+        // make_mut never clones.
+        let p = self.make_mut();
         let mut out = 0usize;
         for i in 0..n {
             let dup = out > 0 && {
-                let prev = &self.data[(out - 1) * a..out * a];
-                let cur = &self.data[i * a..(i + 1) * a];
+                let prev = &p.data[(out - 1) * a..out * a];
+                let cur = &p.data[i * a..(i + 1) * a];
                 prev == cur
             };
             if !dup {
                 if out != i {
                     let (src, dst) = (i * a, out * a);
                     for j in 0..a {
-                        self.data[dst + j] = self.data[src + j];
+                        p.data[dst + j] = p.data[src + j];
                     }
-                    self.weights[out] = self.weights[i];
+                    p.weights[out] = p.weights[i];
                 }
                 out += 1;
             }
         }
-        self.data.truncate(out * a);
-        self.weights.truncate(out);
+        p.data.truncate(out * a);
+        p.weights.truncate(out);
     }
 
     /// Project onto the attributes at `positions` (weights carried over;
     /// duplicates kept — follow with [`Relation::dedup`] for set
     /// semantics).
     pub fn project(&self, positions: &[usize]) -> Relation {
-        let schema = Schema::new(positions.iter().map(|&p| self.schema.attr(p).to_string()));
+        let schema = Schema::new(positions.iter().map(|&p| self.schema().attr(p).to_string()));
         let mut b = RelationBuilder::new(schema);
         let mut key = Vec::with_capacity(positions.len());
         for i in 0..self.len() as RowId {
@@ -242,15 +312,15 @@ impl Relation {
 
     /// Rename attributes (same order, new names).
     pub fn with_schema(mut self, schema: Schema) -> Relation {
-        assert_eq!(schema.arity(), self.schema.arity());
-        self.schema = schema;
+        assert_eq!(schema.arity(), self.payload.schema.arity());
+        self.make_mut().schema = schema;
         self
     }
 
     /// Total bytes of payload (diagnostics).
     pub fn payload_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<Value>()
-            + self.weights.len() * std::mem::size_of::<Weight>()
+        self.payload.data.len() * std::mem::size_of::<Value>()
+            + self.payload.weights.len() * std::mem::size_of::<Weight>()
     }
 }
 
@@ -308,12 +378,15 @@ impl RelationBuilder {
         self.weights.is_empty()
     }
 
-    /// Finish and return the relation.
+    /// Finish and return the relation (payload moves behind its `Arc`;
+    /// no copy).
     pub fn finish(self) -> Relation {
         Relation {
-            schema: self.schema,
-            data: self.data,
-            weights: self.weights,
+            payload: Arc::new(Payload {
+                schema: self.schema,
+                data: self.data,
+                weights: self.weights,
+            }),
         }
     }
 }
@@ -408,5 +481,41 @@ mod tests {
         let r = Relation::empty(Schema::new(["x"]));
         assert!(r.is_empty());
         assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle_until_mutation() {
+        let r = rel();
+        let mut c = r.clone();
+        assert!(r.shares_payload(&c));
+        assert_eq!(r.handle_count(), 2);
+        assert_eq!(r, c);
+        // A dropping retain triggers copy-on-write: the original handle
+        // is untouched.
+        c.retain(|id| id != 0);
+        assert!(!r.shares_payload(&c));
+        assert_eq!(r.len(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn all_pass_retain_preserves_sharing() {
+        let r = rel();
+        let mut c = r.clone();
+        assert_eq!(c.retain(|_| true), 3);
+        assert!(
+            r.shares_payload(&c),
+            "no row dropped -> no copy-on-write clone"
+        );
+    }
+
+    #[test]
+    fn sort_on_shared_handle_leaves_sibling_intact() {
+        let r = rel();
+        let mut c = r.clone();
+        c.sort_by_weight();
+        assert_eq!(r.weight(0), Weight::new(0.5), "original order preserved");
+        assert_eq!(c.weight(0), Weight::new(0.25));
+        assert!(!r.shares_payload(&c));
     }
 }

@@ -76,8 +76,8 @@ pub mod prelude {
         RankingFunction, SuccessorKind, SumCost, TdpInstance, UnrankedEnum,
     };
     pub use anyk_engine::{
-        AnyKVariant, Cost, Engine, EngineError, EngineOpts, Plan, RankSpec, RankedAnswer,
-        RankedStream, Route,
+        AnyKVariant, Cost, Engine, EngineError, EngineOpts, Plan, PreparedQuery, RankSpec,
+        RankedAnswer, RankedStream, Route,
     };
     pub use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
     pub use anyk_query::gyo::{gyo_reduce, is_acyclic, GyoResult};

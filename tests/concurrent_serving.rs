@@ -1,0 +1,186 @@
+//! Concurrent serving: one `Engine` / one `PreparedQuery`, many
+//! threads. Every thread must observe the *identical* ranked stream —
+//! same costs, same tuples, same order (ties included) — because the
+//! prepared state is immutable shared data and each stream is an
+//! independent cursor/heap over it.
+
+use anyk::prelude::*;
+use std::thread;
+
+/// Deterministic pseudo-random edge relation with dyadic weights
+/// (exact float arithmetic ⇒ cost ties are reproduced bit-for-bit,
+/// which is exactly what makes tie-order determinism worth testing).
+fn scrambled_edges(n: u64, domain: i64, seed: u64) -> Relation {
+    let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+    let mut x = seed | 1;
+    for _ in 0..n {
+        // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let a = (x % domain as u64) as i64;
+        let c = ((x >> 17) % domain as u64) as i64;
+        let w = ((x >> 37) % 64) as f64 / 8.0;
+        b.push_ints(&[a, c], w);
+    }
+    b.finish()
+}
+
+fn answers(stream: RankedStream) -> Vec<(Vec<i64>, Cost)> {
+    stream.map(|a| (a.ints(), a.cost)).collect()
+}
+
+#[test]
+fn threads_sharing_one_prepared_query_get_identical_streams() {
+    let q = path_query(3);
+    let rels = vec![
+        scrambled_edges(300, 12, 3),
+        scrambled_edges(300, 12, 5),
+        scrambled_edges(300, 12, 7),
+    ];
+    let engine = Engine::from_query_bindings(&q, rels);
+    let prepared = engine.prepare(q, RankSpec::Sum).expect("acyclic prepare");
+    let baseline = answers(prepared.stream());
+    assert!(!baseline.is_empty(), "instance must have answers");
+
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = prepared.clone();
+                s.spawn(move || answers(p.stream()))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(
+                h.join().expect("worker thread"),
+                baseline,
+                "every thread must see the identical ranked stream"
+            );
+        }
+    });
+}
+
+#[test]
+fn threads_sharing_one_engine_plan_identically() {
+    // The ad-hoc path: all threads go through the shared plan cache of
+    // one engine (clones are handles to the same engine). Mix rankings
+    // so threads exercise different cache entries concurrently.
+    let q = path_query(2);
+    let rels = vec![scrambled_edges(400, 15, 11), scrambled_edges(400, 15, 13)];
+    let engine = Engine::from_query_bindings(&q, rels);
+    let baselines: Vec<Vec<(Vec<i64>, Cost)>> = [RankSpec::Sum, RankSpec::Max, RankSpec::Lex]
+        .iter()
+        .map(|&r| answers(engine.query(q.clone()).rank_by(r).plan().unwrap()))
+        .collect();
+
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..9)
+            .map(|i| {
+                let engine = engine.clone();
+                let q = q.clone();
+                s.spawn(move || {
+                    let rank = [RankSpec::Sum, RankSpec::Max, RankSpec::Lex][i % 3];
+                    (
+                        i % 3,
+                        answers(engine.query(q).rank_by(rank).plan().unwrap()),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (which, got) = h.join().expect("worker thread");
+            assert_eq!(got, baselines[which], "rank #{which}");
+        }
+    });
+}
+
+#[test]
+fn concurrent_streams_over_prepared_cyclic_plans() {
+    // The union-of-trees (4-cycle) and sorted-answers (triangle)
+    // prepared artifacts are shared across threads too.
+    let e = scrambled_edges(120, 8, 17);
+    for (label, q, m) in [
+        ("triangle", triangle_query(), 3usize),
+        ("c4", cycle_query(4), 4),
+    ] {
+        let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+        let engine = Engine::from_query_bindings(&q, rels);
+        let prepared = engine.prepare(q, RankSpec::Sum).expect("cyclic prepare");
+        let baseline = answers(prepared.stream());
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = prepared.clone();
+                    s.spawn(move || answers(p.stream()))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("worker"), baseline, "{label}");
+            }
+        });
+    }
+}
+
+#[test]
+fn interleaved_pulls_do_not_interfere() {
+    // Two streams over one prepared query advanced in lock-step must
+    // not share cursor state.
+    let q = path_query(2);
+    let rels = vec![scrambled_edges(100, 6, 19), scrambled_edges(100, 6, 23)];
+    let engine = Engine::from_query_bindings(&q, rels);
+    let prepared = engine.prepare(q, RankSpec::Sum).unwrap();
+    let expected = answers(prepared.stream());
+
+    let mut a = prepared.stream();
+    let mut b = prepared.stream();
+    let mut got_a = Vec::new();
+    let mut got_b = Vec::new();
+    loop {
+        let xa = a.next();
+        let xb = b.next();
+        assert_eq!(xa.is_some(), xb.is_some());
+        match (xa, xb) {
+            (Some(x), Some(y)) => {
+                got_a.push((x.ints(), x.cost));
+                got_b.push((y.ints(), y.cost));
+            }
+            _ => break,
+        }
+    }
+    assert_eq!(got_a, expected);
+    assert_eq!(got_b, expected);
+}
+
+#[test]
+fn catalog_update_during_serving_is_snapshot_isolated() {
+    // A prepared query keeps serving its snapshot while another thread
+    // replaces the underlying relation; plans made after the update see
+    // the new data (epoch bump invalidates the cache).
+    let q = path_query(2);
+    let r1 = scrambled_edges(200, 10, 29);
+    let r2 = scrambled_edges(200, 10, 31);
+    let engine = Engine::from_query_bindings(&q, vec![r1, r2]);
+    let prepared = engine.prepare(q.clone(), RankSpec::Sum).unwrap();
+    let before = answers(prepared.stream());
+    let epoch0 = engine.catalog_epoch();
+
+    thread::scope(|s| {
+        let updater = {
+            let engine = engine.clone();
+            s.spawn(move || engine.register("R2", scrambled_edges(50, 10, 37)))
+        };
+        // Serving from the prepared snapshot is undisturbed, whether
+        // the update has landed or not.
+        assert_eq!(answers(prepared.stream()), before);
+        updater.join().expect("updater");
+    });
+
+    assert_eq!(engine.catalog_epoch(), epoch0 + 1);
+    assert_eq!(
+        answers(prepared.stream()),
+        before,
+        "prepared snapshot survives the catalog update"
+    );
+    let fresh = answers(engine.query(q).plan().unwrap());
+    assert_ne!(fresh, before, "new plans see the replaced relation");
+}

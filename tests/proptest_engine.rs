@@ -128,4 +128,37 @@ proptest! {
         let rels = vec![r.clone(), r.clone(), r];
         check_scalar_rank(&q, rels, RankSpec::Sum);
     }
+
+    /// Prepare-once/stream-many equals ad-hoc `plan()` on random
+    /// acyclic queries (random shape, size, and data), for every
+    /// ranking defined there — and repeated streams of one prepared
+    /// query are identical.
+    #[test]
+    fn prepared_then_stream_equals_adhoc_plan(
+        star in 0usize..2,
+        n in 2usize..4,
+        rels in prop::collection::vec(arb_relation(12, 4), 3),
+    ) {
+        let q = if star == 1 { star_query(n) } else { path_query(n) };
+        let rels = rels[..n].to_vec();
+        for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Lex] {
+            // Separate engines so the ad-hoc run cannot share the
+            // prepared engine's cache — the equality is end-to-end.
+            let adhoc_engine = Engine::from_query_bindings(&q, rels.clone());
+            let adhoc: Vec<_> = adhoc_engine
+                .query(q.clone())
+                .rank_by(rank)
+                .plan()
+                .expect("acyclic plan")
+                .collect();
+            let serve_engine = Engine::from_query_bindings(&q, rels.clone());
+            let prepared = serve_engine
+                .prepare(q.clone(), rank)
+                .expect("acyclic prepare");
+            let s1: Vec<_> = prepared.stream().collect();
+            let s2: Vec<_> = prepared.stream().collect();
+            assert_eq!(s1, adhoc, "{rank}: prepared stream == ad-hoc plan");
+            assert_eq!(s2, adhoc, "{rank}: second stream replays identically");
+        }
+    }
 }
