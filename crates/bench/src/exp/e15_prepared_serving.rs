@@ -1,25 +1,36 @@
 //! E15 — prepared queries over shared storage: the serving-side payoff
 //! of the paper's TTF-vs-TT(k) decomposition.
 //!
-//! Three claims measured:
+//! Five claims measured:
 //!
 //! 1. **Prepared re-execution skips preprocessing** — a cold
 //!    `plan()` pays the full reducer + T-DP on every call; a
 //!    `PreparedQuery::stream()` pays only the per-answer delay side.
 //!    TTF of a prepared re-execution must be orders of magnitude (≥
 //!    10×) below a cold plan on a ≥100k-row acyclic query.
-//! 2. **The plan cache amortizes ad-hoc callers automatically** — the
+//! 2. **Prepared REC streams are serving-grade too** — `AnyKRec` used
+//!    to allocate O(n) stream shells at spawn; lazy allocation makes a
+//!    prepared REC stream's TTF proportional to the answers pulled.
+//!    Asserted: prepared REC TTF ≥ 5× below a cold REC plan.
+//! 3. **The triangle route's first stream skips the sort** — the
+//!    prepared artifact defers its O(r log r) sort; the first stream
+//!    is a lazy index-heap (O(r) build), the second spawn installs the
+//!    shared sorted artifact. Asserted: first-stream TTF beats the
+//!    sort-then-stream baseline at full scale.
+//! 4. **The plan cache amortizes ad-hoc callers automatically** — the
 //!    second `plan()` on the same engine hits the cache and behaves
 //!    like a prepared stream.
-//! 3. **Concurrent serving scales** — N threads pulling full top-k
+//! 5. **Concurrent serving scales** — N threads pulling full top-k
 //!    streams from one shared `Engine`/`PreparedQuery` multiply
 //!    throughput (enumeration is embarrassingly parallel over the
 //!    shared immutable prepared state).
 
 use crate::util::{banner, fmt_secs, time, Table};
-use anyk_engine::{Engine, RankSpec};
+use anyk_core::cyclic::{wco_ranked_materialize, SortedAnswers};
+use anyk_core::SumCost;
+use anyk_engine::{AnyKVariant, Engine, RankSpec};
 use anyk_workloads::graphs::WeightDist;
-use anyk_workloads::patterns::path_instance;
+use anyk_workloads::patterns::{cycle_instance, path_instance};
 use std::thread;
 
 pub fn run(scale: f64) {
@@ -112,6 +123,149 @@ pub fn run(scale: f64) {
     println!(
         "prepared re-execution reaches the first answer {speedup:.0}x faster than a cold \
          plan() (acceptance: >= 10x at scale >= 1)"
+    );
+
+    // --- REC TTF: cold plan vs prepared stream. ---
+    // AnyKRec allocates stream shells lazily on first touch, so a
+    // prepared REC stream's spawn cost is O(answers pulled) — this is
+    // the bound the ≥5x assertion pins against regression.
+    let rec_engine = Engine::from_query_bindings(&q, inst.relations_clone());
+    let prepared_rec = rec_engine
+        .query(q.clone())
+        .rank_by(RankSpec::Sum)
+        .with_variant(AnyKVariant::Rec)
+        .prepare()
+        .expect("plannable");
+    let mut rec_prep_ttf = f64::INFINITY;
+    for _ in 0..reps {
+        let (first, t) = time(|| prepared_rec.stream().next());
+        assert!(first.is_some());
+        rec_prep_ttf = rec_prep_ttf.min(t);
+    }
+    let mut rec_cold_ttf = f64::INFINITY;
+    for _ in 0..reps {
+        let engine = Engine::from_query_bindings(&q, inst.relations_clone());
+        let (first, t) = time(|| {
+            engine
+                .query(q.clone())
+                .rank_by(RankSpec::Sum)
+                .with_variant(AnyKVariant::Rec)
+                .plan()
+                .expect("plannable")
+                .next()
+        });
+        assert!(first.is_some());
+        rec_cold_ttf = rec_cold_ttf.min(t);
+    }
+    let rec_speedup = rec_cold_ttf / rec_prep_ttf.max(1e-12);
+    let mut t = Table::new([
+        "variant",
+        "cold plan() TTF",
+        "prepared TTF",
+        "cold/prepared",
+    ]);
+    t.row([
+        "PART(Lazy)".to_string(),
+        fmt_secs(cold_ttf),
+        fmt_secs(prep_ttf),
+        format!("{:.0}x", cold_ttf / prep_ttf.max(1e-12)),
+    ]);
+    t.row([
+        "REC".to_string(),
+        fmt_secs(rec_cold_ttf),
+        fmt_secs(rec_prep_ttf),
+        format!("{rec_speedup:.0}x"),
+    ]);
+    t.print();
+    // The CI smoke run executes this at scale 0.1: the bound holds
+    // there too (lazy spawn is microseconds against a multi-ms cold
+    // T-DP), so a regression to O(n) spawn fails the smoke run.
+    if scale >= 0.1 {
+        assert!(
+            rec_speedup >= 5.0,
+            "prepared REC stream TTF must be >= 5x faster than a cold REC plan \
+             (got {rec_speedup:.1}x: cold {rec_cold_ttf:.6}s vs prepared {rec_prep_ttf:.9}s)"
+        );
+    } else if rec_speedup < 5.0 {
+        println!("NOTE: REC speedup below the 5x bound at this smoke scale ({scale})");
+    }
+    println!(
+        "prepared REC stream reaches the first answer {rec_speedup:.0}x faster than a cold \
+         REC plan (acceptance: >= 5x at scale >= 0.1)"
+    );
+
+    // --- Triangle route: lazy-heap first stream vs the full sort. ---
+    let t_edges = (30_000.0 * scale).max(1_500.0) as usize;
+    let t_nodes = (t_edges / 40).max(8) as u64;
+    let (tq, trels) = cycle_instance(3, t_edges, t_nodes, WeightDist::Uniform, None, 97);
+    let tri_engine = Engine::from_query_bindings(&tq, trels.clone());
+    let (tri_prepared, tri_prep_time) = time(|| {
+        tri_engine
+            .prepare(tq.clone(), RankSpec::Sum)
+            .expect("plannable")
+    });
+    assert_eq!(
+        tri_prepared.sort_deferred(),
+        Some(true),
+        "triangle prepare must materialize without sorting"
+    );
+    let k_tri = 10usize;
+    let (top1, tri_first_ttf) = time(|| tri_prepared.stream().top_k(k_tri));
+    assert!(!top1.is_empty(), "triangle instance must have answers");
+    assert_eq!(
+        tri_prepared.sort_deferred(),
+        Some(true),
+        "a one-shot top-k must never pay the O(r log r) sort"
+    );
+    let (top2, tri_second_ttf) = time(|| tri_prepared.stream().top_k(k_tri)); // pays the sort
+    assert_eq!(
+        tri_prepared.sort_deferred(),
+        Some(false),
+        "the second stream installs the shared sorted artifact"
+    );
+    let (top3, tri_cursor_ttf) = time(|| tri_prepared.stream().top_k(k_tri)); // zero-copy cursor
+    assert_eq!(top1, top2, "lazy heap and sorted cursor agree");
+    assert_eq!(top2, top3);
+    // Baseline: what the old prepare paid — sort everything, then
+    // stream (same materialized items, so the comparison is pure
+    // heapify-vs-sort).
+    let items = wco_ranked_materialize::<SumCost>(&tq, &trels);
+    let r = items.len();
+    let (_, sort_ttf) = time(move || {
+        let sorted = SortedAnswers::new(items);
+        sorted.stream().next().is_some()
+    });
+    let mut t = Table::new([
+        "r (triangles)",
+        "materialize (prepare)",
+        "1st stream top-10 (lazy heap)",
+        "2nd stream (sort+cursor)",
+        "3rd stream (cursor)",
+        "sort-then-stream baseline",
+    ]);
+    t.row([
+        r.to_string(),
+        fmt_secs(tri_prep_time),
+        fmt_secs(tri_first_ttf),
+        fmt_secs(tri_second_ttf),
+        fmt_secs(tri_cursor_ttf),
+        fmt_secs(sort_ttf),
+    ]);
+    t.print();
+    if scale >= 1.0 {
+        assert!(
+            tri_first_ttf < sort_ttf,
+            "the lazy-heap first stream must beat sort-then-stream \
+             (got {tri_first_ttf:.6}s vs {sort_ttf:.6}s over r = {r})"
+        );
+    } else if tri_first_ttf >= sort_ttf {
+        println!("NOTE: lazy heap below sort baseline only expected at scale >= 1 ({scale})");
+    }
+    println!(
+        "triangle one-shot top-{k_tri} first-stream TTF {} vs sort-then-stream {} over \
+         r = {r} answers (the deferred-sort state machine is asserted at every scale)",
+        fmt_secs(tri_first_ttf),
+        fmt_secs(sort_ttf)
     );
 
     // Concurrent serving: T threads, each pulling a full top-k stream

@@ -23,14 +23,15 @@ use crate::rec::AnyKRec;
 use crate::succorder::SuccessorKind;
 use crate::tdp::TdpInstance;
 use crate::union::RankedUnion;
-use anyk_join::c4::{c4_cases, CaseOut};
+use anyk_join::c4::{c4_cases_with, CaseOut};
 use anyk_join::generic_join::generic_join;
 use anyk_query::cq::{triangle_query, ConjunctiveQuery};
 use anyk_storage::{Relation, Value};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 /// A materialized answer set ranked lazily through a binary heap
 /// (heapify O(r), pop O(log r)).
@@ -138,6 +139,18 @@ impl<C: Ord + Clone + std::fmt::Debug> SortedAnswers<C> {
         }
     }
 
+    /// Wrap items already in `(cost, values)` order without re-sorting
+    /// — the upgrade path of [`LazySortedAnswers`], whose exhausted
+    /// first stream emitted the answers in exactly this order.
+    fn from_sorted(items: Vec<(C, Vec<Value>)>) -> Self {
+        debug_assert!(items
+            .windows(2)
+            .all(|w| (&w[0].0, &w[0].1) <= (&w[1].0, &w[1].1)));
+        SortedAnswers {
+            items: Arc::new(items),
+        }
+    }
+
     /// Total number of answers.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -180,11 +193,272 @@ impl<C: Ord + Clone + std::fmt::Debug + Send + Sync> AnyK for SortedStream<C> {
     type Cost = C;
 }
 
+/// A materialized answer set whose `O(r log r)` sort is **deferred**:
+/// the prepared form of the triangle route.
+///
+/// Construction stores the worst-case-optimally materialized answers
+/// unsorted (`O(r)`). The **first** stream runs a lazy binary heap over
+/// them — `O(r)` heapify + `O(log r)` per pop, so a one-shot top-k
+/// caller pays `O(r + k log r)` instead of the full sort. The shared
+/// [`SortedAnswers`] artifact is installed *background-free* the moment
+/// it pays for itself:
+///
+/// * when the first stream **exhausts**, its emission order *is* the
+///   sorted order, so the artifact is installed without any extra sort;
+/// * when a **second stream spawns** while the answers are still
+///   unsorted, the spawn pays the one-time sort and every stream from
+///   then on is a zero-copy cursor.
+///
+/// Both the heap and the sort order by `(cost, values)`, so all streams
+/// — lazy first stream included — are byte-identical, ties and all.
+/// `Clone + Send + Sync`: clones share the state machine, any thread
+/// may spawn streams.
+#[derive(Debug, Clone)]
+pub struct LazySortedAnswers<C> {
+    state: Arc<Mutex<LazyState<C>>>,
+    /// Set (under the state lock) the moment the sorted artifact is
+    /// installed. Lock-free signal for the live first stream to stop
+    /// buffering its emissions — the buffer would only be discarded at
+    /// exhaustion once an artifact exists.
+    sorted: Arc<AtomicBool>,
+}
+
+#[derive(Debug)]
+enum LazyState<C> {
+    /// Materialized, not yet sorted. `first_spawned` records whether
+    /// the lazy-heap first stream is already out (the next spawn pays
+    /// the sort).
+    Unsorted {
+        items: Arc<Vec<(C, Vec<Value>)>>,
+        first_spawned: bool,
+    },
+    /// The shared sorted artifact is installed; streams are cursors.
+    Sorted(SortedAnswers<C>),
+}
+
+/// A lazy-heap element: an index into the shared unsorted answers,
+/// compared through the `Arc` by `(cost, values)` — exactly the order
+/// [`SortedAnswers`] sorts by, so heap emission matches the cursors'
+/// order ties included, without copying any tuple at spawn time.
+struct IdxEntry<C: Ord> {
+    items: Arc<Vec<(C, Vec<Value>)>>,
+    idx: u32,
+}
+
+impl<C: Ord> IdxEntry<C> {
+    fn key(&self) -> (&C, &Vec<Value>) {
+        let (c, v) = &self.items[self.idx as usize];
+        (c, v)
+    }
+}
+
+impl<C: Ord> PartialEq for IdxEntry<C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<C: Ord> Eq for IdxEntry<C> {}
+impl<C: Ord> PartialOrd for IdxEntry<C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<C: Ord> Ord for IdxEntry<C> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl<C: Ord + Clone + std::fmt::Debug> LazySortedAnswers<C> {
+    /// Store materialized `(cost, values)` pairs without sorting —
+    /// `O(r)`.
+    pub fn new(items: Vec<(C, Vec<Value>)>) -> Self {
+        LazySortedAnswers {
+            state: Arc::new(Mutex::new(LazyState::Unsorted {
+                items: Arc::new(items),
+                first_spawned: false,
+            })),
+            sorted: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Total number of answers.
+    pub fn len(&self) -> usize {
+        match &*self.lock() {
+            LazyState::Unsorted { items, .. } => items.len(),
+            LazyState::Sorted(s) => s.len(),
+        }
+    }
+
+    /// True iff the query has no answers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the shared sorted artifact has been installed (i.e.
+    /// the deferred sort has been paid — by a second stream spawn or a
+    /// first-stream exhaustion). Laziness diagnostic: a prepared
+    /// triangle that has only served one partial top-k stream must
+    /// still report `false`.
+    pub fn is_sorted(&self) -> bool {
+        matches!(&*self.lock(), LazyState::Sorted(_))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LazyState<C>> {
+        self.state.lock().expect("lazy-sort state lock poisoned")
+    }
+
+    /// Spawn a ranked stream. The first spawn is the lazy heap; later
+    /// spawns upgrade to (or reuse) the shared sorted artifact.
+    pub fn stream(&self) -> LazySortedStream<C> {
+        let mut st = self.lock();
+        match &mut *st {
+            LazyState::Sorted(sorted) => LazySortedStream {
+                inner: LazyInner::Cursor(sorted.stream()),
+            },
+            LazyState::Unsorted {
+                items,
+                first_spawned,
+            } => {
+                if *first_spawned {
+                    // Second spawn while unsorted: pay the one-time
+                    // sort, install the shared artifact. (The clone
+                    // only happens if the first stream is still alive
+                    // and holding the unsorted `Arc`.)
+                    let owned = Arc::try_unwrap(std::mem::take(items))
+                        .unwrap_or_else(|shared| (*shared).clone());
+                    let sorted = SortedAnswers::new(owned);
+                    let cursor = sorted.stream();
+                    *st = LazyState::Sorted(sorted);
+                    self.sorted.store(true, AtomicOrdering::Release);
+                    LazySortedStream {
+                        inner: LazyInner::Cursor(cursor),
+                    }
+                } else {
+                    *first_spawned = true;
+                    // Index heap over the shared answers: O(r) build,
+                    // zero tuple copies — elements compare through the
+                    // `Arc` by `(cost, values)`, the sorted order.
+                    let heap: BinaryHeap<Reverse<IdxEntry<C>>> = (0..items.len() as u32)
+                        .map(|idx| {
+                            Reverse(IdxEntry {
+                                items: Arc::clone(items),
+                                idx,
+                            })
+                        })
+                        .collect();
+                    LazySortedStream {
+                        inner: LazyInner::Heap {
+                            heap,
+                            emitted: Vec::new(),
+                            state: Arc::clone(&self.state),
+                            sorted_flag: Arc::clone(&self.sorted),
+                        },
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A stream off a [`LazySortedAnswers`]: either the lazy-heap first
+/// stream (which installs the sorted artifact when it exhausts) or a
+/// zero-copy cursor over the installed [`SortedAnswers`].
+pub struct LazySortedStream<C: Ord> {
+    inner: LazyInner<C>,
+}
+
+enum LazyInner<C: Ord> {
+    Heap {
+        heap: BinaryHeap<Reverse<IdxEntry<C>>>,
+        /// Indices into the shared items in emission = sorted order: on
+        /// exhaustion the permutation turns the shared items into the
+        /// sorted artifact for free (no re-sort, no tuple clones).
+        /// Abandoned (and freed) as soon as `sorted_flag` reports that
+        /// a concurrent spawn already installed the artifact.
+        emitted: Vec<u32>,
+        state: Arc<Mutex<LazyState<C>>>,
+        sorted_flag: Arc<AtomicBool>,
+    },
+    Cursor(SortedStream<C>),
+}
+
+impl<C: Ord + Clone + std::fmt::Debug> Iterator for LazySortedStream<C> {
+    type Item = RankedAnswer<C>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            LazyInner::Cursor(c) => c.next(),
+            LazyInner::Heap {
+                heap,
+                emitted,
+                state,
+                sorted_flag,
+            } => match heap.pop() {
+                Some(Reverse(entry)) => {
+                    let (cost, values) = entry.key();
+                    let a = RankedAnswer {
+                        cost: cost.clone(),
+                        values: values.clone(),
+                    };
+                    if sorted_flag.load(AtomicOrdering::Acquire) {
+                        // A sibling spawn already installed the sorted
+                        // artifact: the buffer can never be used — free
+                        // it and stop accumulating.
+                        if !emitted.is_empty() {
+                            *emitted = Vec::new();
+                        }
+                    } else {
+                        emitted.push(entry.idx);
+                    }
+                    Some(a)
+                }
+                None => {
+                    // Exhausted: the emission order is the sorted
+                    // order — permute the shared items into the
+                    // artifact with no extra sort and no tuple clones
+                    // (unless a concurrent second spawn already
+                    // installed one; the buffer is partial in that
+                    // case, but also unreachable: the install only
+                    // happens from the still-`Unsorted` state).
+                    let mut st = state.lock().expect("lazy-sort state lock poisoned");
+                    if let LazyState::Unsorted { items, .. } = &mut *st {
+                        let owned = Arc::try_unwrap(std::mem::take(items))
+                            .unwrap_or_else(|shared| (*shared).clone());
+                        let mut slots: Vec<Option<(C, Vec<Value>)>> =
+                            owned.into_iter().map(Some).collect();
+                        let ordered = emitted
+                            .drain(..)
+                            .map(|i| slots[i as usize].take().expect("each index emitted once"))
+                            .collect();
+                        *st = LazyState::Sorted(SortedAnswers::from_sorted(ordered));
+                        sorted_flag.store(true, AtomicOrdering::Release);
+                    }
+                    drop(st);
+                    // Degrade to an exhausted cursor so repeated
+                    // `next()` calls stay cheap and re-install nothing.
+                    self.inner = LazyInner::Cursor(SortedStream {
+                        items: Arc::new(Vec::new()),
+                        pos: 0,
+                    });
+                    None
+                }
+            },
+        }
+    }
+}
+
+impl<C: Ord + Clone + std::fmt::Debug + Send + Sync> AnyK for LazySortedStream<C> {
+    type Cost = C;
+}
+
 /// The prepared triangle plan: all triangles materialized
-/// worst-case-optimally and sorted, ready for repeated streaming.
-pub fn prepare_triangle<R: RankingFunction>(rels: &[Relation]) -> SortedAnswers<R::Cost> {
+/// worst-case-optimally, the sort deferred ([`LazySortedAnswers`]) —
+/// a one-shot top-k first stream pays `O(r + k log r)`, repeated
+/// streams share the sorted artifact installed on upgrade.
+pub fn prepare_triangle<R: RankingFunction>(rels: &[Relation]) -> LazySortedAnswers<R::Cost> {
     assert_eq!(rels.len(), 3);
-    SortedAnswers::new(wco_ranked_materialize::<R>(&triangle_query(), rels))
+    LazySortedAnswers::new(wco_ranked_materialize::<R>(&triangle_query(), rels))
 }
 
 /// One case stream of the C4 plan: an acyclic enumerator whose answers
@@ -239,9 +513,14 @@ pub struct PreparedC4<R: RankingFunction> {
 impl<R: RankingFunction> PreparedC4<R> {
     /// Run the case split and T-DP preprocessing once. `threshold` is
     /// the heavy cutoff (see [`anyk_query::cycles::heavy_threshold`]).
+    /// The light-light case merges pre-joined edge weights under `R`'s
+    /// weight-level `⊗`, so any scalar ranking ranks correctly;
+    /// rankings without one (lexicographic) get
+    /// [`TdpError::NonCollapsibleRanking`](crate::tdp::TdpError).
     pub fn prepare(rels: &[Relation], threshold: usize) -> Result<Self, crate::tdp::TdpError> {
+        let dioid = R::weight_dioid().ok_or(crate::tdp::TdpError::NonCollapsibleRanking)?;
         let mut cases = Vec::new();
-        for case in c4_cases(rels, threshold) {
+        for case in c4_cases_with(rels, threshold, dioid.combine) {
             let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
             cases.push((Arc::new(inst), case.out));
         }
@@ -286,18 +565,25 @@ impl<R: RankingFunction> PreparedC4<R> {
 /// cutoff (see [`anyk_query::cycles::heavy_threshold`]). Output
 /// variables are `(x1, x2, x3, x4)`; cost = ranking over all four edge
 /// weights.
+///
+/// # Panics
+///
+/// If `R` has no weight-level view ([`RankingFunction::weight_dioid`]
+/// is `None`, e.g. [`LexCost`](crate::ranking::LexCost)) — use
+/// [`try_c4_ranked_part`] for the typed error.
 pub fn c4_ranked_part<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
     kind: SuccessorKind,
 ) -> RankedUnion<CaseStream<AnyKPart<R>>> {
     try_c4_ranked_part(rels, threshold, kind)
-        .expect("case query/tree are consistent by construction")
+        .unwrap_or_else(|e| panic!("C4 plan preparation failed: {e:?}; use try_c4_ranked_part"))
 }
 
 /// Fallible form of [`c4_ranked_part`]: surfaces a case query/tree
-/// mismatch as a [`TdpError`](crate::tdp::TdpError) instead of panicking (the seam the
-/// engine layer routes through).
+/// mismatch or an unsupported (non-collapsible) ranking as a
+/// [`TdpError`](crate::tdp::TdpError) instead of panicking (the seam
+/// the engine layer routes through).
 pub fn try_c4_ranked_part<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
@@ -307,11 +593,17 @@ pub fn try_c4_ranked_part<R: RankingFunction>(
 }
 
 /// Ranked enumeration of 4-cycles driven by ANYK-REC.
+///
+/// # Panics
+///
+/// If `R` has no weight-level view (see [`c4_ranked_part`]) — use
+/// [`try_c4_ranked_rec`] for the typed error.
 pub fn c4_ranked_rec<R: RankingFunction>(
     rels: &[Relation],
     threshold: usize,
 ) -> RankedUnion<CaseStream<AnyKRec<R>>> {
-    try_c4_ranked_rec(rels, threshold).expect("case query/tree are consistent by construction")
+    try_c4_ranked_rec(rels, threshold)
+        .unwrap_or_else(|e| panic!("C4 plan preparation failed: {e:?}; use try_c4_ranked_rec"))
 }
 
 /// Fallible form of [`c4_ranked_rec`].
@@ -453,20 +745,111 @@ mod tests {
     }
 
     #[test]
-    fn c4_max_ranking() {
+    fn lazy_sorted_first_stream_defers_the_sort() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (2, 1, 2.0),
+            (1, 3, 0.125),
+            (3, 2, 0.75),
+        ]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let lazy = prepare_triangle::<SumCost>(&rels);
+        assert!(!lazy.is_sorted(), "prepare must not pay the sort");
+        assert!(!lazy.is_empty());
+
+        // First stream: lazy heap; a partial top-k pull leaves the
+        // sort unpaid.
+        let mut s1 = lazy.stream();
+        let first = s1.next().expect("has answers");
+        assert!(!lazy.is_sorted(), "k=1 must not pay the sort");
+
+        // Second spawn pays the one-time sort and installs the shared
+        // artifact; its stream is byte-identical to the first one.
+        let s2: Vec<_> = lazy.stream().map(|a| (a.cost, a.values)).collect();
+        assert!(lazy.is_sorted(), "second spawn installs the artifact");
+        let mut s1_all: Vec<_> = vec![(first.cost, first.values)];
+        s1_all.extend(s1.map(|a| (a.cost, a.values)));
+        assert_eq!(s1_all, s2, "heap stream == sorted cursor, ties included");
+        assert!(s2.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn lazy_sorted_exhaustion_installs_artifact() {
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (1, 3, 0.125),
+            (3, 2, 0.75),
+            (2, 1, 4.0),
+        ]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let lazy = prepare_triangle::<SumCost>(&rels);
+        let mut s1 = lazy.stream();
+        let all: Vec<_> = (&mut s1).map(|a| (a.cost, a.values)).collect();
+        assert!(!all.is_empty());
+        assert!(
+            lazy.is_sorted(),
+            "a drained first stream installs the sorted artifact for free"
+        );
+        assert!(s1.next().is_none(), "exhausted stream stays exhausted");
+        let again: Vec<_> = lazy.stream().map(|a| (a.cost, a.values)).collect();
+        assert_eq!(all, again, "cursor replays the first stream exactly");
+    }
+
+    #[test]
+    fn lazy_sorted_empty_answer_set() {
+        // No triangles at all: both the heap path and the installed
+        // artifact must behave.
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0)]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let lazy = prepare_triangle::<SumCost>(&rels);
+        assert!(lazy.is_empty());
+        assert!(lazy.stream().next().is_none());
+        assert!(lazy.is_sorted(), "empty first stream exhausts immediately");
+        assert!(lazy.stream().next().is_none());
+    }
+
+    #[test]
+    fn c4_max_ranking_matches_wco_oracle() {
+        // Regression: the light-light case used to merge pre-joined
+        // edge weights with `+` regardless of ranking, so Max costs
+        // came out as max(w1+w4, w2+w3) instead of max of all four.
         let e = edge_rel(&[
             (1, 2, 0.5),
             (2, 3, 1.0),
             (3, 4, 0.25),
             (4, 1, 2.0),
-            (2, 1, 0.1),
+            (2, 1, 0.125),
             (1, 4, 3.0),
+            (4, 2, 0.75),
+            (2, 4, 1.5),
         ]);
         let rels = vec![e.clone(), e.clone(), e.clone(), e];
-        let got: Vec<f64> = c4_ranked_part::<MaxCost>(&rels, 1, SuccessorKind::Lazy)
-            .map(|a| a.cost.get())
+        let mut want: Vec<f64> = wco_ranked_materialize::<MaxCost>(&cycle_query(4), &rels)
+            .into_iter()
+            .map(|(c, _)| c.get())
             .collect();
-        assert!(got.windows(2).all(|w| w[0] <= w[1]));
-        assert!(!got.is_empty());
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!want.is_empty());
+        for thr in [0, 1, 2, 100] {
+            let got: Vec<f64> = c4_ranked_part::<MaxCost>(&rels, thr, SuccessorKind::Lazy)
+                .map(|a| a.cost.get())
+                .collect();
+            assert_eq!(got, want, "thr {thr}");
+        }
+    }
+
+    #[test]
+    fn lex_on_c4_is_a_typed_rejection() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 4, 0.25), (4, 1, 2.0)]);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        let err = match PreparedC4::<crate::ranking::LexCost>::prepare(&rels, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("lex must be rejected on the C4 plan"),
+        };
+        assert_eq!(err, crate::tdp::TdpError::NonCollapsibleRanking);
     }
 }

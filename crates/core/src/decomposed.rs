@@ -18,7 +18,7 @@ use crate::ranking::RankingFunction;
 use crate::rec::AnyKRec;
 use crate::succorder::SuccessorKind;
 use crate::tdp::TdpInstance;
-use anyk_join::decomposed::ghd_plan;
+use anyk_join::decomposed::ghd_plan_with;
 use anyk_query::cq::ConjunctiveQuery;
 use anyk_query::decompose::{fhw_exact, fhw_greedy, Decomposition};
 use anyk_query::hypergraph::Hypergraph;
@@ -79,13 +79,17 @@ pub struct PreparedDecomposed<R: RankingFunction> {
 }
 
 impl<R: RankingFunction> PreparedDecomposed<R> {
-    /// Materialize the bags of `decomp` and run T-DP once.
+    /// Materialize the bags of `decomp` and run T-DP once. Bag weights
+    /// are merged under `R`'s weight-level `⊗`, so any scalar ranking
+    /// ranks correctly; rankings without one (lexicographic) get
+    /// [`TdpError::NonCollapsibleRanking`](crate::tdp::TdpError).
     pub fn prepare(
         q: &ConjunctiveQuery,
         rels: &[Relation],
         decomp: &Decomposition,
     ) -> Result<Self, crate::tdp::TdpError> {
-        let plan = ghd_plan(q, rels, decomp);
+        let dioid = R::weight_dioid().ok_or(crate::tdp::TdpError::NonCollapsibleRanking)?;
+        let plan = ghd_plan_with(q, rels, decomp, dioid.identity, dioid.combine);
         let perm = var_permutation(q, &plan.bag_query);
         let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
         Ok(PreparedDecomposed {
@@ -116,18 +120,27 @@ impl<R: RankingFunction> PreparedDecomposed<R> {
 /// driven by ANYK-PART. Ranking must be commutative (see
 /// [`crate::cyclic`] for why lexicographic is excluded on decomposed
 /// plans).
+///
+/// # Panics
+///
+/// If `R` has no weight-level view ([`RankingFunction::weight_dioid`]
+/// is `None`, e.g. [`LexCost`](crate::ranking::LexCost)) — use
+/// [`try_decomposed_ranked_part`] for the typed error.
 pub fn decomposed_ranked_part<R: RankingFunction>(
     q: &ConjunctiveQuery,
     rels: &[Relation],
     decomp: &Decomposition,
     kind: SuccessorKind,
 ) -> DecomposedRanked<AnyKPart<R>> {
-    try_decomposed_ranked_part(q, rels, decomp, kind).expect("bag tree matches bag query")
+    try_decomposed_ranked_part(q, rels, decomp, kind).unwrap_or_else(|e| {
+        panic!("GHD plan preparation failed: {e:?}; use try_decomposed_ranked_part")
+    })
 }
 
 /// Fallible form of [`decomposed_ranked_part`]: surfaces a bag
-/// query/tree mismatch as a [`TdpError`](crate::tdp::TdpError) instead of panicking (the
-/// seam the engine layer routes through).
+/// query/tree mismatch or an unsupported (non-collapsible) ranking as
+/// a [`TdpError`](crate::tdp::TdpError) instead of panicking (the seam
+/// the engine layer routes through).
 pub fn try_decomposed_ranked_part<R: RankingFunction>(
     q: &ConjunctiveQuery,
     rels: &[Relation],
@@ -138,12 +151,19 @@ pub fn try_decomposed_ranked_part<R: RankingFunction>(
 }
 
 /// Ranked enumeration through `decomp`, driven by ANYK-REC.
+///
+/// # Panics
+///
+/// If `R` has no weight-level view (see [`decomposed_ranked_part`]) —
+/// use [`try_decomposed_ranked_rec`] for the typed error.
 pub fn decomposed_ranked_rec<R: RankingFunction>(
     q: &ConjunctiveQuery,
     rels: &[Relation],
     decomp: &Decomposition,
 ) -> DecomposedRanked<AnyKRec<R>> {
-    try_decomposed_ranked_rec(q, rels, decomp).expect("bag tree matches bag query")
+    try_decomposed_ranked_rec(q, rels, decomp).unwrap_or_else(|e| {
+        panic!("GHD plan preparation failed: {e:?}; use try_decomposed_ranked_rec")
+    })
 }
 
 /// Fallible form of [`decomposed_ranked_rec`].
@@ -300,7 +320,10 @@ mod tests {
     }
 
     #[test]
-    fn max_ranking_via_ghd() {
+    fn max_ranking_via_ghd_matches_wco_oracle() {
+        // Regression: bag materialization used to sum assigned atoms'
+        // weights regardless of ranking, corrupting Max/Min/Prod costs
+        // whenever a bag covered more than one atom.
         let e = edge_rel(&[
             (1, 2, 0.5),
             (2, 3, 1.0),
@@ -313,10 +336,29 @@ mod tests {
         let q = triangle_query();
         let h = Hypergraph::of_query(&q);
         let d = fhw_exact(&h);
+        let mut want: Vec<f64> = crate::cyclic::wco_ranked_materialize::<MaxCost>(&q, &rels)
+            .into_iter()
+            .map(|(c, _)| c.get())
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!want.is_empty());
         let got: Vec<f64> = decomposed_ranked_part::<MaxCost>(&q, &rels, &d, SuccessorKind::Lazy)
             .map(|a| a.cost.get())
             .collect();
-        assert!(got.windows(2).all(|w| w[0] <= w[1]));
-        assert!(!got.is_empty());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lex_via_ghd_is_a_typed_rejection() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let q = triangle_query();
+        let h = Hypergraph::of_query(&q);
+        let d = fhw_exact(&h);
+        let err = match PreparedDecomposed::<crate::ranking::LexCost>::prepare(&q, &rels, &d) {
+            Err(e) => e,
+            Ok(_) => panic!("lex must be rejected on decomposed plans"),
+        };
+        assert_eq!(err, crate::tdp::TdpError::NonCollapsibleRanking);
     }
 }

@@ -71,8 +71,8 @@ pub use answer::{AnyK, RankedAnswer};
 pub use batch::{materialize_ranked, BatchHeap, BatchSorted};
 pub use cyclic::{
     c4_ranked_part, c4_ranked_rec, prepare_triangle, triangle_ranked, try_c4_ranked_part,
-    try_c4_ranked_rec, wco_ranked_materialize, PreparedC4, RankedMaterialized, SortedAnswers,
-    SortedStream,
+    try_c4_ranked_rec, wco_ranked_materialize, LazySortedAnswers, LazySortedStream, PreparedC4,
+    RankedMaterialized, SortedAnswers, SortedStream,
 };
 pub use decomposed::{
     auto_decomposition, decomposed_ranked_part, decomposed_ranked_rec, ranked_auto,
@@ -80,7 +80,7 @@ pub use decomposed::{
 };
 pub use ksp::{k_shortest_paths, LayeredDag};
 pub use part::AnyKPart;
-pub use ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
+pub use ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost, WeightDioid};
 pub use rec::AnyKRec;
 pub use succorder::SuccessorKind;
 pub use tdp::{TdpError, TdpInstance};

@@ -203,6 +203,14 @@ impl<R: RankingFunction> AnyKPart<R> {
         self.heap.len()
     }
 
+    /// Number of join-key groups whose successor order has been built
+    /// so far (laziness diagnostic: orders are created on first touch,
+    /// so this stays `o(n)` for small-`k` enumerations — the property
+    /// the prepare-once/stream-many serving path relies on).
+    pub fn touched_groups(&self) -> usize {
+        self.orders.iter().map(FxHashMap::len).sum()
+    }
+
     /// Largest candidate-queue size observed so far (memory diagnostic;
     /// the All variant's queue-flooding shows up here).
     pub fn peak_pending(&self) -> usize {

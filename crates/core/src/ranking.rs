@@ -22,6 +22,29 @@
 use anyk_storage::Weight;
 use std::fmt::Debug;
 
+/// The weight-level view of a scalar ranking: an `(identity, combine)`
+/// pair on raw [`Weight`]s mirroring the cost dioid, satisfying
+///
+/// * `lift(combine(a, b)) == combine(lift(a), lift(b))`, and
+/// * `lift(identity) == identity()`.
+///
+/// Plans that **pre-join input tuples** — the 4-cycle's light-light
+/// bags (`anyk_join::c4`) and GHD bag materialization
+/// (`anyk_join::decomposed`) — must collapse several tuple weights
+/// into the single weight slot of a derived tuple; this view is what
+/// lets them do so under *any* scalar ranking instead of baking in
+/// `+`. Rankings whose costs cannot round-trip through one weight
+/// (lexicographic: costs concatenate) have no such view and cannot
+/// drive weight-merging plans — the planner already rejects them on
+/// cyclic routes.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightDioid {
+    /// `lift(identity)` must equal the cost dioid's identity.
+    pub identity: Weight,
+    /// Weight-level `⊗`, commuting with `lift`.
+    pub combine: fn(Weight, Weight) -> Weight,
+}
+
 /// A ranking function over tuple weights. See module docs for the laws;
 /// they are property-tested in this module.
 ///
@@ -41,6 +64,13 @@ pub trait RankingFunction: Clone + Send + Sync + 'static {
 
     /// Monotone associative combination (`⊗` of the dioid).
     fn combine(a: &Self::Cost, b: &Self::Cost) -> Self::Cost;
+
+    /// The weight-level view of this ranking, or `None` when costs
+    /// cannot be collapsed into a single weight (see [`WeightDioid`]).
+    /// Defaults to `None` — the safe answer; scalar rankings override.
+    fn weight_dioid() -> Option<WeightDioid> {
+        None
+    }
 }
 
 /// Rank by the **sum** of tuple weights (the paper's default: "top-k
@@ -64,6 +94,13 @@ impl RankingFunction for SumCost {
     #[inline]
     fn combine(a: &Weight, b: &Weight) -> Weight {
         Weight::new(a.get() + b.get())
+    }
+
+    fn weight_dioid() -> Option<WeightDioid> {
+        Some(WeightDioid {
+            identity: Weight::ZERO,
+            combine: |a, b| Weight::new(a.get() + b.get()),
+        })
     }
 }
 
@@ -91,6 +128,13 @@ impl RankingFunction for MaxCost {
     fn combine(a: &Weight, b: &Weight) -> Weight {
         (*a).max(*b)
     }
+
+    fn weight_dioid() -> Option<WeightDioid> {
+        Some(WeightDioid {
+            identity: Weight::new(f64::NEG_INFINITY),
+            combine: |a, b| a.max(b),
+        })
+    }
 }
 
 /// Rank by the **minimum** tuple weight, ascending (answers whose best
@@ -114,6 +158,13 @@ impl RankingFunction for MinCost {
     #[inline]
     fn combine(a: &Weight, b: &Weight) -> Weight {
         (*a).min(*b)
+    }
+
+    fn weight_dioid() -> Option<WeightDioid> {
+        Some(WeightDioid {
+            identity: Weight::new(f64::INFINITY),
+            combine: |a, b| a.min(b),
+        })
     }
 }
 
@@ -140,6 +191,13 @@ impl RankingFunction for ProdCost {
     #[inline]
     fn combine(a: &Weight, b: &Weight) -> Weight {
         Weight::new(a.get() * b.get())
+    }
+
+    fn weight_dioid() -> Option<WeightDioid> {
+        Some(WeightDioid {
+            identity: Weight::new(1.0),
+            combine: |a, b| Weight::new(a.get() * b.get()),
+        })
     }
 }
 
@@ -207,6 +265,14 @@ mod tests {
     }
 
     #[test]
+    fn lex_has_no_weight_dioid() {
+        // Lexicographic costs concatenate — they cannot round-trip
+        // through a single weight, so weight-merging plans must be
+        // unreachable for them.
+        assert!(LexCost::weight_dioid().is_none());
+    }
+
+    #[test]
     fn lex_ordering() {
         let ab = LexCost::combine(&LexCost::lift(w(1.0)), &LexCost::lift(w(5.0)));
         let ab2 = LexCost::combine(&LexCost::lift(w(1.0)), &LexCost::lift(w(2.0)));
@@ -218,6 +284,19 @@ mod tests {
 
     /// Check monotonicity + associativity + identity for a dioid.
     fn laws<R: RankingFunction>(xs: &[f64]) {
+        // The weight-level view, if any, must commute with `lift`.
+        if let Some(d) = R::weight_dioid() {
+            assert_eq!(R::lift(d.identity), R::identity());
+            for &a in xs {
+                for &b in xs {
+                    assert_eq!(
+                        R::lift((d.combine)(w(a), w(b))),
+                        R::combine(&R::lift(w(a)), &R::lift(w(b))),
+                        "weight dioid must commute with lift"
+                    );
+                }
+            }
+        }
         let costs: Vec<R::Cost> = xs.iter().map(|&x| R::lift(w(x))).collect();
         for a in &costs {
             // identity

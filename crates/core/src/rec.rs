@@ -18,11 +18,20 @@
 //! memoization that makes REC asymptotically superior for large `k`
 //! (TT(last)), while ANYK-PART tends to win time-to-first. Neither
 //! dominates (§4 of the paper); experiment E9 reproduces the crossover.
+//!
+//! Stream shells are allocated **lazily on first touch** (an
+//! `FxHashMap` per slot, like [`AnyKPart`](crate::part::AnyKPart)'s
+//! on-demand successor orders): spawning an enumerator over a shared
+//! prepared [`TdpInstance`] costs `O(slots)`, and enumeration only ever
+//! materializes the (slot, group) / (slot, tuple) streams its answers
+//! actually recurse through — stream-spawn cost is proportional to the
+//! answers pulled, not to `n`. This is what makes REC's time-to-first
+//! serving-grade on the prepare-once/stream-many path.
 
 use crate::answer::RankedAnswer;
 use crate::ranking::RankingFunction;
 use crate::tdp::TdpInstance;
-use anyk_storage::RowId;
+use anyk_storage::{FxHashMap, RowId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -70,19 +79,21 @@ impl_min_heap_ord!(GroupCand);
 impl_min_heap_ord!(TupleCand);
 
 /// Memoized ranked stream of one join-key group's subtree solutions.
+/// Created (and its frontier seeded with every member at rank 0) on
+/// first touch.
 struct GroupStream<C> {
     /// `(cost, member row, rank within that member's tuple stream)`.
     mat: Vec<(C, RowId, u32)>,
     frontier: BinaryHeap<GroupCand<C>>,
-    initialized: bool,
 }
 
-/// Memoized ranked stream of one tuple's subtree solutions.
+/// Memoized ranked stream of one tuple's subtree solutions. Created
+/// (and its frontier seeded with the all-zeros child combination) on
+/// first touch.
 struct TupleStream<C> {
     /// `(cost, child ranks)` — one rank per child slot.
     mat: Vec<(C, Box<[u32]>)>,
     frontier: BinaryHeap<TupleCand<C>>,
-    initialized: bool,
 }
 
 /// Ranked enumeration over a prepared [`TdpInstance`] via recursive
@@ -108,72 +119,30 @@ struct TupleStream<C> {
 pub struct AnyKRec<R: RankingFunction> {
     /// The shared prepared instance (see [`AnyKPart`](crate::part::AnyKPart)).
     inst: Arc<TdpInstance<R>>,
-    /// slot -> base offset into `gstreams` (flat id = base + group id).
-    group_base: Vec<usize>,
-    /// slot -> base offset into `tstreams` (flat id = base + row id).
-    tuple_base: Vec<usize>,
-    gstreams: Vec<GroupStream<R::Cost>>,
-    tstreams: Vec<TupleStream<R::Cost>>,
-    /// slot of each group stream / tuple stream (parallel arrays).
-    gslot: Vec<usize>,
-    tslot: Vec<usize>,
+    /// slot -> group id -> group stream, **created lazily on first
+    /// touch**: spawning the enumerator allocates only the per-slot
+    /// maps, so a prepared stream's spawn cost is `O(slots)` — the
+    /// streams an enumeration never recurses through are never built.
+    gstreams: Vec<FxHashMap<u32, GroupStream<R::Cost>>>,
+    /// slot -> row id -> tuple stream, created lazily on first touch.
+    tstreams: Vec<FxHashMap<RowId, TupleStream<R::Cost>>>,
     next_rank: usize,
     seq: u64,
 }
 
 impl<R: RankingFunction> AnyKRec<R> {
-    /// Build the enumerator (stream shells only — constant work beyond
-    /// the T-DP preprocessing already paid in `inst`). Accepts an owned
-    /// [`TdpInstance`] or a shared `Arc<TdpInstance>` (the
-    /// prepare-once/enumerate-many path).
+    /// Build the enumerator — `O(slots)` work, independent of the
+    /// instance's tuple count (stream shells are created on first
+    /// touch during enumeration). Accepts an owned [`TdpInstance`] or
+    /// a shared `Arc<TdpInstance>` (the prepare-once/enumerate-many
+    /// path).
     pub fn new(inst: impl Into<Arc<TdpInstance<R>>>) -> Self {
         let inst = inst.into();
         let m = inst.num_slots();
-        let mut group_base = Vec::with_capacity(m);
-        let mut tuple_base = Vec::with_capacity(m);
-        let mut gslot = Vec::new();
-        let mut tslot = Vec::new();
-        let (mut gtotal, mut ttotal) = (0usize, 0usize);
-        for s in 0..m {
-            group_base.push(gtotal);
-            tuple_base.push(ttotal);
-            let ngroups = if inst.is_empty() {
-                0
-            } else {
-                inst.groups[s].len()
-            };
-            let nrows = if inst.is_empty() {
-                0
-            } else {
-                inst.rels[inst.atom_of_slot[s]].len()
-            };
-            gtotal += ngroups;
-            ttotal += nrows;
-            gslot.extend(std::iter::repeat_n(s, ngroups));
-            tslot.extend(std::iter::repeat_n(s, nrows));
-        }
-        let gstreams = (0..gtotal)
-            .map(|_| GroupStream {
-                mat: Vec::new(),
-                frontier: BinaryHeap::new(),
-                initialized: false,
-            })
-            .collect();
-        let tstreams = (0..ttotal)
-            .map(|_| TupleStream {
-                mat: Vec::new(),
-                frontier: BinaryHeap::new(),
-                initialized: false,
-            })
-            .collect();
         AnyKRec {
             inst,
-            group_base,
-            tuple_base,
-            gstreams,
-            tstreams,
-            gslot,
-            tslot,
+            gstreams: std::iter::repeat_with(FxHashMap::default).take(m).collect(),
+            tstreams: std::iter::repeat_with(FxHashMap::default).take(m).collect(),
             next_rank: 0,
             seq: 0,
         }
@@ -184,50 +153,67 @@ impl<R: RankingFunction> AnyKRec<R> {
         &self.inst
     }
 
+    /// Number of group streams materialized so far (laziness
+    /// diagnostic: stays `o(n)` for small-`k` enumerations).
+    pub fn allocated_group_streams(&self) -> usize {
+        self.gstreams.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Number of tuple streams materialized so far (laziness
+    /// diagnostic).
+    pub fn allocated_tuple_streams(&self) -> usize {
+        self.tstreams.iter().map(FxHashMap::len).sum()
+    }
+
     fn bump(&mut self) -> u64 {
         self.seq += 1;
         self.seq
     }
 
-    /// The cost of rank `r` of group stream `gid`, extending lazily.
-    fn group_cost(&mut self, gid: usize, r: usize) -> Option<R::Cost> {
-        self.ensure_group_init(gid);
+    /// The cost of rank `r` of the stream of `group` at `slot`,
+    /// extending lazily.
+    fn group_cost(&mut self, slot: usize, group: u32, r: usize) -> Option<R::Cost> {
+        self.ensure_group(slot, group);
         loop {
-            if let Some((c, _, _)) = self.gstreams[gid].mat.get(r) {
+            let gs = self.gstreams[slot].get_mut(&group).expect("just ensured");
+            if let Some((c, _, _)) = gs.mat.get(r) {
                 return Some(c.clone());
             }
-            let cand = self.gstreams[gid].frontier.pop()?;
-            self.gstreams[gid]
-                .mat
-                .push((cand.cost, cand.row, cand.rank));
+            let cand = gs.frontier.pop()?;
+            let (row, rank) = (cand.row, cand.rank);
+            gs.mat.push((cand.cost, row, rank));
             // Schedule the same member's next rank.
-            let slot = self.gslot[gid];
-            if let Some(nc) = self.tuple_cost(slot, cand.row, cand.rank as usize + 1) {
+            if let Some(nc) = self.tuple_cost(slot, row, rank as usize + 1) {
                 let seq = self.bump();
-                self.gstreams[gid].frontier.push(GroupCand {
-                    cost: nc,
-                    seq,
-                    row: cand.row,
-                    rank: cand.rank + 1,
-                });
+                self.gstreams[slot]
+                    .get_mut(&group)
+                    .expect("just ensured")
+                    .frontier
+                    .push(GroupCand {
+                        cost: nc,
+                        seq,
+                        row,
+                        rank: rank + 1,
+                    });
             }
         }
     }
 
     /// The cost of rank `r` of the tuple stream for `row` at `slot`.
     fn tuple_cost(&mut self, slot: usize, row: RowId, r: usize) -> Option<R::Cost> {
-        let tid = self.tuple_base[slot] + row as usize;
-        self.ensure_tuple_init(tid);
+        self.ensure_tuple(slot, row);
         loop {
-            if let Some((c, _)) = self.tstreams[tid].mat.get(r) {
+            let ts = self.tstreams[slot].get_mut(&row).expect("just ensured");
+            if let Some((c, _)) = ts.mat.get(r) {
                 return Some(c.clone());
             }
-            let cand = self.tstreams[tid].frontier.pop()?;
+            let cand = ts.frontier.pop()?;
             let ranks = cand.ranks.clone();
-            self.tstreams[tid].mat.push((cand.cost, cand.ranks));
+            ts.mat.push((cand.cost, cand.ranks));
             // Children combos: increment coordinate i only if all
             // earlier coordinates are 0 (unique-predecessor rule).
-            let child_slots = self.inst.child_slots[slot].clone();
+            let inst = Arc::clone(&self.inst);
+            let child_slots = &inst.child_slots[slot];
             for i in 0..ranks.len() {
                 if ranks[..i].iter().any(|&x| x != 0) {
                     break;
@@ -235,15 +221,16 @@ impl<R: RankingFunction> AnyKRec<R> {
                 let mut nr = ranks.clone();
                 nr[i] += 1;
                 // Cost = w(row) ⊗ child costs in serialization order.
-                let ci_gid = self.child_gid(slot, row, child_slots[i]);
-                if self.group_cost(ci_gid, nr[i] as usize).is_none() {
+                let ci = child_slots[i];
+                let ci_group = self.child_group(row, ci);
+                if self.group_cost(ci, ci_group, nr[i] as usize).is_none() {
                     continue; // child stream exhausted at this rank
                 }
-                let mut cost = self.inst.slot_weight(slot, row);
+                let mut cost = inst.slot_weight(slot, row);
                 let mut ok = true;
                 for (j, &cs) in child_slots.iter().enumerate() {
-                    let gj = self.child_gid(slot, row, cs);
-                    match self.group_cost(gj, nr[j] as usize) {
+                    let gj = self.child_group(row, cs);
+                    match self.group_cost(cs, gj, nr[j] as usize) {
                         Some(c) => cost = R::combine(&cost, &c),
                         None => {
                             ok = false;
@@ -253,83 +240,92 @@ impl<R: RankingFunction> AnyKRec<R> {
                 }
                 if ok {
                     let seq = self.bump();
-                    self.tstreams[tid].frontier.push(TupleCand {
-                        cost,
-                        seq,
-                        ranks: nr,
-                    });
+                    self.tstreams[slot]
+                        .get_mut(&row)
+                        .expect("just ensured")
+                        .frontier
+                        .push(TupleCand {
+                            cost,
+                            seq,
+                            ranks: nr,
+                        });
                 }
             }
         }
     }
 
-    /// Flat id of the group stream of child slot `cs` under `row` at
-    /// `slot`.
+    /// Group id of the stream of child slot `cs` under parent `row`.
     #[inline]
-    fn child_gid(&self, _slot: usize, row: RowId, cs: usize) -> usize {
-        self.group_base[cs] + self.inst.group_of_parent_row[cs][row as usize] as usize
+    fn child_group(&self, row: RowId, cs: usize) -> u32 {
+        self.inst.group_of_parent_row[cs][row as usize]
     }
 
-    fn ensure_group_init(&mut self, gid: usize) {
-        if self.gstreams[gid].initialized {
+    /// Create the stream of `group` at `slot` on first touch, seeding
+    /// the frontier with every member at rank 0 (rank-0 cost of a
+    /// tuple stream is exactly the DP subcost — no recursion needed).
+    fn ensure_group(&mut self, slot: usize, group: u32) {
+        if self.gstreams[slot].contains_key(&group) {
             return;
         }
-        self.gstreams[gid].initialized = true;
-        let slot = self.gslot[gid];
-        let group = gid - self.group_base[slot];
-        // Seed with every member at rank 0; rank-0 cost of a tuple
-        // stream is exactly the DP subcost — no recursion needed.
-        let members = self.inst.groups[slot][group].clone();
-        for row in members {
-            let cost = self.inst.subcost[slot][row as usize].clone();
+        let inst = Arc::clone(&self.inst);
+        let members = &inst.groups[slot][group as usize];
+        let mut gs = GroupStream {
+            mat: Vec::new(),
+            frontier: BinaryHeap::with_capacity(members.len()),
+        };
+        for &row in members {
+            let cost = inst.subcost[slot][row as usize].clone();
             let seq = self.bump();
-            self.gstreams[gid].frontier.push(GroupCand {
+            gs.frontier.push(GroupCand {
                 cost,
                 seq,
                 row,
                 rank: 0,
             });
         }
+        self.gstreams[slot].insert(group, gs);
     }
 
-    fn ensure_tuple_init(&mut self, tid: usize) {
-        if self.tstreams[tid].initialized {
+    /// Create the tuple stream of `row` at `slot` on first touch,
+    /// seeding it with the tuple itself (leaf) or the all-zeros child
+    /// combination.
+    fn ensure_tuple(&mut self, slot: usize, row: RowId) {
+        if self.tstreams[slot].contains_key(&row) {
             return;
         }
-        self.tstreams[tid].initialized = true;
-        let slot = self.tslot[tid];
-        let row = (tid - self.tuple_base[slot]) as RowId;
-        let child_slots = self.inst.child_slots[slot].clone();
+        let inst = Arc::clone(&self.inst);
+        let child_slots = &inst.child_slots[slot];
+        let mut ts = TupleStream {
+            mat: Vec::new(),
+            frontier: BinaryHeap::new(),
+        };
         if child_slots.is_empty() {
             // Leaf: single solution = the tuple itself.
-            let cost = self.inst.slot_weight(slot, row);
-            self.tstreams[tid].mat.push((cost, Box::from([])));
-            return;
+            ts.mat.push((inst.slot_weight(slot, row), Box::from([])));
+        } else {
+            // Initial combo (0, ..., 0): w(row) ⊗ each child group's best.
+            let mut cost = inst.slot_weight(slot, row);
+            for &cs in child_slots {
+                let g = inst.group_of_parent_row[cs][row as usize] as usize;
+                cost = R::combine(&cost, &inst.group_best[cs][g].0);
+            }
+            let seq = self.bump();
+            let ranks: Box<[u32]> = vec![0u32; child_slots.len()].into_boxed_slice();
+            ts.frontier.push(TupleCand { cost, seq, ranks });
         }
-        // Initial combo (0, ..., 0): w(row) ⊗ each child group's best.
-        let mut cost = self.inst.slot_weight(slot, row);
-        for &cs in &child_slots {
-            let g = self.inst.group_of_parent_row[cs][row as usize] as usize;
-            cost = R::combine(&cost, &self.inst.group_best[cs][g].0);
-        }
-        let seq = self.bump();
-        let ranks: Box<[u32]> = vec![0u32; child_slots.len()].into_boxed_slice();
-        self.tstreams[tid]
-            .frontier
-            .push(TupleCand { cost, seq, ranks });
+        self.tstreams[slot].insert(row, ts);
     }
 
-    /// Collect the chosen row per slot for rank `rank` of group stream
-    /// `gid` (all required entries are already materialized).
-    fn assemble_rows(&self, gid: usize, rank: usize, rows: &mut [RowId]) {
-        let slot = self.gslot[gid];
-        let (_, row, trank) = self.gstreams[gid].mat[rank];
+    /// Collect the chosen row per slot for rank `rank` of the stream of
+    /// `group` at `slot` (all required entries are already
+    /// materialized).
+    fn assemble_rows(&self, slot: usize, group: u32, rank: usize, rows: &mut [RowId]) {
+        let (_, row, trank) = self.gstreams[slot][&group].mat[rank];
         rows[slot] = row;
-        let tid = self.tuple_base[slot] + row as usize;
-        let (_, ref child_ranks) = self.tstreams[tid].mat[trank as usize];
+        let (_, ref child_ranks) = self.tstreams[slot][&row].mat[trank as usize];
         for (i, &cs) in self.inst.child_slots[slot].iter().enumerate() {
-            let cgid = self.child_gid(slot, row, cs);
-            self.assemble_rows(cgid, child_ranks[i] as usize, rows);
+            let cgroup = self.child_group(row, cs);
+            self.assemble_rows(cs, cgroup, child_ranks[i] as usize, rows);
         }
     }
 }
@@ -341,12 +337,11 @@ impl<R: RankingFunction> Iterator for AnyKRec<R> {
         if self.inst.is_empty() {
             return None;
         }
-        let root_gid = self.group_base[0]; // slot 0, group 0
         let r = self.next_rank;
-        let cost = self.group_cost(root_gid, r)?;
+        let cost = self.group_cost(0, 0, r)?; // root = slot 0, group 0
         self.next_rank += 1;
         let mut rows = vec![0 as RowId; self.inst.num_slots()];
-        self.assemble_rows(root_gid, r, &mut rows);
+        self.assemble_rows(0, 0, r, &mut rows);
         let mut values = Vec::new();
         self.inst.assemble(&rows, &mut values);
         Some(RankedAnswer { cost, values })
@@ -441,6 +436,8 @@ mod tests {
         let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
         let mut rec = AnyKRec::new(inst);
         assert!(rec.next().is_none());
+        assert_eq!(rec.allocated_group_streams(), 0);
+        assert_eq!(rec.allocated_tuple_streams(), 0);
     }
 
     #[test]
@@ -456,5 +453,37 @@ mod tests {
         let inst = TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap();
         let costs: Vec<f64> = AnyKRec::new(inst).map(|a| a.cost.get()).collect();
         assert_eq!(costs, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spawn_is_lazy_and_k1_touches_few_streams() {
+        // A wide 2-path: many rows, but the top-1 pull must only ever
+        // materialize the streams its recursion touches — the spawn
+        // itself allocates no per-row state at all.
+        let rows1: Vec<(i64, i64, f64)> = (0..500).map(|i| (1, i, 1.0 + i as f64)).collect();
+        let rows2: Vec<(i64, i64, f64)> = (0..500)
+            .flat_map(|i| [(i, 1000 + i, 1.0), (i, 2000 + i, 2.0)])
+            .collect();
+        let q = path_query(2);
+        let tree = tree_of(&q);
+        let rels = vec![edge_rel(["a", "b"], &rows1), edge_rel(["b", "c"], &rows2)];
+        let inst = Arc::new(TdpInstance::<SumCost>::prepare(&q, &tree, rels).unwrap());
+        let n = inst.reduced_input_size();
+        assert!(n >= 1000, "instance must be large enough to be telling");
+
+        let mut rec = AnyKRec::new(Arc::clone(&inst));
+        assert_eq!(rec.allocated_group_streams(), 0, "spawn allocates nothing");
+        assert_eq!(rec.allocated_tuple_streams(), 0);
+
+        let first = rec.next().expect("instance has answers");
+        assert_eq!(first.cost.get(), 2.0); // row (1,0) + edge (0,1000+0)
+                                           // k=1 touches the root group, the winning root tuple's stream,
+                                           // and that tuple's child group/tuple streams — a handful, not n.
+        assert!(
+            rec.allocated_group_streams() + rec.allocated_tuple_streams() <= 8,
+            "k=1 must touch O(1) streams, got {} + {}",
+            rec.allocated_group_streams(),
+            rec.allocated_tuple_streams()
+        );
     }
 }

@@ -33,6 +33,14 @@ use anyk_storage::{FxHashMap, HashIndex, Relation, RowId, Value};
 pub enum TdpError {
     /// The tree does not have one node per atom.
     TreeAtomMismatch,
+    /// The ranking has no weight-level view
+    /// ([`RankingFunction::weight_dioid`] is `None`, e.g.
+    /// lexicographic), but the plan pre-joins input tuples and must
+    /// collapse their weights (the 4-cycle's light-light bags, GHD bag
+    /// materialization). The engine's planner rejects such rankings on
+    /// cyclic routes before reaching this; hand-built plans get the
+    /// typed error instead of wrong costs.
+    NonCollapsibleRanking,
 }
 
 /// The prepared T-DP state (see module docs). Fields are crate-visible:

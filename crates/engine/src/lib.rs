@@ -111,8 +111,136 @@ struct EngineShared {
     catalog: RwLock<CatalogState>,
     /// Prepared plans keyed by (query signature, ranking, batch-ness).
     /// Entries record the epoch they were prepared at and are served
-    /// only while the catalog is still at that epoch.
-    cache: Mutex<FxHashMap<CacheKey, PreparedQuery>>,
+    /// only while the catalog is still at that epoch. Bounded: see
+    /// [`PlanCache`].
+    cache: Mutex<PlanCache>,
+}
+
+/// Default plan-cache capacity: generous enough that steady workloads
+/// (a fixed set of query shapes) never evict, small enough that a
+/// stream of distinct ad-hoc shapes cannot grow memory without bound.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// The bounded LRU store behind the engine's plan cache.
+///
+/// Eviction policy (when an insert exceeds `capacity`): the
+/// least-recently-used entry holding **materialized answers** (the
+/// triangle route and `Batch` plans — full answer sets, the heaviest
+/// residents) is evicted first; only when no such entry exists does
+/// the overall LRU entry go. Epoch invalidation ([`Engine::update_catalog`])
+/// still purges everything at once.
+struct PlanCache {
+    map: FxHashMap<CacheKey, CacheSlot>,
+    capacity: usize,
+    /// Monotone use counter backing the LRU order.
+    tick: u64,
+}
+
+struct CacheSlot {
+    prepared: PreparedQuery,
+    last_used: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: FxHashMap::default(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Look up a prepared plan, refreshing its LRU position on a hit.
+    fn get(&mut self, key: &CacheKey) -> Option<&PreparedQuery> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            &slot.prepared
+        })
+    }
+
+    /// Look up without refreshing the LRU position — for speculative
+    /// probes (the triangle batch/any-k normalization) that may not
+    /// end up serving the entry.
+    fn peek(&self, key: &CacheKey) -> Option<&PreparedQuery> {
+        self.map.get(key).map(|slot| &slot.prepared)
+    }
+
+    /// Refresh an entry's LRU position after a [`peek`](Self::peek)
+    /// turned into an actual serve.
+    fn touch(&mut self, key: &CacheKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.last_used = tick;
+        }
+    }
+
+    /// Insert (or replace) an entry, then evict down to capacity —
+    /// LRU materialized-answer entries first. The just-inserted entry
+    /// is never its own victim (a hot materialized plan must be
+    /// retainable even when every other resident is cheap), so a
+    /// capacity ≥ 1 always caches the newest plan. A capacity of 0
+    /// disables caching entirely.
+    fn insert(&mut self, key: CacheKey, prepared: PreparedQuery) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(
+            key.clone(),
+            CacheSlot {
+                prepared,
+                last_used: tick,
+            },
+        );
+        self.evict_to_capacity(Some(&key));
+    }
+
+    /// Pick and remove victims until the map fits `capacity`.
+    ///
+    /// Within each round the most-recently-used candidate is also
+    /// spared (a hot materialized plan must not be sacrificed to every
+    /// cold insert just because it is the only heavy resident — the
+    /// materialized-first preference only applies to entries that are
+    /// not the current hottest), falling back to it only when it is
+    /// the sole evictable entry.
+    fn evict_to_capacity(&mut self, protect: Option<&CacheKey>) {
+        while self.map.len() > self.capacity {
+            let candidates = || self.map.iter().filter(|(k, _)| Some(*k) != protect);
+            let mru = candidates().map(|(_, s)| s.last_used).max();
+            let cold = || candidates().filter(|(_, s)| Some(s.last_used) != mru);
+            let victim = cold()
+                .filter(|(_, s)| s.prepared.holds_materialized_answers())
+                .min_by_key(|(_, s)| s.last_used)
+                .or_else(|| cold().min_by_key(|(_, s)| s.last_used))
+                .or_else(|| candidates().min_by_key(|(_, s)| s.last_used))
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => self.map.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity == 0 {
+            self.map.clear();
+        } else {
+            self.evict_to_capacity(None);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 #[derive(Debug)]
@@ -177,10 +305,35 @@ impl Engine {
                     catalog: Arc::new(catalog),
                     epoch: 0,
                 }),
-                cache: Mutex::new(FxHashMap::default()),
+                cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
             }),
             opts,
         }
+    }
+
+    /// Set the plan-cache capacity (default
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`]): at most this many prepared
+    /// plans are retained; inserts beyond it evict the least-recently-
+    /// used entry, preferring entries that hold **materialized answer
+    /// sets** (the triangle route and `Batch` plans — the heaviest
+    /// residents). `0` disables caching. The capacity lives in the
+    /// shared state, so it applies to every clone of this engine.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .set_capacity(capacity);
+        self
+    }
+
+    /// The current plan-cache capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .capacity
     }
 
     /// Build an engine by registering `rels[i]` under the relation
@@ -334,7 +487,7 @@ impl Engine {
         let mut key = CacheKey::new(cq, rank, opts);
         let (catalog, epoch) = self.read_state();
         {
-            let cache = self.shared.cache.lock().expect("cache lock poisoned");
+            let mut cache = self.shared.cache.lock().expect("cache lock poisoned");
             if let Some(hit) = cache.get(&key) {
                 if hit.epoch() == epoch {
                     return Ok(hit.adopt_variant(opts.variant));
@@ -343,15 +496,19 @@ impl Engine {
             // Triangle plans build the same sorted artifact whether or
             // not Batch was requested, and are stored under
             // `batch: false` — accept that entry for a Batch request
-            // rather than materializing a duplicate.
+            // rather than materializing a duplicate. Peek first: the
+            // probe must not refresh the entry's LRU position unless
+            // it is actually served.
             if key.batch {
                 let alt = CacheKey {
                     batch: false,
                     ..key.clone()
                 };
-                if let Some(hit) = cache.get(&alt) {
+                if let Some(hit) = cache.peek(&alt) {
                     if hit.epoch() == epoch && matches!(hit.plan().route, Route::Triangle) {
-                        return Ok(hit.adopt_variant(opts.variant));
+                        let served = hit.adopt_variant(opts.variant);
+                        cache.touch(&alt);
+                        return Ok(served);
                     }
                 }
             }
@@ -917,6 +1074,180 @@ mod tests {
         assert_eq!(engine.cached_plans(), 1);
         let _ = engine.query(q).plan().unwrap();
         assert_eq!(engine.cached_plans(), 1, "no duplicate triangle artifact");
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_materialized_entry_first() {
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(2);
+        assert_eq!(engine.cache_capacity(), 2);
+
+        // Two materialized (Batch) entries: Sum then Max.
+        let _ = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        let _ = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Max)
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+
+        // Touch the Sum entry: the Max entry becomes the LRU
+        // materialized resident.
+        let _ = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+
+        // A third shape (T-DP, not materialized) exceeds capacity: the
+        // LRU *materialized* entry (Max/Batch) must be evicted — not
+        // the overall-LRU policy victim.
+        let _ = engine.query(q.clone()).plan().unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+        {
+            let cache = engine.shared.cache.lock().unwrap();
+            assert!(
+                cache
+                    .map
+                    .keys()
+                    .any(|k| !k.batch && k.rank == RankSpec::Sum),
+                "the fresh T-DP entry stays"
+            );
+            assert!(
+                cache.map.keys().any(|k| k.batch && k.rank == RankSpec::Sum),
+                "the recently-used materialized entry stays"
+            );
+            assert!(
+                !cache.map.keys().any(|k| k.rank == RankSpec::Max),
+                "the LRU materialized entry is evicted first"
+            );
+        }
+
+        // Epoch bump still purges everything at once.
+        engine.register("R9", edge_rel(&[(1, 2, 0.0)]));
+        assert_eq!(engine.cached_plans(), 0);
+    }
+
+    #[test]
+    fn fresh_materialized_insert_is_not_its_own_victim() {
+        // A hot materialized plan arriving into a cache full of cheap
+        // T-DP entries must displace one of *them* — evicting the entry
+        // just inserted would make every repeat of the hot query re-run
+        // its full materialization.
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(2);
+        for rank in [RankSpec::Sum, RankSpec::Max] {
+            let _ = engine.query(q.clone()).rank_by(rank).plan().unwrap();
+        }
+        let _ = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+        let cache = engine.shared.cache.lock().unwrap();
+        assert!(
+            cache.map.keys().any(|k| k.batch),
+            "the just-inserted materialized entry is retained"
+        );
+        assert!(
+            !cache
+                .map
+                .keys()
+                .any(|k| !k.batch && k.rank == RankSpec::Sum),
+            "the overall-LRU non-materialized entry goes instead"
+        );
+    }
+
+    #[test]
+    fn hot_materialized_entry_survives_cold_inserts() {
+        // A materialized plan that keeps getting served must not be
+        // sacrificed to every cold insert merely for being the only
+        // heavy resident — materialized-first eviction only applies to
+        // entries that are not the current most-recently-used.
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(2);
+        let _ = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        let _ = engine.query(q.clone()).plan().unwrap(); // cold T-DP Sum
+        for rank in [RankSpec::Max, RankSpec::Min, RankSpec::Prod] {
+            // Keep the materialized entry hot, then push a cold shape.
+            let _ = engine
+                .query(q.clone())
+                .with_variant(AnyKVariant::Batch)
+                .plan()
+                .unwrap();
+            let _ = engine.query(q.clone()).rank_by(rank).plan().unwrap();
+            let cache = engine.shared.cache.lock().unwrap();
+            assert!(
+                cache.map.keys().any(|k| k.batch),
+                "hot materialized entry evicted by a cold {rank} insert"
+            );
+        }
+        // Once it goes cold (not used while others churn), it is the
+        // first to go again.
+        let _ = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Max)
+            .plan()
+            .unwrap();
+        let _ = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Sum)
+            .plan()
+            .unwrap();
+        let cache = engine.shared.cache.lock().unwrap();
+        assert!(
+            !cache.map.keys().any(|k| k.batch),
+            "a cold materialized entry is evicted first again"
+        );
+    }
+
+    #[test]
+    fn plan_cache_plain_lru_without_materialized_entries() {
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(2);
+        // Three T-DP entries in insertion order Sum, Max, Min: with no
+        // materialized residents, the overall LRU (Sum) goes.
+        for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Min] {
+            let _ = engine.query(q.clone()).rank_by(rank).plan().unwrap();
+        }
+        assert_eq!(engine.cached_plans(), 2);
+        let cache = engine.shared.cache.lock().unwrap();
+        assert!(!cache.map.keys().any(|k| k.rank == RankSpec::Sum));
+        assert!(cache.map.keys().any(|k| k.rank == RankSpec::Max));
+        assert!(cache.map.keys().any(|k| k.rank == RankSpec::Min));
+    }
+
+    #[test]
+    fn plan_cache_capacity_zero_disables_caching() {
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(0);
+        let a: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 0, "nothing is retained");
+        let b: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(engine.cached_plans(), 0);
+        assert_eq!(a, b, "uncached planning still answers identically");
+    }
+
+    #[test]
+    fn shrinking_cache_capacity_evicts_immediately() {
+        let (engine, q) = path_engine();
+        for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Min] {
+            let _ = engine.query(q.clone()).rank_by(rank).plan().unwrap();
+        }
+        assert_eq!(engine.cached_plans(), 3);
+        let engine = engine.with_cache_capacity(1);
+        assert_eq!(engine.cached_plans(), 1, "set_capacity trims eagerly");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::rank::{IntoCost, RankSpec};
 use crate::stream::{RankedAnswer, RankedStream};
 
 use anyk_core::batch::materialize_ranked;
-use anyk_core::cyclic::{prepare_triangle, wco_ranked_materialize, PreparedC4, SortedAnswers};
+use anyk_core::cyclic::{
+    prepare_triangle, wco_ranked_materialize, LazySortedAnswers, PreparedC4, SortedAnswers,
+};
 use anyk_core::decomposed::PreparedDecomposed;
 use anyk_core::part::AnyKPart;
 use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
@@ -105,9 +107,34 @@ enum PreparedRoute<R: RankingFunction> {
     /// 4-cycle: the union-of-trees case split, one shared T-DP
     /// instance per case.
     Cases(PreparedC4<R>),
-    /// Materialize-then-sort plans: the triangle route, and the batch
-    /// baseline on every route. Streams are zero-copy cursors.
+    /// Materialize-then-sort plans: the batch baseline on every route.
+    /// Streams are zero-copy cursors.
     Sorted(SortedAnswers<R::Cost>),
+    /// The triangle route: worst-case-optimal materialization with the
+    /// sort **deferred** — the first stream is a lazy heap (`O(r)`
+    /// build), and the shared sorted artifact is installed when a
+    /// second stream spawns or the first one exhausts.
+    LazySorted(LazySortedAnswers<R::Cost>),
+}
+
+impl<R: RankingFunction> PreparedRoute<R> {
+    /// Does this artifact hold a full materialized answer set?
+    fn is_materialized(&self) -> bool {
+        matches!(
+            self,
+            PreparedRoute::Sorted(_) | PreparedRoute::LazySorted(_)
+        )
+    }
+
+    /// For materialized artifacts: is the `O(r log r)` sort still
+    /// deferred? `None` on non-materialized routes.
+    fn sort_deferred(&self) -> Option<bool> {
+        match self {
+            PreparedRoute::Sorted(_) => Some(false),
+            PreparedRoute::LazySorted(lazy) => Some(!lazy.is_sorted()),
+            _ => None,
+        }
+    }
 }
 
 impl PreparedQuery {
@@ -140,6 +167,37 @@ impl PreparedQuery {
     /// catalog is still at this epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Does this prepared artifact hold a full materialized answer set
+    /// (the triangle route, and every `Batch` plan)? Such entries are
+    /// the heaviest residents of the engine's plan cache and the first
+    /// candidates for eviction under a capacity bound.
+    pub fn holds_materialized_answers(&self) -> bool {
+        match &self.inner {
+            PreparedInner::Sum(r) => r.is_materialized(),
+            PreparedInner::Max(r) => r.is_materialized(),
+            PreparedInner::Min(r) => r.is_materialized(),
+            PreparedInner::Prod(r) => r.is_materialized(),
+            PreparedInner::Lex(r) => r.is_materialized(),
+        }
+    }
+
+    /// For materialized artifacts: `Some(true)` while the `O(r log r)`
+    /// sort is still deferred (the triangle route's lazy-heap
+    /// first-stream window), `Some(false)` once the shared sorted
+    /// artifact is installed. `None` on any-k routes, which never
+    /// materialize. Diagnostic for the serving-grade TTF guarantee: a
+    /// prepared triangle that has served one partial top-k stream must
+    /// still report `Some(true)`.
+    pub fn sort_deferred(&self) -> Option<bool> {
+        match &self.inner {
+            PreparedInner::Sum(r) => r.sort_deferred(),
+            PreparedInner::Max(r) => r.sort_deferred(),
+            PreparedInner::Min(r) => r.sort_deferred(),
+            PreparedInner::Prod(r) => r.sort_deferred(),
+            PreparedInner::Lex(r) => r.sort_deferred(),
+        }
     }
 
     /// Spawn a fresh independent ranked stream over the shared prepared
@@ -222,9 +280,9 @@ where
                 )?))
             }
         }
-        // The triangle plan *is* materialize-then-sort; Batch and any-k
-        // requests share the same artifact.
-        Route::Triangle => PreparedRoute::Sorted(prepare_triangle::<R>(&rels)),
+        // The triangle plan is materialize-then-rank with the sort
+        // deferred; Batch and any-k requests share the same artifact.
+        Route::Triangle => PreparedRoute::LazySorted(prepare_triangle::<R>(&rels)),
         Route::FourCycle { threshold } => {
             if batch {
                 PreparedRoute::Sorted(SortedAnswers::new(wco_ranked_materialize::<R>(
@@ -275,5 +333,6 @@ where
             v => erase(prep.stream_part(part_kind(v))),
         },
         PreparedRoute::Sorted(sorted) => erase(sorted.stream()),
+        PreparedRoute::LazySorted(lazy) => erase(lazy.stream()),
     }
 }

@@ -107,7 +107,26 @@ fn tree_of(q: &ConjunctiveQuery) -> JoinTree {
 /// [`anyk_query::cq::cycle_query`]). `threshold` is the heavy-degree
 /// cutoff Δ (use [`anyk_query::cycles::heavy_threshold`] of the max
 /// relation size).
+///
+/// Weights are merged with `+` — the paper's default Sum ranking. For
+/// any other scalar ranking use [`c4_cases_with`] and pass its
+/// weight-level combine: the light-light case pre-joins `R1ˡ ⋈ R4` and
+/// `R2 ⋈ R3ˡ` into bag relations, so two edge weights collapse into
+/// one bag-tuple weight *under the ranking's own `⊗`* — summing here
+/// and then `max`-ing downstream would rank wrong answers first.
 pub fn c4_cases(rels: &[Relation], threshold: usize) -> Vec<C4Case> {
+    c4_cases_with(rels, threshold, |a, b| Weight::new(a.get() + b.get()))
+}
+
+/// [`c4_cases`] with an explicit weight merge for the pre-joined
+/// light-light bags. `merge` must be the weight-level `⊗` of the
+/// ranking the cases will be enumerated under (commutative, since the
+/// two bags cover the four atoms in different orders).
+pub fn c4_cases_with(
+    rels: &[Relation],
+    threshold: usize,
+    merge: impl Fn(Weight, Weight) -> Weight,
+) -> Vec<C4Case> {
     assert_eq!(rels.len(), 4, "4-cycle needs exactly 4 relations");
     for r in rels {
         assert_eq!(r.arity(), 2, "4-cycle relations are binary");
@@ -194,8 +213,8 @@ pub fn c4_cases(rels: &[Relation], threshold: usize) -> Vec<C4Case> {
     }
 
     // --- Case C: both light: two materialized bags of size <= Δ·n. ---
-    // W1(x1,x2,x4) = R1ˡ ⋈ R4 (join on x1), weight w1 + w4.
-    // W2(x2,x3,x4) = R2 ⋈ R3ˡ (join on x3), weight w2 + w3.
+    // W1(x1,x2,x4) = R1ˡ ⋈ R4 (join on x1), weight w1 ⊗ w4.
+    // W2(x2,x3,x4) = R2 ⋈ R3ˡ (join on x3), weight w2 ⊗ w3.
     let r3_light = filter_by(r3, 0, |v| !h3.contains(&v));
     let w1 = {
         let mut b = RelationBuilder::new(Schema::new(["x1", "x2", "x4"]));
@@ -203,8 +222,8 @@ pub fn c4_cases(rels: &[Relation], threshold: usize) -> Vec<C4Case> {
         for i in 0..r1_light.len() as u32 {
             let row = r1_light.row(i);
             for &j in idx.get(&row[0..1]) {
-                let w = r1_light.weight(i).get() + r4.weight(j).get();
-                b.push(&[row[0], row[1], r4.row(j)[0]], Weight::new(w));
+                let w = merge(r1_light.weight(i), r4.weight(j));
+                b.push(&[row[0], row[1], r4.row(j)[0]], w);
             }
         }
         b.finish()
@@ -215,8 +234,8 @@ pub fn c4_cases(rels: &[Relation], threshold: usize) -> Vec<C4Case> {
         for i in 0..r2.len() as u32 {
             let row = r2.row(i);
             for &j in idx.get(&row[1..2]) {
-                let w = r2.weight(i).get() + r3_light.weight(j).get();
-                b.push(&[row[0], row[1], r3_light.row(j)[1]], Weight::new(w));
+                let w = merge(r2.weight(i), r3_light.weight(j));
+                b.push(&[row[0], row[1], r3_light.row(j)[1]], w);
             }
         }
         b.finish()

@@ -8,10 +8,11 @@
 //! variables; GYO on it always succeeds (tree decompositions are
 //! acyclic by construction). Weights are preserved exactly once: every
 //! original atom has a *home bag* containing all its variables
-//! (`Decomposition::edge_home`), and a bag tuple's weight is the sum of
-//! its assigned atoms' tuple weights — so a bag-level answer's weight
-//! equals the original answer's weight, and `anyk_core` can rank over
-//! the bag tree unchanged.
+//! (`Decomposition::edge_home`), and a bag tuple's weight is the
+//! **ranking's `⊗`** over its assigned atoms' tuple weights
+//! ([`ghd_plan_with`]; plain [`ghd_plan`] uses `+`) — so a bag-level
+//! answer's weight equals the original answer's weight, and
+//! `anyk_core` can rank over the bag tree unchanged.
 //!
 //! Semantics note: bags are materialized as **sets** of variable
 //! bindings; duplicate input tuples (same values) are collapsed to the
@@ -35,16 +36,36 @@ pub struct GhdPlan {
     pub bag_query: ConjunctiveQuery,
     /// A join tree for the bag query.
     pub bag_tree: JoinTree,
-    /// Materialized bag relations (weights: sum of assigned atoms).
+    /// Materialized bag relations (weights: the chosen merge — the
+    /// ranking's `⊗` — over each bag's assigned atoms).
     pub bag_relations: Vec<Relation>,
 }
 
-/// Build and materialize a GHD plan for `q` using `decomp`.
+/// Build and materialize a GHD plan for `q` using `decomp`, merging
+/// the weights of a bag's assigned atoms with `+` (the Sum ranking's
+/// `⊗`). For other scalar rankings use [`ghd_plan_with`].
 ///
 /// Cost: O~(n^w) where `w` is the decomposition's width (each bag is
 /// materialized by Generic-Join over its cover, whose output is bounded
 /// by the bag's AGM bound).
 pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition) -> GhdPlan {
+    ghd_plan_with(q, rels, decomp, Weight::ZERO, |a, b| {
+        Weight::new(a.get() + b.get())
+    })
+}
+
+/// [`ghd_plan`] with an explicit weight-level dioid: `identity` is the
+/// weight of a bag tuple with no assigned atoms, `merge` folds the
+/// assigned atoms' weights. Both must mirror the ranking the bag tree
+/// will be enumerated under — merging with `+` and then ranking by
+/// `max` downstream would rank wrong answers first.
+pub fn ghd_plan_with(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+    identity: Weight,
+    merge: impl Fn(Weight, Weight) -> Weight,
+) -> GhdPlan {
     assert_eq!(rels.len(), q.num_atoms());
     let nbags = decomp.bags.len();
     // Assigned atoms per bag (weight accounting + enforcement).
@@ -117,7 +138,7 @@ pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition)
         let schema = Schema::new(bag_vars.iter().map(|&v| q.var_name(v).to_string()));
         let mut builder = RelationBuilder::with_capacity(schema, rows.len());
         'rows: for row in rows {
-            let mut w = 0.0f64;
+            let mut w = identity;
             for &e in &assigned[b] {
                 let (ref evars, ref map) = atom_keyers[e];
                 let key: Vec<Value> = evars
@@ -131,11 +152,11 @@ pub fn ghd_plan(q: &ConjunctiveQuery, rels: &[Relation], decomp: &Decomposition)
                     })
                     .collect();
                 match map.get(&key) {
-                    Some(weight) => w += weight.get(),
+                    Some(&weight) => w = merge(w, weight),
                     None => continue 'rows, // enforcement: not in R_e
                 }
             }
-            builder.push(&row, Weight::new(w));
+            builder.push(&row, w);
         }
         bag_relations.push(builder.finish());
         bag_var_lists.push(bag_vars);

@@ -37,7 +37,7 @@ pub mod semijoin;
 pub mod yannakakis;
 
 pub use binary::{binary_join, BinaryJoinStats};
-pub use decomposed::{decomposed_boolean, decomposed_join, ghd_plan, GhdPlan};
+pub use decomposed::{decomposed_boolean, decomposed_join, ghd_plan, ghd_plan_with, GhdPlan};
 pub use generic_join::{generic_join, generic_join_materialize, GenericJoinStats};
 pub use leapfrog::{leapfrog_materialize, leapfrog_triejoin};
 pub use semijoin::{full_reducer, semijoin_filter};

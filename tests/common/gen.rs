@@ -1,0 +1,84 @@
+//! The one instance generator the oracle, property, and concurrency
+//! tests all share (previously three near-identical copies).
+//!
+//! All generators emit **dyadic** weights (small multiples of powers
+//! of two): sums and small products of dyadics are exact in `f64`, so
+//! cost comparisons against the oracle are bitwise even though the
+//! engine and the oracle combine weights in different orders.
+
+use anyk::prelude::*;
+use proptest::prelude::*;
+
+/// Proptest config whose case count can be raised from the
+/// environment (`ANYK_PROPTEST_CASES`) — CI runs the oracle and cyclic
+/// property suites with more cases than a local `cargo test`.
+pub fn cases_from_env(default_cases: u32) -> ProptestConfig {
+    let cases = std::env::var("ANYK_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_cases);
+    ProptestConfig::with_cases(cases)
+}
+
+/// Random binary relation over a small domain with dyadic weights
+/// (multiples of 1/4 below 16).
+pub fn arb_relation(max_rows: usize, domain: i64) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..domain, 0..domain, 0i32..64), 1..=max_rows).prop_map(|rows| {
+        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+        for (x, y, w) in rows {
+            b.push_ints(&[x, y], w as f64 / 4.0);
+        }
+        b.finish()
+    })
+}
+
+/// Deterministic pseudo-random edge relation (xorshift64) with dyadic
+/// weights — the fixed-seed flavor for tests that need reproducible
+/// instances without a proptest runner (concurrency tests, fixtures).
+pub fn scrambled_edges(n: u64, domain: i64, seed: u64) -> Relation {
+    let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+    let mut x = seed | 1;
+    for _ in 0..n {
+        // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let a = (x % domain as u64) as i64;
+        let c = ((x >> 17) % domain as u64) as i64;
+        let w = ((x >> 37) % 64) as f64 / 8.0;
+        b.push_ints(&[a, c], w);
+    }
+    b.finish()
+}
+
+/// Small fixed edge relation from explicit rows — fixture helper.
+pub fn edge_rel(rows: &[(i64, i64, f64)]) -> Relation {
+    let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
+    for &(x, y, w) in rows {
+        b.push_ints(&[x, y], w);
+    }
+    b.finish()
+}
+
+/// The random acyclic query shapes the property tests draw from:
+/// `star == 0` → an `n`-path, otherwise an `n`-star.
+pub fn shaped_acyclic_query(star: usize, n: usize) -> anyk::query::cq::ConjunctiveQuery {
+    if star == 0 {
+        path_query(n)
+    } else {
+        star_query(n)
+    }
+}
+
+/// A snowflake query: a 3-star whose first two arms extend by one more
+/// hop — the third acyclic shape (beyond path/star) the oracle suite
+/// pins.
+pub fn snowflake_query() -> anyk::query::cq::ConjunctiveQuery {
+    QueryBuilder::new()
+        .atom("S1", &["c", "a1"])
+        .atom("S2", &["c", "a2"])
+        .atom("S3", &["c", "a3"])
+        .atom("P1", &["a1", "b1"])
+        .atom("P2", &["a2", "b2"])
+        .build()
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the integration-test suite: the instance
+//! generators ([`gen`]) and the brute-force ranked-join oracle
+//! ([`oracle`]). Every test binary compiles its own copy and uses a
+//! subset, hence the blanket `dead_code` allow.
+#![allow(dead_code)]
+
+pub mod gen;
+pub mod oracle;

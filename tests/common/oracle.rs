@@ -1,0 +1,189 @@
+//! The brute-force oracle: nested-loop join + total-order sort.
+//!
+//! No join trees, no decompositions, no heaps — every answer is found
+//! by trying row combinations atom by atom (pruned only by binding
+//! consistency), and its cost is computed directly from the tuple
+//! weights. Sorting by `(cost, values)` then yields a reference
+//! *total order* against which every planner route and every any-k
+//! variant is cross-checked — full ranked order, not just top-k.
+//!
+//! Tie semantics: the engine's streams order cost-ties by internal
+//! enumeration order, which is deterministic but not value-sorted, so
+//! the cross-check asserts (a) the exact cost sequence and (b) multiset
+//! equality of the answers inside every cost-tie group.
+
+use anyk::prelude::*;
+use anyk::query::cq::ConjunctiveQuery;
+
+/// One oracle answer: erased cost (same representation the engine
+/// streams) plus the output tuple in `VarId` order.
+pub type OracleAnswer = (Cost, Vec<Value>);
+
+/// All answers of `q` over `rels` by brute force, ranked under `rank`,
+/// sorted by `(cost, values)`.
+///
+/// Lexicographic costs replicate the engine's definition: weights in
+/// the GYO join tree's pre-order serialization (panics on cyclic
+/// queries, where the engine rejects `Lex` as unsupported).
+pub fn brute_force_ranked(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    rank: RankSpec,
+) -> Vec<OracleAnswer> {
+    assert_eq!(q.num_atoms(), rels.len(), "one relation per atom");
+    let lex_order: Option<Vec<usize>> = match rank {
+        RankSpec::Lex => match gyo_reduce(q) {
+            GyoResult::Acyclic(tree) => {
+                Some(tree.preorder().iter().map(|&n| tree.node(n).atom).collect())
+            }
+            GyoResult::Cyclic(_) => panic!("Lex oracle is defined on acyclic queries only"),
+        },
+        _ => None,
+    };
+
+    let mut out = Vec::new();
+    let mut binding: Vec<Option<Value>> = vec![None; q.num_vars()];
+    let mut rows: Vec<u32> = vec![0; q.num_atoms()];
+    nested_loop(q, rels, 0, &mut binding, &mut rows, &mut |binding, rows| {
+        let weights: Vec<Weight> = rows
+            .iter()
+            .enumerate()
+            .map(|(a, &r)| rels[a].weight(r))
+            .collect();
+        let cost = combine(rank, &weights, lex_order.as_deref());
+        let values: Vec<Value> = binding
+            .iter()
+            .map(|v| v.expect("full CQ: every variable bound"))
+            .collect();
+        out.push((cost, values));
+    });
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out
+}
+
+/// Plain nested-loop join: extend the binding one atom at a time.
+fn nested_loop(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    atom: usize,
+    binding: &mut Vec<Option<Value>>,
+    rows: &mut Vec<u32>,
+    emit: &mut impl FnMut(&[Option<Value>], &[u32]),
+) {
+    if atom == q.num_atoms() {
+        emit(binding, rows);
+        return;
+    }
+    let vars = &q.atom(atom).vars;
+    'rows: for r in 0..rels[atom].len() as u32 {
+        let tuple = rels[atom].row(r);
+        let mut bound_here = Vec::with_capacity(vars.len());
+        for (pos, &v) in vars.iter().enumerate() {
+            match binding[v] {
+                Some(existing) if existing != tuple[pos] => {
+                    for &u in &bound_here {
+                        binding[u] = None;
+                    }
+                    continue 'rows;
+                }
+                Some(_) => {}
+                None => {
+                    binding[v] = Some(tuple[pos]);
+                    bound_here.push(v);
+                }
+            }
+        }
+        rows[atom] = r;
+        nested_loop(q, rels, atom + 1, binding, rows, emit);
+        for &u in &bound_here {
+            binding[u] = None;
+        }
+    }
+}
+
+/// Combine tuple weights under `rank`. For `Lex`, `lex_order` gives
+/// the atom order of the serialization.
+fn combine(rank: RankSpec, weights: &[Weight], lex_order: Option<&[usize]>) -> Cost {
+    match rank {
+        RankSpec::Sum => Cost::Scalar(Weight::new(weights.iter().map(|w| w.get()).sum())),
+        RankSpec::Max => Cost::Scalar(*weights.iter().max().expect("full CQ has atoms")),
+        RankSpec::Min => Cost::Scalar(*weights.iter().min().expect("full CQ has atoms")),
+        RankSpec::Prod => Cost::Scalar(Weight::new(weights.iter().map(|w| w.get()).product())),
+        RankSpec::Lex => Cost::Lex(
+            lex_order
+                .expect("lex order precomputed")
+                .iter()
+                .map(|&a| weights[a])
+                .collect(),
+        ),
+    }
+}
+
+/// Assert a ranked engine stream equals the oracle's total order:
+/// identical cost sequence, and multiset-identical answers within
+/// every cost-tie group.
+pub fn assert_matches_oracle(got: &[RankedAnswer], want: &[OracleAnswer], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: cardinality");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.cost, w.0, "{label}: cost at rank {i}");
+    }
+    let mut i = 0;
+    while i < got.len() {
+        let mut j = i;
+        while j < got.len() && got[j].cost == got[i].cost {
+            j += 1;
+        }
+        let mut gv: Vec<_> = got[i..j].iter().map(|a| a.values.clone()).collect();
+        let mut wv: Vec<_> = want[i..j].iter().map(|w| w.1.clone()).collect();
+        gv.sort();
+        wv.sort();
+        assert_eq!(gv, wv, "{label}: answers in the cost-tie group at rank {i}");
+        i = j;
+    }
+}
+
+/// End-to-end cross-check: the planner-routed engine's full ranked
+/// order over `(q, rels, rank)` must match the brute-force oracle.
+/// Returns the engine's answers so callers can pile on further checks.
+pub fn check_engine_against_oracle(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    rank: RankSpec,
+    label: &str,
+) -> Vec<RankedAnswer> {
+    let want = brute_force_ranked(q, rels, rank);
+    let engine = Engine::from_query_bindings(q, rels.to_vec());
+    let got: Vec<RankedAnswer> = engine
+        .query(q.clone())
+        .rank_by(rank)
+        .plan()
+        .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"))
+        .collect();
+    assert_matches_oracle(&got, &want, label);
+    got
+}
+
+/// The serving-path equivalences on one instance: prepared-then-stream
+/// == ad-hoc plan == oracle order, and repeated prepared streams are
+/// byte-identical (separate engines, so nothing is shared via a cache).
+pub fn check_prepared_adhoc_oracle(q: &ConjunctiveQuery, rels: &[Relation], rank: RankSpec) {
+    let want = brute_force_ranked(q, rels, rank);
+    let adhoc_engine = Engine::from_query_bindings(q, rels.to_vec());
+    let adhoc: Vec<RankedAnswer> = adhoc_engine
+        .query(q.clone())
+        .rank_by(rank)
+        .plan()
+        .expect("plannable")
+        .collect();
+    assert_matches_oracle(&adhoc, &want, &format!("{rank}: ad-hoc vs oracle"));
+
+    let serve_engine = Engine::from_query_bindings(q, rels.to_vec());
+    let prepared = serve_engine.prepare(q.clone(), rank).expect("preparable");
+    let s1: Vec<RankedAnswer> = prepared.stream().collect();
+    let s2: Vec<RankedAnswer> = prepared.stream().collect();
+    assert_eq!(s1, adhoc, "{rank}: prepared stream == ad-hoc plan");
+    assert_eq!(
+        s2, adhoc,
+        "{rank}: second prepared stream replays identically"
+    );
+}

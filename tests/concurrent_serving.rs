@@ -4,27 +4,11 @@
 //! prepared state is immutable shared data and each stream is an
 //! independent cursor/heap over it.
 
-use anyk::prelude::*;
-use std::thread;
+mod common;
 
-/// Deterministic pseudo-random edge relation with dyadic weights
-/// (exact float arithmetic ⇒ cost ties are reproduced bit-for-bit,
-/// which is exactly what makes tie-order determinism worth testing).
-fn scrambled_edges(n: u64, domain: i64, seed: u64) -> Relation {
-    let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
-    let mut x = seed | 1;
-    for _ in 0..n {
-        // xorshift64
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let a = (x % domain as u64) as i64;
-        let c = ((x >> 17) % domain as u64) as i64;
-        let w = ((x >> 37) % 64) as f64 / 8.0;
-        b.push_ints(&[a, c], w);
-    }
-    b.finish()
-}
+use anyk::prelude::*;
+use common::gen::scrambled_edges;
+use std::thread;
 
 fn answers(stream: RankedStream) -> Vec<(Vec<i64>, Cost)> {
     stream.map(|a| (a.ints(), a.cost)).collect()
@@ -119,6 +103,44 @@ fn concurrent_streams_over_prepared_cyclic_plans() {
             }
         });
     }
+}
+
+#[test]
+fn concurrent_triangle_first_stream_races_the_upgrade() {
+    // The triangle route's first stream is a lazy heap; any further
+    // spawn installs the shared sorted artifact. Racing eight threads
+    // through that state machine must still produce byte-identical
+    // streams — ties included — whichever thread wins the heap.
+    let e = scrambled_edges(150, 8, 41);
+    let q = triangle_query();
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+    let prepared = engine.prepare(q, RankSpec::Sum).expect("triangle prepare");
+    assert_eq!(
+        prepared.sort_deferred(),
+        Some(true),
+        "prepare must not pay the sort"
+    );
+    let results: Vec<Vec<(Vec<i64>, Cost)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = prepared.clone();
+                s.spawn(move || answers(p.stream()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    assert!(!results[0].is_empty(), "instance must have triangles");
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "lazy heap and sorted cursors agree");
+    }
+    assert_eq!(
+        prepared.sort_deferred(),
+        Some(false),
+        "multiple spawns install the sorted artifact"
+    );
 }
 
 #[test]

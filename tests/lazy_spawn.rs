@@ -1,0 +1,169 @@
+//! Laziness regression pins for the serving path: stream spawn must
+//! cost work proportional to the answers pulled, never to the input.
+//!
+//! The assertions use **counting hooks** (stream-shell / successor-
+//! order allocation counters on the core enumerators, the deferred-
+//! sort state machine on the triangle artifact) rather than wall-clock
+//! time, so they are deterministic on any machine:
+//!
+//! * `AnyKRec` allocates zero group/tuple stream shells at spawn and
+//!   only `o(n)` of them for a small-`k` pull (this PR);
+//! * `AnyKPart` builds successor orders on first touch (PR 2 — pinned
+//!   here so the win cannot silently rot);
+//! * the triangle route's prepared artifact defers its `O(r log r)`
+//!   sort past any number of partial first-stream pulls.
+
+mod common;
+
+use anyk::prelude::*;
+use common::gen::scrambled_edges;
+use std::sync::Arc;
+
+/// A path-3 T-DP instance big enough that O(n) spawn work would be
+/// unmistakable next to the per-answer counters.
+fn big_path_instance() -> Arc<anyk::core::TdpInstance<SumCost>> {
+    let q = path_query(3);
+    let rels = vec![
+        scrambled_edges(8_000, 2_000, 1),
+        scrambled_edges(8_000, 2_000, 2),
+        scrambled_edges(8_000, 2_000, 3),
+    ];
+    let tree = match gyo_reduce(&q) {
+        GyoResult::Acyclic(t) => t,
+        _ => unreachable!(),
+    };
+    Arc::new(TdpInstance::<SumCost>::prepare(&q, &tree, rels).expect("path instance"))
+}
+
+#[test]
+fn prepared_rec_stream_spawn_is_lazy() {
+    let inst = big_path_instance();
+    let n = inst.reduced_input_size();
+    assert!(n > 10_000, "instance must be large to be telling (n = {n})");
+
+    let mut rec = AnyKRec::new(Arc::clone(&inst));
+    assert_eq!(
+        rec.allocated_group_streams() + rec.allocated_tuple_streams(),
+        0,
+        "spawning a prepared REC stream must allocate no per-tuple state"
+    );
+
+    let k = 5;
+    for i in 0..k {
+        assert!(rec.next().is_some(), "answer {i}");
+    }
+    let touched = rec.allocated_group_streams() + rec.allocated_tuple_streams();
+    assert!(
+        touched * 20 < n,
+        "k={k} pulls must touch o(n) streams: touched {touched}, n {n}"
+    );
+}
+
+#[test]
+fn prepared_part_stream_spawn_is_lazy_regression_pin() {
+    // PR 2 made AnyKPart's successor orders build on first touch; pin
+    // it with the same counting-hook so the property cannot rot.
+    let inst = big_path_instance();
+    let n = inst.reduced_input_size();
+
+    let part = AnyKPart::new(Arc::clone(&inst), SuccessorKind::Lazy);
+    assert!(
+        part.touched_groups() <= 1,
+        "spawn organizes at most the root group, got {}",
+        part.touched_groups()
+    );
+
+    let k = 5;
+    let mut part = part;
+    for i in 0..k {
+        assert!(part.next().is_some(), "answer {i}");
+    }
+    let touched = part.touched_groups();
+    // Each pop organizes at most one group per later slot.
+    assert!(
+        touched <= 1 + k * inst.num_slots(),
+        "k={k} pulls on {} slots touched {touched} groups",
+        inst.num_slots()
+    );
+    assert!(touched * 20 < n, "touched {touched} vs n {n}");
+}
+
+#[test]
+fn rec_and_part_lazy_streams_agree_on_the_prefix() {
+    // Laziness must not change what is enumerated: both enumerators
+    // over one shared instance produce the same cost prefix.
+    let inst = big_path_instance();
+    let k = 50;
+    let rec: Vec<f64> = AnyKRec::new(Arc::clone(&inst))
+        .take(k)
+        .map(|a| a.cost.get())
+        .collect();
+    let part: Vec<f64> = AnyKPart::new(Arc::clone(&inst), SuccessorKind::Lazy)
+        .take(k)
+        .map(|a| a.cost.get())
+        .collect();
+    assert_eq!(rec.len(), k);
+    assert_eq!(rec, part);
+}
+
+#[test]
+fn triangle_one_shot_topk_never_pays_the_sort() {
+    let e = scrambled_edges(400, 30, 7);
+    let q = triangle_query();
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+
+    // The ad-hoc one-shot path: plan() + top-k. The first stream off
+    // the (cached) prepared artifact is the lazy heap.
+    let handle = engine.prepare(q.clone(), RankSpec::Sum).expect("prepare");
+    assert!(handle.holds_materialized_answers());
+    assert_eq!(
+        handle.sort_deferred(),
+        Some(true),
+        "prepare materializes but must not sort"
+    );
+
+    let mut s1 = engine.query(q.clone()).plan().expect("plan");
+    let top = s1.top_k(3);
+    assert_eq!(top.len(), 3);
+    assert_eq!(
+        handle.sort_deferred(),
+        Some(true),
+        "a partial top-k pull must not pay the O(r log r) sort"
+    );
+
+    // The second stream spawn pays the one-time sort...
+    let s2: Vec<_> = engine.query(q.clone()).plan().expect("plan").collect();
+    assert_eq!(
+        handle.sort_deferred(),
+        Some(false),
+        "the second stream installs the shared sorted artifact"
+    );
+    // ...and the interrupted first stream continues in the same order.
+    let mut all1: Vec<_> = top;
+    all1.extend(s1);
+    assert_eq!(
+        all1, s2,
+        "lazy first stream == sorted cursor, ties included"
+    );
+}
+
+#[test]
+fn non_materialized_routes_report_no_sort_state() {
+    let q = path_query(2);
+    let engine = Engine::from_query_bindings(
+        &q,
+        vec![scrambled_edges(100, 10, 3), scrambled_edges(100, 10, 5)],
+    );
+    let tdp = engine.prepare(q.clone(), RankSpec::Sum).expect("prepare");
+    assert!(!tdp.holds_materialized_answers());
+    assert_eq!(tdp.sort_deferred(), None);
+
+    // A Batch plan materializes and sorts eagerly (acyclic route).
+    let batch = engine
+        .query(q)
+        .with_variant(AnyKVariant::Batch)
+        .prepare()
+        .expect("prepare");
+    assert!(batch.holds_materialized_answers());
+    assert_eq!(batch.sort_deferred(), Some(false));
+}

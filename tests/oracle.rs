@@ -1,0 +1,198 @@
+//! Oracle harness: every planner route × every supported ranking,
+//! cross-checked in **full ranked order** against the brute-force
+//! nested-loop + sort oracle (`tests/common/oracle.rs`) on small fixed
+//! instances.
+//!
+//! Routes covered: acyclic (path, star, snowflake), triangle (WCO
+//! materialization), four-cycle (submodular-width union-of-trees), and
+//! decomposed (GHD — via C5). Rankings: Sum/Max/Min/Prod everywhere,
+//! plus Lex on the acyclic shapes (the engine rejects Lex on cyclic
+//! routes by design). Any-k variants (PART orders, REC, Batch) are
+//! pinned against the same oracle on representative shapes.
+
+mod common;
+
+use anyk::prelude::*;
+use common::gen::{edge_rel, snowflake_query};
+use common::oracle::{brute_force_ranked, check_engine_against_oracle};
+
+const COMMUTATIVE: [RankSpec; 4] = [RankSpec::Sum, RankSpec::Max, RankSpec::Min, RankSpec::Prod];
+const ACYCLIC: [RankSpec; 5] = [
+    RankSpec::Sum,
+    RankSpec::Max,
+    RankSpec::Min,
+    RankSpec::Prod,
+    RankSpec::Lex,
+];
+
+/// A dense-ish fixed edge set with dyadic weights and deliberate
+/// weight ties (the tie-group comparison must actually bite).
+fn fixture_edges() -> Vec<(i64, i64, f64)> {
+    vec![
+        (1, 2, 0.5),
+        (2, 3, 1.0),
+        (3, 1, 0.25),
+        (2, 1, 2.0),
+        (1, 3, 0.125),
+        (3, 2, 0.75),
+        (3, 4, 0.5),
+        (4, 1, 1.5),
+        (4, 2, 0.25),
+        (2, 4, 1.0),
+        (4, 3, 0.5),
+        (1, 4, 0.375),
+        (1, 1, 0.5),
+        (4, 4, 2.5),
+    ]
+}
+
+fn check_route(q: &anyk::query::cq::ConjunctiveQuery, rels: &[Relation], route: &str) {
+    let engine = Engine::from_query_bindings(q, rels.to_vec());
+    let plan = engine.query(q.clone()).explain().expect("plannable");
+    assert_eq!(plan.route.label(), route, "planner must choose {route}");
+    let ranks: &[RankSpec] = if route == "acyclic" {
+        &ACYCLIC
+    } else {
+        &COMMUTATIVE
+    };
+    for &rank in ranks {
+        let got = check_engine_against_oracle(q, rels, rank, &format!("{route} × {rank}"));
+        assert!(
+            !got.is_empty(),
+            "{route} × {rank}: fixture must have answers for the check to bite"
+        );
+    }
+}
+
+#[test]
+fn path_matches_oracle_under_every_ranking() {
+    let q = path_query(3);
+    let rels = vec![
+        edge_rel(&fixture_edges()),
+        edge_rel(&fixture_edges()[2..]),
+        edge_rel(&fixture_edges()[..10]),
+    ];
+    check_route(&q, &rels, "acyclic");
+}
+
+#[test]
+fn star_matches_oracle_under_every_ranking() {
+    let q = star_query(3);
+    let rels = vec![
+        edge_rel(&fixture_edges()[..10]),
+        edge_rel(&fixture_edges()[3..]),
+        edge_rel(&fixture_edges()[..8]),
+    ];
+    check_route(&q, &rels, "acyclic");
+}
+
+#[test]
+fn snowflake_matches_oracle_under_every_ranking() {
+    let q = snowflake_query();
+    let rels = vec![
+        edge_rel(&fixture_edges()[..10]),
+        edge_rel(&fixture_edges()[2..12]),
+        edge_rel(&fixture_edges()[..8]),
+        edge_rel(&fixture_edges()[4..]),
+        edge_rel(&fixture_edges()[..12]),
+    ];
+    check_route(&q, &rels, "acyclic");
+}
+
+#[test]
+fn triangle_matches_oracle_under_every_commutative_ranking() {
+    let q = triangle_query();
+    let e = edge_rel(&fixture_edges());
+    check_route(&q, &[e.clone(), e.clone(), e], "triangle");
+}
+
+#[test]
+fn four_cycle_matches_oracle_under_every_commutative_ranking() {
+    let q = cycle_query(4);
+    let e = edge_rel(&fixture_edges());
+    check_route(&q, &[e.clone(), e.clone(), e.clone(), e], "four-cycle");
+}
+
+#[test]
+fn five_cycle_decomposed_matches_oracle_under_every_commutative_ranking() {
+    let q = cycle_query(5);
+    let e = edge_rel(&fixture_edges());
+    check_route(
+        &q,
+        &[e.clone(), e.clone(), e.clone(), e.clone(), e],
+        "decomposed",
+    );
+}
+
+#[test]
+fn every_anyk_variant_matches_the_oracle() {
+    // The oracle also pins the variant seam: PART successor orders,
+    // REC, and Batch must all reproduce the oracle's total order.
+    let variants = [
+        AnyKVariant::Part(anyk::core::SuccessorKind::Eager),
+        AnyKVariant::Part(anyk::core::SuccessorKind::All),
+        AnyKVariant::Part(anyk::core::SuccessorKind::Take2),
+        AnyKVariant::Part(anyk::core::SuccessorKind::Lazy),
+        AnyKVariant::Part(anyk::core::SuccessorKind::Quick),
+        AnyKVariant::Rec,
+        AnyKVariant::Batch,
+    ];
+    // Acyclic shape.
+    let q = path_query(3);
+    let rels = vec![
+        edge_rel(&fixture_edges()),
+        edge_rel(&fixture_edges()[1..]),
+        edge_rel(&fixture_edges()[..11]),
+    ];
+    let want = brute_force_ranked(&q, &rels, RankSpec::Sum);
+    let engine = Engine::from_query_bindings(&q, rels.clone());
+    for v in variants {
+        let got: Vec<RankedAnswer> = engine
+            .query(q.clone())
+            .with_variant(v)
+            .plan()
+            .expect("acyclic plan")
+            .collect();
+        common::oracle::assert_matches_oracle(&got, &want, &format!("acyclic × {v:?}"));
+    }
+    // Cyclic shape (C4): REC and Batch drive the union-of-trees cases.
+    let q4 = cycle_query(4);
+    let e = edge_rel(&fixture_edges());
+    let rels4 = vec![e.clone(), e.clone(), e.clone(), e];
+    let want4 = brute_force_ranked(&q4, &rels4, RankSpec::Sum);
+    let engine4 = Engine::from_query_bindings(&q4, rels4);
+    for v in [AnyKVariant::Rec, AnyKVariant::Batch] {
+        let got: Vec<RankedAnswer> = engine4
+            .query(q4.clone())
+            .with_variant(v)
+            .plan()
+            .expect("c4 plan")
+            .collect();
+        common::oracle::assert_matches_oracle(&got, &want4, &format!("four-cycle × {v:?}"));
+    }
+}
+
+#[test]
+fn triangle_first_and_upgraded_streams_both_match_the_oracle() {
+    // The lazy-heap first stream and the post-upgrade sorted cursor
+    // must both reproduce the oracle order, byte-identically.
+    let q = triangle_query();
+    let e = edge_rel(&fixture_edges());
+    let rels = vec![e.clone(), e.clone(), e];
+    let want = brute_force_ranked(&q, &rels, RankSpec::Sum);
+    let engine = Engine::from_query_bindings(&q, rels);
+    let prepared = engine.prepare(q, RankSpec::Sum).expect("triangle prepare");
+    assert_eq!(prepared.sort_deferred(), Some(true));
+    let first: Vec<RankedAnswer> = prepared.stream().collect(); // lazy heap, exhausts
+    assert_eq!(
+        prepared.sort_deferred(),
+        Some(false),
+        "exhaustion installs the sorted artifact"
+    );
+    let upgraded: Vec<RankedAnswer> = prepared.stream().collect(); // cursor
+    common::oracle::assert_matches_oracle(&first, &want, "triangle lazy first stream");
+    assert_eq!(
+        first, upgraded,
+        "first stream == upgraded cursor, ties included"
+    );
+}

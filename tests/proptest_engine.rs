@@ -1,24 +1,26 @@
-//! Property test: on random acyclic instances, the planner-routed
-//! `Engine` must produce exactly the stream the `BatchSorted` oracle
-//! produces — same cost sequence, same answer multiset — for every
-//! runtime ranking that is defined there.
+//! Property tests for the planner-routed `Engine`.
+//!
+//! Acyclic: on random instances the engine must produce exactly the
+//! stream the `BatchSorted` oracle produces — same cost sequence, same
+//! answer multiset — for every runtime ranking defined there.
+//!
+//! Cyclic: on random triangle and 4-cycle instances, prepared-then-
+//! stream == ad-hoc plan == the brute-force nested-loop oracle
+//! (`tests/common/oracle.rs`), and random interleaved multi-cursor
+//! pulls agree with a single cursor.
+//!
+//! Instance generation lives in `tests/common/gen.rs` (shared with the
+//! oracle and concurrency suites); case counts rise via
+//! `ANYK_PROPTEST_CASES` in CI.
+
+mod common;
 
 use anyk::core::{BatchSorted, LexCost, MaxCost, RankingFunction, SumCost};
 use anyk::prelude::*;
 use anyk::query::cq::ConjunctiveQuery;
+use common::gen::{arb_relation, cases_from_env, shaped_acyclic_query};
+use common::oracle::check_prepared_adhoc_oracle;
 use proptest::prelude::*;
-
-/// Random binary relation over a small domain with dyadic weights
-/// (exact float arithmetic keeps cost comparisons bitwise).
-fn arb_relation(max_rows: usize, domain: i64) -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0..domain, 0..domain, 0i32..64), 1..=max_rows).prop_map(|rows| {
-        let mut b = RelationBuilder::new(Schema::new(["u", "v"]));
-        for (x, y, w) in rows {
-            b.push_ints(&[x, y], w as f64 / 4.0);
-        }
-        b.finish()
-    })
-}
 
 fn oracle<R: RankingFunction>(
     q: &ConjunctiveQuery,
@@ -80,7 +82,7 @@ fn check_lex(q: &ConjunctiveQuery, rels: Vec<Relation>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(cases_from_env(24))]
 
     /// Engine == BatchSorted on random 2-paths, for runtime Sum/Max/Lex.
     #[test]
@@ -139,7 +141,7 @@ proptest! {
         n in 2usize..4,
         rels in prop::collection::vec(arb_relation(12, 4), 3),
     ) {
-        let q = if star == 1 { star_query(n) } else { path_query(n) };
+        let q = shaped_acyclic_query(star, n);
         let rels = rels[..n].to_vec();
         for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Lex] {
             // Separate engines so the ad-hoc run cannot share the
@@ -159,6 +161,69 @@ proptest! {
             let s2: Vec<_> = prepared.stream().collect();
             assert_eq!(s1, adhoc, "{rank}: prepared stream == ad-hoc plan");
             assert_eq!(s2, adhoc, "{rank}: second stream replays identically");
+        }
+    }
+
+    /// Random triangle instances: prepared-then-stream == ad-hoc plan
+    /// == brute-force oracle order, under Sum and Max.
+    #[test]
+    fn triangle_engine_matches_oracle(
+        r1 in arb_relation(12, 5),
+        r2 in arb_relation(12, 5),
+        r3 in arb_relation(12, 5),
+    ) {
+        let q = triangle_query();
+        let rels = vec![r1, r2, r3];
+        for rank in [RankSpec::Sum, RankSpec::Max] {
+            check_prepared_adhoc_oracle(&q, &rels, rank);
+        }
+    }
+
+    /// Random 4-cycle instances (self-join flavored, like the paper's
+    /// "k lightest 4-cycles"): the union-of-trees route must equal the
+    /// oracle, prepared or ad-hoc, under Sum and Max.
+    #[test]
+    fn c4_engine_matches_oracle(e in arb_relation(14, 4)) {
+        let q = cycle_query(4);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        for rank in [RankSpec::Sum, RankSpec::Max] {
+            check_prepared_adhoc_oracle(&q, &rels, rank);
+        }
+    }
+
+    /// Random interleaved pulls over several cursors of one prepared
+    /// cyclic query agree with a single cursor — including the
+    /// triangle's lazy-heap first stream being interleaved with the
+    /// upgrade its sibling spawns trigger.
+    #[test]
+    fn interleaved_cursors_agree_with_single_cursor(
+        e in arb_relation(12, 5),
+        picks in prop::collection::vec(0usize..3, 1..=60),
+    ) {
+        for (label, q, m) in [
+            ("triangle", triangle_query(), 3usize),
+            ("c4", cycle_query(4), 4),
+        ] {
+            let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+            let engine = Engine::from_query_bindings(&q, rels);
+            let prepared = engine.prepare(q.clone(), RankSpec::Sum).expect("prepare");
+            // Spawn the interleaved cursors *first* so the triangle
+            // route's first cursor is the lazy heap.
+            let mut cursors: Vec<_> = (0..3).map(|_| prepared.stream()).collect();
+            let expected: Vec<RankedAnswer> = prepared.stream().collect();
+            let mut got: Vec<Vec<RankedAnswer>> = vec![Vec::new(); 3];
+            for &p in &picks {
+                if let Some(a) = cursors[p].next() {
+                    got[p].push(a);
+                }
+            }
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(
+                    g.as_slice(),
+                    &expected[..g.len()],
+                    "{label}: cursor {i} prefix"
+                );
+            }
         }
     }
 }
