@@ -1,0 +1,250 @@
+//! E16 — `anyk-serve` under load: N concurrent clients speaking the
+//! text protocol against one shared engine.
+//!
+//! The serving claim behind the paper's TTF obsession: with prepared
+//! state shared through the plan cache and stream spawn costing only
+//! the answers pulled, a *service* can hand many clients small pages
+//! of many queries concurrently — cheap first pages, no repeated
+//! preprocessing. Measured here end-to-end through the protocol
+//! (parse → session → cursor pages), with a mixed workload of all
+//! three route families:
+//!
+//! * acyclic (path-3), triangle, and 4-cycle queries over one shared
+//!   catalog, under rotating rankings (sum/max/min);
+//! * every client pages answers `LIMIT`/`NEXT`-style and **asserts its
+//!   pages are byte-identical to a direct `PreparedQuery` stream**
+//!   (the protocol may never reorder, drop, or duplicate an answer);
+//! * reported: throughput (answers/s), per-query TTF percentiles
+//!   (time to the first page, protocol overhead included), and the
+//!   engine's plan-cache hit/miss/eviction counters via `STATS`.
+//!
+//! Acceptance (asserted): the 8-client round completes with every
+//! page byte-identical, and the plan cache serves the repeated shapes
+//! (hits outnumber misses).
+
+use crate::util::{banner, fmt_secs, time, Table};
+use anyk_engine::{Engine, RankSpec};
+use anyk_query::cq::{cycle_query, path_query, ConjunctiveQuery};
+use anyk_serve::{encode_answer, select_text, LocalClient, Service, ServiceConfig};
+use anyk_storage::Catalog;
+use anyk_workloads::graphs::{random_edge_relation, WeightDist};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+/// One workload combo: a query shape (over the shared catalog) plus a
+/// ranking, pre-rendered as protocol text with its expected rows.
+struct Combo {
+    label: &'static str,
+    select: String,
+    expect: Vec<String>,
+}
+
+/// Answers each query pulls (pages of `PAGE`).
+const K: usize = 50;
+const PAGE: usize = 10;
+
+pub fn run(scale: f64) {
+    banner(
+        "E16: anyk-serve load — concurrent protocol clients over one shared engine",
+        "mixed acyclic/triangle/C4 workload; server pages asserted byte-identical to direct streams",
+    );
+    let edges = (15_000.0 * scale).max(900.0) as usize;
+    let nodes = (edges / 30).max(6) as u64;
+    let queries_per_client = ((24.0 * scale) as usize).clamp(6, 48);
+
+    // One shared catalog: R1..R4 are edge relations every shape reuses
+    // (path-3 reads R1,R2,R3; the triangle closes R1,R2,R3; the
+    // 4-cycle takes all four).
+    let mut catalog = Catalog::new();
+    for i in 1..=4u64 {
+        catalog.register(
+            format!("R{i}"),
+            random_edge_relation(edges, nodes, WeightDist::Uniform, None, 1000 + i * 7919),
+        );
+    }
+    let engine = Engine::new(catalog);
+    let service = Service::with_config(
+        engine.clone(),
+        ServiceConfig {
+            max_open_cursors: 256,
+            cursor_ttl: Duration::from_secs(60),
+            default_page: PAGE,
+        },
+    );
+
+    // The workload mix: every route family × rotating rankings. The
+    // expected rows come from a direct PreparedQuery stream through
+    // the same encoder the wire uses — the byte-identity baseline.
+    let shapes: [(&'static str, ConjunctiveQuery); 3] = [
+        ("path3", path_query(3)),
+        ("triangle", cycle_query(3)),
+        ("c4", cycle_query(4)),
+    ];
+    let ranks = [RankSpec::Sum, RankSpec::Max, RankSpec::Min];
+    let (combos, prep_time) = time(|| {
+        let mut combos = Vec::new();
+        for (label, q) in &shapes {
+            for &rank in &ranks {
+                let prepared = engine
+                    .prepare(q.clone(), rank)
+                    .unwrap_or_else(|e| panic!("{label} × {rank}: {e}"));
+                let expect: Vec<String> = prepared
+                    .stream()
+                    .take(K)
+                    .map(|a| encode_answer(&a))
+                    .collect();
+                assert!(
+                    !expect.is_empty(),
+                    "{label} × {rank}: workload must have answers"
+                );
+                combos.push(Combo {
+                    label,
+                    select: select_text(q, rank, Some(PAGE)),
+                    expect,
+                });
+            }
+        }
+        combos
+    });
+    println!(
+        "catalog: 4 × {edges} edges over {nodes} nodes; {} combos prepared in {} \
+         (shared by every client via the plan cache)",
+        combos.len(),
+        fmt_secs(prep_time)
+    );
+
+    let mut table = Table::new([
+        "clients",
+        "queries",
+        "answers",
+        "wall",
+        "answers/s",
+        "TTF p50",
+        "TTF p95",
+        "TTF p99",
+    ]);
+    for clients in [1usize, 2, 4, 8] {
+        let ttfs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let (total_answers, wall) = time(|| {
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let service = &service;
+                        let combos = &combos;
+                        let ttfs = &ttfs;
+                        s.spawn(move || {
+                            let mut client = LocalClient::new(service);
+                            let mut answers = 0usize;
+                            for i in 0..queries_per_client {
+                                let combo = &combos[(c + i) % combos.len()];
+                                answers += run_one_query(&mut client, combo, ttfs);
+                            }
+                            answers
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .sum::<usize>()
+            })
+        });
+        let mut ttfs = ttfs.into_inner().expect("ttf lock");
+        ttfs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let pct = |p: f64| -> f64 {
+            if ttfs.is_empty() {
+                return 0.0;
+            }
+            ttfs[((ttfs.len() - 1) as f64 * p).round() as usize]
+        };
+        table.row([
+            clients.to_string(),
+            (clients * queries_per_client).to_string(),
+            total_answers.to_string(),
+            fmt_secs(wall),
+            format!("{:.0}", total_answers as f64 / wall.max(1e-12)),
+            fmt_secs(pct(0.50)),
+            fmt_secs(pct(0.95)),
+            fmt_secs(pct(0.99)),
+        ]);
+    }
+    table.print();
+
+    // Cache behavior through the protocol itself.
+    let mut client = LocalClient::new(&service);
+    let stats_text = client.send("STATS;");
+    for line in stats_text.lines().filter(|l| l.starts_with("INFO ")) {
+        println!("  {}", &line[5..]);
+    }
+    let stats = service.stats();
+    assert!(
+        stats.cache.hits > stats.cache.misses,
+        "the plan cache must serve the repeated workload shapes \
+         (hits {} vs misses {})",
+        stats.cache.hits,
+        stats.cache.misses
+    );
+    assert_eq!(
+        stats.open_cursors, 0,
+        "every client paged to completion or closed its cursor"
+    );
+    println!(
+        "acceptance: 8 concurrent clients × {queries_per_client} mixed queries, every \
+         server page byte-identical to the direct PreparedQuery stream (asserted per \
+         page inside each client); plan cache {} hits / {} misses / {} evictions",
+        stats.cache.hits, stats.cache.misses, stats.cache.evictions
+    );
+}
+
+/// Run one query to `K` answers (or exhaustion) through the protocol,
+/// asserting every page against the expected byte-identical rows.
+/// Returns the number of answers pulled; records the first-page TTF.
+fn run_one_query(client: &mut LocalClient, combo: &Combo, ttfs: &Mutex<Vec<f64>>) -> usize {
+    let mut rows: Vec<String> = Vec::new();
+    let (first, ttf) = time(|| client.send(&combo.select));
+    ttfs.lock().expect("ttf lock").push(ttf);
+    let mut reply = first;
+    loop {
+        let header = reply.lines().next().expect("header").to_string();
+        assert!(
+            header.starts_with("OK "),
+            "{}: protocol error: {reply}",
+            combo.label
+        );
+        rows.extend(
+            reply
+                .lines()
+                .filter(|l| l.starts_with("ROW "))
+                .map(String::from),
+        );
+        let done = header.contains("done=true");
+        let cursor = header
+            .split("cursor=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("cursor field");
+        if done {
+            break;
+        }
+        if rows.len() >= K {
+            let closed = client.send(&format!("CLOSE {cursor};"));
+            assert!(closed.starts_with("OK closed="), "{closed}");
+            break;
+        }
+        reply = client.send(&format!("NEXT {PAGE} ON {cursor};"));
+    }
+    assert_eq!(
+        rows,
+        combo.expect[..rows.len().min(combo.expect.len())],
+        "{}: server pages diverged from the direct stream",
+        combo.label
+    );
+    assert_eq!(
+        rows.len(),
+        combo.expect.len().min(K),
+        "{}: page count mismatch",
+        combo.label
+    );
+    rows.len()
+}

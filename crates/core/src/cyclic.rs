@@ -14,7 +14,10 @@
 //! Ranking functions must be **commutative** here (sum/max/min/prod):
 //! the per-case queries serialize the original atoms in different
 //! orders, so order-sensitive rankings (lexicographic) are not
-//! well-defined across cases.
+//! well-defined across cases. Order-sensitive rankings *are* served on
+//! cyclic queries one level up: the engine routes them to the
+//! materialized artifact ([`wco_ranked_materialize`] combines weights
+//! in canonical atom order, which is well-defined for any ranking).
 
 use crate::answer::{AnyK, RankedAnswer};
 use crate::part::AnyKPart;

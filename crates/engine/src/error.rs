@@ -2,7 +2,6 @@
 //! execution that previously surfaced as a `panic!` on an internal
 //! seam (catalog lookup, schema lookup, tree/atom mismatch).
 
-use crate::rank::RankSpec;
 use anyk_core::tdp::TdpError;
 use anyk_storage::StorageError;
 use std::error::Error;
@@ -24,16 +23,6 @@ pub enum EngineError {
         expected: usize,
         /// The relation's actual arity.
         found: usize,
-    },
-    /// The chosen ranking function is not defined on this route (e.g.
-    /// lexicographic ranking over a cyclic query: the per-case plans
-    /// serialize atoms in different orders, so a non-commutative
-    /// ranking is ill-defined across cases).
-    UnsupportedRanking {
-        /// The requested ranking.
-        rank: RankSpec,
-        /// Human-readable reason.
-        why: &'static str,
     },
     /// T-DP preparation rejected a query/tree pair (one tree node per
     /// atom is required) — reachable only through hand-built plans,
@@ -72,9 +61,6 @@ impl fmt::Display for EngineError {
                 "atom #{atom} uses relation `{relation}` with {expected} variable(s), \
                  but the relation has arity {found}"
             ),
-            EngineError::UnsupportedRanking { rank, why } => {
-                write!(f, "ranking {rank:?} unsupported on this plan: {why}")
-            }
             EngineError::Prepare(e) => write!(f, "T-DP preparation failed: {e:?}"),
             EngineError::EmptyQuery => write!(f, "query has no atoms"),
             EngineError::BindingCountMismatch { atoms, relations } => write!(
@@ -128,11 +114,5 @@ mod tests {
         };
         assert!(e.to_string().contains("arity 3"));
         assert!(Error::source(&e).is_none());
-
-        let e = EngineError::UnsupportedRanking {
-            rank: RankSpec::Lex,
-            why: "cyclic plans need a commutative ranking",
-        };
-        assert!(e.to_string().contains("Lex"));
     }
 }

@@ -80,14 +80,16 @@ use std::sync::{Arc, Mutex, RwLock};
 /// | any other cyclic query | [`Route::Decomposed`] | GHD bags (exact fhw ≤ 9 vars, greedy beyond) + any-k | `O~(n^fhw)` | `O~(1)` |
 ///
 /// The ranking function is a runtime value ([`RankSpec`]); the engine
-/// monomorphizes internally. Lexicographic ranking is order-sensitive
-/// and therefore only valid on the acyclic route — requesting it on a
-/// cyclic query is a typed [`EngineError::UnsupportedRanking`], not a
-/// wrong answer.
+/// monomorphizes internally. Lexicographic ranking is order-sensitive:
+/// on the acyclic route its weights serialize in join-tree pre-order,
+/// while cyclic routes (whose any-k case plans serialize atoms in
+/// per-case orders) run it off the materialized answer set with
+/// weights serialized in **canonical atom order** — the route's
+/// `Batch`-style artifact, so the answer order is still exact.
 ///
 /// All failure modes are typed ([`EngineError`]): unknown relations,
-/// arity mismatches, unsupported rankings. The planner never panics
-/// on user input.
+/// arity mismatches, malformed bindings. The planner never panics on
+/// user input.
 ///
 /// # Sharing and concurrency
 ///
@@ -134,6 +136,49 @@ struct PlanCache {
     capacity: usize,
     /// Monotone use counter backing the LRU order.
     tick: u64,
+    /// Lookups served from the cache (epoch-valid entries only).
+    hits: u64,
+    /// Lookups that fell through to a fresh prepare — cold keys,
+    /// epoch-stale entries, and capacity-evicted entries alike.
+    misses: u64,
+    /// Entries removed by the capacity bound (not epoch purges).
+    evictions: u64,
+}
+
+/// A snapshot of the engine's plan-cache counters
+/// ([`Engine::cache_stats`]): how well the prepare-once/execute-many
+/// amortization is actually working for the current workload.
+///
+/// `hits`/`misses` count [`prepare`](Engine::prepare)/
+/// [`plan`](QueryRequest::plan) lookups (an epoch-stale entry counts as
+/// a miss: it must be re-prepared). `evictions` counts entries removed
+/// by the capacity bound — epoch purges ([`Engine::update_catalog`])
+/// are invalidations, not evictions, and are not counted. `entries` is
+/// the current resident count, `capacity` the configured bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh prepare.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Prepared plans currently resident.
+    pub entries: usize,
+    /// The configured capacity (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups so far (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 struct CacheSlot {
@@ -147,6 +192,9 @@ impl PlanCache {
             map: FxHashMap::default(),
             capacity,
             tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
@@ -219,7 +267,10 @@ impl PlanCache {
                 .or_else(|| candidates().min_by_key(|(_, s)| s.last_used))
                 .map(|(k, _)| k.clone());
             match victim {
-                Some(k) => self.map.remove(&k),
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
                 None => break,
             };
         }
@@ -228,6 +279,7 @@ impl PlanCache {
     fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         if capacity == 0 {
+            self.evictions += self.map.len() as u64;
             self.map.clear();
         } else {
             self.evict_to_capacity(None);
@@ -443,6 +495,22 @@ impl Engine {
         self.shared.cache.lock().expect("cache lock poisoned").len()
     }
 
+    /// A snapshot of the plan-cache counters: hits, misses, capacity
+    /// evictions, resident entries, and the configured capacity.
+    /// Counters are cumulative over the engine's lifetime (shared by
+    /// all clones) and are **not** reset by catalog updates — an epoch
+    /// purge empties the cache but keeps the history.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.shared.cache.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            entries: cache.map.len(),
+            capacity: cache.capacity,
+        }
+    }
+
     /// Start planning `cq`. Returns a request builder; nothing
     /// executes until [`QueryRequest::plan`] /
     /// [`QueryRequest::prepare`].
@@ -490,10 +558,14 @@ impl Engine {
             let mut cache = self.shared.cache.lock().expect("cache lock poisoned");
             if let Some(hit) = cache.get(&key) {
                 if hit.epoch() == epoch {
-                    return Ok(hit.adopt_variant(opts.variant));
+                    let served = hit.adopt_variant(opts.variant);
+                    cache.hits += 1;
+                    return Ok(served);
                 }
             }
-            // Triangle plans build the same sorted artifact whether or
+            // Single-artifact plans (`variant == None`: the triangle
+            // route, and cyclic routes under a non-commutative
+            // ranking) build the same materialized artifact whether or
             // not Batch was requested, and are stored under
             // `batch: false` — accept that entry for a Batch request
             // rather than materializing a duplicate. Peek first: the
@@ -505,17 +577,19 @@ impl Engine {
                     ..key.clone()
                 };
                 if let Some(hit) = cache.peek(&alt) {
-                    if hit.epoch() == epoch && matches!(hit.plan().route, Route::Triangle) {
+                    if hit.epoch() == epoch && hit.plan().variant.is_none() {
                         let served = hit.adopt_variant(opts.variant);
                         cache.touch(&alt);
+                        cache.hits += 1;
                         return Ok(served);
                     }
                 }
             }
+            cache.misses += 1;
         }
         let rels = resolve(&catalog, cq)?;
         let plan = make_plan(cq, rank, opts, &rels)?;
-        if matches!(plan.route, Route::Triangle) {
+        if plan.variant.is_none() {
             // Normalize: one cache entry serves Batch and any-k alike.
             key.batch = false;
         }
@@ -575,13 +649,6 @@ fn make_plan(
             },
         },
     };
-    if !matches!(route, Route::Acyclic { .. }) && !rank.is_commutative() {
-        return Err(EngineError::UnsupportedRanking {
-            rank,
-            why: "cyclic routes serialize atoms in per-case orders; \
-                  the ranking must be commutative",
-        });
-    }
     let width = match &route {
         Route::Acyclic { .. } => 1.0,
         Route::Triangle => cycle_submodular_width(3),
@@ -590,11 +657,17 @@ fn make_plan(
     };
     // Record the *effective* variant so `explain` never reports a
     // variant that does not run: the triangle plan has a single
-    // implementation (materialize + shared sorted answers) that no
-    // variant choice affects. Batch is honored on every other route —
-    // cyclic routes materialize worst-case-optimally and sort.
+    // implementation (worst-case-optimal materialization + deferred
+    // sort) that no variant choice affects, and so does any cyclic
+    // route under a non-commutative ranking — the per-case/bag any-k
+    // plans serialize atoms in per-case orders, so e.g. lexicographic
+    // ranking runs off the materialized answers with weights
+    // serialized in canonical atom order instead. Batch is honored on
+    // every other route — cyclic routes materialize
+    // worst-case-optimally.
     let variant = match &route {
         Route::Triangle => None,
+        Route::FourCycle { .. } | Route::Decomposed { .. } if !rank.is_commutative() => None,
         _ => Some(opts.variant),
     };
     Ok(Plan {
@@ -774,18 +847,65 @@ mod tests {
     }
 
     #[test]
-    fn lex_on_cyclic_is_rejected() {
-        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+    fn lex_on_cyclic_runs_off_materialized_answers() {
+        // Two triangles with distinct edge weights: lex order is
+        // decided by the first atom's weight (canonical atom order).
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (4, 5, 0.125),
+            (5, 6, 8.0),
+            (6, 4, 2.0),
+        ]);
         let q = triangle_query();
         let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
-        let err = engine.query(q).rank_by(RankSpec::Lex).plan().unwrap_err();
-        assert!(matches!(
-            err,
-            EngineError::UnsupportedRanking {
-                rank: RankSpec::Lex,
-                ..
-            }
-        ));
+        let plan = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Lex)
+            .explain()
+            .unwrap();
+        assert_eq!(
+            plan.variant, None,
+            "lex on a cyclic route has a single (materialized) implementation"
+        );
+        let all: Vec<_> = engine
+            .query(q)
+            .rank_by(RankSpec::Lex)
+            .plan()
+            .unwrap()
+            .collect();
+        assert_eq!(all.len(), 6, "3 rotations of each triangle");
+        assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
+        // The best answer starts with the lightest first-atom weight.
+        assert_eq!(
+            all[0].cost.lex().map(|v| v[0].get()),
+            Some(0.125),
+            "canonical atom order: the first atom's weight leads"
+        );
+    }
+
+    #[test]
+    fn lex_on_cyclic_shares_one_cache_entry_with_batch() {
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 4, 0.25), (4, 1, 2.0)]);
+        let q = cycle_query(4);
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e.clone(), e]);
+        let anyk: Vec<_> = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Lex)
+            .plan()
+            .unwrap()
+            .collect();
+        assert_eq!(engine.cached_plans(), 1);
+        let batch: Vec<_> = engine
+            .query(q)
+            .rank_by(RankSpec::Lex)
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap()
+            .collect();
+        assert_eq!(engine.cached_plans(), 1, "no duplicate lex-cyclic artifact");
+        assert_eq!(anyk, batch);
     }
 
     #[test]
@@ -1248,6 +1368,79 @@ mod tests {
         assert_eq!(engine.cached_plans(), 3);
         let engine = engine.with_cache_capacity(1);
         assert_eq!(engine.cached_plans(), 1, "set_capacity trims eagerly");
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_entries() {
+        let (engine, q) = path_engine();
+        assert_eq!(engine.cache_stats(), CacheStats::default_with(&engine));
+
+        // First plan: a miss; second: a hit; a new rank: another miss.
+        let _ = engine.query(q.clone()).plan().unwrap();
+        let _ = engine.query(q.clone()).plan().unwrap();
+        let _ = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Max)
+            .plan()
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+
+        // The triangle batch/any-k normalization's peek-serve is a hit.
+        let e = edge_rel(&[(1, 2, 0.5), (2, 3, 1.0), (3, 1, 0.25)]);
+        let tq = triangle_query();
+        let tri = Engine::from_query_bindings(&tq, vec![e.clone(), e.clone(), e]);
+        let _ = tri.query(tq.clone()).plan().unwrap();
+        let _ = tri
+            .query(tq)
+            .with_variant(AnyKVariant::Batch)
+            .plan()
+            .unwrap();
+        let stats = tri.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        // Epoch purge empties the cache but keeps the counters.
+        engine.register("R9", edge_rel(&[(1, 2, 0.0)]));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        // A stale-epoch-free lookup after the purge is a plain miss.
+        let _ = engine.query(q).plan().unwrap();
+        assert_eq!(engine.cache_stats().misses, 3);
+    }
+
+    impl CacheStats {
+        /// The all-zero baseline at an engine's configured capacity.
+        fn default_with(engine: &Engine) -> CacheStats {
+            CacheStats {
+                capacity: engine.cache_capacity(),
+                ..CacheStats::default()
+            }
+        }
+    }
+
+    #[test]
+    fn cache_stats_count_capacity_evictions() {
+        let (engine, q) = path_engine();
+        let engine = engine.with_cache_capacity(2);
+        for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Min, RankSpec::Prod] {
+            let _ = engine.query(q.clone()).rank_by(rank).plan().unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2, "four inserts into capacity 2");
+        assert_eq!(stats.misses, 4);
+        // Shrinking the capacity evicts (and counts) immediately.
+        let engine = engine.with_cache_capacity(1);
+        assert_eq!(engine.cache_stats().evictions, 3);
+        assert_eq!(engine.cache_stats().capacity, 1);
+        // Disabling the cache counts the purged residents too.
+        let engine = engine.with_cache_capacity(0);
+        assert_eq!(engine.cache_stats().evictions, 4);
+        assert_eq!(engine.cache_stats().entries, 0);
     }
 
     #[test]

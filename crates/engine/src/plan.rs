@@ -93,10 +93,11 @@ pub struct Plan {
     pub route: Route,
     /// The runtime ranking.
     pub rank: RankSpec,
-    /// The any-k variant that will drive enumeration — `None` on
-    /// [`Route::Triangle`], which has a single implementation
-    /// (worst-case-optimal materialization + lazy heap) that no
-    /// variant choice affects.
+    /// The any-k variant that will drive enumeration — `None` when the
+    /// plan has a single implementation no variant choice affects:
+    /// [`Route::Triangle`] (worst-case-optimal materialization + lazy
+    /// heap), and cyclic routes under a non-commutative ranking (which
+    /// serve the materialized artifact under canonical atom order).
     pub variant: Option<AnyKVariant>,
     /// The width governing preprocessing: 1 for acyclic, the
     /// submodular width for the specialized cycle plans, the

@@ -15,9 +15,7 @@ use crate::rank::{IntoCost, RankSpec};
 use crate::stream::{RankedAnswer, RankedStream};
 
 use anyk_core::batch::materialize_ranked;
-use anyk_core::cyclic::{
-    prepare_triangle, wco_ranked_materialize, LazySortedAnswers, PreparedC4, SortedAnswers,
-};
+use anyk_core::cyclic::{prepare_triangle, wco_ranked_materialize, LazySortedAnswers, PreparedC4};
 use anyk_core::decomposed::PreparedDecomposed;
 use anyk_core::part::AnyKPart;
 use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
@@ -107,30 +105,25 @@ enum PreparedRoute<R: RankingFunction> {
     /// 4-cycle: the union-of-trees case split, one shared T-DP
     /// instance per case.
     Cases(PreparedC4<R>),
-    /// Materialize-then-sort plans: the batch baseline on every route.
-    /// Streams are zero-copy cursors.
-    Sorted(SortedAnswers<R::Cost>),
-    /// The triangle route: worst-case-optimal materialization with the
-    /// sort **deferred** — the first stream is a lazy heap (`O(r)`
-    /// build), and the shared sorted artifact is installed when a
-    /// second stream spawns or the first one exhausts.
+    /// Every materialized-answer plan — the triangle route, `Batch`
+    /// plans on any route, and non-commutative rankings on cyclic
+    /// routes — with the sort **deferred**: prepare is materialize-only
+    /// (`O(r)`), the first stream is a lazy heap (`O(r)` build), and
+    /// the shared sorted artifact is installed when a second stream
+    /// spawns or the first one exhausts.
     LazySorted(LazySortedAnswers<R::Cost>),
 }
 
 impl<R: RankingFunction> PreparedRoute<R> {
     /// Does this artifact hold a full materialized answer set?
     fn is_materialized(&self) -> bool {
-        matches!(
-            self,
-            PreparedRoute::Sorted(_) | PreparedRoute::LazySorted(_)
-        )
+        matches!(self, PreparedRoute::LazySorted(_))
     }
 
     /// For materialized artifacts: is the `O(r log r)` sort still
     /// deferred? `None` on non-materialized routes.
     fn sort_deferred(&self) -> Option<bool> {
         match self {
-            PreparedRoute::Sorted(_) => Some(false),
             PreparedRoute::LazySorted(lazy) => Some(!lazy.is_sorted()),
             _ => None,
         }
@@ -184,12 +177,13 @@ impl PreparedQuery {
     }
 
     /// For materialized artifacts: `Some(true)` while the `O(r log r)`
-    /// sort is still deferred (the triangle route's lazy-heap
-    /// first-stream window), `Some(false)` once the shared sorted
-    /// artifact is installed. `None` on any-k routes, which never
-    /// materialize. Diagnostic for the serving-grade TTF guarantee: a
-    /// prepared triangle that has served one partial top-k stream must
-    /// still report `Some(true)`.
+    /// sort is still deferred (the lazy-heap first-stream window —
+    /// on the triangle route, on every `Batch` plan, and on cyclic
+    /// plans under a non-commutative ranking), `Some(false)` once the
+    /// shared sorted artifact is installed. `None` on any-k routes,
+    /// which never materialize. Diagnostic for the serving-grade TTF
+    /// guarantee: a prepared materialized plan that has served one
+    /// partial top-k stream must still report `Some(true)`.
     pub fn sort_deferred(&self) -> Option<bool> {
         match &self.inner {
             PreparedInner::Sum(r) => r.sort_deferred(),
@@ -209,19 +203,19 @@ impl PreparedQuery {
 
     /// A copy of this prepared query whose plan records `requested` as
     /// the effective variant (the prepared artifact is shared — only
-    /// the stream-time enumerator choice differs).
+    /// the stream-time enumerator choice differs). Plans with a single
+    /// implementation (`variant == None`: the triangle route, and
+    /// non-commutative rankings on cyclic routes) stay variant-free —
+    /// no requested variant affects what runs.
     pub(crate) fn adopt_variant(&self, requested: AnyKVariant) -> PreparedQuery {
         let mut p = self.clone();
-        p.plan.variant = match p.plan.route {
-            Route::Triangle => None,
-            _ => Some(requested),
-        };
+        p.plan.variant = p.plan.variant.map(|_| requested);
         p
     }
 
     /// Spawn a stream driving the given any-k variant over the shared
     /// artifact. `Batch` requests are prepared as
-    /// [`PreparedRoute::Sorted`], so the variant only selects among
+    /// [`PreparedRoute::LazySorted`], so the variant only selects among
     /// PART successor orders and REC here.
     fn stream_as(&self, variant: AnyKVariant) -> RankedStream {
         let inner = match &self.inner {
@@ -232,10 +226,7 @@ impl PreparedQuery {
             PreparedInner::Lex(r) => stream_route(r, variant),
         };
         let mut plan = self.plan.clone();
-        plan.variant = match plan.route {
-            Route::Triangle => None,
-            _ => Some(variant),
-        };
+        plan.variant = plan.variant.map(|_| variant);
         RankedStream { inner, plan }
     }
 }
@@ -262,12 +253,22 @@ where
     R: RankingFunction,
     R::Cost: IntoCost,
 {
+    // Every materialize-then-rank artifact defers its sort: prepare is
+    // materialize-only (`O(r)`), the first stream is a lazy heap, and
+    // the shared sorted artifact installs when it pays for itself.
+    // Cyclic routes also take this path for rankings without a
+    // weight-level view (lexicographic): the per-case/bag plans cannot
+    // collapse tuple weights, but the materialized answers rank fine
+    // under the canonical atom-order serialization.
+    let wco_lazy =
+        |rels: &[Relation]| LazySortedAnswers::new(wco_ranked_materialize::<R>(&plan.query, rels));
     Ok(match &plan.route {
         Route::Acyclic { tree } => {
             if batch {
                 // Materialize via Yannakakis (weights combined in
-                // serialization order: valid for Lex too), sort, share.
-                PreparedRoute::Sorted(SortedAnswers::new(materialize_ranked::<R>(
+                // serialization order: valid for Lex too), defer the
+                // sort, share.
+                PreparedRoute::LazySorted(LazySortedAnswers::new(materialize_ranked::<R>(
                     &plan.query,
                     tree,
                     rels,
@@ -284,21 +285,15 @@ where
         // deferred; Batch and any-k requests share the same artifact.
         Route::Triangle => PreparedRoute::LazySorted(prepare_triangle::<R>(&rels)),
         Route::FourCycle { threshold } => {
-            if batch {
-                PreparedRoute::Sorted(SortedAnswers::new(wco_ranked_materialize::<R>(
-                    &plan.query,
-                    &rels,
-                )))
+            if batch || R::weight_dioid().is_none() {
+                PreparedRoute::LazySorted(wco_lazy(&rels))
             } else {
                 PreparedRoute::Cases(PreparedC4::prepare(&rels, *threshold)?)
             }
         }
         Route::Decomposed { decomp } => {
-            if batch {
-                PreparedRoute::Sorted(SortedAnswers::new(wco_ranked_materialize::<R>(
-                    &plan.query,
-                    &rels,
-                )))
+            if batch || R::weight_dioid().is_none() {
+                PreparedRoute::LazySorted(wco_lazy(&rels))
             } else {
                 PreparedRoute::Ghd(PreparedDecomposed::prepare(&plan.query, &rels, decomp)?)
             }
@@ -332,7 +327,6 @@ where
             AnyKVariant::Rec => erase(prep.stream_rec()),
             v => erase(prep.stream_part(part_kind(v))),
         },
-        PreparedRoute::Sorted(sorted) => erase(sorted.stream()),
         PreparedRoute::LazySorted(lazy) => erase(lazy.stream()),
     }
 }

@@ -19,7 +19,13 @@ use std::fmt;
 /// | `Max` | bottleneck maximum | yes | yes |
 /// | `Min` | minimum, ascending | yes | yes |
 /// | `Prod`| `×` (non-negative weights) | yes | yes |
-/// | `Lex` | lexicographic over the join tree's serialization order | **no** | **no** |
+/// | `Lex` | lexicographic over the serialization order | **no** | via materialization |
+///
+/// `Lex` weights serialize in join-tree pre-order on the acyclic
+/// route; cyclic routes cannot drive their any-k case plans with a
+/// non-commutative ranking, so there `Lex` runs off the materialized
+/// answer set with weights serialized in **canonical atom order**
+/// (the query's atom order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RankSpec {
     /// Sum of tuple weights (the paper's default ranking).
@@ -31,16 +37,17 @@ pub enum RankSpec {
     Min,
     /// Product of tuple weights (requires non-negative weights).
     Prod,
-    /// Lexicographic comparison of the weight vector in join-tree
-    /// serialization order. Order-sensitive, so only acyclic routes
-    /// support it.
+    /// Lexicographic comparison of the weight vector: join-tree
+    /// serialization order on acyclic routes, canonical atom order on
+    /// cyclic routes (which serve it from materialized answers).
     Lex,
 }
 
 impl RankSpec {
     /// Is `combine` commutative? Cyclic routes (union-of-trees, GHD
-    /// bags) serialize atoms in per-case orders and therefore require
-    /// a commutative ranking.
+    /// bags) serialize atoms in per-case orders, so their any-k plans
+    /// require a commutative ranking — non-commutative rankings fall
+    /// back to the materialized (`Batch`-style) artifact there.
     pub fn is_commutative(self) -> bool {
         !matches!(self, RankSpec::Lex)
     }

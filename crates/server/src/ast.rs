@@ -1,0 +1,196 @@
+//! The abstract syntax of the textual ranked-CQ language, plus its
+//! canonical rendering and the lowering into `anyk_query`'s
+//! [`ConjunctiveQuery`].
+//!
+//! The grammar (case-insensitive keywords, `;` optional):
+//!
+//! ```text
+//! command := select | EXPLAIN select | NEXT count ON cursor
+//!          | CLOSE cursor | STATS
+//! select  := SELECT atom (',' atom)* [RANK BY ranking] [LIMIT count]
+//! atom    := relation '(' var (',' var)* ')'
+//! ranking := sum | max | min | prod | lex
+//! ```
+//!
+//! Every [`Command`] renders back to canonical text via [`Display`](fmt::Display),
+//! and `parse(render(cmd)) == cmd` — the round-trip the parser
+//! proptests pin.
+
+use anyk_engine::RankSpec;
+use anyk_query::cq::{ConjunctiveQuery, QueryBuilder};
+use std::fmt;
+
+/// One client command of the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Open a ranked query: plan, pull the first page, and (if answers
+    /// remain) register a cursor.
+    Select(SelectStmt),
+    /// Plan only: respond with the rendered [`Plan`](anyk_engine::Plan),
+    /// executing nothing.
+    Explain(SelectStmt),
+    /// Pull up to `count` more answers from an open cursor.
+    Next {
+        /// Maximum number of answers to pull.
+        count: usize,
+        /// The cursor id a previous `SELECT` returned.
+        cursor: u64,
+    },
+    /// Close a cursor, releasing its stream and admission slot.
+    Close {
+        /// The cursor id to close.
+        cursor: u64,
+    },
+    /// Report service metrics (sessions, cursors, TTF, plan cache).
+    Stats,
+}
+
+/// The `SELECT` statement: a full conjunctive query (atoms over named
+/// variables), a ranking, and an optional page limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// The query atoms, in canonical (serialization) order.
+    pub atoms: Vec<AtomRef>,
+    /// The ranking function (`RANK BY ...`; defaults to `sum`).
+    pub rank: RankSpec,
+    /// Page size for the first page (`LIMIT k`); `None` uses the
+    /// service default.
+    pub limit: Option<usize>,
+}
+
+/// One atom `R(x, y, ...)` of a `SELECT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomRef {
+    /// The relation name (resolved against the engine's catalog).
+    pub relation: String,
+    /// Variable names, one per column.
+    pub vars: Vec<String>,
+}
+
+impl SelectStmt {
+    /// Lower into the engine's query representation. Variables are
+    /// declared in first-use order across the atoms, exactly like
+    /// [`QueryBuilder`] — so a query rendered by [`select_text`] lowers
+    /// back to an equal [`ConjunctiveQuery`].
+    pub fn to_cq(&self) -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new();
+        for atom in &self.atoms {
+            let vars: Vec<&str> = atom.vars.iter().map(String::as_str).collect();
+            b = b.atom(atom.relation.clone(), &vars);
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for AtomRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.relation, self.vars.join(","))
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        write!(f, " RANK BY {}", self.rank)?;
+        if let Some(k) = self.limit {
+            write!(f, " LIMIT {k}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Command {
+    /// Canonical text: what [`parse`](crate::parse) round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Select(s) => write!(f, "{s};"),
+            Command::Explain(s) => write!(f, "EXPLAIN {s};"),
+            Command::Next { count, cursor } => write!(f, "NEXT {count} ON {cursor};"),
+            Command::Close { cursor } => write!(f, "CLOSE {cursor};"),
+            Command::Stats => write!(f, "STATS;"),
+        }
+    }
+}
+
+/// Render a [`ConjunctiveQuery`] as the `SELECT` statement that lowers
+/// back to it: `SELECT R(a,b), S(b,c) RANK BY sum;`. The inverse of
+/// [`SelectStmt::to_cq`] for queries whose variables appear in
+/// first-use order (everything [`QueryBuilder`] produces).
+pub fn select_text(q: &ConjunctiveQuery, rank: RankSpec, limit: Option<usize>) -> String {
+    let stmt = select_stmt(q, rank, limit);
+    Command::Select(stmt).to_string()
+}
+
+/// The [`SelectStmt`] form of a [`ConjunctiveQuery`] (see
+/// [`select_text`]).
+pub fn select_stmt(q: &ConjunctiveQuery, rank: RankSpec, limit: Option<usize>) -> SelectStmt {
+    SelectStmt {
+        atoms: q
+            .atoms()
+            .iter()
+            .map(|a| AtomRef {
+                relation: a.relation.clone(),
+                vars: a.vars.iter().map(|&v| q.var_name(v).to_string()).collect(),
+            })
+            .collect(),
+        rank,
+        limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::cq::{path_query, triangle_query};
+
+    #[test]
+    fn rendering_is_canonical() {
+        let stmt = SelectStmt {
+            atoms: vec![
+                AtomRef {
+                    relation: "R".into(),
+                    vars: vec!["x".into(), "y".into()],
+                },
+                AtomRef {
+                    relation: "S".into(),
+                    vars: vec!["y".into(), "z".into()],
+                },
+            ],
+            rank: RankSpec::Sum,
+            limit: Some(10),
+        };
+        assert_eq!(
+            Command::Select(stmt.clone()).to_string(),
+            "SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;"
+        );
+        assert_eq!(
+            Command::Explain(stmt).to_string(),
+            "EXPLAIN SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;"
+        );
+        assert_eq!(
+            Command::Next {
+                count: 5,
+                cursor: 3
+            }
+            .to_string(),
+            "NEXT 5 ON 3;"
+        );
+        assert_eq!(Command::Close { cursor: 3 }.to_string(), "CLOSE 3;");
+        assert_eq!(Command::Stats.to_string(), "STATS;");
+    }
+
+    #[test]
+    fn select_text_lowers_back_to_the_same_query() {
+        for q in [path_query(3), triangle_query()] {
+            let text = select_text(&q, RankSpec::Max, None);
+            let stmt = select_stmt(&q, RankSpec::Max, None);
+            assert_eq!(stmt.to_cq(), q, "{text}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # anyk-serve — a session-based ranked-query service
+//!
+//! The paper's any-k contract — answers in rank order, tiny
+//! time-to-first-answer, any `k` — pays off in a *serving* context:
+//! many clients pulling small pages of many queries concurrently.
+//! This crate is the front door that turns the `anyk-engine` library
+//! into that system, in three layers, `std`-only:
+//!
+//! 1. **Frontend** ([`ast`] + [`parser`]): a textual ranked-CQ
+//!    language — `SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;` plus
+//!    `NEXT <k> ON <cursor>`, `CLOSE <cursor>`, `EXPLAIN`, and
+//!    `STATS` — that lowers to [`anyk_query::cq::ConjunctiveQuery`] +
+//!    [`anyk_engine::RankSpec`], with typed [`ParseError`]s and a
+//!    printable AST (canonical text round-trips).
+//! 2. **Session layer** ([`service`]): a [`Service`] wrapping a shared
+//!    [`Engine`](anyk_engine::Engine); each client gets a [`Session`]
+//!    holding its registry of live cursors ([`RankedStream`](anyk_engine::RankedStream)s
+//!    over the engine's cached prepared state), with paginated `NEXT`
+//!    pulls, cursor TTL and close semantics, an admission-control
+//!    semaphore bounding concurrent open streams, and per-query
+//!    metrics (TTF, answers served, plan-cache hits/misses) surfaced
+//!    through `STATS`.
+//! 3. **Transport** ([`wire`] + [`tcp`]): a line-oriented protocol —
+//!    every reply is an `OK`/`ERR` header, `ROW`/`INFO` lines, and an
+//!    `END` terminator — served over `std::net::TcpListener` with a
+//!    thread (and session) per connection, plus an in-process
+//!    [`LocalClient`] that speaks the identical bytes without a
+//!    socket (tests and the E16 load bench drive it).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anyk_engine::Engine;
+//! use anyk_serve::{LocalClient, Service};
+//! use anyk_storage::{Catalog, RelationBuilder, Schema};
+//!
+//! // A catalog with two weighted edge relations.
+//! let mut catalog = Catalog::new();
+//! let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+//! r.push_ints(&[1, 10], 0.3);
+//! r.push_ints(&[2, 10], 0.1);
+//! catalog.register("R", r.finish());
+//! let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+//! s.push_ints(&[10, 100], 0.5);
+//! s.push_ints(&[10, 200], 0.05);
+//! catalog.register("S", s.finish());
+//!
+//! let service = Service::new(Engine::new(catalog));
+//! let mut client = LocalClient::new(&service);
+//!
+//! // Open a ranked query; the first page arrives with a cursor.
+//! let page = client.send("SELECT R(a,b), S(b,c) RANK BY sum LIMIT 2;");
+//! assert!(page.starts_with("OK cursor=0 rows=2 done=false"));
+//! assert!(page.contains("ROW 2,10,200 cost=0.15")); // cheapest first
+//!
+//! // Pull the rest, then the cursor closes itself.
+//! let rest = client.send("NEXT 10 ON 0;");
+//! assert!(rest.starts_with("OK cursor=- rows=2 done=true"));
+//!
+//! // Metrics, including the engine's plan-cache counters.
+//! let stats = client.send("STATS;");
+//! assert!(stats.contains("INFO answers_served=4"));
+//! # let _ = stats;
+//! ```
+//!
+//! For the wire transport, [`Server::bind`] starts the accept loop and
+//! [`TcpClient`] (or any line-oriented client — `nc` works) speaks to
+//! it; the bytes are identical to [`LocalClient`]'s by construction.
+
+pub mod ast;
+pub mod parser;
+pub mod service;
+pub mod tcp;
+pub mod wire;
+
+pub use ast::{select_stmt, select_text, AtomRef, Command, SelectStmt};
+pub use parser::{parse, ParseError};
+pub use service::{Page, Response, ServeError, Service, ServiceConfig, ServiceStats, Session};
+pub use tcp::{Server, TcpClient};
+pub use wire::{encode_answer, encode_response, respond, LocalClient};

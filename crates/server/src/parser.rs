@@ -1,0 +1,581 @@
+//! A hand-rolled recursive-descent parser for the ranked-CQ language.
+//!
+//! Lexing and parsing are one pass over the input with byte positions
+//! carried into every [`ParseError`], so a malformed command reports
+//! *where* and *what was expected* — typed, never a panic.
+
+use crate::ast::{AtomRef, Command, SelectStmt};
+use anyk_engine::RankSpec;
+use std::fmt;
+
+/// Why a command failed to parse. Every variant carries the byte
+/// offset of the offending token, so clients can point at it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A character outside the language's alphabet.
+    UnexpectedChar {
+        /// Byte offset in the input.
+        pos: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A well-formed token in the wrong place.
+    UnexpectedToken {
+        /// Byte offset of the token.
+        pos: usize,
+        /// What the grammar needed here.
+        expected: &'static str,
+        /// What was found instead (rendered token).
+        found: String,
+    },
+    /// The input ended mid-command.
+    UnexpectedEnd {
+        /// What the grammar needed next.
+        expected: &'static str,
+    },
+    /// `RANK BY <name>` with a name that is not a ranking function.
+    UnknownRanking {
+        /// Byte offset of the name.
+        pos: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A count (`LIMIT k`, `NEXT k`) of zero — a page of nothing.
+    ZeroCount {
+        /// Byte offset of the literal.
+        pos: usize,
+        /// Which clause carried it.
+        clause: &'static str,
+    },
+    /// A numeric literal too large for its slot.
+    NumberOverflow {
+        /// Byte offset of the literal.
+        pos: usize,
+    },
+    /// Extra tokens after a complete command.
+    TrailingInput {
+        /// Byte offset of the first extra token.
+        pos: usize,
+        /// The first extra token (rendered).
+        found: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            ParseError::UnexpectedToken {
+                pos,
+                expected,
+                found,
+            } => write!(f, "expected {expected} at byte {pos}, found `{found}`"),
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "input ended while expecting {expected}")
+            }
+            ParseError::UnknownRanking { pos, name } => write!(
+                f,
+                "unknown ranking `{name}` at byte {pos} (try sum, max, min, prod, lex)"
+            ),
+            ParseError::ZeroCount { pos, clause } => {
+                write!(f, "{clause} must be at least 1 (byte {pos})")
+            }
+            ParseError::NumberOverflow { pos } => {
+                write!(f, "numeric literal at byte {pos} is too large")
+            }
+            ParseError::TrailingInput { pos, found } => {
+                write!(f, "trailing input `{found}` at byte {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The language's keywords — reserved, case-insensitive: they cannot
+/// name relations or variables (reserving them keeps rendering and
+/// re-parsing unambiguous).
+pub const KEYWORDS: [&str; 9] = [
+    "SELECT", "RANK", "BY", "LIMIT", "NEXT", "ON", "CLOSE", "EXPLAIN", "STATS",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Word(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+}
+
+impl Tok {
+    fn render(&self) -> String {
+        match self {
+            Tok::Word(w) => w.clone(),
+            Tok::Int(n) => n.to_string(),
+            Tok::LParen => "(".into(),
+            Tok::RParen => ")".into(),
+            Tok::Comma => ",".into(),
+            Tok::Semi => ";".into(),
+        }
+    }
+
+    /// Keyword check, case-insensitive (`kw` is uppercase).
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn is_any_keyword(&self) -> bool {
+        KEYWORDS.iter().any(|k| self.is_kw(k))
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(pos, ch)) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push((pos, Tok::LParen));
+            }
+            ')' => {
+                chars.next();
+                out.push((pos, Tok::RParen));
+            }
+            ',' => {
+                chars.next();
+                out.push((pos, Tok::Comma));
+            }
+            ';' => {
+                chars.next();
+                out.push((pos, Tok::Semi));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&(_, d)) = chars.peek() {
+                    if let Some(v) = d.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(u64::from(v)))
+                            .ok_or(ParseError::NumberOverflow { pos })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((pos, Tok::Int(n)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        w.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((pos, Tok::Word(w)));
+            }
+            _ => return Err(ParseError::UnexpectedChar { pos, ch }),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, Tok)> {
+        self.toks.get(self.at)
+    }
+
+    fn next(&mut self, expected: &'static str) -> Result<(usize, Tok), ParseError> {
+        let t = self
+            .toks
+            .get(self.at)
+            .cloned()
+            .ok_or(ParseError::UnexpectedEnd { expected })?;
+        self.at += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok, expected: &'static str) -> Result<(), ParseError> {
+        let (pos, t) = self.next(expected)?;
+        if &t == want {
+            Ok(())
+        } else {
+            Err(ParseError::UnexpectedToken {
+                pos,
+                expected,
+                found: t.render(),
+            })
+        }
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        let (pos, t) = self.next(kw)?;
+        if t.is_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::UnexpectedToken {
+                pos,
+                expected: kw,
+                found: t.render(),
+            })
+        }
+    }
+
+    /// An identifier that is not a reserved keyword.
+    fn ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        let (pos, t) = self.next(expected)?;
+        match t {
+            Tok::Word(w) if !Tok::Word(w.clone()).is_any_keyword() => Ok(w),
+            other => Err(ParseError::UnexpectedToken {
+                pos,
+                expected,
+                found: other.render(),
+            }),
+        }
+    }
+
+    fn count(&mut self, clause: &'static str) -> Result<usize, ParseError> {
+        let (pos, t) = self.next(clause)?;
+        match t {
+            Tok::Int(0) => Err(ParseError::ZeroCount { pos, clause }),
+            Tok::Int(n) => usize::try_from(n).map_err(|_| ParseError::NumberOverflow { pos }),
+            other => Err(ParseError::UnexpectedToken {
+                pos,
+                expected: clause,
+                found: other.render(),
+            }),
+        }
+    }
+
+    fn cursor_id(&mut self) -> Result<u64, ParseError> {
+        let (pos, t) = self.next("cursor id")?;
+        match t {
+            Tok::Int(n) => Ok(n),
+            other => Err(ParseError::UnexpectedToken {
+                pos,
+                expected: "cursor id",
+                found: other.render(),
+            }),
+        }
+    }
+
+    /// Optional trailing `;`, then end-of-input.
+    fn finish(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Some((_, Tok::Semi))) {
+            self.at += 1;
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some((pos, t)) => Err(ParseError::TrailingInput {
+                pos: *pos,
+                found: t.render(),
+            }),
+        }
+    }
+
+    fn atom(&mut self) -> Result<AtomRef, ParseError> {
+        let relation = self.ident("relation name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut vars = vec![self.ident("variable name")?];
+        loop {
+            let (pos, t) = self.next("`,` or `)`")?;
+            match t {
+                Tok::Comma => vars.push(self.ident("variable name")?),
+                Tok::RParen => break,
+                other => {
+                    return Err(ParseError::UnexpectedToken {
+                        pos,
+                        expected: "`,` or `)`",
+                        found: other.render(),
+                    })
+                }
+            }
+        }
+        Ok(AtomRef { relation, vars })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.keyword("SELECT")?;
+        let mut atoms = vec![self.atom()?];
+        while matches!(self.peek(), Some((_, Tok::Comma))) {
+            self.at += 1;
+            atoms.push(self.atom()?);
+        }
+        let mut rank = RankSpec::default();
+        if matches!(self.peek(), Some((_, t)) if t.is_kw("RANK")) {
+            self.at += 1;
+            self.keyword("BY")?;
+            let (pos, t) = self.next("ranking name")?;
+            let name = match t {
+                Tok::Word(w) => w,
+                other => {
+                    return Err(ParseError::UnexpectedToken {
+                        pos,
+                        expected: "ranking name",
+                        found: other.render(),
+                    })
+                }
+            };
+            rank = RankSpec::parse(&name).ok_or(ParseError::UnknownRanking { pos, name })?;
+        }
+        let mut limit = None;
+        if matches!(self.peek(), Some((_, t)) if t.is_kw("LIMIT")) {
+            self.at += 1;
+            limit = Some(self.count("LIMIT")?);
+        }
+        Ok(SelectStmt { atoms, rank, limit })
+    }
+}
+
+/// Parse one command of the protocol. Typed errors, no panics; the
+/// trailing `;` is optional.
+pub fn parse(input: &str) -> Result<Command, ParseError> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        at: 0,
+    };
+    let (pos, head) = p.peek().cloned().ok_or(ParseError::UnexpectedEnd {
+        expected: "a command",
+    })?;
+    let cmd = if head.is_kw("SELECT") {
+        Command::Select(p.select()?)
+    } else if head.is_kw("EXPLAIN") {
+        p.at += 1;
+        Command::Explain(p.select()?)
+    } else if head.is_kw("NEXT") {
+        p.at += 1;
+        let count = p.count("NEXT")?;
+        p.keyword("ON")?;
+        let cursor = p.cursor_id()?;
+        Command::Next { count, cursor }
+    } else if head.is_kw("CLOSE") {
+        p.at += 1;
+        let cursor = p.cursor_id()?;
+        Command::Close { cursor }
+    } else if head.is_kw("STATS") {
+        p.at += 1;
+        Command::Stats
+    } else {
+        return Err(ParseError::UnexpectedToken {
+            pos,
+            expected: "SELECT, EXPLAIN, NEXT, CLOSE, or STATS",
+            found: head.render(),
+        });
+    };
+    p.finish()?;
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::select_stmt;
+    use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
+    use proptest::prelude::*;
+
+    fn sel(input: &str) -> SelectStmt {
+        match parse(input).expect("parses") {
+            Command::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_all_clauses() {
+        let s = sel("SELECT R(x,y), S(y,z) RANK BY max LIMIT 10;");
+        assert_eq!(s.atoms.len(), 2);
+        assert_eq!(s.atoms[1].relation, "S");
+        assert_eq!(s.atoms[1].vars, vec!["y".to_string(), "z".to_string()]);
+        assert_eq!(s.rank, RankSpec::Max);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn defaults_and_case_insensitivity() {
+        let s = sel("select R(a,b)");
+        assert_eq!(s.rank, RankSpec::Sum);
+        assert_eq!(s.limit, None);
+        let s = sel("SeLeCt R(a,b) rank by PROD limit 3");
+        assert_eq!(s.rank, RankSpec::Prod);
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn cursor_commands() {
+        assert_eq!(
+            parse("NEXT 5 ON 12;"),
+            Ok(Command::Next {
+                count: 5,
+                cursor: 12
+            })
+        );
+        assert_eq!(parse("close 0"), Ok(Command::Close { cursor: 0 }));
+        assert_eq!(parse("STATS"), Ok(Command::Stats));
+        assert!(matches!(
+            parse("EXPLAIN SELECT R(x,y)"),
+            Ok(Command::Explain(_))
+        ));
+    }
+
+    #[test]
+    fn typed_errors_point_at_the_problem() {
+        assert_eq!(
+            parse("SELECT R(x,y) RANK BY median"),
+            Err(ParseError::UnknownRanking {
+                pos: 22,
+                name: "median".into()
+            })
+        );
+        assert_eq!(
+            parse("NEXT 0 ON 1"),
+            Err(ParseError::ZeroCount {
+                pos: 5,
+                clause: "NEXT"
+            })
+        );
+        assert_eq!(
+            parse("SELECT R(x,y) LIMIT 0"),
+            Err(ParseError::ZeroCount {
+                pos: 20,
+                clause: "LIMIT"
+            })
+        );
+        assert!(matches!(
+            parse("SELECT R(x,"),
+            Err(ParseError::UnexpectedEnd { .. })
+        ));
+        assert!(matches!(
+            parse("SELECT R(x,y) garbage"),
+            Err(ParseError::UnexpectedToken { .. }) | Err(ParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            parse("DROP TABLE users"),
+            Err(ParseError::UnexpectedToken { .. })
+        ));
+        assert!(matches!(
+            parse("SELECT R(x¶y)"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+        assert!(matches!(
+            parse("NEXT 99999999999999999999 ON 1"),
+            Err(ParseError::NumberOverflow { .. })
+        ));
+        // Keywords are reserved: they cannot name relations/variables.
+        assert!(matches!(
+            parse("SELECT limit(x,y)"),
+            Err(ParseError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn every_repo_example_query_round_trips() {
+        // The acceptance bar: the textual language round-trips every
+        // query shape the repo's examples and tests use.
+        let snowflake = QueryBuilder::new()
+            .atom("Center", &["a", "b", "c"])
+            .atom("ArmB", &["b", "d"])
+            .atom("ArmC", &["c", "e"])
+            .atom("LeafD", &["d", "f"])
+            .atom("LeafE", &["e", "g"])
+            .build();
+        let queries = [
+            path_query(2),
+            path_query(3),
+            path_query(4),
+            star_query(3),
+            star_query(4),
+            triangle_query(),
+            cycle_query(4),
+            cycle_query(5),
+            cycle_query(6),
+            snowflake,
+        ];
+        for q in queries {
+            for rank in RankSpec::ALL {
+                for limit in [None, Some(1), Some(10)] {
+                    let stmt = select_stmt(&q, rank, limit);
+                    let text = Command::Select(stmt.clone()).to_string();
+                    let parsed = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+                    assert_eq!(parsed, Command::Select(stmt.clone()), "{text}");
+                    match parsed {
+                        Command::Select(s) => {
+                            assert_eq!(s.to_cq(), q, "{text}: lowering must reproduce the query")
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Random identifier that avoids the reserved keywords.
+    fn arb_ident(rng_tag: u64) -> String {
+        // Deterministic pool: short names exercise collisions.
+        let pool = [
+            "r", "s", "t", "x", "y", "z", "a_1", "b2", "Edge", "node", "w_", "V9",
+        ];
+        pool[(rng_tag as usize) % pool.len()].to_string()
+    }
+
+    proptest! {
+        /// Render → parse → lower round-trips on random conjunctive
+        /// queries (random atom count, arities, shared variables).
+        #[test]
+        fn random_select_round_trips(
+            tags in prop::collection::vec((0u64..12, prop::collection::vec(0u64..12, 1..4)), 1..5),
+            rank_i in 0usize..5,
+            limit in 0usize..20,
+        ) {
+            let rank = RankSpec::ALL[rank_i];
+            let limit = if limit == 0 { None } else { Some(limit) };
+            let atoms: Vec<AtomRef> = tags
+                .iter()
+                .enumerate()
+                .map(|(i, (r, vars))| AtomRef {
+                    // Distinct relation names per atom keep the test
+                    // focused on parsing, not self-join binding rules.
+                    relation: format!("{}_{i}", arb_ident(*r)),
+                    vars: vars.iter().map(|&v| arb_ident(v)).collect(),
+                })
+                .collect();
+            let stmt = SelectStmt { atoms, rank, limit };
+            let text = Command::Select(stmt.clone()).to_string();
+            let parsed = parse(&text).expect("canonical text parses");
+            prop_assert_eq!(&parsed, &Command::Select(stmt.clone()));
+            // Lowering commutes with rendering: the parsed statement
+            // lowers to the same CQ as the original.
+            match parsed {
+                Command::Select(s) => prop_assert_eq!(s.to_cq(), stmt.to_cq()),
+                _ => unreachable!(),
+            }
+        }
+
+        /// Cursor commands round-trip for arbitrary ids and counts.
+        #[test]
+        fn cursor_commands_round_trip(count in 1usize..1000, cursor in 0u64..10_000) {
+            for cmd in [
+                Command::Next { count, cursor },
+                Command::Close { cursor },
+            ] {
+                prop_assert_eq!(parse(&cmd.to_string()), Ok(cmd.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The session layer: a [`Service`] wraps a shared
+//! [`Engine`] and turns parsed [`Command`]s into paginated responses
+//! over live ranked streams.
+//!
+//! * **Cursors** — a `SELECT` opens a [`RankedStream`] over the
+//!   engine's (cached) prepared state, serves the first page, and
+//!   registers a cursor for `NEXT` pulls; cursors expire after a TTL
+//!   and are reaped lazily on the owning session's next command.
+//! * **Admission control** — a service-wide semaphore bounds how many
+//!   streams may be open at once across all sessions; beyond it,
+//!   `SELECT` fails with a typed [`ServeError::AdmissionRejected`]
+//!   instead of letting per-stream heap state grow without bound.
+//! * **Metrics** — per-query time-to-first-answer, answers served,
+//!   cursor lifecycle counts, and the engine's plan-cache counters,
+//!   all surfaced through the `STATS` command.
+
+use crate::ast::Command;
+use crate::parser::{parse, ParseError};
+use anyk_engine::{CacheStats, Engine, EngineError, RankedAnswer, RankedStream};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Maximum number of concurrently open cursors (streams) across
+    /// all sessions — the admission-control bound.
+    pub max_open_cursors: usize,
+    /// Idle time after which a cursor expires. Reaping is **lazy**:
+    /// streams are session-owned (not `Sync`), so expired cursors are
+    /// only dropped when the owning session runs its next command or
+    /// disconnects — a session that goes silent while holding cursors
+    /// keeps its admission slots until then. Size
+    /// [`max_open_cursors`](ServiceConfig::max_open_cursors)
+    /// accordingly.
+    pub cursor_ttl: Duration,
+    /// Page size when a `SELECT` carries no `LIMIT`.
+    pub default_page: usize,
+}
+
+impl Default for ServiceConfig {
+    /// 64 concurrent streams, 60 s cursor TTL, 10-answer pages.
+    fn default() -> Self {
+        ServiceConfig {
+            max_open_cursors: 64,
+            cursor_ttl: Duration::from_secs(60),
+            default_page: 10,
+        }
+    }
+}
+
+/// Why a command could not be served. Parse and engine failures are
+/// wrapped; the session-layer failures (cursor lifecycle, admission)
+/// are typed here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The command text did not parse.
+    Parse(ParseError),
+    /// The engine rejected the query (unknown relation, arity, ...).
+    Engine(EngineError),
+    /// `NEXT`/`CLOSE` on a cursor id this session never opened (or
+    /// already closed/drained).
+    UnknownCursor {
+        /// The offending id.
+        cursor: u64,
+    },
+    /// `NEXT` on a cursor that idled past the TTL and was reaped.
+    CursorExpired {
+        /// The expired id.
+        cursor: u64,
+    },
+    /// `SELECT` rejected because the service is at its concurrent-
+    /// stream bound.
+    AdmissionRejected {
+        /// Streams currently open.
+        open: usize,
+        /// The configured bound.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "parse: {e}"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::UnknownCursor { cursor } => write!(f, "unknown cursor {cursor}"),
+            ServeError::CursorExpired { cursor } => write!(f, "cursor {cursor} expired"),
+            ServeError::AdmissionRejected { open, max } => {
+                write!(f, "admission rejected: {open} of {max} streams open")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Parse(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// What a successfully served command returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A page of ranked answers (`SELECT` / `NEXT`).
+    Page(Page),
+    /// The rendered plan (`EXPLAIN`).
+    Explained(String),
+    /// Service metrics (`STATS`).
+    Stats(ServiceStats),
+    /// Acknowledgement of `CLOSE`.
+    Closed {
+        /// The closed cursor id.
+        cursor: u64,
+    },
+}
+
+/// One page of answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The cursor to `NEXT` on for more answers — `None` when the
+    /// stream is drained (drained cursors close themselves).
+    pub cursor: Option<u64>,
+    /// The answers, in ranking order, continuing where the previous
+    /// page stopped.
+    pub answers: Vec<RankedAnswer>,
+    /// True when the stream is exhausted: no further page exists.
+    /// Exact — the session pulls one answer of lookahead, so a result
+    /// set that ends exactly at a page boundary still reports `done`
+    /// (and holds no cursor).
+    pub done: bool,
+}
+
+/// A snapshot of the service-level metrics (the `STATS` command).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// `SELECT`s served (successful plans, including empty results).
+    pub queries: u64,
+    /// Total answers emitted across all pages.
+    pub answers_served: u64,
+    /// Pages served (`SELECT` first pages + `NEXT` pulls).
+    pub pages_served: u64,
+    /// Cursors ever registered.
+    pub cursors_opened: u64,
+    /// Cursors closed by `CLOSE`, by draining, or by session drop.
+    pub cursors_closed: u64,
+    /// Cursors reaped by the TTL.
+    pub cursors_expired: u64,
+    /// `SELECT`s refused by admission control.
+    pub admission_rejected: u64,
+    /// Streams open right now (the admission gauge).
+    pub open_cursors: usize,
+    /// Minimum observed time-to-first-answer, in microseconds.
+    pub ttf_min_us: u64,
+    /// Mean observed time-to-first-answer, in microseconds.
+    pub ttf_mean_us: u64,
+    /// Maximum observed time-to-first-answer, in microseconds.
+    pub ttf_max_us: u64,
+    /// The engine's plan-cache counters (hits/misses/evictions/...).
+    pub cache: CacheStats,
+}
+
+/// Cumulative counters behind [`ServiceStats`] — lock-free, shared by
+/// every session and every clone of the service.
+#[derive(Debug, Default)]
+struct Metrics {
+    queries: AtomicU64,
+    answers_served: AtomicU64,
+    pages_served: AtomicU64,
+    cursors_opened: AtomicU64,
+    cursors_closed: AtomicU64,
+    cursors_expired: AtomicU64,
+    admission_rejected: AtomicU64,
+    ttf_count: AtomicU64,
+    ttf_sum_us: AtomicU64,
+    ttf_min_us: AtomicU64,
+    ttf_max_us: AtomicU64,
+}
+
+impl Metrics {
+    fn record_ttf(&self, us: u64) {
+        // Sub-microsecond first pages round up to 1 µs on both bounds
+        // (an asymmetric clamp could report min > max).
+        let us = us.max(1);
+        self.ttf_count.fetch_add(1, Ordering::Relaxed);
+        self.ttf_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.ttf_min_us.fetch_min(us, Ordering::Relaxed);
+        self.ttf_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+/// The admission-control semaphore: a counter bounded by
+/// `max_open_cursors`, acquired per open stream and released by the
+/// guard's `Drop` (so a dropped session can never leak slots).
+#[derive(Debug)]
+struct Admission {
+    open: AtomicUsize,
+    max: usize,
+}
+
+impl Admission {
+    /// Try to take a slot; `None` when the service is at its bound.
+    fn try_acquire(self: &Arc<Self>) -> Option<AdmissionSlot> {
+        let mut cur = self.open.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self
+                .open
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    return Some(AdmissionSlot {
+                        admission: Arc::clone(self),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct AdmissionSlot {
+    admission: Arc<Admission>,
+}
+
+impl Drop for AdmissionSlot {
+    fn drop(&mut self) {
+        self.admission.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The query service: a shared [`Engine`] plus the service-wide
+/// admission bound and metrics. `Clone + Send + Sync` — clones are
+/// handles to the same service; spawn one [`Session`] per client.
+#[derive(Clone)]
+pub struct Service {
+    engine: Engine,
+    config: ServiceConfig,
+    admission: Arc<Admission>,
+    metrics: Arc<Metrics>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.config)
+            .field("open_cursors", &self.admission.open.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// A service over `engine` with the default
+    /// [`ServiceConfig`].
+    pub fn new(engine: Engine) -> Self {
+        Service::with_config(engine, ServiceConfig::default())
+    }
+
+    /// A service with an explicit configuration.
+    pub fn with_config(engine: Engine, config: ServiceConfig) -> Self {
+        Service {
+            engine,
+            config,
+            admission: Arc::new(Admission {
+                open: AtomicUsize::new(0),
+                max: config.max_open_cursors,
+            }),
+            metrics: Arc::new(Metrics {
+                ttf_min_us: AtomicU64::new(u64::MAX),
+                ..Metrics::default()
+            }),
+        }
+    }
+
+    /// The underlying engine (catalog updates, cache configuration).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Open a session: the per-client unit owning its cursor registry.
+    /// One session per connection (or per [`LocalClient`](crate::LocalClient)).
+    pub fn session(&self) -> Session {
+        Session {
+            service: self.clone(),
+            cursors: HashMap::new(),
+            expired: Vec::new(),
+            next_cursor: 0,
+        }
+    }
+
+    /// Current metrics, including the engine's plan-cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        let m = &self.metrics;
+        let count = m.ttf_count.load(Ordering::Relaxed);
+        let min = m.ttf_min_us.load(Ordering::Relaxed);
+        ServiceStats {
+            queries: m.queries.load(Ordering::Relaxed),
+            answers_served: m.answers_served.load(Ordering::Relaxed),
+            pages_served: m.pages_served.load(Ordering::Relaxed),
+            cursors_opened: m.cursors_opened.load(Ordering::Relaxed),
+            cursors_closed: m.cursors_closed.load(Ordering::Relaxed),
+            cursors_expired: m.cursors_expired.load(Ordering::Relaxed),
+            admission_rejected: m.admission_rejected.load(Ordering::Relaxed),
+            open_cursors: self.admission.open.load(Ordering::Relaxed),
+            ttf_min_us: if count == 0 { 0 } else { min },
+            ttf_mean_us: m
+                .ttf_sum_us
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            ttf_max_us: m.ttf_max_us.load(Ordering::Relaxed),
+            cache: self.engine.cache_stats(),
+        }
+    }
+}
+
+/// A live cursor: the stream plus its lifecycle state.
+struct Cursor {
+    stream: RankedStream,
+    /// One answer pulled ahead of the last page, so `done` is exact:
+    /// a page only reports `done=false` when a further answer is
+    /// proven to exist (an exactly-page-sized result must not pin a
+    /// cursor and its admission slot).
+    lookahead: Option<RankedAnswer>,
+    last_used: Instant,
+    /// Held while the cursor is open; dropping it releases the
+    /// service-wide admission slot.
+    _slot: AdmissionSlot,
+}
+
+/// Pull up to `n` answers plus one lookahead. Returns the page and
+/// whether the stream is now proven exhausted; a surplus answer goes
+/// back into `lookahead` for the next page.
+fn pull_page(
+    stream: &mut RankedStream,
+    lookahead: &mut Option<RankedAnswer>,
+    n: usize,
+) -> (Vec<RankedAnswer>, bool) {
+    let mut answers = Vec::with_capacity(n.min(1024) + 1);
+    answers.extend(lookahead.take());
+    while answers.len() <= n {
+        match stream.next() {
+            Some(a) => answers.push(a),
+            None => return (answers, true),
+        }
+    }
+    *lookahead = answers.pop();
+    (answers, false)
+}
+
+/// One client's session: a registry of live cursors over the shared
+/// service. Sessions are owned by a single client (connection thread
+/// or [`LocalClient`](crate::LocalClient)); the heavy state — prepared
+/// queries, the plan cache, metrics — lives in the shared [`Service`].
+pub struct Session {
+    service: Service,
+    cursors: HashMap<u64, Cursor>,
+    /// Ids reaped by the TTL, kept so `NEXT`/`CLOSE` on them report
+    /// [`ServeError::CursorExpired`] instead of "unknown".
+    expired: Vec<u64>,
+    next_cursor: u64,
+}
+
+impl Session {
+    /// Parse and run one command.
+    pub fn execute(&mut self, input: &str) -> Result<Response, ServeError> {
+        let cmd = parse(input)?;
+        self.run(cmd)
+    }
+
+    /// Run an already-parsed command.
+    pub fn run(&mut self, cmd: Command) -> Result<Response, ServeError> {
+        self.reap_expired();
+        match cmd {
+            Command::Select(stmt) => self.select(stmt),
+            Command::Explain(stmt) => {
+                let plan = self
+                    .service
+                    .engine
+                    .query(stmt.to_cq())
+                    .rank_by(stmt.rank)
+                    .explain()?;
+                Ok(Response::Explained(plan.explain()))
+            }
+            Command::Next { count, cursor } => self.next(count, cursor),
+            Command::Close { cursor } => {
+                if self.cursors.remove(&cursor).is_some() {
+                    self.service
+                        .metrics
+                        .cursors_closed
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(Response::Closed { cursor })
+                } else if self.expired.contains(&cursor) {
+                    // Consistent with NEXT: a timed-out cursor reports
+                    // *expired*, not unknown.
+                    Err(ServeError::CursorExpired { cursor })
+                } else {
+                    Err(ServeError::UnknownCursor { cursor })
+                }
+            }
+            Command::Stats => Ok(Response::Stats(self.service.stats())),
+        }
+    }
+
+    /// Streams this session holds open right now.
+    pub fn open_cursors(&self) -> usize {
+        self.cursors.len()
+    }
+
+    fn select(&mut self, stmt: crate::ast::SelectStmt) -> Result<Response, ServeError> {
+        let metrics = Arc::clone(&self.service.metrics);
+        let slot = self.service.admission.try_acquire().ok_or_else(|| {
+            metrics.admission_rejected.fetch_add(1, Ordering::Relaxed);
+            ServeError::AdmissionRejected {
+                open: self.service.admission.open.load(Ordering::Relaxed),
+                max: self.service.admission.max,
+            }
+        })?;
+        let page_size = stmt.limit.unwrap_or(self.service.config.default_page);
+        let started = Instant::now();
+        // Prepared through the engine's plan cache: repeated SELECTs of
+        // one query shape share preprocessing across all sessions.
+        let mut stream = self
+            .service
+            .engine
+            .query(stmt.to_cq())
+            .rank_by(stmt.rank)
+            .plan()?;
+        let mut lookahead = None;
+        let (answers, done) = pull_page(&mut stream, &mut lookahead, page_size);
+        if !answers.is_empty() {
+            metrics.record_ttf(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        metrics.queries.fetch_add(1, Ordering::Relaxed);
+        metrics.pages_served.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .answers_served
+            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+        if done {
+            // Exhausted in one page: no cursor, the slot frees now.
+            return Ok(Response::Page(Page {
+                cursor: None,
+                answers,
+                done: true,
+            }));
+        }
+        let id = self.next_cursor;
+        self.next_cursor += 1;
+        self.cursors.insert(
+            id,
+            Cursor {
+                stream,
+                lookahead,
+                last_used: Instant::now(),
+                _slot: slot,
+            },
+        );
+        metrics.cursors_opened.fetch_add(1, Ordering::Relaxed);
+        Ok(Response::Page(Page {
+            cursor: Some(id),
+            answers,
+            done: false,
+        }))
+    }
+
+    fn next(&mut self, count: usize, cursor: u64) -> Result<Response, ServeError> {
+        if self.expired.contains(&cursor) {
+            return Err(ServeError::CursorExpired { cursor });
+        }
+        let mut cur = self
+            .cursors
+            .remove(&cursor)
+            .ok_or(ServeError::UnknownCursor { cursor })?;
+        let (answers, done) = pull_page(&mut cur.stream, &mut cur.lookahead, count);
+        let metrics = Arc::clone(&self.service.metrics);
+        metrics.pages_served.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .answers_served
+            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+        if done {
+            // Drained: the cursor closes itself (slot released).
+            metrics.cursors_closed.fetch_add(1, Ordering::Relaxed);
+            Ok(Response::Page(Page {
+                cursor: None,
+                answers,
+                done: true,
+            }))
+        } else {
+            cur.last_used = Instant::now();
+            self.cursors.insert(cursor, cur);
+            Ok(Response::Page(Page {
+                cursor: Some(cursor),
+                answers,
+                done: false,
+            }))
+        }
+    }
+
+    /// Drop cursors that idled past the TTL. Lazy: runs at the top of
+    /// every command on the owning session (cursors are session-owned,
+    /// so nothing else can touch them).
+    fn reap_expired(&mut self) {
+        let ttl = self.service.config.cursor_ttl;
+        let now = Instant::now();
+        let dead: Vec<u64> = self
+            .cursors
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_used) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            self.cursors.remove(&id);
+            self.expired.push(id);
+            self.service
+                .metrics
+                .cursors_expired
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Session {
+    /// A dropped session closes its cursors (admission slots release
+    /// via the guards) and counts them as closed.
+    fn drop(&mut self) {
+        let n = self.cursors.len() as u64;
+        if n > 0 {
+            self.service
+                .metrics
+                .cursors_closed
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+// One service, many sessions, any number of threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Service>();
+    assert_send::<Session>();
+};

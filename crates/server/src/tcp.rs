@@ -1,0 +1,140 @@
+//! The TCP transport: a line-oriented listener with one thread (and
+//! one [`Session`](crate::Session)) per connection — `std::net` only,
+//! no external dependencies.
+//!
+//! Clients send one command per line and read one `END`-terminated
+//! block per command (see [`crate::wire`] for the framing). Closing
+//! the connection closes the session, which closes its cursors and
+//! releases their admission slots.
+
+use crate::service::Service;
+use crate::wire::respond;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server: accept loop plus per-connection threads.
+/// Dropping the handle (or calling [`shutdown`](Server::shutdown))
+/// stops accepting; established connections run to completion on
+/// their own threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
+    /// and start accepting. Each connection gets its own thread and
+    /// its own session over the shared service.
+    pub fn bind(service: Service, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                let service = service.clone();
+                std::thread::spawn(move || serve_connection(&service, conn));
+            }
+        });
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run one connection: read command lines, write reply blocks. Blank
+/// lines are ignored; I/O errors end the connection (and the session).
+fn serve_connection(service: &Service, conn: TcpStream) {
+    let mut session = service.session();
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut writer = conn;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = respond(&mut session, &line);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// A minimal blocking TCP client for the line protocol — used by the
+/// integration tests and the E16 bench to drive a [`Server`] exactly
+/// like an external process would.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a [`Server`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one command line and read the full `END`-terminated reply
+    /// block (bytes as the server wrote them).
+    pub fn send(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut block = String::new();
+        loop {
+            let mut reply_line = String::new();
+            let n = self.reader.read_line(&mut reply_line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ));
+            }
+            let done = reply_line.trim_end() == "END";
+            block.push_str(&reply_line);
+            if done {
+                return Ok(block);
+            }
+        }
+    }
+}

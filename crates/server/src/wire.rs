@@ -1,0 +1,178 @@
+//! The line protocol: how [`Response`]s and [`ServeError`]s render to
+//! text, shared verbatim by the TCP transport and the in-process
+//! [`LocalClient`] — one encoder, so both transports are byte-
+//! identical by construction.
+//!
+//! Framing: every reply is a header line (`OK ...` or `ERR ...`),
+//! zero or more `ROW `/`INFO ` lines, and a terminating `END` line.
+//!
+//! ```text
+//! > SELECT R(x,y), S(y,z) RANK BY sum LIMIT 2;
+//! OK cursor=0 rows=2 done=false
+//! ROW 2,10,200 cost=0.15
+//! ROW 1,10,100 cost=0.8
+//! END
+//! > NEXT 2 ON 0;
+//! OK cursor=- rows=1 done=true
+//! ROW 3,30,300 cost=1.1
+//! END
+//! ```
+
+use crate::service::{Page, Response, ServeError, Service, ServiceStats, Session};
+use anyk_engine::RankedAnswer;
+use std::fmt::Write as _;
+
+/// Render one answer as its `ROW` line (no trailing newline):
+/// `ROW <v1>,<v2>,... cost=<cost>`. The single source of truth for
+/// answer bytes — tests and the E16 bench compare server pages against
+/// direct [`PreparedQuery`](anyk_engine::PreparedQuery) streams through
+/// this same function.
+pub fn encode_answer(a: &RankedAnswer) -> String {
+    let mut line = String::from("ROW ");
+    for (i, v) in a.values.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{v}");
+    }
+    let _ = write!(line, " cost={}", a.cost);
+    line
+}
+
+/// Render a full response block, `END`-terminated, every line ending
+/// in `\n`.
+pub fn encode_response(resp: &Response) -> String {
+    let mut out = String::new();
+    match resp {
+        Response::Page(Page {
+            cursor,
+            answers,
+            done,
+        }) => {
+            let cursor = match cursor {
+                Some(id) => id.to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(out, "OK cursor={cursor} rows={} done={done}", answers.len());
+            for a in answers {
+                out.push_str(&encode_answer(a));
+                out.push('\n');
+            }
+        }
+        Response::Explained(plan) => {
+            let _ = writeln!(out, "OK explain");
+            for line in plan.lines() {
+                let _ = writeln!(out, "INFO {line}");
+            }
+        }
+        Response::Stats(stats) => {
+            let _ = writeln!(out, "OK stats");
+            for (key, value) in stats_fields(stats) {
+                let _ = writeln!(out, "INFO {key}={value}");
+            }
+        }
+        Response::Closed { cursor } => {
+            let _ = writeln!(out, "OK closed={cursor}");
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Render an error block: `ERR <kind>: <message>` + `END`.
+pub fn encode_error(err: &ServeError) -> String {
+    // The wrapped errors render without `ServeError`'s own prefix —
+    // the wire's `kind` tag already says which layer failed.
+    let (kind, msg) = match err {
+        ServeError::Parse(e) => ("parse", e.to_string()),
+        ServeError::Engine(e) => ("engine", e.to_string()),
+        ServeError::UnknownCursor { .. } | ServeError::CursorExpired { .. } => {
+            ("cursor", err.to_string())
+        }
+        ServeError::AdmissionRejected { .. } => ("admission", err.to_string()),
+    };
+    format!("ERR {kind}: {msg}\nEND\n")
+}
+
+/// The `STATS` key/value pairs, in a fixed render order.
+fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
+    vec![
+        ("queries", s.queries.to_string()),
+        ("answers_served", s.answers_served.to_string()),
+        ("pages_served", s.pages_served.to_string()),
+        ("cursors_opened", s.cursors_opened.to_string()),
+        ("cursors_closed", s.cursors_closed.to_string()),
+        ("cursors_expired", s.cursors_expired.to_string()),
+        ("admission_rejected", s.admission_rejected.to_string()),
+        ("open_cursors", s.open_cursors.to_string()),
+        ("ttf_min_us", s.ttf_min_us.to_string()),
+        ("ttf_mean_us", s.ttf_mean_us.to_string()),
+        ("ttf_max_us", s.ttf_max_us.to_string()),
+        ("plan_cache_hits", s.cache.hits.to_string()),
+        ("plan_cache_misses", s.cache.misses.to_string()),
+        ("plan_cache_evictions", s.cache.evictions.to_string()),
+        ("plan_cache_entries", s.cache.entries.to_string()),
+        ("plan_cache_capacity", s.cache.capacity.to_string()),
+    ]
+}
+
+/// Serve one protocol line against a session, returning the exact
+/// bytes a transport writes back. The one entry point both transports
+/// share.
+pub fn respond(session: &mut Session, line: &str) -> String {
+    match session.execute(line) {
+        Ok(resp) => encode_response(&resp),
+        Err(err) => encode_error(&err),
+    }
+}
+
+/// An in-process client: the full protocol without a socket. Wraps a
+/// [`Session`] and speaks the same bytes as the TCP transport (both
+/// route through [`respond`]), so tests and benches can drive the
+/// service at memory speed and still assert wire-level behavior.
+///
+/// ```
+/// use anyk_serve::{LocalClient, Service};
+/// use anyk_engine::Engine;
+/// use anyk_storage::{Catalog, RelationBuilder, Schema};
+///
+/// let mut catalog = Catalog::new();
+/// let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+/// r.push_ints(&[1, 10], 0.3);
+/// r.push_ints(&[2, 10], 0.1);
+/// catalog.register("R", r.finish());
+/// let mut s = RelationBuilder::new(Schema::new(["b", "c"]));
+/// s.push_ints(&[10, 100], 0.5);
+/// catalog.register("S", s.finish());
+///
+/// let service = Service::new(Engine::new(catalog));
+/// let mut client = LocalClient::new(&service);
+/// let reply = client.send("SELECT R(a,b), S(b,c) RANK BY sum LIMIT 1;");
+/// assert!(reply.starts_with("OK cursor=0 rows=1 done=false\nROW 2,10,100"));
+/// assert!(reply.ends_with("END\n"));
+/// let reply = client.send("CLOSE 0;");
+/// assert_eq!(reply, "OK closed=0\nEND\n");
+/// ```
+pub struct LocalClient {
+    session: Session,
+}
+
+impl LocalClient {
+    /// Open an in-process session against `service`.
+    pub fn new(service: &Service) -> Self {
+        LocalClient {
+            session: service.session(),
+        }
+    }
+
+    /// Send one command line; returns the full `END`-terminated reply
+    /// block, byte-identical to what the TCP transport would write.
+    pub fn send(&mut self, line: &str) -> String {
+        respond(&mut self.session, line)
+    }
+
+    /// The underlying session (cursor inspection in tests).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}

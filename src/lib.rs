@@ -13,6 +13,11 @@
 //!   [`Engine`](engine::Engine) that turns any conjunctive query plus
 //!   a runtime [`RankSpec`](engine::RankSpec) into a
 //!   [`RankedStream`](engine::RankedStream).
+//! * [`serve`] — the query **service**: a textual ranked-CQ language
+//!   (`SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;`), per-session
+//!   cursor registries with TTL + admission control, and a line
+//!   protocol over TCP (or the in-process
+//!   [`LocalClient`](serve::LocalClient)).
 //! * [`storage`] — relational substrate (values, relations, indexes,
 //!   tries).
 //! * [`query`] — conjunctive queries, hypergraphs, acyclicity,
@@ -81,6 +86,7 @@ pub mod prelude {
     };
     pub use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
     pub use anyk_query::gyo::{gyo_reduce, is_acyclic, GyoResult};
+    pub use anyk_serve::{LocalClient, ServeError, Service, ServiceConfig};
     pub use anyk_storage::{
         Catalog, Relation, RelationBuilder, Schema, StorageError, Value, Weight,
     };
@@ -92,6 +98,7 @@ pub use anyk_core as core;
 pub use anyk_engine as engine;
 pub use anyk_join as join;
 pub use anyk_query as query;
+pub use anyk_serve as serve;
 pub use anyk_storage as storage;
 pub use anyk_topk as topk;
 pub use anyk_workloads as workloads;

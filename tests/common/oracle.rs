@@ -23,8 +23,9 @@ pub type OracleAnswer = (Cost, Vec<Value>);
 /// sorted by `(cost, values)`.
 ///
 /// Lexicographic costs replicate the engine's definition: weights in
-/// the GYO join tree's pre-order serialization (panics on cyclic
-/// queries, where the engine rejects `Lex` as unsupported).
+/// the GYO join tree's pre-order serialization on acyclic queries, and
+/// in **canonical atom order** on cyclic queries (where the engine
+/// serves `Lex` from the materialized answer set).
 pub fn brute_force_ranked(
     q: &ConjunctiveQuery,
     rels: &[Relation],
@@ -36,7 +37,7 @@ pub fn brute_force_ranked(
             GyoResult::Acyclic(tree) => {
                 Some(tree.preorder().iter().map(|&n| tree.node(n).atom).collect())
             }
-            GyoResult::Cyclic(_) => panic!("Lex oracle is defined on acyclic queries only"),
+            GyoResult::Cyclic(_) => Some((0..q.num_atoms()).collect()),
         },
         _ => None,
     };

@@ -249,27 +249,36 @@ fn generic_cyclic_routes_and_agrees() {
 }
 
 #[test]
-fn lex_is_typed_error_on_every_cyclic_shape() {
+fn lex_runs_on_every_cyclic_shape_in_canonical_atom_order() {
+    // Lex on cyclic routes serves the materialized answer set with
+    // weights serialized in canonical atom order — cross-check the
+    // full ranked order against WCO materialization sorted the same
+    // way, on every cyclic shape (triangle / C4 / GHD).
+    use anyk::core::LexCost;
     for l in [3usize, 4, 5] {
         let q = cycle_query(l);
         let e = dense_edges(4);
         let rels: Vec<Relation> = (0..l).map(|_| e.clone()).collect();
+        let mut want: Vec<(Vec<Weight>, Vec<Value>)> =
+            anyk::core::cyclic::wco_ranked_materialize::<LexCost>(&q, &rels)
+                .into_iter()
+                .collect();
+        want.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let engine = Engine::from_query_bindings(&q, rels);
-        let err = engine
+        let plan = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Lex)
+            .explain()
+            .unwrap();
+        assert_eq!(plan.variant, None, "cycle({l}): single-artifact plan");
+        let got: Vec<(Vec<Weight>, Vec<Value>)> = engine
             .query(q)
             .rank_by(RankSpec::Lex)
             .plan()
-            .expect_err("lex must be rejected on cyclic queries");
-        assert!(
-            matches!(
-                err,
-                EngineError::UnsupportedRanking {
-                    rank: RankSpec::Lex,
-                    ..
-                }
-            ),
-            "cycle({l}): {err}"
-        );
+            .expect("lex is served on cyclic queries via materialization")
+            .map(|a| (a.cost.lex().expect("lex cost").to_vec(), a.values))
+            .collect();
+        assert_eq!(got, want, "cycle({l}): lex total order");
     }
 }
 

@@ -158,12 +158,65 @@ fn non_materialized_routes_report_no_sort_state() {
     assert!(!tdp.holds_materialized_answers());
     assert_eq!(tdp.sort_deferred(), None);
 
-    // A Batch plan materializes and sorts eagerly (acyclic route).
+    // A Batch plan materializes without sorting (deferred like the
+    // triangle route).
     let batch = engine
         .query(q)
         .with_variant(AnyKVariant::Batch)
         .prepare()
         .expect("prepare");
     assert!(batch.holds_materialized_answers());
-    assert_eq!(batch.sort_deferred(), Some(false));
+    assert_eq!(batch.sort_deferred(), Some(true));
+}
+
+#[test]
+fn batch_artifacts_defer_their_sort_on_every_route() {
+    // The triangle route's deferred-sort machinery generalizes to the
+    // `Batch` artifact of the acyclic, four-cycle, and GHD routes:
+    // prepare is materialize-only, a partial first stream never pays
+    // the O(r log r) sort, and the second spawn installs the shared
+    // sorted artifact without changing any answer.
+    let e = scrambled_edges(200, 12, 11);
+    let shapes: [(&str, anyk::query::cq::ConjunctiveQuery, usize); 3] = [
+        ("acyclic", path_query(2), 2),
+        ("four-cycle", cycle_query(4), 4),
+        ("decomposed", cycle_query(5), 5),
+    ];
+    for (route, q, m) in shapes {
+        let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+        let engine = Engine::from_query_bindings(&q, rels);
+        let handle = engine
+            .query(q.clone())
+            .with_variant(AnyKVariant::Batch)
+            .prepare()
+            .expect("prepare");
+        assert_eq!(handle.plan().route.label(), route);
+        assert!(handle.holds_materialized_answers(), "{route}");
+        assert_eq!(
+            handle.sort_deferred(),
+            Some(true),
+            "{route}: batch prepare must materialize without sorting"
+        );
+
+        let mut s1 = handle.stream();
+        let top = s1.top_k(3);
+        assert!(!top.is_empty(), "{route}: instance must have answers");
+        assert_eq!(
+            handle.sort_deferred(),
+            Some(true),
+            "{route}: a partial top-k pull must not pay the sort"
+        );
+
+        // Second spawn pays the one-time sort; both streams agree,
+        // ties included.
+        let s2: Vec<_> = handle.stream().collect();
+        assert_eq!(
+            handle.sort_deferred(),
+            Some(false),
+            "{route}: the second stream installs the sorted artifact"
+        );
+        let mut all1 = top;
+        all1.extend(s1);
+        assert_eq!(all1, s2, "{route}: lazy first stream == sorted cursor");
+    }
 }

@@ -1,0 +1,379 @@
+//! Integration suite for `anyk-serve`: the protocol must page out
+//! exactly what the engine streams — over TCP and in-process alike —
+//! and the session layer's lifecycle rules (cursors, TTL, admission)
+//! must fail typed, never wrong.
+
+mod common;
+
+use anyk::prelude::*;
+use anyk::serve::{encode_answer, select_text, Response, Server, TcpClient};
+use common::gen::edge_rel;
+use common::oracle::{assert_matches_oracle, brute_force_ranked};
+use std::time::Duration;
+
+/// The shared fixture edge set (dyadic weights, deliberate ties).
+fn fixture_edges() -> Vec<(i64, i64, f64)> {
+    vec![
+        (1, 2, 0.5),
+        (2, 3, 1.0),
+        (3, 1, 0.25),
+        (2, 1, 2.0),
+        (1, 3, 0.125),
+        (3, 2, 0.75),
+        (3, 4, 0.5),
+        (4, 1, 1.5),
+        (4, 2, 0.25),
+        (2, 4, 1.0),
+        (4, 3, 0.5),
+        (1, 4, 0.375),
+    ]
+}
+
+/// Every planner route as a (label, query, relation-count) triple.
+fn shapes() -> Vec<(&'static str, anyk::query::cq::ConjunctiveQuery, usize)> {
+    vec![
+        ("acyclic", path_query(3), 3),
+        ("acyclic", star_query(3), 3),
+        ("triangle", triangle_query(), 3),
+        ("four-cycle", cycle_query(4), 4),
+        ("decomposed", cycle_query(5), 5),
+    ]
+}
+
+fn service_for(q: &anyk::query::cq::ConjunctiveQuery, m: usize) -> (Service, Vec<Relation>) {
+    let e = edge_rel(&fixture_edges());
+    let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+    let engine = Engine::from_query_bindings(q, rels.clone());
+    (Service::new(engine), rels)
+}
+
+/// Drive one query through the protocol to exhaustion, returning every
+/// `ROW` line in order (the page seams must be invisible).
+fn page_rows(client: &mut LocalClient, select: &str, page: usize) -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut reply = client.send(select);
+    loop {
+        let header = reply.lines().next().expect("header").to_string();
+        assert!(header.starts_with("OK "), "{select}: {reply}");
+        rows.extend(
+            reply
+                .lines()
+                .filter(|l| l.starts_with("ROW "))
+                .map(String::from),
+        );
+        if header.contains("done=true") {
+            return rows;
+        }
+        let cursor = header
+            .split("cursor=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("cursor field")
+            .to_string();
+        assert_ne!(cursor, "-", "not done yet must carry a cursor");
+        reply = client.send(&format!("NEXT {page} ON {cursor};"));
+    }
+}
+
+#[test]
+fn server_pages_match_direct_streams_and_oracle_on_every_route() {
+    for (route, q, m) in shapes() {
+        let (service, rels) = service_for(&q, m);
+        for rank in RankSpec::ALL {
+            let select = select_text(&q, rank, Some(3));
+            // Protocol bytes, paged 3 at a time across many NEXTs.
+            let mut client = LocalClient::new(&service);
+            let got_rows = page_rows(&mut client, &select, 3);
+            // Direct prepared stream, one shot, same encoder.
+            let prepared = service
+                .engine()
+                .prepare(q.clone(), rank)
+                .unwrap_or_else(|e| panic!("{route} × {rank}: {e}"));
+            let want_rows: Vec<String> = prepared.stream().map(|a| encode_answer(&a)).collect();
+            assert!(
+                !want_rows.is_empty(),
+                "{route} × {rank}: fixture has answers"
+            );
+            assert_eq!(
+                got_rows, want_rows,
+                "{route} × {rank}: server pages must be byte-identical to the direct stream"
+            );
+            // And the structured pages must match the brute-force
+            // oracle's total order.
+            let mut session = service.session();
+            let mut answers: Vec<RankedAnswer> = Vec::new();
+            let mut resp = session.execute(&select).expect("select");
+            loop {
+                let Response::Page(page) = resp else {
+                    panic!("{route} × {rank}: expected a page")
+                };
+                answers.extend(page.answers);
+                match page.cursor {
+                    Some(id) => resp = session.execute(&format!("NEXT 3 ON {id};")).unwrap(),
+                    None => break,
+                }
+            }
+            let want = brute_force_ranked(&q, &rels, rank);
+            assert_matches_oracle(&answers, &want, &format!("{route} × {rank} via protocol"));
+        }
+    }
+}
+
+#[test]
+fn tcp_and_local_transports_are_byte_identical() {
+    let q = path_query(3);
+    let (service, _) = service_for(&q, 3);
+    let mut server = Server::bind(service.clone(), "127.0.0.1:0").expect("bind");
+    let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+    let mut local = LocalClient::new(&service);
+
+    let script = [
+        "SELECT R1(x0,x1), R2(x1,x2), R3(x2,x3) RANK BY sum LIMIT 4;".to_string(),
+        "NEXT 4 ON 0;".to_string(),
+        "EXPLAIN SELECT R1(a,b), R2(b,c) RANK BY max;".to_string(),
+        "SELECT R1(a,b) RANK BY lex LIMIT 2;".to_string(),
+        "CLOSE 1;".to_string(),
+        // Typed failures must render identically too.
+        "NEXT 5 ON 99;".to_string(),
+        "CLOSE 99;".to_string(),
+        "SELECT Nope(a,b);".to_string(),
+        "SELECT R1(a,b) RANK BY median;".to_string(),
+        "NONSENSE;".to_string(),
+    ];
+    for cmd in script {
+        let via_tcp = tcp.send(&cmd).expect("tcp round-trip");
+        let via_local = local.send(&cmd);
+        assert_eq!(via_tcp, via_local, "transport divergence on `{cmd}`");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_page_byte_identically() {
+    // >= 8 clients over one shared service: every transcript must be
+    // identical to the single-threaded direct-stream encoding, pages
+    // interleaving freely across threads.
+    let q = cycle_query(4);
+    let (service, _) = service_for(&q, 4);
+    let select = select_text(&q, RankSpec::Sum, Some(2));
+    let want: Vec<String> = service
+        .engine()
+        .prepare(q.clone(), RankSpec::Sum)
+        .expect("prepare")
+        .stream()
+        .map(|a| encode_answer(&a))
+        .collect();
+    assert!(want.len() > 4, "needs several pages to interleave");
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let service = &service;
+                let select = &select;
+                s.spawn(move || {
+                    let mut client = LocalClient::new(service);
+                    page_rows(&mut client, select, 2)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("client thread"), want);
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.queries, 8, "eight SELECTs");
+    assert_eq!(stats.open_cursors, 0, "drained cursors release their slots");
+    assert!(
+        stats.cache.hits >= 8,
+        "one prepare, everyone else hits the plan cache (got {:?})",
+        stats.cache
+    );
+}
+
+#[test]
+fn cursor_close_and_ttl_semantics() {
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::with_config(
+        engine,
+        ServiceConfig {
+            cursor_ttl: Duration::from_millis(15),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut session = service.session();
+
+    // LIMIT 1 on a many-answer query keeps the cursor open.
+    let resp = session
+        .execute("SELECT R1(a,b), R2(b,c) LIMIT 1;")
+        .expect("select");
+    let Response::Page(page) = resp else { panic!() };
+    let id = page.cursor.expect("live cursor");
+    assert_eq!(session.open_cursors(), 1);
+
+    // CLOSE releases it; a second CLOSE (and any NEXT) is typed.
+    assert_eq!(
+        session.execute(&format!("CLOSE {id};")),
+        Ok(Response::Closed { cursor: id })
+    );
+    assert_eq!(session.open_cursors(), 0);
+    assert_eq!(
+        session.execute(&format!("CLOSE {id};")),
+        Err(ServeError::UnknownCursor { cursor: id })
+    );
+    assert_eq!(
+        session.execute(&format!("NEXT 1 ON {id};")),
+        Err(ServeError::UnknownCursor { cursor: id })
+    );
+
+    // A cursor that idles past the TTL is reaped, and NEXT on it says
+    // *expired*, not unknown.
+    let resp = session
+        .execute("SELECT R1(a,b), R2(b,c) LIMIT 1;")
+        .expect("select");
+    let Response::Page(page) = resp else { panic!() };
+    let id = page.cursor.expect("live cursor");
+    std::thread::sleep(Duration::from_millis(40));
+    assert_eq!(
+        session.execute(&format!("NEXT 1 ON {id};")),
+        Err(ServeError::CursorExpired { cursor: id })
+    );
+    assert_eq!(
+        session.execute(&format!("CLOSE {id};")),
+        Err(ServeError::CursorExpired { cursor: id }),
+        "CLOSE distinguishes expired from unknown, like NEXT"
+    );
+    assert_eq!(service.stats().cursors_expired, 1);
+    assert_eq!(service.stats().open_cursors, 0, "reaping frees the slot");
+
+    // The wire rendering of the lifecycle errors is stable.
+    let mut client = LocalClient::new(&service);
+    assert_eq!(
+        client.send("NEXT 1 ON 7;"),
+        "ERR cursor: unknown cursor 7\nEND\n"
+    );
+}
+
+#[test]
+fn admission_control_rejects_typed_and_recovers() {
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::with_config(
+        engine,
+        ServiceConfig {
+            max_open_cursors: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let select = "SELECT R1(a,b), R2(b,c) LIMIT 1;";
+
+    // Two sessions each hold a live cursor: the service is full.
+    let mut s1 = service.session();
+    let mut s2 = service.session();
+    assert!(matches!(s1.execute(select), Ok(Response::Page(_))));
+    assert!(matches!(s2.execute(select), Ok(Response::Page(_))));
+    let mut s3 = service.session();
+    assert_eq!(
+        s3.execute(select),
+        Err(ServeError::AdmissionRejected { open: 2, max: 2 })
+    );
+    assert_eq!(service.stats().admission_rejected, 1);
+
+    // Closing one stream frees a slot...
+    assert!(matches!(
+        s1.execute("CLOSE 0;"),
+        Ok(Response::Closed { .. })
+    ));
+    assert!(matches!(s3.execute(select), Ok(Response::Page(_))));
+
+    // ...and dropping a whole session releases everything it held.
+    drop(s2);
+    drop(s3);
+    assert_eq!(service.stats().open_cursors, 0);
+
+    // Draining a stream to exhaustion also releases its slot without
+    // an explicit CLOSE.
+    let mut s4 = service.session();
+    let Ok(Response::Page(page)) = s4.execute(select) else {
+        panic!()
+    };
+    let id = page.cursor.expect("live");
+    let mut done = false;
+    for _ in 0..100 {
+        let Ok(Response::Page(p)) = s4.execute(&format!("NEXT 50 ON {id};")) else {
+            panic!()
+        };
+        if p.done {
+            done = true;
+            break;
+        }
+    }
+    assert!(done, "stream must drain");
+    assert_eq!(service.stats().open_cursors, 0);
+    assert_eq!(s4.open_cursors(), 0);
+}
+
+#[test]
+fn exact_page_boundary_reports_done_and_holds_no_cursor() {
+    // A result set that ends exactly at the page boundary must report
+    // done=true with no cursor — a one-shot top-k client that never
+    // sends NEXT/CLOSE must not pin an admission slot.
+    let q = QueryBuilder::new().atom("E", &["a", "b"]).build();
+    let rows = fixture_edges();
+    let engine = Engine::from_query_bindings(&q, vec![edge_rel(&rows)]);
+    let service = Service::new(engine);
+    let mut session = service.session();
+    let resp = session
+        .execute(&format!("SELECT E(a,b) LIMIT {};", rows.len()))
+        .expect("select");
+    let Response::Page(page) = resp else { panic!() };
+    assert_eq!(page.answers.len(), rows.len());
+    assert!(page.done, "exactly page-sized result is proven exhausted");
+    assert_eq!(page.cursor, None);
+    assert_eq!(session.open_cursors(), 0);
+    assert_eq!(service.stats().open_cursors, 0, "no slot pinned");
+
+    // One short of the full set: a cursor is registered, and the next
+    // page carries the single remaining answer with done=true.
+    let resp = session
+        .execute(&format!("SELECT E(a,b) LIMIT {};", rows.len() - 1))
+        .expect("select");
+    let Response::Page(page) = resp else { panic!() };
+    let id = page.cursor.expect("one answer remains");
+    assert!(!page.done);
+    let Ok(Response::Page(last)) = session.execute(&format!("NEXT 5 ON {id};")) else {
+        panic!()
+    };
+    assert_eq!(last.answers.len(), 1);
+    assert!(last.done);
+    assert_eq!(service.stats().open_cursors, 0);
+}
+
+#[test]
+fn stats_report_real_serving_numbers() {
+    let q = triangle_query();
+    let (service, _) = service_for(&q, 3);
+    let mut client = LocalClient::new(&service);
+    let select = select_text(&q, RankSpec::Sum, Some(2));
+    let _ = client.send(&select);
+    let _ = client.send(&select); // second: plan-cache hit
+    let stats = service.stats();
+    assert_eq!(stats.queries, 2);
+    assert!(stats.answers_served >= 2);
+    assert_eq!(stats.cache.misses, 1, "one cold prepare");
+    assert!(stats.cache.hits >= 1, "the repeat hits the plan cache");
+    assert!(stats.ttf_max_us >= stats.ttf_min_us);
+
+    // The wire rendering carries the same numbers.
+    let text = client.send("STATS;");
+    assert!(text.contains("INFO queries=2"), "{text}");
+    assert!(text.contains("INFO plan_cache_misses=1"), "{text}");
+    assert!(text.starts_with("OK stats\n"), "{text}");
+
+    // EXPLAIN executes nothing but renders the plan.
+    let explain = client.send(&format!("EXPLAIN {select}"));
+    assert!(explain.contains("route = triangle"), "{explain}");
+    assert_eq!(service.stats().queries, 2, "EXPLAIN is not a query");
+}
