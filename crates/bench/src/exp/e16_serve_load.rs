@@ -1,31 +1,42 @@
-//! E16 — `anyk-serve` under load: N concurrent clients speaking the
-//! text protocol against one shared engine.
+//! E16 — `anyk-serve` under load: N concurrent TCP clients speaking
+//! the text protocol against the event-loop transport.
 //!
 //! The serving claim behind the paper's TTF obsession: with prepared
 //! state shared through the plan cache and stream spawn costing only
 //! the answers pulled, a *service* can hand many clients small pages
 //! of many queries concurrently — cheap first pages, no repeated
-//! preprocessing. Measured here end-to-end through the protocol
-//! (parse → session → cursor pages), with a mixed workload of all
-//! three route families:
+//! preprocessing. Since PR 5 the transport under test is the
+//! readiness event loop (one I/O thread + a worker pool), driven
+//! end-to-end over real sockets:
 //!
 //! * acyclic (path-3), triangle, and 4-cycle queries over one shared
 //!   catalog, under rotating rankings (sum/max/min);
-//! * every client pages answers `LIMIT`/`NEXT`-style and **asserts its
-//!   pages are byte-identical to a direct `PreparedQuery` stream**
-//!   (the protocol may never reorder, drop, or duplicate an answer);
-//! * reported: throughput (answers/s), per-query TTF percentiles
-//!   (time to the first page, protocol overhead included), and the
-//!   engine's plan-cache hit/miss/eviction counters via `STATS`.
+//! * N ∈ {8, 32, 128} concurrent `TcpClient`s (the 128 round runs at
+//!   full scale; smoke runs stop at 32), each paging answers
+//!   `LIMIT`/`NEXT`-style and **asserting its pages byte-identical to
+//!   a direct `PreparedQuery` stream** (the protocol may never
+//!   reorder, drop, or duplicate an answer);
+//! * reported: throughput (answers/s), client-side TTF percentiles,
+//!   and the server's own `STATS` — which must carry **non-zero
+//!   p50/p95/p99 TTF and per-page histograms** and real plan-cache
+//!   counters;
+//! * a **silent-session scene**: a client opens a cursor on a
+//!   capacity-1 service and goes mute; the shared deadline map must
+//!   hand its admission slot to a second client after the TTL, with
+//!   the reap observable in `STATS`.
 //!
-//! Acceptance (asserted): the 8-client round completes with every
-//! page byte-identical, and the plan cache serves the repeated shapes
-//! (hits outnumber misses).
+//! Acceptance (asserted): every round completes with every page
+//! byte-identical, the histogram percentiles are present and
+//! non-zero, zero cursors leak, hits outnumber misses, and the
+//! silent session's slot is reaped.
 
 use crate::util::{banner, fmt_secs, time, Table};
 use anyk_engine::{Engine, RankSpec};
 use anyk_query::cq::{cycle_query, path_query, ConjunctiveQuery};
-use anyk_serve::{encode_answer, select_text, LocalClient, Service, ServiceConfig};
+use anyk_serve::{
+    encode_answer, select_text, Server, Service, ServiceConfig, TcpClient, Transport,
+    TransportConfig,
+};
 use anyk_storage::Catalog;
 use anyk_workloads::graphs::{random_edge_relation, WeightDist};
 use std::sync::Mutex;
@@ -46,12 +57,19 @@ const PAGE: usize = 10;
 
 pub fn run(scale: f64) {
     banner(
-        "E16: anyk-serve load — concurrent protocol clients over one shared engine",
-        "mixed acyclic/triangle/C4 workload; server pages asserted byte-identical to direct streams",
+        "E16: anyk-serve load — concurrent TCP clients on the event-loop transport",
+        "mixed acyclic/triangle/C4 workload; pages asserted byte-identical to direct streams",
     );
     let edges = (15_000.0 * scale).max(900.0) as usize;
     let nodes = (edges / 30).max(6) as u64;
     let queries_per_client = ((24.0 * scale) as usize).clamp(6, 48);
+    // The headline 128-client round needs full scale; smoke runs still
+    // cover the N=32 shape the CI step asserts on.
+    let client_counts: &[usize] = if scale >= 0.99 {
+        &[8, 32, 128]
+    } else {
+        &[8, 32]
+    };
 
     // One shared catalog: R1..R4 are edge relations every shape reuses
     // (path-3 reads R1,R2,R3; the triangle closes R1,R2,R3; the
@@ -67,7 +85,7 @@ pub fn run(scale: f64) {
     let service = Service::with_config(
         engine.clone(),
         ServiceConfig {
-            max_open_cursors: 256,
+            max_open_cursors: 512,
             cursor_ttl: Duration::from_secs(60),
             default_page: PAGE,
         },
@@ -114,6 +132,17 @@ pub fn run(scale: f64) {
         fmt_secs(prep_time)
     );
 
+    let mut server = Server::bind_with(
+        service.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            transport: Transport::EventLoop,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind event-loop server");
+    let addr = server.addr();
+
     let mut table = Table::new([
         "clients",
         "queries",
@@ -124,17 +153,16 @@ pub fn run(scale: f64) {
         "TTF p95",
         "TTF p99",
     ]);
-    for clients in [1usize, 2, 4, 8] {
+    for &clients in client_counts {
         let ttfs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
         let (total_answers, wall) = time(|| {
             thread::scope(|s| {
                 let handles: Vec<_> = (0..clients)
                     .map(|c| {
-                        let service = &service;
                         let combos = &combos;
                         let ttfs = &ttfs;
                         s.spawn(move || {
-                            let mut client = LocalClient::new(service);
+                            let mut client = TcpClient::connect(addr).expect("client connect");
                             let mut answers = 0usize;
                             for i in 0..queries_per_client {
                                 let combo = &combos[(c + i) % combos.len()];
@@ -171,11 +199,32 @@ pub fn run(scale: f64) {
     }
     table.print();
 
-    // Cache behavior through the protocol itself.
-    let mut client = LocalClient::new(&service);
-    let stats_text = client.send("STATS;");
+    // The server's own view, through the protocol: the percentile
+    // histograms and cache counters must be there and real.
+    let mut probe = TcpClient::connect(addr).expect("stats client");
+    let stats_text = probe.send("STATS;").expect("STATS");
     for line in stats_text.lines().filter(|l| l.starts_with("INFO ")) {
         println!("  {}", &line[5..]);
+    }
+    for field in [
+        "ttf_p50_us",
+        "ttf_p95_us",
+        "ttf_p99_us",
+        "page_p50_us",
+        "page_p95_us",
+        "page_p99_us",
+    ] {
+        let value: u64 = stats_text
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("INFO {field}=")))
+            .unwrap_or_else(|| panic!("STATS must carry {field}: {stats_text}"))
+            .trim()
+            .parse()
+            .expect("numeric histogram field");
+        assert!(
+            value > 0,
+            "{field} must be non-zero after a load round (got {stats_text})"
+        );
     }
     let stats = service.stats();
     assert!(
@@ -189,20 +238,99 @@ pub fn run(scale: f64) {
         stats.open_cursors, 0,
         "every client paged to completion or closed its cursor"
     );
+    assert_eq!(
+        stats.cursors_opened,
+        stats.cursors_closed + stats.cursors_expired,
+        "cursor lifecycle accounting must balance: {stats:?}"
+    );
+    server.shutdown();
     println!(
-        "acceptance: 8 concurrent clients × {queries_per_client} mixed queries, every \
-         server page byte-identical to the direct PreparedQuery stream (asserted per \
-         page inside each client); plan cache {} hits / {} misses / {} evictions",
-        stats.cache.hits, stats.cache.misses, stats.cache.evictions
+        "acceptance: {} concurrent TCP clients × {queries_per_client} mixed queries on the \
+         event loop, every page byte-identical to the direct PreparedQuery stream (asserted \
+         per page inside each client); STATS p50/p95/p99 present and non-zero; plan cache \
+         {} hits / {} misses / {} evictions; zero cursors leaked",
+        client_counts.last().expect("rounds"),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions
+    );
+
+    silent_session_scene();
+}
+
+/// The shared-deadline-map scene: a capacity-1 service, a client that
+/// opens a cursor and goes mute, and a second client whose `SELECT`
+/// must inherit the slot after the TTL — no cooperation from the
+/// silent session.
+fn silent_session_scene() {
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "R1",
+        random_edge_relation(600, 20, WeightDist::Uniform, None, 4242),
+    );
+    catalog.register(
+        "R2",
+        random_edge_relation(600, 20, WeightDist::Uniform, None, 4243),
+    );
+    let service = Service::with_config(
+        Engine::new(catalog),
+        ServiceConfig {
+            max_open_cursors: 1,
+            cursor_ttl: Duration::from_millis(80),
+            default_page: PAGE,
+        },
+    );
+    let mut server = Server::bind_with(
+        service.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            transport: Transport::EventLoop,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind");
+    let select = "SELECT R1(a,b), R2(b,c) RANK BY sum LIMIT 5;";
+
+    let mut silent = TcpClient::connect(server.addr()).expect("connect");
+    let first = silent.send(select).expect("silent client's select");
+    assert!(first.starts_with("OK cursor=0"), "{first}");
+
+    let mut eager = TcpClient::connect(server.addr()).expect("connect");
+    let rejected = eager.send(select).expect("eager client's first try");
+    assert!(
+        rejected.starts_with("ERR admission:"),
+        "fresh cursor still holds the slot: {rejected}"
+    );
+
+    // The TTL passes; the silent client says nothing. Admission's
+    // consult of the shared deadline map frees the slot.
+    thread::sleep(Duration::from_millis(160));
+    let granted = eager.send(select).expect("eager client's retry");
+    assert!(
+        granted.starts_with("OK cursor="),
+        "admission must reap the silent session's slot: {granted}"
+    );
+    let expired = silent.send("NEXT 5 ON 0;").expect("silent client wakes");
+    assert_eq!(expired, "ERR cursor: cursor 0 expired\nEND\n");
+    let stats = service.stats();
+    assert!(
+        stats.cursors_expired >= 1,
+        "reap must be counted: {stats:?}"
+    );
+    server.shutdown();
+    println!(
+        "silent-session scene: slot reaped after {}ms TTL without the owner speaking \
+         (cursors_expired={}), second client admitted",
+        80, stats.cursors_expired
     );
 }
 
 /// Run one query to `K` answers (or exhaustion) through the protocol,
 /// asserting every page against the expected byte-identical rows.
 /// Returns the number of answers pulled; records the first-page TTF.
-fn run_one_query(client: &mut LocalClient, combo: &Combo, ttfs: &Mutex<Vec<f64>>) -> usize {
+fn run_one_query(client: &mut TcpClient, combo: &Combo, ttfs: &Mutex<Vec<f64>>) -> usize {
     let mut rows: Vec<String> = Vec::new();
-    let (first, ttf) = time(|| client.send(&combo.select));
+    let (first, ttf) = time(|| client.send(&combo.select).expect("select round-trip"));
     ttfs.lock().expect("ttf lock").push(ttf);
     let mut reply = first;
     loop {
@@ -228,11 +356,15 @@ fn run_one_query(client: &mut LocalClient, combo: &Combo, ttfs: &Mutex<Vec<f64>>
             break;
         }
         if rows.len() >= K {
-            let closed = client.send(&format!("CLOSE {cursor};"));
+            let closed = client
+                .send(&format!("CLOSE {cursor};"))
+                .expect("close round-trip");
             assert!(closed.starts_with("OK closed="), "{closed}");
             break;
         }
-        reply = client.send(&format!("NEXT {PAGE} ON {cursor};"));
+        reply = client
+            .send(&format!("NEXT {PAGE} ON {cursor};"))
+            .expect("next round-trip");
     }
     assert_eq!(
         rows,

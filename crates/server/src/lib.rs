@@ -16,16 +16,29 @@
 //!    [`Engine`](anyk_engine::Engine); each client gets a [`Session`]
 //!    holding its registry of live cursors ([`RankedStream`](anyk_engine::RankedStream)s
 //!    over the engine's cached prepared state), with paginated `NEXT`
-//!    pulls, cursor TTL and close semantics, an admission-control
-//!    semaphore bounding concurrent open streams, and per-query
-//!    metrics (TTF, answers served, plan-cache hits/misses) surfaced
+//!    pulls, a **service-level shared deadline map** (expired cursors
+//!    release their admission slots even while the owning session is
+//!    silent), an admission-control semaphore bounding concurrent
+//!    open streams, and per-query metrics — TTF and per-page latency
+//!    with p50/p95/p99 histograms, plan-cache hits/misses — surfaced
 //!    through `STATS`.
-//! 3. **Transport** ([`wire`] + [`tcp`]): a line-oriented protocol —
-//!    every reply is an `OK`/`ERR` header, `ROW`/`INFO` lines, and an
-//!    `END` terminator — served over `std::net::TcpListener` with a
-//!    thread (and session) per connection, plus an in-process
-//!    [`LocalClient`] that speaks the identical bytes without a
-//!    socket (tests and the E16 load bench drive it).
+//! 3. **Transport** ([`wire`] + [`frame`] + [`tcp`] + [`event_loop`]):
+//!    a line-oriented protocol — every reply is an `OK`/`ERR` header,
+//!    `ROW`/`INFO` lines, and an `END` terminator — served over
+//!    `std::net` on either of two accept architectures behind one
+//!    [`Server`]: the default **readiness event loop** (nonblocking
+//!    sockets on the in-tree `polling` shim — raw-syscall epoll with
+//!    a portable `poll(2)` fallback — plus a worker pool, so slow
+//!    queries never block another connection's I/O) or the classic
+//!    **thread-per-connection** loop. Both TCP transports share one
+//!    incremental [`LineFramer`], and all three clients — the two
+//!    TCP paths and the in-process [`LocalClient`] (which takes whole
+//!    command strings, no framing) — share one encoder, so reply
+//!    bytes are identical by construction.
+//!
+//! The full layer map — including the event loop's threading model,
+//! backpressure rules, and the deadline-map design — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -68,13 +81,29 @@
 //! it; the bytes are identical to [`LocalClient`]'s by construction.
 
 pub mod ast;
+pub mod event_loop;
+pub mod frame;
 pub mod parser;
 pub mod service;
 pub mod tcp;
 pub mod wire;
 
 pub use ast::{select_stmt, select_text, AtomRef, Command, SelectStmt};
+pub use frame::{encode_frame_error, FrameError, LineFramer};
 pub use parser::{parse, ParseError};
 pub use service::{Page, Response, ServeError, Service, ServiceConfig, ServiceStats, Session};
-pub use tcp::{Server, TcpClient};
+pub use tcp::{Server, TcpClient, Transport, TransportConfig};
 pub use wire::{encode_answer, encode_response, respond, LocalClient};
+
+/// A tiny single-relation engine for the crate's unit tests.
+#[cfg(test)]
+pub(crate) fn tests_engine() -> anyk_engine::Engine {
+    use anyk_storage::{Catalog, RelationBuilder, Schema};
+    let mut catalog = Catalog::new();
+    let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+    for i in 0..8i64 {
+        r.push_ints(&[i, i + 10], 0.1 * (i as f64 + 1.0));
+    }
+    catalog.register("R", r.finish());
+    anyk_engine::Engine::new(catalog)
+}

@@ -4,22 +4,44 @@
 //!
 //! * **Cursors** — a `SELECT` opens a [`RankedStream`] over the
 //!   engine's (cached) prepared state, serves the first page, and
-//!   registers a cursor for `NEXT` pulls; cursors expire after a TTL
-//!   and are reaped lazily on the owning session's next command.
+//!   registers a cursor for `NEXT` pulls.
+//! * **Shared cursor deadlines** — every open cursor's expiry deadline
+//!   (and its admission slot) lives in a **service-level deadline
+//!   map**, not in the owning session. Streams stay session-owned
+//!   (they are `Send` but not `Sync`), but the *slot* can be reaped
+//!   from anywhere: admission consults the map when the service is
+//!   full, the event-loop transport sweeps it on a timer tick, and a
+//!   session prunes its own orphaned streams at the top of each
+//!   command. A client that goes silent while holding cursors
+//!   therefore cannot pin admission slots past the TTL — its next
+//!   `NEXT`/`CLOSE` reports a typed [`ServeError::CursorExpired`].
 //! * **Admission control** — a service-wide semaphore bounds how many
 //!   streams may be open at once across all sessions; beyond it,
-//!   `SELECT` fails with a typed [`ServeError::AdmissionRejected`]
-//!   instead of letting per-stream heap state grow without bound.
-//! * **Metrics** — per-query time-to-first-answer, answers served,
-//!   cursor lifecycle counts, and the engine's plan-cache counters,
-//!   all surfaced through the `STATS` command.
+//!   `SELECT` first reaps expired deadlines and then, still full,
+//!   fails with a typed [`ServeError::AdmissionRejected`] instead of
+//!   letting per-stream heap state grow without bound.
+//! * **Metrics** — per-query time-to-first-answer and per-page
+//!   latency as both min/mean/max and fixed-bucket power-of-two
+//!   **histograms** (p50/p95/p99 on read), answers served, cursor
+//!   lifecycle counts, and the engine's plan-cache counters, all
+//!   surfaced through the `STATS` command.
+//!
+//! ## Threading model
+//!
+//! [`Service`] is `Clone + Send + Sync`: clones are handles onto one
+//! shared engine, admission semaphore, deadline map, and metrics
+//! block. A [`Session`] is `Send` but single-owner — exactly one
+//! client (connection or [`LocalClient`](crate::LocalClient)) drives
+//! it, so cursor pulls never contend. Everything cross-session is
+//! either lock-free (metrics, admission) or a short critical section
+//! (the deadline map, the plan cache).
 
 use crate::ast::Command;
 use crate::parser::{parse, ParseError};
 use anyk_engine::{CacheStats, Engine, EngineError, RankedAnswer, RankedStream};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration for a [`Service`].
@@ -28,13 +50,13 @@ pub struct ServiceConfig {
     /// Maximum number of concurrently open cursors (streams) across
     /// all sessions — the admission-control bound.
     pub max_open_cursors: usize,
-    /// Idle time after which a cursor expires. Reaping is **lazy**:
-    /// streams are session-owned (not `Sync`), so expired cursors are
-    /// only dropped when the owning session runs its next command or
-    /// disconnects — a session that goes silent while holding cursors
-    /// keeps its admission slots until then. Size
-    /// [`max_open_cursors`](ServiceConfig::max_open_cursors)
-    /// accordingly.
+    /// Idle time after which a cursor expires. Deadlines live in a
+    /// **service-level shared map**, so expiry frees the admission
+    /// slot even while the owning session stays silent: admission
+    /// sweeps the map when the service is full, the event-loop
+    /// transport sweeps it on a timer, and the owning session drops
+    /// the orphaned stream (and reports
+    /// [`ServeError::CursorExpired`]) on its next command.
     pub cursor_ttl: Duration,
     /// Page size when a `SELECT` carries no `LIMIT`.
     pub default_page: usize,
@@ -174,8 +196,81 @@ pub struct ServiceStats {
     pub ttf_mean_us: u64,
     /// Maximum observed time-to-first-answer, in microseconds.
     pub ttf_max_us: u64,
+    /// Median time-to-first-answer from the fixed-bucket histogram —
+    /// reported as the containing power-of-two bucket's upper bound
+    /// (conservative), in microseconds. 0 until a first answer is
+    /// served.
+    pub ttf_p50_us: u64,
+    /// 95th-percentile time-to-first-answer (bucket upper bound), µs.
+    pub ttf_p95_us: u64,
+    /// 99th-percentile time-to-first-answer (bucket upper bound), µs.
+    pub ttf_p99_us: u64,
+    /// Median per-page serve latency (`SELECT` first pages and `NEXT`
+    /// pulls alike; bucket upper bound), µs.
+    pub page_p50_us: u64,
+    /// 95th-percentile per-page serve latency (bucket upper bound), µs.
+    pub page_p95_us: u64,
+    /// 99th-percentile per-page serve latency (bucket upper bound), µs.
+    pub page_p99_us: u64,
     /// The engine's plan-cache counters (hits/misses/evictions/...).
     pub cache: CacheStats,
+}
+
+/// Power-of-two latency buckets (µs): bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`; the last bucket absorbs the tail. 32 buckets
+/// reach past 71 minutes — far beyond any sane page latency.
+const HIST_BUCKETS: usize = 32;
+
+/// A lock-free fixed-bucket latency histogram: `record` is one relaxed
+/// `fetch_add`, percentiles are computed on read (the `STATS` path),
+/// so the per-page hot path never takes a lock or allocates.
+#[derive(Debug)]
+struct Histogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&self, us: u64) {
+        let bucket = (us.max(1).ilog2() as usize).min(HIST_BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The inclusive upper bound of bucket `i`, in µs.
+    fn upper_bound(i: usize) -> u64 {
+        (1u64 << (i + 1)) - 1
+    }
+
+    /// The latency below which fraction `p` of samples fall, reported
+    /// as the containing bucket's upper bound (conservative — never
+    /// under-promises). 0 while the histogram is empty.
+    fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(HIST_BUCKETS - 1)
+    }
 }
 
 /// Cumulative counters behind [`ServiceStats`] — lock-free, shared by
@@ -193,6 +288,8 @@ struct Metrics {
     ttf_sum_us: AtomicU64,
     ttf_min_us: AtomicU64,
     ttf_max_us: AtomicU64,
+    ttf_hist: Histogram,
+    page_hist: Histogram,
 }
 
 impl Metrics {
@@ -204,7 +301,17 @@ impl Metrics {
         self.ttf_sum_us.fetch_add(us, Ordering::Relaxed);
         self.ttf_min_us.fetch_min(us, Ordering::Relaxed);
         self.ttf_max_us.fetch_max(us, Ordering::Relaxed);
+        self.ttf_hist.record(us);
     }
+
+    fn record_page(&self, us: u64) {
+        self.page_hist.record(us.max(1));
+    }
+}
+
+/// Microseconds since `started`, saturating into `u64`.
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// The admission-control semaphore: a counter bounded by
@@ -250,6 +357,96 @@ impl Drop for AdmissionSlot {
     }
 }
 
+/// A cursor's service-wide identity: (session id, cursor id).
+type CursorKey = (u64, u64);
+
+/// One open cursor's shared lifecycle state: its expiry deadline and
+/// its admission slot. The *stream* stays in the owning session (it is
+/// not `Sync`); everything another thread may need to act on lives
+/// here.
+#[derive(Debug)]
+struct DeadlineEntry {
+    deadline: Instant,
+    _slot: AdmissionSlot,
+}
+
+/// The service-level deadline map: every open cursor across every
+/// session, keyed by [`CursorKey`]. Removing an entry *is* releasing
+/// the admission slot (the slot guard drops with it) — which is what
+/// lets admission and the transport reap a silent session's cursors
+/// without touching its streams.
+#[derive(Debug, Default)]
+struct SharedDeadlines {
+    map: Mutex<HashMap<CursorKey, DeadlineEntry>>,
+}
+
+impl SharedDeadlines {
+    fn insert(&self, key: CursorKey, deadline: Instant, slot: AdmissionSlot) {
+        self.map.lock().expect("deadline map").insert(
+            key,
+            DeadlineEntry {
+                deadline,
+                _slot: slot,
+            },
+        );
+    }
+
+    /// Extend `key`'s deadline; false when the entry is gone (the
+    /// cursor was reaped — the caller must treat it as expired).
+    fn touch(&self, key: CursorKey, deadline: Instant) -> bool {
+        match self.map.lock().expect("deadline map").get_mut(&key) {
+            Some(e) => {
+                e.deadline = deadline;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove `key`, releasing its slot; false when already reaped.
+    fn remove(&self, key: CursorKey) -> bool {
+        self.map
+            .lock()
+            .expect("deadline map")
+            .remove(&key)
+            .is_some()
+    }
+
+    /// Drop every entry whose deadline has passed, releasing the
+    /// slots. Returns how many were reaped.
+    fn reap(&self, now: Instant) -> usize {
+        let mut map = self.map.lock().expect("deadline map");
+        let before = map.len();
+        map.retain(|_, e| now <= e.deadline);
+        before - map.len()
+    }
+
+    /// The session-scoped sweep: for each of `session`'s cursor `ids`,
+    /// remove its entry if the deadline has passed. Returns the ids
+    /// whose streams the session must now drop, plus how many this
+    /// call expired — ids whose entries were already gone were reaped
+    /// (and counted) elsewhere. O(own cursors), not O(all cursors):
+    /// this runs at the top of every command, so it must not scan the
+    /// whole service.
+    fn reap_session(&self, session: u64, ids: &[u64], now: Instant) -> (Vec<u64>, usize) {
+        let mut map = self.map.lock().expect("deadline map");
+        let mut dead = Vec::new();
+        let mut expired = 0usize;
+        for &c in ids {
+            match map.get(&(session, c)) {
+                None => dead.push(c),
+                Some(e) if now > e.deadline => {
+                    map.remove(&(session, c));
+                    expired += 1;
+                    dead.push(c);
+                }
+                Some(_) => {}
+            }
+        }
+        (dead, expired)
+    }
+}
+
 /// The query service: a shared [`Engine`] plus the service-wide
 /// admission bound and metrics. `Clone + Send + Sync` — clones are
 /// handles to the same service; spawn one [`Session`] per client.
@@ -258,7 +455,9 @@ pub struct Service {
     engine: Engine,
     config: ServiceConfig,
     admission: Arc<Admission>,
+    deadlines: Arc<SharedDeadlines>,
     metrics: Arc<Metrics>,
+    next_session: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Service {
@@ -286,10 +485,12 @@ impl Service {
                 open: AtomicUsize::new(0),
                 max: config.max_open_cursors,
             }),
+            deadlines: Arc::new(SharedDeadlines::default()),
             metrics: Arc::new(Metrics {
                 ttf_min_us: AtomicU64::new(u64::MAX),
                 ..Metrics::default()
             }),
+            next_session: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -307,11 +508,29 @@ impl Service {
     /// One session per connection (or per [`LocalClient`](crate::LocalClient)).
     pub fn session(&self) -> Session {
         Session {
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
             service: self.clone(),
             cursors: HashMap::new(),
-            expired: Vec::new(),
+            expired: VecDeque::new(),
             next_cursor: 0,
         }
+    }
+
+    /// Sweep the shared deadline map: drop every cursor entry whose
+    /// TTL has passed, releasing its admission slot immediately — the
+    /// owning session need not speak. Called by admission when the
+    /// service is full, by the event-loop transport on its timer tick,
+    /// and by every session at the top of each command; also public
+    /// for external reaper threads. Returns how many cursors were
+    /// reaped.
+    pub fn reap_expired_cursors(&self) -> usize {
+        let reaped = self.deadlines.reap(Instant::now());
+        if reaped > 0 {
+            self.metrics
+                .cursors_expired
+                .fetch_add(reaped as u64, Ordering::Relaxed);
+        }
+        reaped
     }
 
     /// Current metrics, including the engine's plan-cache counters.
@@ -335,12 +554,21 @@ impl Service {
                 .checked_div(count)
                 .unwrap_or(0),
             ttf_max_us: m.ttf_max_us.load(Ordering::Relaxed),
+            ttf_p50_us: m.ttf_hist.percentile(0.50),
+            ttf_p95_us: m.ttf_hist.percentile(0.95),
+            ttf_p99_us: m.ttf_hist.percentile(0.99),
+            page_p50_us: m.page_hist.percentile(0.50),
+            page_p95_us: m.page_hist.percentile(0.95),
+            page_p99_us: m.page_hist.percentile(0.99),
             cache: self.engine.cache_stats(),
         }
     }
 }
 
-/// A live cursor: the stream plus its lifecycle state.
+/// A live cursor's session-owned half: the stream itself. The shared
+/// half — deadline and admission slot — lives in the service's
+/// [`SharedDeadlines`] map under this cursor's [`CursorKey`], where
+/// other threads can reap it.
 struct Cursor {
     stream: RankedStream,
     /// One answer pulled ahead of the last page, so `done` is exact:
@@ -348,10 +576,6 @@ struct Cursor {
     /// proven to exist (an exactly-page-sized result must not pin a
     /// cursor and its admission slot).
     lookahead: Option<RankedAnswer>,
-    last_used: Instant,
-    /// Held while the cursor is open; dropping it releases the
-    /// service-wide admission slot.
-    _slot: AdmissionSlot,
 }
 
 /// Pull up to `n` answers plus one lookahead. Returns the page and
@@ -379,13 +603,23 @@ fn pull_page(
 /// or [`LocalClient`](crate::LocalClient)); the heavy state — prepared
 /// queries, the plan cache, metrics — lives in the shared [`Service`].
 pub struct Session {
+    /// Service-wide unique id; the session half of every [`CursorKey`]
+    /// this session registers in the shared deadline map.
+    id: u64,
     service: Service,
     cursors: HashMap<u64, Cursor>,
     /// Ids reaped by the TTL, kept so `NEXT`/`CLOSE` on them report
-    /// [`ServeError::CursorExpired`] instead of "unknown".
-    expired: Vec<u64>,
+    /// [`ServeError::CursorExpired`] instead of "unknown". Bounded at
+    /// [`EXPIRED_MEMORY`]: a session cycling cursors under admission
+    /// pressure must not accumulate memory or per-command scan cost —
+    /// ids evicted from this window degrade to `UnknownCursor`.
+    expired: VecDeque<u64>,
     next_cursor: u64,
 }
+
+/// How many reaped cursor ids a session remembers for the typed
+/// `CursorExpired` reply (oldest evicted first).
+const EXPIRED_MEMORY: usize = 1024;
 
 impl Session {
     /// Parse and run one command.
@@ -411,6 +645,13 @@ impl Session {
             Command::Next { count, cursor } => self.next(count, cursor),
             Command::Close { cursor } => {
                 if self.cursors.remove(&cursor).is_some() {
+                    if !self.service.deadlines.remove((self.id, cursor)) {
+                        // Reaped between our sweep and now (a racing
+                        // admission pass): the slot is already free
+                        // and counted expired.
+                        self.remember_expired(cursor);
+                        return Err(ServeError::CursorExpired { cursor });
+                    }
                     self.service
                         .metrics
                         .cursors_closed
@@ -433,15 +674,34 @@ impl Session {
         self.cursors.len()
     }
 
+    /// Record a reaped cursor id for the typed `CursorExpired` reply,
+    /// bounded at [`EXPIRED_MEMORY`] (oldest forgotten first).
+    fn remember_expired(&mut self, cursor: u64) {
+        if self.expired.len() == EXPIRED_MEMORY {
+            self.expired.pop_front();
+        }
+        self.expired.push_back(cursor);
+    }
+
     fn select(&mut self, stmt: crate::ast::SelectStmt) -> Result<Response, ServeError> {
         let metrics = Arc::clone(&self.service.metrics);
-        let slot = self.service.admission.try_acquire().ok_or_else(|| {
-            metrics.admission_rejected.fetch_add(1, Ordering::Relaxed);
-            ServeError::AdmissionRejected {
-                open: self.service.admission.open.load(Ordering::Relaxed),
-                max: self.service.admission.max,
+        let slot = match self.service.admission.try_acquire() {
+            Some(slot) => slot,
+            None => {
+                // Admission consults the shared deadline map: a full
+                // service first reaps expired cursors — releasing
+                // slots a silent session would otherwise pin — then
+                // retries once before rejecting.
+                self.service.reap_expired_cursors();
+                self.service.admission.try_acquire().ok_or_else(|| {
+                    metrics.admission_rejected.fetch_add(1, Ordering::Relaxed);
+                    ServeError::AdmissionRejected {
+                        open: self.service.admission.open.load(Ordering::Relaxed),
+                        max: self.service.admission.max,
+                    }
+                })?
             }
-        })?;
+        };
         let page_size = stmt.limit.unwrap_or(self.service.config.default_page);
         let started = Instant::now();
         // Prepared through the engine's plan cache: repeated SELECTs of
@@ -455,8 +715,9 @@ impl Session {
         let mut lookahead = None;
         let (answers, done) = pull_page(&mut stream, &mut lookahead, page_size);
         if !answers.is_empty() {
-            metrics.record_ttf(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            metrics.record_ttf(elapsed_us(started));
         }
+        metrics.record_page(elapsed_us(started));
         metrics.queries.fetch_add(1, Ordering::Relaxed);
         metrics.pages_served.fetch_add(1, Ordering::Relaxed);
         metrics
@@ -472,14 +733,11 @@ impl Session {
         }
         let id = self.next_cursor;
         self.next_cursor += 1;
-        self.cursors.insert(
-            id,
-            Cursor {
-                stream,
-                lookahead,
-                last_used: Instant::now(),
-                _slot: slot,
-            },
+        self.cursors.insert(id, Cursor { stream, lookahead });
+        self.service.deadlines.insert(
+            (self.id, id),
+            Instant::now() + self.service.config.cursor_ttl,
+            slot,
         );
         metrics.cursors_opened.fetch_add(1, Ordering::Relaxed);
         Ok(Response::Page(Page {
@@ -497,22 +755,39 @@ impl Session {
             .cursors
             .remove(&cursor)
             .ok_or(ServeError::UnknownCursor { cursor })?;
+        // Refresh the shared deadline *before* pulling, so a racing
+        // admission reap can't free the slot mid-pull; a failed touch
+        // means the cursor was reaped since our sweep — expired.
+        let touched = self.service.deadlines.touch(
+            (self.id, cursor),
+            Instant::now() + self.service.config.cursor_ttl,
+        );
+        if !touched {
+            self.remember_expired(cursor);
+            return Err(ServeError::CursorExpired { cursor });
+        }
+        let started = Instant::now();
         let (answers, done) = pull_page(&mut cur.stream, &mut cur.lookahead, count);
         let metrics = Arc::clone(&self.service.metrics);
+        metrics.record_page(elapsed_us(started));
         metrics.pages_served.fetch_add(1, Ordering::Relaxed);
         metrics
             .answers_served
             .fetch_add(answers.len() as u64, Ordering::Relaxed);
         if done {
-            // Drained: the cursor closes itself (slot released).
-            metrics.cursors_closed.fetch_add(1, Ordering::Relaxed);
+            // Drained: the cursor closes itself (slot released). If
+            // the entry vanished mid-pull — a sweep ran after our
+            // touch — it was already counted expired; don't also
+            // count it closed (opened == closed + expired must hold).
+            if self.service.deadlines.remove((self.id, cursor)) {
+                metrics.cursors_closed.fetch_add(1, Ordering::Relaxed);
+            }
             Ok(Response::Page(Page {
                 cursor: None,
                 answers,
                 done: true,
             }))
         } else {
-            cur.last_used = Instant::now();
             self.cursors.insert(cursor, cur);
             Ok(Response::Page(Page {
                 cursor: Some(cursor),
@@ -522,39 +797,55 @@ impl Session {
         }
     }
 
-    /// Drop cursors that idled past the TTL. Lazy: runs at the top of
-    /// every command on the owning session (cursors are session-owned,
-    /// so nothing else can touch them).
+    /// Reconcile with the shared deadline map at the top of every
+    /// command: expire this session's own overdue cursors and drop
+    /// the streams of any whose entries are already gone (reaped by
+    /// a full admission pass or the transport's timer) so
+    /// `NEXT`/`CLOSE` on them report [`ServeError::CursorExpired`].
+    /// Deliberately session-scoped — O(own cursors) under the map
+    /// lock, never a service-wide scan; global sweeps belong to the
+    /// admission-full path and the event-loop tick.
     fn reap_expired(&mut self) {
-        let ttl = self.service.config.cursor_ttl;
-        let now = Instant::now();
-        let dead: Vec<u64> = self
-            .cursors
-            .iter()
-            .filter(|(_, c)| now.duration_since(c.last_used) > ttl)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in dead {
-            self.cursors.remove(&id);
-            self.expired.push(id);
+        if self.cursors.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = self.cursors.keys().copied().collect();
+        let (dead, expired) = self
+            .service
+            .deadlines
+            .reap_session(self.id, &ids, Instant::now());
+        if expired > 0 {
             self.service
                 .metrics
                 .cursors_expired
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(expired as u64, Ordering::Relaxed);
+        }
+        for id in dead {
+            // The slot was already released (and counted) when the
+            // shared entry went; this only frees the stream.
+            self.cursors.remove(&id);
+            self.remember_expired(id);
         }
     }
 }
 
 impl Drop for Session {
-    /// A dropped session closes its cursors (admission slots release
-    /// via the guards) and counts them as closed.
+    /// A dropped session closes its cursors: shared entries are
+    /// removed (admission slots release with them) and counted closed.
+    /// Cursors already reaped by the TTL were counted expired — not
+    /// recounted here.
     fn drop(&mut self) {
-        let n = self.cursors.len() as u64;
-        if n > 0 {
+        let mut closed = 0u64;
+        for (&id, _) in self.cursors.iter() {
+            if self.service.deadlines.remove((self.id, id)) {
+                closed += 1;
+            }
+        }
+        if closed > 0 {
             self.service
                 .metrics
                 .cursors_closed
-                .fetch_add(n, Ordering::Relaxed);
+                .fetch_add(closed, Ordering::Relaxed);
         }
     }
 }
@@ -566,3 +857,58 @@ const _: () = {
     assert_send_sync::<Service>();
     assert_send::<Session>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_empty_until_recorded() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.50), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let h = Histogram::default();
+        // 0 rounds up into bucket 0 ([1,2) µs, upper bound 1).
+        h.record(0);
+        assert_eq!(h.percentile(0.50), 1);
+        // 90 × 1µs + 10 × 1000µs: the p50 stays in the first bucket,
+        // the p95/p99 land in 1000's bucket ([512,1024), bound 1023).
+        for _ in 0..89 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.50), 1);
+        assert_eq!(h.percentile(0.95), 1023);
+        assert_eq!(h.percentile(0.99), 1023);
+    }
+
+    #[test]
+    fn histogram_tail_bucket_absorbs_huge_samples() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        let bound = Histogram::upper_bound(HIST_BUCKETS - 1);
+        assert_eq!(h.percentile(0.50), bound);
+        assert!(bound > 60 * 60 * 1_000_000, "tail covers > an hour in µs");
+    }
+
+    #[test]
+    fn shared_deadline_map_reaps_only_past_deadlines() {
+        let service = Service::new(crate::tests_engine());
+        let mut session = service.session();
+        let resp = session
+            .execute("SELECT R(a,b) LIMIT 1;")
+            .expect("select opens a cursor");
+        let Response::Page(page) = resp else { panic!() };
+        assert!(page.cursor.is_some());
+        assert_eq!(service.stats().open_cursors, 1);
+        // The deadline (default 60 s) is in the future: no reap.
+        assert_eq!(service.reap_expired_cursors(), 0);
+        assert_eq!(service.stats().open_cursors, 1);
+    }
+}

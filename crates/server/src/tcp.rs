@@ -1,53 +1,202 @@
-//! The TCP transport: a line-oriented listener with one thread (and
-//! one [`Session`](crate::Session)) per connection — `std::net` only,
-//! no external dependencies.
+//! The TCP transports: a line-oriented server over `std::net` with two
+//! interchangeable accept architectures behind one [`Server`] type —
+//! no external dependencies (the readiness syscalls come from the
+//! in-tree [`polling`] shim).
+//!
+//! * [`Transport::EventLoop`] (the default): one nonblocking
+//!   readiness loop plus a worker pool — see [`crate::event_loop`] for
+//!   the threading model and backpressure rules. Scales to thousands
+//!   of mostly-idle connections.
+//! * [`Transport::ThreadPerConn`]: the classic blocking loop, one
+//!   thread (and one [`Session`](crate::Session)) per connection.
+//!   Simple, great for a handful of clients, kept as the portable
+//!   fallback and as the differential baseline the tests compare the
+//!   event loop against.
 //!
 //! Clients send one command per line and read one `END`-terminated
-//! block per command (see [`crate::wire`] for the framing). Closing
-//! the connection closes the session, which closes its cursors and
+//! block per command (see [`crate::wire`] for the encoding and
+//! [`crate::frame`] for the line framing — both transports share both,
+//! so their bytes are identical by construction). Closing the
+//! connection closes the session, which closes its cursors and
 //! releases their admission slots.
 
+use crate::event_loop;
+use crate::frame::{encode_frame_error, LineFramer};
 use crate::service::Service;
 use crate::wire::respond;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A running TCP server: accept loop plus per-connection threads.
-/// Dropping the handle (or calling [`shutdown`](Server::shutdown))
-/// stops accepting; established connections run to completion on
+/// Which accept architecture a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness event loop + worker pool (Unix; the default there).
+    EventLoop,
+    /// One blocking thread per connection (every platform).
+    ThreadPerConn,
+}
+
+impl Transport {
+    /// The transport `ANYK_SERVE_TRANSPORT` selects: `threaded` for
+    /// [`Transport::ThreadPerConn`], `event` (or unset) for
+    /// [`Transport::EventLoop`]. Non-Unix platforms always get the
+    /// threaded transport.
+    pub fn from_env() -> Transport {
+        if cfg!(not(unix)) {
+            return Transport::ThreadPerConn;
+        }
+        match std::env::var("ANYK_SERVE_TRANSPORT").as_deref() {
+            Ok("threaded") => Transport::ThreadPerConn,
+            _ => Transport::EventLoop,
+        }
+    }
+}
+
+/// Transport tuning for [`Server::bind_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Accept architecture. [`TransportConfig::default`] consults
+    /// `ANYK_SERVE_TRANSPORT` (see [`Transport::from_env`]) so test
+    /// suites and deployments can switch transports without code
+    /// changes.
+    pub transport: Transport,
+    /// Worker threads executing commands (event loop only). `0` means
+    /// auto: one per available core, clamped to `2..=8`.
+    pub workers: usize,
+    /// Longest accepted command line, in bytes; longer lines get a
+    /// typed `ERR proto` reply and are discarded to the next newline
+    /// (see [`crate::frame`]). Applies to both transports.
+    pub max_line_len: usize,
+}
+
+impl Default for TransportConfig {
+    /// Env-selected transport, auto worker count, 64 KiB line bound.
+    fn default() -> Self {
+        TransportConfig {
+            transport: Transport::from_env(),
+            workers: 0,
+            max_line_len: 64 * 1024,
+        }
+    }
+}
+
+impl TransportConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8)
+    }
+}
+
+/// What `shutdown` must wake and join, per transport.
+enum Running {
+    Threaded {
+        accept_thread: Option<JoinHandle<()>>,
+    },
+    Event {
+        poller: Arc<polling::Poller>,
+        threads: Vec<JoinHandle<()>>,
+    },
+}
+
+/// A running TCP server over one of the two [`Transport`]s. Dropping
+/// the handle (or calling [`shutdown`](Server::shutdown)) stops the
+/// server; on the event transport that also closes established
+/// connections, while the threaded transport lets them run out on
 /// their own threads.
+///
+/// ```
+/// use anyk_engine::Engine;
+/// use anyk_serve::{Server, Service, TcpClient, Transport, TransportConfig};
+/// use anyk_storage::{Catalog, RelationBuilder, Schema};
+///
+/// let mut catalog = Catalog::new();
+/// let mut r = RelationBuilder::new(Schema::new(["a", "b"]));
+/// r.push_ints(&[1, 10], 0.25);
+/// r.push_ints(&[2, 10], 2.0);
+/// catalog.register("R", r.finish());
+///
+/// let service = Service::new(Engine::new(catalog));
+/// let config = TransportConfig {
+///     transport: Transport::EventLoop, // explicit: ignore the env
+///     workers: 2,
+///     ..TransportConfig::default()
+/// };
+/// let mut server = Server::bind_with(service, "127.0.0.1:0", config).unwrap();
+///
+/// // Any line-oriented client works; TcpClient is the in-tree one.
+/// let mut client = TcpClient::connect(server.addr()).unwrap();
+/// let reply = client.send("SELECT R(a,b) RANK BY sum LIMIT 1;").unwrap();
+/// assert!(reply.starts_with("OK cursor=0 rows=1 done=false\nROW 1,10 cost=0.25"));
+/// server.shutdown();
+/// ```
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    running: Running,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
-    /// and start accepting. Each connection gets its own thread and
-    /// its own session over the shared service.
+    /// and start serving on the [`TransportConfig::default`] transport
+    /// — the event loop, unless `ANYK_SERVE_TRANSPORT=threaded`.
     pub fn bind(service: Service, addr: &str) -> std::io::Result<Server> {
+        Server::bind_with(service, addr, TransportConfig::default())
+    }
+
+    /// Bind with an explicit transport and tuning.
+    pub fn bind_with(
+        service: Service,
+        addr: &str,
+        config: TransportConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::Acquire) {
-                    break;
+        let running = match config.transport {
+            Transport::EventLoop => {
+                listener.set_nonblocking(true)?;
+                let t = event_loop::spawn(
+                    service,
+                    listener,
+                    Arc::clone(&stop),
+                    config.resolved_workers(),
+                    config.max_line_len,
+                )?;
+                Running::Event {
+                    poller: t.poller,
+                    threads: t.threads,
                 }
-                let Ok(conn) = conn else { continue };
-                let service = service.clone();
-                std::thread::spawn(move || serve_connection(&service, conn));
             }
-        });
+            Transport::ThreadPerConn => {
+                let accept_stop = Arc::clone(&stop);
+                let max_line_len = config.max_line_len;
+                let accept_thread = std::thread::spawn(move || {
+                    for conn in listener.incoming() {
+                        if accept_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(conn) = conn else { continue };
+                        let service = service.clone();
+                        std::thread::spawn(move || serve_connection(&service, conn, max_line_len));
+                    }
+                });
+                Running::Threaded {
+                    accept_thread: Some(accept_thread),
+                }
+            }
+        };
         Ok(Server {
             addr,
             stop,
-            accept_thread: Some(accept_thread),
+            running,
         })
     }
 
@@ -56,14 +205,24 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept thread.
-    /// Idempotent; also runs on drop.
+    /// Stop the server and join its threads. Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.running {
+            Running::Threaded { accept_thread } => {
+                // Unblock the accept loop with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            Running::Event { poller, threads } => {
+                let _ = poller.notify();
+                for t in threads.drain(..) {
+                    let _ = t.join();
+                }
+            }
         }
     }
 }
@@ -74,23 +233,42 @@ impl Drop for Server {
     }
 }
 
-/// Run one connection: read command lines, write reply blocks. Blank
-/// lines are ignored; I/O errors end the connection (and the session).
-fn serve_connection(service: &Service, conn: TcpStream) {
+/// Run one connection on the threaded transport: read raw chunks
+/// through the shared [`LineFramer`] (so partial lines, pipelining,
+/// and the oversized-line error behave exactly like the event loop),
+/// write one reply block per command. I/O errors end the connection
+/// (and the session).
+fn serve_connection(service: &Service, conn: TcpStream, max_line_len: usize) {
     let mut session = service.session();
-    let Ok(read_half) = conn.try_clone() else {
+    // The framer does the buffering; read the socket raw.
+    let Ok(mut reader) = conn.try_clone() else {
         return;
     };
     let mut writer = conn;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let mut framer = LineFramer::new(max_line_len);
+    let mut buf = [0u8; 4096];
+    let mut eof = false;
+    while !eof {
+        match reader.read(&mut buf) {
+            // Half-close without a trailing newline still serves the
+            // final command (framer.finish yields the partial line).
+            Ok(0) => {
+                framer.finish();
+                eof = true;
+            }
+            Ok(n) => framer.feed(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
         }
-        let reply = respond(&mut session, &line);
-        if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
+        while let Some(item) = framer.next_line() {
+            let reply = match item {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => respond(&mut session, &line),
+                Err(frame_err) => encode_frame_error(&frame_err),
+            };
+            if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
         }
     }
 }
@@ -117,9 +295,19 @@ impl TcpClient {
     /// Send one command line and read the full `END`-terminated reply
     /// block (bytes as the server wrote them).
     pub fn send(&mut self, line: &str) -> std::io::Result<String> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.send_raw(format!("{line}\n").as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Write raw bytes as-is — lets tests exercise partial lines and
+    /// pipelined segments exactly as they'd arrive off the wire.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Read one `END`-terminated reply block.
+    pub fn read_reply(&mut self) -> std::io::Result<String> {
         let mut block = String::new();
         loop {
             let mut reply_line = String::new();

@@ -108,6 +108,12 @@ fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
         ("ttf_min_us", s.ttf_min_us.to_string()),
         ("ttf_mean_us", s.ttf_mean_us.to_string()),
         ("ttf_max_us", s.ttf_max_us.to_string()),
+        ("ttf_p50_us", s.ttf_p50_us.to_string()),
+        ("ttf_p95_us", s.ttf_p95_us.to_string()),
+        ("ttf_p99_us", s.ttf_p99_us.to_string()),
+        ("page_p50_us", s.page_p50_us.to_string()),
+        ("page_p95_us", s.page_p95_us.to_string()),
+        ("page_p99_us", s.page_p99_us.to_string()),
         ("plan_cache_hits", s.cache.hits.to_string()),
         ("plan_cache_misses", s.cache.misses.to_string()),
         ("plan_cache_evictions", s.cache.evictions.to_string()),

@@ -1,0 +1,724 @@
+//! Offline in-tree shim exposing the readiness-polling API subset this
+//! workspace uses (modeled on the `polling` crate): a [`Poller`] that
+//! watches raw file descriptors for read/write readiness, plus a
+//! cross-thread [`notify`](Poller::notify) wake-up.
+//!
+//! The workspace must build without network access **and** without the
+//! `libc` crate, so the syscalls are declared in-tree with thin
+//! `extern "C"` bindings (std already links the platform C library, so
+//! they resolve at link time). Two backends:
+//!
+//! * **epoll** (Linux, the default there): one `epoll` instance,
+//!   level-triggered, `O(ready)` wakeups — the scalable path for the
+//!   event-loop transport.
+//! * **poll** (every Unix, and `ANYK_POLLER=poll` forces it on Linux):
+//!   a portable `poll(2)` loop over a registered-fd table — `O(fds)`
+//!   per wakeup, but it runs anywhere and keeps the epoll path honest
+//!   (the test suites run against both).
+//!
+//! Semantics are **level-triggered** and **persistent**: an interest
+//! set with [`add`](Poller::add)/[`modify`](Poller::modify) keeps
+//! firing while the fd stays ready, until modified or
+//! [`delete`](Poller::delete)d. Error/hang-up conditions are reported
+//! as both readable and writable so the owner's next I/O call observes
+//! the failure. This is a deliberate simplification of the upstream
+//! crate's oneshot default — the in-tree event loop re-computes
+//! interest after every wakeup anyway.
+//!
+//! ```
+//! use polling::Poller;
+//! use std::sync::Arc;
+//!
+//! // `notify` wakes a `wait` from any thread — the worker-pool →
+//! // event-thread handoff in the server's event loop.
+//! let poller = Arc::new(Poller::new().unwrap());
+//! let waker = Arc::clone(&poller);
+//! let t = std::thread::spawn(move || waker.notify().unwrap());
+//! let mut events = Vec::new();
+//! poller.wait(&mut events, None).unwrap(); // returns on notify()
+//! assert!(events.is_empty(), "a bare notify carries no fd event");
+//! t.join().unwrap();
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+/// A readiness interest or a delivered readiness event: which `key`
+/// (caller-chosen token) and which directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller's token for the registered fd (delivered back
+    /// verbatim on readiness). `usize::MAX` is reserved for the
+    /// poller's internal notify pipe.
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the registration alive for a later
+    /// [`modify`](Poller::modify)).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The reserved key the poller registers its internal notify pipe
+/// under; never delivered to callers.
+const NOTIFY_KEY: usize = usize::MAX;
+
+#[cfg(unix)]
+mod sys {
+    //! The in-tree syscall bindings: just the symbols the two backends
+    //! need, declared directly (std links the C library already).
+    #![allow(non_camel_case_types)]
+
+    pub type RawFd = i32;
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct pollfd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    pub const F_SETFL: i32 = 4;
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: i32 = 0x800;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: i32 = 0x4;
+
+    extern "C" {
+        // `nfds_t` is the platform's `unsigned long`, which matches
+        // `usize` on every Unix LP64/ILP32 ABI this workspace targets.
+        pub fn poll(fds: *mut pollfd, nfds: usize, timeout: i32) -> i32;
+        pub fn pipe(fds: *mut RawFd) -> i32;
+        pub fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+        pub fn close(fd: RawFd) -> i32;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::RawFd;
+
+        // The kernel ABI packs `epoll_event` on x86-64 only.
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Debug, Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+        pub const EPOLL_CLOEXEC: i32 = 0x80000;
+
+        extern "C" {
+            pub fn epoll_create1(flags: i32) -> RawFd;
+            pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut epoll_event) -> i32;
+            pub fn epoll_wait(
+                epfd: RawFd,
+                events: *mut epoll_event,
+                maxevents: i32,
+                timeout: i32,
+            ) -> i32;
+        }
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{sys, Event, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Upper bound on events translated per [`Poller::wait`] call (the
+    /// rest surface on the next call — level-triggered interests
+    /// re-fire).
+    const MAX_EVENTS: usize = 1024;
+
+    fn last_err() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(last_err())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Millisecond timeout for `poll`/`epoll_wait`: `None` blocks
+    /// forever; sub-millisecond waits round up so they stay waits.
+    fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                if ms == 0 && d > Duration::ZERO {
+                    1
+                } else {
+                    ms
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Interest {
+        key: usize,
+        readable: bool,
+        writable: bool,
+    }
+
+    #[derive(Debug)]
+    enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll { epfd: RawFd },
+        Poll {
+            registry: Mutex<HashMap<RawFd, Interest>>,
+        },
+    }
+
+    #[derive(Debug)]
+    pub struct Poller {
+        backend: Backend,
+        notify_read: RawFd,
+        notify_write: RawFd,
+    }
+
+    // The epoll fd is thread-safe by kernel contract; the poll
+    // registry is behind a mutex; the pipe ends are only read by
+    // `wait` and written by `notify`.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let force_poll = std::env::var("ANYK_POLLER").is_ok_and(|v| v == "poll");
+            if force_poll {
+                return Poller::portable();
+            }
+            #[cfg(target_os = "linux")]
+            {
+                let epfd = check(unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) })?;
+                Poller::finish(Backend::Epoll { epfd })
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Poller::portable()
+            }
+        }
+
+        pub fn portable() -> io::Result<Poller> {
+            Poller::finish(Backend::Poll {
+                registry: Mutex::new(HashMap::new()),
+            })
+        }
+
+        /// Close whatever fds `backend` owns (the error paths below
+        /// must not leak the epoll fd; `Backend` has no `Drop`).
+        fn close_backend(backend: &Backend) {
+            #[cfg(target_os = "linux")]
+            if let Backend::Epoll { epfd } = backend {
+                unsafe {
+                    sys::close(*epfd);
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            let _ = backend;
+        }
+
+        fn finish(backend: Backend) -> io::Result<Poller> {
+            let mut fds: [RawFd; 2] = [-1, -1];
+            if let Err(e) = check(unsafe { sys::pipe(fds.as_mut_ptr()) }) {
+                Self::close_backend(&backend);
+                return Err(e);
+            }
+            let (r, w) = (fds[0], fds[1]);
+            for fd in [r, w] {
+                // Capture the fcntl error before the close calls can
+                // clobber errno.
+                if let Err(e) = check(unsafe { sys::fcntl(fd, sys::F_SETFL, sys::O_NONBLOCK) }) {
+                    unsafe {
+                        sys::close(r);
+                        sys::close(w);
+                    }
+                    Self::close_backend(&backend);
+                    return Err(e);
+                }
+            }
+            let poller = Poller {
+                backend,
+                notify_read: r,
+                notify_write: w,
+            };
+            poller.register_fd(r, Event::readable(NOTIFY_KEY))?;
+            Ok(poller)
+        }
+
+        pub fn backend_name(&self) -> &'static str {
+            match self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { .. } => "epoll",
+                Backend::Poll { .. } => "poll",
+            }
+        }
+
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            self.register_fd(source.as_raw_fd(), interest)
+        }
+
+        fn register_fd(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev = sys::epoll::epoll_event {
+                        events: epoll_bits(interest),
+                        data: interest.key as u64,
+                    };
+                    check(unsafe {
+                        sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_ADD, fd, &mut ev)
+                    })?;
+                    Ok(())
+                }
+                Backend::Poll { registry } => {
+                    registry.lock().expect("poller registry").insert(
+                        fd,
+                        Interest {
+                            key: interest.key,
+                            readable: interest.readable,
+                            writable: interest.writable,
+                        },
+                    );
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            let fd = source.as_raw_fd();
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev = sys::epoll::epoll_event {
+                        events: epoll_bits(interest),
+                        data: interest.key as u64,
+                    };
+                    check(unsafe {
+                        sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_MOD, fd, &mut ev)
+                    })?;
+                    Ok(())
+                }
+                Backend::Poll { registry } => {
+                    let mut reg = registry.lock().expect("poller registry");
+                    match reg.get_mut(&fd) {
+                        Some(i) => {
+                            *i = Interest {
+                                key: interest.key,
+                                readable: interest.readable,
+                                writable: interest.writable,
+                            };
+                            Ok(())
+                        }
+                        None => Err(io::Error::new(
+                            io::ErrorKind::NotFound,
+                            "modify on an unregistered fd",
+                        )),
+                    }
+                }
+            }
+        }
+
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            let fd = source.as_raw_fd();
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut ev = sys::epoll::epoll_event { events: 0, data: 0 };
+                    check(unsafe {
+                        sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_DEL, fd, &mut ev)
+                    })?;
+                    Ok(())
+                }
+                Backend::Poll { registry } => {
+                    registry.lock().expect("poller registry").remove(&fd);
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let ms = timeout_ms(timeout);
+            match &self.backend {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut raw = [sys::epoll::epoll_event { events: 0, data: 0 }; MAX_EVENTS];
+                    let n = loop {
+                        let n = unsafe {
+                            sys::epoll::epoll_wait(*epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, ms)
+                        };
+                        if n >= 0 {
+                            break n as usize;
+                        }
+                        let err = last_err();
+                        if err.kind() != io::ErrorKind::Interrupted {
+                            return Err(err);
+                        }
+                    };
+                    for ev in &raw[..n] {
+                        // Copy the (possibly packed) fields out first.
+                        let (bits, data) = (ev.events, ev.data);
+                        if data == NOTIFY_KEY as u64 {
+                            self.drain_notify();
+                            continue;
+                        }
+                        let hup = bits & (sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP) != 0;
+                        events.push(Event {
+                            key: data as usize,
+                            readable: bits & sys::epoll::EPOLLIN != 0 || hup,
+                            writable: bits & sys::epoll::EPOLLOUT != 0 || hup,
+                        });
+                    }
+                    Ok(events.len())
+                }
+                Backend::Poll { registry } => {
+                    // Snapshot the registry so the poll syscall runs
+                    // without holding the lock (notify/add from other
+                    // threads must never block on a sleeping wait).
+                    let mut fds: Vec<sys::pollfd> = Vec::new();
+                    let mut keys: Vec<Interest> = Vec::new();
+                    {
+                        let reg = registry.lock().expect("poller registry");
+                        fds.reserve(reg.len());
+                        for (&fd, &interest) in reg.iter() {
+                            let mut bits = 0i16;
+                            if interest.readable {
+                                bits |= sys::POLLIN;
+                            }
+                            if interest.writable {
+                                bits |= sys::POLLOUT;
+                            }
+                            fds.push(sys::pollfd {
+                                fd,
+                                events: bits,
+                                revents: 0,
+                            });
+                            keys.push(interest);
+                        }
+                    }
+                    loop {
+                        let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len(), ms) };
+                        if n >= 0 {
+                            break;
+                        }
+                        let err = last_err();
+                        if err.kind() != io::ErrorKind::Interrupted {
+                            return Err(err);
+                        }
+                    }
+                    for (pfd, interest) in fds.iter().zip(&keys) {
+                        let bits = pfd.revents;
+                        if bits == 0 {
+                            continue;
+                        }
+                        if interest.key == NOTIFY_KEY {
+                            self.drain_notify();
+                            continue;
+                        }
+                        let hup = bits & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+                        events.push(Event {
+                            key: interest.key,
+                            readable: bits & sys::POLLIN != 0 || hup,
+                            writable: bits & sys::POLLOUT != 0 || hup,
+                        });
+                    }
+                    Ok(events.len())
+                }
+            }
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            let buf = [1u8];
+            let n = unsafe { sys::write(self.notify_write, buf.as_ptr(), 1) };
+            if n == 1 {
+                return Ok(());
+            }
+            let err = last_err();
+            // A full pipe means a wake-up is already pending — done.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(err)
+            }
+        }
+
+        /// Empty the notify pipe so the next `notify` produces a fresh
+        /// edge (the pipe is nonblocking; stop on empty).
+        fn drain_notify(&self) {
+            let mut buf = [0u8; 64];
+            while unsafe { sys::read(self.notify_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                sys::close(self.notify_read);
+                sys::close(self.notify_write);
+                #[cfg(target_os = "linux")]
+                if let Backend::Epoll { epfd } = self.backend {
+                    sys::close(epfd);
+                }
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_bits(interest: Event) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= sys::epoll::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::epoll::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Non-Unix stub: the event-loop transport is Unix-only; every
+    //! operation reports `Unsupported` so the workspace still compiles
+    //! (the server falls back to the threaded transport there).
+    use super::Event;
+    use std::io;
+    use std::time::Duration;
+
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "readiness polling is unsupported on this platform",
+        )
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        pub fn portable() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        pub fn backend_name(&self) -> &'static str {
+            "unsupported"
+        }
+
+        pub fn add<T>(&self, _source: &T, _interest: Event) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn modify<T>(&self, _source: &T, _interest: Event) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn delete<T>(&self, _source: &T) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            Err(unsupported())
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+}
+
+/// A readiness poller over raw file descriptors. See the crate docs
+/// for backend selection and semantics; the API mirrors the subset of
+/// the upstream `polling` crate this workspace uses:
+///
+/// * [`new`](Poller::new) / [`portable`](Poller::portable) — create
+///   (env `ANYK_POLLER=poll` forces the portable backend);
+/// * [`add`](Poller::add) / [`modify`](Poller::modify) /
+///   [`delete`](Poller::delete) — manage per-fd interests (the fd must
+///   outlive its registration; sockets should be nonblocking);
+/// * [`wait`](Poller::wait) — block for readiness (or a timeout),
+///   filling a caller-owned `Vec<Event>`;
+/// * [`notify`](Poller::notify) — wake a concurrent `wait` from any
+///   thread.
+pub use imp::Poller;
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::{Event, Poller};
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// Both backends under one test body: epoll where available, and
+    /// the portable poll(2) path everywhere.
+    fn pollers() -> Vec<Poller> {
+        let mut v = vec![Poller::portable().expect("portable poller")];
+        if cfg!(target_os = "linux") {
+            // `new` may still pick poll if ANYK_POLLER=poll is set;
+            // either way it must work.
+            v.push(Poller::new().expect("default poller"));
+        }
+        v
+    }
+
+    #[test]
+    fn timeout_elapses_without_events() {
+        for poller in pollers() {
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .expect("wait");
+            assert_eq!(n, 0, "{}", poller.backend_name());
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocking_wait() {
+        for poller in pollers() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = std::sync::Arc::clone(&poller);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                waker.notify().expect("notify");
+            });
+            let mut events = Vec::new();
+            poller.wait(&mut events, None).expect("wait");
+            assert!(events.is_empty());
+            t.join().expect("notifier");
+        }
+    }
+
+    #[test]
+    fn listener_and_stream_readiness_round_trip() {
+        for poller in pollers() {
+            let name = poller.backend_name();
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.set_nonblocking(true).expect("nonblocking");
+            poller.add(&listener, Event::readable(7)).expect("add");
+
+            // A connection makes the listener readable.
+            let mut client =
+                TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert!(
+                events.iter().any(|e| e.key == 7 && e.readable),
+                "{name}: accept readiness, got {events:?}"
+            );
+            let (server_side, _) = listener.accept().expect("accept");
+            server_side.set_nonblocking(true).expect("nonblocking");
+
+            // A fresh stream is writable but not readable...
+            poller.add(&server_side, Event::all(9)).expect("add stream");
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.key == 9).expect("stream event");
+            assert!(ev.writable && !ev.readable, "{name}: {ev:?}");
+
+            // ...until the peer sends bytes (interest narrowed to
+            // reads so the always-writable side stops firing).
+            poller
+                .modify(&server_side, Event::readable(9))
+                .expect("modify");
+            client.write_all(b"ping").expect("send");
+            client.flush().expect("flush");
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.key == 9).expect("read event");
+            assert!(ev.readable, "{name}: {ev:?}");
+            let mut buf = [0u8; 8];
+            let mut s = &server_side;
+            assert_eq!(s.read(&mut buf).expect("read"), 4);
+
+            // Deleted fds stop reporting.
+            poller.delete(&server_side).expect("delete");
+            client.write_all(b"more").expect("send");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .expect("wait");
+            assert!(
+                events.iter().all(|e| e.key != 9),
+                "{name}: deleted fd fired {events:?}"
+            );
+            poller.delete(&listener).expect("delete listener");
+        }
+    }
+}

@@ -15,9 +15,11 @@
 //!   [`RankedStream`](engine::RankedStream).
 //! * [`serve`] — the query **service**: a textual ranked-CQ language
 //!   (`SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;`), per-session
-//!   cursor registries with TTL + admission control, and a line
-//!   protocol over TCP (or the in-process
-//!   [`LocalClient`](serve::LocalClient)).
+//!   cursor registries with shared TTL deadlines + admission control,
+//!   and a line protocol over TCP — an event-driven readiness
+//!   transport by default, thread-per-connection as the fallback —
+//!   or the in-process [`LocalClient`](serve::LocalClient). See
+//!   `docs/ARCHITECTURE.md` for the full layer map.
 //! * [`storage`] — relational substrate (values, relations, indexes,
 //!   tries).
 //! * [`query`] — conjunctive queries, hypergraphs, acyclicity,

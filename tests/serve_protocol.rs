@@ -6,10 +6,29 @@
 mod common;
 
 use anyk::prelude::*;
-use anyk::serve::{encode_answer, select_text, Response, Server, TcpClient};
+use anyk::serve::{
+    encode_answer, select_text, Response, Server, TcpClient, Transport, TransportConfig,
+};
 use common::gen::edge_rel;
 use common::oracle::{assert_matches_oracle, brute_force_ranked};
 use std::time::Duration;
+
+/// Both accept architectures: every wire-level test runs against each
+/// (and `Server::bind` additionally picks one via
+/// `ANYK_SERVE_TRANSPORT`, which CI exercises both ways).
+const TRANSPORTS: [Transport; 2] = [Transport::ThreadPerConn, Transport::EventLoop];
+
+fn bind(service: &Service, transport: Transport) -> Server {
+    Server::bind_with(
+        service.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            transport,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind")
+}
 
 /// The shared fixture edge set (dyadic weights, deliberate ties).
 fn fixture_edges() -> Vec<(i64, i64, f64)> {
@@ -122,29 +141,329 @@ fn server_pages_match_direct_streams_and_oracle_on_every_route() {
 #[test]
 fn tcp_and_local_transports_are_byte_identical() {
     let q = path_query(3);
+    for transport in TRANSPORTS {
+        // A fresh service per transport so cursor ids line up with the
+        // LocalClient's.
+        let (service, _) = service_for(&q, 3);
+        let mut server = bind(&service, transport);
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+        let mut local = LocalClient::new(&service);
+
+        let script = [
+            "SELECT R1(x0,x1), R2(x1,x2), R3(x2,x3) RANK BY sum LIMIT 4;".to_string(),
+            "NEXT 4 ON 0;".to_string(),
+            "EXPLAIN SELECT R1(a,b), R2(b,c) RANK BY max;".to_string(),
+            "SELECT R1(a,b) RANK BY lex LIMIT 2;".to_string(),
+            "CLOSE 1;".to_string(),
+            // Typed failures must render identically too.
+            "NEXT 5 ON 99;".to_string(),
+            "CLOSE 99;".to_string(),
+            "SELECT Nope(a,b);".to_string(),
+            "SELECT R1(a,b) RANK BY median;".to_string(),
+            "NONSENSE;".to_string(),
+        ];
+        for cmd in script {
+            let via_tcp = tcp.send(&cmd).expect("tcp round-trip");
+            let via_local = local.send(&cmd);
+            assert_eq!(
+                via_tcp, via_local,
+                "{transport:?}: transport divergence on `{cmd}`"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn framing_survives_partial_and_pipelined_segments_on_both_transports() {
+    let q = path_query(3);
+    for transport in TRANSPORTS {
+        let (service, _) = service_for(&q, 3);
+        let mut server = bind(&service, transport);
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+        // The expected bytes come from a LocalClient running the same
+        // commands against an identical fresh service.
+        let (reference, _) = service_for(&q, 3);
+        let mut local = LocalClient::new(&reference);
+
+        // One command dribbled in across four TCP segments.
+        for piece in [
+            "SELECT R1(x0,x1), R2(",
+            "x1,x2), R3(x2",
+            ",x3) RANK",
+            " BY sum LIMIT 3;\n",
+        ] {
+            tcp.send_raw(piece.as_bytes()).expect("partial write");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let got = tcp.read_reply().expect("reply after last segment");
+        let want = local.send("SELECT R1(x0,x1), R2(x1,x2), R3(x2,x3) RANK BY sum LIMIT 3;");
+        assert_eq!(got, want, "{transport:?}: partial-line framing");
+
+        // Three commands pipelined into one segment: three reply
+        // blocks, in order, byte-identical to the serial transcript.
+        tcp.send_raw(b"NEXT 2 ON 0;\nSTATS;\nCLOSE 0;\n")
+            .expect("pipelined write");
+        let got: Vec<String> = (0..3).map(|_| tcp.read_reply().expect("reply")).collect();
+        let want_next = local.send("NEXT 2 ON 0;");
+        let want_stats_header = "OK stats\n";
+        let want_close = local.send("CLOSE 0;");
+        assert_eq!(got[0], want_next, "{transport:?}: pipelined NEXT");
+        assert!(
+            got[1].starts_with(want_stats_header),
+            "{transport:?}: pipelined STATS: {}",
+            got[1]
+        );
+        assert_eq!(got[2], want_close, "{transport:?}: pipelined CLOSE");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn env_selected_default_bind_serves_the_protocol() {
+    // `Server::bind` picks its transport from ANYK_SERVE_TRANSPORT —
+    // this is the one test that goes through that path, so the CI
+    // reruns with the env pinned to each transport genuinely cover
+    // both accept architectures end-to-end.
+    let q = path_query(3);
     let (service, _) = service_for(&q, 3);
     let mut server = Server::bind(service.clone(), "127.0.0.1:0").expect("bind");
     let mut tcp = TcpClient::connect(server.addr()).expect("connect");
     let mut local = LocalClient::new(&service);
-
-    let script = [
-        "SELECT R1(x0,x1), R2(x1,x2), R3(x2,x3) RANK BY sum LIMIT 4;".to_string(),
-        "NEXT 4 ON 0;".to_string(),
-        "EXPLAIN SELECT R1(a,b), R2(b,c) RANK BY max;".to_string(),
-        "SELECT R1(a,b) RANK BY lex LIMIT 2;".to_string(),
-        "CLOSE 1;".to_string(),
-        // Typed failures must render identically too.
-        "NEXT 5 ON 99;".to_string(),
-        "CLOSE 99;".to_string(),
-        "SELECT Nope(a,b);".to_string(),
-        "SELECT R1(a,b) RANK BY median;".to_string(),
-        "NONSENSE;".to_string(),
-    ];
-    for cmd in script {
-        let via_tcp = tcp.send(&cmd).expect("tcp round-trip");
-        let via_local = local.send(&cmd);
-        assert_eq!(via_tcp, via_local, "transport divergence on `{cmd}`");
+    for cmd in [
+        "SELECT R1(x0,x1), R2(x1,x2), R3(x2,x3) RANK BY sum LIMIT 4;",
+        "NEXT 4 ON 0;",
+        "CLOSE 0;",
+        "STATS;",
+    ] {
+        let via_tcp = tcp.send(cmd).expect("tcp round-trip");
+        assert_eq!(via_tcp, local.send(cmd), "divergence on `{cmd}`");
     }
+    server.shutdown();
+}
+
+#[test]
+fn half_close_without_newline_still_serves_the_final_command() {
+    // `printf 'STATS;' | nc` — no trailing newline, client shuts its
+    // write half: the command must still get its reply on both
+    // transports (the framer flushes the partial line at EOF).
+    let q = path_query(3);
+    for transport in TRANSPORTS {
+        let (service, _) = service_for(&q, 3);
+        let mut server = bind(&service, transport);
+        let stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        std::io::Write::write_all(&mut writer, b"STATS;").expect("write");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut reply = String::new();
+        std::io::Read::read_to_string(&mut { stream }, &mut reply).expect("read");
+        assert!(
+            reply.starts_with("OK stats\n") && reply.ends_with("END\n"),
+            "{transport:?}: unterminated final command must be served: {reply:?}"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn oversized_lines_get_a_typed_proto_error_and_the_connection_survives() {
+    let q = path_query(3);
+    for transport in TRANSPORTS {
+        let (service, _) = service_for(&q, 3);
+        let mut server = Server::bind_with(
+            service.clone(),
+            "127.0.0.1:0",
+            TransportConfig {
+                transport,
+                max_line_len: 64,
+                ..TransportConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+
+        // A 200-byte monster line: one typed ERR block, then the
+        // connection keeps serving.
+        let monster = format!("SELECT {};\n", "R1(a,b), ".repeat(22));
+        assert!(monster.len() > 200);
+        tcp.send_raw(monster.as_bytes()).expect("oversized write");
+        assert_eq!(
+            tcp.read_reply().expect("proto error"),
+            "ERR proto: line exceeds 64 bytes\nEND\n",
+            "{transport:?}"
+        );
+        let stats = tcp.send("STATS;").expect("follow-up command");
+        assert!(stats.starts_with("OK stats\n"), "{transport:?}: {stats}");
+        server.shutdown();
+    }
+}
+
+#[test]
+fn event_loop_serves_concurrent_tcp_clients_byte_identically() {
+    let q = cycle_query(4);
+    let (service, _) = service_for(&q, 4);
+    let select = select_text(&q, RankSpec::Sum, Some(2));
+    let want: Vec<String> = service
+        .engine()
+        .prepare(q.clone(), RankSpec::Sum)
+        .expect("prepare")
+        .stream()
+        .map(|a| encode_answer(&a))
+        .collect();
+    assert!(want.len() > 4, "needs several pages to interleave");
+
+    let mut server = bind(&service, Transport::EventLoop);
+    let addr = server.addr();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let select = &select;
+                s.spawn(move || {
+                    let mut tcp = TcpClient::connect(addr).expect("connect");
+                    let mut rows = Vec::new();
+                    let mut reply = tcp.send(select).expect("select");
+                    loop {
+                        let header = reply.lines().next().expect("header").to_string();
+                        assert!(header.starts_with("OK "), "{reply}");
+                        rows.extend(
+                            reply
+                                .lines()
+                                .filter(|l| l.starts_with("ROW "))
+                                .map(String::from),
+                        );
+                        if header.contains("done=true") {
+                            return rows;
+                        }
+                        let cursor = header
+                            .split("cursor=")
+                            .nth(1)
+                            .and_then(|t| t.split_whitespace().next())
+                            .expect("cursor")
+                            .to_string();
+                        reply = tcp.send(&format!("NEXT 2 ON {cursor};")).expect("next");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("client thread"), want);
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.queries, 8);
+    assert_eq!(stats.open_cursors, 0, "drained cursors release slots");
+    server.shutdown();
+}
+
+#[test]
+fn silent_sessions_expired_cursors_are_reaped_through_the_shared_deadline_map() {
+    // The PR-4 gap, regression-pinned: a session that goes SILENT
+    // while holding cursors must not pin its admission slots past the
+    // TTL. The shared deadline map releases them from *outside* the
+    // owning session — here via the admission path of a different
+    // session's SELECT.
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::with_config(
+        engine,
+        ServiceConfig {
+            max_open_cursors: 1,
+            cursor_ttl: Duration::from_millis(30),
+            ..ServiceConfig::default()
+        },
+    );
+    let select = "SELECT R1(a,b), R2(b,c) LIMIT 1;";
+
+    // Session A holds the only admission slot... and goes silent.
+    let mut silent = service.session();
+    let Ok(Response::Page(page)) = silent.execute(select) else {
+        panic!("A's select")
+    };
+    let held = page.cursor.expect("live cursor");
+    assert_eq!(service.stats().open_cursors, 1);
+
+    // While A's cursor is fresh, another session is turned away (the
+    // admission sweep finds nothing expired).
+    let mut other = service.session();
+    assert_eq!(
+        other.execute(select),
+        Err(ServeError::AdmissionRejected { open: 1, max: 1 })
+    );
+
+    // Past the TTL — A still silent — admission's consult of the
+    // deadline map frees A's slot and the SELECT goes through.
+    std::thread::sleep(Duration::from_millis(60));
+    let resp = other.execute(select).expect("slot reaped by admission");
+    let Response::Page(page) = resp else { panic!() };
+    assert!(page.cursor.is_some(), "B owns the freed slot");
+    let stats = service.stats();
+    assert_eq!(stats.cursors_expired, 1, "A's cursor was reaped");
+    assert_eq!(stats.open_cursors, 1, "exactly B's cursor remains");
+
+    // When A finally speaks, its cursor reports *expired* (for NEXT
+    // and CLOSE alike) — and nothing double-releases.
+    assert_eq!(
+        silent.execute(&format!("NEXT 1 ON {held};")),
+        Err(ServeError::CursorExpired { cursor: held })
+    );
+    assert_eq!(
+        silent.execute(&format!("CLOSE {held};")),
+        Err(ServeError::CursorExpired { cursor: held })
+    );
+    drop(silent);
+    drop(other);
+    let stats = service.stats();
+    assert_eq!(stats.open_cursors, 0);
+    assert_eq!(
+        stats.cursors_opened,
+        stats.cursors_closed + stats.cursors_expired,
+        "lifecycle accounting balances: {stats:?}"
+    );
+}
+
+#[test]
+fn event_loop_tick_reaps_silent_connections_without_admission_pressure() {
+    // No admission pressure at all: the event loop's timer tick alone
+    // must sweep the deadline map while the client connection stays
+    // open but silent.
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::with_config(
+        engine,
+        ServiceConfig {
+            cursor_ttl: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut server = bind(&service, Transport::EventLoop);
+    let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+    let reply = tcp
+        .send("SELECT R1(a,b), R2(b,c) LIMIT 1;")
+        .expect("select");
+    assert!(reply.starts_with("OK cursor=0"), "{reply}");
+    assert_eq!(service.stats().open_cursors, 1);
+
+    // Stay connected, say nothing. The tick (100 ms cadence) reaps.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    loop {
+        let stats = service.stats();
+        if stats.open_cursors == 0 && stats.cursors_expired == 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tick never reaped: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The silent client's next command sees the typed expiry.
+    let reply = tcp.send("NEXT 1 ON 0;").expect("next");
+    assert_eq!(reply, "ERR cursor: cursor 0 expired\nEND\n");
     server.shutdown();
 }
 
