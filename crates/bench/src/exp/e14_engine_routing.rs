@@ -10,7 +10,7 @@
 //!    take the width-1.5 plans, the 5-cycle falls back to a GHD, all
 //!    through the same four lines of caller code.
 
-use crate::util::{banner, fmt_secs, time, Table};
+use crate::util::{banner, fmt_secs, time, write_bench_json, Json, Table};
 use anyk_core::part::AnyKPart;
 use anyk_core::ranking::SumCost;
 use anyk_core::succorder::SuccessorKind;
@@ -21,7 +21,13 @@ use anyk_storage::Relation;
 use anyk_workloads::graphs::WeightDist;
 use anyk_workloads::patterns::{cycle_instance, path_instance};
 
-fn engine_row(t: &mut Table, label: &str, q: &ConjunctiveQuery, rels: Vec<Relation>, k: usize) {
+fn engine_row(
+    t: &mut Table,
+    label: &str,
+    q: &ConjunctiveQuery,
+    rels: Vec<Relation>,
+    k: usize,
+) -> Json {
     let engine = Engine::from_query_bindings(q, rels);
     let plan = engine.query(q.clone()).explain().expect("plannable");
     let (mut stream, prep) = time(|| {
@@ -40,6 +46,14 @@ fn engine_row(t: &mut Table, label: &str, q: &ConjunctiveQuery, rels: Vec<Relati
         fmt_secs(run),
         n.to_string(),
     ]);
+    Json::obj([
+        ("workload", Json::Str(label.to_string())),
+        ("route", Json::Str(plan.route.label().to_string())),
+        ("width", Json::Num(plan.width)),
+        ("prep_s", Json::Num(prep)),
+        ("ttk_s", Json::Num(run)),
+        ("answers", Json::Int(n as u64)),
+    ])
 }
 
 pub fn run(scale: f64) {
@@ -52,8 +66,15 @@ pub fn run(scale: f64) {
     let nodes = (edges / 10).max(10) as u64;
 
     let mut t = Table::new(["workload", "route", "width", "prep", "TT(1k)", "answers"]);
+    let mut workloads = Vec::new();
     let path = path_instance(3, edges, nodes, WeightDist::Uniform, 23);
-    engine_row(&mut t, "path-3", &path.query, path.relations_clone(), k);
+    workloads.push(engine_row(
+        &mut t,
+        "path-3",
+        &path.query,
+        path.relations_clone(),
+        k,
+    ));
 
     // Cyclic shapes run on a sparser graph: their preprocessing is
     // O~(n^1.5) / O~(n^fhw).
@@ -61,7 +82,7 @@ pub fn run(scale: f64) {
     let cyc_nodes = ((cyc_edges / 5).max(10)) as u64;
     for (label, len) in [("triangle", 3usize), ("cycle-4", 4), ("cycle-5", 5)] {
         let (q, rels) = cycle_instance(len, cyc_edges, cyc_nodes, WeightDist::Uniform, None, 29);
-        engine_row(&mut t, label, &q, rels, k);
+        workloads.push(engine_row(&mut t, label, &q, rels, k));
     }
     t.print();
 
@@ -93,4 +114,22 @@ pub fn run(scale: f64) {
         "expected shape: same route costs as the hand-wired engines; \
          boxed dispatch within a small constant of direct calls"
     );
+
+    let doc = Json::obj([
+        ("experiment", Json::Str("E14".to_string())),
+        ("scale", Json::Num(scale)),
+        ("k", Json::Int(k as u64)),
+        ("edges", Json::Int(edges as u64)),
+        ("workloads", Json::Arr(workloads)),
+        (
+            "dispatch_overhead_path3",
+            Json::obj([
+                ("engine_s", Json::Num(te)),
+                ("hand_wired_s", Json::Num(th)),
+                ("ratio", Json::Num(te / th.max(1e-12))),
+                ("answers", Json::Int(ne as u64)),
+            ]),
+        ),
+    ]);
+    write_bench_json("BENCH_E14.json", &doc).expect("write BENCH_E14.json");
 }

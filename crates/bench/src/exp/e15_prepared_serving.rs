@@ -25,7 +25,7 @@
 //!    throughput (enumeration is embarrassingly parallel over the
 //!    shared immutable prepared state).
 
-use crate::util::{banner, fmt_secs, time, Table};
+use crate::util::{banner, fmt_secs, time, write_bench_json, Json, Table};
 use anyk_core::cyclic::{wco_ranked_materialize, SortedAnswers};
 use anyk_core::SumCost;
 use anyk_engine::{AnyKVariant, Engine, RankSpec};
@@ -278,6 +278,7 @@ pub fn run(scale: f64) {
         "scaling vs 1 thread",
     ]);
     let mut base_rate = 0.0f64;
+    let mut scaling_rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let (total, wall) = time(|| {
             thread::scope(|s| {
@@ -304,6 +305,13 @@ pub fn run(scale: f64) {
             format!("{rate:.0}"),
             format!("{:.2}x", rate / base_rate.max(1e-12)),
         ]);
+        scaling_rows.push(Json::obj([
+            ("threads", Json::Int(threads as u64)),
+            ("answers", Json::Int(total as u64)),
+            ("wall_s", Json::Num(wall)),
+            ("answers_per_s", Json::Num(rate)),
+            ("scaling_vs_1", Json::Num(rate / base_rate.max(1e-12))),
+        ]));
     }
     t.print();
     let cores = thread::available_parallelism().map_or(1, |n| n.get());
@@ -312,4 +320,43 @@ pub fn run(scale: f64) {
          cold TTF pays full preprocessing; throughput scales with cores ({cores} \
          available here) since streams share immutable prepared state without locks"
     );
+
+    let doc = Json::obj([
+        ("experiment", Json::Str("E15".to_string())),
+        ("scale", Json::Num(scale)),
+        ("n_rows", Json::Int(n_total as u64)),
+        ("k", Json::Int(k as u64)),
+        (
+            "acyclic",
+            Json::obj([
+                ("cold_ttf_s", Json::Num(cold_ttf)),
+                ("prepare_once_s", Json::Num(prep_time)),
+                ("prepared_ttf_s", Json::Num(prep_ttf)),
+                ("cached_plan_ttf_s", Json::Num(cached_ttf)),
+                ("cold_over_prepared", Json::Num(speedup)),
+            ]),
+        ),
+        (
+            "rec",
+            Json::obj([
+                ("cold_ttf_s", Json::Num(rec_cold_ttf)),
+                ("prepared_ttf_s", Json::Num(rec_prep_ttf)),
+                ("cold_over_prepared", Json::Num(rec_speedup)),
+            ]),
+        ),
+        (
+            "triangle_deferred_sort",
+            Json::obj([
+                ("answers_materialized", Json::Int(r as u64)),
+                ("materialize_s", Json::Num(tri_prep_time)),
+                ("first_stream_topk_s", Json::Num(tri_first_ttf)),
+                ("second_stream_sort_s", Json::Num(tri_second_ttf)),
+                ("third_stream_cursor_s", Json::Num(tri_cursor_ttf)),
+                ("sort_then_stream_baseline_s", Json::Num(sort_ttf)),
+            ]),
+        ),
+        ("concurrency", Json::Arr(scaling_rows)),
+        ("cores", Json::Int(cores as u64)),
+    ]);
+    write_bench_json("BENCH_E15.json", &doc).expect("write BENCH_E15.json");
 }

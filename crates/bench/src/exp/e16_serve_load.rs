@@ -30,7 +30,7 @@
 //! non-zero, zero cursors leak, hits outnumber misses, and the
 //! silent session's slot is reaped.
 
-use crate::util::{banner, fmt_secs, time, Table};
+use crate::util::{banner, fmt_secs, time, write_bench_json, Json, Table};
 use anyk_engine::{Engine, RankSpec};
 use anyk_query::cq::{cycle_query, path_query, ConjunctiveQuery};
 use anyk_serve::{
@@ -153,6 +153,7 @@ pub fn run(scale: f64) {
         "TTF p95",
         "TTF p99",
     ]);
+    let mut round_rows = Vec::new();
     for &clients in client_counts {
         let ttfs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
         let (total_answers, wall) = time(|| {
@@ -196,6 +197,19 @@ pub fn run(scale: f64) {
             fmt_secs(pct(0.95)),
             fmt_secs(pct(0.99)),
         ]);
+        round_rows.push(Json::obj([
+            ("clients", Json::Int(clients as u64)),
+            ("queries", Json::Int((clients * queries_per_client) as u64)),
+            ("answers", Json::Int(total_answers as u64)),
+            ("wall_s", Json::Num(wall)),
+            (
+                "answers_per_s",
+                Json::Num(total_answers as f64 / wall.max(1e-12)),
+            ),
+            ("ttf_p50_s", Json::Num(pct(0.50))),
+            ("ttf_p95_s", Json::Num(pct(0.95))),
+            ("ttf_p99_s", Json::Num(pct(0.99))),
+        ]));
     }
     table.print();
 
@@ -206,6 +220,7 @@ pub fn run(scale: f64) {
     for line in stats_text.lines().filter(|l| l.starts_with("INFO ")) {
         println!("  {}", &line[5..]);
     }
+    let mut server_histograms: Vec<(String, Json)> = Vec::new();
     for field in [
         "ttf_p50_us",
         "ttf_p95_us",
@@ -225,6 +240,7 @@ pub fn run(scale: f64) {
             value > 0,
             "{field} must be non-zero after a load round (got {stats_text})"
         );
+        server_histograms.push((field.to_string(), Json::Int(value)));
     }
     let stats = service.stats();
     assert!(
@@ -254,6 +270,35 @@ pub fn run(scale: f64) {
         stats.cache.misses,
         stats.cache.evictions
     );
+
+    let doc = Json::obj([
+        ("experiment", Json::Str("E16".to_string())),
+        ("scale", Json::Num(scale)),
+        ("edges", Json::Int(edges as u64)),
+        ("queries_per_client", Json::Int(queries_per_client as u64)),
+        ("combos", Json::Int(combos.len() as u64)),
+        ("prepare_s", Json::Num(prep_time)),
+        ("rounds", Json::Arr(round_rows)),
+        ("server_histograms", Json::Obj(server_histograms)),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Int(stats.cache.hits)),
+                ("misses", Json::Int(stats.cache.misses)),
+                ("evictions", Json::Int(stats.cache.evictions)),
+            ]),
+        ),
+        (
+            "cursors",
+            Json::obj([
+                ("opened", Json::Int(stats.cursors_opened)),
+                ("closed", Json::Int(stats.cursors_closed)),
+                ("expired", Json::Int(stats.cursors_expired)),
+                ("leaked_open", Json::Int(stats.open_cursors as u64)),
+            ]),
+        ),
+    ]);
+    write_bench_json("BENCH_E16.json", &doc).expect("write BENCH_E16.json");
 
     silent_session_scene();
 }

@@ -66,7 +66,7 @@ use anyk_query::cq::ConjunctiveQuery;
 use anyk_query::cycles::{cycle_length, cycle_submodular_width, heavy_threshold};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
 use anyk_storage::{Catalog, FxHashMap, Relation};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The unified, planner-routed engine for ranked enumeration.
 ///
@@ -374,7 +374,7 @@ impl Engine {
         self.shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .set_capacity(capacity);
         self
     }
@@ -384,7 +384,7 @@ impl Engine {
         self.shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .capacity
     }
 
@@ -401,6 +401,7 @@ impl Engine {
     /// with known-good bindings; servers handling untrusted input
     /// should use the fallible form.
     pub fn from_query_bindings(q: &ConjunctiveQuery, rels: Vec<Relation>) -> Self {
+        // LINT-ALLOW(no-panic-hot-path): documented panicking convenience; servers use try_from_query_bindings.
         Engine::try_from_query_bindings(q, rels).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -468,9 +469,18 @@ impl Engine {
     /// closure receives the up-to-date catalog as its argument.
     pub fn update_catalog<F: FnOnce(&mut Catalog)>(&self, f: F) {
         {
-            let mut st = self.shared.catalog.write().expect("catalog lock poisoned");
-            f(Arc::make_mut(&mut st.catalog));
+            let mut st = self
+                .shared
+                .catalog
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Bump the epoch *before* running the closure: if `f`
+            // panics mid-mutation, the poisoned state is recovered (see
+            // the `unwrap_or_else` above), and the already-bumped epoch
+            // guarantees no cached plan built against the old catalog
+            // can ever be served against the half-updated one.
             st.epoch += 1;
+            f(Arc::make_mut(&mut st.catalog));
         }
         // Outside the write lock: eagerly drop stale entries. Purely an
         // eviction — correctness comes from the epoch check on every
@@ -479,7 +489,7 @@ impl Engine {
         self.shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clear();
     }
 
@@ -492,7 +502,11 @@ impl Engine {
 
     /// Number of prepared plans currently cached (diagnostics).
     pub fn cached_plans(&self) -> usize {
-        self.shared.cache.lock().expect("cache lock poisoned").len()
+        self.shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// A snapshot of the plan-cache counters: hits, misses, capacity
@@ -501,7 +515,11 @@ impl Engine {
     /// all clones) and are **not** reset by catalog updates — an epoch
     /// purge empties the cache but keeps the history.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.shared.cache.lock().expect("cache lock poisoned");
+        let cache = self
+            .shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: cache.hits,
             misses: cache.misses,
@@ -539,7 +557,11 @@ impl Engine {
     }
 
     fn read_state(&self) -> (Arc<Catalog>, u64) {
-        let st = self.shared.catalog.read().expect("catalog lock poisoned");
+        let st = self
+            .shared
+            .catalog
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         (Arc::clone(&st.catalog), st.epoch)
     }
 
@@ -555,7 +577,11 @@ impl Engine {
         let mut key = CacheKey::new(cq, rank, opts);
         let (catalog, epoch) = self.read_state();
         {
-            let mut cache = self.shared.cache.lock().expect("cache lock poisoned");
+            let mut cache = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(hit) = cache.get(&key) {
                 if hit.epoch() == epoch {
                     let served = hit.adopt_variant(opts.variant);
@@ -597,7 +623,7 @@ impl Engine {
         self.shared
             .cache
             .lock()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, prepared.clone());
         Ok(prepared)
     }

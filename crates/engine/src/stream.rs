@@ -26,6 +26,7 @@ impl RankedAnswer {
     /// use [`RankedAnswer::try_ints`] instead.
     pub fn ints(&self) -> Vec<i64> {
         self.try_ints()
+            // LINT-ALLOW(no-panic-hot-path): documented panicking convenience; servers use try_ints.
             .expect("RankedAnswer::ints on non-Int values; use try_ints")
     }
 

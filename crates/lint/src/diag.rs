@@ -1,0 +1,69 @@
+//! Diagnostics: what a rule reports, with severity and position.
+
+use std::fmt;
+
+/// How bad a finding is. Errors fail the build (`anyk-lint` exits
+/// non-zero); warnings print but pass — the tier for heuristics whose
+/// false-positive rate is not zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: `file:line:col: severity [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    pub severity: Severity,
+    /// The rule id (`unsafe-needs-safety`, ...).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.file, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grep_friendly() {
+        let d = Diagnostic {
+            file: "crates/server/src/tcp.rs".to_string(),
+            line: 321,
+            col: 40,
+            severity: Severity::Error,
+            rule: "wire-encoder-discipline",
+            message: "protocol literal outside wire.rs/frame.rs".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/server/src/tcp.rs:321:40: error [wire-encoder-discipline] \
+             protocol literal outside wire.rs/frame.rs"
+        );
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

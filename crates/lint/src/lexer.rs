@@ -1,0 +1,492 @@
+//! A small Rust lexer: just enough token structure for lexical
+//! lint rules, with exact `line:col` positions.
+//!
+//! What it gets right (because the rules depend on it):
+//!
+//! * comments — line (`//`, `///`, `//!`) and block (`/* */`, nested)
+//!   — are *not* tokens; they are collected separately so rules can
+//!   look for `// SAFETY:` and `// LINT-ALLOW(...)` annotations
+//!   without ever mistaking commented-out code for live code;
+//! * string literals in every Rust flavor — `"…"`, `b"…"`, `r"…"`,
+//!   `r#"…"#` (any `#` depth), `br#"…"#` — become single [`Tok::Str`]
+//!   tokens carrying their raw content, so a protocol literal inside
+//!   a string never leaks tokens and a `//` inside a string never
+//!   starts a comment;
+//! * char literals vs lifetimes — `'a'` is a literal, `'a` is a
+//!   lifetime — so a lint scanning for identifiers is not derailed by
+//!   `'static`;
+//! * raw identifiers (`r#match`) lex as identifiers, not raw strings.
+//!
+//! Everything else (numbers, punctuation) is kept deliberately loose:
+//! the rules only pattern-match identifiers, strings, and punctuation
+//! shapes, never numeric values.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `fn`, `Instant`, ...).
+    Ident(String),
+    /// A string literal's raw content (quotes and any `r#` framing
+    /// stripped; escape sequences left unprocessed).
+    Str(String),
+    /// A char or byte literal (content not needed by any rule).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (value not needed by any rule).
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A comment (line or block) with its 1-based line span and text
+/// (comment markers stripped for line comments; raw for block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line_start: u32,
+    pub line_end: u32,
+    pub text: String,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while<F: Fn(u8) -> bool>(&mut self, f: F) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if f(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.pos - start
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// How many `#` would follow at `ahead`, and whether a `"` follows
+/// them — the raw-string opener test for `r`/`br` prefixes.
+fn raw_string_follows(c: &Cursor<'_>, ahead: usize) -> Option<usize> {
+    let mut hashes = 0;
+    while c.peek(ahead + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    (c.peek(ahead + hashes) == Some(b'"')).then_some(hashes)
+}
+
+/// Lex `src` into tokens + comments. Never fails: unterminated
+/// constructs run to end-of-file (the compiler reports those; the
+/// linter only needs to stay aligned on well-formed code).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                let start = c.pos;
+                c.eat_while(|b| b != b'\n');
+                let mut text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                // Strip the `//`, `///`, or `//!` marker.
+                let trimmed = text
+                    .trim_start_matches('/')
+                    .trim_start_matches('!')
+                    .to_string();
+                text = trimmed;
+                out.comments.push(Comment {
+                    line_start: line,
+                    line_end: line,
+                    text,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    line_start: line,
+                    line_end: c.line,
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                });
+            }
+            b'"' => {
+                let content = lex_cooked_string(&mut c);
+                out.tokens.push(Token {
+                    kind: Tok::Str(content),
+                    line,
+                    col,
+                });
+            }
+            b'r' => {
+                if let Some(hashes) = raw_string_follows(&c, 1) {
+                    c.bump(); // r
+                    let content = lex_raw_string(&mut c, hashes);
+                    out.tokens.push(Token {
+                        kind: Tok::Str(content),
+                        line,
+                        col,
+                    });
+                } else {
+                    // `r#ident` or a plain identifier starting with r.
+                    if c.peek(1) == Some(b'#') {
+                        c.bump();
+                        c.bump();
+                    }
+                    lex_ident(&mut c, &mut out, line, col);
+                }
+            }
+            b'b' => {
+                if c.peek(1) == Some(b'"') {
+                    c.bump(); // b
+                    let content = lex_cooked_string(&mut c);
+                    out.tokens.push(Token {
+                        kind: Tok::Str(content),
+                        line,
+                        col,
+                    });
+                } else if c.peek(1) == Some(b'\'') {
+                    c.bump(); // b
+                    lex_char(&mut c);
+                    out.tokens.push(Token {
+                        kind: Tok::Char,
+                        line,
+                        col,
+                    });
+                } else if c.peek(1) == Some(b'r') {
+                    if let Some(hashes) = raw_string_follows(&c, 2) {
+                        c.bump(); // b
+                        c.bump(); // r
+                        let content = lex_raw_string(&mut c, hashes);
+                        out.tokens.push(Token {
+                            kind: Tok::Str(content),
+                            line,
+                            col,
+                        });
+                    } else {
+                        lex_ident(&mut c, &mut out, line, col);
+                    }
+                } else {
+                    lex_ident(&mut c, &mut out, line, col);
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'X'` / `'\…'` are chars;
+                // `'ident` with no closing quote is a lifetime.
+                if c.peek(1) == Some(b'\\') {
+                    lex_char(&mut c);
+                    out.tokens.push(Token {
+                        kind: Tok::Char,
+                        line,
+                        col,
+                    });
+                } else if c.peek(2) == Some(b'\'')
+                    && c.peek(1).is_some_and(|x| x != b'\'' && x != b'\n')
+                {
+                    c.bump();
+                    c.bump();
+                    c.bump();
+                    out.tokens.push(Token {
+                        kind: Tok::Char,
+                        line,
+                        col,
+                    });
+                } else {
+                    c.bump(); // '
+                    c.eat_while(is_ident_continue);
+                    out.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                        col,
+                    });
+                }
+            }
+            b if is_ident_start(b) => lex_ident(&mut c, &mut out, line, col),
+            b if b.is_ascii_digit() => {
+                // Loose number scan: digits, radix/exponent letters,
+                // `_`, and a `.` only when a digit follows (so `1.0`
+                // is one token but `1.max(2)` keeps its method dot).
+                c.bump();
+                loop {
+                    match c.peek(0) {
+                        Some(x) if x.is_ascii_alphanumeric() || x == b'_' => {
+                            c.bump();
+                        }
+                        Some(b'.') if c.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                            c.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: Tok::Num,
+                    line,
+                    col,
+                });
+            }
+            other => {
+                c.bump();
+                out.tokens.push(Token {
+                    kind: Tok::Punct(other as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(c: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    let start = c.pos;
+    c.eat_while(is_ident_continue);
+    let text = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+    out.tokens.push(Token {
+        kind: Tok::Ident(text),
+        line,
+        col,
+    });
+}
+
+/// Consume a `"…"` literal (opening quote at the cursor); returns the
+/// raw content between the quotes.
+fn lex_cooked_string(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening "
+    let start = c.pos;
+    loop {
+        match c.peek(0) {
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b'"') => {
+                let content = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                c.bump();
+                return content;
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => return String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        }
+    }
+}
+
+/// Consume a raw string body: cursor on the first `#` or the `"`;
+/// `hashes` is the `#` count. Returns the content.
+fn lex_raw_string(c: &mut Cursor<'_>, hashes: usize) -> String {
+    for _ in 0..hashes {
+        c.bump();
+    }
+    c.bump(); // opening "
+    let start = c.pos;
+    loop {
+        match c.peek(0) {
+            Some(b'"') => {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if c.peek(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let content = String::from_utf8_lossy(&c.src[start..c.pos]).into_owned();
+                    c.bump();
+                    for _ in 0..hashes {
+                        c.bump();
+                    }
+                    return content;
+                }
+                c.bump();
+            }
+            Some(_) => {
+                c.bump();
+            }
+            None => return String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        }
+    }
+}
+
+/// Consume a char/byte literal (cursor on the opening `'`).
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // '
+    loop {
+        match c.peek(0) {
+            Some(b'\\') => {
+                c.bump();
+                c.bump();
+            }
+            Some(b'\'') => {
+                c.bump();
+                return;
+            }
+            Some(b'\n') | None => return,
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn strings(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unsafe unwrap() \"ERR \"\n/* panic! */ let y;");
+        assert!(idents("let x = 1; // unsafe\nlet y;").contains(&"let".to_string()));
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Ident(s) if s == "unsafe" || s == "panic")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn string_flavors_lex_as_single_tokens() {
+        assert_eq!(strings(r#"let s = "OK cursor=0";"#), vec!["OK cursor=0"]);
+        assert_eq!(strings(r##"let s = r"raw \ no escapes";"##).len(), 1);
+        assert_eq!(
+            strings(r###"let s = r#"with "quotes" inside"#;"###),
+            vec![r#"with "quotes" inside"#]
+        );
+        assert_eq!(strings(r#"let b = b"bytes";"#), vec!["bytes"]);
+        // A `//` inside a string must not start a comment.
+        let l = lex(r#"let url = "http://x"; let y = 1;"#);
+        assert!(l.comments.is_empty());
+        assert!(idents(r#"let url = "http://x"; let y = 1;"#).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count();
+        let chars = l.tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert!(idents("let r#match = 1;").contains(&"match".to_string()));
+        assert!(strings("let r#match = 1;").is_empty());
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let ids = idents("let x = 1.max(2); let y = 0x1f; let z = 1.5e-3;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,162 @@
+//! anyk-lint: in-tree static analysis enforcing the serving stack's
+//! invariants.
+//!
+//! A deliberately dependency-free pass (no `syn`, no regex, no
+//! network) over the workspace's own source: a small Rust lexer that
+//! correctly skips comments, strings, and raw strings feeds six
+//! project-specific rules (see [`rules`]). Diagnostics carry
+//! `file:line:col`, a severity, and a rule id; authors can silence a
+//! finding with `// LINT-ALLOW(rule): reason` on the offending line or
+//! the line above.
+//!
+//! Runs two ways, on the same code path:
+//! - `cargo run -p anyk-lint -- --workspace` (the CI gate), and
+//! - as a `#[test]` (`crates/lint/tests/self_lint.rs`), so a plain
+//!   `cargo test` refuses violations too.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::{Diagnostic, Severity};
+pub use source::SourceFile;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source under its workspace-relative path
+/// (`/`-separated, e.g. `crates/server/src/tcp.rs`). Returns the
+/// post-suppression diagnostics, sorted by position; malformed or
+/// unknown-rule `LINT-ALLOW` comments are themselves reported (rule
+/// `lint-allow`) so a typo cannot silently disable nothing.
+pub fn lint_source(relpath: &str, source: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(relpath, source);
+    let mut out: Vec<Diagnostic> = rules::run_all(&file)
+        .into_iter()
+        .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .collect();
+    for (line, message) in &file.bad_allows {
+        out.push(Diagnostic {
+            file: relpath.to_string(),
+            line: *line,
+            col: 1,
+            severity: Severity::Error,
+            rule: "lint-allow",
+            message: message.clone(),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// The `.rs` files the workspace pass scans: `crates/*/src/**` (and
+/// `crates/shims/*/src/**`) plus the root facade `src/**`. Test
+/// directories (`tests/`, `benches/`) and the lint fixtures are
+/// deliberately outside the walk — fixtures *contain* violations.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        collect_crate_srcs(&crates, &mut out)?;
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// For each subdirectory of `dir` that has a `src/`, collect its `.rs`
+/// files; recurse one level for nested crate roots like `crates/shims/*`.
+fn collect_crate_srcs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            collect_rs(&src, out)?;
+        } else {
+            collect_crate_srcs(&path, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`; diagnostics come back
+/// sorted by (file, line, col).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_files(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(lint_source(&rel, &source));
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(out)
+}
+
+/// True if any diagnostic is an [`Severity::Error`] — the exit-code
+/// predicate shared by the CLI and the self-lint test.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_exactly_the_named_rule() {
+        let src = "\
+// LINT-ALLOW(no-panic-hot-path): demo.
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+fn g(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let diags = lint_source("crates/server/src/demo.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn bad_allow_is_itself_a_diagnostic() {
+        let src = "// LINT-ALLOW(nonexistent-rule): why not.\nfn f() {}\n";
+        let diags = lint_source("crates/core/src/demo.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint-allow");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn diagnostics_are_position_sorted() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+fn g(x: Option<u32>) -> u32 { x.expect(\"no\") }
+";
+        let diags = lint_source("crates/engine/src/demo.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].line < diags[1].line);
+    }
+}

@@ -1,0 +1,112 @@
+//! `anyk-lint` CLI: `cargo run -p anyk-lint -- --workspace`.
+//!
+//! Exit status: 0 when no error-severity findings, 1 otherwise, 2 on
+//! usage/IO problems. Output is one grep-friendly line per finding:
+//! `file:line:col: severity [rule] message`.
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use anyk_lint::{has_errors, lint_workspace, Severity};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: anyk-lint --workspace [--root <dir>]\n\
+         \n\
+         Lints every crate's src/ (plus the root facade) against the\n\
+         serving stack's invariants. Suppress a finding with\n\
+         `// LINT-ALLOW(rule): reason` on or above the offending line."
+    );
+    ExitCode::from(2)
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    if !workspace {
+        return usage();
+    }
+    let root = match root_arg {
+        Some(dir) => dir,
+        None => {
+            let cwd = match env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("anyk-lint: cannot read current dir: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!(
+                        "anyk-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match lint_workspace(&root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("anyk-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    println!(
+        "anyk-lint: {errors} error{}, {warnings} warning{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    );
+    if has_errors(&diags) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

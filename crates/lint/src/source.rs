@@ -1,0 +1,337 @@
+//! The per-file analysis context rules run against: the token stream,
+//! the comments, which lines are test code, and which diagnostics the
+//! author suppressed with `// LINT-ALLOW(rule): reason`.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, Token};
+use crate::rules::RULE_IDS;
+
+/// A half-open line range `[start, end]` (inclusive) of test code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineRange {
+    start: u32,
+    end: u32,
+}
+
+/// One parsed `LINT-ALLOW` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rules it names (comma-separated in the comment).
+    pub rules: Vec<String>,
+    /// The line the comment sits on — it silences findings on this
+    /// line and the next code line.
+    pub line: u32,
+    /// The justification after the `:` (must be non-empty).
+    pub reason: String,
+}
+
+/// A lexed, analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    lexed: Lexed,
+    test_ranges: Vec<LineRange>,
+    suppressions: Vec<Suppression>,
+    /// Malformed/unknown-rule LINT-ALLOW comments (reported by the
+    /// engine so a typo cannot silently disable nothing).
+    pub bad_allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// Lex and analyze `source` under the given workspace-relative
+    /// path.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let (suppressions, bad_allows) = find_suppressions(&lexed.comments);
+        SourceFile {
+            path: path.to_string(),
+            lexed,
+            test_ranges,
+            suppressions,
+            bad_allows,
+        }
+    }
+
+    /// All tokens, including those inside test code.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// All comments.
+    pub fn comments(&self) -> &[Comment] {
+        &self.lexed.comments
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` module or a
+    /// `#[test]` function body.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|r| r.start <= line && line <= r.end)
+    }
+
+    /// True when a `LINT-ALLOW(rule)` annotation covers `line` — the
+    /// annotation's own line or the line directly below it (the usual
+    /// comment-above-the-code placement).
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule))
+    }
+
+    /// The contiguous line-comment block ending on `line` (used for
+    /// `// SAFETY:` lookup): text of comments on `line`, `line-1`, ...
+    /// down to the first non-comment line.
+    pub fn comment_block_ending_at(&self, line: u32) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut want = line;
+        // Walk comments from the back; they are in source order.
+        for c in self.lexed.comments.iter().rev() {
+            if c.line_end > want {
+                continue;
+            }
+            if c.line_end == want || (c.line_start <= want && want <= c.line_end) {
+                parts.push(&c.text);
+                want = c.line_start.saturating_sub(1);
+            } else {
+                break;
+            }
+        }
+        parts.reverse();
+        parts.join("\n")
+    }
+}
+
+/// Scan for `#[test]` / `#[cfg(test)]`-guarded items and return the
+/// line ranges of their bodies. Attribute → skip further attributes →
+/// find the item's `{` before any top-level `;` → match braces.
+fn find_test_ranges(tokens: &[Token]) -> Vec<LineRange> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some((attr_is_test, after_attr)) = parse_attribute(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut j = after_attr;
+        while j < tokens.len() && tokens[j].kind == Tok::Punct('#') {
+            match parse_attribute(tokens, j) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        // Find the item body's opening brace; a `;` first means the
+        // attribute guards a bodyless item (a `use`, a field) — skip.
+        let mut k = j;
+        let mut open = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                Tok::Punct('{') => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => k += 1,
+            }
+        }
+        let Some(open) = open else {
+            i = j;
+            continue;
+        };
+        // Match braces to the close.
+        let mut depth = 0i32;
+        let mut close = open;
+        for (idx, t) in tokens.iter().enumerate().skip(open) {
+            match t.kind {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = idx;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        ranges.push(LineRange {
+            start: tokens[i].line,
+            end: tokens[close].line,
+        });
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Parse an attribute starting at `#` (index `i`); returns
+/// `(is_test_attribute, index_after_closing_bracket)`. A test
+/// attribute is `#[test]`, `#[cfg(test)]`, or any `cfg(...)`
+/// containing `test` not guarded by `not(`.
+fn parse_attribute(tokens: &[Token], i: usize) -> Option<(bool, usize)> {
+    let mut j = i + 1;
+    // `#![...]` inner attributes too.
+    if tokens.get(j).map(|t| &t.kind) == Some(&Tok::Punct('!')) {
+        j += 1;
+    }
+    if tokens.get(j).map(|t| &t.kind) != Some(&Tok::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut rendered = String::new();
+    let mut k = j;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            Tok::Punct('[') => {
+                depth += 1;
+                if depth > 1 {
+                    rendered.push('[');
+                }
+            }
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = rendered == "test"
+                        || (rendered.contains("test")
+                            && rendered.contains("cfg(")
+                            && !rendered.contains("not(test"));
+                    return Some((is_test, k + 1));
+                }
+                rendered.push(']');
+            }
+            Tok::Ident(s) => rendered.push_str(s),
+            Tok::Punct(c) => rendered.push(*c),
+            Tok::Str(_) => rendered.push('s'),
+            _ => rendered.push('.'),
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Extract `LINT-ALLOW(rule[, rule...]): reason` annotations from the
+/// comment list; malformed ones (missing reason, unknown rule) are
+/// returned separately for the engine to report. The annotation must
+/// *start* the comment — prose that merely mentions the syntax (like
+/// this sentence) is not an annotation.
+fn find_suppressions(comments: &[Comment]) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim_start().strip_prefix("LINT-ALLOW") else {
+            continue;
+        };
+        let parsed = (|| {
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = rest[close + 1..].strip_prefix(':')?;
+            let reason = tail.trim();
+            if rules.is_empty() || reason.is_empty() {
+                return None;
+            }
+            Some((rules, reason.to_string()))
+        })();
+        match parsed {
+            Some((rules, reason)) => {
+                if let Some(unknown) = rules.iter().find(|r| !RULE_IDS.contains(&r.as_str())) {
+                    bad.push((
+                        c.line_end,
+                        format!("LINT-ALLOW names unknown rule `{unknown}`"),
+                    ));
+                } else {
+                    ok.push(Suppression {
+                        rules,
+                        line: c.line_end,
+                        reason,
+                    });
+                }
+            }
+            None => bad.push((
+                c.line_end,
+                "malformed LINT-ALLOW: expected `LINT-ALLOW(rule): reason` \
+                 with a non-empty reason"
+                    .to_string(),
+            )),
+        }
+    }
+    (ok, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_code() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    boom();\n}\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() {\n    body();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_open_a_range() {
+        let src = "#[cfg(test)]\nuse proptest::prelude::*;\nfn live() {\n    body();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(4));
+    }
+
+    #[test]
+    fn suppression_parses_and_covers_next_line() {
+        let src = "// LINT-ALLOW(no-panic-hot-path): documented panicking constructor.\nfn f() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_suppressed("no-panic-hot-path", 1));
+        assert!(f.is_suppressed("no-panic-hot-path", 2));
+        assert!(!f.is_suppressed("no-panic-hot-path", 3));
+        assert!(!f.is_suppressed("unsafe-needs-safety", 2));
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn malformed_or_unknown_suppressions_are_reported() {
+        let f = SourceFile::parse("x.rs", "// LINT-ALLOW(no-panic-hot-path):\nfn f() {}\n");
+        assert_eq!(f.bad_allows.len(), 1, "missing reason");
+        let f = SourceFile::parse("x.rs", "// LINT-ALLOW(not-a-rule): because.\nfn f() {}\n");
+        assert_eq!(f.bad_allows.len(), 1, "unknown rule");
+    }
+
+    #[test]
+    fn comment_block_lookup_spans_contiguous_lines() {
+        let src = "// SAFETY: part one\n// and part two.\nunsafe { x() }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let block = f.comment_block_ending_at(2);
+        assert!(block.contains("SAFETY:"));
+        assert!(block.contains("part two"));
+        assert_eq!(f.comment_block_ending_at(1), " SAFETY: part one");
+    }
+}

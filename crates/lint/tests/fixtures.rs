@@ -1,0 +1,100 @@
+//! The fixture corpus: for every rule, each `firing*.rs` fixture must
+//! produce at least one error *of that rule* (and nothing from any
+//! other rule — cross-contamination would mean a rule's scope leaks),
+//! and each `clean*.rs` fixture must produce no diagnostics at all.
+//!
+//! Fixtures are never compiled and never scanned by the workspace walk
+//! (which only visits `crates/*/src/`); each declares the virtual
+//! workspace path it should be linted under on its first line:
+//! `// virtual path: crates/server/src/demo.rs`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use anyk_lint::{has_errors, lint_source, rules::RULE_IDS};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The `// virtual path: ...` header every fixture starts with.
+fn virtual_path(source: &str) -> String {
+    let first = source.lines().next().expect("fixture is non-empty");
+    first
+        .strip_prefix("// virtual path: ")
+        .unwrap_or_else(|| panic!("fixture missing `// virtual path:` header: {first:?}"))
+        .trim()
+        .to_string()
+}
+
+fn fixture_files(rule: &str, prefix: &str) -> Vec<PathBuf> {
+    let dir = fixtures_root().join(rule);
+    let mut out: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("fixture dir {}: {e}", dir.display()))
+        .map(|e| e.expect("read_dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".rs"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_rule_has_firing_and_clean_fixtures() {
+    for rule in RULE_IDS {
+        assert!(
+            !fixture_files(rule, "firing").is_empty(),
+            "rule {rule} has no firing fixture"
+        );
+        assert!(
+            !fixture_files(rule, "clean").is_empty(),
+            "rule {rule} has no clean fixture"
+        );
+    }
+}
+
+#[test]
+fn firing_fixtures_fire_their_rule_and_only_their_rule() {
+    for rule in RULE_IDS {
+        for path in fixture_files(rule, "firing") {
+            let source = fs::read_to_string(&path).expect("read fixture");
+            let diags = lint_source(&virtual_path(&source), &source);
+            assert!(
+                has_errors(&diags),
+                "{} should produce at least one error",
+                path.display()
+            );
+            for d in &diags {
+                assert_eq!(
+                    d.rule,
+                    rule,
+                    "{} leaked a diagnostic from another rule: {d}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for rule in RULE_IDS {
+        for path in fixture_files(rule, "clean") {
+            let source = fs::read_to_string(&path).expect("read fixture");
+            let diags = lint_source(&virtual_path(&source), &source);
+            assert!(
+                diags.is_empty(),
+                "{} should be clean, got:\n{}",
+                path.display(),
+                diags
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}

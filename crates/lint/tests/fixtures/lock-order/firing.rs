@@ -1,0 +1,26 @@
+// virtual path: crates/server/src/demo.rs
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub struct Shared {
+    catalog: RwLock<u64>,
+    cache: Mutex<HashMap<u64, u64>>,
+    map: Mutex<HashMap<u64, u64>>,
+}
+
+impl Shared {
+    // Acquires the plan cache, then the catalog: backwards — the
+    // documented order is session < catalog < cache < deadline map.
+    pub fn backwards(&self, catalog: &RwLock<u64>, cache: &Mutex<HashMap<u64, u64>>) -> u64 {
+        let c = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = catalog.read().unwrap_or_else(PoisonError::into_inner);
+        *epoch + c.len() as u64
+    }
+
+    // Re-acquires the deadline map while already holding it.
+    pub fn reentrant(&self, map: &Mutex<HashMap<u64, u64>>) -> usize {
+        let held = map.lock().unwrap_or_else(PoisonError::into_inner);
+        let again = map.lock().unwrap_or_else(PoisonError::into_inner);
+        held.len() + again.len()
+    }
+}

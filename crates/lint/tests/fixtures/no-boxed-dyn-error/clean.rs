@@ -1,0 +1,34 @@
+// virtual path: crates/storage/src/demo.rs
+use std::fmt;
+
+// The typed alternative: failures stay matchable end-to-end.
+#[derive(Debug)]
+pub enum LoadError {
+    Io(std::io::Error),
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io: {e}"),
+            LoadError::Empty => write!(f, "empty file"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+pub fn load(path: &str) -> Result<Vec<u8>, LoadError> {
+    let bytes = std::fs::read(path).map_err(LoadError::Io)?;
+    if bytes.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(bytes)
+}
+
+// Boxed trait objects that are not errors are fine — and so is an
+// `Error` buried in a nested generic that is not the trait object.
+pub fn stream() -> Box<dyn Iterator<Item = Result<u8, LoadError>> + Send> {
+    Box::new(std::iter::empty())
+}

@@ -1,0 +1,10 @@
+// virtual path: crates/storage/src/demo.rs
+use std::error::Error;
+
+pub fn load(path: &str) -> Result<Vec<u8>, Box<dyn Error>> {
+    Ok(std::fs::read(path)?)
+}
+
+pub fn load_send(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error + Send + Sync>> {
+    Ok(std::fs::read(path)?)
+}

@@ -1,0 +1,22 @@
+// virtual path: crates/server/src/demo.rs
+use std::sync::{Mutex, PoisonError};
+
+pub fn handler(x: Option<u32>, m: &Mutex<u32>) -> Result<u32, &'static str> {
+    let v = x.ok_or("missing")?;
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+    Ok(*g + v)
+}
+
+pub fn documented(x: Option<u32>) -> u32 {
+    // LINT-ALLOW(no-panic-hot-path): demo of a justified, documented panic.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+// virtual path: crates/server/src/demo.rs
+pub fn handler(x: Option<u32>, m: &std::sync::Mutex<u32>) -> u32 {
+    let v = x.unwrap();
+    let g = m.lock().expect("poisoned");
+    if *g > v {
+        panic!("out of range");
+    }
+    match v {
+        0 => 0,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,19 @@
+// virtual path: crates/core/src/demo.rs
+// A deterministic library crate: no sockets, no wall clocks; durations
+// are data passed in from the edge.
+use std::time::Duration;
+
+pub fn budget_exceeded(spent: Duration, budget: Duration) -> bool {
+    spent > budget
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_use_clocks() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,8 @@
+// virtual path: crates/shims/demo/src/lib.rs
+// A shim that imports workspace crates has inverted the dependency
+// arrow: shims mirror external APIs.
+use anyk_engine::RankedAnswer;
+
+pub fn leak(a: &RankedAnswer) -> usize {
+    anyk_core::arity(a)
+}

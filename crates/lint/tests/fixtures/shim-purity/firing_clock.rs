@@ -1,0 +1,11 @@
+// virtual path: crates/core/src/demo.rs
+// A library crate reaching for sockets and wall clocks.
+use std::time::Instant;
+
+pub fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}
+
+pub fn dial(addr: &str) -> std::io::Result<std::net::TcpStream> {
+    std::net::TcpStream::connect(addr)
+}

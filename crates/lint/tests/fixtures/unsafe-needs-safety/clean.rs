@@ -1,0 +1,19 @@
+// virtual path: crates/shims/demo/src/lib.rs
+// SAFETY: the caller guarantees `p` is valid for reads (function-level
+// contract restated at the site).
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: `p` is non-null and points to a live byte per this
+    // function's contract.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use `unsafe` without ceremony.
+    fn in_tests(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}
+
+// The word unsafe inside a string or comment is not a finding:
+pub const DOC: &str = "unsafe is spelled here";

@@ -1,0 +1,17 @@
+// virtual path: crates/shims/demo/src/lib.rs
+// A bare `unsafe` with no SAFETY contract, and one whose comment
+// above says something else entirely.
+pub fn no_comment(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// closes the fd we own
+pub fn wrong_comment(fd: i32) {
+    unsafe {
+        libc_close(fd);
+    }
+}
+
+extern "C" {
+    fn libc_close(fd: i32) -> i32;
+}

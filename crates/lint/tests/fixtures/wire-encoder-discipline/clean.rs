@@ -1,0 +1,22 @@
+// virtual path: crates/server/src/wire.rs
+use std::io::Write;
+
+// In wire.rs itself, the protocol vocabulary is at home.
+pub fn encode_ok(rows: usize) -> String {
+    let mut out = format!("OK cursor=- rows={rows} done=true\n");
+    out.push_str("END\n");
+    out
+}
+
+pub fn encode_err(msg: &str) -> String {
+    format!("ERR proto: {msg}\nEND\n")
+}
+
+// The encoder may also write what it encoded.
+pub fn respond(sock: &mut std::net::TcpStream, msg: &str) -> std::io::Result<()> {
+    sock.write_all(encode_err(msg).as_bytes())
+}
+
+// Non-protocol strings are fine anywhere: "OKAY" and "OverKill" do
+// not start a protocol line.
+pub const NOT_PROTOCOL: [&str; 2] = ["OKAY", "ENDURANCE"];

@@ -1,0 +1,18 @@
+// virtual path: crates/server/src/demo.rs
+use std::io::Write;
+
+// Hand-formats a protocol reply outside wire.rs/frame.rs.
+pub fn handgrown_reply(rows: usize) -> String {
+    let mut out = format!("OK cursor=- rows={rows} done=true\n");
+    out.push_str("END\n");
+    out
+}
+
+pub fn hand_error() -> &'static str {
+    "ERR proto: bad line"
+}
+
+// Writes bytes straight to a socket from a non-transport file.
+pub fn sneaky_write(sock: &mut std::net::TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    sock.write_all(bytes)
+}

@@ -1,0 +1,57 @@
+//! The self-run: `cargo test` lints the live workspace through the
+//! exact code path the CLI and CI gate use, so a violation cannot land
+//! without either fixing it or writing a visible `LINT-ALLOW` with a
+//! reason.
+
+use std::path::Path;
+
+use anyk_lint::{lint_workspace, workspace_files};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/ -> crates/ -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let diags = lint_workspace(workspace_root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean (fix it or LINT-ALLOW with a reason):\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn walk_covers_the_serving_stack_but_not_fixtures() {
+    let files = workspace_files(workspace_root()).expect("walk workspace");
+    let rels: Vec<String> = files
+        .iter()
+        .map(|p| {
+            p.strip_prefix(workspace_root())
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    for must in [
+        "crates/server/src/wire.rs",
+        "crates/server/src/service.rs",
+        "crates/engine/src/lib.rs",
+        "crates/shims/polling/src/lib.rs",
+        "crates/lint/src/rules.rs",
+    ] {
+        assert!(rels.iter().any(|r| r == must), "walk missed {must}");
+    }
+    assert!(
+        rels.iter().all(|r| !r.contains("tests/")),
+        "the walk must never scan test or fixture files"
+    );
+}

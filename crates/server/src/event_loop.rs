@@ -61,7 +61,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -169,7 +169,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<Job>>>, done: &Completions, waker: 
     loop {
         // Hold the receiver lock only for the blocking recv — workers
         // queue on the mutex, which distributes jobs just the same.
-        let job = match rx.lock().expect("job queue").recv() {
+        let job = match rx.lock().unwrap_or_else(PoisonError::into_inner).recv() {
             Ok(job) => job,
             Err(_) => return,
         };
@@ -177,10 +177,12 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<Job>>>, done: &Completions, waker: 
         // dispatches at most one job per connection at a time, and
         // only workers lock sessions.
         let reply = {
-            let mut session = job.session.lock().expect("session");
+            let mut session = job.session.lock().unwrap_or_else(PoisonError::into_inner);
             respond(&mut session, &job.line)
         };
-        done.lock().expect("completions").push((job.key, reply));
+        done.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((job.key, reply));
         // A failed wake means the loop is gone; the reply is moot.
         let _ = waker.notify();
     }
@@ -221,7 +223,11 @@ fn event_loop(
 
         // Replies computed since the last pass: buffer them and let
         // the connection dispatch its next pipelined command.
-        for (key, reply) in completions.lock().expect("completions").drain(..) {
+        for (key, reply) in completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+        {
             if let Some(conn) = conns.get_mut(&key) {
                 conn.write_buf.extend_from_slice(reply.as_bytes());
                 conn.inflight = false;

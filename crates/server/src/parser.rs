@@ -212,7 +212,7 @@ impl Parser {
         Ok(t)
     }
 
-    fn expect(&mut self, want: &Tok, expected: &'static str) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, want: &Tok, expected: &'static str) -> Result<(), ParseError> {
         let (pos, t) = self.next(expected)?;
         if &t == want {
             Ok(())
@@ -292,7 +292,7 @@ impl Parser {
 
     fn atom(&mut self) -> Result<AtomRef, ParseError> {
         let relation = self.ident("relation name")?;
-        self.expect(&Tok::LParen, "`(`")?;
+        self.expect_tok(&Tok::LParen, "`(`")?;
         let mut vars = vec![self.ident("variable name")?];
         loop {
             let (pos, t) = self.next("`,` or `)`")?;

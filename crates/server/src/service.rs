@@ -41,7 +41,7 @@ use crate::parser::{parse, ParseError};
 use anyk_engine::{CacheStats, Engine, EngineError, RankedAnswer, RankedStream};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configuration for a [`Service`].
@@ -382,19 +382,27 @@ struct SharedDeadlines {
 
 impl SharedDeadlines {
     fn insert(&self, key: CursorKey, deadline: Instant, slot: AdmissionSlot) {
-        self.map.lock().expect("deadline map").insert(
-            key,
-            DeadlineEntry {
-                deadline,
-                _slot: slot,
-            },
-        );
+        self.map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                key,
+                DeadlineEntry {
+                    deadline,
+                    _slot: slot,
+                },
+            );
     }
 
     /// Extend `key`'s deadline; false when the entry is gone (the
     /// cursor was reaped — the caller must treat it as expired).
     fn touch(&self, key: CursorKey, deadline: Instant) -> bool {
-        match self.map.lock().expect("deadline map").get_mut(&key) {
+        match self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_mut(&key)
+        {
             Some(e) => {
                 e.deadline = deadline;
                 true
@@ -407,7 +415,7 @@ impl SharedDeadlines {
     fn remove(&self, key: CursorKey) -> bool {
         self.map
             .lock()
-            .expect("deadline map")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&key)
             .is_some()
     }
@@ -415,7 +423,7 @@ impl SharedDeadlines {
     /// Drop every entry whose deadline has passed, releasing the
     /// slots. Returns how many were reaped.
     fn reap(&self, now: Instant) -> usize {
-        let mut map = self.map.lock().expect("deadline map");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         let before = map.len();
         map.retain(|_, e| now <= e.deadline);
         before - map.len()
@@ -429,7 +437,7 @@ impl SharedDeadlines {
     /// this runs at the top of every command, so it must not scan the
     /// whole service.
     fn reap_session(&self, session: u64, ids: &[u64], now: Instant) -> (Vec<u64>, usize) {
-        let mut map = self.map.lock().expect("deadline map");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         let mut dead = Vec::new();
         let mut expired = 0usize;
         for &c in ids {

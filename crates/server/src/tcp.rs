@@ -318,7 +318,7 @@ impl TcpClient {
                     "connection closed mid-reply",
                 ));
             }
-            let done = reply_line.trim_end() == "END";
+            let done = crate::wire::is_terminator(&reply_line);
             block.push_str(&reply_line);
             if done {
                 return Ok(block);

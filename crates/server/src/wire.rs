@@ -22,6 +22,14 @@ use crate::service::{Page, Response, ServeError, Service, ServiceStats, Session}
 use anyk_engine::RankedAnswer;
 use std::fmt::Write as _;
 
+/// True when `line` is the reply terminator (`END`, any trailing
+/// whitespace ignored). Decoders — [`TcpClient`](crate::TcpClient)'s
+/// reply reader in particular — use this instead of spelling the
+/// literal, so the protocol vocabulary stays in this file.
+pub fn is_terminator(line: &str) -> bool {
+    line.trim_end() == "END"
+}
+
 /// Render one answer as its `ROW` line (no trailing newline):
 /// `ROW <v1>,<v2>,... cost=<cost>`. The single source of truth for
 /// answer bytes — tests and the E16 bench compare server pages against

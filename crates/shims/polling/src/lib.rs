@@ -238,10 +238,16 @@ mod imp {
         notify_write: RawFd,
     }
 
-    // The epoll fd is thread-safe by kernel contract; the poll
-    // registry is behind a mutex; the pipe ends are only read by
-    // `wait` and written by `notify`.
+    // SAFETY: every field is either plain data or independently
+    // thread-safe — the epoll fd may be used from any thread by kernel
+    // contract, the poll registry is behind a `Mutex`, and the pipe
+    // ends are raw fds (read only by `wait`, written only by
+    // `notify`; concurrent pipe reads/writes are kernel-serialized).
     unsafe impl Send for Poller {}
+    // SAFETY: `&Poller` only exposes `epoll_ctl`/`epoll_wait` on the
+    // epoll fd (thread-safe per epoll(7)), mutex-guarded registry
+    // access, and byte-sized pipe I/O — all safe to call from many
+    // threads at once.
     unsafe impl Sync for Poller {}
 
     impl Poller {
@@ -252,6 +258,8 @@ mod imp {
             }
             #[cfg(target_os = "linux")]
             {
+                // SAFETY: epoll_create1 takes no pointers; it either
+                // yields a fresh fd we own or -1 (checked below).
                 let epfd = check(unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) })?;
                 Poller::finish(Backend::Epoll { epfd })
             }
@@ -272,6 +280,9 @@ mod imp {
         fn close_backend(backend: &Backend) {
             #[cfg(target_os = "linux")]
             if let Backend::Epoll { epfd } = backend {
+                // SAFETY: `epfd` came from `epoll_create1` and is owned
+                // exclusively by this `Backend`, which is being torn
+                // down — nothing can use the fd after this close.
                 unsafe {
                     sys::close(*epfd);
                 }
@@ -282,6 +293,8 @@ mod imp {
 
         fn finish(backend: Backend) -> io::Result<Poller> {
             let mut fds: [RawFd; 2] = [-1, -1];
+            // SAFETY: `pipe` writes exactly two fds through the
+            // pointer; `fds` is a live [RawFd; 2] on this stack frame.
             if let Err(e) = check(unsafe { sys::pipe(fds.as_mut_ptr()) }) {
                 Self::close_backend(&backend);
                 return Err(e);
@@ -290,7 +303,12 @@ mod imp {
             for fd in [r, w] {
                 // Capture the fcntl error before the close calls can
                 // clobber errno.
+                // SAFETY: pure-integer syscall on a pipe fd we just
+                // created; no pointers involved.
                 if let Err(e) = check(unsafe { sys::fcntl(fd, sys::F_SETFL, sys::O_NONBLOCK) }) {
+                    // SAFETY: `r` and `w` are the two pipe fds created
+                    // above, owned here and not yet shared; closing
+                    // them on this error path cannot race anything.
                     unsafe {
                         sys::close(r);
                         sys::close(w);
@@ -328,6 +346,9 @@ mod imp {
                         events: epoll_bits(interest),
                         data: interest.key as u64,
                     };
+                    // SAFETY: `epfd` is our live epoll fd and `ev`
+                    // points to a stack-local epoll_event that outlives
+                    // the call (epoll_ctl does not retain the pointer).
                     check(unsafe {
                         sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_ADD, fd, &mut ev)
                     })?;
@@ -356,6 +377,8 @@ mod imp {
                         events: epoll_bits(interest),
                         data: interest.key as u64,
                     };
+                    // SAFETY: same contract as ADD — live epoll fd,
+                    // stack-local event struct, pointer not retained.
                     check(unsafe {
                         sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_MOD, fd, &mut ev)
                     })?;
@@ -387,6 +410,10 @@ mod imp {
                 #[cfg(target_os = "linux")]
                 Backend::Epoll { epfd } => {
                     let mut ev = sys::epoll::epoll_event { events: 0, data: 0 };
+                    // SAFETY: live epoll fd; DEL ignores the event but
+                    // pre-2.6.9 kernels require a non-null pointer, so
+                    // we pass a stack-local dummy that outlives the
+                    // call.
                     check(unsafe {
                         sys::epoll::epoll_ctl(*epfd, sys::epoll::EPOLL_CTL_DEL, fd, &mut ev)
                     })?;
@@ -411,6 +438,10 @@ mod imp {
                 Backend::Epoll { epfd } => {
                     let mut raw = [sys::epoll::epoll_event { events: 0, data: 0 }; MAX_EVENTS];
                     let n = loop {
+                        // SAFETY: `raw` is a stack buffer of exactly
+                        // MAX_EVENTS epoll_events and we pass that same
+                        // capacity, so the kernel writes only within
+                        // bounds; `epfd` is our live epoll fd.
                         let n = unsafe {
                             sys::epoll::epoll_wait(*epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, ms)
                         };
@@ -464,6 +495,9 @@ mod imp {
                         }
                     }
                     loop {
+                        // SAFETY: `fds` is a live Vec<pollfd> and we
+                        // pass its exact length; poll only mutates the
+                        // `revents` field of those entries.
                         let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len(), ms) };
                         if n >= 0 {
                             break;
@@ -496,6 +530,8 @@ mod imp {
 
         pub fn notify(&self) -> io::Result<()> {
             let buf = [1u8];
+            // SAFETY: writes 1 byte from a live 1-byte stack buffer to
+            // the pipe fd this Poller owns.
             let n = unsafe { sys::write(self.notify_write, buf.as_ptr(), 1) };
             if n == 1 {
                 return Ok(());
@@ -513,12 +549,18 @@ mod imp {
         /// edge (the pipe is nonblocking; stop on empty).
         fn drain_notify(&self) {
             let mut buf = [0u8; 64];
+            // SAFETY: reads at most `buf.len()` bytes into a live
+            // stack buffer of exactly that size, from our own pipe fd.
             while unsafe { sys::read(self.notify_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
         }
     }
 
     impl Drop for Poller {
         fn drop(&mut self) {
+            // SAFETY: all three fds are owned exclusively by this
+            // Poller (created in `finish`/`new`, never duplicated or
+            // exposed), and Drop means no other reference exists — so
+            // no close can race a concurrent use of the same fd.
             unsafe {
                 sys::close(self.notify_read);
                 sys::close(self.notify_write);
