@@ -88,6 +88,7 @@ pub fn run(scale: f64) {
             max_open_cursors: 512,
             cursor_ttl: Duration::from_secs(60),
             default_page: PAGE,
+            ..ServiceConfig::default()
         },
     );
 
@@ -323,6 +324,7 @@ fn silent_session_scene() {
             max_open_cursors: 1,
             cursor_ttl: Duration::from_millis(80),
             default_page: PAGE,
+            ..ServiceConfig::default()
         },
     );
     let mut server = Server::bind_with(

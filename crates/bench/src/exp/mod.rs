@@ -21,11 +21,12 @@ pub mod e13_subw_vs_fhw;
 pub mod e14_engine_routing;
 pub mod e15_prepared_serving;
 pub mod e16_serve_load;
+pub mod e17_index_catalog;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// Dispatch one experiment by id.
@@ -47,6 +48,7 @@ pub fn run(id: &str, scale: f64) -> bool {
         "e14" => e14_engine_routing::run(scale),
         "e15" => e15_prepared_serving::run(scale),
         "e16" => e16_serve_load::run(scale),
+        "e17" => e17_index_catalog::run(scale),
         _ => return false,
     }
     true

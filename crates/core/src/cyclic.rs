@@ -26,10 +26,10 @@ use crate::rec::AnyKRec;
 use crate::succorder::SuccessorKind;
 use crate::tdp::TdpInstance;
 use crate::union::RankedUnion;
-use anyk_join::c4::{c4_cases_with, CaseOut};
-use anyk_join::generic_join::generic_join;
+use anyk_join::c4::{c4_cases_provider, CaseOut};
+use anyk_join::generic_join::generic_join_with;
 use anyk_query::cq::{triangle_query, ConjunctiveQuery};
-use anyk_storage::{Relation, Value};
+use anyk_storage::{BuildEachTime, IndexProvider, Relation, Value};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::ops::ControlFlow;
@@ -102,8 +102,19 @@ pub fn wco_ranked_materialize<R: RankingFunction>(
     q: &ConjunctiveQuery,
     rels: &[Relation],
 ) -> Vec<(R::Cost, Vec<Value>)> {
+    wco_ranked_materialize_with::<R>(q, rels, &BuildEachTime)
+}
+
+/// [`wco_ranked_materialize`] with trie construction delegated to a
+/// shared [`IndexProvider`] — a warm index catalog turns the
+/// materialization's index-build phase into lookups.
+pub fn wco_ranked_materialize_with<R: RankingFunction>(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    indexes: &dyn IndexProvider,
+) -> Vec<(R::Cost, Vec<Value>)> {
     let mut items: Vec<(R::Cost, Vec<Value>)> = Vec::new();
-    generic_join(q, rels, None, &mut |binding, rows| {
+    generic_join_with(q, rels, None, indexes, &mut |binding, rows| {
         let mut cost = R::identity();
         for (a, &r) in rows.iter().enumerate() {
             cost = R::combine(&cost, &R::lift(rels[a].weight(r)));
@@ -460,8 +471,21 @@ impl<C: Ord + Clone + std::fmt::Debug + Send + Sync> AnyK for LazySortedStream<C
 /// a one-shot top-k first stream pays `O(r + k log r)`, repeated
 /// streams share the sorted artifact installed on upgrade.
 pub fn prepare_triangle<R: RankingFunction>(rels: &[Relation]) -> LazySortedAnswers<R::Cost> {
+    prepare_triangle_with::<R>(rels, &BuildEachTime)
+}
+
+/// [`prepare_triangle`] with trie construction delegated to a shared
+/// [`IndexProvider`].
+pub fn prepare_triangle_with<R: RankingFunction>(
+    rels: &[Relation],
+    indexes: &dyn IndexProvider,
+) -> LazySortedAnswers<R::Cost> {
     assert_eq!(rels.len(), 3);
-    LazySortedAnswers::new(wco_ranked_materialize::<R>(&triangle_query(), rels))
+    LazySortedAnswers::new(wco_ranked_materialize_with::<R>(
+        &triangle_query(),
+        rels,
+        indexes,
+    ))
 }
 
 /// One case stream of the C4 plan: an acyclic enumerator whose answers
@@ -521,9 +545,21 @@ impl<R: RankingFunction> PreparedC4<R> {
     /// rankings without one (lexicographic) get
     /// [`TdpError::NonCollapsibleRanking`](crate::tdp::TdpError).
     pub fn prepare(rels: &[Relation], threshold: usize) -> Result<Self, crate::tdp::TdpError> {
+        Self::prepare_with(rels, threshold, &BuildEachTime)
+    }
+
+    /// [`PreparedC4::prepare`] with trie construction delegated to a
+    /// shared [`IndexProvider`] — the case split's degree counting,
+    /// residual extraction, and bag joins all resolve their tries
+    /// through it.
+    pub fn prepare_with(
+        rels: &[Relation],
+        threshold: usize,
+        indexes: &dyn IndexProvider,
+    ) -> Result<Self, crate::tdp::TdpError> {
         let dioid = R::weight_dioid().ok_or(crate::tdp::TdpError::NonCollapsibleRanking)?;
         let mut cases = Vec::new();
-        for case in c4_cases_with(rels, threshold, dioid.combine) {
+        for case in c4_cases_provider(rels, threshold, dioid.combine, indexes) {
             let inst = TdpInstance::<R>::prepare(&case.query, &case.tree, case.relations)?;
             cases.push((Arc::new(inst), case.out));
         }

@@ -18,11 +18,11 @@ use crate::ranking::RankingFunction;
 use crate::rec::AnyKRec;
 use crate::succorder::SuccessorKind;
 use crate::tdp::TdpInstance;
-use anyk_join::decomposed::ghd_plan_with;
+use anyk_join::decomposed::ghd_plan_provider;
 use anyk_query::cq::ConjunctiveQuery;
 use anyk_query::decompose::{fhw_exact, fhw_greedy, Decomposition};
 use anyk_query::hypergraph::Hypergraph;
-use anyk_storage::Relation;
+use anyk_storage::{BuildEachTime, IndexProvider, Relation};
 use std::sync::Arc;
 
 /// An any-k stream whose answers are re-ordered from bag-query variable
@@ -88,8 +88,20 @@ impl<R: RankingFunction> PreparedDecomposed<R> {
         rels: &[Relation],
         decomp: &Decomposition,
     ) -> Result<Self, crate::tdp::TdpError> {
+        Self::prepare_with(q, rels, decomp, &BuildEachTime)
+    }
+
+    /// [`PreparedDecomposed::prepare`] with trie construction delegated
+    /// to a shared [`IndexProvider`] — every bag's worst-case-optimal
+    /// materialization resolves its tries through it.
+    pub fn prepare_with(
+        q: &ConjunctiveQuery,
+        rels: &[Relation],
+        decomp: &Decomposition,
+        indexes: &dyn IndexProvider,
+    ) -> Result<Self, crate::tdp::TdpError> {
         let dioid = R::weight_dioid().ok_or(crate::tdp::TdpError::NonCollapsibleRanking)?;
-        let plan = ghd_plan_with(q, rels, decomp, dioid.identity, dioid.combine);
+        let plan = ghd_plan_provider(q, rels, decomp, dioid.identity, dioid.combine, indexes);
         let perm = var_permutation(q, &plan.bag_query);
         let inst = TdpInstance::<R>::prepare(&plan.bag_query, &plan.bag_tree, plan.bag_relations)?;
         Ok(PreparedDecomposed {

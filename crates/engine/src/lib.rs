@@ -56,16 +56,19 @@ mod rank;
 mod stream;
 
 pub use error::EngineError;
-pub use plan::{AnyKVariant, EngineOpts, Plan, Route};
+pub use plan::{AnyKVariant, EngineOpts, IndexUse, Plan, Route};
 pub use prepared::PreparedQuery;
 pub use rank::{Cost, IntoCost, RankSpec};
 pub use stream::{RankedAnswer, RankedStream};
 
 use anyk_core::decomposed::auto_decomposition;
-use anyk_query::cq::ConjunctiveQuery;
+use anyk_join::c4::c4_trie_requests;
+use anyk_join::decomposed::ghd_trie_requests;
+use anyk_join::generic_join_trie_requests;
+use anyk_query::cq::{triangle_query, ConjunctiveQuery};
 use anyk_query::cycles::{cycle_length, cycle_submodular_width, heavy_threshold};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
-use anyk_storage::{Catalog, FxHashMap, Relation};
+use anyk_storage::{Catalog, FxHashMap, IndexCatalog, IndexStats, Relation};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The unified, planner-routed engine for ranked enumeration.
@@ -529,6 +532,17 @@ impl Engine {
         }
     }
 
+    /// A snapshot of the shared index-catalog counters: trie lookups
+    /// served resident (`hits`) vs built on demand (`misses`/`builds`),
+    /// capacity `evictions`, and the resident byte footprint. The index
+    /// catalog is owned by the [`Catalog`] and **survives epoch bumps**:
+    /// [`Engine::update_catalog`] invalidates only the tries of
+    /// relations actually replaced or removed, so a steady serving
+    /// workload keeps its indexes warm across unrelated catalog updates.
+    pub fn index_stats(&self) -> IndexStats {
+        self.read_state().0.indexes().stats()
+    }
+
     /// Start planning `cq`. Returns a request builder; nothing
     /// executes until [`QueryRequest::plan`] /
     /// [`QueryRequest::prepare`].
@@ -614,12 +628,12 @@ impl Engine {
             cache.misses += 1;
         }
         let rels = resolve(&catalog, cq)?;
-        let plan = make_plan(cq, rank, opts, &rels)?;
+        let plan = make_plan(cq, rank, opts, &rels, catalog.indexes())?;
         if plan.variant.is_none() {
             // Normalize: one cache entry serves Batch and any-k alike.
             key.batch = false;
         }
-        let prepared = PreparedQuery::build(plan, rels, key.batch, epoch)?;
+        let prepared = PreparedQuery::build(plan, rels, key.batch, epoch, &**catalog.indexes())?;
         self.shared
             .cache
             .lock()
@@ -652,13 +666,15 @@ fn resolve(catalog: &Catalog, cq: &ConjunctiveQuery) -> Result<Vec<Relation>, En
     Ok(rels)
 }
 
-/// Route the query. Relations are needed only for the 4-cycle's
-/// heavy threshold (≈ √n).
+/// Route the query. Relations are needed for the 4-cycle's heavy
+/// threshold (≈ √n) and for probing `indexes` (are the shared tries
+/// this route will request already catalog-resident?).
 fn make_plan(
     cq: &ConjunctiveQuery,
     rank: RankSpec,
     opts: EngineOpts,
     rels: &[Relation],
+    indexes: &IndexCatalog,
 ) -> Result<Plan, EngineError> {
     let route = match gyo_reduce(cq) {
         GyoResult::Acyclic(tree) => Route::Acyclic { tree },
@@ -696,13 +712,52 @@ fn make_plan(
         Route::FourCycle { .. } | Route::Decomposed { .. } if !rank.is_commutative() => None,
         _ => Some(opts.variant),
     };
+    let index = index_use(cq, &route, rank, opts, rels, indexes);
     Ok(Plan {
         query: cq.clone(),
         route,
         rank,
         variant,
         width,
+        index,
     })
+}
+
+/// Probe the index catalog for the shared tries `route`'s prepare will
+/// request, without building anything: [`IndexUse::Cached`] iff every
+/// unconditional request is already resident. The request listings
+/// mirror what the route's prepare actually does — the canonical
+/// triangle join, the 4-cycle case split (or its worst-case-optimal
+/// materialization under Batch / a non-commutative ranking, which
+/// cannot drive the case plans), and the GHD per-bag cover joins.
+/// Acyclic plans never consult the catalog (T-DP builds its own
+/// per-node structures): [`IndexUse::NotApplicable`].
+fn index_use(
+    cq: &ConjunctiveQuery,
+    route: &Route,
+    rank: RankSpec,
+    opts: EngineOpts,
+    rels: &[Relation],
+    indexes: &IndexCatalog,
+) -> IndexUse {
+    use anyk_storage::IndexProvider as _;
+    let wco = matches!(opts.variant, AnyKVariant::Batch) || !rank.is_commutative();
+    let requests: Vec<(usize, Vec<usize>)> = match route {
+        Route::Acyclic { .. } => return IndexUse::NotApplicable,
+        Route::Triangle => generic_join_trie_requests(&triangle_query(), None),
+        Route::FourCycle { .. } if wco => generic_join_trie_requests(cq, None),
+        Route::FourCycle { .. } => c4_trie_requests(),
+        Route::Decomposed { .. } if wco => generic_join_trie_requests(cq, None),
+        Route::Decomposed { decomp } => ghd_trie_requests(cq, decomp),
+    };
+    if requests
+        .iter()
+        .all(|(a, positions)| indexes.probe(&rels[*a], positions))
+    {
+        IndexUse::Cached
+    } else {
+        IndexUse::Built
+    }
 }
 
 /// A query being configured: `engine.query(cq).rank_by(...).plan()?`.
@@ -738,7 +793,7 @@ impl QueryRequest<'_> {
     pub fn explain(&self) -> Result<Plan, EngineError> {
         let catalog = self.engine.catalog();
         let rels = resolve(&catalog, &self.cq)?;
-        make_plan(&self.cq, self.rank, self.opts, &rels)
+        make_plan(&self.cq, self.rank, self.opts, &rels, catalog.indexes())
     }
 
     /// Route and preprocess once, returning the shareable
@@ -1490,6 +1545,152 @@ mod tests {
                 rel.shares_payload(catalog.get(&atom.relation).unwrap()),
                 "resolution must be a refcount bump, not a copy"
             );
+        }
+    }
+
+    /// A single edge relation rich enough to host triangles, 4-cycles,
+    /// and 6-cycles with distinct weights.
+    fn dense_edges() -> Relation {
+        edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (2, 1, 2.0),
+            (1, 3, 0.125),
+            (3, 2, 4.0),
+            (1, 4, 0.75),
+            (4, 1, 0.375),
+            (4, 5, 1.5),
+            (5, 4, 0.0625),
+            (5, 1, 3.0),
+            (2, 4, 0.8125),
+            (4, 2, 1.25),
+        ])
+    }
+
+    #[test]
+    fn warm_index_catalog_makes_prepare_a_lookup() {
+        let e = dense_edges();
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        assert_eq!(engine.index_stats().builds, 0);
+        let first = engine.prepare(q.clone(), RankSpec::Sum).unwrap();
+        let builds = engine.index_stats().builds;
+        // One shared payload, two trie orders ([0,1] and [1,0]).
+        assert_eq!(builds, 2);
+        // A second engine over the same catalog has a *cold plan cache*
+        // but a *warm index catalog*: prepare does zero trie builds.
+        let cold_cache = Engine::new((*engine.catalog()).clone());
+        assert_eq!(cold_cache.cached_plans(), 0);
+        let second = cold_cache.prepare(q, RankSpec::Sum).unwrap();
+        let stats = cold_cache.index_stats();
+        assert_eq!(stats.builds, builds, "second prepare is pure index lookup");
+        assert!(stats.hits >= 2, "both tries served resident");
+        assert_eq!(first.stream().top_k(100), second.stream().top_k(100));
+    }
+
+    #[test]
+    fn explain_reports_index_cached_after_warmup() {
+        let e = dense_edges();
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        let before = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(before.index, IndexUse::Built);
+        assert!(before.explain().contains("index = built"), "{before}");
+        engine.prepare(q.clone(), RankSpec::Sum).unwrap();
+        let after = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(after.index, IndexUse::Cached);
+        assert!(after.explain().contains("index = cached"), "{after}");
+        // Acyclic plans never consult the shared index catalog.
+        let (acyclic, pq) = path_engine();
+        let plan = acyclic.query(pq).explain().unwrap();
+        assert_eq!(plan.index, IndexUse::NotApplicable);
+        assert!(plan.explain().contains("index = n/a"), "{plan}");
+    }
+
+    #[test]
+    fn concurrent_prepares_build_each_index_once() {
+        let e = dense_edges();
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        // Fresh engines (separate plan caches) over one shared catalog:
+        // only the index catalog can deduplicate the build work.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let eng = Engine::new((*engine.catalog()).clone());
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    eng.prepare(q, RankSpec::Sum).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            engine.index_stats().builds,
+            2,
+            "each distinct trie order built exactly once across threads"
+        );
+    }
+
+    #[test]
+    fn catalog_update_keeps_unrelated_indexes_warm() {
+        let e = dense_edges();
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, vec![e.clone(), e.clone(), e]);
+        let baseline: Vec<_> = engine
+            .prepare(q.clone(), RankSpec::Sum)
+            .unwrap()
+            .stream()
+            .collect();
+        let builds = engine.index_stats().builds;
+        // An unrelated registration bumps the epoch (plan cache purged)
+        // but must not touch the triangle's resident tries.
+        engine.register("Unrelated", edge_rel(&[(7, 8, 0.0)]));
+        assert_eq!(engine.cached_plans(), 0, "epoch bump purges the plan cache");
+        let warm: Vec<_> = engine
+            .prepare(q.clone(), RankSpec::Sum)
+            .unwrap()
+            .stream()
+            .collect();
+        assert_eq!(
+            engine.index_stats().builds,
+            builds,
+            "re-prepare after an unrelated update is an index lookup"
+        );
+        assert_eq!(baseline, warm);
+        // Replacing a participating relation invalidates its payload's
+        // tries; the next prepare rebuilds against the new data.
+        engine.register("R1", dense_edges());
+        engine.prepare(q, RankSpec::Sum).unwrap();
+        assert!(
+            engine.index_stats().builds > builds,
+            "replaced relation forces fresh builds"
+        );
+    }
+
+    #[test]
+    fn shared_indexes_preserve_answers_across_routes_and_rankings() {
+        let e = dense_edges();
+        for (label, q, n) in [
+            ("triangle", triangle_query(), 3),
+            ("four-cycle", cycle_query(4), 4),
+            ("six-cycle", cycle_query(6), 6),
+        ] {
+            let rels: Vec<Relation> = (0..n).map(|_| e.clone()).collect();
+            let warm = Engine::from_query_bindings(&q, rels.clone());
+            // Warm every trie the routes request, then serve each
+            // ranking from a fresh plan cache over the warm catalog.
+            warm.prepare(q.clone(), RankSpec::Sum).unwrap();
+            let warm = Engine::new((*warm.catalog()).clone());
+            for rank in [RankSpec::Sum, RankSpec::Max, RankSpec::Lex] {
+                let cold = Engine::from_query_bindings(&q, rels.clone());
+                let want: Vec<_> = cold.prepare(q.clone(), rank).unwrap().stream().collect();
+                let got: Vec<_> = warm.prepare(q.clone(), rank).unwrap().stream().collect();
+                assert!(!want.is_empty(), "{label}/{rank}: no answers");
+                assert_eq!(want, got, "{label}/{rank}: warm-index answers diverge");
+            }
         }
     }
 }

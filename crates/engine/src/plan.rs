@@ -43,6 +43,33 @@ pub struct EngineOpts {
     pub variant: AnyKVariant,
 }
 
+/// Whether the shared tries this plan's route requests were already
+/// resident in the catalog's [`anyk_storage::IndexCatalog`] when the
+/// plan was made. Rendered in `EXPLAIN` as `index = cached|built|n/a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexUse {
+    /// The route does not consult the shared index catalog (acyclic
+    /// T-DP plans build their own per-node structures).
+    NotApplicable,
+    /// Every shared trie the route unconditionally requests was
+    /// already resident: prepare is an index *lookup*, not a build.
+    Cached,
+    /// At least one requested trie (or a private prefilter trie) must
+    /// be built during prepare.
+    Built,
+}
+
+impl IndexUse {
+    /// Short label for `EXPLAIN` output and tests.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexUse::NotApplicable => "n/a",
+            IndexUse::Cached => "cached",
+            IndexUse::Built => "built",
+        }
+    }
+}
+
 /// The route the planner chose for a query.
 #[derive(Debug, Clone)]
 pub enum Route {
@@ -103,6 +130,10 @@ pub struct Plan {
     /// submodular width for the specialized cycle plans, the
     /// decomposition's fractional hypertree width otherwise.
     pub width: f64,
+    /// Were the route's shared tries already catalog-resident at
+    /// planning time ([`IndexUse::Cached`]), or will prepare have to
+    /// build at least one ([`IndexUse::Built`])?
+    pub index: IndexUse,
 }
 
 impl Plan {
@@ -114,11 +145,12 @@ impl Plan {
             None => "n/a (materialized heap)".to_string(),
         };
         let mut out = format!(
-            "plan: route = {}, rank = {}, variant = {}, width = {:.3}\n  {}\n",
+            "plan: route = {}, rank = {}, variant = {}, width = {:.3}, index = {}\n  {}\n",
             self.route.label(),
             self.rank,
             variant,
             self.width,
+            self.index.label(),
             self.query,
         );
         match &self.route {
@@ -178,11 +210,13 @@ mod tests {
             rank: RankSpec::Sum,
             variant: Some(AnyKVariant::default()),
             width: 1.0,
+            index: IndexUse::NotApplicable,
         };
         let text = plan.explain();
         assert!(text.contains("route = acyclic"), "{text}");
         assert!(text.contains("R2("), "{text}");
         assert!(text.contains("width = 1.000"), "{text}");
+        assert!(text.contains("index = n/a"), "{text}");
     }
 
     #[test]
@@ -193,8 +227,10 @@ mod tests {
             rank: RankSpec::Max,
             variant: None,
             width: 1.5,
+            index: IndexUse::Built,
         };
         assert!(plan.to_string().contains("Generic-Join"));
         assert!(plan.to_string().contains("variant = n/a"));
+        assert!(plan.to_string().contains("index = built"));
     }
 }

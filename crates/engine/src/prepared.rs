@@ -15,14 +15,16 @@ use crate::rank::{IntoCost, RankSpec};
 use crate::stream::{RankedAnswer, RankedStream};
 
 use anyk_core::batch::materialize_ranked;
-use anyk_core::cyclic::{prepare_triangle, wco_ranked_materialize, LazySortedAnswers, PreparedC4};
+use anyk_core::cyclic::{
+    prepare_triangle_with, wco_ranked_materialize_with, LazySortedAnswers, PreparedC4,
+};
 use anyk_core::decomposed::PreparedDecomposed;
 use anyk_core::part::AnyKPart;
 use anyk_core::ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost};
 use anyk_core::rec::AnyKRec;
 use anyk_core::succorder::SuccessorKind;
 use anyk_core::tdp::TdpInstance;
-use anyk_storage::Relation;
+use anyk_storage::{IndexProvider, Relation};
 use std::sync::Arc;
 
 /// A query that has been routed and preprocessed exactly once, ready to
@@ -134,18 +136,33 @@ impl PreparedQuery {
     /// Run the preprocessing phase for `plan` over `rels` (shared
     /// handles resolved from the catalog). `batch` selects the
     /// materialize-then-sort artifact instead of the any-k structures.
+    /// Cyclic routes resolve their tries through `indexes` — the
+    /// catalog's shared [`anyk_storage::IndexCatalog`] on the engine
+    /// path, so a warm catalog turns prepare's index-build portion into
+    /// lookups.
     pub(crate) fn build(
         plan: Plan,
         rels: Vec<Relation>,
         batch: bool,
         epoch: u64,
+        indexes: &dyn IndexProvider,
     ) -> Result<Self, EngineError> {
         let inner = match plan.rank {
-            RankSpec::Sum => PreparedInner::Sum(build_route::<SumCost>(&plan, rels, batch)?),
-            RankSpec::Max => PreparedInner::Max(build_route::<MaxCost>(&plan, rels, batch)?),
-            RankSpec::Min => PreparedInner::Min(build_route::<MinCost>(&plan, rels, batch)?),
-            RankSpec::Prod => PreparedInner::Prod(build_route::<ProdCost>(&plan, rels, batch)?),
-            RankSpec::Lex => PreparedInner::Lex(build_route::<LexCost>(&plan, rels, batch)?),
+            RankSpec::Sum => {
+                PreparedInner::Sum(build_route::<SumCost>(&plan, rels, batch, indexes)?)
+            }
+            RankSpec::Max => {
+                PreparedInner::Max(build_route::<MaxCost>(&plan, rels, batch, indexes)?)
+            }
+            RankSpec::Min => {
+                PreparedInner::Min(build_route::<MinCost>(&plan, rels, batch, indexes)?)
+            }
+            RankSpec::Prod => {
+                PreparedInner::Prod(build_route::<ProdCost>(&plan, rels, batch, indexes)?)
+            }
+            RankSpec::Lex => {
+                PreparedInner::Lex(build_route::<LexCost>(&plan, rels, batch, indexes)?)
+            }
         };
         Ok(PreparedQuery { plan, epoch, inner })
     }
@@ -248,6 +265,7 @@ fn build_route<R>(
     plan: &Plan,
     rels: Vec<Relation>,
     batch: bool,
+    indexes: &dyn IndexProvider,
 ) -> Result<PreparedRoute<R>, EngineError>
 where
     R: RankingFunction,
@@ -260,8 +278,9 @@ where
     // weight-level view (lexicographic): the per-case/bag plans cannot
     // collapse tuple weights, but the materialized answers rank fine
     // under the canonical atom-order serialization.
-    let wco_lazy =
-        |rels: &[Relation]| LazySortedAnswers::new(wco_ranked_materialize::<R>(&plan.query, rels));
+    let wco_lazy = |rels: &[Relation]| {
+        LazySortedAnswers::new(wco_ranked_materialize_with::<R>(&plan.query, rels, indexes))
+    };
     Ok(match &plan.route {
         Route::Acyclic { tree } => {
             if batch {
@@ -283,19 +302,24 @@ where
         }
         // The triangle plan is materialize-then-rank with the sort
         // deferred; Batch and any-k requests share the same artifact.
-        Route::Triangle => PreparedRoute::LazySorted(prepare_triangle::<R>(&rels)),
+        Route::Triangle => PreparedRoute::LazySorted(prepare_triangle_with::<R>(&rels, indexes)),
         Route::FourCycle { threshold } => {
             if batch || R::weight_dioid().is_none() {
                 PreparedRoute::LazySorted(wco_lazy(&rels))
             } else {
-                PreparedRoute::Cases(PreparedC4::prepare(&rels, *threshold)?)
+                PreparedRoute::Cases(PreparedC4::prepare_with(&rels, *threshold, indexes)?)
             }
         }
         Route::Decomposed { decomp } => {
             if batch || R::weight_dioid().is_none() {
                 PreparedRoute::LazySorted(wco_lazy(&rels))
             } else {
-                PreparedRoute::Ghd(PreparedDecomposed::prepare(&plan.query, &rels, decomp)?)
+                PreparedRoute::Ghd(PreparedDecomposed::prepare_with(
+                    &plan.query,
+                    &rels,
+                    decomp,
+                    indexes,
+                )?)
             }
         }
     })

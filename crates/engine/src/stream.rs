@@ -94,7 +94,7 @@ impl Iterator for RankedStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{AnyKVariant, Plan, Route};
+    use crate::plan::{AnyKVariant, IndexUse, Plan, Route};
     use crate::rank::RankSpec;
     use anyk_query::cq::triangle_query;
     use anyk_storage::Weight;
@@ -111,6 +111,7 @@ mod tests {
                 rank: RankSpec::Sum,
                 variant: Some(AnyKVariant::default()),
                 width: 1.5,
+                index: IndexUse::Built,
             },
         }
     }

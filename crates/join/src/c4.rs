@@ -25,8 +25,10 @@ use anyk_query::cq::{ConjunctiveQuery, QueryBuilder, VarId};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
 use anyk_query::join_tree::JoinTree;
 use anyk_storage::{
-    FxHashMap, FxHashSet, HashIndex, Relation, RelationBuilder, Schema, Value, Weight,
+    BuildEachTime, FxHashSet, IndexProvider, Relation, RelationBuilder, RowId, Schema, Trie, Value,
+    Weight,
 };
+use std::sync::Arc;
 
 /// Where an original output variable's value comes from in a case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,14 +56,15 @@ pub struct C4Case {
     pub out: [CaseOut; 4],
 }
 
-/// Per-value occurrence counts of column `col` of `rel`.
-fn degrees(rel: &Relation, col: usize) -> FxHashMap<Value, u32> {
-    let mut d: FxHashMap<Value, u32> = FxHashMap::default();
-    d.reserve(rel.len());
-    for i in 0..rel.len() as u32 {
-        *d.entry(rel.row(i)[col]).or_insert(0) += 1;
-    }
-    d
+/// Heavy values of `t`'s first level: more than `threshold` rows below.
+/// The first trie level enumerates the column's distinct values, so the
+/// subtree row count *is* the per-value degree.
+fn heavy_from_trie(t: &Trie, threshold: usize) -> FxHashSet<Value> {
+    let root = t.root();
+    (root.start..root.end)
+        .filter(|&i| t.rows_below(root, i).len() > threshold)
+        .map(|i| t.value_at(root, i))
+        .collect()
 }
 
 /// Rows of `rel` whose `col` value passes `pred`, as a new relation.
@@ -77,19 +80,17 @@ fn filter_by<F: Fn(Value) -> bool>(rel: &Relation, col: usize, pred: F) -> Relat
 }
 
 /// Unary projection `{ rel[keep_col] : rel[match_col] = v }`, carrying
-/// the original tuples' weights.
-fn residual_unary(
-    rel: &Relation,
-    match_col: usize,
-    v: Value,
-    keep_col: usize,
-    name: &str,
-) -> Relation {
+/// the original tuples' weights, answered from the shared trie whose
+/// first level is `match_col`. Matching row ids are re-sorted into
+/// input order so the residual is byte-identical to a direct scan.
+fn residual_unary(rel: &Relation, t: &Trie, v: Value, keep_col: usize, name: &str) -> Relation {
     let mut b = RelationBuilder::new(Schema::new([name.to_string()]));
-    for i in 0..rel.len() as u32 {
-        let row = rel.row(i);
-        if row[match_col] == v {
-            b.push(&[row[keep_col]], rel.weight(i));
+    let root = t.root();
+    if let Some(i) = t.find(root, v) {
+        let mut ids: Vec<RowId> = t.rows_below(root, i).to_vec();
+        ids.sort_unstable();
+        for r in ids {
+            b.push(&[rel.row(r)[keep_col]], rel.weight(r));
         }
     }
     b.finish()
@@ -127,6 +128,34 @@ pub fn c4_cases_with(
     threshold: usize,
     merge: impl Fn(Weight, Weight) -> Weight,
 ) -> Vec<C4Case> {
+    c4_cases_provider(rels, threshold, merge, &BuildEachTime)
+}
+
+/// The shared-trie requests [`c4_cases_provider`] makes
+/// unconditionally, as `(atom index, trie positions)` pairs: `R1` and
+/// `R3` by their first column, `R4` reversed. `R2`'s reversed trie is
+/// requested only when heavy `x3` values exist, so it is omitted — a
+/// probe over this listing answers "is prepare a pure index lookup for
+/// the tries every instance needs?" without inspecting the data.
+pub fn c4_trie_requests() -> Vec<(usize, Vec<usize>)> {
+    vec![(0, vec![0, 1]), (2, vec![0, 1]), (3, vec![1, 0])]
+}
+
+/// [`c4_cases_with`] with trie construction delegated to a shared
+/// [`IndexProvider`]. Every trie the case construction needs — degree
+/// counting, heavy-value residuals, and the light-light bag joins — is
+/// resolved through `indexes`, so a warm catalog turns the O~(n)
+/// index-build portion of preprocessing into lookups. Derived
+/// (light-filtered) relations never touch the shared catalog: when
+/// heavy values exist the filtered payload is fresh and gets a private
+/// build; when none exist the unfiltered payload (and its shared trie)
+/// is reused as-is.
+pub fn c4_cases_provider(
+    rels: &[Relation],
+    threshold: usize,
+    merge: impl Fn(Weight, Weight) -> Weight,
+    indexes: &dyn IndexProvider,
+) -> Vec<C4Case> {
     assert_eq!(rels.len(), 4, "4-cycle needs exactly 4 relations");
     for r in rels {
         assert_eq!(r.arity(), 2, "4-cycle relations are binary");
@@ -134,18 +163,18 @@ pub fn c4_cases_with(
     let (r1, r2, r3, r4) = (&rels[0], &rels[1], &rels[2], &rels[3]);
     let mut cases = Vec::new();
 
+    // Shared tries: R1 and R3 ordered by their x-column (degrees +
+    // residuals + the W2 bag), R4 ordered by x1 (residuals + the W1
+    // bag). R2's [1,0] trie is only needed for Case B residuals and is
+    // requested lazily below.
+    let t1 = indexes.trie(r1, &[0, 1]);
+    let t3 = indexes.trie(r3, &[0, 1]);
+    let t4 = indexes.trie(r4, &[1, 0]);
+
     // Heavy sets: H1 = heavy x1 values (by out-degree in R1), H3 = heavy
     // x3 values (by out-degree in R3).
-    let deg1 = degrees(r1, 0);
-    let deg3 = degrees(r3, 0);
-    let h1: FxHashSet<Value> = deg1
-        .iter()
-        .filter_map(|(&v, &d)| (d as usize > threshold).then_some(v))
-        .collect();
-    let h3: FxHashSet<Value> = deg3
-        .iter()
-        .filter_map(|(&v, &d)| (d as usize > threshold).then_some(v))
-        .collect();
+    let h1 = heavy_from_trie(&t1, threshold);
+    let h3 = heavy_from_trie(&t3, threshold);
 
     // --- Case A: one path instance per heavy x1 value v. ---
     // A1_v(x2) ⋈ R2(x2,x3) ⋈ R3(x3,x4) ⋈ A4_v(x4).
@@ -158,8 +187,8 @@ pub fn c4_cases_with(
     let mut heavy1: Vec<Value> = h1.iter().copied().collect();
     heavy1.sort();
     for &v in &heavy1 {
-        let a1 = residual_unary(r1, 0, v, 1, "x2");
-        let a4 = residual_unary(r4, 1, v, 0, "x4");
+        let a1 = residual_unary(r1, &t1, v, 1, "x2");
+        let a4 = residual_unary(r4, &t4, v, 0, "x4");
         if a1.is_empty() || a4.is_empty() {
             continue;
         }
@@ -181,7 +210,14 @@ pub fn c4_cases_with(
 
     // --- Case B: x1 light, x3 heavy: per heavy u. ---
     // A2_u(x2) ⋈ R1ˡ(x1,x2) ⋈ R4(x4,x1) ⋈ A3_u(x4).
-    let r1_light = filter_by(r1, 0, |v| !h1.contains(&v));
+    // No heavy x1 values means the light filter is the identity: keep
+    // the shared payload (and any shared tries over it) instead of
+    // copying.
+    let r1_light = if h1.is_empty() {
+        r1.clone()
+    } else {
+        filter_by(r1, 0, |v| !h1.contains(&v))
+    };
     let case_b_query = QueryBuilder::new()
         .atom("A2", &["x2"])
         .atom("R1", &["x1", "x2"])
@@ -190,9 +226,15 @@ pub fn c4_cases_with(
         .build();
     let mut heavy3: Vec<Value> = h3.iter().copied().collect();
     heavy3.sort();
+    let t2 = if heavy3.is_empty() {
+        None
+    } else {
+        Some(indexes.trie(r2, &[1, 0]))
+    };
     for &u in &heavy3 {
-        let a2 = residual_unary(r2, 1, u, 0, "x2");
-        let a3 = residual_unary(r3, 0, u, 1, "x4");
+        let t2 = t2.as_ref().expect("built when heavy3 is non-empty");
+        let a2 = residual_unary(r2, t2, u, 0, "x2");
+        let a3 = residual_unary(r3, &t3, u, 1, "x4");
         if a2.is_empty() || a3.is_empty() || r1_light.is_empty() {
             continue;
         }
@@ -215,27 +257,47 @@ pub fn c4_cases_with(
     // --- Case C: both light: two materialized bags of size <= Δ·n. ---
     // W1(x1,x2,x4) = R1ˡ ⋈ R4 (join on x1), weight w1 ⊗ w4.
     // W2(x2,x3,x4) = R2 ⋈ R3ˡ (join on x3), weight w2 ⊗ w3.
-    let r3_light = filter_by(r3, 0, |v| !h3.contains(&v));
+    let r3_light = if h3.is_empty() {
+        r3.clone()
+    } else {
+        filter_by(r3, 0, |v| !h3.contains(&v))
+    };
+    // The W2 probe side needs R3ˡ keyed by x3: when the light filter
+    // was the identity that is exactly the shared `t3`; a genuinely
+    // filtered payload gets a private build.
+    let t3l = if r3_light.shares_payload(r3) {
+        Arc::clone(&t3)
+    } else {
+        BuildEachTime.trie(&r3_light, &[0, 1])
+    };
     let w1 = {
         let mut b = RelationBuilder::new(Schema::new(["x1", "x2", "x4"]));
-        let idx = HashIndex::build(r4, &[1]); // R4(x4, x1) keyed by x1
+        let root4 = t4.root(); // R4(x4, x1) keyed by x1
         for i in 0..r1_light.len() as u32 {
             let row = r1_light.row(i);
-            for &j in idx.get(&row[0..1]) {
-                let w = merge(r1_light.weight(i), r4.weight(j));
-                b.push(&[row[0], row[1], r4.row(j)[0]], w);
+            if let Some(c) = t4.find(root4, row[0]) {
+                let mut ids: Vec<RowId> = t4.rows_below(root4, c).to_vec();
+                ids.sort_unstable();
+                for j in ids {
+                    let w = merge(r1_light.weight(i), r4.weight(j));
+                    b.push(&[row[0], row[1], r4.row(j)[0]], w);
+                }
             }
         }
         b.finish()
     };
     let w2 = {
         let mut b = RelationBuilder::new(Schema::new(["x2", "x3", "x4"]));
-        let idx = HashIndex::build(&r3_light, &[0]); // R3(x3, x4) keyed by x3
+        let root3 = t3l.root(); // R3ˡ(x3, x4) keyed by x3
         for i in 0..r2.len() as u32 {
             let row = r2.row(i);
-            for &j in idx.get(&row[1..2]) {
-                let w = merge(r2.weight(i), r3_light.weight(j));
-                b.push(&[row[0], row[1], r3_light.row(j)[1]], w);
+            if let Some(c) = t3l.find(root3, row[1]) {
+                let mut ids: Vec<RowId> = t3l.rows_below(root3, c).to_vec();
+                ids.sort_unstable();
+                for j in ids {
+                    let w = merge(r2.weight(i), r3_light.weight(j));
+                    b.push(&[row[0], row[1], r3_light.row(j)[1]], w);
+                }
             }
         }
         b.finish()
@@ -362,6 +424,43 @@ mod tests {
         ];
         let res = c4_join(&rels, 1);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn provider_cases_match_private_builds() {
+        use anyk_storage::IndexCatalog;
+        // Hub node exercises heavy x1/x3 (residuals + lazy R2 trie);
+        // the light tail exercises the bag joins.
+        let mut edges = vec![(20, 21), (21, 22), (22, 20)];
+        for i in 2..10 {
+            edges.push((1, i));
+            edges.push((i, 1));
+        }
+        let e = edge_rel(&edges);
+        let rels = vec![e.clone(), e.clone(), e.clone(), e];
+        let threshold = 2;
+        let merge = |a: Weight, b: Weight| Weight::new(a.get() + b.get());
+        let catalog = IndexCatalog::default();
+        let base = c4_cases_with(&rels, threshold, merge);
+        let shared = c4_cases_provider(&rels, threshold, merge, &catalog);
+        assert_eq!(base.len(), shared.len());
+        for (b, s) in base.iter().zip(&shared) {
+            assert_eq!(b.label, s.label);
+            assert_eq!(b.out, s.out);
+            assert_eq!(b.relations.len(), s.relations.len());
+            for (br, sr) in b.relations.iter().zip(&s.relations) {
+                assert_eq!(br.len(), sr.len(), "case {}", b.label);
+                for i in 0..br.len() as u32 {
+                    assert_eq!(br.row(i), sr.row(i), "case {}", b.label);
+                    assert_eq!(br.weight(i), sr.weight(i), "case {}", b.label);
+                }
+            }
+        }
+        // One payload, two canonical orders ([0,1] and [1,0]): two
+        // builds total, and a second construction is all hits.
+        assert_eq!(catalog.stats().builds, 2);
+        c4_cases_provider(&rels, threshold, merge, &catalog);
+        assert_eq!(catalog.stats().builds, 2);
     }
 
     #[test]

@@ -19,14 +19,17 @@
 //! lightest. For inputs without duplicates (all graph workloads here)
 //! this coincides with bag semantics.
 
-use crate::generic_join::generic_join;
+use crate::generic_join::generic_join_with;
 use anyk_query::cq::{Atom, ConjunctiveQuery, QueryBuilder};
 use anyk_query::decompose::Decomposition;
 use anyk_query::gyo::{gyo_reduce, GyoResult};
 use anyk_query::hypergraph::iter_vars;
 use anyk_query::join_tree::JoinTree;
-use anyk_storage::{FxHashMap, Relation, RelationBuilder, Schema, Value, Weight};
+use anyk_storage::{
+    BuildEachTime, FxHashMap, IndexProvider, Relation, RelationBuilder, Schema, Trie, Value, Weight,
+};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// A materialized decomposition plan: an acyclic query over bag
 /// relations, equivalent to the original query.
@@ -66,6 +69,24 @@ pub fn ghd_plan_with(
     identity: Weight,
     merge: impl Fn(Weight, Weight) -> Weight,
 ) -> GhdPlan {
+    ghd_plan_provider(q, rels, decomp, identity, merge, &BuildEachTime)
+}
+
+/// [`ghd_plan_with`] with trie construction delegated to a shared
+/// [`IndexProvider`]: every bag's cover join runs through
+/// [`generic_join_with`], so the worst-case-optimal materialization of
+/// each bag resolves its tries from the catalog instead of rebuilding
+/// them per plan. Cover atoms are refcount clones of the input
+/// relations, so their payload identity (and hence index reuse) is
+/// preserved across bags *and* across plans.
+pub fn ghd_plan_provider(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    decomp: &Decomposition,
+    identity: Weight,
+    merge: impl Fn(Weight, Weight) -> Weight,
+    indexes: &dyn IndexProvider,
+) -> GhdPlan {
     assert_eq!(rels.len(), q.num_atoms());
     let nbags = decomp.bags.len();
     // Assigned atoms per bag (weight accounting + enforcement).
@@ -74,18 +95,41 @@ pub fn ghd_plan_with(
         assigned[home].push(e);
     }
 
-    // Pre-index each atom's relation by its full variable binding, for
-    // weight lookup and enforcement. Key = values of the atom's
-    // distinct variables in ascending VarId order.
-    // Per atom: (distinct-var column positions, binding -> weight).
-    type AtomKeyer = (Vec<usize>, FxHashMap<Vec<Value>, Weight>);
-    let atom_keyers: Vec<AtomKeyer> = (0..q.num_atoms())
+    // Weight lookup + enforcement per atom. An atom whose variables
+    // are all distinct is answered straight from the shared trie over
+    // its columns (ascending VarId order): an index *lookup* per bag
+    // row, not a per-plan O(n) hash-map build — with a warm catalog
+    // this whole step costs nothing up front. Atoms with repeated
+    // variables keep the hash path: they also need the intra-atom
+    // consistency filter, which a raw trie over all rows cannot
+    // express.
+    enum Weigher {
+        /// Shared trie whose levels are the atom's columns in
+        /// ascending-VarId order; leaves collapse duplicate tuples to
+        /// the lightest weight at lookup time.
+        Trie(Arc<Trie>),
+        /// Binding -> lightest weight over consistent rows.
+        Hash(FxHashMap<Vec<Value>, Weight>),
+    }
+    struct AtomWeigher {
+        /// The atom's distinct variables, ascending VarId (the lookup
+        /// key order for both variants).
+        vars: Vec<usize>,
+        how: Weigher,
+    }
+    let atom_weighers: Vec<AtomWeigher> = (0..q.num_atoms())
         .map(|e| {
             let atom = q.atom(e);
             let mut vars: Vec<usize> = atom.vars.clone();
             vars.sort_unstable();
             vars.dedup();
             let positions: Vec<usize> = vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
+            if vars.len() == atom.vars.len() {
+                // Repeat-free: `positions` is a full column
+                // permutation, so the catalog trie serves lookups.
+                let how = Weigher::Trie(indexes.trie(&rels[e], &positions));
+                return AtomWeigher { vars, how };
+            }
             let mut map: FxHashMap<Vec<Value>, Weight> = FxHashMap::default();
             map.reserve(rels[e].len());
             for i in 0..rels[e].len() as u32 {
@@ -110,7 +154,10 @@ pub fn ghd_plan_with(
                     })
                     .or_insert(w);
             }
-            (vars, map)
+            AtomWeigher {
+                vars,
+                how: Weigher::Hash(map),
+            }
         })
         .collect();
 
@@ -127,7 +174,7 @@ pub fn ghd_plan_with(
         // Enumerate the cover join, project to bag vars, dedup.
         let mut seen: FxHashMap<Vec<Value>, ()> = FxHashMap::default();
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        generic_join(&sub_q, &sub_rels, None, &mut |binding, _rows| {
+        generic_join_with(&sub_q, &sub_rels, None, indexes, &mut |binding, _rows| {
             let proj: Vec<Value> = bag_vars.iter().map(|&v| binding[var_map[&v]]).collect();
             if seen.insert(proj.clone(), ()).is_none() {
                 rows.push(proj);
@@ -135,26 +182,63 @@ pub fn ghd_plan_with(
             ControlFlow::Continue(())
         });
         // Enforce + weight each projected row via the assigned atoms.
+        // Per assigned atom, the bag-row indices of its lookup key
+        // (hoisted out of the row loop).
+        let key_indices: Vec<(usize, Vec<usize>)> = assigned[b]
+            .iter()
+            .map(|&e| {
+                let idxs = atom_weighers[e]
+                    .vars
+                    .iter()
+                    .map(|&v| {
+                        bag_vars
+                            .iter()
+                            .position(|&bv| bv == v)
+                            .expect("assigned atom's vars are inside its home bag")
+                    })
+                    .collect();
+                (e, idxs)
+            })
+            .collect();
         let schema = Schema::new(bag_vars.iter().map(|&v| q.var_name(v).to_string()));
         let mut builder = RelationBuilder::with_capacity(schema, rows.len());
         'rows: for row in rows {
             let mut w = identity;
-            for &e in &assigned[b] {
-                let (ref evars, ref map) = atom_keyers[e];
-                let key: Vec<Value> = evars
-                    .iter()
-                    .map(|&v| {
-                        let idx = bag_vars
-                            .iter()
-                            .position(|&bv| bv == v)
-                            .expect("assigned atom's vars are inside its home bag");
-                        row[idx]
-                    })
-                    .collect();
-                match map.get(&key) {
-                    Some(&weight) => w = merge(w, weight),
-                    None => continue 'rows, // enforcement: not in R_e
-                }
+            for (e, idxs) in &key_indices {
+                let weight = match &atom_weighers[*e].how {
+                    Weigher::Trie(t) => {
+                        let mut h = t.root();
+                        let mut leaf = None;
+                        for (d, &bi) in idxs.iter().enumerate() {
+                            let Some(i) = t.find(h, row[bi]) else {
+                                continue 'rows; // enforcement: not in R_e
+                            };
+                            if d + 1 == idxs.len() {
+                                leaf = Some(t.rows_below(h, i));
+                            } else {
+                                h = t.descend(h, i);
+                            }
+                        }
+                        let leaf = leaf.expect("atoms bind at least one variable");
+                        // Duplicates collapse to the lightest weight.
+                        let mut best = rels[*e].weight(leaf[0]);
+                        for &r in &leaf[1..] {
+                            let rw = rels[*e].weight(r);
+                            if rw < best {
+                                best = rw;
+                            }
+                        }
+                        best
+                    }
+                    Weigher::Hash(map) => {
+                        let key: Vec<Value> = idxs.iter().map(|&bi| row[bi]).collect();
+                        match map.get(&key) {
+                            Some(&weight) => weight,
+                            None => continue 'rows, // enforcement: not in R_e
+                        }
+                    }
+                };
+                w = merge(w, weight);
             }
             builder.push(&row, w);
         }
@@ -191,6 +275,34 @@ pub fn ghd_plan_with(
         bag_tree,
         bag_relations,
     }
+}
+
+/// The `(original atom index, trie positions)` requests
+/// [`ghd_plan_provider`] makes against a shared [`IndexProvider`]: one
+/// Generic-Join (default variable order) per bag over its cover atoms,
+/// plus one weight-lookup trie per repeat-free atom (its columns in
+/// ascending-VarId order). Repeated-variable atoms are omitted in both
+/// parts, mirroring
+/// [`crate::generic_join::generic_join_trie_requests`] and the hash
+/// fallback of the weight lookup.
+pub fn ghd_trie_requests(q: &ConjunctiveQuery, decomp: &Decomposition) -> Vec<(usize, Vec<usize>)> {
+    let mut reqs = Vec::new();
+    for bag in &decomp.bags {
+        let (sub_q, _) = subquery(q, &bag.cover);
+        for (j, positions) in crate::generic_join::generic_join_trie_requests(&sub_q, None) {
+            reqs.push((bag.cover[j], positions));
+        }
+    }
+    for e in 0..q.num_atoms() {
+        let atom = q.atom(e);
+        let mut vars: Vec<usize> = atom.vars.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.len() == atom.vars.len() {
+            reqs.push((e, vars.iter().map(|&v| atom.positions_of(v)[0]).collect()));
+        }
+    }
+    reqs
 }
 
 /// Build the sub-query induced by `atoms` (indices into `q`), with

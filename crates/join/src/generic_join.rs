@@ -9,8 +9,11 @@
 
 use anyk_query::cq::{ConjunctiveQuery, VarId};
 use anyk_storage::trie::NodeHandle;
-use anyk_storage::{Relation, RelationBuilder, RowId, Schema, Trie, Value, Weight};
+use anyk_storage::{
+    BuildEachTime, IndexProvider, Relation, RelationBuilder, RowId, Schema, Trie, Value, Weight,
+};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// Instrumentation counters for a Generic-Join run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -29,10 +32,33 @@ pub type SolutionCallback<'a> = dyn FnMut(&[Value], &[RowId]) -> ControlFlow<()>
 /// Run Generic-Join over `rels` (parallel to atoms) in the given
 /// variable order (defaults to `VarId` order if `None`). Calls `f` per
 /// answer; stops early if `f` breaks.
+///
+/// Builds every trie privately (the paper's accounting). Plans that
+/// want amortized index construction go through [`generic_join_with`]
+/// and pass a shared [`IndexProvider`].
 pub fn generic_join(
     q: &ConjunctiveQuery,
     rels: &[Relation],
     var_order: Option<&[VarId]>,
+    f: &mut SolutionCallback<'_>,
+) -> GenericJoinStats {
+    generic_join_with(q, rels, var_order, &BuildEachTime, f)
+}
+
+/// [`generic_join`] with trie construction delegated to `indexes`.
+///
+/// Shared catalog tries are keyed by payload identity, so the provider
+/// is only consulted for atoms whose prefilter left the input payload
+/// shared; a filtered (ephemeral) payload always gets a private build.
+/// Provider tries may be *deeper* than the atom's distinct-variable
+/// count (the catalog canonicalizes every request to a full column
+/// permutation so prefix orders share one trie) — the walk binds only
+/// the atom's levels and emits rows from whole subtrees below them.
+pub fn generic_join_with(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    var_order: Option<&[VarId]>,
+    indexes: &dyn IndexProvider,
     f: &mut SolutionCallback<'_>,
 ) -> GenericJoinStats {
     assert_eq!(rels.len(), q.num_atoms());
@@ -47,7 +73,7 @@ pub fn generic_join(
     for (r, &v) in order.iter().enumerate() {
         rank[v] = r;
     }
-    let mut tries: Vec<Trie> = Vec::with_capacity(rels.len());
+    let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(rels.len());
     let mut atom_levels: Vec<Vec<VarId>> = Vec::with_capacity(rels.len());
     let mut filtered: Vec<Relation> = Vec::with_capacity(rels.len());
     for (i, rel) in rels.iter().enumerate() {
@@ -62,7 +88,12 @@ pub fn generic_join(
         };
         vars.sort_by_key(|&v| rank[v]);
         let positions: Vec<usize> = vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
-        tries.push(Trie::build(&rel, &positions));
+        let trie = if rel.shares_payload(&rels[i]) {
+            indexes.trie(&rel, &positions)
+        } else {
+            BuildEachTime.trie(&rel, &positions)
+        };
+        tries.push(trie);
         atom_levels.push(vars);
         filtered.push(rel);
     }
@@ -90,13 +121,45 @@ pub fn generic_join(
     stats
 }
 
+/// The `(atom index, trie positions)` requests [`generic_join_with`]
+/// will make against a shared [`IndexProvider`] for `q` under
+/// `var_order` (default `VarId` order when `None`). Atoms with
+/// repeated variables are omitted: whether they reach the shared
+/// catalog depends on whether their prefilter drops rows, which only
+/// the run itself knows. Lets a planner probe an index catalog for
+/// `EXPLAIN index=cached|built` without building anything.
+pub fn generic_join_trie_requests(
+    q: &ConjunctiveQuery,
+    var_order: Option<&[VarId]>,
+) -> Vec<(usize, Vec<usize>)> {
+    let default_order: Vec<VarId> = (0..q.num_vars()).collect();
+    let order: &[VarId] = var_order.unwrap_or(&default_order);
+    let mut rank = vec![usize::MAX; q.num_vars()];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v] = r;
+    }
+    let mut reqs = Vec::new();
+    for (i, atom) in q.atoms().iter().enumerate() {
+        let mut vars: Vec<VarId> = atom.vars.clone();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.len() != atom.vars.len() {
+            continue; // repeated-variable atom: may prefilter privately
+        }
+        vars.sort_by_key(|&v| rank[v]);
+        let positions: Vec<usize> = vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
+        reqs.push((i, positions));
+    }
+    reqs
+}
+
 /// Depth = index into the global variable order.
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     q: &ConjunctiveQuery,
     order: &[VarId],
     depth: usize,
-    tries: &[Trie],
+    tries: &[Arc<Trie>],
     atom_levels: &[Vec<VarId>],
     rels: &[Relation],
     handle_stack: &mut Vec<Vec<NodeHandle>>,
@@ -170,11 +233,13 @@ fn recurse(
         for (c, &ai) in participating.iter().enumerate() {
             let h = *handle_stack[ai].last().unwrap();
             let lvl = handle_stack[ai].len() - 1;
-            if lvl + 1 < tries[ai].depth() {
+            if lvl + 1 < atom_levels[ai].len() {
                 handle_stack[ai].push(tries[ai].descend(h, cursors[c]));
             } else {
-                // Last level: push a marker handle recording the leaf
-                // index so emit_products can find the rows. Encode as a
+                // Last *atom* level (the trie itself may be deeper when
+                // a canonical shared index extends the order): push a
+                // marker handle recording the child index so
+                // emit_products can find the rows. Encode as a
                 // zero-width handle at the same level whose `start`
                 // stores the child index.
                 handle_stack[ai].push(NodeHandle {
@@ -217,7 +282,7 @@ fn recurse(
 fn emit_products(
     q: &ConjunctiveQuery,
     atom: usize,
-    tries: &[Trie],
+    tries: &[Arc<Trie>],
     handle_stack: &[Vec<NodeHandle>],
     rels: &[Relation],
     binding: &[Value],
@@ -227,11 +292,13 @@ fn emit_products(
     if atom == tries.len() {
         return f(binding, rows_per_atom);
     }
-    // The marker handle pushed at the last level stores the leaf index.
+    // The marker handle pushed at the last atom level stores the child
+    // index; `rows_below` emits the whole subtree under it (a leaf row
+    // list when the trie ends there, every row below otherwise).
     let marker = *handle_stack[atom].last().unwrap();
     let parent = handle_stack[atom][handle_stack[atom].len() - 2];
     debug_assert_eq!(marker.level, parent.level);
-    let rows = tries[atom].leaf_rows(parent, marker.start);
+    let rows = tries[atom].rows_below(parent, marker.start);
     for &r in rows {
         rows_per_atom[atom] = r;
         emit_products(
@@ -255,9 +322,20 @@ pub fn generic_join_materialize(
     rels: &[Relation],
     var_order: Option<&[VarId]>,
 ) -> (Relation, GenericJoinStats) {
+    generic_join_materialize_with(q, rels, var_order, &BuildEachTime)
+}
+
+/// [`generic_join_materialize`] with trie construction delegated to a
+/// shared [`IndexProvider`].
+pub fn generic_join_materialize_with(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    var_order: Option<&[VarId]>,
+    indexes: &dyn IndexProvider,
+) -> (Relation, GenericJoinStats) {
     let schema = Schema::new(q.var_names().iter().cloned());
     let mut out = RelationBuilder::new(schema);
-    let stats = generic_join(q, rels, var_order, &mut |binding, rows| {
+    let stats = generic_join_with(q, rels, var_order, indexes, &mut |binding, rows| {
         let w: f64 = rows
             .iter()
             .enumerate()
@@ -367,6 +445,49 @@ mod tests {
             let (res, _) = generic_join_materialize(&q, &rels, Some(&order));
             assert_eq!(res.len(), 3, "order {order:?}");
         }
+    }
+
+    #[test]
+    fn shared_provider_matches_private_builds() {
+        use anyk_storage::IndexCatalog;
+        let q = triangle_query();
+        let e = edge_rel(&[(1, 2), (2, 3), (3, 1), (2, 1), (1, 3)]);
+        let rels = vec![e.clone(), e.clone(), e];
+        let catalog = IndexCatalog::default();
+        let (base, _) = generic_join_materialize(&q, &rels, None);
+        let (shared, _) = generic_join_materialize_with(&q, &rels, None, &catalog);
+        assert_eq!(base.len(), shared.len());
+        for i in 0..base.len() as u32 {
+            assert_eq!(base.row(i), shared.row(i));
+            assert_eq!(base.weight(i), shared.weight(i));
+        }
+        // One payload, two distinct orders ([0,1] for the first two
+        // atoms, [1,0] for the closing atom): exactly two trie builds.
+        assert_eq!(catalog.stats().builds, 2);
+        // Re-running the same join is all hits, zero new builds.
+        generic_join_materialize_with(&q, &rels, None, &catalog);
+        assert_eq!(catalog.stats().builds, 2);
+    }
+
+    #[test]
+    fn shared_provider_skips_prefiltered_atoms() {
+        use anyk_storage::IndexCatalog;
+        // E(x,x) prefilters into a fresh payload: it must get a private
+        // trie build, never a catalog entry keyed to the filtered data.
+        let q = QueryBuilder::new()
+            .atom("E", &["x", "x"])
+            .atom("F", &["x", "y"])
+            .build();
+        let rels = vec![
+            edge_rel(&[(1, 1), (2, 3), (4, 4)]),
+            edge_rel(&[(1, 7), (4, 8), (2, 9)]),
+        ];
+        let catalog = IndexCatalog::default();
+        let (res, _) = generic_join_materialize_with(&q, &rels, None, &catalog);
+        assert_eq!(res.len(), 2);
+        // Only F's trie lives in the catalog.
+        assert_eq!(catalog.stats().builds, 1);
+        assert_eq!(catalog.stats().entries, 1);
     }
 
     #[test]

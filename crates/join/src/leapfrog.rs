@@ -12,8 +12,11 @@
 use crate::generic_join::SolutionCallback;
 use anyk_query::cq::{ConjunctiveQuery, VarId};
 use anyk_storage::trie::NodeHandle;
-use anyk_storage::{Relation, RelationBuilder, RowId, Schema, Trie, Value, Weight};
+use anyk_storage::{
+    BuildEachTime, IndexProvider, Relation, RelationBuilder, RowId, Schema, Trie, Value, Weight,
+};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// A cursor walking one trie level-by-level (the "trie iterator" of the
 /// LFTJ paper): a stack of `(children handle, position)` frames.
@@ -70,15 +73,12 @@ impl<'a> TrieCursor<'a> {
         self.frames.last_mut().unwrap().1 = pos;
     }
 
-    /// Rows below the current position (only valid at the last level).
-    fn leaf_rows(&self) -> &'a [RowId] {
+    /// Rows in the subtree below the current position (valid at the
+    /// atom's last level: a leaf row list when the trie ends there,
+    /// every row below when a canonical shared trie is deeper).
+    fn rows(&self) -> &'a [RowId] {
         let &(h, i) = self.frames.last().expect("cursor opened");
-        self.trie.leaf_rows(h, i)
-    }
-
-    /// Level currently open (= number of frames).
-    fn depth_open(&self) -> usize {
-        self.frames.len()
+        self.trie.rows_below(h, i)
     }
 }
 
@@ -138,6 +138,19 @@ pub fn leapfrog_triejoin(
     var_order: Option<&[VarId]>,
     f: &mut SolutionCallback<'_>,
 ) {
+    leapfrog_triejoin_with(q, rels, var_order, &BuildEachTime, f)
+}
+
+/// [`leapfrog_triejoin`] with trie construction delegated to `indexes`
+/// (same payload-sharing rule as
+/// [`crate::generic_join::generic_join_with`]).
+pub fn leapfrog_triejoin_with(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    var_order: Option<&[VarId]>,
+    indexes: &dyn IndexProvider,
+    f: &mut SolutionCallback<'_>,
+) {
     assert_eq!(rels.len(), q.num_atoms());
     let default_order: Vec<VarId> = (0..q.num_vars()).collect();
     let order: &[VarId] = var_order.unwrap_or(&default_order);
@@ -150,7 +163,7 @@ pub fn leapfrog_triejoin(
     // Per atom: filtered relation + trie in global-order-sorted levels.
     let mut filtered: Vec<Relation> = Vec::with_capacity(rels.len());
     let mut atom_levels: Vec<Vec<VarId>> = Vec::with_capacity(rels.len());
-    let mut tries: Vec<Trie> = Vec::with_capacity(rels.len());
+    let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(rels.len());
     for (i, rel) in rels.iter().enumerate() {
         let atom = q.atom(i);
         let mut rel = rel.clone();
@@ -160,14 +173,19 @@ pub fn leapfrog_triejoin(
         vars.dedup();
         vars.sort_by_key(|&v| rank[v]);
         let positions: Vec<usize> = vars.iter().map(|&v| atom.positions_of(v)[0]).collect();
-        tries.push(Trie::build(&rel, &positions));
+        let trie = if rel.shares_payload(&rels[i]) {
+            indexes.trie(&rel, &positions)
+        } else {
+            BuildEachTime.trie(&rel, &positions)
+        };
+        tries.push(trie);
         atom_levels.push(vars);
         filtered.push(rel);
     }
     if filtered.iter().any(|r| r.is_empty()) {
         return;
     }
-    let mut cursors: Vec<TrieCursor<'_>> = tries.iter().map(TrieCursor::new).collect();
+    let mut cursors: Vec<TrieCursor<'_>> = tries.iter().map(|t| TrieCursor::new(t)).collect();
 
     // Participants per depth: atoms using that depth's variable. Since
     // each atom's trie levels are sorted by global rank, an atom's
@@ -242,8 +260,7 @@ fn emit(
     if atom == cursors.len() {
         return f(binding, rows_per_atom);
     }
-    debug_assert_eq!(cursors[atom].depth_open(), cursors[atom].trie.depth());
-    for &r in cursors[atom].leaf_rows() {
+    for &r in cursors[atom].rows() {
         rows_per_atom[atom] = r;
         emit(cursors, rels, atom + 1, binding, rows_per_atom, f)?;
     }
@@ -257,9 +274,20 @@ pub fn leapfrog_materialize(
     rels: &[Relation],
     var_order: Option<&[VarId]>,
 ) -> Relation {
+    leapfrog_materialize_with(q, rels, var_order, &BuildEachTime)
+}
+
+/// [`leapfrog_materialize`] with trie construction delegated to a
+/// shared [`IndexProvider`].
+pub fn leapfrog_materialize_with(
+    q: &ConjunctiveQuery,
+    rels: &[Relation],
+    var_order: Option<&[VarId]>,
+    indexes: &dyn IndexProvider,
+) -> Relation {
     let schema = Schema::new(q.var_names().iter().cloned());
     let mut out = RelationBuilder::new(schema);
-    leapfrog_triejoin(q, rels, var_order, &mut |binding, rows| {
+    leapfrog_triejoin_with(q, rels, var_order, indexes, &mut |binding, rows| {
         let w: f64 = rows
             .iter()
             .enumerate()
@@ -378,6 +406,30 @@ mod tests {
             edge_rel(&[(1, 7, 2.0), (4, 8, 0.125), (2, 9, 0.0625)]),
         ];
         check(&q, &rels);
+    }
+
+    #[test]
+    fn shared_provider_matches_private_builds() {
+        use anyk_storage::IndexCatalog;
+        let e = edge_rel(&[
+            (1, 2, 0.5),
+            (2, 3, 1.0),
+            (3, 1, 0.25),
+            (2, 1, 2.0),
+            (1, 3, 0.125),
+        ]);
+        let rels = [e.clone(), e.clone(), e];
+        let q = triangle_query();
+        let catalog = IndexCatalog::default();
+        let base = leapfrog_materialize(&q, &rels, None);
+        let shared = leapfrog_materialize_with(&q, &rels, None, &catalog);
+        assert_eq!(base.len(), shared.len());
+        for i in 0..base.len() as u32 {
+            assert_eq!(base.row(i), shared.row(i));
+            assert_eq!(base.weight(i), shared.weight(i));
+        }
+        // Same two canonical orders as Generic-Join: [0,1] and [1,0].
+        assert_eq!(catalog.stats().builds, 2);
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod yannakakis;
 
 pub use binary::{binary_join, BinaryJoinStats};
 pub use decomposed::{decomposed_boolean, decomposed_join, ghd_plan, ghd_plan_with, GhdPlan};
-pub use generic_join::{generic_join, generic_join_materialize, GenericJoinStats};
+pub use generic_join::{
+    generic_join, generic_join_materialize, generic_join_trie_requests, GenericJoinStats,
+};
 pub use leapfrog::{leapfrog_materialize, leapfrog_triejoin};
 pub use semijoin::{full_reducer, semijoin_filter};
 pub use yannakakis::{yannakakis_count, yannakakis_for_each, yannakakis_join};

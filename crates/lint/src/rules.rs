@@ -204,7 +204,7 @@ fn lock_position(name: &str) -> Option<(usize, &'static str)> {
         "session" => Some((0, "session mutex")),
         "catalog" => Some((1, "catalog RwLock")),
         "cache" => Some((2, "plan-cache mutex")),
-        "map" | "deadlines" => Some((3, "shared deadline map")),
+        "map" | "deadlines" | "shard" | "shards" => Some((3, "shared deadline map")),
         _ => None,
     }
 }

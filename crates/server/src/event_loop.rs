@@ -52,8 +52,8 @@
 //! their session ever speaking.
 
 use crate::frame::{encode_frame_error, LineFramer};
-use crate::service::Service;
-use crate::wire::respond;
+use crate::service::{ConnectionSlot, Service};
+use crate::wire::{encode_connection_rejected, respond};
 use crate::Session;
 use polling::{Event, Poller};
 use std::collections::{HashMap, VecDeque};
@@ -104,6 +104,9 @@ struct Conn {
     dead: bool,
     /// Interest currently registered with the poller.
     interest: (bool, bool),
+    /// This connection's slot in the service's connection gauge;
+    /// dropping the `Conn` releases it.
+    _slot: ConnectionSlot,
 }
 
 impl Conn {
@@ -311,7 +314,19 @@ fn accept_ready(
 ) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Accept-time load shedding: over the connection bound,
+                // send one typed reject and close before any state is
+                // allocated. The write is best-effort — a peer that
+                // cannot take one line of bytes is dropped regardless.
+                let Some(slot) = service.try_admit_connection() else {
+                    let reply = encode_connection_rejected(
+                        service.open_connections(),
+                        service.config().max_connections,
+                    );
+                    let _ = stream.write_all(reply.as_bytes());
+                    continue;
+                };
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -333,6 +348,7 @@ fn accept_ready(
                         eof: false,
                         dead: false,
                         interest: (true, false),
+                        _slot: slot,
                     },
                 );
             }

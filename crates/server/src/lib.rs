@@ -93,7 +93,7 @@ pub use frame::{encode_frame_error, FrameError, LineFramer};
 pub use parser::{parse, ParseError};
 pub use service::{Page, Response, ServeError, Service, ServiceConfig, ServiceStats, Session};
 pub use tcp::{Server, TcpClient, Transport, TransportConfig};
-pub use wire::{encode_answer, encode_response, respond, LocalClient};
+pub use wire::{encode_answer, encode_connection_rejected, encode_response, respond, LocalClient};
 
 /// A tiny single-relation engine for the crate's unit tests.
 #[cfg(test)]

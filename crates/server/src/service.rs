@@ -39,6 +39,7 @@
 use crate::ast::Command;
 use crate::parser::{parse, ParseError};
 use anyk_engine::{CacheStats, Engine, EngineError, RankedAnswer, RankedStream};
+use anyk_storage::IndexStats;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -60,15 +61,24 @@ pub struct ServiceConfig {
     pub cursor_ttl: Duration,
     /// Page size when a `SELECT` carries no `LIMIT`.
     pub default_page: usize,
+    /// Maximum concurrently established connections across all
+    /// transports — accept-time load shedding. A connection admitted
+    /// past this bound gets one typed `ERR admission: connections`
+    /// reply and is closed before it ever reaches a worker, so a
+    /// connection flood degrades into cheap rejects instead of
+    /// unbounded per-connection state.
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
-    /// 64 concurrent streams, 60 s cursor TTL, 10-answer pages.
+    /// 64 concurrent streams, 60 s cursor TTL, 10-answer pages,
+    /// 1024 connections.
     fn default() -> Self {
         ServiceConfig {
             max_open_cursors: 64,
             cursor_ttl: Duration::from_secs(60),
             default_page: 10,
+            max_connections: 1024,
         }
     }
 }
@@ -212,8 +222,14 @@ pub struct ServiceStats {
     pub page_p95_us: u64,
     /// 99th-percentile per-page serve latency (bucket upper bound), µs.
     pub page_p99_us: u64,
+    /// Connections refused by accept-time load shedding.
+    pub connections_rejected: u64,
+    /// Connections established right now (the connection gauge).
+    pub open_connections: usize,
     /// The engine's plan-cache counters (hits/misses/evictions/...).
     pub cache: CacheStats,
+    /// The shared index catalog's counters (hits/misses/builds/...).
+    pub index: IndexStats,
 }
 
 /// Power-of-two latency buckets (µs): bucket `i` counts samples in
@@ -284,6 +300,7 @@ struct Metrics {
     cursors_closed: AtomicU64,
     cursors_expired: AtomicU64,
     admission_rejected: AtomicU64,
+    connections_rejected: AtomicU64,
     ttf_count: AtomicU64,
     ttf_sum_us: AtomicU64,
     ttf_min_us: AtomicU64,
@@ -357,6 +374,51 @@ impl Drop for AdmissionSlot {
     }
 }
 
+/// The connection-level admission gauge: a counter bounded by
+/// [`ServiceConfig::max_connections`], acquired at accept time and
+/// released by the slot's `Drop` — a connection that dies on any path
+/// (clean close, I/O error, panic unwind) always returns its slot.
+#[derive(Debug)]
+struct ConnectionGauge {
+    open: AtomicUsize,
+    max: usize,
+}
+
+impl ConnectionGauge {
+    fn try_acquire(self: &Arc<Self>) -> Option<ConnectionSlot> {
+        let mut cur = self.open.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self
+                .open
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    return Some(ConnectionSlot {
+                        gauge: Arc::clone(self),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// An admitted connection's slot in the gauge; dropping it is the
+/// release. Held by the transport for the connection's whole lifetime.
+#[derive(Debug)]
+pub(crate) struct ConnectionSlot {
+    gauge: Arc<ConnectionGauge>,
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.gauge.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// A cursor's service-wide identity: (session id, cursor id).
 type CursorKey = (u64, u64);
 
@@ -370,35 +432,58 @@ struct DeadlineEntry {
     _slot: AdmissionSlot,
 }
 
+/// How many mutex stripes [`SharedDeadlines`] spreads its entries
+/// over. Every session's per-command sweep and every transport tick
+/// takes these locks; 16 stripes keeps a hot multi-session service
+/// from serializing on one map mutex while staying cheap to scan in
+/// the full reap.
+const DEADLINE_SHARDS: usize = 16;
+
 /// The service-level deadline map: every open cursor across every
-/// session, keyed by [`CursorKey`]. Removing an entry *is* releasing
-/// the admission slot (the slot guard drops with it) — which is what
-/// lets admission and the transport reap a silent session's cursors
-/// without touching its streams.
-#[derive(Debug, Default)]
+/// session, keyed by [`CursorKey`] and striped over
+/// [`DEADLINE_SHARDS`] independent mutexes (shard chosen by key hash),
+/// so concurrent sessions touching disjoint cursors rarely contend.
+/// Removing an entry *is* releasing the admission slot (the slot guard
+/// drops with it) — which is what lets admission and the transport
+/// reap a silent session's cursors without touching its streams.
+#[derive(Debug)]
 struct SharedDeadlines {
-    map: Mutex<HashMap<CursorKey, DeadlineEntry>>,
+    shards: Vec<Mutex<HashMap<CursorKey, DeadlineEntry>>>,
+}
+
+impl Default for SharedDeadlines {
+    fn default() -> Self {
+        SharedDeadlines {
+            shards: (0..DEADLINE_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
 }
 
 impl SharedDeadlines {
+    /// The stripe holding `key`: Fibonacci-hash both halves so
+    /// sequentially allocated session/cursor ids spread over shards
+    /// instead of clustering in one.
+    fn shard(&self, key: CursorKey) -> &Mutex<HashMap<CursorKey, DeadlineEntry>> {
+        let h = (key.0.rotate_left(32) ^ key.1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % DEADLINE_SHARDS]
+    }
+
     fn insert(&self, key: CursorKey, deadline: Instant, slot: AdmissionSlot) {
-        self.map
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(
-                key,
-                DeadlineEntry {
-                    deadline,
-                    _slot: slot,
-                },
-            );
+        let shard = self.shard(key);
+        shard.lock().unwrap_or_else(PoisonError::into_inner).insert(
+            key,
+            DeadlineEntry {
+                deadline,
+                _slot: slot,
+            },
+        );
     }
 
     /// Extend `key`'s deadline; false when the entry is gone (the
     /// cursor was reaped — the caller must treat it as expired).
     fn touch(&self, key: CursorKey, deadline: Instant) -> bool {
-        match self
-            .map
+        let shard = self.shard(key);
+        match shard
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get_mut(&key)
@@ -413,7 +498,8 @@ impl SharedDeadlines {
 
     /// Remove `key`, releasing its slot; false when already reaped.
     fn remove(&self, key: CursorKey) -> bool {
-        self.map
+        let shard = self.shard(key);
+        shard
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .remove(&key)
@@ -421,12 +507,18 @@ impl SharedDeadlines {
     }
 
     /// Drop every entry whose deadline has passed, releasing the
-    /// slots. Returns how many were reaped.
+    /// slots. Locks one shard at a time — the sweep never holds more
+    /// than one stripe, so it cannot deadlock against per-key callers.
+    /// Returns how many were reaped.
     fn reap(&self, now: Instant) -> usize {
-        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
-        let before = map.len();
-        map.retain(|_, e| now <= e.deadline);
-        before - map.len()
+        let mut reaped = 0usize;
+        for shard in &self.shards {
+            let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let before = map.len();
+            map.retain(|_, e| now <= e.deadline);
+            reaped += before - map.len();
+        }
+        reaped
     }
 
     /// The session-scoped sweep: for each of `session`'s cursor `ids`,
@@ -435,16 +527,18 @@ impl SharedDeadlines {
     /// call expired — ids whose entries were already gone were reaped
     /// (and counted) elsewhere. O(own cursors), not O(all cursors):
     /// this runs at the top of every command, so it must not scan the
-    /// whole service.
+    /// whole service. Each id locks only its own stripe.
     fn reap_session(&self, session: u64, ids: &[u64], now: Instant) -> (Vec<u64>, usize) {
-        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         let mut dead = Vec::new();
         let mut expired = 0usize;
         for &c in ids {
-            match map.get(&(session, c)) {
+            let key = (session, c);
+            let shard = self.shard(key);
+            let mut map = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            match map.get(&key) {
                 None => dead.push(c),
                 Some(e) if now > e.deadline => {
-                    map.remove(&(session, c));
+                    map.remove(&key);
                     expired += 1;
                     dead.push(c);
                 }
@@ -463,6 +557,7 @@ pub struct Service {
     engine: Engine,
     config: ServiceConfig,
     admission: Arc<Admission>,
+    connections: Arc<ConnectionGauge>,
     deadlines: Arc<SharedDeadlines>,
     metrics: Arc<Metrics>,
     next_session: Arc<AtomicU64>,
@@ -493,6 +588,10 @@ impl Service {
                 open: AtomicUsize::new(0),
                 max: config.max_open_cursors,
             }),
+            connections: Arc::new(ConnectionGauge {
+                open: AtomicUsize::new(0),
+                max: config.max_connections,
+            }),
             deadlines: Arc::new(SharedDeadlines::default()),
             metrics: Arc::new(Metrics {
                 ttf_min_us: AtomicU64::new(u64::MAX),
@@ -510,6 +609,27 @@ impl Service {
     /// The active configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Accept-time load shedding: try to admit one more connection.
+    /// `Some(slot)` reserves a connection for as long as the slot
+    /// lives (transports hold it alongside the connection state);
+    /// `None` means the service is at [`ServiceConfig::max_connections`]
+    /// — the transport sends one typed admission error and closes. The
+    /// rejection is counted in [`ServiceStats::connections_rejected`].
+    pub(crate) fn try_admit_connection(&self) -> Option<ConnectionSlot> {
+        let slot = self.connections.try_acquire();
+        if slot.is_none() {
+            self.metrics
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    /// How many connections are established right now.
+    pub(crate) fn open_connections(&self) -> usize {
+        self.connections.open.load(Ordering::Relaxed)
     }
 
     /// Open a session: the per-client unit owning its cursor registry.
@@ -568,7 +688,10 @@ impl Service {
             page_p50_us: m.page_hist.percentile(0.50),
             page_p95_us: m.page_hist.percentile(0.95),
             page_p99_us: m.page_hist.percentile(0.99),
+            connections_rejected: m.connections_rejected.load(Ordering::Relaxed),
+            open_connections: self.connections.open.load(Ordering::Relaxed),
             cache: self.engine.cache_stats(),
+            index: self.engine.index_stats(),
         }
     }
 }
@@ -903,6 +1026,139 @@ mod tests {
         let bound = Histogram::upper_bound(HIST_BUCKETS - 1);
         assert_eq!(h.percentile(0.50), bound);
         assert!(bound > 60 * 60 * 1_000_000, "tail covers > an hour in µs");
+    }
+
+    #[test]
+    fn sharded_deadlines_spread_and_account_exactly() {
+        let admission = Arc::new(Admission {
+            open: AtomicUsize::new(0),
+            max: 1024,
+        });
+        let deadlines = SharedDeadlines::default();
+        let now = Instant::now();
+        let far = now + Duration::from_secs(60);
+        // 64 entries over 8 sessions; odd-parity keys get an already-
+        // due deadline, even-parity ones a far-future one.
+        for session in 0..8u64 {
+            for cursor in 0..8u64 {
+                let slot = admission.try_acquire().expect("slot");
+                let deadline = if (session + cursor) % 2 == 0 {
+                    far
+                } else {
+                    now
+                };
+                deadlines.insert((session, cursor), deadline, slot);
+            }
+        }
+        assert_eq!(admission.open.load(Ordering::Relaxed), 64);
+        // The hash actually stripes: more than one shard is occupied.
+        let occupied = deadlines
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
+            .count();
+        assert!(occupied > 1, "all entries landed in one shard");
+        // touch rescues a due entry; remove releases exactly one slot
+        // and is idempotent-false afterwards.
+        assert!(deadlines.touch((0, 1), far));
+        assert!(deadlines.remove((0, 0)));
+        assert!(!deadlines.remove((0, 0)));
+        assert_eq!(admission.open.load(Ordering::Relaxed), 63);
+        // Reap: exactly the 32 due entries minus the touched one go,
+        // and every reaped entry returns its admission slot.
+        let reaped = deadlines.reap(now + Duration::from_millis(1));
+        assert_eq!(reaped, 31);
+        assert_eq!(admission.open.load(Ordering::Relaxed), 32);
+        // The session-scoped sweep reports the reaped ids as dead
+        // without double-counting them as expired.
+        let ids: Vec<u64> = (0..8).collect();
+        let (dead, expired) = deadlines.reap_session(1, &ids, now + Duration::from_millis(1));
+        assert_eq!(expired, 0);
+        assert_eq!(dead, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn accept_shedding_rejects_and_counts() {
+        use crate::tcp::{Server, TcpClient, Transport, TransportConfig};
+        for transport in [Transport::ThreadPerConn, Transport::EventLoop] {
+            let service = Service::with_config(
+                crate::tests_engine(),
+                ServiceConfig {
+                    max_connections: 1,
+                    ..ServiceConfig::default()
+                },
+            );
+            let mut server = Server::bind_with(
+                service.clone(),
+                "127.0.0.1:0",
+                TransportConfig {
+                    transport,
+                    workers: 2,
+                    ..TransportConfig::default()
+                },
+            )
+            .expect("bind");
+            let mut first = TcpClient::connect(server.addr()).expect("connect");
+            let reply = first
+                .send("SELECT R(a,b) RANK BY sum LIMIT 1;")
+                .expect("select");
+            assert!(reply.starts_with("OK"), "{transport:?}: {reply}");
+            assert_eq!(service.stats().open_connections, 1, "{transport:?}");
+            // The second connection is shed at accept time with one
+            // typed reply, before any session state exists.
+            let mut second = TcpClient::connect(server.addr()).expect("connect");
+            let reply = second.read_reply().expect("reject block");
+            assert_eq!(
+                reply, "ERR admission: connections 1 of 1 open\nEND\n",
+                "{transport:?}"
+            );
+            let stats = service.stats();
+            assert_eq!(stats.connections_rejected, 1, "{transport:?}");
+            assert_eq!(stats.open_connections, 1, "{transport:?}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn stats_surface_index_catalog_counters() {
+        use anyk_storage::{Catalog, RelationBuilder, Schema};
+        let mut catalog = Catalog::new();
+        for name in ["R", "S", "T"] {
+            let mut b = RelationBuilder::new(Schema::new(["x", "y"]));
+            for i in 0..4i64 {
+                for j in 0..4i64 {
+                    if i != j {
+                        b.push_ints(&[i, j], 0.1 * (i * 4 + j + 1) as f64);
+                    }
+                }
+            }
+            catalog.register(name, b.finish());
+        }
+        let service = Service::new(Engine::new(catalog));
+        let mut client = crate::LocalClient::new(&service);
+        // A cyclic query routes through the shared index catalog.
+        let reply = client.send("SELECT R(x,y), S(y,z), T(z,x) RANK BY sum LIMIT 1;");
+        assert!(reply.starts_with("OK"), "{reply}");
+        let stats = service.stats();
+        assert!(stats.index.builds > 0, "triangle prepare builds tries");
+        assert!(stats.index.resident_bytes > 0);
+        let stats_reply = client.send("STATS");
+        for key in [
+            "index_hits",
+            "index_misses",
+            "index_builds",
+            "index_evictions",
+            "index_resident_bytes",
+            "index_entries",
+            "index_capacity_bytes",
+            "open_connections",
+            "connections_rejected",
+        ] {
+            assert!(
+                stats_reply.contains(&format!("INFO {key}=")),
+                "STATS missing {key}: {stats_reply}"
+            );
+        }
     }
 
     #[test]

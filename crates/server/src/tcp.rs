@@ -22,8 +22,8 @@
 
 use crate::event_loop;
 use crate::frame::{encode_frame_error, LineFramer};
-use crate::service::Service;
-use crate::wire::respond;
+use crate::service::{ConnectionSlot, Service};
+use crate::wire::{encode_connection_rejected, respond};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -183,9 +183,21 @@ impl Server {
                         if accept_stop.load(Ordering::Acquire) {
                             break;
                         }
-                        let Ok(conn) = conn else { continue };
+                        let Ok(mut conn) = conn else { continue };
+                        // Accept-time load shedding: refuse before
+                        // spawning a thread or opening a session.
+                        let Some(slot) = service.try_admit_connection() else {
+                            let reply = encode_connection_rejected(
+                                service.open_connections(),
+                                service.config().max_connections,
+                            );
+                            let _ = conn.write_all(reply.as_bytes());
+                            continue;
+                        };
                         let service = service.clone();
-                        std::thread::spawn(move || serve_connection(&service, conn, max_line_len));
+                        std::thread::spawn(move || {
+                            serve_connection(&service, conn, max_line_len, slot);
+                        });
                     }
                 });
                 Running::Threaded {
@@ -238,7 +250,12 @@ impl Drop for Server {
 /// and the oversized-line error behave exactly like the event loop),
 /// write one reply block per command. I/O errors end the connection
 /// (and the session).
-fn serve_connection(service: &Service, conn: TcpStream, max_line_len: usize) {
+fn serve_connection(
+    service: &Service,
+    conn: TcpStream,
+    max_line_len: usize,
+    _slot: ConnectionSlot,
+) {
     let mut session = service.session();
     // The framer does the buffering; read the socket raw.
     let Ok(mut reader) = conn.try_clone() else {

@@ -102,6 +102,17 @@ pub fn encode_error(err: &ServeError) -> String {
     format!("ERR {kind}: {msg}\nEND\n")
 }
 
+/// The accept-time load-shedding reply: the one block a transport
+/// writes before closing a connection refused by
+/// [`ServiceConfig::max_connections`](crate::ServiceConfig::max_connections).
+/// Shaped like every other typed error (`ERR admission: ...` + `END`)
+/// so clients reuse their error decoder; the message names the
+/// resource (`connections`) to distinguish it from per-cursor
+/// admission rejects.
+pub fn encode_connection_rejected(open: usize, max: usize) -> String {
+    format!("ERR admission: connections {open} of {max} open\nEND\n")
+}
+
 /// The `STATS` key/value pairs, in a fixed render order.
 fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
     vec![
@@ -122,11 +133,20 @@ fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
         ("page_p50_us", s.page_p50_us.to_string()),
         ("page_p95_us", s.page_p95_us.to_string()),
         ("page_p99_us", s.page_p99_us.to_string()),
+        ("open_connections", s.open_connections.to_string()),
+        ("connections_rejected", s.connections_rejected.to_string()),
         ("plan_cache_hits", s.cache.hits.to_string()),
         ("plan_cache_misses", s.cache.misses.to_string()),
         ("plan_cache_evictions", s.cache.evictions.to_string()),
         ("plan_cache_entries", s.cache.entries.to_string()),
         ("plan_cache_capacity", s.cache.capacity.to_string()),
+        ("index_hits", s.index.hits.to_string()),
+        ("index_misses", s.index.misses.to_string()),
+        ("index_builds", s.index.builds.to_string()),
+        ("index_evictions", s.index.evictions.to_string()),
+        ("index_resident_bytes", s.index.resident_bytes.to_string()),
+        ("index_entries", s.index.entries.to_string()),
+        ("index_capacity_bytes", s.index.capacity_bytes.to_string()),
     ]
 }
 

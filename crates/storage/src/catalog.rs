@@ -3,21 +3,27 @@
 
 use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
+use crate::index_catalog::IndexCatalog;
 use crate::relation::Relation;
+use crate::trie::Trie;
 use crate::value::Value;
+use std::sync::Arc;
 
-/// Named relations + string interning.
+/// Named relations + string interning + the shared index catalog.
 ///
 /// Relations are [`Relation`] *handles*: [`Catalog::get`] /
 /// [`Catalog::lookup`] return references whose `clone()` is a refcount
 /// bump, never an `O(n)` tuple copy — resolution hands out shared
 /// payloads. Cloning the whole catalog likewise shares every relation
-/// payload (the engine's copy-on-write epoch seam relies on this).
+/// payload (the engine's copy-on-write epoch seam relies on this) —
+/// **and** the [`IndexCatalog`], so epoch snapshots keep serving the
+/// same warm trie indexes for every relation they did not touch.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     relations: FxHashMap<String, Relation>,
     symbols: Vec<String>,
     symbol_ids: FxHashMap<String, u32>,
+    indexes: Arc<IndexCatalog>,
 }
 
 impl Catalog {
@@ -26,9 +32,19 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a relation under `name`.
+    /// Register (or replace) a relation under `name`. Replacing drops
+    /// exactly the replaced payload's shared trie indexes (relation-
+    /// scoped invalidation — indexes over other relations stay warm).
     pub fn register<S: Into<String>>(&mut self, name: S, rel: Relation) {
-        self.relations.insert(name.into(), rel);
+        let new_id = rel.payload_id();
+        if let Some(old) = self.relations.insert(name.into(), rel) {
+            // Same payload re-registered (a no-op replace) keeps its
+            // indexes; a genuinely new payload invalidates the old
+            // one's.
+            if old.payload_id() != new_id {
+                self.indexes.invalidate_payload(old.payload_id());
+            }
+        }
     }
 
     /// Look up a relation by name.
@@ -45,9 +61,31 @@ impl Catalog {
             })
     }
 
-    /// Remove a relation, returning it if present.
+    /// Remove a relation, returning it if present. Its shared trie
+    /// indexes are dropped (relation-scoped invalidation).
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
-        self.relations.remove(name)
+        let removed = self.relations.remove(name);
+        if let Some(rel) = &removed {
+            self.indexes.invalidate_payload(rel.payload_id());
+        }
+        removed
+    }
+
+    /// A shared trie index over the named relation whose level order
+    /// starts with `positions` — served from the [`IndexCatalog`]
+    /// (built lazily on first demand, a refcount bump afterwards).
+    pub fn index(&self, name: &str, positions: &[usize]) -> Result<Arc<Trie>, StorageError> {
+        use crate::index_catalog::IndexProvider;
+        let rel = self.lookup(name)?;
+        Ok(self.indexes.trie(rel, positions))
+    }
+
+    /// The shared index catalog. Catalog clones (including the
+    /// engine's copy-on-write epoch snapshots) return the *same*
+    /// catalog, so warm indexes survive epoch bumps for untouched
+    /// relations.
+    pub fn indexes(&self) -> &Arc<IndexCatalog> {
+        &self.indexes
     }
 
     /// Names of all registered relations (unspecified order).
@@ -96,6 +134,44 @@ mod tests {
         assert!(c.get("S").is_none());
         assert_eq!(c.names().collect::<Vec<_>>(), vec!["R"]);
         assert_eq!(c.remove("R").map(|r| r.len()), Some(1));
+    }
+
+    #[test]
+    fn catalog_index_is_shared_and_invalidated_on_replace() {
+        use crate::index_catalog::IndexProvider;
+        let mut c = Catalog::new();
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        b.push_ints(&[1, 2], 0.0);
+        b.push_ints(&[2, 3], 0.0);
+        c.register("R", b.finish());
+        let mut b2 = RelationBuilder::new(Schema::new(["a", "b"]));
+        b2.push_ints(&[9, 9], 0.0);
+        c.register("S", b2.finish());
+
+        let t1 = c.index("R", &[0, 1]).unwrap();
+        let t2 = c.index("R", &[0, 1]).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&t1, &t2));
+        c.index("S", &[0, 1]).unwrap();
+
+        // A clone shares the same index catalog (warm across snapshots).
+        let clone = c.clone();
+        let t3 = clone.index("R", &[0, 1]).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&t1, &t3));
+        assert_eq!(c.indexes().stats().builds, 2);
+
+        // Replacing R drops only R's indexes; S stays warm.
+        let s_rel = c.get("S").unwrap().clone();
+        let mut b3 = RelationBuilder::new(Schema::new(["a", "b"]));
+        b3.push_ints(&[5, 6], 0.0);
+        c.register("R", b3.finish());
+        let old_r = t1;
+        assert!(!c.indexes().probe(c.get("R").unwrap(), &[0, 1]));
+        assert!(c.indexes().probe(&s_rel, &[0, 1]), "S index survives");
+        drop(old_r);
+
+        // Removing S drops its index too.
+        c.remove("S");
+        assert_eq!(c.indexes().stats().entries, 0);
     }
 
     #[test]

@@ -4,18 +4,24 @@
 //! weighted in-memory relations, and the index structures (hash, sorted,
 //! trie) that the join and ranked-enumeration algorithms are built on.
 //!
-//! Everything here follows the RAM model of computation used by the paper
-//! (*Optimal Join Algorithms Meet Top-k*, SIGMOD 2020): no pre-built
-//! indexes are assumed at query time — algorithms construct what they need
-//! and the construction cost counts.
+//! The paper's complexity model (*Optimal Join Algorithms Meet Top-k*,
+//! SIGMOD 2020) assumes no pre-built indexes at query time — algorithms
+//! construct what they need and the construction cost counts. The
+//! serving system relaxes that deliberately: the [`index_catalog`]
+//! amortizes trie construction across prepared plans (first demand
+//! pays, every later plan is a shared lookup), while the per-request
+//! [`index_catalog::BuildEachTime`] provider preserves the paper's
+//! build-per-plan accounting for baselines.
 //!
 //! ## Layout
 //! * [`value`] — [`Value`] (copyable scalar) and
 //!   [`Weight`] (totally ordered `f64`).
 //! * [`schema`] — attribute names and positions.
 //! * [`relation`] — row-major weighted relations and builders.
-//! * [`index`] — hash and sorted indexes over join keys.
+//! * [`index`] — per-plan hash and sorted indexes over join keys.
 //! * [`trie`] — sorted nested tries for worst-case-optimal joins.
+//! * [`index_catalog`] — catalog-resident shared trie indexes
+//!   (lazy, LRU-bounded, payload-identity keyed).
 //! * [`catalog`] — named relations plus a string dictionary.
 //! * [`csv`] — minimal CSV import/export for weighted relations.
 //! * [`fxhash`] — the fast FxHash-style hasher used by all hot hash maps.
@@ -25,6 +31,7 @@ pub mod csv;
 pub mod error;
 pub mod fxhash;
 pub mod index;
+pub mod index_catalog;
 pub mod relation;
 pub mod schema;
 pub mod trie;
@@ -35,6 +42,9 @@ pub use csv::{read_csv, read_csv_with_catalog, write_csv};
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
+pub use index_catalog::{
+    BuildEachTime, IndexCatalog, IndexProvider, IndexStats, DEFAULT_INDEX_CATALOG_BYTES,
+};
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use schema::Schema;
 pub use trie::Trie;

@@ -15,7 +15,20 @@
 
 use crate::schema::Schema;
 use crate::value::{Value, Weight};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide source of payload identities. Every distinct payload
+/// allocation (builder `finish`, copy-on-write clone, permutation)
+/// gets a fresh id, so an id uniquely names immutable tuple data for
+/// the lifetime of the process — the index-catalog key that can never
+/// alias across catalog snapshots (unlike `Arc` pointer identity,
+/// which an allocator may reuse).
+static NEXT_PAYLOAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_payload_id() -> u64 {
+    NEXT_PAYLOAD_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of a row within a [`Relation`]. `u32` keeps per-row bookkeeping
 /// structures (groups, pointers) compact; 4 billion rows per relation is
@@ -23,13 +36,48 @@ use std::sync::Arc;
 pub type RowId = u32;
 
 /// The owned tuple data behind a [`Relation`] handle.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 struct Payload {
+    /// Unique identity of this allocation (see [`fresh_payload_id`]).
+    /// Not part of equality: two payloads with equal tuples but
+    /// different ids still compare equal.
+    id: u64,
     schema: Schema,
     /// Row-major values, `len = rows * arity`.
     data: Vec<Value>,
     weights: Vec<Weight>,
 }
+
+impl Payload {
+    fn new(schema: Schema, data: Vec<Value>, weights: Vec<Weight>) -> Self {
+        Payload {
+            id: fresh_payload_id(),
+            schema,
+            data,
+            weights,
+        }
+    }
+}
+
+impl Clone for Payload {
+    /// Copy-on-write divergence point: the clone holds different (soon
+    /// to be mutated) data, so it gets a fresh identity.
+    fn clone(&self) -> Self {
+        Payload {
+            id: fresh_payload_id(),
+            schema: self.schema.clone(),
+            data: self.data.clone(),
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.data == other.data && self.weights == other.weights
+    }
+}
+impl Eq for Payload {}
 
 /// An immutable weighted relation (bag semantics; call
 /// [`Relation::dedup`] for set semantics).
@@ -53,12 +101,19 @@ impl Relation {
     /// An empty relation over `schema`.
     pub fn empty(schema: Schema) -> Self {
         Relation {
-            payload: Arc::new(Payload {
-                schema,
-                data: Vec::new(),
-                weights: Vec::new(),
-            }),
+            payload: Arc::new(Payload::new(schema, Vec::new(), Vec::new())),
         }
+    }
+
+    /// The unique identity of this relation's immutable payload. Two
+    /// handles share an id iff they share tuple storage
+    /// ([`Relation::shares_payload`]); any mutation that diverges the
+    /// payload (copy-on-write, permutation) produces a fresh id. Ids
+    /// are never reused within a process — the aliasing-safe key the
+    /// index catalog caches tries under.
+    #[inline]
+    pub fn payload_id(&self) -> u64 {
+        self.payload.id
     }
 
     /// True iff `self` and `other` are handles over the *same* shared
@@ -244,11 +299,7 @@ impl Relation {
         }
         // Fresh buffers replace the payload wholesale: no point in a
         // copy-on-write clone that would be overwritten immediately.
-        self.payload = Arc::new(Payload {
-            schema: self.payload.schema.clone(),
-            data,
-            weights,
-        });
+        self.payload = Arc::new(Payload::new(self.payload.schema.clone(), data, weights));
     }
 
     /// Remove duplicate rows (same values), keeping the *lightest* weight
@@ -382,11 +433,7 @@ impl RelationBuilder {
     /// no copy).
     pub fn finish(self) -> Relation {
         Relation {
-            payload: Arc::new(Payload {
-                schema: self.schema,
-                data: self.data,
-                weights: self.weights,
-            }),
+            payload: Arc::new(Payload::new(self.schema, self.data, self.weights)),
         }
     }
 }
@@ -507,6 +554,23 @@ mod tests {
             r.shares_payload(&c),
             "no row dropped -> no copy-on-write clone"
         );
+    }
+
+    #[test]
+    fn payload_id_tracks_sharing_and_divergence() {
+        let r = rel();
+        let mut c = r.clone();
+        assert_eq!(r.payload_id(), c.payload_id(), "clone shares identity");
+        // All-pass retain keeps the shared payload (and its id).
+        c.retain(|_| true);
+        assert_eq!(r.payload_id(), c.payload_id());
+        // A dropping retain diverges: fresh payload, fresh id.
+        c.retain(|id| id != 0);
+        assert_ne!(r.payload_id(), c.payload_id());
+        // Equality ignores identity.
+        let twin = rel();
+        assert_ne!(r.payload_id(), twin.payload_id());
+        assert_eq!(r, twin);
     }
 
     #[test]

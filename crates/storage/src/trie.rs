@@ -199,6 +199,41 @@ impl Trie {
         &self.rows[s[lo as usize] as usize..s[hi as usize] as usize]
     }
 
+    /// The rows below the `i`-th child of `h`, at **any** level: the
+    /// last level answers directly from its leaf spans; inner levels
+    /// descend once and cover the contiguous row run underneath. This
+    /// is the emission primitive for joins consuming a trie *deeper*
+    /// than the atom's variable count (a shared full-permutation index
+    /// serving a prefix request).
+    #[inline]
+    pub fn rows_below(&self, h: NodeHandle, i: u32) -> &[RowId] {
+        if (h.level as usize) + 1 == self.depth() {
+            self.leaf_rows(h, i)
+        } else {
+            self.rows_under(self.descend(h, i))
+        }
+    }
+
+    /// Estimated resident heap bytes of this trie (values, child-span
+    /// offsets, sorted row ids, and the level/position bookkeeping) —
+    /// the unit the index catalog's LRU budget is accounted in.
+    pub fn memory_bytes(&self) -> usize {
+        let values: usize = self
+            .values
+            .iter()
+            .map(|v| v.len() * std::mem::size_of::<Value>())
+            .sum();
+        let starts: usize = self
+            .starts
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<u32>())
+            .sum();
+        values
+            + starts
+            + self.rows.len() * std::mem::size_of::<RowId>()
+            + self.positions.len() * std::mem::size_of::<usize>()
+    }
+
     /// Find the child of `h` with exactly value `v`; returns its absolute
     /// index if present.
     #[inline]
@@ -301,6 +336,44 @@ mod tests {
         let i = t.find(root, Value::Int(1)).unwrap();
         let child = t.descend(root, i);
         assert_eq!(t.rows_under(child).len(), 3);
+    }
+
+    #[test]
+    fn rows_below_matches_leaf_rows_and_subtrees() {
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        let root = t.root();
+        // Inner level: rows below value 1 at the root = the 3 rows with
+        // a = 1, exactly what descending + rows_under reports.
+        let i = t.find(root, Value::Int(1)).unwrap();
+        assert_eq!(t.rows_below(root, i).len(), 3);
+        assert_eq!(t.rows_below(root, i), t.rows_under(t.descend(root, i)));
+        // Last level: identical to leaf_rows.
+        let child = t.descend(root, i);
+        let j = t.find(child, Value::Int(4)).unwrap();
+        assert_eq!(t.rows_below(child, j), t.leaf_rows(child, j));
+        // Single-level trie: rows_below == leaf_rows at the root.
+        let t1 = Trie::build(&r, &[0]);
+        let k = t1.find(t1.root(), Value::Int(2)).unwrap();
+        assert_eq!(t1.rows_below(t1.root(), k).len(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_matches_known_shape() {
+        // rel(): 6 rows over (a, b); trie [0, 1] has level-0 values
+        // [1, 2, 3] and level-1 values [2, 4, 9 | 5 | 1] (5 distinct
+        // per-parent), so starts are 3+1 and 5+1 offsets.
+        let r = rel();
+        let t = Trie::build(&r, &[0, 1]);
+        let value = std::mem::size_of::<Value>();
+        let expect = (3 + 5) * value + (4 + 6) * 4 + 6 * 4 + 2 * std::mem::size_of::<usize>();
+        assert_eq!(t.memory_bytes(), expect);
+        // Single-level trie over column 0: values [1, 2, 3], 4 offsets.
+        let t1 = Trie::build(&r, &[0]);
+        let expect1 = 3 * value + 4 * 4 + 6 * 4 + std::mem::size_of::<usize>();
+        assert_eq!(t1.memory_bytes(), expect1);
+        // A deeper trie over the same rows can only grow the estimate.
+        assert!(t.memory_bytes() > t1.memory_bytes());
     }
 
     #[test]
