@@ -84,5 +84,5 @@ pub use ranking::{LexCost, MaxCost, MinCost, ProdCost, RankingFunction, SumCost,
 pub use rec::AnyKRec;
 pub use succorder::SuccessorKind;
 pub use tdp::{TdpError, TdpInstance};
-pub use union::RankedUnion;
+pub use union::{CanonicalOrder, RankedMerge, RankedUnion, TournamentTree};
 pub use unranked::UnrankedEnum;

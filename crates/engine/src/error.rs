@@ -45,6 +45,16 @@ pub enum EngineError {
         /// The shared relation name.
         relation: String,
     },
+    /// A [`ShardedEngine`](crate::ShardedEngine) was asked for zero
+    /// shards — there would be nothing to merge.
+    ZeroShards,
+    /// A relation name uses the reserved shard-fragment marker `#`
+    /// (fragments are addressed as `{name}#frag` internally, so user
+    /// relations must not collide with that namespace).
+    ReservedRelationName {
+        /// The offending relation name.
+        relation: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -70,6 +80,11 @@ impl fmt::Display for EngineError {
             EngineError::ConflictingBindings { relation } => write!(
                 f,
                 "atoms sharing the name `{relation}` were bound to different relations"
+            ),
+            EngineError::ZeroShards => write!(f, "a sharded engine needs at least one shard"),
+            EngineError::ReservedRelationName { relation } => write!(
+                f,
+                "relation name `{relation}` uses the reserved shard-fragment marker `#`"
             ),
         }
     }

@@ -53,12 +53,14 @@ mod error;
 mod plan;
 mod prepared;
 mod rank;
+mod shard;
 mod stream;
 
 pub use error::EngineError;
 pub use plan::{AnyKVariant, EngineOpts, IndexUse, Plan, Route};
 pub use prepared::PreparedQuery;
 pub use rank::{Cost, IntoCost, RankSpec};
+pub use shard::{ShardedEngine, ShardedPrepared, FRAGMENT_SUFFIX};
 pub use stream::{RankedAnswer, RankedStream};
 
 use anyk_core::decomposed::auto_decomposition;

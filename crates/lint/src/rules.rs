@@ -10,7 +10,7 @@
 //! |------|-----------|
 //! | `unsafe-needs-safety` | every `unsafe` carries a `// SAFETY:` contract |
 //! | `no-panic-hot-path` | serving hot paths (`server`, `engine`) never panic |
-//! | `lock-order` | session ≺ catalog ≺ plan cache ≺ deadline map |
+//! | `lock-order` | session ≺ shard coord ≺ catalog ≺ plan cache ≺ deadline map |
 //! | `wire-encoder-discipline` | protocol bytes originate only in the shared encoder |
 //! | `shim-purity` | shims import no anyk code; core stays clock/socket-free |
 //! | `no-boxed-dyn-error` | library crates keep typed errors end-to-end |
@@ -202,9 +202,10 @@ fn no_panic_hot_path(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 fn lock_position(name: &str) -> Option<(usize, &'static str)> {
     match name {
         "session" => Some((0, "session mutex")),
-        "catalog" => Some((1, "catalog RwLock")),
-        "cache" => Some((2, "plan-cache mutex")),
-        "map" | "deadlines" | "shard" | "shards" => Some((3, "shared deadline map")),
+        "coord" => Some((1, "shard-coordination RwLock")),
+        "catalog" => Some((2, "catalog RwLock")),
+        "cache" => Some((3, "plan-cache mutex")),
+        "map" | "deadlines" | "shard" | "shards" => Some((4, "shared deadline map")),
         _ => None,
     }
 }
@@ -222,8 +223,9 @@ struct LiveGuard {
 /// `crates/engine`: a `let g = <recv>.lock()/.read()/.write()` guard
 /// is live until its enclosing block closes; while any guard is live,
 /// acquiring a known lock out of the documented order
-/// (session ≺ catalog ≺ cache ≺ deadline map) or re-acquiring the
-/// same lock is an error, and any other nested `.lock()` is a warning
+/// (session ≺ coord ≺ catalog ≺ cache ≺ deadline map) or re-acquiring
+/// the same lock is an error, and any other nested `.lock()` is a
+/// warning
 /// (the cross-function cases this lexical pass cannot prove safe).
 /// `.read()`/`.write()` count only with an empty argument list and a
 /// known RwLock receiver, so socket `read(&mut buf)` calls never
@@ -307,8 +309,8 @@ fn lock_order(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                                     format!(
                                         "acquiring the {new_label} while guard `{}` holds the \
                                          {held_label} (line {}) violates the documented order \
-                                         session \u{227a} catalog \u{227a} cache \u{227a} \
-                                         deadline map",
+                                         session \u{227a} coord \u{227a} catalog \u{227a} \
+                                         cache \u{227a} deadline map",
                                         g.binding, g.line
                                     ),
                                 ));

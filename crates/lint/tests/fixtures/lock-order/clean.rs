@@ -28,6 +28,14 @@ pub fn temporary_guard(map: &Mutex<HashMap<u64, u64>>, cache: &Mutex<HashMap<u64
     n + m
 }
 
+// The sharded prepare path: the coordination lock comes first, then
+// each per-shard catalog — the documented order.
+pub fn coord_then_catalog(coord: &RwLock<u64>, catalog: &RwLock<u64>) -> u64 {
+    let epoch = coord.read().unwrap_or_else(PoisonError::into_inner);
+    let snapshot = catalog.read().unwrap_or_else(PoisonError::into_inner);
+    *epoch + *snapshot
+}
+
 // Socket-style `.read(&mut buf)` has arguments — never mistaken for a
 // RwLock read.
 pub fn io_read(stream: &mut impl std::io::Read) -> std::io::Result<usize> {

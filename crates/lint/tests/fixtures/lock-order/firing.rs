@@ -23,4 +23,13 @@ impl Shared {
         let again = map.lock().unwrap_or_else(PoisonError::into_inner);
         held.len() + again.len()
     }
+
+    // Acquires the shard-coordination lock *after* a per-shard
+    // catalog: backwards — coord must be taken before any shard
+    // catalog, or two updaters can deadlock against a preparer.
+    pub fn coord_after_catalog(&self, coord: &RwLock<u64>, catalog: &RwLock<u64>) -> u64 {
+        let snapshot = catalog.read().unwrap_or_else(PoisonError::into_inner);
+        let epoch = coord.read().unwrap_or_else(PoisonError::into_inner);
+        *snapshot + *epoch
+    }
 }

@@ -92,7 +92,7 @@ pub use ast::{select_stmt, select_text, AtomRef, Command, SelectStmt};
 pub use frame::{encode_frame_error, FrameError, LineFramer};
 pub use parser::{parse, ParseError};
 pub use service::{Page, Response, ServeError, Service, ServiceConfig, ServiceStats, Session};
-pub use tcp::{Server, TcpClient, Transport, TransportConfig};
+pub use tcp::{BindError, Server, TcpClient, Transport, TransportConfig};
 pub use wire::{encode_answer, encode_connection_rejected, encode_response, respond, LocalClient};
 
 /// A tiny single-relation engine for the crate's unit tests.

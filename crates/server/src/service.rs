@@ -38,7 +38,10 @@
 
 use crate::ast::Command;
 use crate::parser::{parse, ParseError};
-use anyk_engine::{CacheStats, Engine, EngineError, RankedAnswer, RankedStream};
+use anyk_engine::{
+    CacheStats, Engine, EngineError, RankSpec, RankedAnswer, RankedStream, ShardedEngine,
+};
+use anyk_query::cq::ConjunctiveQuery;
 use anyk_storage::IndexStats;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -68,17 +71,27 @@ pub struct ServiceConfig {
     /// connection flood degrades into cheap rejects instead of
     /// unbounded per-connection state.
     pub max_connections: usize,
+    /// Event-loop worker threads. `None` (the default) sizes the pool
+    /// from [`std::thread::available_parallelism`] with a floor of 2
+    /// and **no upper clamp** — big machines get big pools. `Some(n)`
+    /// pins the pool; `Some(0)` is rejected at bind time with a typed
+    /// [`BindError`](crate::BindError). Overridden by the
+    /// `ANYK_SERVE_WORKERS` environment variable and by an explicit
+    /// [`TransportConfig::workers`](crate::TransportConfig::workers),
+    /// in that order of increasing precedence.
+    pub workers: Option<usize>,
 }
 
 impl Default for ServiceConfig {
     /// 64 concurrent streams, 60 s cursor TTL, 10-answer pages,
-    /// 1024 connections.
+    /// 1024 connections, auto-sized worker pool.
     fn default() -> Self {
         ServiceConfig {
             max_open_cursors: 64,
             cursor_ttl: Duration::from_secs(60),
             default_page: 10,
             max_connections: 1024,
+            workers: None,
         }
     }
 }
@@ -157,7 +170,7 @@ pub enum Response {
     /// The rendered plan (`EXPLAIN`).
     Explained(String),
     /// Service metrics (`STATS`).
-    Stats(ServiceStats),
+    Stats(Box<ServiceStats>),
     /// Acknowledgement of `CLOSE`.
     Closed {
         /// The closed cursor id.
@@ -206,30 +219,40 @@ pub struct ServiceStats {
     pub ttf_mean_us: u64,
     /// Maximum observed time-to-first-answer, in microseconds.
     pub ttf_max_us: u64,
-    /// Median time-to-first-answer from the fixed-bucket histogram —
-    /// reported as the containing power-of-two bucket's upper bound
-    /// (conservative), in microseconds. 0 until a first answer is
-    /// served.
+    /// Median time-to-first-answer from the fixed-bucket histogram,
+    /// estimated by linear interpolation within the containing
+    /// power-of-two bucket (the top bucket still reports its upper
+    /// bound), in microseconds. 0 until a first answer is served.
     pub ttf_p50_us: u64,
-    /// 95th-percentile time-to-first-answer (bucket upper bound), µs.
+    /// 95th-percentile time-to-first-answer (interpolated within its
+    /// bucket), µs.
     pub ttf_p95_us: u64,
-    /// 99th-percentile time-to-first-answer (bucket upper bound), µs.
+    /// 99th-percentile time-to-first-answer (interpolated within its
+    /// bucket), µs.
     pub ttf_p99_us: u64,
     /// Median per-page serve latency (`SELECT` first pages and `NEXT`
-    /// pulls alike; bucket upper bound), µs.
+    /// pulls alike; interpolated within its bucket), µs.
     pub page_p50_us: u64,
-    /// 95th-percentile per-page serve latency (bucket upper bound), µs.
+    /// 95th-percentile per-page serve latency (interpolated within its
+    /// bucket), µs.
     pub page_p95_us: u64,
-    /// 99th-percentile per-page serve latency (bucket upper bound), µs.
+    /// 99th-percentile per-page serve latency (interpolated within its
+    /// bucket), µs.
     pub page_p99_us: u64,
     /// Connections refused by accept-time load shedding.
     pub connections_rejected: u64,
     /// Connections established right now (the connection gauge).
     pub open_connections: usize,
-    /// The engine's plan-cache counters (hits/misses/evictions/...).
+    /// The engine's plan-cache counters (hits/misses/evictions/...) —
+    /// summed across all shards on a sharded backend.
     pub cache: CacheStats,
-    /// The shared index catalog's counters (hits/misses/builds/...).
+    /// The index catalog's counters (hits/misses/builds/...) — summed
+    /// across all shards on a sharded backend (each shard owns its own
+    /// index catalog).
     pub index: IndexStats,
+    /// How many engine shards serve this service (1 for a
+    /// single-engine backend).
+    pub shards: usize,
 }
 
 /// Power-of-two latency buckets (µs): bucket `i` counts samples in
@@ -264,9 +287,15 @@ impl Histogram {
         (1u64 << (i + 1)) - 1
     }
 
-    /// The latency below which fraction `p` of samples fall, reported
-    /// as the containing bucket's upper bound (conservative — never
-    /// under-promises). 0 while the histogram is empty.
+    /// The latency below which fraction `p` of samples fall, estimated
+    /// by **linear interpolation within the containing power-of-two
+    /// bucket**: the sample's rank inside the bucket positions it
+    /// between the bucket's bounds, assuming samples spread uniformly
+    /// there. (Reporting the raw upper bound — the old behaviour —
+    /// overstated a median sitting at a bucket's lower edge by up to
+    /// 2×.) The open-ended top bucket has no interior to interpolate,
+    /// so it still reports its conservative upper bound. 0 while the
+    /// histogram is empty.
     fn percentile(&self, p: f64) -> u64 {
         let counts: Vec<u64> = self
             .counts
@@ -279,11 +308,19 @@ impl Histogram {
         }
         let target = ((p * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return Self::upper_bound(i);
+        for (i, &c) in counts.iter().enumerate() {
+            if cum + c >= target && c > 0 {
+                if i == HIST_BUCKETS - 1 {
+                    return Self::upper_bound(i);
+                }
+                // Bucket i covers [2^i, 2^(i+1)); rank (1-based) of the
+                // target sample within it interpolates across that span.
+                let lo = 1u64 << i;
+                let span = lo;
+                let rank = target - cum;
+                return (lo + (rank * span) / c).min(Self::upper_bound(i));
             }
+            cum += c;
         }
         Self::upper_bound(HIST_BUCKETS - 1)
     }
@@ -549,12 +586,64 @@ impl SharedDeadlines {
     }
 }
 
-/// The query service: a shared [`Engine`] plus the service-wide
-/// admission bound and metrics. `Clone + Send + Sync` — clones are
-/// handles to the same service; spawn one [`Session`] per client.
+/// The engine a [`Service`] serves from: one process-local [`Engine`],
+/// or N hash-partitioned shards merged behind [`ShardedEngine`]. The
+/// session layer — cursors, admission, deadlines, metrics — is
+/// identical either way; only planning and stats sourcing dispatch.
+#[derive(Clone)]
+enum Backend {
+    Single(Engine),
+    Sharded(ShardedEngine),
+}
+
+impl Backend {
+    /// Plan `cq` under `rank` into a ranked stream (through the plan
+    /// cache on a single engine; through every shard's cache plus the
+    /// tournament merge on a sharded one).
+    fn plan(&self, cq: ConjunctiveQuery, rank: RankSpec) -> Result<RankedStream, EngineError> {
+        match self {
+            Backend::Single(engine) => engine.query(cq).rank_by(rank).plan(),
+            Backend::Sharded(sharded) => sharded.stream(&cq, rank),
+        }
+    }
+
+    /// Render the plan; a sharded backend appends its per-atom fan-out.
+    fn explain(&self, cq: ConjunctiveQuery, rank: RankSpec) -> Result<String, EngineError> {
+        match self {
+            Backend::Single(engine) => Ok(engine.query(cq).rank_by(rank).explain()?.explain()),
+            Backend::Sharded(sharded) => sharded.explain(&cq, rank),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            Backend::Single(engine) => engine.cache_stats(),
+            Backend::Sharded(sharded) => sharded.cache_stats(),
+        }
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        match self {
+            Backend::Single(engine) => engine.index_stats(),
+            Backend::Sharded(sharded) => sharded.index_stats(),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        match self {
+            Backend::Single(_) => 1,
+            Backend::Sharded(sharded) => sharded.num_shards(),
+        }
+    }
+}
+
+/// The query service: a shared engine backend — single or sharded —
+/// plus the service-wide admission bound and metrics.
+/// `Clone + Send + Sync` — clones are handles to the same service;
+/// spawn one [`Session`] per client.
 #[derive(Clone)]
 pub struct Service {
-    engine: Engine,
+    backend: Backend,
     config: ServiceConfig,
     admission: Arc<Admission>,
     connections: Arc<ConnectionGauge>,
@@ -581,8 +670,25 @@ impl Service {
 
     /// A service with an explicit configuration.
     pub fn with_config(engine: Engine, config: ServiceConfig) -> Self {
+        Service::from_backend(Backend::Single(engine), config)
+    }
+
+    /// A service over a [`ShardedEngine`] with the default
+    /// [`ServiceConfig`]: sessions stream through the globally-ranked
+    /// shard merge, `EXPLAIN` reports shard fan-out, and `STATS`
+    /// aggregates per-shard cache and index counters.
+    pub fn sharded(engine: ShardedEngine) -> Self {
+        Service::sharded_with_config(engine, ServiceConfig::default())
+    }
+
+    /// [`Service::sharded`] with an explicit configuration.
+    pub fn sharded_with_config(engine: ShardedEngine, config: ServiceConfig) -> Self {
+        Service::from_backend(Backend::Sharded(engine), config)
+    }
+
+    fn from_backend(backend: Backend, config: ServiceConfig) -> Self {
         Service {
-            engine,
+            backend,
             config,
             admission: Arc::new(Admission {
                 open: AtomicUsize::new(0),
@@ -601,9 +707,29 @@ impl Service {
         }
     }
 
-    /// The underlying engine (catalog updates, cache configuration).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The underlying single-process engine (catalog updates, cache
+    /// configuration) — `None` when this service fronts a sharded
+    /// backend; use [`Service::sharded_engine`] there.
+    pub fn engine(&self) -> Option<&Engine> {
+        match &self.backend {
+            Backend::Single(engine) => Some(engine),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The underlying sharded engine — `None` on a single-engine
+    /// service.
+    pub fn sharded_engine(&self) -> Option<&ShardedEngine> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(sharded) => Some(sharded),
+        }
+    }
+
+    /// How many engine shards serve this service (1 for a
+    /// single-engine backend).
+    pub fn shards(&self) -> usize {
+        self.backend.shards()
     }
 
     /// The active configuration.
@@ -690,8 +816,9 @@ impl Service {
             page_p99_us: m.page_hist.percentile(0.99),
             connections_rejected: m.connections_rejected.load(Ordering::Relaxed),
             open_connections: self.connections.open.load(Ordering::Relaxed),
-            cache: self.engine.cache_stats(),
-            index: self.engine.index_stats(),
+            cache: self.backend.cache_stats(),
+            index: self.backend.index_stats(),
+            shards: self.backend.shards(),
         }
     }
 }
@@ -765,13 +892,8 @@ impl Session {
         match cmd {
             Command::Select(stmt) => self.select(stmt),
             Command::Explain(stmt) => {
-                let plan = self
-                    .service
-                    .engine
-                    .query(stmt.to_cq())
-                    .rank_by(stmt.rank)
-                    .explain()?;
-                Ok(Response::Explained(plan.explain()))
+                let text = self.service.backend.explain(stmt.to_cq(), stmt.rank)?;
+                Ok(Response::Explained(text))
             }
             Command::Next { count, cursor } => self.next(count, cursor),
             Command::Close { cursor } => {
@@ -796,7 +918,7 @@ impl Session {
                     Err(ServeError::UnknownCursor { cursor })
                 }
             }
-            Command::Stats => Ok(Response::Stats(self.service.stats())),
+            Command::Stats => Ok(Response::Stats(Box::new(self.service.stats()))),
         }
     }
 
@@ -835,14 +957,10 @@ impl Session {
         };
         let page_size = stmt.limit.unwrap_or(self.service.config.default_page);
         let started = Instant::now();
-        // Prepared through the engine's plan cache: repeated SELECTs of
-        // one query shape share preprocessing across all sessions.
-        let mut stream = self
-            .service
-            .engine
-            .query(stmt.to_cq())
-            .rank_by(stmt.rank)
-            .plan()?;
+        // Prepared through the engine's plan cache (every shard's, on a
+        // sharded backend): repeated SELECTs of one query shape share
+        // preprocessing across all sessions.
+        let mut stream = self.service.backend.plan(stmt.to_cq(), stmt.rank)?;
         let mut lookahead = None;
         let (answers, done) = pull_page(&mut stream, &mut lookahead, page_size);
         if !answers.is_empty() {
@@ -1001,13 +1119,16 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_are_bucket_upper_bounds() {
+    fn histogram_percentiles_interpolate_within_buckets() {
         let h = Histogram::default();
         // 0 rounds up into bucket 0 ([1,2) µs, upper bound 1).
         h.record(0);
         assert_eq!(h.percentile(0.50), 1);
-        // 90 × 1µs + 10 × 1000µs: the p50 stays in the first bucket,
-        // the p95/p99 land in 1000's bucket ([512,1024), bound 1023).
+        // 90 × 1µs + 10 × 1000µs: the p50 stays in the first bucket;
+        // the p95/p99 land in 1000's bucket ([512,1024)) and
+        // interpolate by their rank among the 10 samples there —
+        // 512 + 5·512/10 = 768 and 512 + 9·512/10 = 972, not the old
+        // flat bucket bound of 1023 for both.
         for _ in 0..89 {
             h.record(1);
         }
@@ -1015,8 +1136,38 @@ mod tests {
             h.record(1000);
         }
         assert_eq!(h.percentile(0.50), 1);
-        assert_eq!(h.percentile(0.95), 1023);
-        assert_eq!(h.percentile(0.99), 1023);
+        assert_eq!(h.percentile(0.95), 768);
+        assert_eq!(h.percentile(0.99), 972);
+    }
+
+    #[test]
+    fn histogram_median_no_longer_doubled_at_bucket_lower_edge() {
+        // Regression pin for the 2×-overstated median: 49 × 1µs plus
+        // 51 × 512µs puts the true p50 at exactly 512µs, the *lower*
+        // edge of bucket [512,1024). The old implementation reported
+        // the bucket's upper bound, 1023µs — almost exactly double.
+        // Interpolation lands one rank into the 51-sample bucket:
+        // 512 + 1·512/51 = 522.
+        let h = Histogram::default();
+        for _ in 0..49 {
+            h.record(1);
+        }
+        for _ in 0..51 {
+            h.record(512);
+        }
+        assert_eq!(h.percentile(0.50), 522);
+        assert!(h.percentile(0.50) < 1023, "upper-bound report was ~2× off");
+    }
+
+    #[test]
+    fn histogram_uniform_spread_interpolates_midpoint() {
+        // 512 samples uniformly covering [512,1024) — the assumption
+        // interpolation makes — put the p50 at the bucket midpoint.
+        let h = Histogram::default();
+        for us in 512..1024 {
+            h.record(us);
+        }
+        assert_eq!(h.percentile(0.50), 768);
     }
 
     #[test]

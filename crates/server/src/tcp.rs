@@ -24,11 +24,63 @@ use crate::event_loop;
 use crate::frame::{encode_frame_error, LineFramer};
 use crate::service::{ConnectionSlot, Service};
 use crate::wire::{encode_connection_rejected, respond};
+use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Why [`Server::bind`] / [`Server::bind_with`] could not start.
+///
+/// Binding fails either on the socket (wrapped [`std::io::Error`]) or
+/// at worker-pool validation time, *before* any thread is spawned —
+/// a zero-sized pool would accept connections and then never execute
+/// a command, so it is rejected up front with a typed error instead
+/// of being silently "fixed" to some clamp.
+#[derive(Debug)]
+pub enum BindError {
+    /// Socket-level failure (bind, local_addr, nonblocking setup, ...).
+    Io(std::io::Error),
+    /// [`crate::ServiceConfig::workers`] was `Some(0)` — an explicit
+    /// request for a pool that could never serve a command.
+    InvalidWorkers,
+    /// `ANYK_SERVE_WORKERS` was set but is not a positive integer.
+    InvalidWorkersEnv {
+        /// The offending environment value.
+        value: String,
+    },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::Io(e) => write!(f, "bind: {e}"),
+            BindError::InvalidWorkers => {
+                write!(f, "ServiceConfig::workers must be at least 1 (got 0)")
+            }
+            BindError::InvalidWorkersEnv { value } => write!(
+                f,
+                "ANYK_SERVE_WORKERS must be a positive integer, got `{value}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BindError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BindError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BindError {
+    fn from(e: std::io::Error) -> Self {
+        BindError::Io(e)
+    }
+}
 
 /// Which accept architecture a [`Server`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +116,11 @@ pub struct TransportConfig {
     /// changes.
     pub transport: Transport,
     /// Worker threads executing commands (event loop only). `0` means
-    /// auto: one per available core, clamped to `2..=8`.
+    /// "not set here": the pool size then comes from the
+    /// `ANYK_SERVE_WORKERS` environment variable, then
+    /// [`crate::ServiceConfig::workers`], then auto-sizing (one worker
+    /// per available core, floor 2, **no upper clamp** — an earlier
+    /// revision silently capped the pool at 8, starving wide hosts).
     pub workers: usize,
     /// Longest accepted command line, in bytes; longer lines get a
     /// typed `ERR proto` reply and are discarded to the next newline
@@ -84,14 +140,41 @@ impl Default for TransportConfig {
 }
 
 impl TransportConfig {
-    fn resolved_workers(&self) -> usize {
-        if self.workers > 0 {
-            return self.workers;
-        }
-        std::thread::available_parallelism()
+    fn resolved_workers(&self, service_workers: Option<usize>) -> Result<usize, BindError> {
+        let env = std::env::var("ANYK_SERVE_WORKERS").ok();
+        resolve_workers(self.workers, env.as_deref(), service_workers)
+    }
+}
+
+/// Worker-pool sizing, by precedence: an explicit
+/// [`TransportConfig::workers`], then `ANYK_SERVE_WORKERS`, then
+/// [`crate::ServiceConfig::workers`], then one worker per available
+/// core with a floor of 2 (so a busy command never starves the loop on
+/// a single-core box) and **no upper clamp**. Zero anywhere explicit is
+/// a [`BindError`], not a silent correction.
+fn resolve_workers(
+    explicit: usize,
+    env: Option<&str>,
+    service_workers: Option<usize>,
+) -> Result<usize, BindError> {
+    if explicit > 0 {
+        return Ok(explicit);
+    }
+    if let Some(value) = env {
+        return match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(BindError::InvalidWorkersEnv {
+                value: value.to_string(),
+            }),
+        };
+    }
+    match service_workers {
+        Some(0) => Err(BindError::InvalidWorkers),
+        Some(n) => Ok(n),
+        None => Ok(std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .clamp(2, 8)
+            .unwrap_or(2)
+            .max(2)),
     }
 }
 
@@ -147,16 +230,21 @@ impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
     /// and start serving on the [`TransportConfig::default`] transport
     /// — the event loop, unless `ANYK_SERVE_TRANSPORT=threaded`.
-    pub fn bind(service: Service, addr: &str) -> std::io::Result<Server> {
+    pub fn bind(service: Service, addr: &str) -> Result<Server, BindError> {
         Server::bind_with(service, addr, TransportConfig::default())
     }
 
-    /// Bind with an explicit transport and tuning.
+    /// Bind with an explicit transport and tuning. Fails with a typed
+    /// [`BindError`] on socket errors or an invalid worker-pool size
+    /// (see [`TransportConfig::workers`] for the sizing precedence).
     pub fn bind_with(
         service: Service,
         addr: &str,
         config: TransportConfig,
-    ) -> std::io::Result<Server> {
+    ) -> Result<Server, BindError> {
+        // Validate the pool before touching the socket: a bad worker
+        // config should fail identically whether or not the port binds.
+        let workers = config.resolved_workers(service.config().workers)?;
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -167,7 +255,7 @@ impl Server {
                     service,
                     listener,
                     Arc::clone(&stop),
-                    config.resolved_workers(),
+                    workers,
                     config.max_line_len,
                 )?;
                 Running::Event {
@@ -341,5 +429,71 @@ impl TcpClient {
                 return Ok(block);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use anyk_engine::Engine;
+    use anyk_storage::Catalog;
+
+    #[test]
+    fn worker_resolution_precedence() {
+        // Explicit transport config wins over everything.
+        assert_eq!(resolve_workers(3, Some("7"), Some(5)).unwrap(), 3);
+        // Then the environment...
+        assert_eq!(resolve_workers(0, Some("7"), Some(5)).unwrap(), 7);
+        // ...then the service config...
+        assert_eq!(resolve_workers(0, None, Some(5)).unwrap(), 5);
+        // ...then auto: per-core with a floor of 2.
+        let auto = resolve_workers(0, None, None).unwrap();
+        assert!(auto >= 2);
+    }
+
+    #[test]
+    fn worker_resolution_has_no_upper_clamp() {
+        // The old auto path clamped to 2..=8; explicit sizes must pass
+        // through untouched well past that cap.
+        assert_eq!(resolve_workers(64, None, None).unwrap(), 64);
+        assert_eq!(resolve_workers(0, Some("32"), None).unwrap(), 32);
+        assert_eq!(resolve_workers(0, None, Some(128)).unwrap(), 128);
+    }
+
+    #[test]
+    fn worker_resolution_rejects_zero_and_junk() {
+        assert!(matches!(
+            resolve_workers(0, None, Some(0)),
+            Err(BindError::InvalidWorkers)
+        ));
+        for bad in ["0", "", "eight", "-2", "3.5"] {
+            let err = resolve_workers(0, Some(bad), None).unwrap_err();
+            assert!(
+                matches!(&err, BindError::InvalidWorkersEnv { value } if value == bad),
+                "expected InvalidWorkersEnv for {bad:?}, got {err:?}"
+            );
+            assert!(err.to_string().contains("ANYK_SERVE_WORKERS"));
+        }
+    }
+
+    #[test]
+    fn bind_rejects_zero_workers_with_typed_error() {
+        if std::env::var("ANYK_SERVE_WORKERS").is_ok() {
+            return; // env override would shadow the service config
+        }
+        let service = Service::with_config(
+            Engine::new(Catalog::new()),
+            ServiceConfig {
+                workers: Some(0),
+                ..ServiceConfig::default()
+            },
+        );
+        let err = match Server::bind(service, "127.0.0.1:0") {
+            Err(e) => e,
+            Ok(_) => panic!("bind must reject a zero-worker pool"),
+        };
+        assert!(matches!(err, BindError::InvalidWorkers));
+        assert!(err.to_string().contains("at least 1"));
     }
 }

@@ -116,6 +116,7 @@ pub fn encode_connection_rejected(open: usize, max: usize) -> String {
 /// The `STATS` key/value pairs, in a fixed render order.
 fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
     vec![
+        ("shards", s.shards.to_string()),
         ("queries", s.queries.to_string()),
         ("answers_served", s.answers_served.to_string()),
         ("pages_served", s.pages_served.to_string()),

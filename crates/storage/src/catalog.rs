@@ -88,6 +88,23 @@ impl Catalog {
         &self.indexes
     }
 
+    /// A copy of this catalog with the *same* relations and symbol
+    /// dictionary but a **fresh, empty** [`IndexCatalog`] of the same
+    /// capacity. Relation payloads are still shared (refcount bumps),
+    /// so the fork is `O(#relations)` — this is how a sharded engine
+    /// gives each shard its own index budget and hit/miss accounting
+    /// while a plain [`Clone`] keeps sharing warm indexes.
+    pub fn fork_with_fresh_indexes(&self) -> Catalog {
+        Catalog {
+            relations: self.relations.clone(),
+            symbols: self.symbols.clone(),
+            symbol_ids: self.symbol_ids.clone(),
+            indexes: Arc::new(IndexCatalog::with_capacity(
+                self.indexes.stats().capacity_bytes as usize,
+            )),
+        }
+    }
+
     /// Names of all registered relations (unspecified order).
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.keys().map(String::as_str)

@@ -22,6 +22,8 @@
 //! * [`trie`] — sorted nested tries for worst-case-optimal joins.
 //! * [`index_catalog`] — catalog-resident shared trie indexes
 //!   (lazy, LRU-bounded, payload-identity keyed).
+//! * [`partition`] — deterministic full-row hash partitioning of
+//!   relations into shard fragments.
 //! * [`catalog`] — named relations plus a string dictionary.
 //! * [`csv`] — minimal CSV import/export for weighted relations.
 //! * [`fxhash`] — the fast FxHash-style hasher used by all hot hash maps.
@@ -32,6 +34,7 @@ pub mod error;
 pub mod fxhash;
 pub mod index;
 pub mod index_catalog;
+pub mod partition;
 pub mod relation;
 pub mod schema;
 pub mod trie;
@@ -45,6 +48,7 @@ pub use index::{HashIndex, SortedIndex};
 pub use index_catalog::{
     BuildEachTime, IndexCatalog, IndexProvider, IndexStats, DEFAULT_INDEX_CATALOG_BYTES,
 };
+pub use partition::{partition_relation, shard_of_row};
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use schema::Schema;
 pub use trie::Trie;

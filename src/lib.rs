@@ -84,11 +84,11 @@ pub mod prelude {
     };
     pub use anyk_engine::{
         AnyKVariant, Cost, Engine, EngineError, EngineOpts, Plan, PreparedQuery, RankSpec,
-        RankedAnswer, RankedStream, Route,
+        RankedAnswer, RankedStream, Route, ShardedEngine, ShardedPrepared,
     };
     pub use anyk_query::cq::{cycle_query, path_query, star_query, triangle_query, QueryBuilder};
     pub use anyk_query::gyo::{gyo_reduce, is_acyclic, GyoResult};
-    pub use anyk_serve::{LocalClient, ServeError, Service, ServiceConfig};
+    pub use anyk_serve::{BindError, LocalClient, ServeError, Service, ServiceConfig};
     pub use anyk_storage::{
         Catalog, Relation, RelationBuilder, Schema, StorageError, Value, Weight,
     };

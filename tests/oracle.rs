@@ -15,7 +15,7 @@ mod common;
 
 use anyk::prelude::*;
 use common::gen::{edge_rel, snowflake_query};
-use common::oracle::{brute_force_ranked, check_engine_against_oracle};
+use common::oracle::{brute_force_ranked, check_engine_against_oracle, OracleAnswer};
 
 /// A dense-ish fixed edge set with dyadic weights and deliberate
 /// weight ties (the tie-group comparison must actually bite).
@@ -182,4 +182,188 @@ fn triangle_first_and_upgraded_streams_both_match_the_oracle() {
         first, upgraded,
         "first stream == upgraded cursor, ties included"
     );
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving: the scatter/merge stream must be indistinguishable
+// from a single engine — not just the same multiset, the same *bytes*.
+// The merge canonicalizes cost-ties by value order, so the comparison
+// baseline is the single engine's stream under `canonical_ties()`,
+// which coincides with the oracle's `(cost, values)` total order.
+// ---------------------------------------------------------------------
+
+/// Positional (not tie-group) equality against the oracle: the
+/// canonical streams pin ties to value order, so every rank must
+/// match exactly.
+fn assert_exact_oracle_order(got: &[RankedAnswer], want: &[OracleAnswer], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: cardinality");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.cost, w.0, "{label}: cost at rank {i}");
+        assert_eq!(g.values, w.1, "{label}: values at rank {i}");
+    }
+}
+
+/// Sharded-vs-single byte-identity for one `(q, rels)` instance across
+/// every ranking and `shards` ∈ {2, 3}.
+fn check_sharded_matches_single(
+    q: &anyk::query::cq::ConjunctiveQuery,
+    rels: &[Relation],
+    route: &str,
+) {
+    for shards in [2usize, 3] {
+        let sharded = ShardedEngine::try_from_query_bindings(q, rels.to_vec(), shards)
+            .unwrap_or_else(|e| panic!("{route}: sharded build: {e}"));
+        let single = Engine::from_query_bindings(q, rels.to_vec());
+        for rank in RankSpec::ALL {
+            let label = format!("{route} × {rank} × {shards} shard(s)");
+            let want = brute_force_ranked(q, rels, rank);
+            let merged: Vec<RankedAnswer> = sharded
+                .stream(q, rank)
+                .unwrap_or_else(|e| panic!("{label}: sharded stream: {e}"))
+                .collect();
+            let canonical: Vec<RankedAnswer> = single
+                .query(q.clone())
+                .rank_by(rank)
+                .plan()
+                .unwrap_or_else(|e| panic!("{label}: single plan: {e}"))
+                .canonical_ties()
+                .collect();
+            assert_eq!(
+                merged, canonical,
+                "{label}: merged stream must be byte-identical to the single engine"
+            );
+            assert_exact_oracle_order(&merged, &want, &label);
+        }
+    }
+}
+
+#[test]
+fn sharded_path_is_byte_identical_to_single_engine() {
+    let q = path_query(3);
+    let rels = vec![
+        edge_rel(&fixture_edges()),
+        edge_rel(&fixture_edges()[2..]),
+        edge_rel(&fixture_edges()[..10]),
+    ];
+    check_sharded_matches_single(&q, &rels, "acyclic-path");
+}
+
+#[test]
+fn sharded_star_is_byte_identical_to_single_engine() {
+    let q = star_query(3);
+    let rels = vec![
+        edge_rel(&fixture_edges()[..10]),
+        edge_rel(&fixture_edges()[3..]),
+        edge_rel(&fixture_edges()[..8]),
+    ];
+    check_sharded_matches_single(&q, &rels, "acyclic-star");
+}
+
+#[test]
+fn sharded_triangle_is_byte_identical_to_single_engine() {
+    let q = triangle_query();
+    let e = edge_rel(&fixture_edges());
+    check_sharded_matches_single(&q, &[e.clone(), e.clone(), e], "triangle");
+}
+
+#[test]
+fn sharded_four_cycle_is_byte_identical_to_single_engine() {
+    let q = cycle_query(4);
+    let e = edge_rel(&fixture_edges());
+    check_sharded_matches_single(&q, &[e.clone(), e.clone(), e.clone(), e], "four-cycle");
+}
+
+#[test]
+fn sharded_five_cycle_is_byte_identical_to_single_engine() {
+    let q = cycle_query(5);
+    let e = edge_rel(&fixture_edges());
+    check_sharded_matches_single(
+        &q,
+        &[e.clone(), e.clone(), e.clone(), e.clone(), e],
+        "decomposed",
+    );
+}
+
+#[test]
+fn sharded_all_ties_relation_is_partition_invariant() {
+    // Adversarial tie fixture: every tuple weighs the same, so the
+    // whole output is ONE cost-tie group and the merge order is
+    // decided *entirely* by the cross-shard tie-break. Any
+    // nondeterminism — seeded by which shard owns which row — would
+    // show up here as a permutation.
+    let flat: Vec<(i64, i64, f64)> = fixture_edges()
+        .iter()
+        .map(|&(a, b, _)| (a, b, 1.0))
+        .collect();
+    let e = edge_rel(&flat);
+    let q3 = triangle_query();
+    check_sharded_matches_single(&q3, &[e.clone(), e.clone(), e.clone()], "all-ties-triangle");
+    let q = path_query(2);
+    check_sharded_matches_single(&q, &[e.clone(), e.clone()], "all-ties-path");
+    // Degenerate shard counts on the same fixture: more shards than
+    // distinct pivot rows must still merge to the identical bytes.
+    for shards in [5usize, 16] {
+        let sharded =
+            ShardedEngine::try_from_query_bindings(&q, vec![e.clone(), e.clone()], shards)
+                .expect("sharded build");
+        let merged: Vec<RankedAnswer> =
+            sharded.stream(&q, RankSpec::Sum).expect("stream").collect();
+        let want = brute_force_ranked(&q, &[e.clone(), e.clone()], RankSpec::Sum);
+        assert_exact_oracle_order(&merged, &want, &format!("all-ties-path × {shards} shards"));
+    }
+}
+
+#[test]
+fn sharded_invalidation_is_coherent_with_mid_stream_snapshots() {
+    // Cross-shard coherent invalidation: a register() while merged
+    // streams are open must (a) leave those streams on their original
+    // snapshot — ties included — and (b) make every *new* stream see
+    // the update on every shard, never a torn mix of old and new
+    // fragments.
+    let q = path_query(2);
+    let old_edges = fixture_edges();
+    let new_edges: Vec<(i64, i64, f64)> = old_edges
+        .iter()
+        .skip(2)
+        .map(|&(a, b, w)| (a, b, w * 3.0 + 0.5))
+        .collect();
+    let old_rels = vec![edge_rel(&old_edges), edge_rel(&old_edges[..10])];
+    let new_rels = vec![edge_rel(&new_edges), edge_rel(&old_edges[..10])];
+
+    let sharded = ShardedEngine::try_from_query_bindings(&q, old_rels.clone(), 3).expect("sharded");
+    let want_old = brute_force_ranked(&q, &old_rels, RankSpec::Sum);
+    let want_new = brute_force_ranked(&q, &new_rels, RankSpec::Sum);
+    let epoch_before = sharded.epoch();
+
+    // Several merged streams open *before* the update, drained on
+    // their own threads *while* the update lands.
+    let open: Vec<RankedStream> = (0..4)
+        .map(|_| sharded.stream(&q, RankSpec::Sum).expect("stream"))
+        .collect();
+    std::thread::scope(|s| {
+        for (i, mut stream) in open.into_iter().enumerate() {
+            let want_old = &want_old;
+            s.spawn(move || {
+                // Pull one answer up front so the cursor is mid-page
+                // when the update arrives, then drain the rest.
+                let mut got = vec![stream.next().expect("nonempty")];
+                got.extend(stream);
+                assert_exact_oracle_order(
+                    &got,
+                    want_old,
+                    &format!("open stream {i} keeps its snapshot"),
+                );
+            });
+        }
+        let sharded = &sharded;
+        s.spawn(move || {
+            sharded
+                .register("R1", edge_rel(&new_edges))
+                .expect("register during open streams");
+        });
+    });
+
+    assert!(sharded.epoch() > epoch_before, "update bumps the epoch");
+    let fresh: Vec<RankedAnswer> = sharded.stream(&q, RankSpec::Sum).expect("stream").collect();
+    assert_exact_oracle_order(&fresh, &want_new, "post-update stream sees the new data");
 }

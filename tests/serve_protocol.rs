@@ -106,6 +106,7 @@ fn server_pages_match_direct_streams_and_oracle_on_every_route() {
             // Direct prepared stream, one shot, same encoder.
             let prepared = service
                 .engine()
+                .expect("single-engine service")
                 .prepare(q.clone(), rank)
                 .unwrap_or_else(|e| panic!("{route} × {rank}: {e}"));
             let want_rows: Vec<String> = prepared.stream().map(|a| encode_answer(&a)).collect();
@@ -307,6 +308,7 @@ fn event_loop_serves_concurrent_tcp_clients_byte_identically() {
     let select = select_text(&q, RankSpec::Sum, Some(2));
     let want: Vec<String> = service
         .engine()
+        .expect("single-engine service")
         .prepare(q.clone(), RankSpec::Sum)
         .expect("prepare")
         .stream()
@@ -477,6 +479,7 @@ fn concurrent_sessions_page_byte_identically() {
     let select = select_text(&q, RankSpec::Sum, Some(2));
     let want: Vec<String> = service
         .engine()
+        .expect("single-engine service")
         .prepare(q.clone(), RankSpec::Sum)
         .expect("prepare")
         .stream()
@@ -695,4 +698,58 @@ fn stats_report_real_serving_numbers() {
     let explain = client.send(&format!("EXPLAIN {select}"));
     assert!(explain.contains("route = triangle"), "{explain}");
     assert_eq!(service.stats().queries, 2, "EXPLAIN is not a query");
+}
+
+#[test]
+fn sharded_service_pages_byte_identically_to_single_service() {
+    // The wire-level sharded contract: a Service over a ShardedEngine
+    // must page the exact bytes a single-engine Service pages (modulo
+    // tie canonicalization, which the merge pins to value order) —
+    // and EXPLAIN must surface the shard fan-out.
+    for (route, q, m) in shapes() {
+        let e = edge_rel(&fixture_edges());
+        let rels: Vec<Relation> = (0..m).map(|_| e.clone()).collect();
+        let sharded_engine =
+            ShardedEngine::try_from_query_bindings(&q, rels.clone(), 3).expect("sharded build");
+        let sharded_service = Service::sharded(sharded_engine);
+        for rank in RankSpec::ALL {
+            let select = select_text(&q, rank, Some(3));
+            let mut client = LocalClient::new(&sharded_service);
+            let got_rows = page_rows(&mut client, &select, 3);
+            // Baseline: the single engine's canonical-tie stream
+            // through the same encoder.
+            let single = Engine::from_query_bindings(&q, rels.clone());
+            let want_rows: Vec<String> = single
+                .prepare(q.clone(), rank)
+                .expect("single prepare")
+                .stream()
+                .canonical_ties()
+                .map(|a| encode_answer(&a))
+                .collect();
+            assert!(
+                !want_rows.is_empty(),
+                "{route} × {rank}: fixture has answers"
+            );
+            assert_eq!(
+                got_rows, want_rows,
+                "{route} × {rank}: sharded pages == single-engine canonical stream"
+            );
+        }
+        // EXPLAIN through the sharded backend reports the fan-out.
+        let mut client = LocalClient::new(&sharded_service);
+        let explain = client.send(&format!(
+            "EXPLAIN {}",
+            select_text(&q, RankSpec::Sum, Some(1))
+        ));
+        assert!(
+            explain.contains("shard fan-out: 3 shard(s)"),
+            "{route}: EXPLAIN must show the fan-out, got:\n{explain}"
+        );
+        // STATS reports the shard count and aggregates across shards.
+        let stats = client.send("STATS;");
+        assert!(
+            stats.contains("INFO shards=3"),
+            "{route}: STATS must carry the shard count, got:\n{stats}"
+        );
+    }
 }
