@@ -27,7 +27,7 @@ fn main() {
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments [--scale X] [all | e1 e2 ... e16]");
+        eprintln!("usage: experiments [--scale X] [all | e1 e2 ... e19]");
         eprintln!("experiments: {}", exp::ALL.join(" "));
         std::process::exit(2);
     }

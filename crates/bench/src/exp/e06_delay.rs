@@ -11,19 +11,19 @@ use anyk_core::ranking::SumCost;
 use anyk_core::succorder::SuccessorKind;
 use anyk_core::tdp::TdpInstance;
 use anyk_core::unranked::UnrankedEnum;
+use anyk_obs::{global_clock, Clock as _};
 use anyk_workloads::graphs::WeightDist;
 use anyk_workloads::patterns::path_instance;
-use std::time::Instant;
 
 fn delays<I: Iterator>(mut it: I, target: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(target);
-    let mut last = Instant::now();
+    let mut last = global_clock().now_ns();
     while out.len() < target {
         if it.next().is_none() {
             break;
         }
-        let now = Instant::now();
-        out.push((now - last).as_secs_f64());
+        let now = global_clock().now_ns();
+        out.push(now.saturating_sub(last) as f64 / 1e9);
         last = now;
     }
     out

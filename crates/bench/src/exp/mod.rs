@@ -23,11 +23,12 @@ pub mod e15_prepared_serving;
 pub mod e16_serve_load;
 pub mod e17_index_catalog;
 pub mod e18_sharded_scaling;
+pub mod e19_obs_overhead;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// Dispatch one experiment by id.
@@ -51,6 +52,7 @@ pub fn run(id: &str, scale: f64) -> bool {
         "e16" => e16_serve_load::run(scale),
         "e17" => e17_index_catalog::run(scale),
         "e18" => e18_sharded_scaling::run(scale),
+        "e19" => e19_obs_overhead::run(scale),
         _ => return false,
     }
     true

@@ -1,14 +1,15 @@
 //! Measurement utilities: wall-clock timing, log-log slope fitting, and
 //! aligned table printing.
 
+use anyk_obs::{global_clock, Clock as _};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Time a closure once, returning `(result, seconds)`.
 pub fn time<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
-    let start = Instant::now();
+    let start = global_clock().now_ns();
     let out = f();
-    (out, start.elapsed().as_secs_f64())
+    let end = global_clock().now_ns();
+    (out, end.saturating_sub(start) as f64 / 1e9)
 }
 
 /// Time a closure, repeating until `min_total` seconds have elapsed
@@ -16,11 +17,11 @@ pub fn time<T, F: FnOnce() -> T>(f: F) -> (T, f64) {
 /// operations; slow operations run once.
 pub fn time_stable<F: FnMut()>(mut f: F, min_total: f64) -> f64 {
     let mut runs = 0u32;
-    let start = Instant::now();
+    let start = global_clock().now_ns();
     loop {
         f();
         runs += 1;
-        let elapsed = start.elapsed().as_secs_f64();
+        let elapsed = global_clock().now_ns().saturating_sub(start) as f64 / 1e9;
         if elapsed >= min_total || runs >= 25 {
             return elapsed / runs as f64;
         }

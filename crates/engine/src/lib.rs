@@ -60,8 +60,10 @@ pub use error::EngineError;
 pub use plan::{AnyKVariant, EngineOpts, IndexUse, Plan, Route};
 pub use prepared::PreparedQuery;
 pub use rank::{Cost, IntoCost, RankSpec};
-pub use shard::{ShardedEngine, ShardedPrepared, FRAGMENT_SUFFIX};
+pub use shard::{ShardFanIn, ShardedEngine, ShardedPrepared, FRAGMENT_SUFFIX};
 pub use stream::{RankedAnswer, RankedStream};
+
+pub use anyk_obs::ObsRegistry;
 
 use anyk_core::decomposed::auto_decomposition;
 use anyk_join::c4::c4_trie_requests;
@@ -121,6 +123,11 @@ struct EngineShared {
     /// only while the catalog is still at that epoch. Bounded: see
     /// [`PlanCache`].
     cache: Mutex<PlanCache>,
+    /// Engine-side telemetry: prepare-time and sampled per-pull delay
+    /// histograms plus the injected clock. In a sharded deployment
+    /// each shard engine carries its own registry; the server merges
+    /// their histograms bucket-wise for `STATS`.
+    obs: Arc<ObsRegistry>,
 }
 
 /// Default plan-cache capacity: generous enough that steady workloads
@@ -354,8 +361,17 @@ impl Engine {
         Engine::with_opts(catalog, EngineOpts::default())
     }
 
-    /// An engine with explicit execution options.
+    /// An engine with explicit execution options. Observability comes
+    /// from the environment (`ANYK_OBS=off` disables recording); use
+    /// [`with_obs`](Self::with_obs) to inject a registry — e.g. one on
+    /// a deterministic clock — instead.
     pub fn with_opts(catalog: Catalog, opts: EngineOpts) -> Self {
+        Engine::with_obs(catalog, opts, Arc::new(ObsRegistry::from_env()))
+    }
+
+    /// An engine with explicit options **and** an injected
+    /// observability registry (clock, histograms, enable switch).
+    pub fn with_obs(catalog: Catalog, opts: EngineOpts, obs: Arc<ObsRegistry>) -> Self {
         Engine {
             shared: Arc::new(EngineShared {
                 catalog: RwLock::new(CatalogState {
@@ -363,9 +379,15 @@ impl Engine {
                     epoch: 0,
                 }),
                 cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+                obs,
             }),
             opts,
         }
+    }
+
+    /// This engine's observability registry (shared by all clones).
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.obs
     }
 
     /// Set the plan-cache capacity (default
@@ -581,15 +603,46 @@ impl Engine {
         (Arc::clone(&st.catalog), st.epoch)
     }
 
+    /// [`prepare_cached`](Self::prepare_cached) plus provenance: did
+    /// the plan cache serve it, and how long did prepare take on the
+    /// engine's clock? The wall time also lands in the registry's
+    /// prepare histogram (zero-cost when recording is disabled).
+    pub(crate) fn prepare_cached_report(
+        &self,
+        cq: &ConjunctiveQuery,
+        rank: RankSpec,
+        opts: EngineOpts,
+    ) -> Result<(PreparedQuery, PrepareReport), EngineError> {
+        let obs = &self.shared.obs;
+        let enabled = obs.enabled();
+        let t0 = if enabled { obs.now_us() } else { 0 };
+        let (prepared, cache_hit) = self.prepare_cached(cq, rank, opts)?;
+        let prepare_us = if enabled {
+            let us = obs.now_us().saturating_sub(t0);
+            obs.record_prepare(us);
+            us
+        } else {
+            0
+        };
+        Ok((
+            prepared,
+            PrepareReport {
+                cache_hit,
+                prepare_us,
+            },
+        ))
+    }
+
     /// Get-or-build the prepared query for `(cq, rank, opts)` through
-    /// the cache. Concurrent misses may prepare twice (last insert
-    /// wins) — wasted work, never wrong results.
+    /// the cache (`true` = served from it). Concurrent misses may
+    /// prepare twice (last insert wins) — wasted work, never wrong
+    /// results.
     fn prepare_cached(
         &self,
         cq: &ConjunctiveQuery,
         rank: RankSpec,
         opts: EngineOpts,
-    ) -> Result<PreparedQuery, EngineError> {
+    ) -> Result<(PreparedQuery, bool), EngineError> {
         let mut key = CacheKey::new(cq, rank, opts);
         let (catalog, epoch) = self.read_state();
         {
@@ -602,7 +655,7 @@ impl Engine {
                 if hit.epoch() == epoch {
                     let served = hit.adopt_variant(opts.variant);
                     cache.hits += 1;
-                    return Ok(served);
+                    return Ok((served, true));
                 }
             }
             // Single-artifact plans (`variant == None`: the triangle
@@ -623,7 +676,7 @@ impl Engine {
                         let served = hit.adopt_variant(opts.variant);
                         cache.touch(&alt);
                         cache.hits += 1;
-                        return Ok(served);
+                        return Ok((served, true));
                     }
                 }
             }
@@ -641,8 +694,19 @@ impl Engine {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, prepared.clone());
-        Ok(prepared)
+        Ok((prepared, false))
     }
+}
+
+/// Provenance of one prepare: cache outcome and wall time (on the
+/// engine's injected clock; 0 when recording is disabled). Index
+/// provenance is on the resulting plan ([`Plan::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrepareReport {
+    /// Served from the plan cache (epoch-valid entry).
+    pub cache_hit: bool,
+    /// Wall time of the prepare, µs.
+    pub prepare_us: u64,
 }
 
 /// Resolve each atom's relation from the catalog, checking arity.
@@ -801,7 +865,17 @@ impl QueryRequest<'_> {
     /// Route and preprocess once, returning the shareable
     /// [`PreparedQuery`] (see [`Engine::prepare`]).
     pub fn prepare(self) -> Result<PreparedQuery, EngineError> {
-        self.engine.prepare_cached(&self.cq, self.rank, self.opts)
+        Ok(self
+            .engine
+            .prepare_cached(&self.cq, self.rank, self.opts)?
+            .0)
+    }
+
+    /// [`prepare`](Self::prepare) plus provenance — cache outcome and
+    /// prepare wall time ([`PrepareReport`]).
+    pub fn prepare_report(self) -> Result<(PreparedQuery, PrepareReport), EngineError> {
+        self.engine
+            .prepare_cached_report(&self.cq, self.rank, self.opts)
     }
 
     /// Plan **and** prepare: returns a ranked stream. Backed by the
@@ -810,7 +884,24 @@ impl QueryRequest<'_> {
     /// repeated calls reuse the shared prepared state and pay only the
     /// per-answer delay side. Enumeration is lazy either way.
     pub fn plan(self) -> Result<RankedStream, EngineError> {
-        Ok(self.prepare()?.stream())
+        Ok(self.plan_report()?.0)
+    }
+
+    /// [`plan`](Self::plan) plus prepare provenance. The returned
+    /// stream carries the engine's per-pull delay sampler (every Nth
+    /// pull, to bound overhead) when recording is enabled.
+    pub fn plan_report(self) -> Result<(RankedStream, PrepareReport), EngineError> {
+        let obs = Arc::clone(self.engine.obs());
+        let (prepared, report) = self
+            .engine
+            .prepare_cached_report(&self.cq, self.rank, self.opts)?;
+        let stream = prepared.stream();
+        let stream = if obs.enabled() {
+            stream.sampled(obs)
+        } else {
+            stream
+        };
+        Ok((stream, report))
     }
 }
 

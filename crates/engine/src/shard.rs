@@ -37,12 +37,14 @@ use crate::rank::{Cost, RankSpec};
 use crate::stream::{RankedAnswer, RankedStream};
 use anyk_core::union::{CanonicalOrder, TournamentTree};
 use anyk_core::RankedAnswer as CoreAnswer;
+use anyk_obs::{Clock, ObsRegistry};
 use anyk_query::cq::ConjunctiveQuery;
 use anyk_storage::{partition_relation, Catalog, Relation};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-use crate::{CacheStats, Engine, EngineOpts};
+use crate::{CacheStats, Engine, EngineOpts, PrepareReport};
 use anyk_storage::IndexStats;
 
 /// The reserved marker appended to a relation name to address its hash
@@ -282,6 +284,17 @@ impl ShardedEngine {
         cq: &ConjunctiveQuery,
         rank: RankSpec,
     ) -> Result<ShardedPrepared, EngineError> {
+        Ok(self.prepare_report(cq, rank)?.0)
+    }
+
+    /// [`prepare`](Self::prepare) plus aggregated provenance: a cache
+    /// hit only if **every** shard's plan cache served its part, and
+    /// the summed per-shard prepare wall time.
+    pub fn prepare_report(
+        &self,
+        cq: &ConjunctiveQuery,
+        rank: RankSpec,
+    ) -> Result<(ShardedPrepared, PrepareReport), EngineError> {
         let coord = self
             .shared
             .coord
@@ -291,29 +304,54 @@ impl ShardedEngine {
         let pivot = self.pivot_atom(&catalog, cq)?;
         let scattered = cq.with_atom_relation(pivot, fragment_name(&cq.atom(pivot).relation));
         let mut parts = Vec::with_capacity(self.num_shards());
+        let mut report = PrepareReport {
+            cache_hit: true,
+            prepare_us: 0,
+        };
         for engine in &self.shared.engines {
-            parts.push(engine.prepare(scattered.clone(), rank)?);
+            let (part, r) = engine.prepare_cached_report(&scattered, rank, engine.opts)?;
+            report.cache_hit &= r.cache_hit;
+            report.prepare_us += r.prepare_us;
+            parts.push(part);
         }
         // The facade plan reports the *original* query; the scattered
         // rewrite is an internal addressing detail.
         let mut plan = parts[0].plan().clone();
         plan.query = cq.clone();
-        Ok(ShardedPrepared {
-            parts,
-            plan,
-            pivot,
-            epoch: *coord,
-        })
+        Ok((
+            ShardedPrepared {
+                parts,
+                plan,
+                pivot,
+                epoch: *coord,
+                obs: Arc::clone(self.shared.engines[0].obs()),
+            },
+            report,
+        ))
+    }
+
+    /// This sharded engine's shard-0 observability registry (the
+    /// merged stream's clock; per-shard registries are reachable via
+    /// [`shard_engines`](Self::shard_engines)).
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        self.shared.engines[0].obs()
     }
 
     /// Prepare and stream in one step (the ad-hoc serving path; each
-    /// shard's plan cache amortizes repeats).
+    /// shard's plan cache amortizes repeats). The stream carries the
+    /// per-pull delay sampler when recording is enabled.
     pub fn stream(
         &self,
         cq: &ConjunctiveQuery,
         rank: RankSpec,
     ) -> Result<RankedStream, EngineError> {
-        Ok(self.prepare(cq, rank)?.stream())
+        let stream = self.prepare(cq, rank)?.stream();
+        let obs = self.obs();
+        Ok(if obs.enabled() {
+            stream.sampled(Arc::clone(obs))
+        } else {
+            stream
+        })
     }
 
     /// Render the plan for `cq` plus the shard fan-out per atom: the
@@ -400,6 +438,10 @@ pub struct ShardedPrepared {
     plan: Plan,
     pivot: usize,
     epoch: u64,
+    /// Shard-0's registry, captured at prepare time: the merged
+    /// stream's clock for merge-time accounting (and its enable
+    /// switch).
+    obs: Arc<ObsRegistry>,
 }
 
 impl ShardedPrepared {
@@ -430,18 +472,30 @@ impl ShardedPrepared {
     /// join before `next()` returns, so a dropped stream can never leak
     /// a shard cursor.
     pub fn stream(&self) -> RankedStream {
+        self.stream_traced().0
+    }
+
+    /// [`stream`](Self::stream) plus a live [`ShardFanIn`] handle:
+    /// per-shard rows pulled, tournament depth, and merge-machinery
+    /// wall time, updated as the stream is consumed.
+    pub fn stream_traced(&self) -> (RankedStream, Arc<ShardFanIn>) {
+        let n = self.parts.len();
+        let fan_in = Arc::new(ShardFanIn::new(n));
         let sources: Vec<ShardSource> = self
             .parts
             .iter()
-            .map(|p| ShardSource {
+            .enumerate()
+            .map(|(i, p)| ShardSource {
                 stream: CanonicalOrder::new(Box::new(p.stream().map(to_core))
                     as Box<dyn Iterator<Item = CoreAnswer<Cost>> + Send>),
                 buf: VecDeque::new(),
                 done: false,
+                fan_in: Arc::clone(&fan_in),
+                index: i,
             })
             .collect();
-        let n = sources.len();
-        RankedStream {
+        let clock = self.obs.enabled().then(|| Arc::clone(self.obs.clock()));
+        let stream = RankedStream {
             inner: Box::new(ShardedIter {
                 sources,
                 tree: TournamentTree::new(n),
@@ -450,9 +504,63 @@ impl ShardedPrepared {
                     .map(|p| p.get() > 1)
                     .unwrap_or(false),
                 primed: false,
+                fan_in: Arc::clone(&fan_in),
+                clock,
             }),
             plan: self.plan.clone(),
+        };
+        (stream, fan_in)
+    }
+}
+
+/// Live shard fan-in telemetry for one merged stream: how many rows
+/// each shard fed the tournament merge, the merge tree's depth (the
+/// per-answer comparison cost is one root-to-leaf replay), and — when
+/// recording is enabled — wall time spent inside the merge machinery
+/// (batch refills + tree rebuilds/replays are not separable, so they
+/// are accounted together).
+#[derive(Debug)]
+pub struct ShardFanIn {
+    rows: Vec<AtomicU64>,
+    depth: u32,
+    merge_us: AtomicU64,
+}
+
+impl ShardFanIn {
+    fn new(shards: usize) -> ShardFanIn {
+        ShardFanIn {
+            rows: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            depth: if shards <= 1 {
+                0
+            } else {
+                (shards - 1).ilog2() + 1
+            },
+            merge_us: AtomicU64::new(0),
         }
+    }
+
+    /// Rows pulled from each shard so far.
+    pub fn rows(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .map(|r| r.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of shards feeding the merge.
+    pub fn shards(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Tournament-tree depth (⌈log₂ shards⌉; 0 unsharded).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Wall time spent in the merge machinery so far, µs (0 when
+    /// recording is disabled).
+    pub fn merge_us(&self) -> u64 {
+        self.merge_us.load(Ordering::Relaxed)
     }
 }
 
@@ -472,19 +580,30 @@ struct ShardSource {
     stream: CanonicalOrder<Cost, Box<dyn Iterator<Item = CoreAnswer<Cost>> + Send>>,
     buf: VecDeque<CoreAnswer<Cost>>,
     done: bool,
+    /// Shared fan-in telemetry (rows pulled are credited per shard).
+    fan_in: Arc<ShardFanIn>,
+    /// This source's shard index.
+    index: usize,
 }
 
 impl ShardSource {
     /// Pull up to `batch` answers into the buffer.
     fn refill(&mut self, batch: usize) {
+        let mut pulled = 0u64;
         for _ in 0..batch {
             match self.stream.next() {
-                Some(a) => self.buf.push_back(a),
+                Some(a) => {
+                    self.buf.push_back(a);
+                    pulled += 1;
+                }
                 None => {
                     self.done = true;
                     break;
                 }
             }
+        }
+        if pulled > 0 {
+            self.fan_in.rows[self.index].fetch_add(pulled, Ordering::Relaxed);
         }
     }
 }
@@ -517,11 +636,17 @@ struct ShardedIter {
     /// to spare (cached once; scoped threads join before returning).
     parallel: bool,
     primed: bool,
+    /// Shared fan-in telemetry for this merged stream.
+    fan_in: Arc<ShardFanIn>,
+    /// `Some` when recording is enabled: refill rounds charge their
+    /// wall time to the fan-in's merge accounting.
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl ShardedIter {
     /// Top up every empty, unfinished source, then rebuild the tree.
     fn refill_round(&mut self) {
+        let t0 = self.clock.as_ref().map(|c| c.now_us());
         let batch = self.batch;
         let mut needy: Vec<&mut ShardSource> = self
             .sources
@@ -542,6 +667,11 @@ impl ShardedIter {
         self.batch = (self.batch * 2).min(MAX_BATCH);
         let sources = &self.sources;
         self.tree.rebuild(|a, b| beats(sources, a, b));
+        if let (Some(clock), Some(t0)) = (self.clock.as_ref(), t0) {
+            self.fan_in
+                .merge_us
+                .fetch_add(clock.now_us().saturating_sub(t0), Ordering::Relaxed);
+        }
     }
 }
 

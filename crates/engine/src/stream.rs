@@ -2,7 +2,9 @@
 
 use crate::plan::Plan;
 use crate::rank::Cost;
+use anyk_obs::ObsRegistry;
 use anyk_storage::Value;
+use std::sync::Arc;
 
 /// One answer from the unified engine: erased cost + output tuple
 /// (one [`Value`] per query variable, in `VarId` order).
@@ -88,6 +90,59 @@ impl Iterator for RankedStream {
 
     fn next(&mut self) -> Option<RankedAnswer> {
         self.inner.next()
+    }
+}
+
+/// Sample the inter-answer delay once per this many pulls: the
+/// sampler reads the clock only at window edges, so per-answer
+/// instrumentation cost is one increment and one branch.
+pub(crate) const SAMPLE_EVERY: u64 = 16;
+
+/// The per-pull delay sampler wrapped around an instrumented stream:
+/// every [`SAMPLE_EVERY`]th pull it records the window's mean
+/// per-answer delay into the registry's delay histogram.
+struct SampledPulls {
+    inner: Box<dyn Iterator<Item = RankedAnswer> + Send>,
+    obs: Arc<ObsRegistry>,
+    pulls: u64,
+    window_start_us: u64,
+}
+
+impl Iterator for SampledPulls {
+    type Item = RankedAnswer;
+
+    fn next(&mut self) -> Option<RankedAnswer> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.pulls += 1;
+            if self.pulls.is_multiple_of(SAMPLE_EVERY) {
+                let now = self.obs.now_us();
+                let window = now.saturating_sub(self.window_start_us);
+                self.obs.record_delay(window / SAMPLE_EVERY);
+                self.window_start_us = now;
+            }
+        }
+        item
+    }
+}
+
+impl RankedStream {
+    /// Wrap this stream with the registry's per-pull delay sampler.
+    /// Answers and order are untouched; only timing is observed. The
+    /// engine applies this automatically on its own streaming paths;
+    /// it is public for callers assembling streams from
+    /// [`ShardedPrepared::stream_traced`](crate::ShardedPrepared).
+    pub fn sampled(self, obs: Arc<ObsRegistry>) -> RankedStream {
+        let window_start_us = obs.now_us();
+        RankedStream {
+            inner: Box::new(SampledPulls {
+                inner: self.inner,
+                obs,
+                pulls: 0,
+                window_start_us,
+            }),
+            plan: self.plan,
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-//! The six project-specific rules. Each is a pure function from a
+//! The seven project-specific rules. Each is a pure function from a
 //! [`SourceFile`] to diagnostics; scoping (which crates a rule applies
 //! to) lives here too, derived from the workspace-relative path.
 //!
@@ -12,8 +12,9 @@
 //! | `no-panic-hot-path` | serving hot paths (`server`, `engine`) never panic |
 //! | `lock-order` | session ≺ shard coord ≺ catalog ≺ plan cache ≺ deadline map |
 //! | `wire-encoder-discipline` | protocol bytes originate only in the shared encoder |
-//! | `shim-purity` | shims import no anyk code; core stays clock/socket-free |
+//! | `shim-purity` | shims import no anyk code; core stays socket-free |
 //! | `no-boxed-dyn-error` | library crates keep typed errors end-to-end |
+//! | `timing-discipline` | raw wall clocks live only in `crates/obs` |
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Tok, Token};
@@ -21,13 +22,14 @@ use crate::source::SourceFile;
 
 /// Every rule id, in documentation order. `LINT-ALLOW` comments may
 /// only name these.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 7] = [
     "unsafe-needs-safety",
     "no-panic-hot-path",
     "lock-order",
     "wire-encoder-discipline",
     "shim-purity",
     "no-boxed-dyn-error",
+    "timing-discipline",
 ];
 
 /// The library crates whose non-test code must stay deterministic
@@ -87,6 +89,7 @@ pub fn run_all(file: &SourceFile) -> Vec<Diagnostic> {
     wire_encoder_discipline(file, &mut out);
     shim_purity(file, &mut out);
     no_boxed_dyn_error(file, &mut out);
+    timing_discipline(file, &mut out);
     out
 }
 
@@ -485,9 +488,10 @@ fn wire_encoder_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// Two directions: `crates/shims/*` must not reference anyk crates
 /// (shims mirror *external* APIs; a shim that imports the workspace
 /// inverts the dependency arrow), and the deterministic library
-/// crates must not touch wall clocks (`Instant::now`,
-/// `SystemTime::now`) or sockets (`std::net`) — those belong to
-/// server/bench/shims, keeping core/engine testable and replayable.
+/// crates must not touch sockets (`std::net`) — those belong to
+/// crates/server, keeping core/engine testable and replayable. (Wall
+/// clocks were this rule's concern too until `timing-discipline`
+/// tightened the clock invariant workspace-wide.)
 fn shim_purity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let scope = Scope::of(file);
     let toks = file.tokens();
@@ -535,18 +539,6 @@ fn shim_purity(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 "`std::net` in a deterministic library crate — sockets live in \
                  crates/server (transports) only"
                     .to_string(),
-            ));
-        }
-        if (name == "Instant" || name == "SystemTime") && path_to("now") {
-            out.push(diag(
-                file,
-                t,
-                Severity::Error,
-                "shim-purity",
-                format!(
-                    "`{name}::now()` in a deterministic library crate — wall clocks \
-                     belong to server/bench; pass timestamps in from the edge"
-                ),
             ));
         }
     }
@@ -603,6 +595,53 @@ fn no_boxed_dyn_error(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 }
                 _ => {}
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule 7: timing-discipline
+// ---------------------------------------------------------------
+
+/// Raw wall clocks — `Instant::now()` / `SystemTime::now()` — are
+/// permitted only inside `crates/obs`, the one crate whose job is
+/// reading clocks (its `MonotonicClock` is the workspace's sole
+/// `Instant::now` site). Everything else — engine, server, bench,
+/// even this linter — must go through an injected
+/// [`Clock`](anyk_obs::Clock) (or `anyk_obs::global_clock()` at the
+/// edges), so tests run on a deterministic clock and timing behavior
+/// is replayable. Shims that mirror an external timing API (the
+/// criterion shim) carry an explicit `LINT-ALLOW` instead of a scope
+/// carve-out, so every exception is visible and justified in place.
+fn timing_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let scope = Scope::of(file);
+    if scope.in_crate_src("obs") {
+        return;
+    }
+    let toks = file.tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let Some(name) = ident(t) else { continue };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let calls_now = is_punct(toks.get(i + 1), ':')
+            && is_punct(toks.get(i + 2), ':')
+            && toks.get(i + 3).and_then(ident) == Some("now");
+        if calls_now {
+            out.push(diag(
+                file,
+                t,
+                Severity::Error,
+                "timing-discipline",
+                format!(
+                    "`{name}::now()` outside crates/obs — read time through an \
+                     injected `anyk_obs::Clock` (or `anyk_obs::global_clock()` at \
+                     a bench/CLI edge) so timing stays deterministic under test"
+                ),
+            ));
         }
     }
 }

@@ -1,10 +1,5 @@
 // virtual path: crates/core/src/demo.rs
-// A library crate reaching for sockets and wall clocks.
-use std::time::Instant;
-
-pub fn now_ms() -> u128 {
-    Instant::now().elapsed().as_millis()
-}
+// A library crate reaching for sockets.
 
 pub fn dial(addr: &str) -> std::io::Result<std::net::TcpStream> {
     std::net::TcpStream::connect(addr)

@@ -1,0 +1,26 @@
+// virtual path: crates/obs/src/demo_clock.rs
+// Inside crates/obs the raw clock is the whole point: this is the
+// one crate allowed to call `Instant::now()`.
+use std::time::Instant;
+
+pub struct DemoClock {
+    origin: Instant,
+}
+
+impl DemoClock {
+    pub fn new() -> Self {
+        DemoClock {
+            origin: Instant::now(),
+        }
+    }
+
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for DemoClock {
+    fn default() -> Self {
+        DemoClock::new()
+    }
+}

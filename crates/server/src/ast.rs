@@ -5,8 +5,9 @@
 //! The grammar (case-insensitive keywords, `;` optional):
 //!
 //! ```text
-//! command := select | EXPLAIN select | NEXT count ON cursor
-//!          | CLOSE cursor | STATS
+//! command := select | EXPLAIN select | EXPLAIN ANALYZE select
+//!          | NEXT count ON cursor | CLOSE cursor | STATS
+//!          | TRACE count | TRACE SLOW
 //! select  := SELECT atom (',' atom)* [RANK BY ranking] [LIMIT count]
 //! atom    := relation '(' var (',' var)* ')'
 //! ranking := sum | max | min | prod | lex
@@ -29,6 +30,10 @@ pub enum Command {
     /// Plan only: respond with the rendered [`Plan`](anyk_engine::Plan),
     /// executing nothing.
     Explain(SelectStmt),
+    /// Plan **and execute** to the page limit, reporting per-stage
+    /// wall times, actual vs routed cardinalities, cache/index
+    /// provenance, and shard fan-in — instead of the answers.
+    ExplainAnalyze(SelectStmt),
     /// Pull up to `count` more answers from an open cursor.
     Next {
         /// Maximum number of answers to pull.
@@ -43,6 +48,15 @@ pub enum Command {
     },
     /// Report service metrics (sessions, cursors, TTF, plan cache).
     Stats,
+    /// Report the most recent `last` completed-query traces from the
+    /// service's trace ring, newest first.
+    Trace {
+        /// How many traces to report (capped at the ring's capacity).
+        last: usize,
+    },
+    /// Report the slow-query log (traces whose wall time crossed the
+    /// service's threshold), newest first.
+    TraceSlow,
 }
 
 /// The `SELECT` statement: a full conjunctive query (atoms over named
@@ -111,9 +125,12 @@ impl fmt::Display for Command {
         match self {
             Command::Select(s) => write!(f, "{s};"),
             Command::Explain(s) => write!(f, "EXPLAIN {s};"),
+            Command::ExplainAnalyze(s) => write!(f, "EXPLAIN ANALYZE {s};"),
             Command::Next { count, cursor } => write!(f, "NEXT {count} ON {cursor};"),
             Command::Close { cursor } => write!(f, "CLOSE {cursor};"),
             Command::Stats => write!(f, "STATS;"),
+            Command::Trace { last } => write!(f, "TRACE {last};"),
+            Command::TraceSlow => write!(f, "TRACE SLOW;"),
         }
     }
 }
@@ -170,8 +187,12 @@ mod tests {
             "SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;"
         );
         assert_eq!(
-            Command::Explain(stmt).to_string(),
+            Command::Explain(stmt.clone()).to_string(),
             "EXPLAIN SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;"
+        );
+        assert_eq!(
+            Command::ExplainAnalyze(stmt).to_string(),
+            "EXPLAIN ANALYZE SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;"
         );
         assert_eq!(
             Command::Next {
@@ -183,6 +204,8 @@ mod tests {
         );
         assert_eq!(Command::Close { cursor: 3 }.to_string(), "CLOSE 3;");
         assert_eq!(Command::Stats.to_string(), "STATS;");
+        assert_eq!(Command::Trace { last: 4 }.to_string(), "TRACE 4;");
+        assert_eq!(Command::TraceSlow.to_string(), "TRACE SLOW;");
     }
 
     #[test]

@@ -205,7 +205,11 @@ fn event_loop(
     let mut next_key = FIRST_CONN_KEY;
     let mut events: Vec<Event> = Vec::new();
     let mut touched: Vec<usize> = Vec::new();
-    let mut last_sweep = std::time::Instant::now();
+    // Sweep cadence runs on the service clock (µs), like every other
+    // timestamp in the serving stack — no raw `Instant` outside the
+    // obs crate (the timing-discipline lint pins this).
+    let tick_us = TICK.as_micros().min(u128::from(u64::MAX)) as u64;
+    let mut last_sweep_us = service.obs().now_us();
 
     while !stop.load(Ordering::Acquire) {
         if poller.wait(&mut events, Some(TICK)).is_err() {
@@ -217,9 +221,10 @@ fn event_loop(
         // to TICK cadence — under load every worker completion wakes
         // the wait early, and the sweep is O(open cursors) under the
         // shared map mutex, so it must not run per wakeup.
-        if last_sweep.elapsed() >= TICK {
+        let now_us = service.obs().now_us();
+        if now_us.saturating_sub(last_sweep_us) >= tick_us {
             service.reap_expired_cursors();
-            last_sweep = std::time::Instant::now();
+            last_sweep_us = now_us;
         }
 
         touched.clear();

@@ -8,8 +8,10 @@
 //!
 //! 1. **Frontend** ([`ast`] + [`parser`]): a textual ranked-CQ
 //!    language — `SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;` plus
-//!    `NEXT <k> ON <cursor>`, `CLOSE <cursor>`, `EXPLAIN`, and
-//!    `STATS` — that lowers to [`anyk_query::cq::ConjunctiveQuery`] +
+//!    `NEXT <k> ON <cursor>`, `CLOSE <cursor>`, `EXPLAIN`,
+//!    `EXPLAIN ANALYZE` (execute and report per-stage wall times),
+//!    `TRACE <n>` / `TRACE SLOW` (the trace ring and slow-query log),
+//!    and `STATS` — that lowers to [`anyk_query::cq::ConjunctiveQuery`] +
 //!    [`anyk_engine::RankSpec`], with typed [`ParseError`]s and a
 //!    printable AST (canonical text round-trips).
 //! 2. **Session layer** ([`service`]): a [`Service`] wrapping a shared
@@ -91,7 +93,10 @@ pub mod wire;
 pub use ast::{select_stmt, select_text, AtomRef, Command, SelectStmt};
 pub use frame::{encode_frame_error, FrameError, LineFramer};
 pub use parser::{parse, ParseError};
-pub use service::{Page, Response, ServeError, Service, ServiceConfig, ServiceStats, Session};
+pub use service::{
+    AnalyzeReport, Page, Response, RouteRankStats, ServeError, Service, ServiceConfig,
+    ServiceStats, Session,
+};
 pub use tcp::{BindError, Server, TcpClient, Transport, TransportConfig};
 pub use wire::{encode_answer, encode_connection_rejected, encode_response, respond, LocalClient};
 

@@ -97,8 +97,9 @@ impl std::error::Error for ParseError {}
 /// The language's keywords — reserved, case-insensitive: they cannot
 /// name relations or variables (reserving them keeps rendering and
 /// re-parsing unambiguous).
-pub const KEYWORDS: [&str; 9] = [
-    "SELECT", "RANK", "BY", "LIMIT", "NEXT", "ON", "CLOSE", "EXPLAIN", "STATS",
+pub const KEYWORDS: [&str; 12] = [
+    "SELECT", "RANK", "BY", "LIMIT", "NEXT", "ON", "CLOSE", "EXPLAIN", "STATS", "ANALYZE", "TRACE",
+    "SLOW",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,7 +359,12 @@ pub fn parse(input: &str) -> Result<Command, ParseError> {
         Command::Select(p.select()?)
     } else if head.is_kw("EXPLAIN") {
         p.at += 1;
-        Command::Explain(p.select()?)
+        if matches!(p.peek(), Some((_, t)) if t.is_kw("ANALYZE")) {
+            p.at += 1;
+            Command::ExplainAnalyze(p.select()?)
+        } else {
+            Command::Explain(p.select()?)
+        }
     } else if head.is_kw("NEXT") {
         p.at += 1;
         let count = p.count("NEXT")?;
@@ -372,10 +378,20 @@ pub fn parse(input: &str) -> Result<Command, ParseError> {
     } else if head.is_kw("STATS") {
         p.at += 1;
         Command::Stats
+    } else if head.is_kw("TRACE") {
+        p.at += 1;
+        if matches!(p.peek(), Some((_, t)) if t.is_kw("SLOW")) {
+            p.at += 1;
+            Command::TraceSlow
+        } else {
+            Command::Trace {
+                last: p.count("TRACE")?,
+            }
+        }
     } else {
         return Err(ParseError::UnexpectedToken {
             pos,
-            expected: "SELECT, EXPLAIN, NEXT, CLOSE, or STATS",
+            expected: "SELECT, EXPLAIN, NEXT, CLOSE, STATS, or TRACE",
             found: head.render(),
         });
     };
@@ -432,6 +448,27 @@ mod tests {
             parse("EXPLAIN SELECT R(x,y)"),
             Ok(Command::Explain(_))
         ));
+    }
+
+    #[test]
+    fn observability_commands() {
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT R(x,y) RANK BY max LIMIT 5;"),
+            Ok(Command::ExplainAnalyze(_))
+        ));
+        // ANALYZE binds to the EXPLAIN head, never to a bare SELECT.
+        assert!(parse("ANALYZE SELECT R(x,y)").is_err());
+        assert_eq!(parse("TRACE 8;"), Ok(Command::Trace { last: 8 }));
+        assert_eq!(parse("trace slow"), Ok(Command::TraceSlow));
+        assert_eq!(
+            parse("TRACE 0"),
+            Err(ParseError::ZeroCount {
+                pos: 6,
+                clause: "TRACE"
+            })
+        );
+        // Keywords stay reserved: TRACE cannot name a relation.
+        assert!(parse("SELECT trace(x,y)").is_err());
     }
 
     #[test]

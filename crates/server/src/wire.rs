@@ -18,8 +18,9 @@
 //! END
 //! ```
 
-use crate::service::{Page, Response, ServeError, Service, ServiceStats, Session};
+use crate::service::{AnalyzeReport, Page, Response, ServeError, Service, ServiceStats, Session};
 use anyk_engine::RankedAnswer;
+use anyk_obs::{QueryTrace, Stage, RANKS, ROUTES};
 use std::fmt::Write as _;
 
 /// True when `line` is the reply terminator (`END`, any trailing
@@ -79,12 +80,85 @@ pub fn encode_response(resp: &Response) -> String {
                 let _ = writeln!(out, "INFO {key}={value}");
             }
         }
+        Response::Analyzed(report) => {
+            encode_analyze(&mut out, report);
+        }
+        Response::Traces { slow, traces } => {
+            let source = if *slow { "slow" } else { "ring" };
+            let _ = writeln!(out, "OK traces count={} source={source}", traces.len());
+            for t in traces.iter() {
+                out.push_str(&encode_trace(t));
+                out.push('\n');
+            }
+        }
         Response::Closed { cursor } => {
             let _ = writeln!(out, "OK closed={cursor}");
         }
     }
     out.push_str("END\n");
     out
+}
+
+/// Render the `EXPLAIN ANALYZE` report: one `INFO` line per fact, one
+/// per stage (`stage.<name>_us=`), one per shard (`shard.<i>.rows=`).
+fn encode_analyze(out: &mut String, r: &AnalyzeReport) {
+    let _ = writeln!(out, "OK analyze");
+    let _ = writeln!(out, "INFO route={}", r.route);
+    let _ = writeln!(out, "INFO rank={}", r.rank);
+    let _ = writeln!(out, "INFO cache={}", hit_label(r.cache_hit));
+    let _ = writeln!(out, "INFO index={}", r.index);
+    let _ = writeln!(out, "INFO shards={}", r.shards);
+    let _ = writeln!(out, "INFO merge_depth={}", r.merge_depth);
+    let _ = writeln!(out, "INFO rows={}", r.rows);
+    let _ = writeln!(out, "INFO limit={}", r.limit);
+    for (stage, us) in Stage::ALL.iter().zip(r.stage_us) {
+        let _ = writeln!(out, "INFO stage.{}_us={us}", stage.label());
+    }
+    let sum: u64 = r.stage_us.iter().sum();
+    let _ = writeln!(out, "INFO stage_sum_us={sum}");
+    let _ = writeln!(out, "INFO wall_us={}", r.wall_us);
+    for (i, rows) in r.shard_rows.iter().enumerate() {
+        let _ = writeln!(out, "INFO shard.{i}.rows={rows}");
+    }
+}
+
+/// One trace as a single `INFO` line (the `TRACE` commands' row unit).
+fn encode_trace(t: &QueryTrace) -> String {
+    let route = ROUTES.get(t.route as usize).copied().unwrap_or(ROUTES[0]);
+    let rank = RANKS.get(t.rank as usize).copied().unwrap_or(RANKS[0]);
+    let mut line = format!(
+        "INFO trace id={} route={route} rank={rank} cache={} index={} shards={} depth={} rows={} limit={} total_us={}",
+        t.id,
+        hit_label(t.cache == 1),
+        index_label(t.index),
+        t.shards,
+        t.merge_depth,
+        t.rows,
+        t.limit,
+        t.total_us,
+    );
+    for (stage, us) in Stage::ALL.iter().zip(t.stage_us) {
+        let _ = write!(line, " {}_us={us}", stage.label());
+    }
+    line
+}
+
+/// `hit`/`miss` for plan-cache provenance.
+fn hit_label(hit: bool) -> &'static str {
+    if hit {
+        "hit"
+    } else {
+        "miss"
+    }
+}
+
+/// The wire form of [`QueryTrace::index`]'s provenance code.
+fn index_label(code: u64) -> &'static str {
+    match code {
+        1 => "cached",
+        2 => "built",
+        _ => "n/a",
+    }
 }
 
 /// Render an error block: `ERR <kind>: <message>` + `END`.
@@ -113,9 +187,12 @@ pub fn encode_connection_rejected(open: usize, max: usize) -> String {
     format!("ERR admission: connections {open} of {max} open\nEND\n")
 }
 
-/// The `STATS` key/value pairs, in a fixed render order.
-fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
-    vec![
+/// The `STATS` key/value pairs, in a fixed render order: the flat
+/// service counters first, then the per-route × per-ranking breakdown
+/// (`route.<route>.<rank>.<field>=`), rendered only for cells that
+/// have served at least one query so an idle service stays compact.
+fn stats_fields(s: &ServiceStats) -> Vec<(String, String)> {
+    let fixed: Vec<(&'static str, String)> = vec![
         ("shards", s.shards.to_string()),
         ("queries", s.queries.to_string()),
         ("answers_served", s.answers_served.to_string()),
@@ -148,17 +225,52 @@ fn stats_fields(s: &ServiceStats) -> Vec<(&'static str, String)> {
         ("index_resident_bytes", s.index.resident_bytes.to_string()),
         ("index_entries", s.index.entries.to_string()),
         ("index_capacity_bytes", s.index.capacity_bytes.to_string()),
-    ]
+        ("prepare_p50_us", s.prepare_p50_us.to_string()),
+        ("prepare_p95_us", s.prepare_p95_us.to_string()),
+        ("prepare_p99_us", s.prepare_p99_us.to_string()),
+        ("delay_p50_us", s.delay_p50_us.to_string()),
+        ("delay_p99_us", s.delay_p99_us.to_string()),
+        ("traces_published", s.traces_published.to_string()),
+        ("traces_dropped", s.traces_dropped.to_string()),
+        ("slow_queries", s.slow_queries.to_string()),
+    ];
+    let mut out: Vec<(String, String)> =
+        fixed.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    for (r, row) in s.routes.iter().enumerate() {
+        for (k, cell) in row.iter().enumerate() {
+            if cell.queries == 0 {
+                continue;
+            }
+            let prefix = format!("route.{}.{}", ROUTES[r], RANKS[k]);
+            out.push((format!("{prefix}.queries"), cell.queries.to_string()));
+            out.push((format!("{prefix}.answers"), cell.answers.to_string()));
+            out.push((format!("{prefix}.ttf_p50_us"), cell.ttf_p50_us.to_string()));
+            out.push((format!("{prefix}.ttf_p99_us"), cell.ttf_p99_us.to_string()));
+        }
+    }
+    out
 }
 
 /// Serve one protocol line against a session, returning the exact
 /// bytes a transport writes back. The one entry point both transports
 /// share.
 pub fn respond(session: &mut Session, line: &str) -> String {
-    match session.execute(line) {
+    let result = session.execute(line);
+    // The pending trace (a `SELECT`'s) is missing only its encode
+    // stage; time the rendering on the service clock and publish.
+    let tracing = session.tracing();
+    let t0 = if tracing { session.now_us() } else { 0 };
+    let out = match result {
         Ok(resp) => encode_response(&resp),
         Err(err) => encode_error(&err),
-    }
+    };
+    let encode_us = if tracing {
+        session.now_us().saturating_sub(t0)
+    } else {
+        0
+    };
+    session.finish_trace(encode_us);
+    out
 }
 
 /// An in-process client: the full protocol without a socket. Wraps a

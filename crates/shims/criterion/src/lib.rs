@@ -42,6 +42,7 @@ impl Bencher {
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
         // One untimed warm-up iteration.
         std::hint::black_box(f());
+        // LINT-ALLOW(timing-discipline): a criterion shim's contract is wall-clock measurement, and shim-purity forbids it importing anyk-obs.
         let start = Instant::now();
         for _ in 0..self.samples {
             std::hint::black_box(f());

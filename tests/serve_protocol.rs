@@ -701,6 +701,104 @@ fn stats_report_real_serving_numbers() {
 }
 
 #[test]
+fn explain_analyze_and_trace_round_trip_on_both_transports() {
+    // The observability commands through real sockets, once per accept
+    // architecture: EXPLAIN ANALYZE executes (but holds no cursor) and
+    // reports the stage taxonomy; TRACE replays the ring; TRACE SLOW
+    // is empty under the default 250 ms threshold. Masking the
+    // `_us=<digits>` timing values, the analyze reply must be
+    // byte-identical across both transports.
+    let mask = |reply: &str| -> String {
+        reply
+            .split(' ')
+            .map(|tok| match tok.find("_us=") {
+                Some(i) if tok.as_bytes().get(i + 4).is_some_and(u8::is_ascii_digit) => {
+                    let tail = &tok[i + 4..];
+                    let end = tail
+                        .find(|c: char| !c.is_ascii_digit())
+                        .unwrap_or(tail.len());
+                    format!("{}#{}", &tok[..i + 4], &tail[end..])
+                }
+                _ => tok.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let q = path_query(3);
+    let select = select_text(&q, RankSpec::Sum, Some(3));
+    let mut masked_replies = Vec::new();
+    for transport in TRANSPORTS {
+        let (service, _) = service_for(&q, 3);
+        let mut server = bind(&service, transport);
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+
+        let analyze = tcp
+            .send(&format!("EXPLAIN ANALYZE {select}"))
+            .expect("analyze round-trip");
+        assert!(
+            analyze.starts_with("OK analyze\n"),
+            "{transport:?}: {analyze}"
+        );
+        for field in [
+            "INFO route=acyclic",
+            "INFO rank=sum",
+            "INFO cache=miss",
+            "INFO stage.parse_us=",
+            "INFO stage.prepare_us=",
+            "INFO stage.pull_us=",
+            "INFO stage_sum_us=",
+            "INFO wall_us=",
+            "INFO rows=3",
+        ] {
+            assert!(
+                analyze.contains(field),
+                "{transport:?}: analyze reply missing `{field}`:\n{analyze}"
+            );
+        }
+        assert_eq!(
+            service.stats().open_cursors,
+            0,
+            "{transport:?}: EXPLAIN ANALYZE must hold no cursor"
+        );
+        masked_replies.push(mask(&analyze));
+
+        // A real SELECT publishes a trace too; TRACE 2 replays both,
+        // newest first.
+        let first = tcp.send(&select).expect("select round-trip");
+        assert!(first.starts_with("OK cursor="), "{transport:?}: {first}");
+        let traces = tcp.send("TRACE 2;").expect("trace round-trip");
+        assert!(
+            traces.starts_with("OK traces count=2 source=ring\n"),
+            "{transport:?}: {traces}"
+        );
+        assert_eq!(
+            traces
+                .lines()
+                .filter(|l| l.starts_with("INFO trace "))
+                .count(),
+            2,
+            "{transport:?}: {traces}"
+        );
+        assert!(
+            traces.contains("route=acyclic") && traces.contains("rank=sum"),
+            "{transport:?}: {traces}"
+        );
+
+        // Nothing here is anywhere near the default slow threshold.
+        let slow = tcp.send("TRACE SLOW;").expect("trace slow round-trip");
+        assert_eq!(
+            slow, "OK traces count=0 source=slow\nEND\n",
+            "{transport:?}"
+        );
+        server.shutdown();
+    }
+    assert_eq!(
+        masked_replies[0], masked_replies[1],
+        "EXPLAIN ANALYZE must be transport-identical modulo timings"
+    );
+}
+
+#[test]
 fn sharded_service_pages_byte_identically_to_single_service() {
     // The wire-level sharded contract: a Service over a ShardedEngine
     // must page the exact bytes a single-engine Service pages (modulo
