@@ -1,0 +1,384 @@
+//! E20 — live appends under a serving workload: a writer streams
+//! `INSERT` batches into one relation while reader clients page a
+//! mixed query workload over the same service.
+//!
+//! The catalog-goes-live design (delta-backed relations, relation-
+//! scoped plan invalidation, snapshot-isolated streams) is only worth
+//! shipping if writes stay out of the readers' way. The workload is
+//! read-dominated — the normal serving regime, and the one the design
+//! targets: each append invalidates exactly the plans reading the
+//! appended relation, those re-prepare against the delta (reusing the
+//! stashed all-base term, so the rebuild is delta-sized, not
+//! base-sized), and every other read is an untouched cache hit. An
+//! epoch-style invalidation would fail this bench twice over: the
+//! untouched-relation probe would observe rebuilds, and the read tail
+//! would absorb a full re-prepare per append. Three scenes:
+//!
+//! * **read-only baseline** — the reader workload alone; its TTF p95
+//!   is the yardstick.
+//! * **mixed** — identical readers plus one writer appending paced
+//!   batches into `R1` the whole time. Asserted: reader TTF p95 ≤
+//!   1.5× the baseline (plus a small absolute slack so smoke-scale
+//!   runs don't flake on scheduler noise), and the
+//!   append/invalidation counters account exactly for the writer's
+//!   traffic.
+//! * **untouched isolation** — a plan reading only `R3`/`R4` (never
+//!   appended) is prepared before the writer starts; after the mixed
+//!   phase it must still be served from cache with **zero** new plan
+//!   misses and **zero** new index builds — counter-asserted, so an
+//!   over-broad invalidation (epoch-style) fails the bench.
+//!
+//! Ends with a correctness pin: the served ranked prefix over the
+//! appended relation equals a direct stream on a fresh engine whose
+//! `R1` was built base ⊎ appends up front. Emits `BENCH_E20.json`.
+
+use crate::util::{banner, write_bench_json, Json, Table};
+use anyk_engine::Engine;
+use anyk_query::cq::QueryBuilder;
+use anyk_serve::{
+    encode_answer, select_text, Server, Service, ServiceConfig, TcpClient, Transport,
+    TransportConfig,
+};
+use anyk_storage::{Catalog, Relation, RelationBuilder, Schema};
+use anyk_workloads::graphs::{random_edge_relation, WeightDist};
+use std::thread;
+use std::time::Duration;
+
+/// Page size readers pull with.
+const PAGE: usize = 10;
+/// Answers each reader query pages to.
+const K: usize = 40;
+/// Concurrent reader clients.
+const CLIENTS: usize = 8;
+/// Rows per writer `INSERT` batch.
+const BATCH: usize = 8;
+
+pub fn run(scale: f64) {
+    banner(
+        "E20: live appends — writer streaming INSERTs under a paging read workload",
+        "reader TTF p95 must stay ≤ 1.5× the read-only baseline; untouched \
+         relations must see zero plan/index rebuilds",
+    );
+    let edges = (10_000.0 * scale).max(800.0) as usize;
+    let nodes = (edges / 25).max(6) as u64;
+    // Read-dominated: the writer's batch count is a small fraction of
+    // the read count, so the p95 read lands on cache-hit samples while
+    // the misses it does cause still exercise the delta-union rebuild.
+    let queries_per_client = ((100.0 * scale) as usize).clamp(12, 200);
+    let batches = ((10.0 * scale) as usize).clamp(5, 20);
+
+    // Reader workload: two 2-path shapes. `touched` reads the appended
+    // relation R1; `untouched` reads only R3/R4 and must never lose its
+    // cached plan.
+    let touched_q = QueryBuilder::new()
+        .atom("R1", &["a", "b"])
+        .atom("R2", &["b", "c"])
+        .build();
+    let untouched_q = QueryBuilder::new()
+        .atom("R3", &["a", "b"])
+        .atom("R4", &["b", "c"])
+        .build();
+    let selects = [
+        select_text(&touched_q, anyk_engine::RankSpec::Sum, Some(PAGE)),
+        select_text(&untouched_q, anyk_engine::RankSpec::Sum, Some(PAGE)),
+        select_text(&touched_q, anyk_engine::RankSpec::Max, Some(PAGE)),
+        select_text(&untouched_q, anyk_engine::RankSpec::Min, Some(PAGE)),
+    ];
+    println!(
+        "catalog: 4 × {edges} edges over {nodes} nodes; {CLIENTS} readers × \
+         {queries_per_client} queries; writer: {batches} × {BATCH}-row INSERT batches into R1"
+    );
+
+    // --- Scene 1: read-only baseline ------------------------------
+    let baseline = serve_phase(edges, nodes, queries_per_client, &selects, 0);
+    // --- Scene 2 + 3: mixed, with counter assertions --------------
+    let mixed = serve_phase(edges, nodes, queries_per_client, &selects, batches);
+
+    let mut table = Table::new(["phase", "ttf_p95_us", "appends", "invalidations"]);
+    table.row([
+        "read-only".to_string(),
+        baseline.ttf_p95_us.to_string(),
+        "0".to_string(),
+        "0".to_string(),
+    ]);
+    table.row([
+        "mixed".to_string(),
+        mixed.ttf_p95_us.to_string(),
+        mixed.appends.to_string(),
+        mixed.append_invalidations.to_string(),
+    ]);
+    table.print();
+
+    // The headline bound: writes must not degrade reader TTF p95 past
+    // 1.5×. The absolute slack covers µs-scale baselines at smoke
+    // scale, where one scheduler hiccup would dominate the ratio.
+    let bound = baseline.ttf_p95_us as f64 * 1.5 + 500.0;
+    assert!(
+        (mixed.ttf_p95_us as f64) <= bound,
+        "mixed-phase reader TTF p95 {}µs exceeds 1.5× the read-only baseline {}µs",
+        mixed.ttf_p95_us,
+        baseline.ttf_p95_us
+    );
+    println!(
+        "acceptance: mixed TTF p95 {}µs ≤ 1.5 × baseline {}µs (+0.5ms slack); \
+         {} appends invalidated {} dependent plans; untouched plan kept its \
+         cache entry and index across the write phase",
+        mixed.ttf_p95_us, baseline.ttf_p95_us, mixed.appends, mixed.append_invalidations
+    );
+
+    let doc = Json::obj([
+        ("experiment", Json::Str("E20".to_string())),
+        ("scale", Json::Num(scale)),
+        ("edges", Json::Int(edges as u64)),
+        ("clients", Json::Int(CLIENTS as u64)),
+        ("queries_per_client", Json::Int(queries_per_client as u64)),
+        ("writer_batches", Json::Int(batches as u64)),
+        ("batch_rows", Json::Int(BATCH as u64)),
+        ("baseline_ttf_p95_us", Json::Int(baseline.ttf_p95_us)),
+        ("mixed_ttf_p95_us", Json::Int(mixed.ttf_p95_us)),
+        ("bound", Json::Num(1.5)),
+        ("appends", Json::Int(mixed.appends)),
+        ("appended_rows", Json::Int(mixed.appended_rows)),
+        (
+            "append_invalidations",
+            Json::Int(mixed.append_invalidations),
+        ),
+        ("compactions", Json::Int(mixed.compactions)),
+        ("untouched_rebuilds", Json::Int(0)),
+    ]);
+    write_bench_json("BENCH_E20.json", &doc).expect("write BENCH_E20.json");
+}
+
+struct PhaseStats {
+    ttf_p95_us: u64,
+    appends: u64,
+    appended_rows: u64,
+    append_invalidations: u64,
+    compactions: u64,
+}
+
+/// One serving phase over a fresh service: `CLIENTS` readers paging
+/// the workload; when `batches > 0`, one writer streaming `INSERT`s
+/// into R1 concurrently. Counter and isolation assertions live here so
+/// both phases run the identical reader path.
+fn serve_phase(
+    edges: usize,
+    nodes: u64,
+    queries_per_client: usize,
+    selects: &[String],
+    batches: usize,
+) -> PhaseStats {
+    let catalog = build_catalog(edges, nodes);
+    let service = Service::with_config(
+        Engine::new(catalog),
+        ServiceConfig {
+            max_open_cursors: 512,
+            default_page: PAGE,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut server = Server::bind_with(
+        service.clone(),
+        "127.0.0.1:0",
+        TransportConfig {
+            transport: Transport::EventLoop,
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind event-loop server");
+    let addr = server.addr();
+
+    // Warm the untouched plan before any write, then pin its cache
+    // provenance across the phase.
+    let mut probe = TcpClient::connect(addr).expect("probe connect");
+    run_one_query(&mut probe, &selects[1]);
+
+    let writing = batches > 0;
+    thread::scope(|s| {
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("reader connect");
+                for i in 0..queries_per_client {
+                    run_one_query(&mut client, &selects[(c + i) % selects.len()]);
+                }
+            });
+        }
+        if writing {
+            s.spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("writer connect");
+                for b in 0..batches {
+                    let insert = insert_batch_text(b, nodes);
+                    let reply = client.send(&insert).expect("insert round-trip");
+                    assert!(reply.starts_with("OK appended rows="), "{reply}");
+                    // Pace the stream: appends trickle in across the
+                    // read window instead of landing in one burst.
+                    thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+    });
+
+    let before_probe = service.stats();
+    if writing {
+        assert_eq!(
+            before_probe.appends, batches as u64,
+            "every writer batch lands exactly once"
+        );
+        assert_eq!(
+            before_probe.appended_rows,
+            (batches * BATCH) as u64,
+            "every batch carries {BATCH} rows"
+        );
+        assert!(
+            before_probe.append_invalidations >= 1,
+            "appends into R1 must invalidate the touched plan at least once"
+        );
+    } else {
+        assert_eq!(before_probe.appends, 0);
+        assert_eq!(before_probe.append_invalidations, 0);
+    }
+    // Untouched isolation: re-running the R3/R4 plan after the whole
+    // phase must be a pure cache hit — zero new misses, zero new index
+    // builds attributable to the probe.
+    run_one_query(&mut probe, &selects[1]);
+    let after_probe = service.stats();
+    assert_eq!(
+        after_probe.cache.misses, before_probe.cache.misses,
+        "the untouched plan was rebuilt: appends leaked past their relation"
+    );
+    assert_eq!(
+        after_probe.index.builds, before_probe.index.builds,
+        "an index on an untouched relation was rebuilt"
+    );
+
+    if writing {
+        // Correctness pin: the served ranked prefix over the appended
+        // relation equals a direct stream on a fresh engine whose R1
+        // carries the same rows base-first.
+        let batches_done = before_probe.appends as usize;
+        let mut flat = build_catalog(edges, nodes);
+        let r1 = flat.get("R1").expect("R1").clone();
+        let appended = Relation::concat(
+            &std::iter::once(r1)
+                .chain((0..batches_done).map(|b| insert_batch_relation(b, nodes)))
+                .collect::<Vec<_>>(),
+        );
+        flat.register("R1", appended);
+        let reference = Engine::new(flat);
+        let touched_q = QueryBuilder::new()
+            .atom("R1", &["a", "b"])
+            .atom("R2", &["b", "c"])
+            .build();
+        let expect: Vec<String> = reference
+            .prepare(touched_q, anyk_engine::RankSpec::Sum)
+            .expect("reference prepare")
+            .stream()
+            .canonical_ties()
+            .take(K)
+            .map(|a| encode_answer(&a))
+            .collect();
+        let got = page_rows(&mut probe, &selects[0]);
+        assert_eq!(
+            got,
+            expect[..got.len().min(expect.len())],
+            "served answers over the live relation diverge from base ⊎ appends"
+        );
+    }
+
+    let stats = service.stats();
+    server.shutdown();
+    PhaseStats {
+        ttf_p95_us: stats.ttf_p95_us,
+        appends: stats.appends,
+        appended_rows: stats.appended_rows,
+        append_invalidations: stats.append_invalidations,
+        compactions: stats.compactions,
+    }
+}
+
+/// The deterministic shared catalog (same seeds each phase).
+fn build_catalog(edges: usize, nodes: u64) -> Catalog {
+    let mut catalog = Catalog::new();
+    for i in 1..=4u64 {
+        catalog.register(
+            format!("R{i}"),
+            random_edge_relation(edges, nodes, WeightDist::Uniform, None, 9000 + i * 7919),
+        );
+    }
+    catalog
+}
+
+/// Batch `b`'s rows: deterministic, inside the node-id range so the
+/// appended edges pick up join partners in R2.
+fn batch_rows(b: usize, nodes: u64) -> Vec<(i64, i64, f64)> {
+    (0..BATCH)
+        .map(|i| {
+            let src = ((b * BATCH + i) as u64 * 67 % nodes) as i64;
+            let dst = ((b * BATCH + i) as u64 * 131 % nodes) as i64;
+            let w = 0.001 + (((b * BATCH + i) % 997) as f64) * 1e-4;
+            (src, dst, w)
+        })
+        .collect()
+}
+
+/// Batch `b` as wire text: `INSERT INTO R1 VALUES (…),(…);`.
+fn insert_batch_text(b: usize, nodes: u64) -> String {
+    let rows: Vec<String> = batch_rows(b, nodes)
+        .into_iter()
+        .map(|(s, d, w)| format!("({s},{d},{w:.4})"))
+        .collect();
+    format!("INSERT INTO R1 VALUES {};", rows.join(","))
+}
+
+/// Batch `b` as a relation (for the base ⊎ appends reference engine).
+fn insert_batch_relation(b: usize, nodes: u64) -> Relation {
+    let mut builder = RelationBuilder::new(Schema::new(["src", "dst"]));
+    for (s, d, w) in batch_rows(b, nodes) {
+        // Round-trip the weight through the same fixed-point text the
+        // wire carries, so reference and served costs match exactly.
+        let w: f64 = format!("{w:.4}").parse().expect("weight literal");
+        builder.push_ints(&[s, d], w);
+    }
+    builder.finish()
+}
+
+/// Page one query to `K` answers, closing any leftover cursor.
+fn run_one_query(client: &mut TcpClient, select: &str) {
+    let _ = page_rows(client, select);
+}
+
+/// Page one query to `K` answers and return its `ROW` lines.
+fn page_rows(client: &mut TcpClient, select: &str) -> Vec<String> {
+    let mut rows: Vec<String> = Vec::new();
+    let mut reply = client.send(select).expect("select round-trip");
+    loop {
+        let header = reply.lines().next().expect("header").to_string();
+        assert!(header.starts_with("OK "), "{reply}");
+        rows.extend(
+            reply
+                .lines()
+                .filter(|l| l.starts_with("ROW "))
+                .map(String::from),
+        );
+        let done = header.contains("done=true");
+        let cursor = header
+            .split("cursor=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .expect("cursor field");
+        if done {
+            break;
+        }
+        if rows.len() >= K {
+            let closed = client
+                .send(&format!("CLOSE {cursor};"))
+                .expect("close round-trip");
+            assert!(closed.starts_with("OK closed="), "{closed}");
+            break;
+        }
+        reply = client
+            .send(&format!("NEXT {PAGE} ON {cursor};"))
+            .expect("next round-trip");
+    }
+    rows
+}

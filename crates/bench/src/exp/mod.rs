@@ -24,11 +24,12 @@ pub mod e16_serve_load;
 pub mod e17_index_catalog;
 pub mod e18_sharded_scaling;
 pub mod e19_obs_overhead;
+pub mod e20_live_appends;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Dispatch one experiment by id.
@@ -53,6 +54,7 @@ pub fn run(id: &str, scale: f64) -> bool {
         "e17" => e17_index_catalog::run(scale),
         "e18" => e18_sharded_scaling::run(scale),
         "e19" => e19_obs_overhead::run(scale),
+        "e20" => e20_live_appends::run(scale),
         _ => return false,
     }
     true

@@ -72,7 +72,7 @@ use anyk_join::generic_join_trie_requests;
 use anyk_query::cq::{triangle_query, ConjunctiveQuery};
 use anyk_query::cycles::{cycle_length, cycle_submodular_width, heavy_threshold};
 use anyk_query::gyo::{gyo_reduce, GyoResult};
-use anyk_storage::{Catalog, FxHashMap, IndexCatalog, IndexStats, Relation};
+use anyk_storage::{Catalog, FxHashMap, IndexCatalog, IndexProvider, IndexStats, Relation};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// The unified, planner-routed engine for ranked enumeration.
@@ -128,6 +128,38 @@ struct EngineShared {
     /// each shard engine carries its own registry; the server merges
     /// their histograms bucket-wise for `STATS`.
     obs: Arc<ObsRegistry>,
+    /// Write-path counters ([`Engine::write_stats`]), shared by all
+    /// clones. Plain relaxed atomics: monotone counters, no ordering
+    /// dependencies.
+    writes: WriteCounters,
+}
+
+/// The atomics behind [`WriteStats`].
+#[derive(Default)]
+struct WriteCounters {
+    appends: std::sync::atomic::AtomicU64,
+    appended_rows: std::sync::atomic::AtomicU64,
+    compactions: std::sync::atomic::AtomicU64,
+    invalidated_plans: std::sync::atomic::AtomicU64,
+}
+
+/// A snapshot of the engine's write-path counters
+/// ([`Engine::write_stats`]): appends accepted, rows appended,
+/// compactions run (explicit and threshold-triggered), and cached
+/// plans dropped by relation-scoped invalidation. Fragment appends in
+/// a sharded deployment are bookkeeping, not logical writes, and are
+/// not counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteStats {
+    /// Append batches accepted (empty batches included).
+    pub appends: u64,
+    /// Total rows appended.
+    pub appended_rows: u64,
+    /// Delta-folding compactions that actually ran.
+    pub compactions: u64,
+    /// Cached plans dropped because a relation they read was appended
+    /// to (or compacted under them).
+    pub invalidated_plans: u64,
 }
 
 /// Default plan-cache capacity: generous enough that steady workloads
@@ -145,6 +177,14 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 /// still purges everything at once.
 struct PlanCache {
     map: FxHashMap<CacheKey, CacheSlot>,
+    /// The all-base terms of delta-union prepares, kept across
+    /// relation-scoped invalidations: an append changes only a
+    /// relation's delta tail, so the (expensive) prepared state over
+    /// the bases stays valid and the re-prepare pays only for the
+    /// delta-sized terms. Entries are validated by epoch and base
+    /// payload ids (a compaction swaps the base payload out), and
+    /// LRU-bounded by the same `capacity` as the main map.
+    base_terms: FxHashMap<CacheKey, BaseTermSlot>,
     capacity: usize,
     /// Monotone use counter backing the LRU order.
     tick: u64,
@@ -196,12 +236,58 @@ impl CacheStats {
 struct CacheSlot {
     prepared: PreparedQuery,
     last_used: u64,
+    /// The relations this plan reads, with the source payload ids
+    /// (base + deltas, in order) each had at prepare time. A slot is
+    /// served only while every dependency still has exactly these
+    /// sources — so an [`Engine::append`] invalidates precisely the
+    /// plans that read the appended relation, even if a racing prepare
+    /// inserts a stale entry after the eager purge.
+    deps: Vec<(String, Vec<u64>)>,
+    /// The exact prepare inputs, kept so the write path can re-prepare
+    /// (refresh) this plan right after invalidating it — readers then
+    /// keep hitting the cache instead of absorbing the rebuild.
+    origin: (ConjunctiveQuery, RankSpec, EngineOpts),
+}
+
+struct BaseTermSlot {
+    prepared: PreparedQuery,
+    /// Base payload ids of every atom at build time, in atom order.
+    base_ids: Vec<u64>,
+    last_used: u64,
+}
+
+/// Is every dependency fingerprint still current in `catalog`?
+fn deps_current(catalog: &Catalog, deps: &[(String, Vec<u64>)]) -> bool {
+    deps.iter().all(|(name, ids)| {
+        catalog.entry(name).is_some_and(|e| {
+            e.sources()
+                .map(Relation::payload_id)
+                .eq(ids.iter().copied())
+        })
+    })
+}
+
+/// The dependency fingerprint for `cq` against `catalog`: one entry
+/// per distinct relation name the query reads, with its current
+/// source payload ids.
+fn query_deps(catalog: &Catalog, cq: &ConjunctiveQuery) -> Vec<(String, Vec<u64>)> {
+    let mut deps: Vec<(String, Vec<u64>)> = Vec::new();
+    for atom in cq.atoms() {
+        if deps.iter().any(|(n, _)| n == &atom.relation) {
+            continue;
+        }
+        if let Some(e) = catalog.entry(&atom.relation) {
+            deps.push((atom.relation.clone(), e.source_ids()));
+        }
+    }
+    deps
 }
 
 impl PlanCache {
     fn new(capacity: usize) -> Self {
         PlanCache {
             map: FxHashMap::default(),
+            base_terms: FxHashMap::default(),
             capacity,
             tick: 0,
             hits: 0,
@@ -211,20 +297,20 @@ impl PlanCache {
     }
 
     /// Look up a prepared plan, refreshing its LRU position on a hit.
-    fn get(&mut self, key: &CacheKey) -> Option<&PreparedQuery> {
+    fn get(&mut self, key: &CacheKey) -> Option<&CacheSlot> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|slot| {
             slot.last_used = tick;
-            &slot.prepared
+            &*slot
         })
     }
 
     /// Look up without refreshing the LRU position — for speculative
     /// probes (the triangle batch/any-k normalization) that may not
     /// end up serving the entry.
-    fn peek(&self, key: &CacheKey) -> Option<&PreparedQuery> {
-        self.map.get(key).map(|slot| &slot.prepared)
+    fn peek(&self, key: &CacheKey) -> Option<&CacheSlot> {
+        self.map.get(key)
     }
 
     /// Refresh an entry's LRU position after a [`peek`](Self::peek)
@@ -243,7 +329,13 @@ impl PlanCache {
     /// retainable even when every other resident is cheap), so a
     /// capacity ≥ 1 always caches the newest plan. A capacity of 0
     /// disables caching entirely.
-    fn insert(&mut self, key: CacheKey, prepared: PreparedQuery) {
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        prepared: PreparedQuery,
+        deps: Vec<(String, Vec<u64>)>,
+        origin: (ConjunctiveQuery, RankSpec, EngineOpts),
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -254,9 +346,77 @@ impl PlanCache {
             CacheSlot {
                 prepared,
                 last_used: tick,
+                deps,
+                origin,
             },
         );
         self.evict_to_capacity(Some(&key));
+    }
+
+    /// A still-valid all-base term for `key`, if one was stashed by a
+    /// previous delta-union prepare over the same base payloads.
+    /// Deliberately *not* dropped by `invalidate_relation`:
+    /// appends leave bases untouched, so
+    /// the stale union's most expensive term outlives the union itself.
+    fn base_term(&mut self, key: &CacheKey, epoch: u64, base_ids: &[u64]) -> Option<PreparedQuery> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.base_terms.get_mut(key) {
+            Some(slot) if slot.prepared.epoch() == epoch && slot.base_ids == base_ids => {
+                slot.last_used = tick;
+                Some(slot.prepared.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Stash a delta-union prepare's all-base term for reuse, evicting
+    /// the coldest entries past `capacity`.
+    fn store_base_term(&mut self, key: CacheKey, prepared: PreparedQuery, base_ids: Vec<u64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.base_terms.insert(
+            key,
+            BaseTermSlot {
+                prepared,
+                base_ids,
+                last_used: tick,
+            },
+        );
+        while self.base_terms.len() > self.capacity {
+            let Some(coldest) = self
+                .base_terms
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.base_terms.remove(&coldest);
+        }
+    }
+
+    /// Drop every entry whose dependency set includes `relation` —
+    /// the relation-scoped invalidation behind [`Engine::append`].
+    /// Returns each removed entry's prepare inputs so the write path
+    /// can refresh it. These are invalidations, not capacity
+    /// evictions, and do not count as such.
+    fn invalidate_relation(
+        &mut self,
+        relation: &str,
+    ) -> Vec<(ConjunctiveQuery, RankSpec, EngineOpts)> {
+        let mut removed = Vec::new();
+        self.map.retain(|_, slot| {
+            let keep = !slot.deps.iter().any(|(name, _)| name == relation);
+            if !keep {
+                removed.push(slot.origin.clone());
+            }
+            keep
+        });
+        removed
     }
 
     /// Pick and remove victims until the map fits `capacity`.
@@ -380,6 +540,7 @@ impl Engine {
                 }),
                 cache: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
                 obs,
+                writes: WriteCounters::default(),
             }),
             opts,
         }
@@ -527,6 +688,143 @@ impl Engine {
         self.update_catalog(|c| c.register(name, rel));
     }
 
+    /// Append one immutable batch to the named relation. `O(batch)`:
+    /// the batch payload is adopted as a delta — the base payload, its
+    /// shared trie indexes, and every cached plan over *other*
+    /// relations stay untouched. Unlike [`Engine::update_catalog`]
+    /// this does **not** bump the epoch: only cached plans that read
+    /// `name` are invalidated (relation-scoped), so a streaming writer
+    /// never recreates the cold-start cliff for the rest of the
+    /// workload. Each invalidated plan is then refreshed on this call
+    /// (re-prepared against base ⊎ deltas, reusing the stashed
+    /// all-base term) so concurrent readers keep hitting the cache —
+    /// the rebuild cost rides on the writer. Open streams keep their
+    /// `Arc` snapshots — a mid-stream append is invisible to them
+    /// (snapshot isolation).
+    ///
+    /// Once the relation's delta tail outgrows its base (past a floor,
+    /// [`anyk_storage::MIN_COMPACT_ROWS`]), the deltas are folded into
+    /// a fresh base payload automatically.
+    ///
+    /// Typed failures: unknown relation, batch arity mismatch, and the
+    /// reserved `#` fragment namespace.
+    pub fn append(&self, name: &str, batch: Relation) -> Result<(), EngineError> {
+        if name.contains('#') {
+            return Err(EngineError::ReservedRelationName {
+                relation: name.to_string(),
+            });
+        }
+        self.append_raw(name, batch)
+    }
+
+    /// [`Engine::append`] without the reserved-name guard — the
+    /// internal path a [`ShardedEngine`] uses to maintain `{name}#frag`
+    /// fragments. Fragment appends skip the write counters (they are
+    /// shard bookkeeping, not logical writes).
+    pub(crate) fn append_raw(&self, name: &str, batch: Relation) -> Result<(), EngineError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let rows = batch.len() as u64;
+        let compacted = {
+            let mut st = self
+                .shared
+                .catalog
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            // Copy-on-write on the catalog *map* only: snapshots taken
+            // by concurrent readers keep every relation handle they
+            // already resolved.
+            let cat = Arc::make_mut(&mut st.catalog);
+            cat.append(name, batch)?;
+            let due = cat
+                .entry(name)
+                .is_some_and(anyk_storage::DeltaRelation::should_compact);
+            if due {
+                cat.compact(name)?;
+            }
+            due
+        };
+        // Outside the write lock: eagerly drop dependent plans. Purely
+        // an eviction — correctness comes from the per-hit dependency
+        // check, so an entry inserted by a racing prepare between the
+        // append and this purge is merely unused memory, never served.
+        let removed = self
+            .shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .invalidate_relation(name);
+        if !name.contains('#') {
+            let w = &self.shared.writes;
+            w.appends.fetch_add(1, Relaxed);
+            w.appended_rows.fetch_add(rows, Relaxed);
+            if compacted {
+                w.compactions.fetch_add(1, Relaxed);
+            }
+            w.invalidated_plans.fetch_add(removed.len() as u64, Relaxed);
+        }
+        self.refresh_plans(removed);
+        Ok(())
+    }
+
+    /// Re-prepare plans the write path just invalidated, so the next
+    /// reader of each is a cache hit instead of paying the delta-union
+    /// rebuild. The cost lands on the writer — with the stashed
+    /// all-base term the rebuild is delta-sized, so a streaming writer
+    /// keeps the read tail flat. A failing re-prepare is dropped
+    /// silently: the next reader re-derives the same typed error.
+    fn refresh_plans(&self, removed: Vec<(ConjunctiveQuery, RankSpec, EngineOpts)>) {
+        for (cq, rank, opts) in removed {
+            let _ = self.prepare_cached(&cq, rank, opts);
+        }
+    }
+
+    /// Fold the named relation's pending deltas into a fresh base
+    /// payload now, regardless of the automatic threshold. Returns
+    /// whether a compaction actually ran (`false` when delta-free).
+    /// Cached plans reading `name` are invalidated (their dependency
+    /// fingerprint names the replaced payloads); everything else stays
+    /// warm. Open streams keep serving their old snapshots.
+    pub fn compact(&self, name: &str) -> Result<bool, EngineError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let compacted = {
+            let mut st = self
+                .shared
+                .catalog
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            Arc::make_mut(&mut st.catalog).compact(name)?
+        };
+        if compacted {
+            let removed = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .invalidate_relation(name);
+            if !name.contains('#') {
+                let w = &self.shared.writes;
+                w.compactions.fetch_add(1, Relaxed);
+                w.invalidated_plans.fetch_add(removed.len() as u64, Relaxed);
+            }
+            self.refresh_plans(removed);
+        }
+        Ok(compacted)
+    }
+
+    /// A snapshot of the write-path counters: appends, appended rows,
+    /// compactions, and relation-scoped plan invalidations. Cumulative
+    /// over the engine's lifetime and shared by all clones.
+    pub fn write_stats(&self) -> WriteStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let w = &self.shared.writes;
+        WriteStats {
+            appends: w.appends.load(Relaxed),
+            appended_rows: w.appended_rows.load(Relaxed),
+            compactions: w.compactions.load(Relaxed),
+            invalidated_plans: w.invalidated_plans.load(Relaxed),
+        }
+    }
+
     /// Number of prepared plans currently cached (diagnostics).
     pub fn cached_plans(&self) -> usize {
         self.shared
@@ -651,9 +949,13 @@ impl Engine {
                 .cache
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            if let Some(hit) = cache.get(&key) {
-                if hit.epoch() == epoch {
-                    let served = hit.adopt_variant(opts.variant);
+            // A hit must pass both freshness gates: the epoch (schema
+            // changes via `update_catalog`) and the per-relation
+            // dependency fingerprint (appends/compactions, which do not
+            // bump the epoch).
+            if let Some(slot) = cache.get(&key) {
+                if slot.prepared.epoch() == epoch && deps_current(&catalog, &slot.deps) {
+                    let served = slot.prepared.adopt_variant(opts.variant);
                     cache.hits += 1;
                     return Ok((served, true));
                 }
@@ -671,9 +973,12 @@ impl Engine {
                     batch: false,
                     ..key.clone()
                 };
-                if let Some(hit) = cache.peek(&alt) {
-                    if hit.epoch() == epoch && hit.plan().variant.is_none() {
-                        let served = hit.adopt_variant(opts.variant);
+                if let Some(slot) = cache.peek(&alt) {
+                    if slot.prepared.epoch() == epoch
+                        && slot.prepared.plan().variant.is_none()
+                        && deps_current(&catalog, &slot.deps)
+                    {
+                        let served = slot.prepared.adopt_variant(opts.variant);
                         cache.touch(&alt);
                         cache.hits += 1;
                         return Ok((served, true));
@@ -682,18 +987,99 @@ impl Engine {
             }
             cache.misses += 1;
         }
-        let rels = resolve(&catalog, cq)?;
-        let plan = make_plan(cq, rank, opts, &rels, catalog.indexes())?;
+        let live = resolve_live(&catalog, cq)?;
+        let fulls: Vec<Relation> = live.iter().map(|a| a.full.clone()).collect();
+        let delta_atoms = live.iter().filter(|a| a.delta.is_some()).count();
+        let mut plan = make_plan(cq, rank, opts, &fulls, catalog.indexes())?;
+        plan.deltas = delta_atoms;
         if plan.variant.is_none() {
             // Normalize: one cache entry serves Batch and any-k alike.
             key.batch = false;
         }
-        let prepared = PreparedQuery::build(plan, rels, key.batch, epoch, &**catalog.indexes())?;
+        let prepared = if delta_atoms == 0 {
+            // Delta-free: `fulls` share the base payloads, so this is
+            // exactly the classic single-stream prepare — warm shared
+            // tries included.
+            PreparedQuery::build(plan, fulls, key.batch, epoch, &**catalog.indexes())?
+        } else {
+            // Delta union, telescoped so the terms partition the full
+            // cross product of (base ⊎ deltas) per atom:
+            //   term 0:          (B_1, …, B_m)            — all bases
+            //   term for atom i: (F_1, …, F_{i-1}, D_i, B_{i+1}, …, B_m)
+            // where F = base ⊎ deltas and D_i = atom i's delta rows.
+            // Disjoint and complete by telescoping, and positional — a
+            // self-join's occurrences telescope independently. Delta
+            // terms route index requests through [`DurableOnly`]: base
+            // payloads (and delta-free fulls, which alias their base)
+            // are append-stable, so their tries come from the shared
+            // catalog — a re-prepare after an append then costs only
+            // the delta-sized private builds, not a rebuild of every
+            // base trie. Delta and flattened payloads change on every
+            // append and stay private.
+            let bases: Vec<Relation> = live.iter().map(|a| a.base.clone()).collect();
+            // Delta-free fulls alias their base payload, so base ids
+            // cover every append-stable relation a term can mention.
+            let durable: Vec<u64> = live.iter().map(|a| a.base.payload_id()).collect();
+            // The all-base term is by far the heaviest build and is
+            // untouched by appends — reuse the one stashed by the
+            // previous prepare of this key whenever the bases (and
+            // epoch) still match, so successive appends pay only for
+            // the delta-sized terms.
+            let stashed = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .base_term(&key, epoch, &durable);
+            let mut terms = Vec::with_capacity(delta_atoms + 1);
+            terms.push(match stashed {
+                Some(term) => term,
+                None => PreparedQuery::build(
+                    plan.clone(),
+                    bases.clone(),
+                    key.batch,
+                    epoch,
+                    &**catalog.indexes(),
+                )?,
+            });
+            let provider = DurableOnly {
+                shared: &**catalog.indexes(),
+                durable: durable.clone(),
+            };
+            for (i, atom) in live.iter().enumerate() {
+                let Some(delta) = &atom.delta else { continue };
+                let rels: Vec<Relation> = live
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| match j.cmp(&i) {
+                        std::cmp::Ordering::Less => a.full.clone(),
+                        std::cmp::Ordering::Equal => delta.clone(),
+                        std::cmp::Ordering::Greater => a.base.clone(),
+                    })
+                    .collect();
+                terms.push(PreparedQuery::build(
+                    plan.clone(),
+                    rels,
+                    key.batch,
+                    epoch,
+                    &provider,
+                )?);
+            }
+            let base_term = terms[0].clone();
+            let union = PreparedQuery::union(plan, terms, epoch);
+            self.shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .store_base_term(key.clone(), base_term, durable);
+            union
+        };
+        let deps = query_deps(&catalog, cq);
         self.shared
             .cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, prepared.clone());
+            .insert(key, prepared.clone(), deps, (cq.clone(), rank, opts));
         Ok((prepared, false))
     }
 }
@@ -709,27 +1095,78 @@ pub struct PrepareReport {
     pub prepare_us: u64,
 }
 
-/// Resolve each atom's relation from the catalog, checking arity.
-/// Returns shared handles — each entry is a refcount bump on the
-/// catalog's `Arc`-backed payload, never a tuple copy.
-fn resolve(catalog: &Catalog, cq: &ConjunctiveQuery) -> Result<Vec<Relation>, EngineError> {
+/// An [`IndexProvider`] for delta-union terms: requests over the
+/// append-stable payloads in `durable` (bases — immutable until a
+/// compaction swaps the payload out) are delegated to the shared
+/// catalog, everything else (delta batches, flattened base ⊎ delta
+/// payloads) gets a private ephemeral build. This keeps the cost of a
+/// post-append re-prepare proportional to the *delta*, while the
+/// short-lived payloads never pollute the shared catalog.
+struct DurableOnly<'a> {
+    shared: &'a dyn IndexProvider,
+    durable: Vec<u64>,
+}
+
+impl IndexProvider for DurableOnly<'_> {
+    fn trie(&self, rel: &Relation, positions: &[usize]) -> Arc<anyk_storage::Trie> {
+        if self.durable.contains(&rel.payload_id()) {
+            self.shared.trie(rel, positions)
+        } else {
+            anyk_storage::BuildEachTime.trie(rel, positions)
+        }
+    }
+
+    fn probe(&self, rel: &Relation, positions: &[usize]) -> bool {
+        self.durable.contains(&rel.payload_id()) && self.shared.probe(rel, positions)
+    }
+}
+
+/// One atom's relation resolved against the live catalog entry: the
+/// base payload, the flattened full content (base ⊎ deltas — shares
+/// the base payload when delta-free), and the concatenated delta rows
+/// when any exist. All three are `Arc`-backed handles.
+struct ResolvedAtom {
+    base: Relation,
+    full: Relation,
+    delta: Option<Relation>,
+}
+
+/// Resolve each atom against the live (delta-aware) catalog entries:
+/// per atom, the base, the flattened full content, and the pending
+/// delta rows (if any), with typed arity/existence errors. On a
+/// delta-free catalog every `full` shares its base payload — each
+/// entry is a refcount bump, never a tuple copy.
+fn resolve_live(
+    catalog: &Catalog,
+    cq: &ConjunctiveQuery,
+) -> Result<Vec<ResolvedAtom>, EngineError> {
     if cq.num_atoms() == 0 {
         return Err(EngineError::EmptyQuery);
     }
-    let mut rels = Vec::with_capacity(cq.num_atoms());
+    let mut atoms = Vec::with_capacity(cq.num_atoms());
     for (i, atom) in cq.atoms().iter().enumerate() {
-        let rel = catalog.lookup(&atom.relation)?;
-        if rel.arity() != atom.vars.len() {
+        let entry = catalog.entry(&atom.relation).ok_or_else(|| {
+            EngineError::Storage(anyk_storage::StorageError::RelationNotFound {
+                name: atom.relation.clone(),
+            })
+        })?;
+        let base = entry.base();
+        if base.arity() != atom.vars.len() {
             return Err(EngineError::ArityMismatch {
                 atom: i,
                 relation: atom.relation.clone(),
                 expected: atom.vars.len(),
-                found: rel.arity(),
+                found: base.arity(),
             });
         }
-        rels.push(rel.clone());
+        let delta = entry.has_deltas().then(|| Relation::concat(entry.deltas()));
+        atoms.push(ResolvedAtom {
+            base: base.clone(),
+            full: entry.flatten(),
+            delta,
+        });
     }
-    Ok(rels)
+    Ok(atoms)
 }
 
 /// Route the query. Relations are needed for the 4-cycle's heavy
@@ -786,6 +1223,9 @@ fn make_plan(
         variant,
         width,
         index,
+        // The caller (prepare/explain) overwrites this from the live
+        // catalog entries; `make_plan` itself only sees flattened data.
+        deltas: 0,
     })
 }
 
@@ -858,8 +1298,11 @@ impl QueryRequest<'_> {
     /// data is copied.
     pub fn explain(&self) -> Result<Plan, EngineError> {
         let catalog = self.engine.catalog();
-        let rels = resolve(&catalog, &self.cq)?;
-        make_plan(&self.cq, self.rank, self.opts, &rels, catalog.indexes())
+        let live = resolve_live(&catalog, &self.cq)?;
+        let fulls: Vec<Relation> = live.iter().map(|a| a.full.clone()).collect();
+        let mut plan = make_plan(&self.cq, self.rank, self.opts, &fulls, catalog.indexes())?;
+        plan.deltas = live.iter().filter(|a| a.delta.is_some()).count();
+        Ok(plan)
     }
 
     /// Route and preprocess once, returning the shareable
@@ -1632,12 +2075,15 @@ mod tests {
     fn resolution_hands_out_shared_handles() {
         let (engine, q) = path_engine();
         let catalog = engine.catalog();
-        let rels = resolve(&catalog, &q).unwrap();
-        for (atom, rel) in q.atoms().iter().zip(&rels) {
+        let live = resolve_live(&catalog, &q).unwrap();
+        for (atom, resolved) in q.atoms().iter().zip(&live) {
             assert!(
-                rel.shares_payload(catalog.get(&atom.relation).unwrap()),
-                "resolution must be a refcount bump, not a copy"
+                resolved
+                    .full
+                    .shares_payload(catalog.get(&atom.relation).unwrap()),
+                "delta-free resolution must be a refcount bump, not a copy"
             );
+            assert!(resolved.delta.is_none());
         }
     }
 
@@ -1785,5 +2231,145 @@ mod tests {
                 assert_eq!(want, got, "{label}/{rank}: warm-index answers diverge");
             }
         }
+    }
+
+    #[test]
+    fn append_is_typed_and_counted() {
+        let (engine, _) = path_engine();
+        let err = engine.append("Nope", edge_rel(&[(1, 2, 0.0)])).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Storage(StorageError::RelationNotFound { .. })
+        ));
+        let mut bad = RelationBuilder::new(Schema::new(["a", "b", "c"]));
+        bad.push_ints(&[1, 2, 3], 0.0);
+        let err = engine.append("R1", bad.finish()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Storage(StorageError::ArityMismatch { .. })
+        ));
+        let err = engine
+            .append("R1#frag", edge_rel(&[(1, 2, 0.0)]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ReservedRelationName { .. }));
+        assert_eq!(engine.write_stats(), WriteStats::default());
+
+        engine.append("R1", edge_rel(&[(9, 10, 0.7)])).unwrap();
+        engine.append("R1", edge_rel(&[(8, 10, 0.9)])).unwrap();
+        let w = engine.write_stats();
+        assert_eq!(w.appends, 2);
+        assert_eq!(w.appended_rows, 2);
+        assert_eq!(w.compactions, 0);
+    }
+
+    #[test]
+    fn append_invalidates_only_dependent_plans() {
+        let (engine, q) = path_engine();
+        // Plan A reads R1 and R2; plan B reads only R2.
+        let _ = engine.query(q.clone()).plan().unwrap();
+        let q_b = QueryBuilder::new().atom("R2", &["b", "c"]).build();
+        let _ = engine.query(q_b.clone()).plan().unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+        assert_eq!(engine.catalog_epoch(), 0);
+
+        engine.append("R1", edge_rel(&[(9, 10, 0.7)])).unwrap();
+        assert_eq!(engine.catalog_epoch(), 0, "appends never bump the epoch");
+        assert_eq!(
+            engine.cached_plans(),
+            2,
+            "the dependent plan is invalidated, then refreshed in place by the write path"
+        );
+        assert_eq!(engine.write_stats().invalidated_plans, 1);
+        let (_, report) = engine
+            .query(q_b)
+            .rank_by(RankSpec::Sum)
+            .prepare_report()
+            .unwrap();
+        assert!(report.cache_hit, "the untouched plan stays served");
+        let (prepared, report) = engine
+            .query(q.clone())
+            .rank_by(RankSpec::Sum)
+            .prepare_report()
+            .unwrap();
+        assert!(
+            report.cache_hit,
+            "the write path refreshed the dependent plan — the reader never misses"
+        );
+        assert_eq!(
+            prepared.plan().deltas,
+            1,
+            "the refreshed entry is the delta-aware union, not the stale base plan"
+        );
+    }
+
+    #[test]
+    fn appended_rows_join_the_answers() {
+        let (engine, q) = path_engine();
+        assert_eq!(engine.query(q.clone()).plan().unwrap().count(), 4);
+        // New R1 row joining R2's b=10 rows adds two answers; the plan
+        // now unions one delta term in.
+        engine.append("R1", edge_rel(&[(7, 10, 0.01)])).unwrap();
+        let plan = engine.query(q.clone()).explain().unwrap();
+        assert_eq!(plan.deltas, 1);
+        assert!(plan.explain().contains("deltas = 1"), "{plan}");
+        let all: Vec<_> = engine.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0].cost <= w[1].cost));
+        assert_eq!(all[0].ints(), vec![7, 10, 200], "cheapest is the new row");
+
+        // The flattened content served through the delta union equals a
+        // fresh single-payload engine over the same rows.
+        let flat = Engine::new(engine.catalog().flattened());
+        let want: Vec<_> = flat.query(q.clone()).plan().unwrap().collect();
+        assert_eq!(all, want);
+
+        // Compaction folds the deltas; answers are unchanged.
+        assert!(engine.compact("R1").unwrap());
+        assert!(!engine.compact("R1").unwrap(), "second compact is a no-op");
+        assert_eq!(engine.query(q.clone()).explain().unwrap().deltas, 0);
+        let after: Vec<_> = engine.query(q).plan().unwrap().collect();
+        assert_eq!(after, want);
+        assert_eq!(engine.write_stats().compactions, 1);
+    }
+
+    #[test]
+    fn open_streams_are_snapshot_isolated() {
+        let (engine, q) = path_engine();
+        let mut stream = engine.query(q.clone()).plan().unwrap();
+        let first = stream.next_batch(1);
+        engine.append("R1", edge_rel(&[(7, 10, 0.01)])).unwrap();
+        let rest = stream.next_batch(100);
+        assert_eq!(
+            first.len() + rest.len(),
+            4,
+            "a mid-stream append is invisible to the open stream"
+        );
+        assert_eq!(engine.query(q).plan().unwrap().count(), 6);
+    }
+
+    #[test]
+    fn delta_heavy_relation_auto_compacts() {
+        let (engine, q) = path_engine();
+        // R1 has 3 base rows; the floor dominates, so it takes
+        // MIN_COMPACT_ROWS appended rows to trigger auto-compaction.
+        let rows_needed = anyk_storage::MIN_COMPACT_ROWS;
+        let mut appended = 0usize;
+        while appended < rows_needed {
+            engine
+                .append("R1", edge_rel(&[(900 + appended as i64, 1, 5.0)]))
+                .unwrap();
+            appended += 1;
+        }
+        let w = engine.write_stats();
+        assert_eq!(w.appends as usize, appended);
+        assert_eq!(w.compactions, 1, "threshold crossing compacts exactly once");
+        assert!(
+            engine
+                .catalog()
+                .entry("R1")
+                .is_some_and(|e| !e.has_deltas()),
+            "deltas folded into the base"
+        );
+        assert_eq!(engine.query(q).plan().unwrap().count(), 4);
     }
 }

@@ -134,6 +134,11 @@ pub struct Plan {
     /// planning time ([`IndexUse::Cached`]), or will prepare have to
     /// build at least one ([`IndexUse::Built`])?
     pub index: IndexUse,
+    /// How many delta-backed atom occurrences this plan unions in: the
+    /// prepared query merges `deltas + 1` ranked streams (`0` — the
+    /// common case — means a single stream over base payloads only).
+    /// Rendered in `EXPLAIN` as `deltas = n`.
+    pub deltas: usize,
 }
 
 impl Plan {
@@ -145,12 +150,14 @@ impl Plan {
             None => "n/a (materialized heap)".to_string(),
         };
         let mut out = format!(
-            "plan: route = {}, rank = {}, variant = {}, width = {:.3}, index = {}\n  {}\n",
+            "plan: route = {}, rank = {}, variant = {}, width = {:.3}, index = {}, \
+             deltas = {}\n  {}\n",
             self.route.label(),
             self.rank,
             variant,
             self.width,
             self.index.label(),
+            self.deltas,
             self.query,
         );
         match &self.route {
@@ -211,12 +218,14 @@ mod tests {
             variant: Some(AnyKVariant::default()),
             width: 1.0,
             index: IndexUse::NotApplicable,
+            deltas: 0,
         };
         let text = plan.explain();
         assert!(text.contains("route = acyclic"), "{text}");
         assert!(text.contains("R2("), "{text}");
         assert!(text.contains("width = 1.000"), "{text}");
         assert!(text.contains("index = n/a"), "{text}");
+        assert!(text.contains("deltas = 0"), "{text}");
     }
 
     #[test]
@@ -228,9 +237,11 @@ mod tests {
             variant: None,
             width: 1.5,
             index: IndexUse::Built,
+            deltas: 2,
         };
         assert!(plan.to_string().contains("Generic-Join"));
         assert!(plan.to_string().contains("variant = n/a"));
         assert!(plan.to_string().contains("index = built"));
+        assert!(plan.to_string().contains("deltas = 2"));
     }
 }

@@ -84,7 +84,8 @@ impl std::fmt::Debug for PreparedQuery {
     }
 }
 
-/// The monomorphized prepared state, one arm per [`RankSpec`].
+/// The monomorphized prepared state, one arm per [`RankSpec`] — plus
+/// the delta-union composition over per-term prepared queries.
 #[derive(Clone)]
 enum PreparedInner {
     Sum(PreparedRoute<SumCost>),
@@ -92,6 +93,12 @@ enum PreparedInner {
     Min(PreparedRoute<MinCost>),
     Prod(PreparedRoute<ProdCost>),
     Lex(PreparedRoute<LexCost>),
+    /// A query over delta-bearing relations: one prepared term per
+    /// union member of the telescoping base-⊎-delta decomposition,
+    /// streamed through the deterministic (cost, tuple, term) merge.
+    /// Ranked enumeration composes under union, so each term is just a
+    /// full [`PreparedQuery`] over its own relation snapshot.
+    Union(Arc<Vec<PreparedQuery>>),
 }
 
 /// What preprocessing produced, by route family. Everything is behind
@@ -167,6 +174,19 @@ impl PreparedQuery {
         Ok(PreparedQuery { plan, epoch, inner })
     }
 
+    /// Compose per-term prepared queries (the telescoping base-⊎-delta
+    /// decomposition built by the engine) into one prepared query whose
+    /// streams merge the term streams deterministically. `plan` is the
+    /// facade plan: it reports the original query with
+    /// [`Plan::deltas`](crate::Plan) counting the delta terms.
+    pub(crate) fn union(plan: Plan, terms: Vec<PreparedQuery>, epoch: u64) -> PreparedQuery {
+        PreparedQuery {
+            plan,
+            epoch,
+            inner: PreparedInner::Union(Arc::new(terms)),
+        }
+    }
+
     /// The plan this query was prepared under (route, ranking, width).
     pub fn plan(&self) -> &Plan {
         &self.plan
@@ -190,6 +210,9 @@ impl PreparedQuery {
             PreparedInner::Min(r) => r.is_materialized(),
             PreparedInner::Prod(r) => r.is_materialized(),
             PreparedInner::Lex(r) => r.is_materialized(),
+            PreparedInner::Union(terms) => {
+                terms.iter().any(PreparedQuery::holds_materialized_answers)
+            }
         }
     }
 
@@ -208,6 +231,12 @@ impl PreparedQuery {
             PreparedInner::Min(r) => r.sort_deferred(),
             PreparedInner::Prod(r) => r.sort_deferred(),
             PreparedInner::Lex(r) => r.sort_deferred(),
+            // A union defers while any term still does; all-None (pure
+            // any-k terms) stays None.
+            PreparedInner::Union(terms) => terms
+                .iter()
+                .filter_map(PreparedQuery::sort_deferred)
+                .reduce(|a, b| a || b),
         }
     }
 
@@ -235,15 +264,25 @@ impl PreparedQuery {
     /// [`PreparedRoute::LazySorted`], so the variant only selects among
     /// PART successor orders and REC here.
     fn stream_as(&self, variant: AnyKVariant) -> RankedStream {
+        let mut plan = self.plan.clone();
+        plan.variant = plan.variant.map(|_| variant);
         let inner = match &self.inner {
             PreparedInner::Sum(r) => stream_route(r, variant),
             PreparedInner::Max(r) => stream_route(r, variant),
             PreparedInner::Min(r) => stream_route(r, variant),
             PreparedInner::Prod(r) => stream_route(r, variant),
             PreparedInner::Lex(r) => stream_route(r, variant),
+            PreparedInner::Union(terms) => {
+                // Merge the term streams with the deterministic
+                // (cost, tuple, term) tie-break — the same machinery
+                // as the cross-shard fan-in, so the merged stream is
+                // canonical by construction.
+                let fan_in = Arc::new(crate::shard::ShardFanIn::new(terms.len()));
+                let streams: Vec<RankedStream> =
+                    terms.iter().map(|t| t.stream_as(variant)).collect();
+                return crate::shard::merge_streams(streams, plan, fan_in, None);
+            }
         };
-        let mut plan = self.plan.clone();
-        plan.variant = plan.variant.map(|_| variant);
         RankedStream { inner, plan }
     }
 }

@@ -44,7 +44,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-use crate::{CacheStats, Engine, EngineOpts, PrepareReport};
+use crate::{CacheStats, Engine, EngineOpts, PrepareReport, WriteStats};
 use anyk_storage::IndexStats;
 
 /// The reserved marker appended to a relation name to address its hash
@@ -229,6 +229,68 @@ impl ShardedEngine {
             });
         }
         Ok(())
+    }
+
+    /// Append one batch to the named relation on **every** shard: the
+    /// full batch joins `name`'s delta tail, the batch's hash fragments
+    /// join `{name}#frag`'s. Runs under the coordination write lock
+    /// (no torn cross-shard appends) but — like [`Engine::append`] —
+    /// does **not** bump any epoch: per-shard invalidation is
+    /// relation-scoped, so cached plans and warm indexes over other
+    /// relations survive. Typed failures: unknown relation, batch
+    /// arity mismatch, reserved `#` names.
+    pub fn append(&self, name: &str, batch: Relation) -> Result<(), EngineError> {
+        if name.contains('#') {
+            return Err(EngineError::ReservedRelationName {
+                relation: name.to_string(),
+            });
+        }
+        let parts = partition_relation(&batch, self.num_shards());
+        let coord = self
+            .shared
+            .coord
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = *coord;
+        for (engine, part) in self.shared.engines.iter().zip(parts) {
+            engine.append_raw(name, batch.clone())?;
+            engine.append_raw(&fragment_name(name), part)?;
+        }
+        Ok(())
+    }
+
+    /// Fold the named relation's pending deltas (full + fragment) into
+    /// fresh base payloads on every shard. Returns `true` if any shard
+    /// actually compacted.
+    pub fn compact(&self, name: &str) -> Result<bool, EngineError> {
+        let coord = self
+            .shared
+            .coord
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = *coord;
+        let mut compacted = false;
+        for engine in &self.shared.engines {
+            compacted |= engine.compact(name)?;
+            compacted |= engine.compact(&fragment_name(name))?;
+        }
+        Ok(compacted)
+    }
+
+    /// Write-path counters for the sharded deployment. Appends,
+    /// appended rows, and compactions are logical (every shard sees
+    /// the same logical writes, so shard 0 speaks for all — fragment
+    /// bookkeeping is never counted); invalidated plans are summed
+    /// across shards, since each shard caches its own plans.
+    pub fn write_stats(&self) -> WriteStats {
+        let mut out = self.shared.engines[0].write_stats();
+        out.invalidated_plans = self
+            .shared
+            .engines
+            .iter()
+            .map(|e| e.write_stats().invalidated_plans)
+            .sum();
+        out
     }
 
     /// Remove a relation (full + fragment) from every shard, under the
@@ -479,37 +541,53 @@ impl ShardedPrepared {
     /// per-shard rows pulled, tournament depth, and merge-machinery
     /// wall time, updated as the stream is consumed.
     pub fn stream_traced(&self) -> (RankedStream, Arc<ShardFanIn>) {
-        let n = self.parts.len();
-        let fan_in = Arc::new(ShardFanIn::new(n));
-        let sources: Vec<ShardSource> = self
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| ShardSource {
-                stream: CanonicalOrder::new(Box::new(p.stream().map(to_core))
-                    as Box<dyn Iterator<Item = CoreAnswer<Cost>> + Send>),
-                buf: VecDeque::new(),
-                done: false,
-                fan_in: Arc::clone(&fan_in),
-                index: i,
-            })
-            .collect();
+        let fan_in = Arc::new(ShardFanIn::new(self.parts.len()));
+        let streams: Vec<RankedStream> = self.parts.iter().map(PreparedQuery::stream).collect();
         let clock = self.obs.enabled().then(|| Arc::clone(self.obs.clock()));
-        let stream = RankedStream {
-            inner: Box::new(ShardedIter {
-                sources,
-                tree: TournamentTree::new(n),
-                batch: 1,
-                parallel: std::thread::available_parallelism()
-                    .map(|p| p.get() > 1)
-                    .unwrap_or(false),
-                primed: false,
-                fan_in: Arc::clone(&fan_in),
-                clock,
-            }),
-            plan: self.plan.clone(),
-        };
+        let stream = merge_streams(streams, self.plan.clone(), Arc::clone(&fan_in), clock);
         (stream, fan_in)
+    }
+}
+
+/// Merge independent ranked streams into one canonical ranked stream:
+/// each source is wrapped in [`CanonicalOrder`] and the k-way
+/// tournament merge breaks cost ties by (output tuple, source index).
+/// The machinery behind both fan-ins that need a deterministic total
+/// order — the cross-**shard** merge and the base-⊎-delta **union**
+/// merge of a delta-backed prepared query.
+pub(crate) fn merge_streams(
+    streams: Vec<RankedStream>,
+    plan: Plan,
+    fan_in: Arc<ShardFanIn>,
+    clock: Option<Arc<dyn Clock>>,
+) -> RankedStream {
+    let n = streams.len();
+    let sources: Vec<ShardSource> = streams
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| ShardSource {
+            stream: CanonicalOrder::new(
+                Box::new(s.map(to_core)) as Box<dyn Iterator<Item = CoreAnswer<Cost>> + Send>
+            ),
+            buf: VecDeque::new(),
+            done: false,
+            fan_in: Arc::clone(&fan_in),
+            index: i,
+        })
+        .collect();
+    RankedStream {
+        inner: Box::new(ShardedIter {
+            sources,
+            tree: TournamentTree::new(n),
+            batch: 1,
+            parallel: std::thread::available_parallelism()
+                .map(|p| p.get() > 1)
+                .unwrap_or(false),
+            primed: false,
+            fan_in,
+            clock,
+        }),
+        plan,
     }
 }
 
@@ -527,7 +605,7 @@ pub struct ShardFanIn {
 }
 
 impl ShardFanIn {
-    fn new(shards: usize) -> ShardFanIn {
+    pub(crate) fn new(shards: usize) -> ShardFanIn {
         ShardFanIn {
             rows: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             depth: if shards <= 1 {
@@ -878,6 +956,46 @@ mod tests {
         let mut got = vec![first];
         got.extend(rest);
         assert_eq!(got, want, "mid-stream update must not leak in");
+    }
+
+    #[test]
+    fn sharded_append_matches_single_engine_and_counts_once() {
+        let (q, catalog) = path_catalog();
+        let single = Engine::new(catalog.clone());
+        let sharded = ShardedEngine::new(catalog, 3).unwrap();
+
+        match sharded.append("bad#name", edge_rel(&[(1, 2, 0.0)])) {
+            Err(EngineError::ReservedRelationName { .. }) => {}
+            other => panic!("expected ReservedRelationName, got {other:?}"),
+        }
+
+        let batch = edge_rel(&[(1, 7, 0.05), (9, 4, 0.6)]);
+        single.append("R1", batch.clone()).unwrap();
+        sharded.append("R1", batch).unwrap();
+        assert_eq!(sharded.epoch(), 0, "appends never bump the coord epoch");
+
+        let want: Vec<_> = single
+            .prepare(q.clone(), RankSpec::Sum)
+            .unwrap()
+            .stream()
+            .canonical_ties()
+            .collect();
+        let got: Vec<_> = sharded.stream(&q, RankSpec::Sum).unwrap().collect();
+        assert_eq!(got, want, "delta-bearing sharded stream diverges");
+        assert!(
+            got.iter().any(|a| a.ints() == vec![9, 4, 8]),
+            "the appended row must join: {got:?}"
+        );
+
+        let w = sharded.write_stats();
+        assert_eq!(w.appends, 1, "logical appends counted once, not per shard");
+        assert_eq!(w.appended_rows, 2);
+
+        assert!(sharded.compact("R1").unwrap());
+        assert!(!sharded.compact("R1").unwrap());
+        let after: Vec<_> = sharded.stream(&q, RankSpec::Sum).unwrap().collect();
+        assert_eq!(after, want, "compaction must not change answers");
+        assert_eq!(sharded.write_stats().compactions, 1);
     }
 
     #[test]

@@ -167,6 +167,7 @@ mod tests {
                 variant: Some(AnyKVariant::default()),
                 width: 1.5,
                 index: IndexUse::Built,
+                deltas: 0,
             },
         }
     }

@@ -6,11 +6,17 @@
 //!
 //! ```text
 //! command := select | EXPLAIN select | EXPLAIN ANALYZE select
+//!          | insert | load
 //!          | NEXT count ON cursor | CLOSE cursor | STATS
 //!          | TRACE count | TRACE SLOW
 //! select  := SELECT atom (',' atom)* [RANK BY ranking] [LIMIT count]
+//! insert  := INSERT INTO relation VALUES row (',' row)*
+//! load    := LOAD relation FROM CSV string
+//! row     := '(' literal (',' literal)* ')'
+//! literal := ['-'] (int | float)        -- last cell of a row is the weight
 //! atom    := relation '(' var (',' var)* ')'
 //! ranking := sum | max | min | prod | lex
+//! string  := '\'' ... '\''              -- escapes: \\ \' \n \r \t
 //! ```
 //!
 //! Every [`Command`] renders back to canonical text via [`Display`](fmt::Display),
@@ -19,6 +25,7 @@
 
 use anyk_engine::RankSpec;
 use anyk_query::cq::{ConjunctiveQuery, QueryBuilder};
+use anyk_storage::FloatBits;
 use std::fmt;
 
 /// One client command of the protocol.
@@ -34,6 +41,14 @@ pub enum Command {
     /// wall times, actual vs routed cardinalities, cache/index
     /// provenance, and shard fan-in — instead of the answers.
     ExplainAnalyze(SelectStmt),
+    /// Append literal rows to a registered relation (the write path:
+    /// rows land as an [`DeltaRelation`](anyk_storage::DeltaRelation)
+    /// delta batch, dependent plans are invalidated, open streams keep
+    /// their snapshot).
+    Insert(InsertStmt),
+    /// Append rows parsed from an inline CSV block (same wire semantics
+    /// as `INSERT`, bulk-shaped).
+    Load(LoadStmt),
     /// Pull up to `count` more answers from an open cursor.
     Next {
         /// Maximum number of answers to pull.
@@ -70,6 +85,115 @@ pub struct SelectStmt {
     /// Page size for the first page (`LIMIT k`); `None` uses the
     /// service default.
     pub limit: Option<usize>,
+}
+
+/// A numeric literal of an `INSERT` row. The write path is numeric
+/// only: symbols would need catalog interning mid-append, which the
+/// engine's write path deliberately avoids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Literal {
+    /// An integer cell.
+    Int(i64),
+    /// A float cell (total-ordered bits, so `Literal` stays `Eq`).
+    Float(FloatBits),
+}
+
+impl Literal {
+    /// The literal as `f64` — how the trailing weight cell is read.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Literal::Int(i) => i as f64,
+            Literal::Float(b) => b.get(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(b) => {
+                // `Display` for f64 renders 1.0 as "1"; force a marker
+                // so the canonical text re-lexes as a float.
+                let s = b.get().to_string();
+                if s.contains(['.', 'e', 'E']) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// The `INSERT INTO R VALUES (…),(…)` statement. Each row carries the
+/// relation's attribute cells plus a trailing weight cell; the service
+/// checks the count against the live catalog arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsertStmt {
+    /// The target relation name.
+    pub relation: String,
+    /// The rows, each `arity + 1` literals (attributes then weight).
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// The `LOAD R FROM CSV '…'` statement: an inline CSV block (header
+/// `attr1,…,attrN,weight`) appended as one delta batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadStmt {
+    /// The target relation name.
+    pub relation: String,
+    /// The raw CSV text (unescaped), parsed by
+    /// [`read_csv`](anyk_storage::read_csv).
+    pub csv: String,
+}
+
+/// Escape a string for the wire's single-quoted literal form:
+/// `\\ \' \n \r \t`.
+pub(crate) fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\'' => out.push_str("\\'"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {} VALUES ", self.relation)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "(")?;
+            for (j, lit) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{lit}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LoadStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LOAD {} FROM CSV '{}'",
+            self.relation,
+            escape_str(&self.csv)
+        )
+    }
 }
 
 /// One atom `R(x, y, ...)` of a `SELECT`.
@@ -126,6 +250,8 @@ impl fmt::Display for Command {
             Command::Select(s) => write!(f, "{s};"),
             Command::Explain(s) => write!(f, "EXPLAIN {s};"),
             Command::ExplainAnalyze(s) => write!(f, "EXPLAIN ANALYZE {s};"),
+            Command::Insert(s) => write!(f, "{s};"),
+            Command::Load(s) => write!(f, "{s};"),
             Command::Next { count, cursor } => write!(f, "NEXT {count} ON {cursor};"),
             Command::Close { cursor } => write!(f, "CLOSE {cursor};"),
             Command::Stats => write!(f, "STATS;"),
@@ -206,6 +332,50 @@ mod tests {
         assert_eq!(Command::Stats.to_string(), "STATS;");
         assert_eq!(Command::Trace { last: 4 }.to_string(), "TRACE 4;");
         assert_eq!(Command::TraceSlow.to_string(), "TRACE SLOW;");
+    }
+
+    #[test]
+    fn write_commands_render_canonically() {
+        let insert = InsertStmt {
+            relation: "R".into(),
+            rows: vec![
+                vec![
+                    Literal::Int(1),
+                    Literal::Int(2),
+                    Literal::Float(FloatBits::new(0.5)),
+                ],
+                vec![
+                    Literal::Int(-3),
+                    Literal::Int(4),
+                    Literal::Float(FloatBits::new(1.0)),
+                ],
+            ],
+        };
+        assert_eq!(
+            Command::Insert(insert).to_string(),
+            "INSERT INTO R VALUES (1,2,0.5),(-3,4,1.0);"
+        );
+        let load = LoadStmt {
+            relation: "Edge".into(),
+            csv: "a,b,weight\n1,2,0.5\n".into(),
+        };
+        assert_eq!(
+            Command::Load(load).to_string(),
+            "LOAD Edge FROM CSV 'a,b,weight\\n1,2,0.5\\n';"
+        );
+    }
+
+    #[test]
+    fn float_literals_always_carry_a_float_marker() {
+        // 1.0 displays as "1" through f64's Display; the canonical
+        // rendering must keep it lexing as a float.
+        for v in [1.0, 0.5, -2.0, 1e300, 1e-7, 0.0] {
+            let text = Literal::Float(FloatBits::new(v)).to_string();
+            assert!(
+                text.contains(['.', 'e', 'E']),
+                "{v} rendered as `{text}` with no float marker"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!
 //! 1. **Frontend** ([`ast`] + [`parser`]): a textual ranked-CQ
 //!    language — `SELECT R(x,y), S(y,z) RANK BY sum LIMIT 10;` plus
+//!    the write path (`INSERT INTO R VALUES (…),(…);` and
+//!    `LOAD R FROM CSV '…';`, appended as delta batches with
+//!    relation-scoped plan invalidation),
 //!    `NEXT <k> ON <cursor>`, `CLOSE <cursor>`, `EXPLAIN`,
 //!    `EXPLAIN ANALYZE` (execute and report per-stage wall times),
 //!    `TRACE <n>` / `TRACE SLOW` (the trace ring and slow-query log),
@@ -90,7 +93,9 @@ pub mod service;
 pub mod tcp;
 pub mod wire;
 
-pub use ast::{select_stmt, select_text, AtomRef, Command, SelectStmt};
+pub use ast::{
+    select_stmt, select_text, AtomRef, Command, InsertStmt, Literal, LoadStmt, SelectStmt,
+};
 pub use frame::{encode_frame_error, FrameError, LineFramer};
 pub use parser::{parse, ParseError};
 pub use service::{

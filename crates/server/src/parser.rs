@@ -4,8 +4,9 @@
 //! carried into every [`ParseError`], so a malformed command reports
 //! *where* and *what was expected* — typed, never a panic.
 
-use crate::ast::{AtomRef, Command, SelectStmt};
+use crate::ast::{escape_str, AtomRef, Command, InsertStmt, Literal, LoadStmt, SelectStmt};
 use anyk_engine::RankSpec;
+use anyk_storage::FloatBits;
 use std::fmt;
 
 /// Why a command failed to parse. Every variant carries the byte
@@ -59,6 +60,11 @@ pub enum ParseError {
         /// The first extra token (rendered).
         found: String,
     },
+    /// A single-quoted string literal with no closing quote.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        pos: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -88,6 +94,9 @@ impl fmt::Display for ParseError {
             ParseError::TrailingInput { pos, found } => {
                 write!(f, "trailing input `{found}` at byte {pos}")
             }
+            ParseError::UnterminatedString { pos } => {
+                write!(f, "string literal starting at byte {pos} is unterminated")
+            }
         }
     }
 }
@@ -97,9 +106,9 @@ impl std::error::Error for ParseError {}
 /// The language's keywords — reserved, case-insensitive: they cannot
 /// name relations or variables (reserving them keeps rendering and
 /// re-parsing unambiguous).
-pub const KEYWORDS: [&str; 12] = [
+pub const KEYWORDS: [&str; 18] = [
     "SELECT", "RANK", "BY", "LIMIT", "NEXT", "ON", "CLOSE", "EXPLAIN", "STATS", "ANALYZE", "TRACE",
-    "SLOW",
+    "SLOW", "INSERT", "INTO", "VALUES", "LOAD", "FROM", "CSV",
 ];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +117,12 @@ enum Tok {
     Word(String),
     /// Unsigned integer literal.
     Int(u64),
+    /// Non-negative float literal (a `.` or exponent in the lexeme;
+    /// signs are a separate [`Tok::Minus`]).
+    Float(FloatBits),
+    /// Single-quoted string literal (unescaped content).
+    Str(String),
+    Minus,
     LParen,
     RParen,
     Comma,
@@ -119,6 +134,9 @@ impl Tok {
         match self {
             Tok::Word(w) => w.clone(),
             Tok::Int(n) => n.to_string(),
+            Tok::Float(b) => b.get().to_string(),
+            Tok::Str(s) => format!("'{}'", escape_str(s)),
+            Tok::Minus => "-".into(),
             Tok::LParen => "(".into(),
             Tok::RParen => ")".into(),
             Tok::Comma => ",".into(),
@@ -160,20 +178,109 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 chars.next();
                 out.push((pos, Tok::Semi));
             }
+            '-' => {
+                chars.next();
+                out.push((pos, Tok::Minus));
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(ParseError::UnterminatedString { pos }),
+                        Some((_, '\'')) => break,
+                        Some((esc_pos, '\\')) => match chars.next() {
+                            None => return Err(ParseError::UnterminatedString { pos }),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, '\'')) => s.push('\''),
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 'r')) => s.push('\r'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, other)) => {
+                                return Err(ParseError::UnexpectedChar {
+                                    pos: esc_pos,
+                                    ch: other,
+                                })
+                            }
+                        },
+                        Some((_, c)) => s.push(c),
+                    }
+                }
+                out.push((pos, Tok::Str(s)));
+            }
             c if c.is_ascii_digit() => {
-                let mut n: u64 = 0;
+                let mut lexeme = String::new();
+                let mut is_float = false;
                 while let Some(&(_, d)) = chars.peek() {
-                    if let Some(v) = d.to_digit(10) {
-                        n = n
-                            .checked_mul(10)
-                            .and_then(|n| n.checked_add(u64::from(v)))
-                            .ok_or(ParseError::NumberOverflow { pos })?;
+                    if d.is_ascii_digit() {
+                        lexeme.push(d);
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                out.push((pos, Tok::Int(n)));
+                // A fraction only if `.` is followed by a digit (so
+                // `R(x).` still reports the stray dot, not a number).
+                if matches!(chars.peek(), Some(&(_, '.'))) {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if matches!(ahead.peek(), Some(&(_, d)) if d.is_ascii_digit()) {
+                        is_float = true;
+                        lexeme.push('.');
+                        chars.next();
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                lexeme.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // An exponent only if `e`/`E` is followed by digits
+                // (optionally signed) — identifiers like `3x` never
+                // lex, but `SELECT e(x,y)` must keep `e` a word.
+                if matches!(chars.peek(), Some(&(_, 'e' | 'E'))) {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    let signed = matches!(ahead.peek(), Some(&(_, '+' | '-')));
+                    if signed {
+                        ahead.next();
+                    }
+                    if matches!(ahead.peek(), Some(&(_, d)) if d.is_ascii_digit()) {
+                        is_float = true;
+                        let (_, e) = chars.next().unwrap_or((pos, 'e'));
+                        lexeme.push(e);
+                        if signed {
+                            if let Some((_, sign)) = chars.next() {
+                                lexeme.push(sign);
+                            }
+                        }
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                lexeme.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if is_float {
+                    let v: f64 = lexeme
+                        .parse()
+                        .map_err(|_| ParseError::NumberOverflow { pos })?;
+                    if !v.is_finite() {
+                        return Err(ParseError::NumberOverflow { pos });
+                    }
+                    out.push((pos, Tok::Float(FloatBits::new(v))));
+                } else {
+                    let n: u64 = lexeme
+                        .parse()
+                        .map_err(|_| ParseError::NumberOverflow { pos })?;
+                    out.push((pos, Tok::Int(n)));
+                }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut w = String::new();
@@ -343,6 +450,85 @@ impl Parser {
         }
         Ok(SelectStmt { atoms, rank, limit })
     }
+
+    /// A signed numeric literal: `['-'] (int | float)`.
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let neg = if matches!(self.peek(), Some((_, Tok::Minus))) {
+            self.at += 1;
+            true
+        } else {
+            false
+        };
+        let (pos, t) = self.next("numeric literal")?;
+        match t {
+            Tok::Int(n) => {
+                let v = i128::from(n);
+                let v = if neg { -v } else { v };
+                i64::try_from(v)
+                    .map(Literal::Int)
+                    .map_err(|_| ParseError::NumberOverflow { pos })
+            }
+            Tok::Float(b) => {
+                let v = if neg { -b.get() } else { b.get() };
+                Ok(Literal::Float(FloatBits::new(v)))
+            }
+            other => Err(ParseError::UnexpectedToken {
+                pos,
+                expected: "numeric literal",
+                found: other.render(),
+            }),
+        }
+    }
+
+    /// One `(lit, lit, ...)` row of an `INSERT`.
+    fn row(&mut self) -> Result<Vec<Literal>, ParseError> {
+        self.expect_tok(&Tok::LParen, "`(`")?;
+        let mut cells = vec![self.literal()?];
+        loop {
+            let (pos, t) = self.next("`,` or `)`")?;
+            match t {
+                Tok::Comma => cells.push(self.literal()?),
+                Tok::RParen => break,
+                other => {
+                    return Err(ParseError::UnexpectedToken {
+                        pos,
+                        expected: "`,` or `)`",
+                        found: other.render(),
+                    })
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt, ParseError> {
+        self.keyword("INSERT")?;
+        self.keyword("INTO")?;
+        let relation = self.ident("relation name")?;
+        self.keyword("VALUES")?;
+        let mut rows = vec![self.row()?];
+        while matches!(self.peek(), Some((_, Tok::Comma))) {
+            self.at += 1;
+            rows.push(self.row()?);
+        }
+        Ok(InsertStmt { relation, rows })
+    }
+
+    fn load(&mut self) -> Result<LoadStmt, ParseError> {
+        self.keyword("LOAD")?;
+        let relation = self.ident("relation name")?;
+        self.keyword("FROM")?;
+        self.keyword("CSV")?;
+        let (pos, t) = self.next("CSV string literal")?;
+        match t {
+            Tok::Str(csv) => Ok(LoadStmt { relation, csv }),
+            other => Err(ParseError::UnexpectedToken {
+                pos,
+                expected: "CSV string literal",
+                found: other.render(),
+            }),
+        }
+    }
 }
 
 /// Parse one command of the protocol. Typed errors, no panics; the
@@ -365,6 +551,10 @@ pub fn parse(input: &str) -> Result<Command, ParseError> {
         } else {
             Command::Explain(p.select()?)
         }
+    } else if head.is_kw("INSERT") {
+        Command::Insert(p.insert()?)
+    } else if head.is_kw("LOAD") {
+        Command::Load(p.load()?)
     } else if head.is_kw("NEXT") {
         p.at += 1;
         let count = p.count("NEXT")?;
@@ -391,7 +581,7 @@ pub fn parse(input: &str) -> Result<Command, ParseError> {
     } else {
         return Err(ParseError::UnexpectedToken {
             pos,
-            expected: "SELECT, EXPLAIN, NEXT, CLOSE, STATS, or TRACE",
+            expected: "SELECT, INSERT, LOAD, EXPLAIN, NEXT, CLOSE, STATS, or TRACE",
             found: head.render(),
         });
     };
@@ -519,6 +709,133 @@ mod tests {
             parse("SELECT limit(x,y)"),
             Err(ParseError::UnexpectedToken { .. })
         ));
+    }
+
+    #[test]
+    fn insert_parses_values_and_signs() {
+        let cmd = parse("INSERT INTO R VALUES (1,2,0.5),(-3,4,1.0);").expect("parses");
+        let Command::Insert(s) = cmd else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(s.relation, "R");
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0][0], Literal::Int(1));
+        assert_eq!(s.rows[0][2], Literal::Float(FloatBits::new(0.5)));
+        assert_eq!(s.rows[1][0], Literal::Int(-3));
+        assert_eq!(s.rows[1][2], Literal::Float(FloatBits::new(1.0)));
+        // Case-insensitive keywords, optional semicolon, exponents.
+        let cmd = parse("insert into Edge values (7, 8, 1e-3)").expect("parses");
+        let Command::Insert(s) = cmd else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(s.rows[0][2], Literal::Float(FloatBits::new(1e-3)));
+    }
+
+    #[test]
+    fn load_parses_the_escaped_csv_block() {
+        let cmd = parse("LOAD R FROM CSV 'a,b,weight\\n1,2,0.5\\n';").expect("parses");
+        let Command::Load(s) = cmd else {
+            panic!("expected LOAD")
+        };
+        assert_eq!(s.relation, "R");
+        assert_eq!(s.csv, "a,b,weight\n1,2,0.5\n");
+        // All the escapes unescape.
+        let cmd = parse("LOAD R FROM CSV '\\\\ \\' \\n \\r \\t'").expect("parses");
+        let Command::Load(s) = cmd else {
+            panic!("expected LOAD")
+        };
+        assert_eq!(s.csv, "\\ ' \n \r \t");
+    }
+
+    #[test]
+    fn write_command_typed_errors() {
+        assert_eq!(
+            parse("LOAD R FROM CSV 'a,b"),
+            Err(ParseError::UnterminatedString { pos: 16 })
+        );
+        // Unknown escape points at the backslash.
+        assert!(matches!(
+            parse("LOAD R FROM CSV 'bad \\q escape'"),
+            Err(ParseError::UnexpectedChar { ch: 'q', .. })
+        ));
+        // Keywords stay reserved on the write path too.
+        assert!(matches!(
+            parse("INSERT INTO values VALUES (1,2,0.5)"),
+            Err(ParseError::UnexpectedToken { .. })
+        ));
+        // A string where a literal belongs is a typed error.
+        assert!(matches!(
+            parse("INSERT INTO R VALUES (1,'x',0.5)"),
+            Err(ParseError::UnexpectedToken {
+                expected: "numeric literal",
+                ..
+            })
+        ));
+        // i64 overflow on a negated literal.
+        assert!(matches!(
+            parse("INSERT INTO R VALUES (9223372036854775808,1,0.5)"),
+            Err(ParseError::NumberOverflow { .. })
+        ));
+        assert_eq!(
+            parse("INSERT INTO R VALUES (-9223372036854775808,1,0.5)")
+                .map(|c| matches!(c, Command::Insert(_))),
+            Ok(true)
+        );
+        // Float overflow to infinity is rejected at the lexer.
+        assert!(matches!(
+            parse("INSERT INTO R VALUES (1e999,1,0.5)"),
+            Err(ParseError::NumberOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn numbers_still_lex_next_to_words_and_dots() {
+        // `e` stays an identifier when not an exponent tail.
+        assert!(matches!(parse("SELECT e(x,y)"), Ok(Command::Select(_))));
+        // A stray dot is still an unexpected character.
+        assert!(matches!(
+            parse("SELECT R(x,y) LIMIT 3."),
+            Err(ParseError::UnexpectedChar { ch: '.', .. })
+        ));
+        // A float where a count belongs is a typed token error.
+        assert!(matches!(
+            parse("NEXT 1.5 ON 0"),
+            Err(ParseError::UnexpectedToken { .. })
+        ));
+    }
+
+    proptest! {
+        /// INSERT/LOAD render → parse round-trips on random rows and
+        /// CSV-ish strings (the write-path analogue of
+        /// `random_select_round_trips`).
+        #[test]
+        fn write_commands_round_trip(
+            rows in prop::collection::vec(
+                prop::collection::vec(
+                    (0u32..3, i64::MIN..=i64::MAX, -1_000_000i32..1_000_000).prop_map(
+                        |(kind, i, m)| match kind {
+                            0 => Literal::Int(i),
+                            1 => Literal::Float(FloatBits::new(f64::from(m) * 1e-3)),
+                            _ => Literal::Float(FloatBits::new(f64::from(m) * 0.125)),
+                        },
+                    ),
+                    1..5,
+                ),
+                1..4,
+            ),
+            csv_tags in prop::collection::vec(0usize..16, 0..60),
+        ) {
+            // A char pool heavy on the wire escapes, so the round-trip
+            // exercises every escape sequence, not just plain text.
+            const POOL: [char; 16] = [
+                'a', 'b', '1', '2', ',', ' ', '.', '-', '\n', '\r', '\t', '\'', '\\', '_', 'w', '0',
+            ];
+            let csv: String = csv_tags.iter().map(|&t| POOL[t]).collect();
+            let insert = Command::Insert(InsertStmt { relation: "R".into(), rows });
+            prop_assert_eq!(parse(&insert.to_string()), Ok(insert.clone()));
+            let load = Command::Load(LoadStmt { relation: "R".into(), csv });
+            prop_assert_eq!(parse(&load.to_string()), Ok(load.clone()));
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::ast::Command;
 use crate::parser::{parse, ParseError};
 use anyk_engine::{
     CacheStats, Engine, EngineError, IndexUse, PrepareReport, RankSpec, RankedAnswer, RankedStream,
-    ShardFanIn, ShardedEngine,
+    ShardFanIn, ShardedEngine, WriteStats,
 };
 use anyk_obs::{rank_id, route_id, Histogram, ObsRegistry, QueryTrace, Stage, RANKS, ROUTES};
 use anyk_query::cq::ConjunctiveQuery;
@@ -87,12 +87,17 @@ pub struct ServiceConfig {
     /// (readable via `TRACE SLOW`). `Duration::ZERO` disables the
     /// log; the trace ring records every query regardless.
     pub slow_query: Duration,
+    /// Maximum rows one `INSERT`/`LOAD` may append. A larger batch is
+    /// refused with a typed [`ServeError::BatchTooLarge`] before it
+    /// touches the engine, bounding per-command memory and the length
+    /// of the append critical section.
+    pub max_batch_rows: usize,
 }
 
 impl Default for ServiceConfig {
     /// 64 concurrent streams, 60 s cursor TTL, 10-answer pages,
     /// 1024 connections, auto-sized worker pool, 250 ms slow-query
-    /// threshold.
+    /// threshold, 4096-row write batches.
     fn default() -> Self {
         ServiceConfig {
             max_open_cursors: 64,
@@ -101,6 +106,7 @@ impl Default for ServiceConfig {
             max_connections: 1024,
             workers: None,
             slow_query: Duration::from_millis(250),
+            max_batch_rows: 4096,
         }
     }
 }
@@ -133,6 +139,30 @@ pub enum ServeError {
         /// The configured bound.
         max: usize,
     },
+    /// `INSERT`/`LOAD` refused: the batch exceeds
+    /// [`ServiceConfig::max_batch_rows`].
+    BatchTooLarge {
+        /// Rows the batch carried.
+        rows: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// An `INSERT` whose rows disagree on cell count — every row must
+    /// match the first (`arity + 1` cells: attributes then weight).
+    RaggedInsert {
+        /// Zero-based index of the offending row.
+        row: usize,
+        /// Cells that row carried.
+        cells: usize,
+        /// Cells the first row carried.
+        expected: usize,
+    },
+    /// The `LOAD` command's inline CSV block was rejected by the CSV
+    /// reader (bad header, ragged row, non-numeric cell, NaN weight).
+    CsvRejected {
+        /// The CSV reader's message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -145,6 +175,18 @@ impl std::fmt::Display for ServeError {
             ServeError::AdmissionRejected { open, max } => {
                 write!(f, "admission rejected: {open} of {max} streams open")
             }
+            ServeError::BatchTooLarge { rows, max } => {
+                write!(f, "batch of {rows} rows exceeds the {max}-row bound")
+            }
+            ServeError::RaggedInsert {
+                row,
+                cells,
+                expected,
+            } => write!(
+                f,
+                "insert row {row} has {cells} cells, expected {expected} like the first row"
+            ),
+            ServeError::CsvRejected { message } => write!(f, "csv rejected: {message}"),
         }
     }
 }
@@ -195,6 +237,18 @@ pub enum Response {
     Closed {
         /// The closed cursor id.
         cursor: u64,
+    },
+    /// Acknowledgement of `INSERT`/`LOAD`: rows appended, the target
+    /// relation's live delta-batch count afterwards, and whether the
+    /// append tripped threshold compaction.
+    Appended {
+        /// Rows appended.
+        rows: u64,
+        /// Delta batches the relation holds after this append (0 right
+        /// after a compaction folded them into the base).
+        deltas: usize,
+        /// True when this append triggered a compaction.
+        compacted: bool,
     },
 }
 
@@ -329,6 +383,16 @@ pub struct ServiceStats {
     pub traces_dropped: u64,
     /// Entries currently held in the bounded slow-query log.
     pub slow_queries: usize,
+    /// Append batches accepted (`INSERT`/`LOAD` and direct engine
+    /// appends alike; one per logical batch on a sharded backend).
+    pub appends: u64,
+    /// Rows appended across all batches.
+    pub appended_rows: u64,
+    /// Threshold compactions folded delta batches into fresh bases.
+    pub compactions: u64,
+    /// Prepared plans dropped by relation-scoped append invalidation
+    /// (summed across shards on a sharded backend).
+    pub append_invalidations: u64,
     /// Per route × ranking breakdown, indexed `[route][rank]` in
     /// [`ROUTES`] × [`RANKS`] order.
     pub routes: [[RouteRankStats; RANKS.len()]; ROUTES.len()],
@@ -679,6 +743,38 @@ impl Backend {
             Backend::Sharded(sharded) => sharded.num_shards(),
         }
     }
+
+    /// Append one batch to `name` (every shard's logical copy plus its
+    /// hash fragment on a sharded backend). Returns the relation's
+    /// delta-batch count afterwards and whether this append tripped
+    /// threshold compaction.
+    fn append(
+        &self,
+        name: &str,
+        batch: anyk_storage::Relation,
+    ) -> Result<(usize, bool), EngineError> {
+        let before = self.write_stats().compactions;
+        let catalog = match self {
+            Backend::Single(engine) => {
+                engine.append(name, batch)?;
+                engine.catalog()
+            }
+            Backend::Sharded(sharded) => {
+                sharded.append(name, batch)?;
+                sharded.shard_engines()[0].catalog()
+            }
+        };
+        let deltas = catalog.entry(name).map_or(0, |e| e.deltas().len());
+        let compacted = self.write_stats().compactions > before;
+        Ok((deltas, compacted))
+    }
+
+    fn write_stats(&self) -> WriteStats {
+        match self {
+            Backend::Single(engine) => engine.write_stats(),
+            Backend::Sharded(sharded) => sharded.write_stats(),
+        }
+    }
 }
 
 /// The query service: a shared engine backend — single or sharded —
@@ -872,6 +968,7 @@ impl Service {
         let min = m.ttf_min_us.load(Ordering::Relaxed);
         let (prepare, delay) = self.merged_engine_hists();
         let ring = self.obs.ring_stats();
+        let writes = self.backend.write_stats();
         let mut routes = [[RouteRankStats::default(); RANKS.len()]; ROUTES.len()];
         for (r, row) in routes.iter_mut().enumerate() {
             for (k, out) in row.iter_mut().enumerate() {
@@ -919,6 +1016,10 @@ impl Service {
             traces_published: ring.published,
             traces_dropped: ring.dropped,
             slow_queries: self.obs.slow().len(),
+            appends: writes.appends,
+            appended_rows: writes.appended_rows,
+            compactions: writes.compactions,
+            append_invalidations: writes.invalidated_plans,
             routes,
         }
     }
@@ -997,6 +1098,36 @@ fn fill_stages(
     trace.stage_us[Stage::Spawn as usize] = plan_wall_us - prepare;
     trace.stage_us[Stage::Merge as usize] = merge;
     trace.stage_us[Stage::Pull as usize] = pull_wall_us - merge;
+}
+
+/// Lower an `INSERT`'s literal rows into a relation batch. The first
+/// row fixes the cell count (attributes plus the trailing weight);
+/// a row that disagrees is a typed [`ServeError::RaggedInsert`]. The
+/// batch's arity against the target relation is the engine's check —
+/// it owns the catalog and reports the typed arity error.
+fn insert_batch(stmt: &crate::ast::InsertStmt) -> Result<anyk_storage::Relation, ServeError> {
+    use anyk_storage::{RelationBuilder, Schema, Value, Weight};
+    let width = stmt.rows.first().map_or(1, Vec::len);
+    let arity = width - 1;
+    let mut b = RelationBuilder::new(Schema::new((0..arity).map(|i| format!("c{i}"))));
+    for (i, row) in stmt.rows.iter().enumerate() {
+        if row.len() != width {
+            return Err(ServeError::RaggedInsert {
+                row: i,
+                cells: row.len(),
+                expected: width,
+            });
+        }
+        let cells: Vec<Value> = row[..arity]
+            .iter()
+            .map(|lit| match *lit {
+                crate::ast::Literal::Int(v) => Value::Int(v),
+                crate::ast::Literal::Float(bits) => Value::Float(bits),
+            })
+            .collect();
+        b.push(&cells, Weight::new(row[arity].as_f64()));
+    }
+    Ok(b.finish())
 }
 
 /// A live cursor's session-owned half: the stream itself. The shared
@@ -1099,6 +1230,18 @@ impl Session {
             Command::Explain(stmt) => {
                 let text = self.service.backend.explain(stmt.to_cq(), stmt.rank)?;
                 Ok(Response::Explained(text))
+            }
+            Command::Insert(stmt) => {
+                let batch = insert_batch(&stmt)?;
+                self.append(&stmt.relation, batch)
+            }
+            Command::Load(stmt) => {
+                let batch = anyk_storage::read_csv(stmt.csv.as_bytes()).map_err(|e| {
+                    ServeError::CsvRejected {
+                        message: e.to_string(),
+                    }
+                })?;
+                self.append(&stmt.relation, batch)
             }
             Command::Next { count, cursor } => self.next(count, cursor),
             Command::Close { cursor } => {
@@ -1268,6 +1411,31 @@ impl Session {
             answers,
             done: false,
         }))
+    }
+
+    /// The shared write path behind `INSERT` and `LOAD`: bound the
+    /// batch, append through the backend (delta batch + relation-scoped
+    /// plan invalidation; open cursors keep their snapshot), and
+    /// acknowledge with the relation's live delta state.
+    fn append(
+        &mut self,
+        name: &str,
+        batch: anyk_storage::Relation,
+    ) -> Result<Response, ServeError> {
+        let max = self.service.config.max_batch_rows;
+        if batch.len() > max {
+            return Err(ServeError::BatchTooLarge {
+                rows: batch.len(),
+                max,
+            });
+        }
+        let rows = batch.len() as u64;
+        let (deltas, compacted) = self.service.backend.append(name, batch)?;
+        Ok(Response::Appended {
+            rows,
+            deltas,
+            compacted,
+        })
     }
 
     fn next(&mut self, count: usize, cursor: u64) -> Result<Response, ServeError> {

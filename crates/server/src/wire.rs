@@ -94,6 +94,16 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Closed { cursor } => {
             let _ = writeln!(out, "OK closed={cursor}");
         }
+        Response::Appended {
+            rows,
+            deltas,
+            compacted,
+        } => {
+            let _ = writeln!(
+                out,
+                "OK appended rows={rows} deltas={deltas} compacted={compacted}"
+            );
+        }
     }
     out.push_str("END\n");
     out
@@ -172,6 +182,10 @@ pub fn encode_error(err: &ServeError) -> String {
             ("cursor", err.to_string())
         }
         ServeError::AdmissionRejected { .. } => ("admission", err.to_string()),
+        ServeError::BatchTooLarge { .. } | ServeError::RaggedInsert { .. } => {
+            ("batch", err.to_string())
+        }
+        ServeError::CsvRejected { message } => ("csv", message.clone()),
     };
     format!("ERR {kind}: {msg}\nEND\n")
 }
@@ -233,6 +247,10 @@ fn stats_fields(s: &ServiceStats) -> Vec<(String, String)> {
         ("traces_published", s.traces_published.to_string()),
         ("traces_dropped", s.traces_dropped.to_string()),
         ("slow_queries", s.slow_queries.to_string()),
+        ("appends", s.appends.to_string()),
+        ("appended_rows", s.appended_rows.to_string()),
+        ("compactions", s.compactions.to_string()),
+        ("append_invalidations", s.append_invalidations.to_string()),
     ];
     let mut out: Vec<(String, String)> =
         fixed.into_iter().map(|(k, v)| (k.to_string(), v)).collect();

@@ -1,6 +1,7 @@
 //! A catalog of named relations plus the string dictionary backing
 //! [`Value::Sym`].
 
+use crate::delta::DeltaRelation;
 use crate::error::StorageError;
 use crate::fxhash::FxHashMap;
 use crate::index_catalog::IndexCatalog;
@@ -11,16 +12,24 @@ use std::sync::Arc;
 
 /// Named relations + string interning + the shared index catalog.
 ///
-/// Relations are [`Relation`] *handles*: [`Catalog::get`] /
-/// [`Catalog::lookup`] return references whose `clone()` is a refcount
-/// bump, never an `O(n)` tuple copy — resolution hands out shared
-/// payloads. Cloning the whole catalog likewise shares every relation
-/// payload (the engine's copy-on-write epoch seam relies on this) —
-/// **and** the [`IndexCatalog`], so epoch snapshots keep serving the
-/// same warm trie indexes for every relation they did not touch.
+/// Every entry is a [`DeltaRelation`]: an immutable base payload plus
+/// append-only delta batches. [`Catalog::get`] / [`Catalog::lookup`]
+/// return the **base** handle (the payload shared trie indexes are
+/// built over); delta-aware callers — the engine's prepare path —
+/// read the full entry through [`Catalog::entry`] and merge all of
+/// its sources. A freshly [`Catalog::register`]ed relation has no
+/// deltas, so for read-only catalogs the base *is* the full content.
+///
+/// Relations are [`Relation`] *handles*: returned references `clone()`
+/// as a refcount bump, never an `O(n)` tuple copy — resolution hands
+/// out shared payloads. Cloning the whole catalog likewise shares
+/// every relation payload (the engine's copy-on-write epoch seam
+/// relies on this) — **and** the [`IndexCatalog`], so epoch snapshots
+/// keep serving the same warm trie indexes for every relation they
+/// did not touch.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    relations: FxHashMap<String, Relation>,
+    relations: FxHashMap<String, DeltaRelation>,
     symbols: Vec<String>,
     symbol_ids: FxHashMap<String, u32>,
     indexes: Arc<IndexCatalog>,
@@ -32,28 +41,34 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a relation under `name`. Replacing drops
-    /// exactly the replaced payload's shared trie indexes (relation-
-    /// scoped invalidation — indexes over other relations stay warm).
+    /// Register (or replace) a relation under `name` as a delta-free
+    /// entry. Replacing drops exactly the replaced entry's shared trie
+    /// indexes — base and any pending deltas (relation-scoped
+    /// invalidation — indexes over other relations stay warm).
     pub fn register<S: Into<String>>(&mut self, name: S, rel: Relation) {
         let new_id = rel.payload_id();
-        if let Some(old) = self.relations.insert(name.into(), rel) {
+        if let Some(old) = self.relations.insert(name.into(), DeltaRelation::new(rel)) {
             // Same payload re-registered (a no-op replace) keeps its
-            // indexes; a genuinely new payload invalidates the old
-            // one's.
-            if old.payload_id() != new_id {
-                self.indexes.invalidate_payload(old.payload_id());
+            // indexes; any genuinely replaced payload is invalidated.
+            for id in old.source_ids() {
+                if id != new_id {
+                    self.indexes.invalidate_payload(id);
+                }
             }
         }
     }
 
-    /// Look up a relation by name.
+    /// Look up a relation by name. Returns the **base** payload
+    /// handle; pending delta batches are visible only through
+    /// [`Catalog::entry`] (the engine's delta-aware prepare path reads
+    /// them there).
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(DeltaRelation::base)
     }
 
     /// Look up a relation by name, with a typed error for absence —
-    /// the non-panicking seam the engine layer routes through.
+    /// the non-panicking seam the engine layer routes through. Base
+    /// payload only, like [`Catalog::get`].
     pub fn lookup(&self, name: &str) -> Result<&Relation, StorageError> {
         self.get(name)
             .ok_or_else(|| StorageError::RelationNotFound {
@@ -61,14 +76,67 @@ impl Catalog {
             })
     }
 
-    /// Remove a relation, returning it if present. Its shared trie
-    /// indexes are dropped (relation-scoped invalidation).
+    /// The full delta-backed entry under `name` (base + pending delta
+    /// batches) — what delta-aware readers resolve against.
+    pub fn entry(&self, name: &str) -> Option<&DeltaRelation> {
+        self.relations.get(name)
+    }
+
+    /// Append one immutable batch to the named relation (`O(batch)`:
+    /// the batch payload is adopted as a delta, the base is never
+    /// rewritten). Typed errors for an unknown relation and for an
+    /// arity mismatch; empty batches succeed without adding a delta.
+    pub fn append(&mut self, name: &str, batch: Relation) -> Result<(), StorageError> {
+        let entry = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::RelationNotFound {
+                name: name.to_string(),
+            })?;
+        if batch.arity() != entry.base().arity() {
+            return Err(StorageError::ArityMismatch {
+                name: name.to_string(),
+                expected: entry.base().arity(),
+                got: batch.arity(),
+            });
+        }
+        entry.push(batch);
+        Ok(())
+    }
+
+    /// Fold the named relation's deltas into a fresh base payload
+    /// (row order preserved: base rows, then deltas oldest-first).
+    /// Drops the shared trie indexes of every replaced source payload;
+    /// readers holding old handles are untouched. Returns whether a
+    /// compaction actually happened (`false` when delta-free).
+    pub fn compact(&mut self, name: &str) -> Result<bool, StorageError> {
+        let entry = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::RelationNotFound {
+                name: name.to_string(),
+            })?;
+        let old_ids = entry.source_ids();
+        if !entry.compact() {
+            return Ok(false);
+        }
+        for id in old_ids {
+            self.indexes.invalidate_payload(id);
+        }
+        Ok(true)
+    }
+
+    /// Remove a relation, returning its full flattened content if
+    /// present. All of its source payloads' shared trie indexes are
+    /// dropped (relation-scoped invalidation).
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
         let removed = self.relations.remove(name);
-        if let Some(rel) = &removed {
-            self.indexes.invalidate_payload(rel.payload_id());
-        }
-        removed
+        removed.map(|entry| {
+            for id in entry.source_ids() {
+                self.indexes.invalidate_payload(id);
+            }
+            entry.flatten()
+        })
     }
 
     /// A shared trie index over the named relation whose level order
@@ -108,6 +176,22 @@ impl Catalog {
     /// Names of all registered relations (unspecified order).
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.keys().map(String::as_str)
+    }
+
+    /// A copy of this catalog with every entry flattened into a single
+    /// delta-free payload (base ⊎ deltas, source order preserved) and
+    /// a fresh index catalog. Delta-free entries share their payloads
+    /// (refcount bumps). The reference-semantics seam for write-path
+    /// oracles: an engine over `flattened()` must answer exactly like
+    /// one over the live delta-bearing catalog.
+    pub fn flattened(&self) -> Catalog {
+        let mut out = self.fork_with_fresh_indexes();
+        out.relations = self
+            .relations
+            .iter()
+            .map(|(name, entry)| (name.clone(), DeltaRelation::new(entry.flatten())))
+            .collect();
+        out
     }
 
     /// Intern a string, returning its symbol value.
@@ -189,6 +273,79 @@ mod tests {
         // Removing S drops its index too.
         c.remove("S");
         assert_eq!(c.indexes().stats().entries, 0);
+    }
+
+    #[test]
+    fn append_and_compact_are_typed_and_relation_scoped() {
+        use crate::index_catalog::IndexProvider;
+        let mut c = Catalog::new();
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        b.push_ints(&[1, 2], 0.0);
+        c.register("R", b.finish());
+        let mut b2 = RelationBuilder::new(Schema::new(["a", "b"]));
+        b2.push_ints(&[9, 9], 0.0);
+        c.register("S", b2.finish());
+        let s_rel = c.get("S").unwrap().clone();
+        c.index("R", &[0, 1]).unwrap();
+        c.index("S", &[0, 1]).unwrap();
+
+        // Typed failures: unknown relation, arity mismatch.
+        let batch = {
+            let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+            b.push_ints(&[3, 4], 0.5);
+            b.finish()
+        };
+        assert_eq!(
+            c.append("T", batch.clone()).err(),
+            Some(StorageError::RelationNotFound { name: "T".into() })
+        );
+        let wide = {
+            let mut b = RelationBuilder::new(Schema::new(["a", "b", "c"]));
+            b.push_ints(&[1, 2, 3], 0.0);
+            b.finish()
+        };
+        assert_eq!(
+            c.append("R", wide).err(),
+            Some(StorageError::ArityMismatch {
+                name: "R".into(),
+                expected: 2,
+                got: 3,
+            })
+        );
+
+        // A successful append leaves the base (and its index) alone.
+        let base = c.get("R").unwrap().clone();
+        c.append("R", batch).unwrap();
+        assert!(c.get("R").unwrap().shares_payload(&base), "get is the base");
+        assert_eq!(c.entry("R").unwrap().delta_rows(), 1);
+        assert!(c.indexes().probe(&base, &[0, 1]), "base index stays warm");
+
+        // Compaction swaps in a fresh base and drops only R's indexes.
+        assert_eq!(c.compact("R"), Ok(true));
+        assert_eq!(c.compact("R"), Ok(false), "second compact is a no-op");
+        let flat = c.get("R").unwrap().clone();
+        assert_eq!(flat.len(), 2);
+        assert!(!c.entry("R").unwrap().has_deltas());
+        assert!(!c.indexes().probe(&base, &[0, 1]), "old base index dropped");
+        assert!(c.indexes().probe(&s_rel, &[0, 1]), "S index survives");
+        assert_eq!(
+            c.compact("T").err(),
+            Some(StorageError::RelationNotFound { name: "T".into() })
+        );
+    }
+
+    #[test]
+    fn remove_returns_flattened_content() {
+        let mut c = Catalog::new();
+        let mut b = RelationBuilder::new(Schema::new(["a"]));
+        b.push_ints(&[1], 0.0);
+        c.register("R", b.finish());
+        let mut d = RelationBuilder::new(Schema::new(["a"]));
+        d.push_ints(&[2], 0.0);
+        c.append("R", d.finish()).unwrap();
+        let gone = c.remove("R").unwrap();
+        assert_eq!(gone.len(), 2, "remove hands back base ⊎ deltas");
+        assert!(c.get("R").is_none());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Delta-backed relations: an immutable base payload plus an
+//! append-only sequence of `Arc`-shared delta batches.
+//!
+//! The serving stack treats relation payloads as immutable — prepared
+//! queries, shared trie indexes, and open streams all hold `Arc`
+//! handles and rely on the payload never changing underneath them. A
+//! [`DeltaRelation`] makes the *named* relation mutable without
+//! breaking that contract: an append pushes a fresh immutable batch
+//! payload onto the delta sequence (`O(batch)`, never a base rewrite),
+//! and readers that captured the previous handle set keep streaming
+//! exactly the rows they started with (snapshot isolation).
+//!
+//! Ranked enumeration composes under union (the TODS companion paper's
+//! observation): the full content `base ⊎ δ₁ ⊎ … ⊎ δ_d` is served by
+//! merging per-source ranked streams, so deltas never force a
+//! re-preparation of the base. Once the delta tail outweighs the base,
+//! [`DeltaRelation::compact`] folds everything into one fresh payload
+//! and the merge degenerates back to a single cursor.
+
+use crate::relation::Relation;
+
+/// Compaction floor: deltas are folded into the base only once the
+/// delta tail holds at least this many rows *and* at least as many
+/// rows as the base ([`DeltaRelation::should_compact`]). The floor
+/// keeps tiny relations from compacting on every append; the
+/// base-proportional part bounds the merge fan-in so a delta-bearing
+/// relation never holds more than ~half its rows outside the base.
+pub const MIN_COMPACT_ROWS: usize = 1024;
+
+/// An immutable base [`Relation`] plus an append-only sequence of
+/// delta batches. Every source (base and each delta) is an `Arc`-shared
+/// immutable payload; cloning the whole entry is a handful of refcount
+/// bumps, which is how catalog snapshots stay `O(#relations)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRelation {
+    base: Relation,
+    deltas: Vec<Relation>,
+    delta_rows: usize,
+}
+
+impl DeltaRelation {
+    /// A delta-free entry over `base`.
+    pub fn new(base: Relation) -> Self {
+        DeltaRelation {
+            base,
+            deltas: Vec::new(),
+            delta_rows: 0,
+        }
+    }
+
+    /// The immutable base payload (what [`Catalog::get`] hands out).
+    ///
+    /// [`Catalog::get`]: crate::Catalog::get
+    #[inline]
+    pub fn base(&self) -> &Relation {
+        &self.base
+    }
+
+    /// The delta batches, oldest first.
+    #[inline]
+    pub fn deltas(&self) -> &[Relation] {
+        &self.deltas
+    }
+
+    /// True iff at least one delta batch is pending.
+    #[inline]
+    pub fn has_deltas(&self) -> bool {
+        !self.deltas.is_empty()
+    }
+
+    /// Total rows across all delta batches.
+    #[inline]
+    pub fn delta_rows(&self) -> usize {
+        self.delta_rows
+    }
+
+    /// Total rows across base and deltas — the row count of
+    /// [`DeltaRelation::flatten`].
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        self.base.len() + self.delta_rows
+    }
+
+    /// Append one immutable batch (`O(1)` — the batch payload is
+    /// adopted as-is, never copied into the base). Empty batches are
+    /// dropped: they would add a merge cursor without adding rows.
+    ///
+    /// The caller (the catalog) has already checked arity; this seam
+    /// only debug-asserts it.
+    pub fn push(&mut self, batch: Relation) {
+        debug_assert_eq!(batch.arity(), self.base.arity(), "delta arity mismatch");
+        if batch.is_empty() {
+            return;
+        }
+        self.delta_rows += batch.len();
+        self.deltas.push(batch);
+    }
+
+    /// All sources, base first then deltas oldest-first — the cursor
+    /// set a delta-aware prepare merges, and the row order
+    /// [`DeltaRelation::flatten`] preserves.
+    pub fn sources(&self) -> impl Iterator<Item = &Relation> {
+        std::iter::once(&self.base).chain(self.deltas.iter())
+    }
+
+    /// Payload ids of every source, in [`DeltaRelation::sources`]
+    /// order — the plan-cache dependency fingerprint: a cached plan is
+    /// valid iff every relation it reads still has exactly the source
+    /// ids it was prepared against.
+    pub fn source_ids(&self) -> Vec<u64> {
+        self.sources().map(Relation::payload_id).collect()
+    }
+
+    /// One relation holding base rows then delta rows, in source
+    /// order. Shares the base payload (refcount bump) when no deltas
+    /// are pending; otherwise concatenates into a fresh payload.
+    pub fn flatten(&self) -> Relation {
+        if self.deltas.is_empty() {
+            return self.base.clone();
+        }
+        let parts: Vec<Relation> = self.sources().cloned().collect();
+        Relation::concat(&parts)
+    }
+
+    /// Should the next maintenance pass fold the deltas into the base?
+    /// True once the delta tail holds at least [`MIN_COMPACT_ROWS`]
+    /// rows and at least as many rows as the base.
+    pub fn should_compact(&self) -> bool {
+        self.delta_rows >= MIN_COMPACT_ROWS.max(self.base.len())
+    }
+
+    /// Fold all deltas into a fresh base payload (row order preserved:
+    /// base rows, then deltas oldest-first — exactly the
+    /// [`DeltaRelation::flatten`] order, so compaction never reorders
+    /// what readers enumerate). Returns `false` (and does nothing, in
+    /// particular does not reallocate the base) when no deltas are
+    /// pending. Open readers holding the old source handles are
+    /// untouched — their payloads stay alive until the last handle
+    /// drops.
+    pub fn compact(&mut self) -> bool {
+        if self.deltas.is_empty() {
+            return false;
+        }
+        self.base = self.flatten();
+        self.deltas.clear();
+        self.delta_rows = 0;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::schema::Schema;
+    use crate::value::Value;
+
+    fn rel(rows: &[[i64; 2]]) -> Relation {
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        for (i, r) in rows.iter().enumerate() {
+            b.push_ints(r, i as f64 * 0.25);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn append_is_adoption_not_rewrite() {
+        let base = rel(&[[1, 10], [2, 20]]);
+        let base_id = base.payload_id();
+        let mut d = DeltaRelation::new(base);
+        let batch = rel(&[[3, 30]]);
+        let batch_id = batch.payload_id();
+        d.push(batch);
+        assert_eq!(d.base().payload_id(), base_id, "base never rewritten");
+        assert_eq!(d.source_ids(), vec![base_id, batch_id]);
+        assert_eq!(d.delta_rows(), 1);
+        assert_eq!(d.total_rows(), 3);
+    }
+
+    #[test]
+    fn empty_batches_are_dropped() {
+        let mut d = DeltaRelation::new(rel(&[[1, 10]]));
+        d.push(Relation::empty(Schema::new(["a", "b"])));
+        assert!(!d.has_deltas());
+        assert_eq!(d.delta_rows(), 0);
+    }
+
+    #[test]
+    fn flatten_preserves_source_order_and_shares_when_delta_free() {
+        let base = rel(&[[1, 10], [2, 20]]);
+        let d0 = DeltaRelation::new(base.clone());
+        assert!(d0.flatten().shares_payload(&base), "no deltas -> no copy");
+
+        let mut d = DeltaRelation::new(base);
+        d.push(rel(&[[3, 30]]));
+        d.push(rel(&[[4, 40], [5, 50]]));
+        let flat = d.flatten();
+        assert_eq!(flat.len(), 5);
+        assert_eq!(flat.row(0), &[Value::Int(1), Value::Int(10)]);
+        assert_eq!(flat.row(2), &[Value::Int(3), Value::Int(30)]);
+        assert_eq!(flat.row(4), &[Value::Int(5), Value::Int(50)]);
+    }
+
+    #[test]
+    fn compact_folds_and_resets() {
+        let mut d = DeltaRelation::new(rel(&[[1, 10]]));
+        assert!(!d.compact(), "delta-free compact is a no-op");
+        let kept_base = d.base().clone();
+        d.push(rel(&[[2, 20]]));
+        let flat = d.flatten();
+        assert!(d.compact());
+        assert!(!d.has_deltas());
+        assert_eq!(d.delta_rows(), 0);
+        assert_eq!(*d.base(), flat, "compaction is flatten");
+        assert_ne!(
+            d.base().payload_id(),
+            kept_base.payload_id(),
+            "compacted base is a fresh payload"
+        );
+        // The old base handle still serves its snapshot.
+        assert_eq!(kept_base.len(), 1);
+    }
+
+    #[test]
+    fn compaction_policy_needs_floor_and_parity() {
+        let mut d = DeltaRelation::new(rel(&[[1, 1]]));
+        d.push(rel(&[[2, 2]]));
+        assert!(
+            !d.should_compact(),
+            "tiny relations stay delta-backed below the floor"
+        );
+
+        let big: Vec<[i64; 2]> = (0..MIN_COMPACT_ROWS as i64).map(|i| [i, i]).collect();
+        let mut d = DeltaRelation::new(rel(&[[1, 1]]));
+        d.push(Relation::from_rows(
+            Schema::new(["a", "b"]),
+            &big.iter()
+                .map(|r| [Value::Int(r[0]), Value::Int(r[1])])
+                .collect::<Vec<_>>(),
+            &vec![crate::value::Weight::ZERO; big.len()],
+        ));
+        assert!(d.should_compact(), "floor reached and deltas >= base");
+    }
+}

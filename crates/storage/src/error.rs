@@ -20,6 +20,15 @@ pub enum StorageError {
         /// Display form of the schema searched (e.g. `(a, b, c)`).
         schema: String,
     },
+    /// An append batch whose arity does not match the target relation.
+    ArityMismatch {
+        /// The relation appended to.
+        name: String,
+        /// The relation's arity.
+        expected: usize,
+        /// The batch's arity.
+        got: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -30,6 +39,16 @@ impl fmt::Display for StorageError {
             }
             StorageError::AttributeNotFound { attr, schema } => {
                 write!(f, "attribute `{attr}` not in schema {schema}")
+            }
+            StorageError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "append to `{name}`: batch arity {got} does not match relation arity {expected}"
+                )
             }
         }
     }
@@ -50,5 +69,14 @@ mod tests {
             schema: "(a, b)".into(),
         };
         assert_eq!(e.to_string(), "attribute `x` not in schema (a, b)");
+        let e = StorageError::ArityMismatch {
+            name: "R".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "append to `R`: batch arity 3 does not match relation arity 2"
+        );
     }
 }

@@ -18,6 +18,8 @@
 //!   [`Weight`] (totally ordered `f64`).
 //! * [`schema`] — attribute names and positions.
 //! * [`relation`] — row-major weighted relations and builders.
+//! * [`delta`] — delta-backed relations: immutable base + append-only
+//!   `Arc`-shared delta batches, with threshold-driven compaction.
 //! * [`index`] — per-plan hash and sorted indexes over join keys.
 //! * [`trie`] — sorted nested tries for worst-case-optimal joins.
 //! * [`index_catalog`] — catalog-resident shared trie indexes
@@ -30,6 +32,7 @@
 
 pub mod catalog;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod fxhash;
 pub mod index;
@@ -42,6 +45,7 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use csv::{read_csv, read_csv_with_catalog, write_csv};
+pub use delta::{DeltaRelation, MIN_COMPACT_ROWS};
 pub use error::StorageError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedIndex};
@@ -52,4 +56,4 @@ pub use partition::{partition_relation, shard_of_row};
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use schema::Schema;
 pub use trie::Trie;
-pub use value::{Value, Weight};
+pub use value::{FloatBits, Value, Weight};

@@ -368,6 +368,38 @@ impl Relation {
         self
     }
 
+    /// Concatenate `parts` into one fresh relation: all rows of
+    /// `parts[0]`, then all rows of `parts[1]`, … — the row-order
+    /// contract delta compaction relies on. Takes the first part's
+    /// schema; every part must have the same arity.
+    ///
+    /// A single part is returned as a shared handle (refcount bump,
+    /// no copy).
+    ///
+    /// # Panics
+    ///
+    /// If `parts` is empty or arities differ (callers — the delta
+    /// layer — have already schema-checked appends).
+    pub fn concat(parts: &[Relation]) -> Relation {
+        assert!(!parts.is_empty(), "concat of zero relations");
+        if parts.len() == 1 {
+            return parts[0].clone();
+        }
+        let schema = parts[0].schema().clone();
+        let arity = schema.arity();
+        let rows: usize = parts.iter().map(Relation::len).sum();
+        let mut data = Vec::with_capacity(rows * arity);
+        let mut weights = Vec::with_capacity(rows);
+        for p in parts {
+            assert_eq!(p.arity(), arity, "concat arity mismatch");
+            data.extend_from_slice(&p.payload.data);
+            weights.extend_from_slice(&p.payload.weights);
+        }
+        Relation {
+            payload: Arc::new(Payload::new(schema, data, weights)),
+        }
+    }
+
     /// Total bytes of payload (diagnostics).
     pub fn payload_bytes(&self) -> usize {
         self.payload.data.len() * std::mem::size_of::<Value>()
@@ -571,6 +603,23 @@ mod tests {
         let twin = rel();
         assert_ne!(r.payload_id(), twin.payload_id());
         assert_eq!(r, twin);
+    }
+
+    #[test]
+    fn concat_preserves_part_order() {
+        let r = rel();
+        let single = Relation::concat(std::slice::from_ref(&r));
+        assert!(single.shares_payload(&r), "single-part concat is a handle");
+
+        let mut b = RelationBuilder::new(Schema::new(["a", "b"]));
+        b.push_ints(&[9, 90], 0.125);
+        let tail = b.finish();
+        let cat = Relation::concat(&[r.clone(), tail]);
+        assert_eq!(cat.len(), 4);
+        assert_eq!(cat.row(0), r.row(0));
+        assert_eq!(cat.row(3), &[Value::Int(9), Value::Int(90)]);
+        assert_eq!(cat.weight(3), Weight::new(0.125));
+        assert_ne!(cat.payload_id(), r.payload_id());
     }
 
     #[test]

@@ -164,6 +164,87 @@ pub fn check_engine_against_oracle(
     got
 }
 
+/// Write-path cross-check on one `(q, base, appends, rank)` instance.
+///
+/// A live engine takes `appends` — `(atom index, batch)` pairs, in
+/// order — through [`Engine::append`], and its delta-backed prepared
+/// stream must (a) match the brute-force oracle over base ⊎ deltas
+/// and (b) be **byte-identical** to a fresh single-payload engine's
+/// canonical-tie stream: the delta union merges its terms with the
+/// canonical `(cost, values, source)` tie-break, so the equality is
+/// positional, not just tie-group-wise. Compacting every delta and
+/// re-preparing must serve the identical bytes again.
+///
+/// Atoms must carry distinct relation names (the per-atom base ⊎
+/// deltas reconstruction maps batches by atom index).
+pub fn check_write_path_against_oracle(
+    q: &ConjunctiveQuery,
+    base: &[Relation],
+    appends: &[(usize, Relation)],
+    rank: RankSpec,
+    label: &str,
+) {
+    // The live engine receives the batches through the write path.
+    let engine = Engine::from_query_bindings(q, base.to_vec());
+    for (atom, batch) in appends {
+        engine
+            .append(&q.atom(*atom).relation, batch.clone())
+            .unwrap_or_else(|e| panic!("{label}: append: {e}"));
+    }
+    // Ground truth: base ⊎ deltas flattened per atom, in append order —
+    // both the oracle and the single-payload reference run on it.
+    let combined: Vec<Relation> = (0..q.num_atoms())
+        .map(|i| {
+            let mut parts = vec![base[i].clone()];
+            parts.extend(
+                appends
+                    .iter()
+                    .filter(|(a, _)| *a == i)
+                    .map(|(_, b)| b.clone()),
+            );
+            Relation::concat(&parts)
+        })
+        .collect();
+    let want = brute_force_ranked(q, &combined, rank);
+    let delta_backed: Vec<RankedAnswer> = engine
+        .prepare(q.clone(), rank)
+        .unwrap_or_else(|e| panic!("{label}: delta prepare: {e}"))
+        .stream()
+        .collect();
+    assert_matches_oracle(&delta_backed, &want, &format!("{label}: delta-backed"));
+
+    let single = Engine::from_query_bindings(q, combined);
+    let canonical: Vec<RankedAnswer> = single
+        .prepare(q.clone(), rank)
+        .unwrap_or_else(|e| panic!("{label}: single prepare: {e}"))
+        .stream()
+        .canonical_ties()
+        .collect();
+    assert_eq!(
+        delta_backed, canonical,
+        "{label}: delta-backed stream must be byte-identical to the \
+         single-payload canonical stream"
+    );
+
+    // Compaction folds the deltas into a fresh base payload; under the
+    // canonical tie-break the served bytes must not move.
+    for i in 0..q.num_atoms() {
+        engine
+            .compact(&q.atom(i).relation)
+            .unwrap_or_else(|e| panic!("{label}: compact: {e}"));
+    }
+    let compacted: Vec<RankedAnswer> = engine
+        .prepare(q.clone(), rank)
+        .unwrap_or_else(|e| panic!("{label}: post-compact prepare: {e}"))
+        .stream()
+        .canonical_ties()
+        .collect();
+    assert_eq!(
+        compacted, canonical,
+        "{label}: compacted stream must serve the identical bytes"
+    );
+}
+
 /// The serving-path equivalences on one instance: prepared-then-stream
 /// == ad-hoc plan == oracle order, and repeated prepared streams are
 /// byte-identical (separate engines, so nothing is shared via a cache).

@@ -14,8 +14,11 @@
 mod common;
 
 use anyk::prelude::*;
-use common::gen::{edge_rel, snowflake_query};
-use common::oracle::{brute_force_ranked, check_engine_against_oracle, OracleAnswer};
+use common::gen::{edge_rel, scrambled_edges, snowflake_query};
+use common::oracle::{
+    assert_matches_oracle, brute_force_ranked, check_engine_against_oracle,
+    check_write_path_against_oracle, OracleAnswer,
+};
 
 /// A dense-ish fixed edge set with dyadic weights and deliberate
 /// weight ties (the tie-group comparison must actually bite).
@@ -182,6 +185,202 @@ fn triangle_first_and_upgraded_streams_both_match_the_oracle() {
         first, upgraded,
         "first stream == upgraded cursor, ties included"
     );
+}
+
+// ---------------------------------------------------------------------
+// The write path: every route × every ranking over a live engine that
+// received its data partly through `append()`. The delta-backed union
+// must reproduce the oracle over base ⊎ deltas in full ranked order,
+// byte-identically to a single-payload engine's canonical stream, and
+// compaction must not move a byte (`check_write_path_against_oracle`).
+// ---------------------------------------------------------------------
+
+/// All five rankings over one `(q, base, appends)` write-path instance.
+fn check_write_path_all_ranks(
+    q: &anyk::query::cq::ConjunctiveQuery,
+    base: &[Relation],
+    appends: &[(usize, Relation)],
+    route: &str,
+) {
+    for rank in RankSpec::ALL {
+        check_write_path_against_oracle(q, base, appends, rank, &format!("{route} × {rank}"));
+    }
+}
+
+#[test]
+fn live_appends_match_oracle_on_the_acyclic_path_route() {
+    // The appended chain 9→50→51→2 exists only across three different
+    // delta batches — one per atom — so any union term that misses a
+    // delta×delta×delta combination drops it. The second batch to R1
+    // joins existing base rows instead (both flavors must land).
+    let q = path_query(3);
+    let base = vec![
+        edge_rel(&fixture_edges()),
+        edge_rel(&fixture_edges()[2..]),
+        edge_rel(&fixture_edges()[..10]),
+    ];
+    let appends = vec![
+        (0, edge_rel(&[(9, 50, 0.5), (2, 2, 0.375)])),
+        (1, edge_rel(&[(50, 51, 0.25), (2, 3, 0.25)])),
+        (2, edge_rel(&[(51, 2, 0.125)])),
+        (0, edge_rel(&[(1, 50, 1.0)])),
+    ];
+    check_write_path_all_ranks(&q, &base, &appends, "acyclic-path live");
+}
+
+#[test]
+fn live_appends_match_oracle_on_the_acyclic_star_route() {
+    // A brand-new center (50) appears only in the deltas of all three
+    // arms, plus an arm batch extending an existing center.
+    let q = star_query(3);
+    let base = vec![
+        edge_rel(&fixture_edges()[..10]),
+        edge_rel(&fixture_edges()[3..]),
+        edge_rel(&fixture_edges()[..8]),
+    ];
+    let appends = vec![
+        (0, edge_rel(&[(50, 1, 0.5)])),
+        (1, edge_rel(&[(50, 2, 0.25), (1, 9, 0.75)])),
+        (2, edge_rel(&[(50, 3, 0.125), (2, 9, 0.5)])),
+    ];
+    check_write_path_all_ranks(&q, &base, &appends, "acyclic-star live");
+}
+
+#[test]
+fn live_appends_match_oracle_on_the_triangle_route() {
+    // A triangle 50→51→52→50 closed entirely by deltas, plus batches
+    // that close new triangles against base edges.
+    let q = triangle_query();
+    let e = edge_rel(&fixture_edges());
+    let base = vec![e.clone(), e.clone(), e];
+    let appends = vec![
+        (0, edge_rel(&[(50, 51, 0.5), (1, 3, 0.25)])),
+        (1, edge_rel(&[(51, 52, 0.25)])),
+        (2, edge_rel(&[(52, 50, 0.125), (2, 1, 0.5)])),
+    ];
+    check_write_path_all_ranks(&q, &base, &appends, "triangle live");
+}
+
+#[test]
+fn live_appends_match_oracle_on_the_four_cycle_route() {
+    let q = cycle_query(4);
+    let e = edge_rel(&fixture_edges());
+    let base = vec![e.clone(), e.clone(), e.clone(), e];
+    let appends = vec![
+        (0, edge_rel(&[(50, 51, 0.5)])),
+        (1, edge_rel(&[(51, 52, 0.25), (3, 3, 0.75)])),
+        (2, edge_rel(&[(52, 53, 0.125)])),
+        (3, edge_rel(&[(53, 50, 0.5), (3, 2, 0.25)])),
+    ];
+    check_write_path_all_ranks(&q, &base, &appends, "four-cycle live");
+}
+
+#[test]
+fn live_appends_match_oracle_on_the_decomposed_route() {
+    // Appended values are kept distinct from every base tuple: the GHD
+    // route collapses duplicate-valued rows to their lightest weight by
+    // design (bag materialization is set-shaped), so a delta that
+    // duplicates a base tuple's values would change multiplicity across
+    // compaction. The other routes preserve multiplicity and their
+    // fixtures above exercise duplicated values deliberately.
+    let q = cycle_query(5);
+    let e = edge_rel(&fixture_edges());
+    let base = vec![e.clone(), e.clone(), e.clone(), e.clone(), e];
+    let appends = vec![
+        (0, edge_rel(&[(50, 51, 0.5)])),
+        (1, edge_rel(&[(51, 52, 0.25)])),
+        (2, edge_rel(&[(52, 53, 0.125)])),
+        (3, edge_rel(&[(53, 54, 0.5)])),
+        (4, edge_rel(&[(54, 50, 0.25), (2, 2, 0.375)])),
+    ];
+    check_write_path_all_ranks(&q, &base, &appends, "decomposed live");
+}
+
+#[test]
+fn live_appends_with_all_ties_weights_stay_canonical() {
+    // Adversarial tie fixture on the write path: every tuple — base
+    // and delta alike — weighs the same, so the whole output is ONE
+    // cost-tie group and the byte-identity assertions are decided
+    // entirely by the delta union's cross-source tie-break.
+    let flat: Vec<(i64, i64, f64)> = fixture_edges()
+        .iter()
+        .map(|&(a, b, _)| (a, b, 1.0))
+        .collect();
+    let flat_batch =
+        |rows: &[(i64, i64)]| edge_rel(&rows.iter().map(|&(a, b)| (a, b, 1.0)).collect::<Vec<_>>());
+    let e = edge_rel(&flat);
+
+    let q2 = path_query(2);
+    let appends2 = vec![
+        (0, flat_batch(&[(9, 1), (1, 2)])),
+        (1, flat_batch(&[(2, 9), (9, 9)])),
+    ];
+    check_write_path_all_ranks(
+        &q2,
+        &[e.clone(), e.clone()],
+        &appends2,
+        "all-ties path live",
+    );
+
+    let q3 = triangle_query();
+    let appends3 = vec![
+        (0, flat_batch(&[(9, 1)])),
+        (1, flat_batch(&[(1, 2)])),
+        (2, flat_batch(&[(2, 9)])),
+    ];
+    check_write_path_all_ranks(
+        &q3,
+        &[e.clone(), e.clone(), e],
+        &appends3,
+        "all-ties triangle live",
+    );
+}
+
+#[test]
+fn randomized_append_schedules_match_oracle_through_mid_schedule_compaction() {
+    // An xorshift-driven schedule over a 3-path: after every batch the
+    // delta-backed stream is re-checked against the oracle, and an
+    // explicit mid-schedule `compact()` must not disturb either the
+    // answers or the batches that keep arriving afterwards.
+    let q = path_query(3);
+    let base = vec![
+        scrambled_edges(30, 6, 101),
+        scrambled_edges(30, 6, 103),
+        scrambled_edges(30, 6, 107),
+    ];
+    let engine = Engine::from_query_bindings(&q, base.clone());
+    let mut combined = base;
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for round in 0..6 {
+        let atom = (step() % 3) as usize;
+        // Domain 8 > the base's 6: some appended values are brand-new
+        // join partners only other deltas can complete.
+        let batch = scrambled_edges(2 + step() % 4, 8, step() | 1);
+        engine
+            .append(&q.atom(atom).relation, batch.clone())
+            .unwrap_or_else(|e| panic!("round {round}: append: {e}"));
+        combined[atom] = Relation::concat(&[combined[atom].clone(), batch]);
+        if round == 3 {
+            engine
+                .compact(&q.atom(atom).relation)
+                .unwrap_or_else(|e| panic!("round {round}: compact: {e}"));
+        }
+        for rank in [RankSpec::Sum, RankSpec::Lex] {
+            let want = brute_force_ranked(&q, &combined, rank);
+            let got: Vec<RankedAnswer> = engine
+                .prepare(q.clone(), rank)
+                .unwrap_or_else(|e| panic!("round {round} × {rank}: prepare: {e}"))
+                .stream()
+                .collect();
+            assert_matches_oracle(&got, &want, &format!("round {round} × {rank}"));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -19,7 +19,7 @@ use anyk::core::{BatchSorted, LexCost, MaxCost, RankingFunction, SumCost};
 use anyk::prelude::*;
 use anyk::query::cq::ConjunctiveQuery;
 use common::gen::{arb_relation, cases_from_env, shaped_acyclic_query};
-use common::oracle::check_prepared_adhoc_oracle;
+use common::oracle::{assert_matches_oracle, brute_force_ranked, check_prepared_adhoc_oracle};
 use proptest::prelude::*;
 
 fn oracle<R: RankingFunction>(
@@ -188,6 +188,105 @@ proptest! {
         let rels = vec![e.clone(), e.clone(), e.clone(), e];
         for rank in [RankSpec::Sum, RankSpec::Max] {
             check_prepared_adhoc_oracle(&q, &rels, rank);
+        }
+    }
+
+    /// Random append/prepare/stream interleavings on one shared
+    /// acyclic engine. After every appended batch: (a) a stream opened
+    /// *before* the append drains the pre-append snapshot untouched,
+    /// (b) a fresh prepare carries the delta union and matches the
+    /// brute-force oracle over base ⊎ deltas, (c) the ad-hoc plan
+    /// agrees, and (d) compacting everything at the end changes
+    /// nothing but the delta count. Batch domains exceed the base
+    /// domain so appends introduce brand-new join partners.
+    #[test]
+    fn append_interleavings_preserve_snapshots_and_refresh_plans(
+        base in prop::collection::vec(arb_relation(10, 4), 3),
+        schedule in prop::collection::vec((0usize..3, arb_relation(4, 6)), 1..4),
+    ) {
+        let q = path_query(3);
+        let engine = Engine::from_query_bindings(&q, base.clone());
+        let mut combined = base;
+        for (atom, batch) in &schedule {
+            let before = brute_force_ranked(&q, &combined, RankSpec::Sum);
+            let pre = engine
+                .prepare(q.clone(), RankSpec::Sum)
+                .expect("pre-append prepare");
+            let mut open = pre.stream();
+            let first = open.next();
+
+            engine
+                .append(&q.atom(*atom).relation, batch.clone())
+                .expect("append");
+            combined[*atom] =
+                Relation::concat(&[combined[*atom].clone(), batch.clone()]);
+
+            // (a) The open stream never sees the append: it finishes
+            // the snapshot it started on.
+            let snapshot: Vec<RankedAnswer> = first.into_iter().chain(open).collect();
+            assert_matches_oracle(&snapshot, &before, "mid-append open stream");
+
+            // (b) A fresh prepare serves base ⊎ deltas.
+            let want = brute_force_ranked(&q, &combined, RankSpec::Sum);
+            let fresh = engine
+                .prepare(q.clone(), RankSpec::Sum)
+                .expect("post-append prepare");
+            prop_assert!(
+                fresh.plan().deltas >= 1,
+                "post-append plan must carry delta terms"
+            );
+            let got: Vec<RankedAnswer> = fresh.stream().collect();
+            assert_matches_oracle(&got, &want, "post-append prepared stream");
+
+            // (c) The ad-hoc path reads the same catalog.
+            let adhoc: Vec<RankedAnswer> = engine
+                .query(q.clone())
+                .rank_by(RankSpec::Sum)
+                .plan()
+                .expect("post-append ad-hoc plan")
+                .collect();
+            assert_matches_oracle(&adhoc, &want, "post-append ad-hoc plan");
+        }
+
+        // (d) Compaction folds every delta away; answers stay put.
+        for i in 0..q.num_atoms() {
+            engine.compact(&q.atom(i).relation).expect("compact");
+        }
+        let want = brute_force_ranked(&q, &combined, RankSpec::Sum);
+        let fresh = engine
+            .prepare(q.clone(), RankSpec::Sum)
+            .expect("post-compact prepare");
+        prop_assert_eq!(fresh.plan().deltas, 0, "compaction clears delta terms");
+        let got: Vec<RankedAnswer> = fresh.stream().collect();
+        assert_matches_oracle(&got, &want, "post-compact prepared stream");
+    }
+
+    /// Random append schedules on a cyclic (triangle) engine: the
+    /// delta-union route must keep matching the brute-force oracle
+    /// under Sum and Max after every batch.
+    #[test]
+    fn triangle_append_schedules_match_oracle(
+        base in prop::collection::vec(arb_relation(10, 4), 3),
+        schedule in prop::collection::vec((0usize..3, arb_relation(3, 5)), 1..3),
+    ) {
+        let q = triangle_query();
+        let engine = Engine::from_query_bindings(&q, base.clone());
+        let mut combined = base;
+        for (atom, batch) in &schedule {
+            engine
+                .append(&q.atom(*atom).relation, batch.clone())
+                .expect("append");
+            combined[*atom] =
+                Relation::concat(&[combined[*atom].clone(), batch.clone()]);
+            for rank in [RankSpec::Sum, RankSpec::Max] {
+                let want = brute_force_ranked(&q, &combined, rank);
+                let got: Vec<RankedAnswer> = engine
+                    .prepare(q.clone(), rank)
+                    .expect("cyclic prepare")
+                    .stream()
+                    .collect();
+                assert_matches_oracle(&got, &want, "triangle post-append");
+            }
         }
     }
 

@@ -7,7 +7,7 @@ mod common;
 
 use anyk::prelude::*;
 use anyk::serve::{
-    encode_answer, select_text, Response, Server, TcpClient, Transport, TransportConfig,
+    encode_answer, parse, select_text, Response, Server, TcpClient, Transport, TransportConfig,
 };
 use common::gen::edge_rel;
 use common::oracle::{assert_matches_oracle, brute_force_ranked};
@@ -172,6 +172,152 @@ fn tcp_and_local_transports_are_byte_identical() {
             );
         }
         server.shutdown();
+    }
+}
+
+#[test]
+fn insert_and_load_round_trip_byte_identically_across_transports() {
+    let q = path_query(3);
+    for transport in TRANSPORTS {
+        // Writes mutate the backing catalog, so the TCP and local
+        // clients each run the script against their own fresh service —
+        // sharing one would double-append and diverge the delta counts.
+        let (tcp_service, _) = service_for(&q, 3);
+        let (local_service, _) = service_for(&q, 3);
+        let mut server = bind(&tcp_service, transport);
+        let mut tcp = TcpClient::connect(server.addr()).expect("connect");
+        let mut local = LocalClient::new(&local_service);
+
+        let script = [
+            // The write path proper: literal rows and an inline CSV
+            // block, then a SELECT that reads base ⊎ both deltas.
+            "INSERT INTO R1 VALUES (7,8,0.5),(8,9,0.25);",
+            "LOAD R2 FROM CSV 'u,v,weight\\n8,9,0.125\\n9,7,0.5\\n';",
+            "SELECT R1(a,b), R2(b,c) RANK BY sum LIMIT 5;",
+            "NEXT 5 ON 0;",
+            "CLOSE 0;",
+            "EXPLAIN SELECT R1(a,b), R2(b,c) RANK BY sum;",
+            // Typed write failures must render identically too.
+            "INSERT INTO Nope VALUES (1,2,0.5);",
+            "INSERT INTO R1 VALUES (1,0.5);",
+            "INSERT INTO R1 VALUES (1,2,0.5),(3,4);",
+            "LOAD R1 FROM CSV 'u,v,weight\\nbogus\\n';",
+        ];
+        for cmd in script {
+            let via_tcp = tcp.send(cmd).expect("tcp round-trip");
+            let via_local = local.send(cmd);
+            assert_eq!(
+                via_tcp, via_local,
+                "{transport:?}: transport divergence on `{cmd}`"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn write_path_errors_render_typed_and_stable() {
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::with_config(
+        engine,
+        ServiceConfig {
+            max_batch_rows: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = LocalClient::new(&service);
+
+    // The happy path pins the exact Appended rendering first.
+    assert_eq!(
+        client.send("INSERT INTO R1 VALUES (7,8,0.5),(8,9,0.25);"),
+        "OK appended rows=2 deltas=1 compacted=false\nEND\n"
+    );
+    // Admission bound on batch size, checked before the engine runs.
+    assert_eq!(
+        client.send("INSERT INTO R1 VALUES (1,2,0.5),(2,3,0.5),(3,4,0.5);"),
+        "ERR batch: batch of 3 rows exceeds the 2-row bound\nEND\n"
+    );
+    // Ragged rows are a protocol-level batch error, not an engine one.
+    assert_eq!(
+        client.send("INSERT INTO R1 VALUES (1,2,0.5),(3,4);"),
+        "ERR batch: insert row 1 has 2 cells, expected 3 like the first row\nEND\n"
+    );
+    // Catalog failures surface the engine's typed storage errors.
+    assert_eq!(
+        client.send("INSERT INTO Nope VALUES (1,2,0.5);"),
+        "ERR engine: storage: relation `Nope` not registered in catalog\nEND\n"
+    );
+    assert_eq!(
+        client.send("INSERT INTO R1 VALUES (1,0.5);"),
+        "ERR engine: storage: append to `R1`: batch arity 1 does not match \
+         relation arity 2\nEND\n"
+    );
+    // CSV failures carry the csv reader's message under their own kind.
+    let csv_err = client.send("LOAD R1 FROM CSV 'u,v,weight\\nbogus\\n';");
+    assert!(
+        csv_err.starts_with("ERR csv: parse error:") && csv_err.ends_with("END\n"),
+        "{csv_err}"
+    );
+    // The reserved shard-fragment marker never reaches the engine: the
+    // wire grammar's identifier lexer rejects `#` outright.
+    let reserved = client.send("INSERT INTO R#1 VALUES (1,2,0.5);");
+    assert!(reserved.starts_with("ERR parse:"), "{reserved}");
+
+    // After all that, the one successful batch is the only write.
+    let stats = service.stats();
+    assert_eq!(stats.appends, 1);
+    assert_eq!(stats.appended_rows, 2);
+}
+
+#[test]
+fn write_commands_render_and_reparse_to_the_same_ast() {
+    // parse → Display → parse is the identity on write commands, so
+    // clients can log and replay the canonical text.
+    for text in [
+        "INSERT INTO R VALUES (1,2,0.5),(-3,4,1.0);",
+        "INSERT INTO Edge VALUES (-1,-2,-0.125);",
+        "LOAD Edge FROM CSV 'u,v,weight\\n1,2,0.5\\n';",
+        "LOAD Q FROM CSV 'a,w\\nit\\'s,1.0\\n';",
+        "insert into R values ( 1 , 2 , 0.5 )",
+    ] {
+        let cmd = parse(text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        let rendered = cmd.to_string();
+        let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("rendered `{rendered}`: {e}"));
+        assert_eq!(cmd, reparsed, "`{text}` → `{rendered}` must reparse equal");
+    }
+}
+
+#[test]
+fn explain_and_stats_surface_the_write_path() {
+    let q = path_query(2);
+    let e = edge_rel(&fixture_edges());
+    let engine = Engine::from_query_bindings(&q, vec![e.clone(), e]);
+    let service = Service::new(engine);
+    let mut client = LocalClient::new(&service);
+
+    // Warm the plan, append, and EXPLAIN: the plan now reports the
+    // delta term the union carries.
+    let select = "SELECT R1(a,b), R2(b,c) RANK BY sum LIMIT 2;";
+    let first = client.send(select);
+    assert!(first.starts_with("OK cursor="), "{first}");
+    assert_eq!(
+        client.send("INSERT INTO R1 VALUES (7,8,0.5),(8,9,0.25);"),
+        "OK appended rows=2 deltas=1 compacted=false\nEND\n"
+    );
+    let explain = client.send(&format!("EXPLAIN {select}"));
+    assert!(explain.contains("deltas = 1"), "{explain}");
+
+    // STATS carries the write counters on the wire.
+    let stats = client.send("STATS;");
+    for field in [
+        "INFO appends=1",
+        "INFO appended_rows=2",
+        "INFO compactions=0",
+        "INFO append_invalidations=1",
+    ] {
+        assert!(stats.contains(field), "missing `{field}`:\n{stats}");
     }
 }
 
